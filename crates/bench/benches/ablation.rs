@@ -1,0 +1,91 @@
+//! E13 — the `|Y| = 1` ablation (footnote 8): QLhs adds the singleton
+//! test because `perm(D)` — the finite-case workaround — has infinite
+//! rank over infinite domains. The test's run-time cost is negligible;
+//! what it buys is *expressiveness* (data-dependent stopping, used by
+//! the `d`-isolation step of Theorem 3.1). We measure (a) the cost of
+//! each while-test primitive, and (b) a singleton-driven growth loop
+//! vs the same growth with a statically known iteration count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use recdb_core::Fuel;
+use recdb_qlhs::{parse_program, HsInterp};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_test_primitives(c: &mut Criterion) {
+    let mut g = c.benchmark_group("E13/while_tests");
+    // Loops that run exactly once, isolating test overhead.
+    let programs = [
+        ("empty_test", "Y2 := down(down(down(E))); while empty(Y2) { Y2 := down(down(E)); }"),
+        ("single_test", "Y2 := down(E); while single(Y2) { Y2 := up(Y2); }"),
+    ];
+    for (name, hs) in recdb_bench::hs_zoo() {
+        if name == "rado" {
+            continue;
+        }
+        for (label, src) in &programs {
+            let prog = parse_program(src).unwrap();
+            g.bench_function(BenchmarkId::new(*label, name), |b| {
+                b.iter(|| {
+                    let mut i = HsInterp::new(&hs);
+                    black_box(i.run(&prog, &mut Fuel::new(1_000_000)).is_ok())
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_growth_until_wide(c: &mut Criterion) {
+    // "Grow Y upward while it remains a single class" — inherently
+    // data-dependent: the stopping depth differs per database (the
+    // clique's diagonal chain stays singleton forever, so intersect
+    // with a bounded guard; the paper-example splits immediately).
+    // Compare with a static double-up.
+    let dynamic = parse_program(
+        "
+        Y2 := down(E);
+        Y3 := down(down(E));
+        while single(Y2) {
+            Y2 := up(Y2);
+            Y3 := up(Y3);
+        }
+        Y1 := Y3;
+        ",
+    )
+    .unwrap();
+    let static_two = parse_program(
+        "
+        Y2 := down(E);
+        Y2 := up(Y2);
+        Y2 := up(Y2);
+        Y1 := Y2;
+        ",
+    )
+    .unwrap();
+    let mut g = c.benchmark_group("E13/growth");
+    for (name, hs) in recdb_bench::hs_zoo() {
+        if name == "rado" {
+            continue; // depth-limited tree (BIT coding)
+        }
+        for (label, prog) in [("dynamic", &dynamic), ("static", &static_two)] {
+            g.bench_function(BenchmarkId::new(label, name), |b| {
+                b.iter(|| {
+                    let mut i = HsInterp::new(&hs);
+                    black_box(i.run(prog, &mut Fuel::new(1_000_000)).unwrap().len())
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(700))
+        .warm_up_time(Duration::from_millis(200));
+    targets = bench_test_primitives, bench_growth_until_wide
+}
+criterion_main!(benches);

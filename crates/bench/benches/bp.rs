@@ -1,0 +1,89 @@
+//! E12 — BP-completeness (§6): gadget construction and EF separation
+//! (Theorem 6.1), tree-bounded FO evaluation versus quantifier depth
+//! (Theorem 6.3), and unary L⁻ expression synthesis (Theorem 6.2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use recdb_bp::{express_unary_relation, fo_member, isolating_formula, Gadget};
+use recdb_core::{DatabaseBuilder, Elem, FiniteStructure, FnRelation, Tuple};
+use recdb_hsdb::paper_example_graph;
+use recdb_logic::ast::{Formula, Var};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn cycle(n: u64) -> FiniteStructure {
+    FiniteStructure::undirected_graph(0..n, (0..n).map(|i| (i, (i + 1) % n)))
+}
+
+fn bench_gadget_separation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("E12/gadget_ef");
+    for n in [3u64, 4] {
+        // Cₙ vs a path of n nodes: never isomorphic.
+        let path = FiniteStructure::undirected_graph(0..n, (0..n - 1).map(|i| (i, i + 1)));
+        let gadget = Gadget::new(cycle(n), path);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(gadget.ef_separation_round(2)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_fo_depth(c: &mut Criterion) {
+    let hs = paper_example_graph();
+    let mut g = c.benchmark_group("E12/fo_member_depth");
+    // Nested existentials of growing depth over the example graph.
+    for depth in [1usize, 2, 3] {
+        let mut phi = Formula::Rel(0, vec![Var(depth as u32 - 1), Var(depth as u32)]);
+        for d in (1..=depth).rev() {
+            phi = Formula::Exists(Var(d as u32), Box::new(phi));
+        }
+        let t = Tuple::from_values([0]);
+        g.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, _| {
+            b.iter(|| black_box(fo_member(&hs, &phi, &t)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_isolating_formula(c: &mut Criterion) {
+    let hs = paper_example_graph();
+    let t = hs.t_n(1).into_iter().next().unwrap();
+    let mut g = c.benchmark_group("E12/isolating_formula");
+    for r in [0usize, 1, 2] {
+        g.bench_with_input(BenchmarkId::from_parameter(r), &r, |b, &r| {
+            b.iter(|| black_box(isolating_formula(&hs, &t, r).quantifier_depth()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_unary_expression(c: &mut Criterion) {
+    let db = DatabaseBuilder::new("u")
+        .relation("P1", FnRelation::new("even", 1, |t| t[0].value() % 2 == 0))
+        .relation("P2", FnRelation::new("div3", 1, |t| t[0].value() % 3 == 0))
+        .build();
+    let probe: Vec<Elem> = (0..12).map(Elem).collect();
+    let mut g = c.benchmark_group("E12/unary_expression");
+    for rank in [1usize, 2] {
+        g.bench_with_input(BenchmarkId::from_parameter(rank), &rank, |b, &rank| {
+            b.iter(|| {
+                black_box(express_unary_relation(
+                    &db,
+                    rank,
+                    |t| t[0].value() % 2 == 0,
+                    &probe,
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(700))
+        .warm_up_time(Duration::from_millis(200));
+    targets = bench_gadget_separation, bench_fo_depth, bench_isolating_formula, bench_unary_expression
+}
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! E1 — the `Cⁿ` class machinery (§2 example: 68 classes for a=(2,1),
+//! n=2). Measures closed-form counting vs explicit enumeration across
+//! the schema zoo.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use recdb_bench::schema_zoo;
+use recdb_core::{count_classes, enumerate_classes};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_counting(c: &mut Criterion) {
+    let mut g = c.benchmark_group("E1/count_classes");
+    for (name, schema) in schema_zoo() {
+        for n in [1usize, 2, 3] {
+            if count_classes(&schema, n) > 1 << 20 {
+                continue;
+            }
+            g.bench_with_input(
+                BenchmarkId::new(name, n),
+                &(schema.clone(), n),
+                |b, (s, n)| b.iter(|| black_box(count_classes(s, *n))),
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_enumeration(c: &mut Criterion) {
+    let mut g = c.benchmark_group("E1/enumerate_classes");
+    for (name, schema) in schema_zoo() {
+        for n in [1usize, 2] {
+            if count_classes(&schema, n) > 1 << 14 {
+                continue;
+            }
+            g.bench_with_input(
+                BenchmarkId::new(name, n),
+                &(schema.clone(), n),
+                |b, (s, n)| b.iter(|| black_box(enumerate_classes(s, *n).len())),
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(700))
+        .warm_up_time(Duration::from_millis(200));
+    targets = bench_counting, bench_enumeration
+}
+criterion_main!(benches);

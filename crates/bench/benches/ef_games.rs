@@ -1,0 +1,77 @@
+//! E8 — Ehrenfeucht–Fraïssé games (§3.2): cost versus round count and
+//! pool size, on the line (distance discrimination) and finite cycles
+//! (the Corollary 3.1 elementary-equivalence workloads).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use recdb_core::{Elem, FiniteStructure, Tuple};
+use recdb_logic::{ef_finite_pair, EfGame};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn cycle(n: u64) -> FiniteStructure {
+    FiniteStructure::undirected_graph(0..n, (0..n).map(|i| (i, (i + 1) % n)))
+}
+
+fn bench_line_rounds(c: &mut Criterion) {
+    let line = recdb_hsdb::infinite_line_db();
+    let mut g = c.benchmark_group("E8/line_rounds");
+    for r in [0usize, 1, 2] {
+        let pool: Vec<Elem> = (0..10).map(Elem).collect();
+        g.bench_with_input(BenchmarkId::from_parameter(r), &r, |b, &r| {
+            b.iter(|| {
+                let mut game = EfGame::new(&line, &line, pool.clone(), pool.clone());
+                black_box(game.duplicator_wins(
+                    &Tuple::from_values([0, 4]),
+                    &Tuple::from_values([0, 6]),
+                    r,
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_cycle_pairs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("E8/cycle_pairs");
+    for (n, m, r) in [(4u64, 5u64, 2usize), (5, 6, 2), (6, 7, 3)] {
+        let label = format!("C{n}vC{m}@r{r}");
+        let (a, b_) = (cycle(n), cycle(m));
+        g.bench_function(BenchmarkId::from_parameter(label), |bch| {
+            bch.iter(|| black_box(ef_finite_pair(&a, &b_, r)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_pool_scaling(c: &mut Criterion) {
+    let line = recdb_hsdb::infinite_line_db();
+    let mut g = c.benchmark_group("E8/pool_scaling");
+    for pool_size in [6u64, 10, 14] {
+        let pool: Vec<Elem> = (0..pool_size).map(Elem).collect();
+        g.bench_with_input(
+            BenchmarkId::from_parameter(pool_size),
+            &pool_size,
+            |b, _| {
+                b.iter(|| {
+                    let mut game = EfGame::new(&line, &line, pool.clone(), pool.clone());
+                    black_box(game.duplicator_wins(
+                        &Tuple::from_values([0, 2]),
+                        &Tuple::from_values([2, 4]),
+                        2,
+                    ))
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(700))
+        .warm_up_time(Duration::from_millis(200));
+    targets = bench_line_rounds, bench_cycle_pairs, bench_pool_scaling
+}
+criterion_main!(benches);

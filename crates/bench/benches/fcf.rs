@@ -1,0 +1,83 @@
+//! E10 — finite ∕ co-finite databases (§4): `Df` extraction from the
+//! characteristic tree (Prop 4.1) versus finite-part size, and QLf+
+//! program evaluation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use recdb_bench::fcf_of_size;
+use recdb_core::Fuel;
+use recdb_hsdb::df_from_tree;
+use recdb_qlhs::{parse_program, FcfInterp};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_df_extraction(c: &mut Criterion) {
+    let mut g = c.benchmark_group("E10/df_from_tree");
+    for size in [1u64, 2, 3, 4] {
+        let hs = fcf_of_size(size).into_hsdb();
+        g.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, &size| {
+            b.iter(|| {
+                black_box(
+                    df_from_tree(hs.tree(), size as usize + 1)
+                        .expect("Df extractable")
+                        .len(),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_qlfplus_programs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("E10/qlfplus");
+    let programs = [
+        ("complement", "Y1 := !R2;"),
+        ("intersect", "Y1 := R2 & swap(R2);"),
+        ("updown", "Y1 := down(up(R1));"),
+        (
+            "finiteness_loop",
+            "Y1 := R1; while finite(Y1) { Y1 := !Y1; }",
+        ),
+    ];
+    for size in [2u64, 8, 32] {
+        let fcf = fcf_of_size(size);
+        for (name, src) in &programs {
+            let prog = parse_program(src).unwrap();
+            g.bench_function(BenchmarkId::new(*name, size), |b| {
+                b.iter(|| {
+                    black_box(
+                        FcfInterp::new(&fcf)
+                            .run(&prog, &mut Fuel::new(10_000_000))
+                            .unwrap()
+                            .tuples
+                            .len(),
+                    )
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_fcf_equivalence(c: &mut Criterion) {
+    let mut g = c.benchmark_group("E10/equiv_oracle");
+    for size in [2u64, 4, 8] {
+        let fcf = fcf_of_size(size);
+        let eq = fcf.equiv();
+        let u = recdb_core::Tuple::from_values([0, size + 5]);
+        let v = recdb_core::Tuple::from_values([1, size + 9]);
+        g.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, _| {
+            b.iter(|| black_box(eq.equivalent(&u, &v)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(700))
+        .warm_up_time(Duration::from_millis(200));
+    targets = bench_df_extraction, bench_qlfplus_programs, bench_fcf_equivalence
+}
+criterion_main!(benches);

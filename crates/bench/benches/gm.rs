@@ -1,0 +1,102 @@
+//! E11 — generic machines (Theorem 5.1): spawn/collapse dynamics. The
+//! §5 loading process spawns one unit per tuple; peak unit count and
+//! run time scale with the loaded relation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use recdb_core::{FiniteStructure, Fuel};
+use recdb_gm::{GmAction, GmBuilder, GmProgram};
+use recdb_hsdb::{ComponentGraph, HsDatabase};
+use std::hint::black_box;
+use std::time::Duration;
+
+/// Copy machine: load R1, store each tuple, erase, halt.
+fn copy_machine() -> GmProgram {
+    let mut b = GmBuilder::new();
+    let s0 = b.fresh();
+    let s1 = b.fresh();
+    let s2 = b.fresh();
+    let halt = b.fresh();
+    b.set(s0, GmAction::LoadRel { rel: 0, next: s1 });
+    b.set(s1, GmAction::StoreCurrent { rel: 1, next: s2 });
+    b.set(s2, GmAction::EraseTape(halt));
+    b.set(halt, GmAction::Halt);
+    b.build(2)
+}
+
+/// Double-load machine: |C₁|² units before collapse.
+fn double_load_machine() -> GmProgram {
+    let mut b = GmBuilder::new();
+    let s0 = b.fresh();
+    let s1 = b.fresh();
+    let s2 = b.fresh();
+    let s3 = b.fresh();
+    let halt = b.fresh();
+    b.set(s0, GmAction::LoadRel { rel: 0, next: s1 });
+    b.set(s1, GmAction::LoadRel { rel: 0, next: s2 });
+    b.set(s2, GmAction::StoreCurrent { rel: 1, next: s3 });
+    b.set(s3, GmAction::EraseTape(halt));
+    b.set(halt, GmAction::Halt);
+    b.build(2)
+}
+
+/// An hs graph whose edge-class count grows with `k`: k asymmetric
+/// "arrow chain" component types of distinct lengths.
+fn many_classes(k: usize) -> HsDatabase {
+    let comps: Vec<FiniteStructure> = (1..=k)
+        .map(|len| {
+            let n = len as u64 + 1;
+            FiniteStructure::graph(0..n, (0..n - 1).map(|i| (i, i + 1)))
+        })
+        .collect();
+    ComponentGraph::new(comps).into_hsdb()
+}
+
+fn bench_single_load(c: &mut Criterion) {
+    let gm = copy_machine();
+    let mut g = c.benchmark_group("E11/single_load");
+    for k in [1usize, 2, 3, 4] {
+        let hs = many_classes(k);
+        let classes = hs.reps(0).len();
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("classes{classes}")),
+            &k,
+            |b, _| {
+                b.iter(|| {
+                    let out = gm.run(&hs, &mut Fuel::new(10_000_000)).unwrap();
+                    black_box((out.peak_units, out.steps))
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_double_load(c: &mut Criterion) {
+    let gm = double_load_machine();
+    let mut g = c.benchmark_group("E11/double_load");
+    for k in [1usize, 2, 3] {
+        let hs = many_classes(k);
+        let classes = hs.reps(0).len();
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("classes{classes}")),
+            &k,
+            |b, _| {
+                b.iter(|| {
+                    let out = gm.run(&hs, &mut Fuel::new(10_000_000)).unwrap();
+                    black_box(out.peak_units)
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(700))
+        .warm_up_time(Duration::from_millis(200));
+    targets = bench_single_load, bench_double_load
+}
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! E2 — `L⁻` completeness machinery (Theorem 2.1): synthesis of the
+//! formula from a class union, and evaluation cost versus rank and
+//! class count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use recdb_bench::{infinite_db_zoo, random_tuples};
+use recdb_core::{enumerate_classes, ClassUnionQuery, Schema};
+use recdb_logic::LMinusQuery;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn class_union(schema: &Schema, rank: usize, keep_every: usize) -> ClassUnionQuery {
+    let classes: Vec<_> = enumerate_classes(schema, rank)
+        .into_iter()
+        .step_by(keep_every)
+        .collect();
+    ClassUnionQuery::new(schema.clone(), rank, classes)
+}
+
+fn bench_synthesis(c: &mut Criterion) {
+    let schema = Schema::with_names(&["E"], &[2]);
+    let mut g = c.benchmark_group("E2/synthesis");
+    for (rank, keep) in [(1usize, 1usize), (2, 4), (2, 1), (3, 64)] {
+        let cu = class_union(&schema, rank, keep);
+        let label = format!("rank{rank}/classes{}", cu.class_count());
+        g.bench_function(BenchmarkId::from_parameter(label), |b| {
+            b.iter(|| black_box(LMinusQuery::from_class_union(&cu)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_evaluation(c: &mut Criterion) {
+    let schema = Schema::with_names(&["E"], &[2]);
+    let dbs = infinite_db_zoo();
+    let mut g = c.benchmark_group("E2/evaluation");
+    for (rank, keep) in [(1usize, 1usize), (2, 4), (2, 1)] {
+        let q = LMinusQuery::from_class_union(&class_union(&schema, rank, keep));
+        let tuples = random_tuples(32, rank, 64, 9);
+        let label = format!("rank{rank}/classes{}", q.to_class_union().class_count());
+        g.bench_function(BenchmarkId::from_parameter(label), |b| {
+            b.iter(|| {
+                let mut hits = 0u32;
+                for db in &dbs {
+                    for t in &tuples {
+                        if q.eval(db, t).is_member() {
+                            hits += 1;
+                        }
+                    }
+                }
+                black_box(hits)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_compile_to_classes(c: &mut Criterion) {
+    let schema = Schema::with_names(&["E"], &[2]);
+    let q = LMinusQuery::parse("{ (x, y) | (E(x, y) | E(y, x)) & x != y }", &schema).unwrap();
+    c.bench_function("E2/compile_to_class_union", |b| {
+        b.iter(|| black_box(q.to_class_union().class_count()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(700))
+        .warm_up_time(Duration::from_millis(200));
+    targets = bench_synthesis, bench_evaluation, bench_compile_to_classes
+}
+criterion_main!(benches);

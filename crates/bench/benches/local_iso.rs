@@ -1,0 +1,75 @@
+//! E3 — the `≅ₗ` decision procedure (Prop 2.2): cost versus tuple
+//! rank and schema width. The oracle-question count is `Σᵢ 2·n^{aᵢ}`;
+//! the measurements should track it.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use recdb_bench::{infinite_db_zoo, random_tuples};
+use recdb_core::locally_isomorphic;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_by_rank(c: &mut Criterion) {
+    let dbs = infinite_db_zoo();
+    let mut g = c.benchmark_group("E3/lociso_by_rank");
+    for rank in [1usize, 2, 3, 4, 5] {
+        let us = random_tuples(16, rank, 32, 1);
+        let vs = random_tuples(16, rank, 32, 2);
+        g.bench_with_input(BenchmarkId::from_parameter(rank), &rank, |b, _| {
+            b.iter(|| {
+                let mut hits = 0u32;
+                for (u, v) in us.iter().zip(&vs) {
+                    if locally_isomorphic(&dbs[0], u, &dbs[1], v) {
+                        hits += 1;
+                    }
+                }
+                black_box(hits)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_by_schema_width(c: &mut Criterion) {
+    use recdb_core::{DatabaseBuilder, FnRelation};
+    let mut g = c.benchmark_group("E3/lociso_by_width");
+    for width in [1usize, 2, 4] {
+        let mut b1 = DatabaseBuilder::new("w1");
+        let mut b2 = DatabaseBuilder::new("w2");
+        for i in 0..width {
+            let m = i as u64 + 2;
+            b1 = b1.relation(
+                format!("R{i}"),
+                FnRelation::new("mod", 2, move |t| (t[0].value() + t[1].value()) % m == 0),
+            );
+            b2 = b2.relation(
+                format!("R{i}"),
+                FnRelation::new("mod", 2, move |t| (t[0].value() + t[1].value()) % m == 0),
+            );
+        }
+        let (d1, d2) = (b1.build(), b2.build());
+        let us = random_tuples(8, 3, 32, 3);
+        let vs = random_tuples(8, 3, 32, 4);
+        g.bench_with_input(BenchmarkId::from_parameter(width), &width, |b, _| {
+            b.iter(|| {
+                let mut hits = 0u32;
+                for (u, v) in us.iter().zip(&vs) {
+                    if locally_isomorphic(&d1, u, &d2, v) {
+                        hits += 1;
+                    }
+                }
+                black_box(hits)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(700))
+        .warm_up_time(Duration::from_millis(200));
+    targets = bench_by_rank, bench_by_schema_width
+}
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! E6 — recursive countable random structures (Prop 3.2): witness
+//! construction, extension-axiom verification, tree levels, and
+//! canonical-representative lookup on the Rado graph and the random
+//! digraph.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use recdb_core::{Elem, Tuple};
+use recdb_hsdb::{rado_graph, rado_witness, random_digraph, verify_rado_extension};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_witness_construction(c: &mut Criterion) {
+    let mut g = c.benchmark_group("E6/rado_witness");
+    for k in [1usize, 2, 3, 4] {
+        let xs: Vec<Elem> = (0..k as u64).map(|i| Elem(2 * i + 1)).collect();
+        g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            b.iter(|| black_box(rado_witness(&xs, &xs[..xs.len() / 2])))
+        });
+    }
+    g.finish();
+}
+
+fn bench_extension_axioms(c: &mut Criterion) {
+    let mut g = c.benchmark_group("E6/extension_axioms");
+    for k in [2usize, 3, 4] {
+        let xs: Vec<Elem> = (0..k as u64).map(|i| Elem(i + 1)).collect();
+        g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            b.iter(|| black_box(verify_rado_extension(&xs)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_tree_levels(c: &mut Criterion) {
+    let rado = rado_graph();
+    let digraph = random_digraph();
+    let mut g = c.benchmark_group("E6/tree_levels");
+    for n in [1usize, 2, 3] {
+        g.bench_with_input(BenchmarkId::new("rado", n), &n, |b, &n| {
+            b.iter(|| black_box(rado.t_n(n).len()))
+        });
+    }
+    for n in [1usize, 2] {
+        g.bench_with_input(BenchmarkId::new("digraph", n), &n, |b, &n| {
+            b.iter(|| black_box(digraph.t_n(n).len()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_canonical_rep(c: &mut Criterion) {
+    let rado = rado_graph();
+    let mut g = c.benchmark_group("E6/canonical_rep");
+    for rank in [1usize, 2, 3] {
+        let t: Tuple = (0..rank as u64).map(|i| Elem(10 + 3 * i)).collect();
+        g.bench_with_input(BenchmarkId::from_parameter(rank), &rank, |b, _| {
+            b.iter(|| black_box(rado.canonical_rep(&t)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(700))
+        .warm_up_time(Duration::from_millis(200));
+    targets = bench_witness_construction, bench_extension_axioms, bench_tree_levels, bench_canonical_rep
+}
+criterion_main!(benches);

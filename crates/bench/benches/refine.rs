@@ -1,0 +1,65 @@
+//! E7 — the `Vⁿᵣ` refinement pipeline (Props 3.5–3.7, Cor 3.3): cost
+//! of one refinement level, of the full `r₀` search, and of the direct
+//! `≡ᵣ` recursion it cross-checks against.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use recdb_hsdb::{equiv_r_tree, find_r0, paper_example_graph, v_n_r};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_vnr(c: &mut Criterion) {
+    let hs = paper_example_graph();
+    let mut g = c.benchmark_group("E7/v_n_r");
+    for (n, r) in [(1usize, 0usize), (1, 1), (1, 2), (2, 0), (2, 1)] {
+        let label = format!("n{n}r{r}");
+        g.bench_function(BenchmarkId::from_parameter(label), |b| {
+            b.iter(|| black_box(v_n_r(&hs, n, r).len()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_find_r0(c: &mut Criterion) {
+    let mut g = c.benchmark_group("E7/find_r0");
+    for (name, hs) in recdb_bench::hs_zoo() {
+        if name == "rado" {
+            continue; // shallow tree: r₀ search would hit the coding bound
+        }
+        g.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| black_box(find_r0(&hs, 1, 2)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_direct_equiv_r(c: &mut Criterion) {
+    let hs = paper_example_graph();
+    let nodes = hs.t_n(1);
+    let mut g = c.benchmark_group("E7/equiv_r_tree");
+    for r in [0usize, 1, 2] {
+        g.bench_with_input(BenchmarkId::from_parameter(r), &r, |b, &r| {
+            b.iter(|| {
+                let mut agree = 0u32;
+                for u in &nodes {
+                    for v in &nodes {
+                        if equiv_r_tree(&hs, u, v, r) {
+                            agree += 1;
+                        }
+                    }
+                }
+                black_box(agree)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(700))
+        .warm_up_time(Duration::from_millis(200));
+    targets = bench_vnr, bench_find_r0, bench_direct_equiv_r
+}
+criterion_main!(benches);

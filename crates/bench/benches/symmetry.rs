@@ -1,0 +1,79 @@
+//! E5 — high-symmetricity testing (§3.1, Prop 3.1): the coloring
+//! technique on the line (class counts grow with the window) vs the
+//! clique (bounded), and stretching costs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use recdb_core::{Elem, Tuple};
+use recdb_hsdb::{
+    count_rank1_classes, infinite_clique, line_equiv, stretch_hsdb, CandidateSource,
+    FnCandidates, FnEquiv,
+};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn colored_line_equiv() -> FnEquiv {
+    let eq = line_equiv();
+    FnEquiv::new(move |u: &Tuple, v: &Tuple| {
+        let zu = Tuple::from_values([0]).concat(u);
+        let zv = Tuple::from_values([0]).concat(v);
+        eq.equivalent(&zu, &zv)
+    })
+}
+
+fn clique_candidates() -> Arc<dyn CandidateSource> {
+    Arc::new(FnCandidates::new(|x: &Tuple| {
+        let mut d = x.distinct_elems();
+        let fresh = (0..).map(Elem).find(|e| !d.contains(e)).expect("ℕ");
+        d.push(fresh);
+        d
+    }))
+}
+
+fn bench_coloring_windows(c: &mut Criterion) {
+    let eq = colored_line_equiv();
+    let mut g = c.benchmark_group("E5/colored_line_window");
+    for window in [8u64, 16, 32, 64] {
+        let elements: Vec<Elem> = (0..window).map(Elem).collect();
+        g.bench_with_input(BenchmarkId::from_parameter(window), &window, |b, _| {
+            b.iter(|| black_box(count_rank1_classes(&eq, &elements)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_stretching(c: &mut Criterion) {
+    let clique = infinite_clique();
+    let mut g = c.benchmark_group("E5/stretch_clique");
+    for marks in [0u64, 1, 2, 3] {
+        let ms: Vec<Elem> = (0..marks).map(Elem).collect();
+        g.bench_with_input(BenchmarkId::from_parameter(marks), &marks, |b, _| {
+            b.iter(|| {
+                let s = stretch_hsdb(&clique, &ms, clique_candidates());
+                black_box(s.t_n(1).len())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_tree_levels(c: &mut Criterion) {
+    let mut g = c.benchmark_group("E5/tree_levels");
+    for (name, hs) in recdb_bench::hs_zoo() {
+        let depth = if name == "rado" { 2 } else { 3 };
+        g.bench_function(BenchmarkId::new("t_n", name), |b| {
+            b.iter(|| black_box(hs.t_n(depth).len()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(700))
+        .warm_up_time(Duration::from_millis(200));
+    targets = bench_coloring_windows, bench_stretching, bench_tree_levels
+}
+criterion_main!(benches);

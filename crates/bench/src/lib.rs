@@ -1,0 +1,136 @@
+//! # recdb-bench — workload generators shared by the benchmark
+//! harness and the `experiments` binary.
+//!
+//! The paper has no measured evaluation (it is a theory paper); the
+//! experiment suite defined in `DESIGN.md` §4 instead *validates each
+//! theorem empirically* and measures the cost of every algorithm the
+//! proofs rely on. This crate centralizes the workloads so the
+//! Criterion benches and the table-printing binary agree exactly.
+
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use recdb_core::{Database, DatabaseBuilder, Elem, FiniteRelation, FnRelation, Schema, Tuple};
+use recdb_hsdb::HsDatabase;
+
+/// Deterministic RNG for reproducible workloads.
+pub fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// A random finite graph database over `n` vertices with edge
+/// probability ~`density_pct`%.
+pub fn random_graph_db(n: u64, density_pct: u32, seed: u64) -> Database {
+    let mut r = rng(seed);
+    let mut edges = Vec::new();
+    for a in 0..n {
+        for b in 0..n {
+            if r.gen_ratio(density_pct, 100) {
+                edges.push((a, b));
+            }
+        }
+    }
+    DatabaseBuilder::new(format!("rand-{n}-{seed}"))
+        .relation("E", FiniteRelation::edges(edges))
+        .build()
+}
+
+/// A random tuple of the given rank over `0..universe`.
+pub fn random_tuple(rank: usize, universe: u64, r: &mut StdRng) -> Tuple {
+    (0..rank).map(|_| Elem(r.gen_range(0..universe))).collect()
+}
+
+/// A batch of random tuples.
+pub fn random_tuples(count: usize, rank: usize, universe: u64, seed: u64) -> Vec<Tuple> {
+    let mut r = rng(seed);
+    (0..count)
+        .map(|_| random_tuple(rank, universe, &mut r))
+        .collect()
+}
+
+/// The standard schema zoo for class-counting experiments (E1).
+pub fn schema_zoo() -> Vec<(&'static str, Schema)> {
+    vec![
+        ("a=(1)", Schema::new([1])),
+        ("a=(2)", Schema::new([2])),
+        ("a=(2,1)", Schema::new([2, 1])),
+        ("a=(3)", Schema::new([3])),
+        ("a=(1,1,1)", Schema::new([1, 1, 1])),
+    ]
+}
+
+/// The standard infinite databases for query experiments (E2–E4).
+pub fn infinite_db_zoo() -> Vec<Database> {
+    vec![
+        DatabaseBuilder::new("clique")
+            .relation("E", FnRelation::infinite_clique())
+            .build(),
+        DatabaseBuilder::new("line")
+            .relation("E", FnRelation::infinite_line())
+            .build(),
+        DatabaseBuilder::new("lt")
+            .relation("E", FnRelation::new("lt", 2, |t| t[0].value() < t[1].value()))
+            .build(),
+        DatabaseBuilder::new("divides")
+            .relation("E", FnRelation::divides())
+            .build(),
+    ]
+}
+
+/// The standard hs-r-db zoo (E5–E13), drawn from the crate catalog.
+/// Tree-depth practicality varies: the random structures are
+/// shallow-only (BIT coding), the others are unbounded — benches use
+/// the names to special-case depth. (The star and random digraph are
+/// excluded here to keep historical bench labels stable; iterate
+/// `recdb_hsdb::catalog()` for the full gallery.)
+pub fn hs_zoo() -> Vec<(&'static str, HsDatabase)> {
+    recdb_hsdb::catalog()
+        .into_iter()
+        .filter(|e| matches!(e.info.name, "clique" | "paper-example" | "cells-2inf" | "rado"))
+        .map(|e| (e.info.name, e.hs))
+        .collect()
+}
+
+/// Sample fcf databases of growing finite-part size (E10).
+pub fn fcf_of_size(df_size: u64) -> recdb_hsdb::FcfDatabase {
+    recdb_hsdb::FcfDatabase::new(
+        format!("fcf-{df_size}"),
+        vec![
+            recdb_hsdb::FcfRel::Finite(FiniteRelation::unary(0..df_size)),
+            recdb_hsdb::FcfRel::CoFinite(recdb_core::CoFiniteRelation::new(
+                2,
+                (0..df_size.min(4)).map(|i| Tuple::from_values([i, i])),
+            )),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workloads_are_deterministic() {
+        let a = random_tuples(5, 2, 10, 42);
+        let b = random_tuples(5, 2, 10, 42);
+        assert_eq!(a, b);
+        let g1 = random_graph_db(6, 30, 7);
+        let g2 = random_graph_db(6, 30, 7);
+        assert_eq!(
+            g1.query(0, &[Elem(0), Elem(1)]),
+            g2.query(0, &[Elem(0), Elem(1)])
+        );
+    }
+
+    #[test]
+    fn zoos_are_wellformed() {
+        assert_eq!(schema_zoo().len(), 5);
+        assert_eq!(infinite_db_zoo().len(), 4);
+        for (name, hs) in hs_zoo() {
+            hs.validate(1).unwrap_or_else(|e| panic!("{name}: {e}"));
+        }
+        let f = fcf_of_size(3);
+        assert_eq!(f.df().len(), 3);
+    }
+}

@@ -1,0 +1,356 @@
+//! The Theorem 6.1 gadget: no effective BP-r-complete language exists.
+//!
+//! Given recursive graphs `G₁`, `G₂`, build the r-db `B = (D, R₁, R₂)`
+//! with fresh elements `a, b, c`, `R₁ = {a}`, and
+//! `R₂ = E₁ ∪ E₂ ∪ {(a,b),(a,c)} ∪ {(b,v) | v ∈ D₁} ∪ {(c,u) | u ∈ D₂}`.
+//! Then `b ≅_B c` iff `G₁ ≅ G₂` — so a language able to express every
+//! recursive automorphism-preserving relation over every `B` would
+//! make graph isomorphism co-r.e., contradicting its Σ¹₁-hardness
+//! (Prop 2.1). The gadget is fully executable for finite input graphs
+//! (the experiments' stand-in for recursive ones: any finite fragment
+//! of a recursive graph is reached this way).
+
+use recdb_core::{
+    Database, DatabaseBuilder, Elem, FiniteStructure, FnRelation, Tuple,
+};
+use recdb_logic::{ef_finite_pair, finite_as_db, EfGame};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// Element encoding inside the gadget's domain:
+/// `a = 0`, `b = 1`, `c = 2`; a node `v` of `G₁` becomes `3 + 2v`,
+/// a node `u` of `G₂` becomes `4 + 2u`. All other naturals are
+/// isolated padding.
+#[derive(Clone)]
+pub struct Gadget {
+    /// The gadget database.
+    pub db: Database,
+    /// The input graphs (kept for the decision procedure).
+    g1: Arc<FiniteStructure>,
+    g2: Arc<FiniteStructure>,
+}
+
+/// The element `a`.
+pub const A: Elem = Elem(0);
+/// The element `b`.
+pub const B: Elem = Elem(1);
+/// The element `c`.
+pub const C: Elem = Elem(2);
+
+/// Encodes a `G₁` node.
+pub fn enc1(v: u64) -> Elem {
+    Elem(3 + 2 * v)
+}
+
+/// Encodes a `G₂` node.
+pub fn enc2(u: u64) -> Elem {
+    Elem(4 + 2 * u)
+}
+
+impl Gadget {
+    /// Builds the gadget from two (finite fragments of) graphs.
+    pub fn new(g1: FiniteStructure, g2: FiniteStructure) -> Self {
+        assert_eq!(g1.schema().arities(), &[2], "G₁ must be a graph");
+        assert_eq!(g2.schema().arities(), &[2], "G₂ must be a graph");
+        let g1 = Arc::new(g1);
+        let g2 = Arc::new(g2);
+        let (h1, h2) = (Arc::clone(&g1), Arc::clone(&g2));
+        let in1 = {
+            let g1 = Arc::clone(&g1);
+            move |e: Elem| {
+                e.value() >= 3
+                    && e.value() % 2 == 1
+                    && g1.universe().contains(&Elem((e.value() - 3) / 2))
+            }
+        };
+        let in2 = {
+            let g2 = Arc::clone(&g2);
+            move |e: Elem| {
+                e.value() >= 4
+                    && e.value().is_multiple_of(2)
+                    && g2.universe().contains(&Elem((e.value() - 4) / 2))
+            }
+        };
+        let r2 = {
+            let (in1, in2) = (in1.clone(), in2.clone());
+            FnRelation::new("R2", 2, move |t| {
+                let (x, y) = (t[0], t[1]);
+                // Edges of G₁ / G₂ (encoded).
+                if in1(x) && in1(y) {
+                    let tx = Tuple::from(vec![
+                        Elem((x.value() - 3) / 2),
+                        Elem((y.value() - 3) / 2),
+                    ]);
+                    return h1.contains(0, &tx);
+                }
+                if in2(x) && in2(y) {
+                    let tx = Tuple::from(vec![
+                        Elem((x.value() - 4) / 2),
+                        Elem((y.value() - 4) / 2),
+                    ]);
+                    return h2.contains(0, &tx);
+                }
+                // The spine: (a,b), (a,c), b→D₁, c→D₂.
+                (x == A && (y == B || y == C))
+                    || (x == B && in1(y))
+                    || (x == C && in2(y))
+            })
+        };
+        let db = DatabaseBuilder::new("gadget")
+            .relation("R1", FnRelation::new("R1", 1, |t| t[0] == A))
+            .relation("R2", r2)
+            .build();
+        Gadget { db, g1, g2 }
+    }
+
+    /// Decides `b ≅_B c` — which, by construction, holds iff
+    /// `G₁ ≅ G₂`. (Decidable here because the inputs are finite; for
+    /// genuinely recursive graphs this is the Σ¹₁-complete question.)
+    pub fn b_equiv_c(&self) -> bool {
+        self.g1.isomorphic_to(&self.g2)
+    }
+
+    /// Bounded-refutation evidence: the least EF round `r ≤ max_r` at
+    /// which the spoiler separates `(B, b)` from `(B, c)` playing over
+    /// the encoded universe, or `None` if the duplicator survives.
+    /// A returned round *proves* `b ≇_B c`; survival to `max_r` is
+    /// evidence (and for finite inputs, with `max_r` ≥ the universe
+    /// size, proof) of equivalence.
+    pub fn ef_separation_round(&self, max_r: usize) -> Option<usize> {
+        let pool: Vec<Elem> = self.relevant_elements().into_iter().collect();
+        let mut game = EfGame::new(&self.db, &self.db, pool.clone(), pool);
+        game.distinguishing_round(
+            &Tuple::from(vec![B]),
+            &Tuple::from(vec![C]),
+            max_r,
+        )
+    }
+
+    /// The non-padding elements: `a, b, c` and both encoded vertex
+    /// sets.
+    pub fn relevant_elements(&self) -> BTreeSet<Elem> {
+        let mut out: BTreeSet<Elem> = [A, B, C].into_iter().collect();
+        out.extend(self.g1.universe().iter().map(|e| enc1(e.value())));
+        out.extend(self.g2.universe().iter().map(|e| enc2(e.value())));
+        out
+    }
+
+    /// The relation `{b}` — recursive and automorphism-preserving on
+    /// `B` exactly when `b ≇_B c`: the relation whose inexpressibility
+    /// drives the Theorem 6.1 argument.
+    pub fn singleton_b_preserves_automorphisms(&self) -> bool {
+        !self.b_equiv_c()
+    }
+}
+
+/// Convenience: play the plain EF game between the two input graphs
+/// themselves (used by experiments to correlate gadget separation with
+/// direct graph distinguishability).
+pub fn graphs_ef_equivalent(g1: &FiniteStructure, g2: &FiniteStructure, r: usize) -> bool {
+    ef_finite_pair(g1, g2, r)
+}
+
+/// Checks on samples that a relation oracle preserves the
+/// automorphisms of a database (Def 6.1), where equivalence is
+/// decided by the supplied closure. Returns the first violating pair.
+pub fn find_preservation_violation(
+    equivalent: impl Fn(&Tuple, &Tuple) -> bool,
+    in_relation: impl Fn(&Tuple) -> bool,
+    samples: &[Tuple],
+) -> Option<(Tuple, Tuple)> {
+    for (i, u) in samples.iter().enumerate() {
+        for v in &samples[i + 1..] {
+            if equivalent(u, v) && in_relation(u) != in_relation(v) {
+                return Some((u.clone(), v.clone()));
+            }
+        }
+    }
+    None
+}
+
+/// Re-export helper: a finite graph fragment as a plain r-db (for
+/// cross-crate tests that need the graphs themselves as databases).
+pub fn fragment_as_db(g: &FiniteStructure) -> Database {
+    finite_as_db(g)
+}
+
+/// The remark after Theorem 6.1: the impossibility survives even when
+/// output relations are restricted to `{1,…,n}` — "simply take a=1,
+/// b=2, and c=3". This variant re-encodes the gadget with the three
+/// distinguished elements inside the restricted range, so the
+/// inexpressible relation `{b} = {2}` is a perfectly bounded output.
+///
+/// Encoding: `a = 1`, `b = 2`, `c = 3`; `G₁` nodes at `4 + 2v`, `G₂`
+/// nodes at `5 + 2u`.
+pub struct BoundedOutputGadget {
+    /// The gadget database.
+    pub db: Database,
+    g1: Arc<FiniteStructure>,
+    g2: Arc<FiniteStructure>,
+}
+
+impl BoundedOutputGadget {
+    /// Builds the bounded-output variant.
+    pub fn new(g1: FiniteStructure, g2: FiniteStructure) -> Self {
+        let g1 = Arc::new(g1);
+        let g2 = Arc::new(g2);
+        let (h1, h2) = (Arc::clone(&g1), Arc::clone(&g2));
+        let in1 = |e: Elem| e.value() >= 4 && e.value().is_multiple_of(2);
+        let in2 = |e: Elem| e.value() >= 5 && e.value() % 2 == 1;
+        let r2 = FnRelation::new("R2", 2, move |t| {
+            let (x, y) = (t[0], t[1]);
+            if in1(x) && in1(y) {
+                let tx = Tuple::from(vec![
+                    Elem((x.value() - 4) / 2),
+                    Elem((y.value() - 4) / 2),
+                ]);
+                return h1.universe().contains(&tx[0])
+                    && h1.universe().contains(&tx[1])
+                    && h1.contains(0, &tx);
+            }
+            if in2(x) && in2(y) {
+                let tx = Tuple::from(vec![
+                    Elem((x.value() - 5) / 2),
+                    Elem((y.value() - 5) / 2),
+                ]);
+                return h2.universe().contains(&tx[0])
+                    && h2.universe().contains(&tx[1])
+                    && h2.contains(0, &tx);
+            }
+            (x == Elem(1) && (y == Elem(2) || y == Elem(3)))
+                || (x == Elem(2) && in1(y))
+                || (x == Elem(3) && in2(y))
+        });
+        let db = DatabaseBuilder::new("bounded-gadget")
+            .relation("R1", FnRelation::new("R1", 1, |t| t[0] == Elem(1)))
+            .relation("R2", r2)
+            .build();
+        BoundedOutputGadget { db, g1, g2 }
+    }
+
+    /// `b ≅_B c` — still equivalent to `G₁ ≅ G₂`, but now `{2}` is a
+    /// relation over `{1,2,3}`: expressing it in any effective
+    /// bounded-output language would still decide graph isomorphism.
+    pub fn b_equiv_c(&self) -> bool {
+        self.g1.isomorphic_to(&self.g2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tri() -> FiniteStructure {
+        FiniteStructure::undirected_graph([0, 1, 2], [(0, 1), (1, 2), (2, 0)])
+    }
+    fn path() -> FiniteStructure {
+        FiniteStructure::undirected_graph([0, 1, 2], [(0, 1), (1, 2)])
+    }
+    fn tri_relabel() -> FiniteStructure {
+        FiniteStructure::undirected_graph([5, 6, 7], [(5, 6), (6, 7), (7, 5)])
+    }
+
+    #[test]
+    fn gadget_spine_relations() {
+        let g = Gadget::new(tri(), path());
+        assert!(g.db.query(0, &[A]));
+        assert!(!g.db.query(0, &[B]));
+        assert!(g.db.query(1, &[A, B]));
+        assert!(g.db.query(1, &[A, C]));
+        assert!(!g.db.query(1, &[B, C]));
+        // b is connected to every encoded G₁ node, c to every G₂ node.
+        for v in 0..3 {
+            assert!(g.db.query(1, &[B, enc1(v)]));
+            assert!(g.db.query(1, &[C, enc2(v)]));
+            assert!(!g.db.query(1, &[B, enc2(v)]));
+        }
+        // G₁'s edges are encoded: triangle edge (0,1).
+        assert!(g.db.query(1, &[enc1(0), enc1(1)]));
+        // Path's non-edge (0,2).
+        assert!(!g.db.query(1, &[enc2(0), enc2(2)]));
+        // Padding is isolated.
+        assert!(!g.db.query(1, &[Elem(100), Elem(102)]));
+    }
+
+    #[test]
+    fn isomorphic_inputs_make_b_and_c_equivalent() {
+        let g = Gadget::new(tri(), tri_relabel());
+        assert!(g.b_equiv_c());
+        assert!(!g.singleton_b_preserves_automorphisms());
+        // The duplicator survives deep EF games.
+        assert_eq!(g.ef_separation_round(3), None);
+    }
+
+    #[test]
+    fn non_isomorphic_inputs_separate_b_from_c() {
+        let g = Gadget::new(tri(), path());
+        assert!(!g.b_equiv_c());
+        assert!(g.singleton_b_preserves_automorphisms());
+        // The spoiler separates (B,b) from (B,c) at a small round:
+        // the triangle behind b is visible within 3 moves.
+        let r = g.ef_separation_round(3).expect("must separate");
+        assert!((1..=3).contains(&r), "separated at round {r}");
+    }
+
+    #[test]
+    fn ef_separation_correlates_with_graph_games() {
+        assert!(graphs_ef_equivalent(&tri(), &tri_relabel(), 3));
+        assert!(!graphs_ef_equivalent(&tri(), &path(), 3));
+    }
+
+    #[test]
+    fn preservation_checker_finds_violations() {
+        let _g = Gadget::new(tri(), tri_relabel());
+        // {b} does NOT preserve automorphisms when b ≅ c.
+        let samples = vec![Tuple::from(vec![B]), Tuple::from(vec![C])];
+        let viol = find_preservation_violation(
+            |u, v| {
+                // decide via the input-graph isomorphism: b ≅ c here.
+                (u[0] == B && v[0] == C) || (u[0] == C && v[0] == B) || u == v
+            },
+            |t| t[0] == B,
+            &samples,
+        );
+        assert!(viol.is_some());
+    }
+
+    #[test]
+    fn different_sizes_trivially_non_isomorphic() {
+        let single = FiniteStructure::undirected_graph([0], []);
+        let g = Gadget::new(tri(), single);
+        assert!(!g.b_equiv_c());
+        // b has 3 out-neighbours, c has 1: two spoiler moves expose
+        // the second neighbour.
+        let r = g.ef_separation_round(3).expect("must separate");
+        assert!(r <= 2, "separated at round {r}");
+    }
+}
+
+#[cfg(test)]
+mod bounded_output_tests {
+    use super::*;
+
+    #[test]
+    fn bounded_variant_preserves_the_reduction() {
+        let tri = FiniteStructure::undirected_graph([0, 1, 2], [(0, 1), (1, 2), (2, 0)]);
+        let tri2 = FiniteStructure::undirected_graph([5, 6, 7], [(5, 6), (6, 7), (7, 5)]);
+        let path = FiniteStructure::undirected_graph([0, 1, 2], [(0, 1), (1, 2)]);
+        assert!(BoundedOutputGadget::new(tri.clone(), tri2).b_equiv_c());
+        assert!(!BoundedOutputGadget::new(tri, path).b_equiv_c());
+    }
+
+    #[test]
+    fn distinguished_elements_sit_inside_1_to_3() {
+        let tri = FiniteStructure::undirected_graph([0, 1, 2], [(0, 1), (1, 2), (2, 0)]);
+        let g = BoundedOutputGadget::new(tri.clone(), tri);
+        // a=1 is the unique R1 element; the spine hangs off 1,2,3.
+        assert!(g.db.query(0, &[Elem(1)]));
+        assert!(!g.db.query(0, &[Elem(2)]));
+        assert!(g.db.query(1, &[Elem(1), Elem(2)]));
+        assert!(g.db.query(1, &[Elem(1), Elem(3)]));
+        // b=2 links to G₁'s side, c=3 to G₂'s.
+        assert!(g.db.query(1, &[Elem(2), Elem(4)]));
+        assert!(g.db.query(1, &[Elem(3), Elem(5)]));
+        assert!(!g.db.query(1, &[Elem(2), Elem(5)]));
+    }
+}

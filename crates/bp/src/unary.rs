@@ -1,0 +1,235 @@
+//! BP-completeness for unary r-dbs (Prop 6.1, Theorem 6.2).
+//!
+//! For unary databases, `u ≅_B v` iff `u ≅ₗ v` (Prop 6.1: the
+//! remaining constants can absorb any finite swap), so every recursive
+//! automorphism-preserving relation is a union of `≅ₗ` classes and is
+//! expressible in `L⁻` (Theorem 6.2). Both directions are executable
+//! here.
+
+use recdb_core::{
+    enumerate_classes, locally_equivalent, AtomicType, Database, Elem, Tuple,
+};
+use recdb_logic::{formula_for_class, LMinusQuery};
+use recdb_logic::ast::Formula;
+
+/// Prop 6.1 as a decision procedure: on a **unary** database, tuple
+/// equivalence `≅_B` is exactly `≅ₗ`.
+///
+/// # Panics
+/// Panics if the database has a non-unary relation (the proposition is
+/// specific to unary databases — the infinite line shows it fails for
+/// binary ones).
+pub fn unary_equivalent(db: &Database, u: &Tuple, v: &Tuple) -> bool {
+    assert!(
+        db.schema().arities().iter().all(|&a| a <= 1),
+        "Prop 6.1 applies to unary databases only"
+    );
+    locally_equivalent(db, u, v)
+}
+
+/// Theorem 6.2, constructive direction: expresses a recursive
+/// automorphism-preserving relation `R` of rank `n` over a unary
+/// database as an `L⁻` query. `R` is consulted through its membership
+/// oracle on one witness per `≅ₗ`-class realized among `probe`
+/// elements (which must hit every rank-1 class of `db` for the
+/// expression to be exact).
+pub fn express_unary_relation(
+    db: &Database,
+    rank: usize,
+    in_relation: impl Fn(&Tuple) -> bool,
+    probe: &[Elem],
+) -> LMinusQuery {
+    // Collect the realized classes and one inhabitant of each.
+    let mut reps: Vec<(AtomicType, Tuple)> = Vec::new();
+    collect_reps(db, rank, probe, &mut Vec::new(), &mut reps);
+    let mut disjuncts: Vec<Formula> = Vec::new();
+    for (ty, witness) in &reps {
+        if in_relation(witness) {
+            disjuncts.push(formula_for_class(ty, db.schema()));
+        }
+    }
+    LMinusQuery::new(db.schema().clone(), rank, Formula::or(disjuncts))
+        .expect("class formulas are quantifier-free and well-formed")
+}
+
+fn collect_reps(
+    db: &Database,
+    rank: usize,
+    probe: &[Elem],
+    prefix: &mut Vec<Elem>,
+    reps: &mut Vec<(AtomicType, Tuple)>,
+) {
+    if prefix.len() == rank {
+        let t = Tuple::from(prefix.clone());
+        let ty = AtomicType::of(db, &t);
+        if !reps.iter().any(|(seen, _)| *seen == ty) {
+            reps.push((ty, t));
+        }
+        return;
+    }
+    for &e in probe {
+        prefix.push(e);
+        collect_reps(db, rank, probe, prefix, reps);
+        prefix.pop();
+    }
+}
+
+/// Counts the `≅ₗ`-classes of rank `n` realized by a unary database —
+/// bounded by the closed-form `count_classes`, typically far below it
+/// (many boolean cell combinations are unrealized).
+pub fn realized_class_count(db: &Database, rank: usize, probe: &[Elem]) -> usize {
+    let mut reps = Vec::new();
+    collect_reps(db, rank, probe, &mut Vec::new(), &mut reps);
+    reps.len()
+}
+
+/// The number of syntactically possible classes, for comparison
+/// (Theorem 2.1's `Cⁿ`).
+pub fn possible_class_count(db: &Database, rank: usize) -> u128 {
+    recdb_core::count_classes(db.schema(), rank)
+}
+
+/// Verifies, over all probe tuples, that an `L⁻` expression agrees
+/// with a relation oracle. Returns the first disagreeing tuple.
+pub fn find_disagreement(
+    db: &Database,
+    q: &LMinusQuery,
+    in_relation: impl Fn(&Tuple) -> bool,
+    rank: usize,
+    probe: &[Elem],
+) -> Option<Tuple> {
+    let mut out = None;
+    let mut prefix = Vec::new();
+    probe_all(db, q, &in_relation, rank, probe, &mut prefix, &mut out);
+    out
+}
+
+fn probe_all(
+    db: &Database,
+    q: &LMinusQuery,
+    in_relation: &impl Fn(&Tuple) -> bool,
+    rank: usize,
+    probe: &[Elem],
+    prefix: &mut Vec<Elem>,
+    out: &mut Option<Tuple>,
+) {
+    if out.is_some() {
+        return;
+    }
+    if prefix.len() == rank {
+        let t = Tuple::from(prefix.clone());
+        if q.eval(db, &t).is_member() != in_relation(&t) {
+            *out = Some(t);
+        }
+        return;
+    }
+    for &e in probe {
+        prefix.push(e);
+        probe_all(db, q, in_relation, rank, probe, prefix, out);
+        prefix.pop();
+    }
+}
+
+/// All classes of `Cⁿ` for the database's schema, re-exported for the
+/// experiments (the unary case realizes only a fraction).
+pub fn all_classes(db: &Database, rank: usize) -> Vec<AtomicType> {
+    enumerate_classes(db.schema(), rank)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recdb_core::{tuple, DatabaseBuilder, FnRelation};
+
+    /// Unary db: P1 = evens, P2 = multiples of 3.
+    fn unary_db() -> Database {
+        DatabaseBuilder::new("u")
+            .relation("P1", FnRelation::new("even", 1, |t| t[0].value() % 2 == 0))
+            .relation("P2", FnRelation::new("div3", 1, |t| t[0].value() % 3 == 0))
+            .build()
+    }
+
+    fn probe() -> Vec<Elem> {
+        (0..12).map(Elem).collect()
+    }
+
+    #[test]
+    fn prop_6_1_unary_equivalence_is_local() {
+        let db = unary_db();
+        // 2 and 8: both even, neither div-3 → equivalent.
+        assert!(unary_equivalent(&db, &tuple![2], &tuple![8]));
+        // 2 and 6: 6 is div-3 → not equivalent.
+        assert!(!unary_equivalent(&db, &tuple![2], &tuple![6]));
+        // Pairs: (2,8) vs (8,2): same pattern, same cells → equivalent.
+        assert!(unary_equivalent(&db, &tuple![2, 8], &tuple![8, 2]));
+    }
+
+    #[test]
+    #[should_panic(expected = "unary")]
+    fn binary_database_rejected() {
+        let db = DatabaseBuilder::new("g")
+            .relation("E", FnRelation::infinite_clique())
+            .build();
+        unary_equivalent(&db, &tuple![1], &tuple![2]);
+    }
+
+    #[test]
+    fn express_the_even_cell() {
+        let db = unary_db();
+        // R = {x | x even}: automorphism-preserving (it is a cell
+        // union). Express and verify.
+        let q = express_unary_relation(&db, 1, |t| t[0].value() % 2 == 0, &probe());
+        assert_eq!(
+            find_disagreement(&db, &q, |t| t[0].value() % 2 == 0, 1, &probe()),
+            None
+        );
+    }
+
+    #[test]
+    fn express_a_rank2_relation() {
+        let db = unary_db();
+        // R = {(x,y) | x=y ∧ x even} ∪ {(x,y) | x≠y ∧ y div-3}.
+        let r = |t: &Tuple| {
+            (t[0] == t[1] && t[0].value().is_multiple_of(2))
+                || (t[0] != t[1] && t[1].value().is_multiple_of(3))
+        };
+        let q = express_unary_relation(&db, 2, r, &probe());
+        assert_eq!(find_disagreement(&db, &q, r, 2, &probe()), None);
+    }
+
+    #[test]
+    fn non_preserving_relation_is_misexpressed() {
+        let db = unary_db();
+        // R = {x | x = 2} does NOT preserve automorphisms (2 ≅ 8).
+        let r = |t: &Tuple| t[0].value() == 2;
+        let q = express_unary_relation(&db, 1, r, &probe());
+        // The synthesized query is a union of whole classes, so it
+        // must disagree with R somewhere (at 8, which shares 2's
+        // class).
+        let t = find_disagreement(&db, &q, r, 1, &probe()).expect("must disagree");
+        assert!(r(&tuple![2]));
+        assert!(!r(&t));
+    }
+
+    #[test]
+    fn realized_classes_far_below_possible() {
+        let db = unary_db();
+        // Rank 1: 4 cells realized (even/div3 combinations).
+        assert_eq!(realized_class_count(&db, 1, &probe()), 4);
+        assert_eq!(possible_class_count(&db, 1), 4);
+        // Rank 2: realized = pattern(=) 4 + pattern(≠) 16 = 20;
+        // possible counts both plus never-realized combinations — for
+        // unary schemas the two coincide at rank 2 as well: 4 + 16=20.
+        assert_eq!(realized_class_count(&db, 2, &probe()), 20);
+        assert_eq!(possible_class_count(&db, 2), 20);
+    }
+
+    #[test]
+    fn empty_and_full_relations_express_cleanly() {
+        let db = unary_db();
+        let q_none = express_unary_relation(&db, 1, |_| false, &probe());
+        let q_all = express_unary_relation(&db, 1, |_| true, &probe());
+        assert_eq!(find_disagreement(&db, &q_none, |_| false, 1, &probe()), None);
+        assert_eq!(find_disagreement(&db, &q_all, |_| true, 1, &probe()), None);
+    }
+}

@@ -1,0 +1,214 @@
+//! Relation combinators.
+//!
+//! §1's observation that "recursive relations are not closed under
+//! some of the simplest accepted relational operators" is about
+//! *projection* (the halting-relation example). The boolean operators
+//! and products, by contrast, **do** preserve recursiveness — each is
+//! one oracle call away — and this module provides them as first-class
+//! relation constructors. (They are also the operators the paper lists
+//! as "both generic and locally generic": unions, intersections,
+//! complementations.)
+
+use crate::{Elem, RecursiveRelation, RelationRef};
+use std::sync::Arc;
+
+/// `R ∪ S` (equal arity).
+pub struct UnionRelation {
+    left: RelationRef,
+    right: RelationRef,
+}
+
+/// `R ∩ S` (equal arity).
+pub struct IntersectRelation {
+    left: RelationRef,
+    right: RelationRef,
+}
+
+/// `¬R` — the complement within `Dⁿ`. The complement of a recursive
+/// relation is recursive (flip the oracle's answer).
+pub struct ComplementRelation {
+    inner: RelationRef,
+}
+
+/// `R × S` — tuples split into a left part for `R` and a right part
+/// for `S`. Arity is the sum.
+pub struct ProductRelation {
+    left: RelationRef,
+    right: RelationRef,
+}
+
+/// `R ∘ f` — membership after applying an element translation to each
+/// coordinate. With a bijective `f` this is the relation of an
+/// isomorphic copy of the database (the paper's "replace `1..n` by
+/// `n+1..2n`" constructions).
+pub struct MappedRelation {
+    inner: RelationRef,
+    f: Box<dyn Fn(Elem) -> Elem + Send + Sync>,
+}
+
+/// Builds `R ∪ S`.
+///
+/// # Panics
+/// Panics on arity mismatch.
+pub fn union(left: RelationRef, right: RelationRef) -> UnionRelation {
+    assert_eq!(left.arity(), right.arity(), "union needs equal arities");
+    UnionRelation { left, right }
+}
+
+/// Builds `R ∩ S`.
+///
+/// # Panics
+/// Panics on arity mismatch.
+pub fn intersect(left: RelationRef, right: RelationRef) -> IntersectRelation {
+    assert_eq!(left.arity(), right.arity(), "intersection needs equal arities");
+    IntersectRelation { left, right }
+}
+
+/// Builds `¬R`.
+pub fn complement(inner: RelationRef) -> ComplementRelation {
+    ComplementRelation { inner }
+}
+
+/// Builds `R × S`.
+pub fn product(left: RelationRef, right: RelationRef) -> ProductRelation {
+    ProductRelation { left, right }
+}
+
+/// Builds `R ∘ f`: `t ∈ mapped ⟺ f(t) ∈ R` (coordinatewise).
+pub fn mapped(
+    inner: RelationRef,
+    f: impl Fn(Elem) -> Elem + Send + Sync + 'static,
+) -> MappedRelation {
+    MappedRelation {
+        inner,
+        f: Box::new(f),
+    }
+}
+
+impl RecursiveRelation for UnionRelation {
+    fn arity(&self) -> usize {
+        self.left.arity()
+    }
+    fn contains(&self, t: &[Elem]) -> bool {
+        self.left.contains(t) || self.right.contains(t)
+    }
+}
+
+impl RecursiveRelation for IntersectRelation {
+    fn arity(&self) -> usize {
+        self.left.arity()
+    }
+    fn contains(&self, t: &[Elem]) -> bool {
+        self.left.contains(t) && self.right.contains(t)
+    }
+}
+
+impl RecursiveRelation for ComplementRelation {
+    fn arity(&self) -> usize {
+        self.inner.arity()
+    }
+    fn contains(&self, t: &[Elem]) -> bool {
+        !self.inner.contains(t)
+    }
+}
+
+impl RecursiveRelation for ProductRelation {
+    fn arity(&self) -> usize {
+        self.left.arity() + self.right.arity()
+    }
+    fn contains(&self, t: &[Elem]) -> bool {
+        let k = self.left.arity();
+        self.left.contains(&t[..k]) && self.right.contains(&t[k..])
+    }
+}
+
+impl RecursiveRelation for MappedRelation {
+    fn arity(&self) -> usize {
+        self.inner.arity()
+    }
+    fn contains(&self, t: &[Elem]) -> bool {
+        let mapped: Vec<Elem> = t.iter().map(|&e| (self.f)(e)).collect();
+        self.inner.contains(&mapped)
+    }
+}
+
+/// Convenience: wraps any concrete relation into a shared handle.
+pub fn shared(r: impl RecursiveRelation + 'static) -> RelationRef {
+    Arc::new(r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{tuple, FnRelation};
+
+    fn lt() -> RelationRef {
+        shared(FnRelation::new("lt", 2, |t| t[0].value() < t[1].value()))
+    }
+    fn eq_rel() -> RelationRef {
+        shared(FnRelation::new("eq", 2, |t| t[0] == t[1]))
+    }
+
+    #[test]
+    fn union_is_or() {
+        let le = union(lt(), eq_rel());
+        assert!(le.contains(tuple![1, 2].elems()));
+        assert!(le.contains(tuple![2, 2].elems()));
+        assert!(!le.contains(tuple![3, 2].elems()));
+    }
+
+    #[test]
+    fn intersect_is_and() {
+        let never = intersect(lt(), eq_rel());
+        assert!(!never.contains(tuple![1, 2].elems()));
+        assert!(!never.contains(tuple![2, 2].elems()));
+    }
+
+    #[test]
+    fn complement_flips() {
+        let ge = complement(lt());
+        assert!(ge.contains(tuple![2, 2].elems()));
+        assert!(ge.contains(tuple![3, 2].elems()));
+        assert!(!ge.contains(tuple![1, 2].elems()));
+        // Double complement is the original.
+        let lt2 = complement(shared(ge));
+        assert!(lt2.contains(tuple![1, 2].elems()));
+    }
+
+    #[test]
+    fn product_splits_the_tuple() {
+        let p = product(lt(), eq_rel());
+        assert_eq!(p.arity(), 4);
+        assert!(p.contains(tuple![1, 2, 5, 5].elems()));
+        assert!(!p.contains(tuple![2, 1, 5, 5].elems()));
+        assert!(!p.contains(tuple![1, 2, 5, 6].elems()));
+    }
+
+    #[test]
+    fn mapped_gives_isomorphic_copies() {
+        // Shift by 10: the isomorphic copy of `lt` on shifted elements.
+        let shifted = mapped(lt(), |e| Elem(e.value().wrapping_sub(10)));
+        assert!(shifted.contains(tuple![11, 12].elems()));
+        assert!(!shifted.contains(tuple![12, 11].elems()));
+    }
+
+    #[test]
+    #[should_panic(expected = "equal arities")]
+    fn arity_mismatch_rejected() {
+        let unary = shared(FnRelation::new("u", 1, |_| true));
+        let _ = union(lt(), unary);
+    }
+
+    #[test]
+    fn combinators_preserve_local_genericity_of_queries() {
+        // A class-union query against a combinator-built database
+        // behaves identically on locally isomorphic inputs — sanity
+        // that the combinators are plain relations.
+        use crate::{locally_equivalent, DatabaseBuilder};
+        let db = DatabaseBuilder::new("combo")
+            .relation_ref("LE", shared(union(lt(), eq_rel())))
+            .build();
+        assert!(locally_equivalent(&db, &tuple![1, 2], &tuple![5, 9]));
+        assert!(!locally_equivalent(&db, &tuple![1, 2], &tuple![9, 5]));
+    }
+}

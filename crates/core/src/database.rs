@@ -1,0 +1,355 @@
+//! Recursive relational data bases (r-dbs).
+//!
+//! Def 2.1: `B = (D, R₁,…,R_k)` is an r-db of type `a = (a₁,…,a_k)` if
+//! each `Rᵢ ⊆ D^{aᵢ}` is a recursive relation over the countably
+//! infinite recursive domain `D`. "We actually think of an r-db as a
+//! sequence of Turing machines that accept the appropriate relations" —
+//! here, a sequence of [`RecursiveRelation`] oracles.
+//!
+//! Query evaluators access relations **only** through
+//! [`Database::query`], which counts oracle calls. The counter is the
+//! executable form of the paper's insistence (footnote 2) that a query
+//! machine "is allowed to access the input machines only in order to
+//! ask questions of the form 'is u ∈ R'".
+
+use crate::{Domain, Elem, RecursiveRelation, RelationRef, Schema, Tuple};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A recursive relational data base.
+#[derive(Clone)]
+pub struct Database {
+    name: String,
+    domain: Domain,
+    schema: Schema,
+    relations: Vec<RelationRef>,
+    oracle_calls: Arc<AtomicU64>,
+}
+
+impl Database {
+    /// Assembles an r-db over the full domain ℕ.
+    ///
+    /// # Panics
+    /// Panics if relation arities disagree with the schema.
+    pub fn new(
+        name: impl Into<String>,
+        schema: Schema,
+        relations: Vec<RelationRef>,
+    ) -> Self {
+        Self::with_domain(name, Domain::naturals(), schema, relations)
+    }
+
+    /// Assembles an r-db over an explicit domain.
+    ///
+    /// # Panics
+    /// Panics if the relation count or arities disagree with the schema.
+    pub fn with_domain(
+        name: impl Into<String>,
+        domain: Domain,
+        schema: Schema,
+        relations: Vec<RelationRef>,
+    ) -> Self {
+        assert_eq!(
+            schema.len(),
+            relations.len(),
+            "schema has {} relations but {} were supplied",
+            schema.len(),
+            relations.len()
+        );
+        for (i, r) in relations.iter().enumerate() {
+            assert_eq!(
+                r.arity(),
+                schema.arity(i),
+                "relation {} has arity {} but schema says {}",
+                schema.name(i),
+                r.arity(),
+                schema.arity(i)
+            );
+        }
+        Database {
+            name: name.into(),
+            domain,
+            schema,
+            relations,
+            oracle_calls: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// The database name (for diagnostics).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The domain `D(B)`.
+    pub fn domain(&self) -> &Domain {
+        &self.domain
+    }
+
+    /// The type `a` of the database.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of relations `k`.
+    pub fn relation_count(&self) -> usize {
+        self.schema.len()
+    }
+
+    /// The oracle question "is `u ∈ Rᵢ`?" — the *only* sanctioned way
+    /// for query machinery to inspect a relation.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range or the tuple rank mismatches the
+    /// relation arity (a malformed oracle question, not a `false`).
+    pub fn query(&self, i: usize, tuple: &[Elem]) -> bool {
+        let rel = &self.relations[i];
+        assert_eq!(
+            tuple.len(),
+            rel.arity(),
+            "oracle question to {} has rank {} but arity is {}",
+            self.schema.name(i),
+            tuple.len(),
+            rel.arity()
+        );
+        self.oracle_calls.fetch_add(1, Ordering::Relaxed);
+        rel.contains(tuple)
+    }
+
+    /// Raw access to the relation object. Reserved for database
+    /// *construction* (stretchings, products); query evaluators must
+    /// use [`Self::query`].
+    pub fn relation(&self, i: usize) -> &RelationRef {
+        &self.relations[i]
+    }
+
+    /// Total oracle questions asked so far, across clones of this
+    /// database handle.
+    pub fn oracle_calls(&self) -> u64 {
+        self.oracle_calls.load(Ordering::Relaxed)
+    }
+
+    /// Resets the oracle-call counter.
+    pub fn reset_oracle_calls(&self) {
+        self.oracle_calls.store(0, Ordering::Relaxed);
+    }
+
+    /// An isomorphic copy of the database under the element bijection
+    /// `f` (with inverse `f_inv`): tuple `t` is in the copy's `Rᵢ` iff
+    /// `f_inv(t)` is in this database's `Rᵢ`. The paper's "replace
+    /// `1,…,n` by `n+1,…,2n`" constructions, as an operator.
+    ///
+    /// Correctness requires `f_inv ∘ f = id`; only `f_inv` is actually
+    /// evaluated (on query tuples), `f` documents the direction.
+    pub fn isomorphic_copy(
+        &self,
+        name: impl Into<String>,
+        f_inv: impl Fn(Elem) -> Elem + Send + Sync + Clone + 'static,
+    ) -> Database {
+        let mut relations: Vec<RelationRef> = Vec::with_capacity(self.relations.len());
+        for r in &self.relations {
+            relations.push(Arc::new(crate::combinators::mapped(
+                Arc::clone(r),
+                f_inv.clone(),
+            )) as RelationRef);
+        }
+        Database {
+            name: name.into(),
+            domain: self.domain.clone(),
+            schema: self.schema.clone(),
+            relations,
+            oracle_calls: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// The *stretching* of this database by the marked elements
+    /// `d₁,…,d_m` (§3.1): appends `m` unary singleton relations
+    /// `{(d₁)},…,{(d_m)}`.
+    pub fn stretch(&self, marks: &[Elem]) -> Database {
+        let schema = self.schema.stretched(marks.len());
+        let mut relations = self.relations.clone();
+        for &d in marks {
+            relations.push(Arc::new(crate::FiniteRelation::new(
+                1,
+                [Tuple::from(vec![d])],
+            )) as RelationRef);
+        }
+        Database {
+            name: format!("{}+stretch{:?}", self.name, marks),
+            domain: self.domain.clone(),
+            schema,
+            relations,
+            oracle_calls: Arc::new(AtomicU64::new(0)),
+        }
+    }
+}
+
+impl fmt::Debug for Database {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Database({} : {:?})", self.name, self.schema)
+    }
+}
+
+/// Builder for assembling databases readably.
+///
+/// ```
+/// use recdb_core::{DatabaseBuilder, FnRelation};
+/// let db = DatabaseBuilder::new("arith")
+///     .relation("mult", FnRelation::multiplication())
+///     .relation("div", FnRelation::divides())
+///     .build();
+/// assert_eq!(db.relation_count(), 2);
+/// ```
+pub struct DatabaseBuilder {
+    name: String,
+    domain: Domain,
+    names: Vec<String>,
+    relations: Vec<RelationRef>,
+}
+
+impl DatabaseBuilder {
+    /// Starts a builder for a database over ℕ.
+    pub fn new(name: impl Into<String>) -> Self {
+        DatabaseBuilder {
+            name: name.into(),
+            domain: Domain::naturals(),
+            names: Vec::new(),
+            relations: Vec::new(),
+        }
+    }
+
+    /// Sets the domain.
+    pub fn domain(mut self, d: Domain) -> Self {
+        self.domain = d;
+        self
+    }
+
+    /// Adds a named relation.
+    pub fn relation(
+        mut self,
+        name: impl Into<String>,
+        rel: impl RecursiveRelation + 'static,
+    ) -> Self {
+        self.names.push(name.into());
+        self.relations.push(Arc::new(rel));
+        self
+    }
+
+    /// Adds a shared relation handle.
+    pub fn relation_ref(mut self, name: impl Into<String>, rel: RelationRef) -> Self {
+        self.names.push(name.into());
+        self.relations.push(rel);
+        self
+    }
+
+    /// Finalizes the database.
+    pub fn build(self) -> Database {
+        let arities: Vec<usize> = self.relations.iter().map(|r| r.arity()).collect();
+        let name_refs: Vec<&str> = self.names.iter().map(String::as_str).collect();
+        let schema = Schema::with_names(&name_refs, &arities);
+        Database::with_domain(self.name, self.domain, schema, self.relations)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{tuple, FiniteRelation, FnRelation};
+
+    fn graph_db(edges: &[(u64, u64)]) -> Database {
+        DatabaseBuilder::new("g")
+            .relation("E", FiniteRelation::edges(edges.iter().copied()))
+            .build()
+    }
+
+    #[test]
+    fn query_counts_oracle_calls() {
+        let db = graph_db(&[(1, 2)]);
+        assert_eq!(db.oracle_calls(), 0);
+        assert!(db.query(0, tuple![1, 2].elems()));
+        assert!(!db.query(0, tuple![2, 1].elems()));
+        assert_eq!(db.oracle_calls(), 2);
+        db.reset_oracle_calls();
+        assert_eq!(db.oracle_calls(), 0);
+    }
+
+    #[test]
+    fn clones_share_the_counter() {
+        let db = graph_db(&[(1, 2)]);
+        let db2 = db.clone();
+        db2.query(0, tuple![1, 2].elems());
+        assert_eq!(db.oracle_calls(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "oracle question")]
+    fn malformed_oracle_question_panics() {
+        let db = graph_db(&[]);
+        db.query(0, tuple![1].elems());
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn schema_relation_arity_mismatch_rejected() {
+        let schema = Schema::new([3]);
+        Database::new(
+            "bad",
+            schema,
+            vec![Arc::new(FiniteRelation::edges([])) as RelationRef],
+        );
+    }
+
+    #[test]
+    fn stretching_appends_singletons() {
+        let db = graph_db(&[(1, 2)]);
+        let s = db.stretch(&[Elem(1), Elem(5)]);
+        assert_eq!(s.relation_count(), 3);
+        assert!(s.query(1, tuple![1].elems()));
+        assert!(!s.query(1, tuple![5].elems()));
+        assert!(s.query(2, tuple![5].elems()));
+        assert_eq!(s.schema().name(1), "Mark1");
+    }
+
+    #[test]
+    fn builder_names_relations() {
+        let db = DatabaseBuilder::new("arith")
+            .relation("mult", FnRelation::multiplication())
+            .build();
+        assert_eq!(db.schema().index_of("mult"), Some(0));
+        assert!(db.query(0, tuple![2, 3, 6].elems()));
+    }
+}
+
+#[cfg(test)]
+mod iso_copy_tests {
+    use super::*;
+    use crate::{locally_isomorphic, tuple, FiniteRelation};
+
+    #[test]
+    fn shifted_copy_is_isomorphic_at_shifted_tuples() {
+        let db = DatabaseBuilder::new("g")
+            .relation("E", FiniteRelation::edges([(1, 2), (2, 3), (1, 1)]))
+            .build();
+        // Shift every element up by 10: f(x) = x+10, f_inv(y) = y−10.
+        let copy = db.isomorphic_copy("g+10", |e| Elem(e.value().wrapping_sub(10)));
+        assert!(copy.query(0, tuple![11, 12].elems()));
+        assert!(copy.query(0, tuple![11, 11].elems()));
+        assert!(!copy.query(0, tuple![1, 2].elems()));
+        // (db, u) ≅ₗ (copy, f(u)) for any u.
+        for u in [tuple![1, 2], tuple![2, 2], tuple![3, 1]] {
+            let v = u.map(|e| Elem(e.value() + 10));
+            assert!(locally_isomorphic(&db, &u, &copy, &v));
+        }
+    }
+
+    #[test]
+    fn copy_has_independent_oracle_counter() {
+        let db = DatabaseBuilder::new("g")
+            .relation("E", FiniteRelation::edges([(1, 2)]))
+            .build();
+        let copy = db.isomorphic_copy("c", |e| e);
+        copy.query(0, tuple![1, 2].elems());
+        assert_eq!(copy.oracle_calls(), 1);
+        assert_eq!(db.oracle_calls(), 0);
+    }
+}

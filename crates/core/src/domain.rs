@@ -1,0 +1,133 @@
+//! Recursive countably infinite domains.
+//!
+//! Def 2.1 requires the domain `D` to be a countably infinite recursive
+//! set. We fix the ambient universe to ℕ (as the paper does w.l.o.g.)
+//! and represent a domain as a decidable predicate on [`Elem`] together
+//! with an enumerator. The default domain is all of ℕ.
+
+use crate::Elem;
+use std::fmt;
+use std::sync::Arc;
+
+/// A countably infinite recursive subset of ℕ.
+///
+/// Invariant (by contract, not checkable): the predicate holds for
+/// infinitely many values. All built-in constructors preserve this.
+#[derive(Clone)]
+pub struct Domain {
+    kind: DomainKind,
+}
+
+#[derive(Clone)]
+enum DomainKind {
+    /// All of ℕ.
+    All,
+    /// A decidable predicate with a human-readable name.
+    Pred {
+        name: String,
+        pred: Arc<dyn Fn(Elem) -> bool + Send + Sync>,
+    },
+}
+
+impl Domain {
+    /// The full domain ℕ.
+    pub fn naturals() -> Self {
+        Domain {
+            kind: DomainKind::All,
+        }
+    }
+
+    /// A domain given by a decidable predicate. The caller warrants the
+    /// predicate holds infinitely often.
+    pub fn predicate(
+        name: impl Into<String>,
+        pred: impl Fn(Elem) -> bool + Send + Sync + 'static,
+    ) -> Self {
+        Domain {
+            kind: DomainKind::Pred {
+                name: name.into(),
+                pred: Arc::new(pred),
+            },
+        }
+    }
+
+    /// The even naturals — a convenient proper recursive subdomain.
+    pub fn evens() -> Self {
+        Domain::predicate("evens", |e| e.value() % 2 == 0)
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, e: Elem) -> bool {
+        match &self.kind {
+            DomainKind::All => true,
+            DomainKind::Pred { pred, .. } => pred(e),
+        }
+    }
+
+    /// Enumerates the domain in increasing numeric order.
+    pub fn iter(&self) -> impl Iterator<Item = Elem> + '_ {
+        (0u64..).map(Elem).filter(move |&e| self.contains(e))
+    }
+
+    /// The first `n` elements of the domain in increasing order.
+    pub fn first_n(&self, n: usize) -> Vec<Elem> {
+        self.iter().take(n).collect()
+    }
+
+    /// The first domain element not occurring in `used` — the "first
+    /// element of D not appearing in u" step of every back-and-forth
+    /// construction in the paper (Prop 3.2, 3.3, 3.5).
+    pub fn first_not_in(&self, used: &[Elem]) -> Elem {
+        self.iter()
+            .find(|e| !used.contains(e))
+            .expect("domain is infinite by contract")
+    }
+}
+
+impl fmt::Debug for Domain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            DomainKind::All => write!(f, "Domain(ℕ)"),
+            DomainKind::Pred { name, .. } => write!(f, "Domain({name})"),
+        }
+    }
+}
+
+impl Default for Domain {
+    fn default() -> Self {
+        Domain::naturals()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn naturals_contains_everything() {
+        let d = Domain::naturals();
+        assert!(d.contains(Elem(0)));
+        assert!(d.contains(Elem(u64::MAX)));
+        assert_eq!(d.first_n(3), vec![Elem(0), Elem(1), Elem(2)]);
+    }
+
+    #[test]
+    fn evens_filters() {
+        let d = Domain::evens();
+        assert!(d.contains(Elem(4)));
+        assert!(!d.contains(Elem(5)));
+        assert_eq!(d.first_n(3), vec![Elem(0), Elem(2), Elem(4)]);
+    }
+
+    #[test]
+    fn first_not_in_skips_used_elements() {
+        let d = Domain::naturals();
+        assert_eq!(d.first_not_in(&[]), Elem(0));
+        assert_eq!(
+            d.first_not_in(&[Elem(0), Elem(1), Elem(3)]),
+            Elem(2),
+            "picks the least unused element"
+        );
+    }
+}

@@ -1,0 +1,317 @@
+//! Domain elements and tuples.
+//!
+//! The paper works over an arbitrary countably infinite recursive domain;
+//! "here N serves, without loss of generality, as the set of nodes"
+//! (§1). We follow that convention: an element is a natural number
+//! wrapped in the [`Elem`] newtype, and a tuple is a finite sequence of
+//! elements. The *rank* of a tuple is its length (the paper's `|u|`).
+
+use std::fmt;
+use std::ops::Deref;
+
+/// A single domain element.
+///
+/// Elements are opaque identifiers: queries may compare them for
+/// equality and pass them to relation oracles, but — to preserve
+/// genericity (Def 2.5) — must never branch on their numeric value.
+/// The interpreters in the sibling crates respect this discipline; the
+/// numeric payload exists so that *databases* (which are allowed to be
+/// arbitrary recursive objects) can compute membership.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Elem(pub u64);
+
+impl Elem {
+    /// The numeric payload. Only database implementations (membership
+    /// oracles, domain predicates, tree constructions) should use this.
+    #[inline]
+    pub fn value(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Debug for Elem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+impl fmt::Display for Elem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u64> for Elem {
+    fn from(v: u64) -> Self {
+        Elem(v)
+    }
+}
+
+/// A finite tuple of domain elements.
+///
+/// `Tuple` is the unit of currency of every query: relations decide
+/// membership of tuples, queries map databases to sets of tuples, and
+/// the equivalence relations of the paper (`≅`, `≅ₗ`, `≅_B`, `≡ᵣ`) are
+/// relations on tuples. The empty tuple `()` of rank 0 is a legal and
+/// important value (Prop 2.1 note, rank-0 relations).
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Tuple(Vec<Elem>);
+
+impl Tuple {
+    /// The empty tuple `( )` of rank 0.
+    pub fn empty() -> Self {
+        Tuple(Vec::new())
+    }
+
+    /// Builds a tuple from raw numeric values.
+    pub fn from_values<I: IntoIterator<Item = u64>>(vals: I) -> Self {
+        Tuple(vals.into_iter().map(Elem).collect())
+    }
+
+    /// The rank `|u|` of the tuple.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether this is the rank-0 tuple.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The elements as a slice.
+    #[inline]
+    pub fn elems(&self) -> &[Elem] {
+        &self.0
+    }
+
+    /// The tuple extension `ua` — shorthand for `(u₁,…,uₙ,a)` as in the
+    /// paper's footnote 5.
+    pub fn extend(&self, a: Elem) -> Tuple {
+        let mut v = Vec::with_capacity(self.0.len() + 1);
+        v.extend_from_slice(&self.0);
+        v.push(a);
+        Tuple(v)
+    }
+
+    /// Concatenation `uv`.
+    pub fn concat(&self, other: &Tuple) -> Tuple {
+        let mut v = Vec::with_capacity(self.0.len() + other.0.len());
+        v.extend_from_slice(&self.0);
+        v.extend_from_slice(&other.0);
+        Tuple(v)
+    }
+
+    /// Drops the last element, returning the prefix (or `None` for the
+    /// empty tuple).
+    pub fn parent(&self) -> Option<Tuple> {
+        if self.0.is_empty() {
+            None
+        } else {
+            Some(Tuple(self.0[..self.0.len() - 1].to_vec()))
+        }
+    }
+
+    /// The projection `u[i₁,…,iₘ]` used throughout §3.3: selects the
+    /// listed 0-based coordinates, in order (repeats allowed).
+    ///
+    /// # Panics
+    /// Panics if an index is out of range; callers validate indices
+    /// against the rank first.
+    pub fn project(&self, indices: &[usize]) -> Tuple {
+        Tuple(indices.iter().map(|&i| self.0[i]).collect())
+    }
+
+    /// Projects out the *first* coordinate — the semantics of the `↓`
+    /// operator of QLhs acts on this (§3.3, semantics item 4).
+    pub fn drop_first(&self) -> Option<Tuple> {
+        if self.0.is_empty() {
+            None
+        } else {
+            Some(Tuple(self.0[1..].to_vec()))
+        }
+    }
+
+    /// Exchanges the two rightmost coordinates — the underlying action
+    /// of the `~` operator of QLhs.
+    pub fn swap_last_two(&self) -> Option<Tuple> {
+        let n = self.0.len();
+        if n < 2 {
+            return None;
+        }
+        let mut v = self.0.clone();
+        v.swap(n - 1, n - 2);
+        Some(Tuple(v))
+    }
+
+    /// The distinct elements of the tuple, in first-occurrence order.
+    pub fn distinct_elems(&self) -> Vec<Elem> {
+        let mut out = Vec::new();
+        for &e in &self.0 {
+            if !out.contains(&e) {
+                out.push(e);
+            }
+        }
+        out
+    }
+
+    /// The *equality pattern* of the tuple: position `i` maps to the
+    /// index (in first-occurrence order) of the distinct element at
+    /// that position. Two tuples satisfy condition (ii) of Prop 2.2
+    /// (`uᵢ = uⱼ` iff `vᵢ = vⱼ`) exactly when their equality patterns
+    /// are equal.
+    pub fn equality_pattern(&self) -> Vec<usize> {
+        let mut blocks: Vec<Elem> = Vec::new();
+        let mut pat = Vec::with_capacity(self.0.len());
+        for &e in &self.0 {
+            match blocks.iter().position(|&b| b == e) {
+                Some(i) => pat.push(i),
+                None => {
+                    blocks.push(e);
+                    pat.push(blocks.len() - 1);
+                }
+            }
+        }
+        pat
+    }
+
+    /// Applies a function to every element, producing a new tuple.
+    pub fn map(&self, mut f: impl FnMut(Elem) -> Elem) -> Tuple {
+        Tuple(self.0.iter().map(|&e| f(e)).collect())
+    }
+}
+
+impl Deref for Tuple {
+    type Target = [Elem];
+    fn deref(&self) -> &[Elem] {
+        &self.0
+    }
+}
+
+impl From<Vec<Elem>> for Tuple {
+    fn from(v: Vec<Elem>) -> Self {
+        Tuple(v)
+    }
+}
+
+impl From<&[Elem]> for Tuple {
+    fn from(v: &[Elem]) -> Self {
+        Tuple(v.to_vec())
+    }
+}
+
+impl FromIterator<Elem> for Tuple {
+    fn from_iter<I: IntoIterator<Item = Elem>>(iter: I) -> Self {
+        Tuple(iter.into_iter().collect())
+    }
+}
+
+impl fmt::Debug for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, e) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{}", e.0)?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// Convenience macro for tuples of numeric literals.
+#[macro_export]
+macro_rules! tuple {
+    ($($x:expr),* $(,)?) => {
+        $crate::Tuple::from_values([$($x as u64),*])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_tuple_has_rank_zero() {
+        let t = Tuple::empty();
+        assert_eq!(t.rank(), 0);
+        assert!(t.is_empty());
+        assert_eq!(t.parent(), None);
+        assert_eq!(t.drop_first(), None);
+        assert_eq!(t.swap_last_two(), None);
+    }
+
+    #[test]
+    fn extend_and_parent_are_inverse() {
+        let t = Tuple::from_values([1, 2, 3]);
+        let e = t.extend(Elem(9));
+        assert_eq!(e.rank(), 4);
+        assert_eq!(e.parent().unwrap(), t);
+    }
+
+    #[test]
+    fn concat_ranks_add() {
+        let a = Tuple::from_values([1, 2]);
+        let b = Tuple::from_values([3]);
+        assert_eq!(a.concat(&b), Tuple::from_values([1, 2, 3]));
+        assert_eq!(a.concat(&Tuple::empty()), a);
+    }
+
+    #[test]
+    fn projection_selects_in_order_with_repeats() {
+        let t = Tuple::from_values([10, 20, 30]);
+        assert_eq!(t.project(&[2, 0, 0]), Tuple::from_values([30, 10, 10]));
+        assert_eq!(t.project(&[]), Tuple::empty());
+    }
+
+    #[test]
+    fn equality_pattern_canonical() {
+        assert_eq!(
+            Tuple::from_values([5, 7, 5, 9]).equality_pattern(),
+            vec![0, 1, 0, 2]
+        );
+        // Pattern is invariant under injective renaming.
+        assert_eq!(
+            Tuple::from_values([100, 3, 100, 42]).equality_pattern(),
+            vec![0, 1, 0, 2]
+        );
+        assert_eq!(Tuple::empty().equality_pattern(), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn distinct_elems_first_occurrence_order() {
+        let t = Tuple::from_values([4, 4, 2, 4, 7, 2]);
+        assert_eq!(t.distinct_elems(), vec![Elem(4), Elem(2), Elem(7)]);
+    }
+
+    #[test]
+    fn swap_last_two_swaps() {
+        let t = Tuple::from_values([1, 2, 3]);
+        assert_eq!(t.swap_last_two().unwrap(), Tuple::from_values([1, 3, 2]));
+        assert_eq!(
+            Tuple::from_values([8]).swap_last_two(),
+            None,
+            "rank-1 tuple has no two rightmost coordinates"
+        );
+    }
+
+    #[test]
+    fn drop_first_projects_out_first_coordinate() {
+        let t = Tuple::from_values([1, 2, 3]);
+        assert_eq!(t.drop_first().unwrap(), Tuple::from_values([2, 3]));
+    }
+
+    #[test]
+    fn tuple_macro_builds_tuples() {
+        assert_eq!(tuple![1, 2, 3], Tuple::from_values([1, 2, 3]));
+        let empty: Tuple = tuple![];
+        assert_eq!(empty, Tuple::empty());
+    }
+}

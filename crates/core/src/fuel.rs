@@ -1,0 +1,117 @@
+//! Bounded computation.
+//!
+//! Recursive databases are infinite objects, and several of the paper's
+//! procedures are only *semi*-decidable (oracle Turing machines may
+//! diverge; an r-query may be everywhere-undefined). To keep every API
+//! in this workspace total, potentially-divergent procedures take a
+//! [`Fuel`] budget and return [`FuelError`] on exhaustion instead of
+//! hanging. This is the workspace-wide answer to "lazy infinite
+//! structures": nothing blocks, everything is explicitly bounded.
+
+use std::fmt;
+
+/// A step budget for potentially-divergent computations.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Fuel {
+    remaining: u64,
+    initial: u64,
+}
+
+impl Fuel {
+    /// A budget of `n` steps.
+    pub fn new(n: u64) -> Self {
+        Fuel {
+            remaining: n,
+            initial: n,
+        }
+    }
+
+    /// Consumes one step, failing when the budget is exhausted.
+    #[inline]
+    pub fn tick(&mut self) -> Result<(), FuelError> {
+        self.consume(1)
+    }
+
+    /// Consumes `n` steps at once.
+    #[inline]
+    pub fn consume(&mut self, n: u64) -> Result<(), FuelError> {
+        if self.remaining < n {
+            self.remaining = 0;
+            Err(FuelError {
+                budget: self.initial,
+            })
+        } else {
+            self.remaining -= n;
+            Ok(())
+        }
+    }
+
+    /// Steps left in the budget.
+    #[inline]
+    pub fn remaining(&self) -> u64 {
+        self.remaining
+    }
+
+    /// Steps consumed so far.
+    #[inline]
+    pub fn used(&self) -> u64 {
+        self.initial - self.remaining
+    }
+}
+
+/// The budget of a bounded computation ran out.
+///
+/// This is *not* evidence of divergence — only that the answer was not
+/// reached within the budget. Callers distinguishing "undefined" from
+/// "needs more fuel" must reason at the call site (e.g. Prop 2.3 part 1
+/// lets a query evaluator conclude "everywhere undefined" only from the
+/// query's own structure, never from a timeout).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct FuelError {
+    /// The initial budget that was exhausted.
+    pub budget: u64,
+}
+
+impl fmt::Display for FuelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fuel budget of {} steps exhausted", self.budget)
+    }
+}
+
+impl std::error::Error for FuelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tick_counts_down() {
+        let mut f = Fuel::new(3);
+        assert!(f.tick().is_ok());
+        assert!(f.tick().is_ok());
+        assert_eq!(f.remaining(), 1);
+        assert_eq!(f.used(), 2);
+        assert!(f.tick().is_ok());
+        assert_eq!(f.tick(), Err(FuelError { budget: 3 }));
+    }
+
+    #[test]
+    fn consume_rejects_overdraft_and_zeroes() {
+        let mut f = Fuel::new(10);
+        assert!(f.consume(7).is_ok());
+        assert!(f.consume(4).is_err());
+        assert_eq!(f.remaining(), 0, "failed consume drains the budget");
+    }
+
+    #[test]
+    fn zero_fuel_fails_immediately() {
+        let mut f = Fuel::new(0);
+        assert!(f.tick().is_err());
+    }
+
+    #[test]
+    fn error_displays_budget() {
+        let e = FuelError { budget: 42 };
+        assert!(e.to_string().contains("42"));
+    }
+}

@@ -1,0 +1,276 @@
+//! Genericity and local genericity (Def 2.5) — checkers and
+//! counterexamples.
+//!
+//! A query is *generic* if it preserves isomorphisms and *locally
+//! generic* if it preserves local isomorphisms. Local genericity
+//! implies genericity but not conversely; Prop 2.5 shows the two
+//! coincide for *recursive* queries. This module provides:
+//!
+//! * [`amalgamate`] — the database `B₃` glued from two pairs, the
+//!   engine of the Prop 2.3/2.5 proofs;
+//! * empirical checkers that hunt for genericity violations over
+//!   supplied sample pairs;
+//! * the paper's counterexample query `{x | ∃y (x≠y ∧ (x,y) ∈ R)}`,
+//!   which is generic but **not** locally generic.
+
+use crate::{
+    locally_isomorphic, Database, DatabaseBuilder, Elem, FnRelation, QueryOutcome, RQuery,
+    Tuple,
+};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// The amalgamated database of Prop 2.3: given `(B₁,u)` and `(B₂,v)`,
+/// builds `B₃` whose domain contains (disjoint copies of) the elements
+/// of `u` and `v`, with `z ∈ Sᵢ` iff `z` is over `u`'s copy and
+/// `z ∈ Rᵢ`, or over `v`'s copy and `z ∈ R'ᵢ`. Returns `(B₃, u₃, v₃)`
+/// with `(B₁,u) ≅ₗ (B₃,u₃)` and `(B₂,v) ≅ₗ (B₃,v₃)`.
+///
+/// Encoding: the `j`-th distinct element of `u` becomes `2j`, the
+/// `j`-th distinct element of `v` becomes `2j+1`; all other naturals
+/// are fresh padding making the domain infinite, and belong to no
+/// relation.
+///
+/// # Panics
+/// Panics if the databases have different schemas.
+pub fn amalgamate(
+    b1: &Database,
+    u: &Tuple,
+    b2: &Database,
+    v: &Tuple,
+) -> (Database, Tuple, Tuple) {
+    assert_eq!(b1.schema(), b2.schema(), "amalgamation needs equal types");
+    let du = u.distinct_elems();
+    let dv = v.distinct_elems();
+    // Position ↦ new element maps.
+    let enc_u: BTreeMap<Elem, Elem> = du
+        .iter()
+        .enumerate()
+        .map(|(j, &e)| (e, Elem(2 * j as u64)))
+        .collect();
+    let enc_v: BTreeMap<Elem, Elem> = dv
+        .iter()
+        .enumerate()
+        .map(|(j, &e)| (e, Elem(2 * j as u64 + 1)))
+        .collect();
+    // Decoders captured by the relation closures.
+    let dec_u: Arc<Vec<Elem>> = Arc::new(du.clone());
+    let dec_v: Arc<Vec<Elem>> = Arc::new(dv.clone());
+    let mut builder = DatabaseBuilder::new(format!("amalgam({},{})", b1.name(), b2.name()));
+    for i in 0..b1.schema().len() {
+        let a = b1.schema().arity(i);
+        let (b1c, b2c) = (b1.clone(), b2.clone());
+        let (dec_u, dec_v) = (Arc::clone(&dec_u), Arc::clone(&dec_v));
+        let name = b1.schema().name(i).to_string();
+        builder = builder.relation(
+            name,
+            FnRelation::new("amalgam", a, move |t: &[Elem]| {
+                // A tuple is in Sᵢ iff it decodes entirely into u's copy
+                // and holds in B₁, or entirely into v's copy and holds
+                // in B₂. (Rank-0 tuples are vacuously "over" both
+                // copies; the paper's construction makes ( ) ∈ Sᵢ iff it
+                // is in Rᵢ — we take the union, consistent with both
+                // pairs being locally isomorphic to their originals
+                // only when the rank-0 facts agree.)
+                let over_u = t.iter().all(|e| e.value() % 2 == 0 && (e.value() / 2) < dec_u.len() as u64);
+                let over_v = t.iter().all(|e| e.value() % 2 == 1 && (e.value() / 2) < dec_v.len() as u64);
+                if over_u {
+                    let orig: Vec<Elem> = t.iter().map(|e| dec_u[(e.value() / 2) as usize]).collect();
+                    if b1c.query(i, &orig) {
+                        return true;
+                    }
+                }
+                if over_v {
+                    let orig: Vec<Elem> = t.iter().map(|e| dec_v[(e.value() / 2) as usize]).collect();
+                    if b2c.query(i, &orig) {
+                        return true;
+                    }
+                }
+                false
+            }),
+        );
+    }
+    let u3 = u.map(|e| enc_u[&e]);
+    let v3 = v.map(|e| enc_v[&e]);
+    (builder.build(), u3, v3)
+}
+
+/// A witnessed violation of (local) genericity.
+#[derive(Clone, Debug)]
+pub struct GenericityViolation {
+    /// The first pair's database name and tuple.
+    pub left: (String, Tuple),
+    /// The second pair's database name and tuple.
+    pub right: (String, Tuple),
+    /// The differing outcomes.
+    pub outcomes: (QueryOutcome, QueryOutcome),
+}
+
+/// Hunts for local-genericity violations of `q` over all pairs of the
+/// supplied samples: any two locally isomorphic `(db,u)` pairs must get
+/// equal outcomes. Returns the first violation found, or `None`.
+pub fn find_local_genericity_violation(
+    q: &dyn RQuery,
+    samples: &[(Database, Tuple)],
+) -> Option<GenericityViolation> {
+    for (i, (db1, u)) in samples.iter().enumerate() {
+        for (db2, v) in &samples[i..] {
+            if !locally_isomorphic(db1, u, db2, v) {
+                continue;
+            }
+            let (o1, o2) = (q.contains(db1, u), q.contains(db2, v));
+            if o1 != o2 {
+                return Some(GenericityViolation {
+                    left: (db1.name().to_string(), u.clone()),
+                    right: (db2.name().to_string(), v.clone()),
+                    outcomes: (o1, o2),
+                });
+            }
+        }
+    }
+    None
+}
+
+/// The paper's generic-but-not-locally-generic query (§2):
+/// `Q = {x | ∃y (x ≠ y ∧ (x,y) ∈ R)}` over a single binary relation.
+///
+/// Because the `∃y` ranges over an infinite domain, membership is only
+/// *semi*-decidable by search; `search_bound` caps the candidate `y`s
+/// (take it larger than any element relevant to the experiment). The
+/// query is generic — isomorphisms preserve the existence of a witness
+/// — but not locally generic: with `R₁ = {(a,a),(a,b)}` and
+/// `R₂ = {(c,c)}`, `(R₁,(a)) ≅ₗ (R₂,(c))` yet `a ∈ Q(R₁)` while
+/// `c ∉ Q(R₂)`.
+pub struct ExistsOtherNeighborQuery {
+    /// Exclusive upper bound on searched witnesses `y ∈ {0..bound}`.
+    pub search_bound: u64,
+}
+
+impl RQuery for ExistsOtherNeighborQuery {
+    fn output_rank(&self) -> Option<usize> {
+        Some(1)
+    }
+
+    fn contains(&self, db: &Database, u: &Tuple) -> QueryOutcome {
+        assert_eq!(db.schema().arities(), &[2], "query is over one binary relation");
+        if u.rank() != 1 {
+            return QueryOutcome::Defined(false);
+        }
+        let x = u[0];
+        for y in 0..self.search_bound {
+            let y = Elem(y);
+            if y != x && db.query(0, &[x, y]) {
+                return QueryOutcome::Defined(true);
+            }
+        }
+        QueryOutcome::Defined(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{tuple, FiniteRelation, Schema};
+
+    fn paper_r1() -> Database {
+        DatabaseBuilder::new("R1")
+            .relation("R", FiniteRelation::edges([(1, 1), (1, 2)]))
+            .build()
+    }
+    fn paper_r2() -> Database {
+        DatabaseBuilder::new("R2")
+            .relation("R", FiniteRelation::edges([(3, 3)]))
+            .build()
+    }
+
+    #[test]
+    fn amalgam_preserves_local_isomorphism_to_both_sides() {
+        let (b1, u) = (paper_r1(), tuple![1]);
+        let (b2, v) = (paper_r2(), tuple![3]);
+        let (b3, u3, v3) = amalgamate(&b1, &u, &b2, &v);
+        assert!(locally_isomorphic(&b1, &u, &b3, &u3));
+        assert!(locally_isomorphic(&b2, &v, &b3, &v3));
+    }
+
+    #[test]
+    fn amalgam_of_rank_two_pairs() {
+        let (b1, u) = (paper_r1(), tuple![1, 2]);
+        let (b2, v) = (paper_r2(), tuple![3, 4]);
+        let (b3, u3, v3) = amalgamate(&b1, &u, &b2, &v);
+        assert!(locally_isomorphic(&b1, &u, &b3, &u3));
+        assert!(locally_isomorphic(&b2, &v, &b3, &v3));
+        // The two images live on disjoint elements of B₃.
+        assert!(u3.elems().iter().all(|e| e.value() % 2 == 0));
+        assert!(v3.elems().iter().all(|e| e.value() % 2 == 1));
+    }
+
+    #[test]
+    fn paper_counterexample_violates_local_genericity() {
+        let q = ExistsOtherNeighborQuery { search_bound: 100 };
+        // a=1 has the other-neighbour b=2; c=3 has none.
+        assert!(q.contains(&paper_r1(), &tuple![1]).is_member());
+        assert!(!q.contains(&paper_r2(), &tuple![3]).is_member());
+        // And (R₁,(1)) ≅ₗ (R₂,(3)) — the violation.
+        let samples = vec![(paper_r1(), tuple![1]), (paper_r2(), tuple![3])];
+        let v = find_local_genericity_violation(&q, &samples)
+            .expect("the paper's counterexample must be detected");
+        assert_eq!(v.outcomes.0, QueryOutcome::Defined(true));
+        assert_eq!(v.outcomes.1, QueryOutcome::Defined(false));
+    }
+
+    #[test]
+    fn class_union_queries_pass_the_checker() {
+        use crate::{enumerate_classes, ClassUnionQuery};
+        let schema = Schema::new([2]);
+        // The reflexive-pair query: x=y ∧ R(x,x).
+        let classes: Vec<_> = enumerate_classes(&schema, 2)
+            .into_iter()
+            .filter(|ty| {
+                let (db, u) = ty.witness(&schema);
+                u[0] == u[1] && db.query(0, &[u[0], u[0]])
+            })
+            .collect();
+        let q = ClassUnionQuery::new(schema, 2, classes);
+        let samples = vec![
+            (paper_r1(), tuple![1, 1]),
+            (paper_r1(), tuple![2, 2]),
+            (paper_r2(), tuple![3, 3]),
+            (paper_r2(), tuple![4, 4]),
+            (paper_r1(), tuple![1, 2]),
+        ];
+        assert!(find_local_genericity_violation(&q, &samples).is_none());
+    }
+
+    #[test]
+    fn amalgam_padding_elements_are_isolated() {
+        let (b1, u) = (paper_r1(), tuple![1]);
+        let (b2, v) = (paper_r2(), tuple![3]);
+        let (b3, _, _) = amalgamate(&b1, &u, &b2, &v);
+        // Elements beyond the two copies belong to no relation.
+        assert!(!b3.query(0, &[Elem(40), Elem(41)]));
+        assert!(!b3.query(0, &[Elem(0), Elem(1)]), "cross-copy tuples absent");
+    }
+
+    #[test]
+    fn amalgam_equal_rank_forced_by_prop_2_3() {
+        // Prop 2.3 part 3's engine: if u ∈ Q(B₁) and v ∈ Q(B₂) for a
+        // locally generic Q, both transfer into B₃, whose output is one
+        // relation — hence |u| = |v|. We verify the transfer mechanics:
+        // any ClassUnionQuery answers identically on (B₁,u)/(B₃,u₃).
+        use crate::{enumerate_classes, ClassUnionQuery};
+        let schema = Schema::new([2]);
+        let q = ClassUnionQuery::new(
+            schema.clone(),
+            1,
+            enumerate_classes(&schema, 1).into_iter().filter(|ty| {
+                let (db, u) = ty.witness(&schema);
+                db.query(0, &[u[0], u[0]])
+            }),
+        );
+        let (b1, u) = (paper_r1(), tuple![1]);
+        let (b2, v) = (paper_r2(), tuple![3]);
+        let (b3, u3, v3) = amalgamate(&b1, &u, &b2, &v);
+        assert_eq!(q.contains(&b1, &u), q.contains(&b3, &u3));
+        assert_eq!(q.contains(&b2, &v), q.contains(&b3, &v3));
+    }
+}

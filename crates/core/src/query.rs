@@ -1,0 +1,313 @@
+//! r-queries and the structure of the computable ones.
+//!
+//! Def 2.3: an r-query of type `a` is a partial function `Q` mapping
+//! each r-db of type `a` to a recursive relation over its domain (or
+//! undefined). Def 2.6: a query is *computable* if it is recursive
+//! (oracle-TM decidable, Def 2.4) and generic (isomorphism-preserving,
+//! Def 2.5). Props 2.3–2.5 pin the computable queries down completely:
+//! a computable r-query is either everywhere undefined or is the union
+//! of finitely many `≅ₗ`-classes of a common rank. [`ClassUnionQuery`]
+//! is precisely that normal form.
+
+use crate::{AtomicType, Database, Schema, Tuple};
+use std::collections::BTreeSet;
+
+/// The outcome of asking whether a tuple belongs to a query's result.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum QueryOutcome {
+    /// `Q(B)` is defined and the tuple is in / not in `Q(B)`.
+    Defined(bool),
+    /// `Q(B)` is undefined. By Prop 2.3 part 1, a locally generic query
+    /// undefined anywhere is undefined everywhere.
+    Undefined,
+}
+
+impl QueryOutcome {
+    /// `Defined(true)`, conveniently.
+    pub fn is_member(self) -> bool {
+        self == QueryOutcome::Defined(true)
+    }
+}
+
+/// A tuple-membership query interface: the abstract r-query.
+///
+/// The trait is deliberately thin — it matches Def 2.4's oracle shape:
+/// given `B` (as oracles) and `u`, decide `u ∈ Q(B)`.
+pub trait RQuery: Send + Sync {
+    /// The common output rank of the query, if defined anywhere.
+    fn output_rank(&self) -> Option<usize>;
+
+    /// Decides membership of `u` in `Q(db)`.
+    fn contains(&self, db: &Database, u: &Tuple) -> QueryOutcome;
+}
+
+/// The normal form of a computable r-query (Prop 2.4): a union
+/// `Q̄ = ⋃ⱼ Cⁿ_{iⱼ}` of `≅ₗ`-equivalence classes of a common rank `n` —
+/// or the everywhere-undefined query.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ClassUnionQuery {
+    schema: Schema,
+    body: Option<ClassUnion>,
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct ClassUnion {
+    rank: usize,
+    classes: BTreeSet<AtomicType>,
+}
+
+impl ClassUnionQuery {
+    /// The everywhere-undefined query (`undefined` in `L⁻`).
+    pub fn undefined(schema: Schema) -> Self {
+        ClassUnionQuery { schema, body: None }
+    }
+
+    /// A query defined as the union of the given classes.
+    ///
+    /// # Panics
+    /// Panics if the classes do not all have rank `rank`.
+    pub fn new(
+        schema: Schema,
+        rank: usize,
+        classes: impl IntoIterator<Item = AtomicType>,
+    ) -> Self {
+        let classes: BTreeSet<AtomicType> = classes.into_iter().collect();
+        for c in &classes {
+            assert_eq!(c.rank(), rank, "class rank mismatch");
+        }
+        ClassUnionQuery {
+            schema,
+            body: Some(ClassUnion { rank, classes }),
+        }
+    }
+
+    /// The everywhere-empty query of the given rank (union of zero
+    /// classes) — defined, but with empty output on every database.
+    pub fn empty(schema: Schema, rank: usize) -> Self {
+        Self::new(schema, rank, [])
+    }
+
+    /// The schema this query applies to.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Whether the query is the everywhere-undefined one.
+    pub fn is_undefined(&self) -> bool {
+        self.body.is_none()
+    }
+
+    /// The classes in the union (empty iterator if undefined).
+    pub fn classes(&self) -> impl Iterator<Item = &AtomicType> {
+        self.body.iter().flat_map(|b| b.classes.iter())
+    }
+
+    /// Number of classes in the union.
+    pub fn class_count(&self) -> usize {
+        self.body.as_ref().map_or(0, |b| b.classes.len())
+    }
+
+    /// Complement within rank `n`: the union of all other classes.
+    /// Requires enumerating `Cⁿ`, so only viable for small ranks.
+    pub fn complement(&self) -> Option<ClassUnionQuery> {
+        let body = self.body.as_ref()?;
+        let all = crate::enumerate_classes(&self.schema, body.rank);
+        let classes: BTreeSet<AtomicType> = all
+            .into_iter()
+            .filter(|c| !body.classes.contains(c))
+            .collect();
+        Some(ClassUnionQuery {
+            schema: self.schema.clone(),
+            body: Some(ClassUnion {
+                rank: body.rank,
+                classes,
+            }),
+        })
+    }
+
+    /// Union with another class-union query of the same rank.
+    ///
+    /// # Panics
+    /// Panics on schema or rank mismatch; undefined absorbs.
+    pub fn union(&self, other: &ClassUnionQuery) -> ClassUnionQuery {
+        assert_eq!(self.schema, other.schema, "schema mismatch");
+        match (&self.body, &other.body) {
+            (None, _) | (_, None) => ClassUnionQuery::undefined(self.schema.clone()),
+            (Some(a), Some(b)) => {
+                assert_eq!(a.rank, b.rank, "rank mismatch in union");
+                ClassUnionQuery {
+                    schema: self.schema.clone(),
+                    body: Some(ClassUnion {
+                        rank: a.rank,
+                        classes: a.classes.union(&b.classes).cloned().collect(),
+                    }),
+                }
+            }
+        }
+    }
+
+    /// Intersection with another class-union query of the same rank.
+    ///
+    /// # Panics
+    /// Panics on schema or rank mismatch; undefined absorbs.
+    pub fn intersection(&self, other: &ClassUnionQuery) -> ClassUnionQuery {
+        assert_eq!(self.schema, other.schema, "schema mismatch");
+        match (&self.body, &other.body) {
+            (None, _) | (_, None) => ClassUnionQuery::undefined(self.schema.clone()),
+            (Some(a), Some(b)) => {
+                assert_eq!(a.rank, b.rank, "rank mismatch in intersection");
+                ClassUnionQuery {
+                    schema: self.schema.clone(),
+                    body: Some(ClassUnion {
+                        rank: a.rank,
+                        classes: a.classes.intersection(&b.classes).cloned().collect(),
+                    }),
+                }
+            }
+        }
+    }
+}
+
+impl RQuery for ClassUnionQuery {
+    fn output_rank(&self) -> Option<usize> {
+        self.body.as_ref().map(|b| b.rank)
+    }
+
+    fn contains(&self, db: &Database, u: &Tuple) -> QueryOutcome {
+        match &self.body {
+            None => QueryOutcome::Undefined,
+            Some(b) => {
+                if u.rank() != b.rank {
+                    return QueryOutcome::Defined(false);
+                }
+                // Membership is by atomic type — the query cannot see
+                // anything else (Prop 2.4).
+                let ty = AtomicType::of(db, u);
+                QueryOutcome::Defined(b.classes.contains(&ty))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{
+        enumerate_classes, tuple, DatabaseBuilder, FnRelation,
+    };
+
+    fn clique_db() -> Database {
+        DatabaseBuilder::new("K")
+            .relation("E", FnRelation::infinite_clique())
+            .build()
+    }
+
+    /// The "edge" query over graphs: pairs (x,y) with x≠y and E(x,y).
+    fn edge_query() -> ClassUnionQuery {
+        let schema = Schema::new([2]);
+        let classes = enumerate_classes(&schema, 2)
+            .into_iter()
+            .filter(|ty| {
+                let (db, u) = ty.witness(&schema);
+                u[0] != u[1] && db.query(0, &[u[0], u[1]])
+            })
+            .collect::<Vec<_>>();
+        ClassUnionQuery::new(Schema::new([2]), 2, classes)
+    }
+
+    #[test]
+    fn edge_query_on_clique() {
+        let q = edge_query();
+        let db = clique_db();
+        assert!(q.contains(&db, &tuple![1, 2]).is_member());
+        assert!(!q.contains(&db, &tuple![3, 3]).is_member());
+        assert_eq!(q.output_rank(), Some(2));
+    }
+
+    #[test]
+    fn wrong_rank_is_nonmember_not_undefined() {
+        let q = edge_query();
+        let db = clique_db();
+        assert_eq!(
+            q.contains(&db, &tuple![1]),
+            QueryOutcome::Defined(false),
+            "Q(B) is a rank-2 relation; rank-1 tuples are simply not in it"
+        );
+    }
+
+    #[test]
+    fn undefined_query_is_undefined_everywhere() {
+        let q = ClassUnionQuery::undefined(Schema::new([2]));
+        assert!(q.is_undefined());
+        assert_eq!(q.output_rank(), None);
+        assert_eq!(
+            q.contains(&clique_db(), &tuple![1, 2]),
+            QueryOutcome::Undefined
+        );
+    }
+
+    #[test]
+    fn complement_flips_membership() {
+        let q = edge_query();
+        let c = q.complement().unwrap();
+        let db = clique_db();
+        for u in [tuple![1, 2], tuple![3, 3], tuple![0, 7]] {
+            assert_ne!(
+                q.contains(&db, &u).is_member(),
+                c.contains(&db, &u).is_member(),
+                "complement must flip membership at {u:?}"
+            );
+        }
+        let schema = Schema::new([2]);
+        assert_eq!(
+            q.class_count() + c.class_count(),
+            crate::count_classes(&schema, 2) as usize
+        );
+    }
+
+    #[test]
+    fn union_and_intersection_behave_like_sets() {
+        let q = edge_query();
+        let c = q.complement().unwrap();
+        let all = q.union(&c);
+        let none = q.intersection(&c);
+        let db = clique_db();
+        assert!(all.contains(&db, &tuple![5, 5]).is_member());
+        assert!(!none.contains(&db, &tuple![1, 2]).is_member());
+    }
+
+    #[test]
+    fn empty_query_is_defined_and_empty() {
+        let q = ClassUnionQuery::empty(Schema::new([2]), 2);
+        assert!(!q.is_undefined());
+        assert_eq!(
+            q.contains(&clique_db(), &tuple![1, 2]),
+            QueryOutcome::Defined(false)
+        );
+    }
+
+    #[test]
+    fn undefined_absorbs_in_union() {
+        let q = edge_query();
+        let u = ClassUnionQuery::undefined(Schema::new([2]));
+        assert!(q.union(&u).is_undefined());
+        assert!(q.intersection(&u).is_undefined());
+    }
+
+    #[test]
+    fn query_is_locally_generic_by_construction() {
+        // Two locally equivalent pairs across *different* databases
+        // must receive the same answer (Def 2.5).
+        let q = edge_query();
+        let k = clique_db();
+        let line = DatabaseBuilder::new("L")
+            .relation("E", FnRelation::infinite_line())
+            .build();
+        // (K,(1,2)) and (line,(0,2)): both x≠y with a symmetric edge.
+        assert!(crate::locally_isomorphic(&k, &tuple![1, 2], &line, &tuple![0, 2]));
+        assert_eq!(
+            q.contains(&k, &tuple![1, 2]),
+            q.contains(&line, &tuple![0, 2])
+        );
+    }
+}

@@ -1,0 +1,396 @@
+//! Recursive relations: computable membership oracles.
+//!
+//! "A recursive relation is a recursive set of tuples over a recursive
+//! countably infinite domain. … A recursive relation R can be
+//! represented by a Turing machine, which on input u decides whether
+//! the tuple u is in R" (§2). We represent that deciding machine as any
+//! Rust value implementing [`RecursiveRelation`]: total, terminating
+//! membership. Queries are only ever given oracle access to relations
+//! ("is u ∈ R?"), exactly as in the paper's oracle-based Definition 2.4.
+
+use crate::{Elem, Tuple};
+use std::collections::BTreeSet;
+use std::fmt;
+use std::sync::Arc;
+
+/// A recursive (computable) relation of fixed arity.
+///
+/// Implementations must be *total* — `contains` always terminates — and
+/// *pure* — repeated queries give the same answer. This is the Rust
+/// rendering of "a Turing machine that accepts the relation".
+pub trait RecursiveRelation: Send + Sync {
+    /// The arity of the relation.
+    fn arity(&self) -> usize;
+
+    /// The membership oracle: is the tuple in the relation?
+    ///
+    /// # Panics
+    /// Implementations may panic if `tuple.len() != self.arity()`;
+    /// callers go through [`crate::Database`], which validates ranks.
+    fn contains(&self, tuple: &[Elem]) -> bool;
+
+    /// If the relation is finite *and its implementation knows it*,
+    /// the explicit set of tuples. This is representation metadata in
+    /// the sense of §4: finiteness of a recursive relation is not
+    /// decidable from the oracle, so only relations *constructed* as
+    /// finite report `Some`.
+    fn as_finite(&self) -> Option<&BTreeSet<Tuple>> {
+        None
+    }
+
+    /// If the relation is co-finite and knows it, the finite complement.
+    fn as_cofinite_complement(&self) -> Option<&BTreeSet<Tuple>> {
+        None
+    }
+}
+
+/// A shared, dynamically-typed recursive relation.
+pub type RelationRef = Arc<dyn RecursiveRelation>;
+
+/// An explicitly finite relation, stored as its set of tuples.
+///
+/// This is the "finite part" representation of §4 and also the relation
+/// type of ordinary finite databases (the Chandra–Harel baseline).
+#[derive(Clone, PartialEq, Eq)]
+pub struct FiniteRelation {
+    arity: usize,
+    tuples: BTreeSet<Tuple>,
+}
+
+impl FiniteRelation {
+    /// An empty relation of the given arity.
+    pub fn empty(arity: usize) -> Self {
+        FiniteRelation {
+            arity,
+            tuples: BTreeSet::new(),
+        }
+    }
+
+    /// Builds a finite relation from tuples, checking ranks.
+    ///
+    /// # Panics
+    /// Panics if any tuple's rank differs from `arity`.
+    pub fn new(arity: usize, tuples: impl IntoIterator<Item = Tuple>) -> Self {
+        let tuples: BTreeSet<Tuple> = tuples.into_iter().collect();
+        for t in &tuples {
+            assert_eq!(
+                t.rank(),
+                arity,
+                "tuple {t:?} has rank {} but relation arity is {arity}",
+                t.rank()
+            );
+        }
+        FiniteRelation { arity, tuples }
+    }
+
+    /// Builds a finite binary relation from edge pairs.
+    pub fn edges(pairs: impl IntoIterator<Item = (u64, u64)>) -> Self {
+        Self::new(
+            2,
+            pairs.into_iter().map(|(a, b)| Tuple::from_values([a, b])),
+        )
+    }
+
+    /// Builds a finite unary relation from element values.
+    pub fn unary(vals: impl IntoIterator<Item = u64>) -> Self {
+        Self::new(1, vals.into_iter().map(|v| Tuple::from_values([v])))
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Whether the relation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// The tuples, ordered.
+    pub fn tuples(&self) -> &BTreeSet<Tuple> {
+        &self.tuples
+    }
+
+    /// Inserts a tuple.
+    ///
+    /// # Panics
+    /// Panics on rank mismatch.
+    pub fn insert(&mut self, t: Tuple) {
+        assert_eq!(t.rank(), self.arity, "rank mismatch on insert");
+        self.tuples.insert(t);
+    }
+
+    /// All distinct elements appearing in any tuple — the *active
+    /// domain* of the relation.
+    pub fn active_domain(&self) -> BTreeSet<Elem> {
+        self.tuples
+            .iter()
+            .flat_map(|t| t.elems().iter().copied())
+            .collect()
+    }
+}
+
+impl RecursiveRelation for FiniteRelation {
+    fn arity(&self) -> usize {
+        self.arity
+    }
+
+    fn contains(&self, tuple: &[Elem]) -> bool {
+        debug_assert_eq!(tuple.len(), self.arity);
+        self.tuples.contains(&Tuple::from(tuple))
+    }
+
+    fn as_finite(&self) -> Option<&BTreeSet<Tuple>> {
+        Some(&self.tuples)
+    }
+}
+
+impl fmt::Debug for FiniteRelation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "FiniteRelation/{}{:?}", self.arity, self.tuples)
+    }
+}
+
+/// A co-finite relation: everything (of the right rank, over the whole
+/// domain ℕ) except a finite set of tuples. The "special indicator" of
+/// Def 4.1 is the type itself.
+#[derive(Clone, PartialEq, Eq)]
+pub struct CoFiniteRelation {
+    arity: usize,
+    complement: BTreeSet<Tuple>,
+}
+
+impl CoFiniteRelation {
+    /// The full relation `Dⁿ` (empty complement).
+    pub fn full(arity: usize) -> Self {
+        CoFiniteRelation {
+            arity,
+            complement: BTreeSet::new(),
+        }
+    }
+
+    /// Builds a co-finite relation from its finite complement.
+    ///
+    /// # Panics
+    /// Panics if any complement tuple's rank differs from `arity`.
+    pub fn new(arity: usize, complement: impl IntoIterator<Item = Tuple>) -> Self {
+        let complement: BTreeSet<Tuple> = complement.into_iter().collect();
+        for t in &complement {
+            assert_eq!(t.rank(), arity, "complement tuple rank mismatch");
+        }
+        CoFiniteRelation { arity, complement }
+    }
+
+    /// The finite complement `R̄`.
+    pub fn complement(&self) -> &BTreeSet<Tuple> {
+        &self.complement
+    }
+}
+
+impl RecursiveRelation for CoFiniteRelation {
+    fn arity(&self) -> usize {
+        self.arity
+    }
+
+    fn contains(&self, tuple: &[Elem]) -> bool {
+        debug_assert_eq!(tuple.len(), self.arity);
+        !self.complement.contains(&Tuple::from(tuple))
+    }
+
+    fn as_cofinite_complement(&self) -> Option<&BTreeSet<Tuple>> {
+        Some(&self.complement)
+    }
+}
+
+impl fmt::Debug for CoFiniteRelation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CoFiniteRelation/{} ℕⁿ∖{:?}", self.arity, self.complement)
+    }
+}
+
+/// A relation computed by an arbitrary (total) Rust closure — the
+/// general "Turing machine deciding membership". All the paper's
+/// arithmetic examples (`z = x·y`, trigonometric tables, step-bounded
+/// halting) are `FnRelation`s.
+pub struct FnRelation {
+    arity: usize,
+    name: String,
+    f: MembershipFn,
+}
+
+/// A boxed membership predicate.
+type MembershipFn = Box<dyn Fn(&[Elem]) -> bool + Send + Sync>;
+
+impl FnRelation {
+    /// Wraps a membership closure.
+    pub fn new(
+        name: impl Into<String>,
+        arity: usize,
+        f: impl Fn(&[Elem]) -> bool + Send + Sync + 'static,
+    ) -> Self {
+        FnRelation {
+            arity,
+            name: name.into(),
+            f: Box::new(f),
+        }
+    }
+
+    /// The paper's opening example of a recursive relation:
+    /// `{(x,y,z) | z = x·y}`.
+    pub fn multiplication() -> Self {
+        FnRelation::new("mult", 3, |t| {
+            t[0].value().checked_mul(t[1].value()) == Some(t[2].value())
+        })
+    }
+
+    /// The divisibility relation `{(x,y) | x divides y}` (with the
+    /// convention that 0 divides only 0).
+    pub fn divides() -> Self {
+        FnRelation::new("divides", 2, |t| {
+            let (x, y) = (t[0].value(), t[1].value());
+            if x == 0 {
+                y == 0
+            } else {
+                y % x == 0
+            }
+        })
+    }
+
+    /// The infinite clique: the complete (irreflexive) graph on ℕ — the
+    /// paper's canonical highly symmetric graph (§3.1).
+    pub fn infinite_clique() -> Self {
+        FnRelation::new("clique", 2, |t| t[0] != t[1])
+    }
+
+    /// The two-way infinite line graph of §3.1 (the "not highly
+    /// symmetric" example): nodes are ℕ arranged as
+    /// `… 7 5 3 1 2 4 6 …`, with symmetric edges between consecutive
+    /// positions. In ℤ-coordinates, node `2k+1 ↦ -k` (k ≥ 0) and
+    /// `2k ↦ k` (k ≥ 1), with 0 placed at the far even end via `0 ↦ 0`…
+    /// we instead use the standard fold: odd `2k+1 ↦ -(k+1)`, even
+    /// `2k ↦ k`. Adjacency is `|pos(x) − pos(y)| = 1`.
+    pub fn infinite_line() -> Self {
+        fn pos(e: Elem) -> i64 {
+            let v = e.value() as i64;
+            if v % 2 == 0 {
+                v / 2
+            } else {
+                -(v + 1) / 2
+            }
+        }
+        FnRelation::new("line", 2, |t| (pos(t[0]) - pos(t[1])).abs() == 1)
+    }
+}
+
+impl RecursiveRelation for FnRelation {
+    fn arity(&self) -> usize {
+        self.arity
+    }
+
+    fn contains(&self, tuple: &[Elem]) -> bool {
+        debug_assert_eq!(tuple.len(), self.arity);
+        (self.f)(tuple)
+    }
+}
+
+impl fmt::Debug for FnRelation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "FnRelation({}/{})", self.name, self.arity)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple;
+
+    #[test]
+    fn finite_relation_membership() {
+        let r = FiniteRelation::edges([(1, 2), (2, 3)]);
+        assert!(r.contains(tuple![1, 2].elems()));
+        assert!(!r.contains(tuple![2, 1].elems()));
+        assert_eq!(r.len(), 2);
+        assert_eq!(
+            r.active_domain(),
+            [Elem(1), Elem(2), Elem(3)].into_iter().collect()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "rank")]
+    fn finite_relation_rejects_wrong_rank() {
+        FiniteRelation::new(2, [tuple![1, 2, 3]]);
+    }
+
+    #[test]
+    fn cofinite_relation_is_complement_of_its_complement() {
+        let r = CoFiniteRelation::new(1, [tuple![5], tuple![7]]);
+        assert!(!r.contains(tuple![5].elems()));
+        assert!(!r.contains(tuple![7].elems()));
+        assert!(r.contains(tuple![6].elems()));
+        assert!(r.contains(tuple![1_000_000].elems()));
+    }
+
+    #[test]
+    fn full_cofinite_contains_everything() {
+        let r = CoFiniteRelation::full(2);
+        assert!(r.contains(tuple![0, 0].elems()));
+        assert!(r.as_cofinite_complement().unwrap().is_empty());
+    }
+
+    #[test]
+    fn multiplication_relation() {
+        let r = FnRelation::multiplication();
+        assert!(r.contains(tuple![6, 7, 42].elems()));
+        assert!(!r.contains(tuple![6, 7, 43].elems()));
+        assert!(r.contains(tuple![0, 999, 0].elems()));
+        // Overflow must not panic: checked_mul handles it.
+        assert!(!r.contains(tuple![u64::MAX, u64::MAX, 1].elems()));
+    }
+
+    #[test]
+    fn divides_relation() {
+        let r = FnRelation::divides();
+        assert!(r.contains(tuple![3, 12].elems()));
+        assert!(!r.contains(tuple![5, 12].elems()));
+        assert!(r.contains(tuple![0, 0].elems()));
+        assert!(!r.contains(tuple![0, 3].elems()));
+    }
+
+    #[test]
+    fn infinite_clique_is_irreflexive_and_total() {
+        let r = FnRelation::infinite_clique();
+        assert!(r.contains(tuple![3, 9].elems()));
+        assert!(!r.contains(tuple![4, 4].elems()));
+    }
+
+    #[test]
+    fn infinite_line_structure() {
+        let r = FnRelation::infinite_line();
+        // Positions: 0↦0, 1↦-1, 2↦1, 3↦-2, 4↦2, …
+        assert!(r.contains(tuple![0, 1].elems()), "0 and 1 are adjacent");
+        assert!(r.contains(tuple![0, 2].elems()), "0 and 2 are adjacent");
+        assert!(r.contains(tuple![2, 4].elems()), "positions 1,2 adjacent");
+        assert!(!r.contains(tuple![1, 2].elems()), "positions -1,1 not adjacent");
+        // Symmetry of the line.
+        assert!(r.contains(tuple![4, 2].elems()));
+        // Every node has degree exactly 2: check node 0's neighbours
+        // among the first few naturals.
+        let neigh: Vec<u64> = (0..10)
+            .filter(|&v| r.contains(&[Elem(0), Elem(v)]))
+            .collect();
+        assert_eq!(neigh, vec![1, 2]);
+    }
+
+    #[test]
+    fn finite_relations_report_finiteness_metadata() {
+        let f = FiniteRelation::unary([1]);
+        assert!(f.as_finite().is_some());
+        assert!(f.as_cofinite_complement().is_none());
+        let c = CoFiniteRelation::full(1);
+        assert!(c.as_finite().is_none());
+        assert!(c.as_cofinite_complement().is_some());
+        let g = FnRelation::divides();
+        assert!(g.as_finite().is_none() && g.as_cofinite_complement().is_none());
+    }
+}

@@ -1,0 +1,130 @@
+//! Structured sample generation for genericity experiments.
+//!
+//! The genericity checkers ([`crate::find_local_genericity_violation`])
+//! need *locally isomorphic pairs* to compare — random tuples rarely
+//! collide in type, so naive sampling wastes its checks. This module
+//! manufactures guaranteed-locally-isomorphic pairs: take a class
+//! witness, embed it into two differently-decorated databases under
+//! different element renamings, and return both `(db, tuple)` pairs.
+//! Any recursive query that answers them differently is *provably*
+//! non-generic (Prop 2.5 direction).
+
+use crate::{
+    enumerate_classes, AtomicType, Database, Elem, Schema, Tuple,
+};
+
+/// A pair of database/tuple pairs that are locally isomorphic by
+/// construction.
+#[derive(Clone, Debug)]
+pub struct IsoPair {
+    /// First side.
+    pub left: (Database, Tuple),
+    /// Second side.
+    pub right: (Database, Tuple),
+    /// The shared atomic type.
+    pub class: AtomicType,
+}
+
+/// Builds one locally-isomorphic pair from a class: the witness
+/// database and an isomorphic copy shifted by `shift` (every element
+/// `e ↦ e + shift`), with the tuple renamed accordingly.
+///
+/// # Panics
+/// Panics if `shift == 0` (the two sides would be identical).
+pub fn iso_pair_from_class(schema: &Schema, class: &AtomicType, shift: u64) -> IsoPair {
+    assert_ne!(shift, 0, "shift must produce a distinct copy");
+    let (db, u) = class.witness(schema);
+    let copy = db.isomorphic_copy(
+        format!("witness+{shift}"),
+        move |e| Elem(e.value().wrapping_sub(shift)),
+    );
+    let v = u.map(|e| Elem(e.value() + shift));
+    IsoPair {
+        left: (db, u),
+        right: (copy, v),
+        class: class.clone(),
+    }
+}
+
+/// Generates one pair per class of rank `rank` (subsampled by
+/// `keep_every` to bound the batch), each with a distinct shift.
+pub fn iso_pairs(schema: &Schema, rank: usize, keep_every: usize) -> Vec<IsoPair> {
+    enumerate_classes(schema, rank)
+        .into_iter()
+        .step_by(keep_every.max(1))
+        .enumerate()
+        .map(|(i, class)| iso_pair_from_class(schema, &class, 10 + i as u64))
+        .collect()
+}
+
+/// Runs a query oracle over generated pairs and returns the classes on
+/// which the two sides disagree — direct evidence of non-genericity.
+pub fn genericity_disagreements(
+    schema: &Schema,
+    rank: usize,
+    keep_every: usize,
+    query: impl Fn(&Database, &Tuple) -> bool,
+) -> Vec<AtomicType> {
+    iso_pairs(schema, rank, keep_every)
+        .into_iter()
+        .filter(|p| {
+            query(&p.left.0, &p.left.1) != query(&p.right.0, &p.right.1)
+        })
+        .map(|p| p.class)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{locally_isomorphic, RQuery};
+
+    fn graph_schema() -> Schema {
+        Schema::with_names(&["E"], &[2])
+    }
+
+    #[test]
+    fn pairs_are_locally_isomorphic_by_construction() {
+        for p in iso_pairs(&graph_schema(), 2, 3) {
+            assert!(locally_isomorphic(
+                &p.left.0, &p.left.1, &p.right.0, &p.right.1
+            ));
+            assert_ne!(p.left.1, p.right.1, "sides use different elements");
+        }
+    }
+
+    #[test]
+    fn generic_queries_never_disagree() {
+        // A class-union query (generic by construction) sees no
+        // disagreement on any pair.
+        let schema = graph_schema();
+        let classes: Vec<AtomicType> = enumerate_classes(&schema, 2)
+            .into_iter()
+            .step_by(2)
+            .collect();
+        let q = crate::ClassUnionQuery::new(schema.clone(), 2, classes);
+        let bad = genericity_disagreements(&schema, 2, 1, |db, t| {
+            q.contains(db, t).is_member()
+        });
+        assert!(bad.is_empty(), "generic query flagged: {bad:?}");
+    }
+
+    #[test]
+    fn value_peeking_queries_are_caught() {
+        // A query that inspects raw element values is exposed on
+        // almost every class.
+        let schema = graph_schema();
+        let bad = genericity_disagreements(&schema, 1, 1, |_db, t| {
+            t[0].value() < 5 // branches on identity: not generic
+        });
+        assert!(!bad.is_empty(), "value-peeking must be detected");
+    }
+
+    #[test]
+    #[should_panic(expected = "shift")]
+    fn zero_shift_rejected() {
+        let schema = graph_schema();
+        let class = enumerate_classes(&schema, 1).pop().unwrap();
+        let _ = iso_pair_from_class(&schema, &class, 0);
+    }
+}

@@ -1,0 +1,148 @@
+//! Database types (schemas).
+//!
+//! A recursive relational data base of *type* `a = (a₁,…,a_k)` (Def 2.1)
+//! has `k` relations, the `i`-th of arity `aᵢ`. We call the type a
+//! [`Schema`] to match database parlance; the paper's "type" is exactly
+//! the tuple of arities.
+
+use std::fmt;
+
+/// The type `a = (a₁,…,a_k)` of a database: the arities of its
+/// relations, in order. Arity 0 is allowed (rank-0 relations; the
+/// atomic formula `( ) ∈ R` is legal in `L⁻`).
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Schema {
+    arities: Vec<usize>,
+    names: Vec<String>,
+}
+
+impl Schema {
+    /// A schema with relations named `R1,…,Rk` of the given arities.
+    pub fn new(arities: impl Into<Vec<usize>>) -> Self {
+        let arities = arities.into();
+        let names = (1..=arities.len()).map(|i| format!("R{i}")).collect();
+        Schema { arities, names }
+    }
+
+    /// A schema with explicitly named relations.
+    ///
+    /// # Panics
+    /// Panics if `names` and `arities` have different lengths or names
+    /// are not distinct.
+    pub fn with_names(names: &[&str], arities: &[usize]) -> Self {
+        assert_eq!(names.len(), arities.len(), "names/arities mismatch");
+        for (i, n) in names.iter().enumerate() {
+            assert!(
+                !names[..i].contains(n),
+                "duplicate relation name {n:?} in schema"
+            );
+        }
+        Schema {
+            arities: arities.to_vec(),
+            names: names.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    /// Number of relations `k`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.arities.len()
+    }
+
+    /// Whether the schema has no relations.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.arities.is_empty()
+    }
+
+    /// The arity `aᵢ` of relation `i` (0-based).
+    #[inline]
+    pub fn arity(&self, i: usize) -> usize {
+        self.arities[i]
+    }
+
+    /// All arities in order.
+    #[inline]
+    pub fn arities(&self) -> &[usize] {
+        &self.arities
+    }
+
+    /// The name of relation `i` (0-based).
+    #[inline]
+    pub fn name(&self, i: usize) -> &str {
+        &self.names[i]
+    }
+
+    /// Looks up a relation index by name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.names.iter().position(|n| n == name)
+    }
+
+    /// The schema of a *stretching* of this schema by `m` new unary
+    /// singleton relations (§3.1): `(D, R₁,…,R_k, {(d₁)},…,{(d_m)})`.
+    pub fn stretched(&self, m: usize) -> Schema {
+        let mut arities = self.arities.clone();
+        let mut names = self.names.clone();
+        for j in 1..=m {
+            arities.push(1);
+            names.push(format!("Mark{j}"));
+        }
+        Schema { arities, names }
+    }
+}
+
+impl fmt::Debug for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Schema(")?;
+        for i in 0..self.len() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}/{}", self.names[i], self.arities[i])?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_names_are_r1_rk() {
+        let s = Schema::new([2, 1]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.name(0), "R1");
+        assert_eq!(s.name(1), "R2");
+        assert_eq!(s.arity(0), 2);
+        assert_eq!(s.arity(1), 1);
+    }
+
+    #[test]
+    fn index_of_finds_named_relations() {
+        let s = Schema::with_names(&["E", "Color"], &[2, 1]);
+        assert_eq!(s.index_of("E"), Some(0));
+        assert_eq!(s.index_of("Color"), Some(1));
+        assert_eq!(s.index_of("Missing"), None);
+    }
+
+    #[test]
+    fn stretching_appends_unary_marks() {
+        let s = Schema::new([2]).stretched(2);
+        assert_eq!(s.arities(), &[2, 1, 1]);
+        assert_eq!(s.name(1), "Mark1");
+        assert_eq!(s.name(2), "Mark2");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate relation name")]
+    fn duplicate_names_rejected() {
+        Schema::with_names(&["R", "R"], &[1, 1]);
+    }
+
+    #[test]
+    fn arity_zero_is_legal() {
+        let s = Schema::new([0]);
+        assert_eq!(s.arity(0), 0);
+    }
+}

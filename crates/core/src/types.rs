@@ -1,0 +1,444 @@
+//! Atomic types: the equivalence classes of `≅ₗ`.
+//!
+//! For a fixed database type `a` and rank `n`, `≅ₗ` is an equivalence
+//! relation **of finite index** on pairs `(B,u)` (§2); the paper writes
+//! its classes `Cⁿ = {Cⁿ₁,…,Cⁿₘ}`. An [`AtomicType`] is the canonical
+//! description of one class: the equality pattern among the tuple's
+//! positions plus, for every relation and every index vector over the
+//! distinct elements, one membership bit. The paper's example: for type
+//! `a = (2,1)` there are `2² + 2⁴·2² = 68` classes of rank 2 — see
+//! [`count_classes`] and the tests.
+//!
+//! Atomic types are the pivot of the whole paper: computable r-queries
+//! are exactly unions of classes (Prop 2.4), and `L⁻` formulas are
+//! exactly descriptions of such unions (Theorem 2.1).
+
+use crate::lociso::index_vectors;
+use crate::{Database, DatabaseBuilder, FiniteRelation, Schema, Tuple};
+
+/// A canonical `≅ₗ`-equivalence class of rank-`n` pairs `(B,u)` for a
+/// fixed schema.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct AtomicType {
+    /// Rank `n` of the tuples in the class.
+    rank: usize,
+    /// Canonical equality pattern: `pattern[i]` is the block index (in
+    /// first-occurrence order) of position `i`. A restricted-growth
+    /// string.
+    pattern: Vec<usize>,
+    /// Number of distinct elements `m` (= number of blocks).
+    blocks: usize,
+    /// `facts[i][j]` — whether the `j`-th index vector (odometer order,
+    /// as produced by `index_vectors(blocks, arity_i)`) over the block
+    /// representatives lies in relation `i`.
+    facts: Vec<Vec<bool>>,
+}
+
+impl AtomicType {
+    /// Computes the atomic type of `(db, u)` by querying the oracles —
+    /// the constructive content of Prop 2.2.
+    pub fn of(db: &Database, u: &Tuple) -> AtomicType {
+        let pattern = u.equality_pattern();
+        let blocks = pattern.iter().copied().max().map_or(0, |m| m + 1);
+        let reps = u.distinct_elems();
+        debug_assert_eq!(reps.len(), blocks);
+        let schema = db.schema();
+        let mut facts = Vec::with_capacity(schema.len());
+        for i in 0..schema.len() {
+            let a = schema.arity(i);
+            let bits = if a == 0 {
+                // The single fact `( ) ∈ Rᵢ`.
+                vec![db.query(i, &[])]
+            } else if blocks == 0 {
+                // No facts are expressible about an empty tuple for a
+                // positive-arity relation.
+                Vec::new()
+            } else {
+                index_vectors(blocks, a)
+                    .iter()
+                    .map(|idx| {
+                        let t: Tuple = idx.iter().map(|&j| reps[j]).collect();
+                        db.query(i, t.elems())
+                    })
+                    .collect()
+            };
+            facts.push(bits);
+        }
+        AtomicType {
+            rank: u.rank(),
+            pattern,
+            blocks,
+            facts,
+        }
+    }
+
+    /// The rank `n`.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// The number of distinct elements in tuples of this class.
+    pub fn distinct_count(&self) -> usize {
+        self.blocks
+    }
+
+    /// The canonical equality pattern.
+    pub fn pattern(&self) -> &[usize] {
+        &self.pattern
+    }
+
+    /// The membership bit for relation `i` at the given index vector
+    /// over blocks (odometer order).
+    pub fn fact(&self, i: usize, idx_vector_pos: usize) -> bool {
+        self.facts[i][idx_vector_pos]
+    }
+
+    /// All facts for relation `i`, in odometer order over
+    /// `index_vectors(self.distinct_count(), arity_i)`.
+    pub fn facts_of(&self, i: usize) -> &[bool] {
+        &self.facts[i]
+    }
+
+    /// Does `(db, u)` belong to this class? Equivalent to
+    /// `AtomicType::of(db, u) == *self` but short-circuits.
+    pub fn matches(&self, db: &Database, u: &Tuple) -> bool {
+        if u.rank() != self.rank || u.equality_pattern() != self.pattern {
+            return false;
+        }
+        let reps = u.distinct_elems();
+        let schema = db.schema();
+        for i in 0..schema.len() {
+            let a = schema.arity(i);
+            if a == 0 {
+                if db.query(i, &[]) != self.facts[i][0] {
+                    return false;
+                }
+                continue;
+            }
+            if self.blocks == 0 {
+                continue;
+            }
+            for (j, idx) in index_vectors(self.blocks, a).iter().enumerate() {
+                let t: Tuple = idx.iter().map(|&b| reps[b]).collect();
+                if db.query(i, t.elems()) != self.facts[i][j] {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Builds a *witness* — a concrete r-db (with finite relations over
+    /// ℕ) and tuple whose atomic type is exactly `self`. Witnesses make
+    /// the finite-index classes of `Cⁿ` tangible and are the seed of
+    /// Prop 2.3's "combine two locally isomorphic pairs into one
+    /// database" construction.
+    pub fn witness(&self, schema: &Schema) -> (Database, Tuple) {
+        assert_eq!(schema.len(), self.facts.len(), "schema mismatch");
+        let mut b = DatabaseBuilder::new("witness");
+        for i in 0..schema.len() {
+            let a = schema.arity(i);
+            let mut rel = FiniteRelation::empty(a);
+            if a == 0 {
+                if self.facts[i][0] {
+                    rel.insert(Tuple::empty());
+                }
+            } else if self.blocks > 0 {
+                for (j, idx) in index_vectors(self.blocks, a).iter().enumerate() {
+                    if self.facts[i][j] {
+                        rel.insert(idx.iter().map(|&x| crate::Elem(x as u64)).collect());
+                    }
+                }
+            }
+            b = b.relation(schema.name(i), rel);
+        }
+        let u: Tuple = self
+            .pattern
+            .iter()
+            .map(|&blk| crate::Elem(blk as u64))
+            .collect();
+        (b.build(), u)
+    }
+}
+
+/// Enumerates all restricted-growth strings of length `n` — canonical
+/// set partitions of `{0,…,n−1}`.
+pub fn restricted_growth_strings(n: usize) -> Vec<Vec<usize>> {
+    let mut out = Vec::new();
+    let mut cur = vec![0usize; n];
+    fn rec(cur: &mut Vec<usize>, pos: usize, maxv: usize, out: &mut Vec<Vec<usize>>) {
+        let n = cur.len();
+        if pos == n {
+            out.push(cur.clone());
+            return;
+        }
+        for v in 0..=maxv + 1 {
+            cur[pos] = v;
+            rec(cur, pos + 1, maxv.max(v), out);
+        }
+    }
+    if n == 0 {
+        return vec![Vec::new()];
+    }
+    // First position is always block 0.
+    cur[0] = 0;
+    rec(&mut cur, 1, 0, &mut out);
+    out
+}
+
+/// Enumerates every atomic type of rank `n` for the given schema — the
+/// finite set `Cⁿ`. Exponential in `n` and the arities; intended for
+/// the small ranks the paper's constructions need.
+pub fn enumerate_classes(schema: &Schema, n: usize) -> Vec<AtomicType> {
+    let mut out = Vec::new();
+    for pattern in restricted_growth_strings(n) {
+        let blocks = pattern.iter().copied().max().map_or(0, |m| m + 1);
+        // Sizes of the fact tables per relation.
+        let sizes: Vec<usize> = (0..schema.len())
+            .map(|i| {
+                let a = schema.arity(i);
+                if a == 0 {
+                    1
+                } else if blocks == 0 {
+                    0
+                } else {
+                    blocks.pow(a as u32)
+                }
+            })
+            .collect();
+        let total_bits: usize = sizes.iter().sum();
+        // Enumerate all 2^total_bits fact assignments.
+        assert!(
+            total_bits < 32,
+            "class enumeration for this schema/rank is astronomically large"
+        );
+        for mask in 0u64..(1u64 << total_bits) {
+            let mut facts = Vec::with_capacity(schema.len());
+            let mut off = 0;
+            for &sz in &sizes {
+                let mut bits = Vec::with_capacity(sz);
+                for b in 0..sz {
+                    bits.push((mask >> (off + b)) & 1 == 1);
+                }
+                off += sz;
+                facts.push(bits);
+            }
+            out.push(AtomicType {
+                rank: n,
+                pattern: pattern.clone(),
+                blocks,
+                facts,
+            });
+        }
+    }
+    out
+}
+
+/// Stirling number of the second kind `S(n, m)`: the number of
+/// partitions of an `n`-set into `m` nonempty blocks.
+pub fn stirling2(n: usize, m: usize) -> u128 {
+    if n == 0 && m == 0 {
+        return 1;
+    }
+    if n == 0 || m == 0 || m > n {
+        return 0;
+    }
+    let mut row = vec![0u128; m + 1];
+    row[0] = 1; // S(0,0)
+    for i in 1..=n {
+        let hi = m.min(i);
+        // Compute in place from high to low: S(i,j) = j·S(i−1,j) + S(i−1,j−1).
+        for j in (1..=hi).rev() {
+            row[j] = (j as u128) * row[j] + row[j - 1];
+        }
+        row[0] = 0; // S(i,0) = 0 for i ≥ 1
+    }
+    row[m]
+}
+
+/// The closed-form size of `Cⁿ`:
+/// `|Cⁿ| = Σ_{m} S(n,m) · Πᵢ 2^{m^{aᵢ}}` (with the rank-0-relation bit
+/// counting once regardless of `m`). Matches [`enumerate_classes`] —
+/// the paper's `2² + 2⁴·2² = 68` example is the `a=(2,1), n=2` entry.
+pub fn count_classes(schema: &Schema, n: usize) -> u128 {
+    if n == 0 {
+        // Only the empty pattern; facts exist only for rank-0 relations.
+        let zero_rels = schema.arities().iter().filter(|&&a| a == 0).count();
+        return 1u128 << zero_rels;
+    }
+    let mut total = 0u128;
+    for m in 1..=n {
+        let mut per_partition = 1u128;
+        for &a in schema.arities() {
+            let bits = if a == 0 { 1 } else { (m as u128).pow(a as u32) };
+            per_partition = per_partition
+                .checked_mul(
+                    1u128
+                        .checked_shl(bits as u32)
+                        .expect("class count overflows u128"),
+                )
+                .expect("class count overflows u128");
+        }
+        total += stirling2(n, m) * per_partition;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{tuple, DatabaseBuilder, FnRelation};
+
+    fn schema21() -> Schema {
+        Schema::new([2, 1])
+    }
+
+    #[test]
+    fn paper_example_68_classes() {
+        // §2 example: type a=(2,1), rank 2 → 2² + 2⁴·2² = 68 classes.
+        assert_eq!(count_classes(&schema21(), 2), 68);
+        assert_eq!(enumerate_classes(&schema21(), 2).len(), 68);
+    }
+
+    #[test]
+    fn class_counts_match_enumeration_on_small_cases() {
+        for (arities, n) in [
+            (vec![1], 0),
+            (vec![1], 1),
+            (vec![1], 2),
+            (vec![1], 3),
+            (vec![2], 1),
+            (vec![2], 2),
+            (vec![2, 1], 1),
+            (vec![0], 0),
+            (vec![0, 1], 1),
+            (vec![1, 1, 1], 2),
+        ] {
+            let s = Schema::new(arities.clone());
+            assert_eq!(
+                count_classes(&s, n),
+                enumerate_classes(&s, n).len() as u128,
+                "mismatch for a={arities:?}, n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn rank_zero_classes() {
+        // No rank-0 relations: exactly one class (the empty pair).
+        assert_eq!(count_classes(&schema21(), 0), 1);
+        // One rank-0 relation: two classes (( ) ∈ R or not).
+        assert_eq!(count_classes(&Schema::new([0]), 0), 2);
+    }
+
+    #[test]
+    fn stirling_numbers() {
+        assert_eq!(stirling2(0, 0), 1);
+        assert_eq!(stirling2(3, 1), 1);
+        assert_eq!(stirling2(3, 2), 3);
+        assert_eq!(stirling2(3, 3), 1);
+        assert_eq!(stirling2(4, 2), 7);
+        assert_eq!(stirling2(5, 3), 25);
+        assert_eq!(stirling2(3, 4), 0);
+        assert_eq!(stirling2(0, 1), 0);
+    }
+
+    #[test]
+    fn rgs_counts_are_bell_numbers() {
+        assert_eq!(restricted_growth_strings(0).len(), 1);
+        assert_eq!(restricted_growth_strings(1).len(), 1);
+        assert_eq!(restricted_growth_strings(2).len(), 2);
+        assert_eq!(restricted_growth_strings(3).len(), 5);
+        assert_eq!(restricted_growth_strings(4).len(), 15);
+    }
+
+    #[test]
+    fn atomic_type_of_matches_itself() {
+        let db = DatabaseBuilder::new("d")
+            .relation("E", FnRelation::infinite_clique())
+            .relation("P", FnRelation::new("even", 1, |t| t[0].value() % 2 == 0))
+            .build();
+        for u in [tuple![1, 2], tuple![4, 4], tuple![2, 7], tuple![0, 0]] {
+            let ty = AtomicType::of(&db, &u);
+            assert!(ty.matches(&db, &u), "type of {u:?} must match {u:?}");
+        }
+    }
+
+    #[test]
+    fn atomic_type_equality_iff_locally_equivalent() {
+        let db = DatabaseBuilder::new("d")
+            .relation("D", FnRelation::divides())
+            .build();
+        let tuples = [
+            tuple![2, 4],
+            tuple![3, 9],
+            tuple![4, 2],
+            tuple![5, 7],
+            tuple![6, 6],
+        ];
+        for u in &tuples {
+            for v in &tuples {
+                assert_eq!(
+                    AtomicType::of(&db, u) == AtomicType::of(&db, v),
+                    crate::locally_equivalent(&db, u, v),
+                    "types agree with ≅ₗ on ({u:?},{v:?})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_enumerated_class_has_a_valid_witness() {
+        let schema = Schema::new([2, 1]);
+        for ty in enumerate_classes(&schema, 2) {
+            let (db, u) = ty.witness(&schema);
+            assert!(
+                ty.matches(&db, &u),
+                "witness of {ty:?} must inhabit the class"
+            );
+            assert_eq!(AtomicType::of(&db, &u), ty);
+        }
+    }
+
+    #[test]
+    fn classes_partition_observed_pairs() {
+        // Every (db,u) falls in exactly one enumerated class.
+        let db = DatabaseBuilder::new("d")
+            .relation("E", FnRelation::infinite_line())
+            .relation("P", FnRelation::new("sq", 1, |t| {
+                let v = t[0].value();
+                let r = (v as f64).sqrt() as u64;
+                r * r == v || (r + 1) * (r + 1) == v
+            }))
+            .build();
+        let classes = enumerate_classes(db.schema(), 2);
+        for u in [tuple![0, 1], tuple![3, 3], tuple![4, 9], tuple![5, 2]] {
+            let hits = classes.iter().filter(|c| c.matches(&db, &u)).count();
+            assert_eq!(hits, 1, "tuple {u:?} must lie in exactly one class");
+        }
+    }
+
+    #[test]
+    fn witness_of_paper_class_c2i() {
+        // The paper's example class C²ᵢ for a=(2,1):
+        // x≠y ∧ (x,y)∉R₁ ∧ (y,x)∈R₁ ∧ (x,x)∈R₁ ∧ (y,y)∉R₁ ∧ x∉R₂ ∧ y∈R₂.
+        let schema = schema21();
+        let target = enumerate_classes(&schema, 2)
+            .into_iter()
+            .find(|ty| {
+                if ty.distinct_count() != 2 {
+                    return false;
+                }
+                let (db, u) = ty.witness(&schema);
+                let (x, y) = (u[0], u[1]);
+                !db.query(0, &[x, y])
+                    && db.query(0, &[y, x])
+                    && db.query(0, &[x, x])
+                    && !db.query(0, &[y, y])
+                    && !db.query(1, &[x])
+                    && db.query(1, &[y])
+            })
+            .expect("the paper's C²ᵢ is one of the 68 classes");
+        assert_eq!(target.rank(), 2);
+    }
+}

@@ -1,0 +1,136 @@
+//! A library of reusable GMhs machines.
+//!
+//! The §5 completeness proof composes a small set of machine idioms —
+//! load-and-store copying, spawn-per-tuple fan-out, offspring
+//! exploration, equivalence filtering. This module packages them as
+//! generators so experiments and downstream users don't rebuild state
+//! tables by hand.
+
+use crate::machine::{GmAction, GmBuilder, GmProgram, Head};
+
+/// Copies store relation `src` into store relation `out`: load each
+/// tuple (spawning one unit per class), store it, erase, halt. The
+/// §5 loading idiom distilled.
+pub fn copy_machine(src: usize, out: usize) -> GmProgram {
+    let mut b = GmBuilder::new();
+    let s0 = b.fresh();
+    let s1 = b.fresh();
+    let s2 = b.fresh();
+    let halt = b.fresh();
+    b.set(s0, GmAction::LoadRel { rel: src, next: s1 });
+    b.set(s1, GmAction::StoreCurrent { rel: out, next: s2 });
+    b.set(s2, GmAction::EraseTape(halt));
+    b.set(halt, GmAction::Halt);
+    b.build(out.max(src) + 1)
+}
+
+/// Stores into `out` the one-element `T_B`-extensions of every class
+/// of `src` — the GMhs rendering of the QLhs `↑` operator.
+pub fn up_machine(src: usize, out: usize) -> GmProgram {
+    let mut b = GmBuilder::new();
+    let s0 = b.fresh();
+    let s1 = b.fresh();
+    let s2 = b.fresh();
+    let s3 = b.fresh();
+    let halt = b.fresh();
+    b.set(s0, GmAction::LoadRel { rel: src, next: s1 });
+    b.set(s1, GmAction::LoadOffspring { next: s2 });
+    b.set(s2, GmAction::StoreCurrent { rel: out, next: s3 });
+    b.set(s3, GmAction::EraseTape(halt));
+    b.set(halt, GmAction::Halt);
+    b.build(out.max(src) + 1)
+}
+
+/// Stores into `out` the classes common to `a` and `b` (tuplewise
+/// intersection of the representative sets): load one tuple from each,
+/// keep the unit only when the two blocks are `≅_B`-equivalent —
+/// test 4 as a set-intersection engine.
+pub fn intersect_machine(a: usize, b_rel: usize, out: usize) -> GmProgram {
+    let mut b = GmBuilder::new();
+    let s0 = b.fresh();
+    let s1 = b.fresh();
+    let adv = b.fresh(); // h2 onto the first tuple's block
+    let cmp = b.fresh();
+    let keep = b.fresh();
+    let fin = b.fresh();
+    let halt = b.fresh();
+    let die = b.fresh();
+    b.set(s0, GmAction::LoadRel { rel: a, next: s1 });
+    b.set(s1, GmAction::LoadRel { rel: b_rel, next: adv });
+    // After two loads the tape is SEP t₁… SEP t₂…, h1 on t₂'s start,
+    // h2 at 0. Move h2 right once onto t₁'s first element.
+    b.set(adv, GmAction::Move(Head::Second, 1, cmp));
+    b.set(cmp, GmAction::BranchEquiv { yes: keep, no: die });
+    b.set(keep, GmAction::StoreCurrent { rel: out, next: fin });
+    b.set(fin, GmAction::EraseTape(halt));
+    b.set(halt, GmAction::Halt);
+    b.set(die, GmAction::Die);
+    b.build(out.max(a).max(b_rel) + 1)
+}
+
+/// Counts the classes of `src` *in unary*, as tape length: not a
+/// returning machine but a diagnostic — returns the peak-unit count
+/// via the outcome instead. Provided as the simplest fan-out probe.
+pub fn fanout_probe(src: usize) -> GmProgram {
+    let mut b = GmBuilder::new();
+    let s0 = b.fresh();
+    let s1 = b.fresh();
+    let halt = b.fresh();
+    b.set(s0, GmAction::LoadRel { rel: src, next: s1 });
+    b.set(s1, GmAction::EraseTape(halt));
+    b.set(halt, GmAction::Halt);
+    b.build(src + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recdb_core::Fuel;
+    use recdb_hsdb::{paper_example_graph, rado_graph};
+
+    #[test]
+    fn copy_machine_is_identity_on_c1() {
+        let hs = paper_example_graph();
+        let out = copy_machine(0, 1)
+            .run(&hs, &mut Fuel::new(1_000_000))
+            .unwrap();
+        assert_eq!(out.store[1], *hs.reps(0));
+    }
+
+    #[test]
+    fn up_machine_matches_tree_offspring() {
+        let hs = paper_example_graph();
+        let out = up_machine(0, 1)
+            .run(&hs, &mut Fuel::new(10_000_000))
+            .unwrap();
+        // Expected: all children of all C₁ reps.
+        let expected: std::collections::BTreeSet<_> = hs
+            .reps(0)
+            .iter()
+            .flat_map(|t| {
+                hs.tree()
+                    .offspring(t)
+                    .into_iter()
+                    .map(move |a| t.extend(a))
+            })
+            .collect();
+        assert_eq!(out.store[1], expected);
+    }
+
+    #[test]
+    fn intersect_machine_diagonal() {
+        // R1 ∩ R1 = R1 (each class pairs with itself once).
+        let hs = rado_graph();
+        let out = intersect_machine(0, 0, 1)
+            .run(&hs, &mut Fuel::new(10_000_000))
+            .unwrap();
+        assert_eq!(out.store[1], *hs.reps(0));
+    }
+
+    #[test]
+    fn fanout_probe_counts_classes() {
+        let hs = paper_example_graph();
+        let out = fanout_probe(0).run(&hs, &mut Fuel::new(100_000)).unwrap();
+        assert_eq!(out.peak_units, hs.reps(0).len());
+    }
+}

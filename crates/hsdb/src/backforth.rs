@@ -1,0 +1,478 @@
+//! Back-and-forth constructions (Props 3.2, 3.3, 3.5) and the
+//! Corollary 3.1 elementary-equivalence bridge.
+//!
+//! Every isomorphism proof in §3 is a back-and-forth argument: pick
+//! the first unused element on one side, find a partner on the other
+//! side keeping the pair equivalent, alternate, repeat. Over a *full*
+//! domain this builds an automorphism in the limit; here we build its
+//! finite prefixes — which is all any terminating algorithm ever uses
+//! — and expose the construction itself as an auditable object.
+
+use crate::rep::HsDatabase;
+use recdb_core::{Domain, Elem, Tuple};
+
+/// A finite prefix of an automorphism: two equal-rank tuples `s → t`
+/// with `s ≅_B t`, extending the original `u → v`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PartialAutomorphism {
+    /// Domain side (starts as `u`).
+    pub source: Tuple,
+    /// Range side (starts as `v`).
+    pub target: Tuple,
+}
+
+impl PartialAutomorphism {
+    /// Applies the partial map to an element, if it is covered.
+    pub fn map(&self, e: Elem) -> Option<Elem> {
+        self.source
+            .elems()
+            .iter()
+            .position(|&x| x == e)
+            .map(|i| self.target[i])
+    }
+
+    /// The number of mapped elements (with multiplicity of positions).
+    pub fn rank(&self) -> usize {
+        self.source.rank()
+    }
+}
+
+/// Runs `steps` rounds of the back-and-forth construction of Prop 3.5:
+/// starting from `u ≅_B v`, alternately absorbs the first domain
+/// element missing from the source side and the first missing from the
+/// target side, choosing partners among `candidates(side_tuple)` that
+/// keep the pair `≅_B`-equivalent.
+///
+/// Returns `None` if `u ≇_B v`, or if some round finds no partner
+/// among the candidates (then the candidate source is too weak — for
+/// the crate's constructions it never is, which is itself a theorem-
+/// level check the tests perform).
+pub fn back_and_forth(
+    hs: &HsDatabase,
+    u: &Tuple,
+    v: &Tuple,
+    steps: usize,
+    candidates: impl Fn(&Tuple) -> Vec<Elem>,
+) -> Option<PartialAutomorphism> {
+    if !hs.equivalent(u, v) {
+        return None;
+    }
+    let domain = Domain::naturals();
+    let mut pa = PartialAutomorphism {
+        source: u.clone(),
+        target: v.clone(),
+    };
+    for round in 0..steps {
+        if round % 2 == 0 {
+            // Forth: absorb the first element not in the source.
+            let a = domain.first_not_in(pa.source.elems());
+            let sa = pa.source.extend(a);
+            let b = candidates(&pa.target)
+                .into_iter()
+                .find(|&b| hs.equivalent(&sa, &pa.target.extend(b)))?;
+            pa.source = sa;
+            pa.target = pa.target.extend(b);
+        } else {
+            // Back: absorb the first element not in the target.
+            let b = domain.first_not_in(pa.target.elems());
+            let tb = pa.target.extend(b);
+            let a = candidates(&pa.source)
+                .into_iter()
+                .find(|&a| hs.equivalent(&pa.source.extend(a), &tb))?;
+            pa.source = pa.source.extend(a);
+            pa.target = tb;
+        }
+    }
+    Some(pa)
+}
+
+/// The Corollary 3.1 gadget: given two hs-r-dbs `B₁`, `B₂` of the same
+/// type, the combined database `B` over the disjoint union with fresh
+/// elements `a, b` and a linking relation
+/// `E = {(a,x) | x ∈ D₁} ∪ {(b,y) | y ∈ D₂}` satisfies
+/// `a ≅_B b ⟺ B₁ ≅ B₂`.
+///
+/// Encoding: `a = 0`, `b = 1`, `D₁ ∋ x ↦ 2x+2`, `D₂ ∋ y ↦ 2y+3`.
+pub struct CombinedDb {
+    /// The combined database (type: the shared schema plus `E`).
+    pub db: recdb_core::Database,
+}
+
+/// The fresh element `a` (anchors `B₁`'s side).
+pub const COMBINED_A: Elem = Elem(0);
+/// The fresh element `b` (anchors `B₂`'s side).
+pub const COMBINED_B: Elem = Elem(1);
+
+/// Builds the Corollary 3.1 combination of two databases of the same
+/// schema.
+///
+/// # Panics
+/// Panics on schema mismatch.
+pub fn combine(b1: &recdb_core::Database, b2: &recdb_core::Database) -> CombinedDb {
+    assert_eq!(b1.schema(), b2.schema(), "Cor 3.1 needs equal types");
+    let mut builder = recdb_core::DatabaseBuilder::new("combined");
+    for i in 0..b1.schema().len() {
+        let a = b1.schema().arity(i);
+        let (c1, c2) = (b1.clone(), b2.clone());
+        builder = builder.relation(
+            b1.schema().name(i),
+            recdb_core::FnRelation::new("S", a, move |t: &[Elem]| {
+                // Sᵢ = R¹ᵢ ∪ R²ᵢ on the respective encodings.
+                let all1 = t.iter().all(|e| e.value() >= 2 && e.value().is_multiple_of(2));
+                let all2 = t.iter().all(|e| e.value() >= 3 && e.value() % 2 == 1);
+                if all1 {
+                    let dec: Vec<Elem> =
+                        t.iter().map(|e| Elem((e.value() - 2) / 2)).collect();
+                    return c1.query(i, &dec);
+                }
+                if all2 {
+                    let dec: Vec<Elem> =
+                        t.iter().map(|e| Elem((e.value() - 3) / 2)).collect();
+                    return c2.query(i, &dec);
+                }
+                false
+            }),
+        );
+    }
+    builder = builder.relation(
+        "Link",
+        recdb_core::FnRelation::new("link", 2, |t: &[Elem]| {
+            (t[0] == COMBINED_A && t[1].value() >= 2 && t[1].value().is_multiple_of(2))
+                || (t[0] == COMBINED_B && t[1].value() >= 3 && t[1].value() % 2 == 1)
+        }),
+    );
+    CombinedDb {
+        db: builder.build(),
+    }
+}
+
+/// The hs-level Corollary 3.1 combination: given two hs-r-dbs of the
+/// same schema (with their candidate sources), builds the combined
+/// database as a full [`HsDatabase`] — tree, equivalence oracle and
+/// all. `sides_swappable` asserts the caller's knowledge that
+/// `B₁ ≅ B₂` (pass `true` when combining a database with itself);
+/// the oracle then also accepts the side-exchanging automorphisms, so
+/// `a ≅_B b` exactly when the paper says it should.
+///
+/// # Panics
+/// Panics on schema mismatch.
+pub fn combine_hs(
+    hs1: &HsDatabase,
+    hs2: &HsDatabase,
+    sides_swappable: bool,
+    cands1: std::sync::Arc<dyn crate::build::CandidateSource>,
+    cands2: std::sync::Arc<dyn crate::build::CandidateSource>,
+) -> HsDatabase {
+    assert_eq!(hs1.schema(), hs2.schema(), "Cor 3.1 needs equal types");
+    let combined = combine(hs1.database(), hs2.database());
+
+    #[derive(Clone, Copy, PartialEq, Eq, Debug)]
+    enum Region {
+        A,
+        B,
+        Side1,
+        Side2,
+    }
+    fn region(e: Elem) -> Region {
+        match e.value() {
+            0 => Region::A,
+            1 => Region::B,
+            v if v.is_multiple_of(2) => Region::Side1,
+            _ => Region::Side2,
+        }
+    }
+    fn dec1(e: Elem) -> Elem {
+        Elem((e.value() - 2) / 2)
+    }
+    fn dec2(e: Elem) -> Elem {
+        Elem((e.value() - 3) / 2)
+    }
+    fn enc1(e: Elem) -> Elem {
+        Elem(2 * e.value() + 2)
+    }
+    fn enc2(e: Elem) -> Elem {
+        Elem(2 * e.value() + 3)
+    }
+
+    let eq1 = hs1.equiv_ref();
+    let eq2 = hs2.equiv_ref();
+    // Checks one alignment: identity, or the side-exchanging one.
+    let check = move |u: &Tuple, v: &Tuple, swap: bool| -> bool {
+        let (mut s1u, mut s1v, mut s2u, mut s2v) = (vec![], vec![], vec![], vec![]);
+        for (&x, &y) in u.elems().iter().zip(v.elems()) {
+            let (rx, ry) = (region(x), region(y));
+            let want = if swap {
+                match rx {
+                    Region::A => Region::B,
+                    Region::B => Region::A,
+                    Region::Side1 => Region::Side2,
+                    Region::Side2 => Region::Side1,
+                }
+            } else {
+                rx
+            };
+            if ry != want {
+                return false;
+            }
+            match rx {
+                Region::A | Region::B => {}
+                Region::Side1 => {
+                    s1u.push(dec1(x));
+                    if swap {
+                        s2v.push(dec2(y));
+                    } else {
+                        s1v.push(dec1(y));
+                    }
+                }
+                Region::Side2 => {
+                    s2u.push(dec2(x));
+                    if swap {
+                        s1v.push(dec1(y));
+                    } else {
+                        s2v.push(dec2(y));
+                    }
+                }
+            }
+        }
+        if swap {
+            // u's side-1 part must map to v's side-2 part under the
+            // (asserted) isomorphism B₁ ≅ B₂ — sound for the
+            // self-combination case, where the identity decoding
+            // aligns the two sides.
+            eq1.equivalent(&Tuple::from(s1u), &Tuple::from(s2v))
+                && eq2.equivalent(&Tuple::from(s2u), &Tuple::from(s1v))
+        } else {
+            eq1.equivalent(&Tuple::from(s1u), &Tuple::from(s1v))
+                && eq2.equivalent(&Tuple::from(s2u), &Tuple::from(s2v))
+        }
+    };
+    let equiv: crate::rep::EquivRef = std::sync::Arc::new(crate::rep::FnEquiv::new(
+        move |u: &Tuple, v: &Tuple| {
+            if u.rank() != v.rank() || u.equality_pattern() != v.equality_pattern() {
+                return false;
+            }
+            check(u, v, false) || (sides_swappable && check(u, v, true))
+        },
+    ));
+    let source = std::sync::Arc::new(crate::build::FnCandidates::new(move |x: &Tuple| {
+        let mut out = vec![COMBINED_A, COMBINED_B];
+        out.extend(x.distinct_elems());
+        let side1: Tuple = x
+            .elems()
+            .iter()
+            .copied()
+            .filter(|&e| region(e) == Region::Side1)
+            .map(dec1)
+            .collect();
+        let side2: Tuple = x
+            .elems()
+            .iter()
+            .copied()
+            .filter(|&e| region(e) == Region::Side2)
+            .map(dec2)
+            .collect();
+        out.extend(cands1.candidates(&side1).into_iter().map(enc1));
+        out.extend(cands2.candidates(&side2).into_iter().map(enc2));
+        out.sort_unstable();
+        out.dedup();
+        out
+    }));
+    crate::constructions::assemble(combined.db, equiv, source)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constructions::{infinite_clique, paper_example_graph};
+    use recdb_core::{locally_equivalent, tuple, DatabaseBuilder, FnRelation};
+
+    #[test]
+    fn back_and_forth_on_the_clique() {
+        let hs = infinite_clique();
+        let cands = |x: &Tuple| {
+            let mut d = x.distinct_elems();
+            let fresh = (0..).map(Elem).find(|e| !d.contains(e)).unwrap();
+            d.push(fresh);
+            d
+        };
+        let pa = back_and_forth(&hs, &tuple![3, 7], &tuple![10, 4], 6, cands)
+            .expect("clique pairs with equal patterns are equivalent");
+        assert_eq!(pa.rank(), 2 + 6);
+        assert!(hs.equivalent(&pa.source, &pa.target), "still equivalent");
+        // The prefix is a partial map: 3 ↦ 10, 7 ↦ 4.
+        assert_eq!(pa.map(Elem(3)), Some(Elem(10)));
+        assert_eq!(pa.map(Elem(7)), Some(Elem(4)));
+        // The absorbed elements include the small naturals.
+        assert!(pa.map(Elem(0)).is_some());
+        assert!(pa.map(Elem(1)).is_some());
+    }
+
+    #[test]
+    fn back_and_forth_rejects_non_equivalent_starts() {
+        let hs = infinite_clique();
+        assert!(back_and_forth(&hs, &tuple![1, 1], &tuple![1, 2], 2, |_| vec![]).is_none());
+    }
+
+    #[test]
+    fn back_and_forth_on_the_paper_example() {
+        let hs = paper_example_graph();
+        // Two equivalent nodes (both arrow sources in different copies).
+        let nodes = hs.t_n(1);
+        let src = &nodes[0];
+        // Find a raw element equivalent to it beyond the reps.
+        let raw = (0..32u64)
+            .map(|x| Tuple::from_values([x]))
+            .find(|t| t.elems() != src.elems() && hs.equivalent(src, t))
+            .expect("infinitely many copies");
+        let cands = {
+            let hs2 = hs.clone();
+            move |x: &Tuple| {
+                let mut out = x.distinct_elems();
+                // Tree candidates through the canonical representative
+                // are not literal extension elements of x; use a raw
+                // scan instead (sound here: the graph lives on small
+                // codes).
+                out.extend((0..64).map(Elem));
+                let _ = &hs2;
+                out
+            }
+        };
+        let pa = back_and_forth(&hs, src, &raw, 4, cands).expect("extends");
+        assert!(hs.equivalent(&pa.source, &pa.target));
+        assert_eq!(pa.rank(), 5);
+    }
+
+    #[test]
+    fn combined_db_links_sides_to_a_and_b() {
+        let g = DatabaseBuilder::new("g")
+            .relation("E0", FnRelation::infinite_clique())
+            .build();
+        let c = combine(&g, &g);
+        // a links to even-encoded elements only.
+        assert!(c.db.query(1, &[COMBINED_A, Elem(4)]));
+        assert!(!c.db.query(1, &[COMBINED_A, Elem(5)]));
+        assert!(c.db.query(1, &[COMBINED_B, Elem(5)]));
+        // The copied relation lives on each side separately.
+        assert!(c.db.query(0, &[Elem(2), Elem(4)])); // clique edge in D₁
+        assert!(c.db.query(0, &[Elem(3), Elem(5)])); // clique edge in D₂
+        assert!(!c.db.query(0, &[Elem(2), Elem(5)]), "no cross edges");
+    }
+
+    #[test]
+    fn identical_sides_make_a_and_b_locally_alike() {
+        // With B₁ = B₂, the rank-1 pairs (a) and (b) are locally
+        // isomorphic in the combination (the full ≅_B needs the
+        // infinite back-and-forth; local agreement is the decidable
+        // fragment we can assert).
+        let g = DatabaseBuilder::new("g")
+            .relation("E0", FnRelation::infinite_clique())
+            .build();
+        let c = combine(&g, &g);
+        assert!(locally_equivalent(
+            &c.db,
+            &Tuple::from(vec![COMBINED_A]),
+            &Tuple::from(vec![COMBINED_B])
+        ));
+    }
+
+    #[test]
+    fn different_sides_distinguish_a_from_b_via_neighbourhoods() {
+        // B₁ = clique, B₂ = edgeless graph: pairs behind a are edges,
+        // pairs behind b never are. A rank-3 comparison exposes it.
+        let clique = DatabaseBuilder::new("K")
+            .relation("E0", FnRelation::infinite_clique())
+            .build();
+        let empty = DatabaseBuilder::new("∅")
+            .relation("E0", FnRelation::new("none", 2, |_| false))
+            .build();
+        let c = combine(&clique, &empty);
+        // (a, 2, 4): E(a,2), E(a,4), E0(2,4). For any (b, y1, y2) with
+        // the same linking pattern, E0(y1,y2) fails.
+        let u = Tuple::from(vec![COMBINED_A, Elem(2), Elem(4)]);
+        let v = Tuple::from(vec![COMBINED_B, Elem(3), Elem(5)]);
+        assert!(!locally_equivalent(&c.db, &u, &v));
+    }
+}
+
+#[cfg(test)]
+mod combine_hs_tests {
+    use super::*;
+    use crate::build::{CandidateSource, FnCandidates};
+    use crate::constructions::infinite_clique;
+    use recdb_core::Tuple;
+    use std::sync::Arc;
+
+    fn clique_cands() -> Arc<dyn CandidateSource> {
+        Arc::new(FnCandidates::new(|x: &Tuple| {
+            let mut d = x.distinct_elems();
+            let fresh = (0..).map(Elem).find(|e| !d.contains(e)).expect("ℕ");
+            d.push(fresh);
+            d
+        }))
+    }
+
+    /// Corollary 3.1, executable: combining a database with itself
+    /// makes `a ≅_B b`.
+    #[test]
+    fn self_combination_identifies_a_and_b() {
+        let k = infinite_clique();
+        let c = combine_hs(&k, &k, true, clique_cands(), clique_cands());
+        assert!(c.equivalent(
+            &Tuple::from(vec![COMBINED_A]),
+            &Tuple::from(vec![COMBINED_B])
+        ));
+        c.validate(1).unwrap();
+    }
+
+    /// Non-isomorphic sides keep `a` and `b` apart.
+    #[test]
+    fn different_sides_separate_a_and_b() {
+        let k = infinite_clique();
+        let e = crate::constructions::assemble(
+            recdb_core::DatabaseBuilder::new("empty")
+                .relation("E", recdb_core::FnRelation::new("none", 2, |_| false))
+                .build(),
+            Arc::new(crate::rep::FnEquiv::new(|u: &Tuple, v: &Tuple| {
+                u.equality_pattern() == v.equality_pattern()
+            })),
+            clique_cands(),
+        );
+        let c = combine_hs(&k, &e, false, clique_cands(), clique_cands());
+        assert!(!c.equivalent(
+            &Tuple::from(vec![COMBINED_A]),
+            &Tuple::from(vec![COMBINED_B])
+        ));
+        // But a and b are still LOCALLY indistinguishable (bare nodes).
+        assert!(recdb_core::locally_equivalent(
+            c.database(),
+            &Tuple::from(vec![COMBINED_A]),
+            &Tuple::from(vec![COMBINED_B])
+        ));
+        c.validate(1).unwrap();
+    }
+
+    /// The combined representation is a valid C_B up to rank 2, and
+    /// membership round-trips through representatives.
+    #[test]
+    fn combined_representation_validates() {
+        let k = infinite_clique();
+        let c = combine_hs(&k, &k, true, clique_cands(), clique_cands());
+        c.validate(2).unwrap();
+        // An edge inside side 1 and inside side 2 are the same class
+        // (sides swappable).
+        assert!(c.equivalent(
+            &Tuple::from_values([2, 4]),
+            &Tuple::from_values([3, 5])
+        ));
+        // A link edge (a, side-1 node) ≅ (b, side-2 node).
+        assert!(c.equivalent(
+            &Tuple::from_values([0, 2]),
+            &Tuple::from_values([1, 3])
+        ));
+        // But not (a, side-2 node): a links only to side 1.
+        assert!(!c.equivalent(
+            &Tuple::from_values([0, 2]),
+            &Tuple::from_values([0, 3])
+        ));
+    }
+}

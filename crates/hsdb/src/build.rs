@@ -1,0 +1,141 @@
+//! Generic construction of characteristic trees.
+//!
+//! Definition 3.3's tree is not computable from the database oracles
+//! alone — it encodes extra knowledge about `B`'s automorphisms. Each
+//! concrete highly symmetric family in this crate supplies that
+//! knowledge as a [`CandidateSource`]: a finite set of extension
+//! elements guaranteed to realize *every* `≅_B`-class of one-element
+//! extensions of a node. [`DedupTree`] then assembles the
+//! characteristic tree by keeping one candidate per class.
+//!
+//! Correctness: if `x ≇_B x'` then no extension of `x` is equivalent
+//! to any extension of `x'` (an automorphism matching the extensions
+//! would match the prefixes), so per-node deduplication yields globally
+//! unique class representatives — exactly Def 3.3's requirement.
+
+use crate::rep::EquivRef;
+use crate::tree::CharacteristicTree;
+use recdb_core::{Elem, Tuple};
+use std::sync::Arc;
+
+/// A source of extension candidates for tree construction.
+///
+/// Contract: for every tree node `x` and every element `a` of the
+/// domain, some candidate `c ∈ candidates(x)` satisfies
+/// `x·c ≅_B x·a`.
+pub trait CandidateSource: Send + Sync {
+    /// A finite candidate set covering all extension classes of `x`.
+    fn candidates(&self, x: &Tuple) -> Vec<Elem>;
+}
+
+/// A candidate source given by a closure.
+pub struct FnCandidates {
+    f: CandidatesFn,
+}
+
+/// A boxed candidate generator.
+type CandidatesFn = Box<dyn Fn(&Tuple) -> Vec<Elem> + Send + Sync>;
+
+impl FnCandidates {
+    /// Wraps a candidate closure.
+    pub fn new(f: impl Fn(&Tuple) -> Vec<Elem> + Send + Sync + 'static) -> Self {
+        FnCandidates { f: Box::new(f) }
+    }
+}
+
+impl CandidateSource for FnCandidates {
+    fn candidates(&self, x: &Tuple) -> Vec<Elem> {
+        (self.f)(x)
+    }
+}
+
+/// A characteristic tree computed by deduplicating extension
+/// candidates with the `≅_B` oracle.
+pub struct DedupTree {
+    equiv: EquivRef,
+    source: Arc<dyn CandidateSource>,
+}
+
+impl DedupTree {
+    /// Builds the tree from an equivalence oracle and candidate source.
+    pub fn new(equiv: EquivRef, source: Arc<dyn CandidateSource>) -> Self {
+        DedupTree { equiv, source }
+    }
+}
+
+impl CharacteristicTree for DedupTree {
+    fn offspring(&self, x: &Tuple) -> Vec<Elem> {
+        let mut kept: Vec<(Elem, Tuple)> = Vec::new();
+        for a in self.source.candidates(x) {
+            let xa = x.extend(a);
+            if !kept.iter().any(|(_, t)| self.equiv.equivalent(t, &xa)) {
+                kept.push((a, xa));
+            }
+        }
+        kept.into_iter().map(|(a, _)| a).collect()
+    }
+}
+
+/// A brute-force candidate source scanning the first `bound` domain
+/// elements. Sound only when every extension class of every node of
+/// interest is realized below the bound — the caller's obligation
+/// (this is the "TB is not computable from B" caveat of Def 3.7 made
+/// explicit: you must *know* a sufficient bound).
+pub struct ScanCandidates {
+    /// Exclusive scan bound.
+    pub bound: u64,
+}
+
+impl CandidateSource for ScanCandidates {
+    fn candidates(&self, _x: &Tuple) -> Vec<Elem> {
+        (0..self.bound).map(Elem).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rep::FnEquiv;
+    use crate::tree::{level_sizes, paths_of_length};
+    use recdb_core::tuple;
+
+    fn clique_equiv() -> EquivRef {
+        Arc::new(FnEquiv::new(|u, v| {
+            u.equality_pattern() == v.equality_pattern()
+        }))
+    }
+
+    #[test]
+    fn dedup_tree_for_clique_matches_bell_numbers() {
+        // Candidates: existing elements plus one fresh.
+        let source = Arc::new(FnCandidates::new(|x| {
+            let mut d = x.distinct_elems();
+            let fresh = (0..).map(Elem).find(|e| !d.contains(e)).unwrap();
+            d.push(fresh);
+            d
+        }));
+        let tree = DedupTree::new(clique_equiv(), source);
+        assert_eq!(level_sizes(&tree, 4), vec![1, 2, 5, 15]);
+    }
+
+    #[test]
+    fn scan_candidates_also_work_but_redundantly() {
+        let tree = DedupTree::new(clique_equiv(), Arc::new(ScanCandidates { bound: 8 }));
+        // Deduplication collapses the 8 candidates to the class count.
+        assert_eq!(level_sizes(&tree, 3), vec![1, 2, 5]);
+        assert_eq!(
+            paths_of_length(&tree, 2),
+            vec![tuple![0, 0], tuple![0, 1]]
+        );
+    }
+
+    #[test]
+    fn dedup_keeps_first_candidate_of_each_class() {
+        let source = Arc::new(FnCandidates::new(|_| {
+            vec![Elem(5), Elem(7), Elem(5), Elem(9)]
+        }));
+        let tree = DedupTree::new(clique_equiv(), source);
+        // From the root, all single elements are one class: keep Elem(5).
+        assert_eq!(tree.offspring(&Tuple::empty()), vec![Elem(5)]);
+    }
+}

@@ -1,0 +1,153 @@
+//! A documented catalog of the crate's highly symmetric families.
+//!
+//! Experiments, benches, and integration suites all iterate over "the
+//! zoo"; this module is the single source of truth, carrying per-family
+//! metadata that the callers otherwise hard-code: expected class counts
+//! per rank (for validation) and the practical characteristic-tree
+//! depth (the BIT-coded random structures are shallow-only).
+
+use crate::constructions::{
+    infinite_clique, infinite_star, paper_example_graph, unary_cells, CellSize,
+};
+use crate::random::{rado_graph, random_digraph};
+use crate::rep::HsDatabase;
+
+/// Metadata for one cataloged family.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FamilyInfo {
+    /// Stable identifier used in bench/report labels.
+    pub name: &'static str,
+    /// One-line description referencing the paper.
+    pub description: &'static str,
+    /// Expected `|T¹|, |T²|, …` prefix (validation data).
+    pub expected_levels: &'static [usize],
+    /// Maximum tree depth that is practical to enumerate (`usize::MAX`
+    /// for unbounded families; small for BIT-coded random structures).
+    pub practical_depth: usize,
+}
+
+/// One catalog entry: the family and its metadata.
+pub struct CatalogEntry {
+    /// The constructed database representation.
+    pub hs: HsDatabase,
+    /// Its metadata.
+    pub info: FamilyInfo,
+}
+
+/// Builds the full catalog. Constructions are cheap (lazy oracles);
+/// the tree levels are only materialized when callers enumerate them.
+pub fn catalog() -> Vec<CatalogEntry> {
+    vec![
+        CatalogEntry {
+            hs: infinite_clique(),
+            info: FamilyInfo {
+                name: "clique",
+                description: "the full infinite clique (§3.1) — class counts are Bell numbers",
+                expected_levels: &[1, 2, 5, 15],
+                practical_depth: usize::MAX,
+            },
+        },
+        CatalogEntry {
+            hs: infinite_star(),
+            info: FamilyInfo {
+                name: "star",
+                description: "hub + infinitely many leaves — two node orbits, bounded distances",
+                expected_levels: &[2, 5],
+                practical_depth: usize::MAX,
+            },
+        },
+        CatalogEntry {
+            hs: paper_example_graph(),
+            info: FamilyInfo {
+                name: "paper-example",
+                description: "the §3.1 worked example: sym-pair and arrow components, two edge classes",
+                expected_levels: &[3, 15],
+                practical_depth: usize::MAX,
+            },
+        },
+        CatalogEntry {
+            hs: unary_cells(vec![CellSize::Infinite, CellSize::Infinite]),
+            info: FamilyInfo {
+                name: "cells-2inf",
+                description: "two infinite unary cells — every unary r-db is highly symmetric",
+                expected_levels: &[2, 6, 22],
+                practical_depth: usize::MAX,
+            },
+        },
+        CatalogEntry {
+            hs: rado_graph(),
+            info: FamilyInfo {
+                name: "rado",
+                description: "the Rado graph via BIT (Prop 3.2) — ≅_A = ≅ₗ",
+                expected_levels: &[1, 3, 15],
+                practical_depth: 3,
+            },
+        },
+        CatalogEntry {
+            hs: random_digraph(),
+            info: FamilyInfo {
+                name: "random-digraph",
+                description: "random directed graph with loops (Prop 3.2), base-4 coding",
+                expected_levels: &[2, 18],
+                practical_depth: 2,
+            },
+        },
+    ]
+}
+
+/// The deep-tree subset (practical depth unbounded) — what experiments
+/// needing ranks > 3 should iterate.
+pub fn deep_catalog() -> Vec<CatalogEntry> {
+    catalog()
+        .into_iter()
+        .filter(|e| e.info.practical_depth == usize::MAX)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::level_sizes;
+
+    #[test]
+    fn every_entry_matches_its_expected_levels() {
+        for entry in catalog() {
+            let depth = entry.info.expected_levels.len();
+            let got = level_sizes(entry.hs.tree(), depth);
+            assert_eq!(
+                got, entry.info.expected_levels,
+                "{}: level profile drifted",
+                entry.info.name
+            );
+        }
+    }
+
+    #[test]
+    fn every_entry_validates() {
+        for entry in catalog() {
+            let depth = entry.info.practical_depth.min(2);
+            entry
+                .hs
+                .validate(depth)
+                .unwrap_or_else(|e| panic!("{}: {e}", entry.info.name));
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let names: Vec<_> = catalog().iter().map(|e| e.info.name).collect();
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(names.len(), dedup.len());
+    }
+
+    #[test]
+    fn deep_catalog_excludes_random_structures() {
+        let deep: Vec<_> = deep_catalog().iter().map(|e| e.info.name).collect();
+        assert!(!deep.contains(&"rado"));
+        assert!(!deep.contains(&"random-digraph"));
+        assert!(deep.contains(&"clique"));
+        assert_eq!(deep.len(), 4);
+    }
+}

@@ -1,0 +1,771 @@
+//! Concrete highly symmetric database families (§3.1).
+//!
+//! Each construction bundles the four ingredients of an hs-r-db: the
+//! membership oracles, the `≅_B` decision, a candidate source for the
+//! characteristic tree, and the assembled [`HsDatabase`].
+//!
+//! Families:
+//! * [`infinite_clique`] — "the full infinite clique is highly
+//!   symmetric";
+//! * [`unary_cells`] — databases of unary predicates with declared
+//!   cell sizes (every unary r-db is highly symmetric; Prop 2.6/6.1);
+//! * [`ComponentGraph`] — disjoint unions of infinitely many copies of
+//!   finitely many finite components: "a highly symmetric graph
+//!   consists of … connected components, where each component is …
+//!   highly symmetric, and there are only finitely many pairwise
+//!   non-isomorphic components";
+//! * [`paper_example_graph`] — the two-class directed graph drawn in
+//!   §3.1 next to its characteristic tree.
+
+use crate::build::{CandidateSource, DedupTree, FnCandidates};
+use crate::rep::{EquivOracle, EquivRef, FnEquiv, HsDatabase};
+use recdb_core::{
+    Database, DatabaseBuilder, Elem, FiniteStructure, FnRelation, Tuple,
+};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// Assembles an [`HsDatabase`] from a database, equivalence oracle and
+/// candidate source, building the tree by deduplication and computing
+/// the `Cᵢ` from the membership oracles.
+pub fn assemble(
+    db: Database,
+    equiv: EquivRef,
+    source: Arc<dyn CandidateSource>,
+) -> HsDatabase {
+    let tree = Arc::new(DedupTree::new(Arc::clone(&equiv), source));
+    HsDatabase::with_computed_reps(db, tree, equiv)
+}
+
+/// The full infinite (irreflexive, symmetric) clique on ℕ.
+pub fn infinite_clique() -> HsDatabase {
+    let db = DatabaseBuilder::new("clique")
+        .relation("E", FnRelation::infinite_clique())
+        .build();
+    let equiv: EquivRef = Arc::new(FnEquiv::new(|u, v| {
+        u.equality_pattern() == v.equality_pattern()
+    }));
+    let source = Arc::new(FnCandidates::new(|x: &Tuple| {
+        let mut d = x.distinct_elems();
+        let fresh = (0..).map(Elem).find(|e| !d.contains(e)).expect("ℕ");
+        d.push(fresh);
+        d
+    }));
+    assemble(db, equiv, source)
+}
+
+/// Declared size of a unary cell.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CellSize {
+    /// The cell holds exactly these elements.
+    Finite(Vec<u64>),
+    /// The cell is infinite (elements assigned by round-robin layout).
+    Infinite,
+}
+
+/// A database of `k` unary predicates ("cells") with declared sizes.
+///
+/// Layout: finite cells own their listed elements; all remaining
+/// naturals are distributed round-robin among the infinite cells (if
+/// any; with none, leftovers belong to no cell, forming an implicit
+/// infinite "outside" region — which is itself one more automorphism
+/// class).
+///
+/// # Panics
+/// Panics if finite cells overlap.
+pub fn unary_cells(cells: Vec<CellSize>) -> HsDatabase {
+    let k = cells.len();
+    // Precompute finite ownership and the list of infinite cells.
+    let mut finite_owner: std::collections::BTreeMap<u64, usize> = Default::default();
+    let mut infinite_cells: Vec<usize> = Vec::new();
+    for (i, c) in cells.iter().enumerate() {
+        match c {
+            CellSize::Finite(vals) => {
+                for &v in vals {
+                    assert!(
+                        finite_owner.insert(v, i).is_none(),
+                        "element {v} in two finite cells"
+                    );
+                }
+            }
+            CellSize::Infinite => infinite_cells.push(i),
+        }
+    }
+    let finite_owner = Arc::new(finite_owner);
+    let infinite_cells = Arc::new(infinite_cells);
+
+    // cell(v) = Some(i) if element v is in cell i.
+    let cell_of = {
+        let finite_owner = Arc::clone(&finite_owner);
+        let infinite_cells = Arc::clone(&infinite_cells);
+        Arc::new(move |v: u64| -> Option<usize> {
+            if let Some(&i) = finite_owner.get(&v) {
+                return Some(i);
+            }
+            if infinite_cells.is_empty() {
+                return None;
+            }
+            // Round-robin the non-finite elements over infinite cells:
+            // rank of v among non-finite elements mod #infinite.
+            let below = finite_owner.range(..v).count() as u64;
+            let rank = v - below;
+            Some(infinite_cells[(rank % infinite_cells.len() as u64) as usize])
+        })
+    };
+
+    let mut b = DatabaseBuilder::new("cells");
+    for i in 0..k {
+        let cell_of = Arc::clone(&cell_of);
+        b = b.relation(
+            format!("P{}", i + 1),
+            FnRelation::new("cell", 1, move |t| cell_of(t[0].value()) == Some(i)),
+        );
+    }
+    let db = b.build();
+
+    // u ≅_B v iff equality patterns match and cells match positionwise
+    // (within-cell permutations are automorphisms, finite cells have
+    // exactly the occupancy the pattern already forces).
+    let equiv: EquivRef = {
+        let cell_of = Arc::clone(&cell_of);
+        Arc::new(FnEquiv::new(move |u, v| {
+            u.equality_pattern() == v.equality_pattern()
+                && u.elems()
+                    .iter()
+                    .zip(v.elems())
+                    .all(|(a, b)| cell_of(a.value()) == cell_of(b.value()))
+        }))
+    };
+
+    // Candidates: existing elements + the least unused element of each
+    // cell (and of the outside region, if it exists).
+    let source = {
+        let cell_of = Arc::clone(&cell_of);
+        let regions: Vec<Option<usize>> = {
+            let mut r: Vec<Option<usize>> = (0..k).map(Some).collect();
+            if infinite_cells.is_empty() {
+                r.push(None); // the outside region
+            }
+            r
+        };
+        Arc::new(FnCandidates::new(move |x: &Tuple| {
+            let mut out = x.distinct_elems();
+            for region in &regions {
+                if let Some(fresh) = (0u64..)
+                    .map(Elem)
+                    .take(10_000)
+                    .find(|e| !out.contains(e) && cell_of(e.value()) == *region)
+                {
+                    out.push(fresh);
+                }
+                // A fully-used finite cell simply contributes nothing.
+            }
+            out
+        }))
+    };
+    assemble(db, equiv, source)
+}
+
+/// A graph that is the disjoint union of **infinitely many copies** of
+/// each of finitely many finite component types — the canonical highly
+/// symmetric graph shape of §3.1.
+///
+/// Encoding of element `v`: `t = v mod k` (component type), then
+/// `w = v div k`, `copy = w div size_t`, `node = w mod size_t`.
+pub struct ComponentGraph {
+    components: Arc<Vec<FiniteStructure>>,
+}
+
+/// Decoded element coordinates inside a [`ComponentGraph`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug, PartialOrd, Ord)]
+pub struct Coords {
+    /// Component type index.
+    pub ty: usize,
+    /// Copy number.
+    pub copy: u64,
+    /// Node index inside the component (0-based position in its
+    /// sorted universe).
+    pub node: usize,
+}
+
+impl ComponentGraph {
+    /// Builds from finite component structures (each a single binary
+    /// relation "E").
+    ///
+    /// # Panics
+    /// Panics if `components` is empty, any component is empty, has a
+    /// schema other than one binary relation, or is not (weakly)
+    /// connected. Connectivity is essential: the equivalence decision
+    /// identifies copy-blocks with connected components, which is only
+    /// sound when each replicated chunk *is* one component.
+    pub fn new(components: Vec<FiniteStructure>) -> Self {
+        assert!(!components.is_empty(), "need at least one component type");
+        for c in &components {
+            assert!(c.size() > 0, "components must be nonempty");
+            assert_eq!(
+                c.schema().arities(),
+                &[2],
+                "components are graphs (one binary relation)"
+            );
+            assert!(
+                is_weakly_connected(c),
+                "component types must be weakly connected"
+            );
+        }
+        ComponentGraph {
+            components: Arc::new(components),
+        }
+    }
+
+    /// Decodes an element.
+    pub fn coords(&self, e: Elem) -> Coords {
+        let k = self.components.len() as u64;
+        let ty = (e.value() % k) as usize;
+        let w = e.value() / k;
+        let s = self.components[ty].size() as u64;
+        Coords {
+            ty,
+            copy: w / s,
+            node: (w % s) as usize,
+        }
+    }
+
+    /// Encodes coordinates back to an element.
+    pub fn encode(&self, c: Coords) -> Elem {
+        let k = self.components.len() as u64;
+        let s = self.components[c.ty].size() as u64;
+        Elem((c.copy * s + c.node as u64) * k + c.ty as u64)
+    }
+
+    /// The component structures.
+    pub fn components(&self) -> &[FiniteStructure] {
+        &self.components
+    }
+
+    fn edge(&self, x: Elem, y: Elem) -> bool {
+        let (a, b) = (self.coords(x), self.coords(y));
+        if a.ty != b.ty || a.copy != b.copy {
+            return false;
+        }
+        let comp = &self.components[a.ty];
+        let ua = comp.universe()[a.node];
+        let ub = comp.universe()[b.node];
+        comp.contains(0, &Tuple::from(vec![ua, ub]))
+    }
+
+    /// Builds the full hs-r-db.
+    pub fn into_hsdb(self) -> HsDatabase {
+        let me = Arc::new(self);
+        let db = {
+            let me = Arc::clone(&me);
+            DatabaseBuilder::new("components")
+                .relation(
+                    "E",
+                    FnRelation::new("comp-edge", 2, move |t| me.edge(t[0], t[1])),
+                )
+                .build()
+        };
+        let equiv: EquivRef = {
+            let me = Arc::clone(&me);
+            Arc::new(FnEquiv::new(move |u, v| me.equivalent(u, v)))
+        };
+        let source: Arc<dyn CandidateSource> = {
+            let me = Arc::clone(&me);
+            Arc::new(FnCandidates::new(move |x: &Tuple| me.candidates(x)))
+        };
+        assemble(db, equiv, source)
+    }
+
+    /// Decides `u ≅_B v`: equality patterns match, coordinates match
+    /// by type, copy-blocks align positionwise, and each aligned block
+    /// extends to a component automorphism. (Spare copies are infinite,
+    /// so distinct copies map to distinct copies freely.)
+    pub fn equivalent(&self, u: &Tuple, v: &Tuple) -> bool {
+        if u.rank() != v.rank() || u.equality_pattern() != v.equality_pattern() {
+            return false;
+        }
+        let cu: Vec<Coords> = u.elems().iter().map(|&e| self.coords(e)).collect();
+        let cv: Vec<Coords> = v.elems().iter().map(|&e| self.coords(e)).collect();
+        // Copy-block alignment: positions share a (ty, copy) in u iff
+        // they do in v, and types agree positionwise.
+        for i in 0..cu.len() {
+            if cu[i].ty != cv[i].ty {
+                return false;
+            }
+            for j in (i + 1)..cu.len() {
+                let same_u = cu[i].ty == cu[j].ty && cu[i].copy == cu[j].copy;
+                let same_v = cv[i].ty == cv[j].ty && cv[i].copy == cv[j].copy;
+                if same_u != same_v {
+                    return false;
+                }
+            }
+        }
+        // Distinct u-copies must map to distinct v-copies: alignment
+        // above gives a well-defined copy map; injectivity check.
+        let mut copy_map: Vec<((usize, u64), (usize, u64))> = Vec::new();
+        for i in 0..cu.len() {
+            let from = (cu[i].ty, cu[i].copy);
+            let to = (cv[i].ty, cv[i].copy);
+            match copy_map.iter().find(|(f, _)| *f == from) {
+                Some((_, t)) => {
+                    if *t != to {
+                        return false;
+                    }
+                }
+                None => {
+                    if copy_map.iter().any(|(_, t)| *t == to) {
+                        return false; // two u-copies to one v-copy
+                    }
+                    copy_map.push((from, to));
+                }
+            }
+        }
+        // Per aligned copy-block: node map extends to an automorphism.
+        for (from, _) in &copy_map {
+            let comp = &self.components[from.0];
+            let idx: Vec<usize> = (0..cu.len())
+                .filter(|&i| (cu[i].ty, cu[i].copy) == *from)
+                .collect();
+            let ut: Tuple = idx
+                .iter()
+                .map(|&i| comp.universe()[cu[i].node])
+                .collect();
+            let vt: Tuple = idx
+                .iter()
+                .map(|&i| comp.universe()[cv[i].node])
+                .collect();
+            if comp.isomorphism_extending(comp, &ut, &vt).is_none() {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Extension candidates: all nodes of every copy touched by `x`,
+    /// plus all nodes of one fresh copy of each type.
+    pub fn candidates(&self, x: &Tuple) -> Vec<Elem> {
+        let mut out: BTreeSet<Elem> = BTreeSet::new();
+        let mut touched: BTreeSet<(usize, u64)> = BTreeSet::new();
+        let mut max_copy = vec![0u64; self.components.len()];
+        for &e in x.elems() {
+            let c = self.coords(e);
+            touched.insert((c.ty, c.copy));
+            max_copy[c.ty] = max_copy[c.ty].max(c.copy + 1);
+        }
+        for &(ty, copy) in &touched {
+            for node in 0..self.components[ty].size() {
+                out.insert(self.encode(Coords { ty, copy, node }));
+            }
+        }
+        for (ty, &copy) in max_copy.iter().enumerate() {
+            for node in 0..self.components[ty].size() {
+                out.insert(self.encode(Coords { ty, copy, node }));
+            }
+        }
+        out.into_iter().collect()
+    }
+}
+
+/// The worked example of §3.1: the directed graph drawn next to its
+/// characteristic tree, with exactly two edge classes — a symmetric
+/// pair (the paper's representative `(1,3)`) and a one-way edge (the
+/// paper's `(2,4)`). Built as infinitely many copies of two connected
+/// component types: `0 ⇄ 1` and `2 → 3`.
+pub fn paper_example_graph() -> HsDatabase {
+    let sym_pair = FiniteStructure::graph([0, 1], [(0, 1), (1, 0)]);
+    let arrow = FiniteStructure::graph([2, 3], [(2, 3)]);
+    ComponentGraph::new(vec![sym_pair, arrow]).into_hsdb()
+}
+
+/// Is the (directed) graph structure weakly connected?
+fn is_weakly_connected(c: &FiniteStructure) -> bool {
+    let universe = c.universe();
+    if universe.is_empty() {
+        return true;
+    }
+    let mut seen = vec![false; universe.len()];
+    let mut stack = vec![0usize];
+    seen[0] = true;
+    let idx_of = |e: recdb_core::Elem| universe.binary_search(&e).expect("in universe");
+    while let Some(i) = stack.pop() {
+        for t in c.relation(0) {
+            let (a, b) = (idx_of(t[0]), idx_of(t[1]));
+            for (x, y) in [(a, b), (b, a)] {
+                if x == i && !seen[y] {
+                    seen[y] = true;
+                    stack.push(y);
+                }
+            }
+        }
+    }
+    seen.into_iter().all(|s| s)
+}
+
+/// A not-highly-symmetric reference: the two-way infinite line of
+/// §3.1, packaged as a plain r-db (it has **no** valid finite
+/// characteristic tree — the experiments use it as the negative
+/// control).
+pub fn infinite_line_db() -> Database {
+    DatabaseBuilder::new("line")
+        .relation("E", FnRelation::infinite_line())
+        .build()
+}
+
+/// An equivalence oracle for the infinite line: `u ≅ v` iff the two
+/// tuples have the same signed-distance profile up to global
+/// translation/reflection of positions. (The line's automorphisms are
+/// exactly translations and reflections.)
+pub fn line_equiv() -> EquivRef {
+    fn pos(e: Elem) -> i64 {
+        let v = e.value() as i64;
+        if v % 2 == 0 {
+            v / 2
+        } else {
+            -(v + 1) / 2
+        }
+    }
+    Arc::new(FnEquiv::new(|u, v| {
+        if u.rank() != v.rank() {
+            return false;
+        }
+        if u.rank() == 0 {
+            return true;
+        }
+        let pu: Vec<i64> = u.elems().iter().map(|&e| pos(e)).collect();
+        let pv: Vec<i64> = v.elems().iter().map(|&e| pos(e)).collect();
+        // Translation: differences from the first coordinate match.
+        let translated = pu
+            .iter()
+            .zip(&pv)
+            .all(|(a, b)| a - pu[0] == b - pv[0]);
+        // Reflection: differences negate.
+        let reflected = pu
+            .iter()
+            .zip(&pv)
+            .all(|(a, b)| a - pu[0] == -(b - pv[0]));
+        translated || reflected
+    }))
+}
+
+impl EquivOracle for ComponentGraph {
+    fn equivalent(&self, u: &Tuple, v: &Tuple) -> bool {
+        ComponentGraph::equivalent(self, u, v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recdb_core::tuple;
+
+    #[test]
+    fn clique_validates_and_counts() {
+        let hs = infinite_clique();
+        hs.validate(3).unwrap();
+        // Rank-n class counts are Bell numbers.
+        assert_eq!(hs.t_n(1).len(), 1);
+        assert_eq!(hs.t_n(2).len(), 2);
+        assert_eq!(hs.t_n(3).len(), 5);
+    }
+
+    #[test]
+    fn unary_cells_infinite_pair() {
+        let hs = unary_cells(vec![CellSize::Infinite, CellSize::Infinite]);
+        hs.validate(2).unwrap();
+        // Rank 1: two classes (one per cell).
+        assert_eq!(hs.t_n(1).len(), 2);
+        // Rank 2: pattern(=, ≠) × cells — (a,a): 2; (a,b): 4 → 6.
+        assert_eq!(hs.t_n(2).len(), 6);
+    }
+
+    #[test]
+    fn unary_cells_with_finite_cell() {
+        // One singleton cell {7} and one infinite cell.
+        let hs = unary_cells(vec![CellSize::Finite(vec![7]), CellSize::Infinite]);
+        hs.validate(2).unwrap();
+        assert_eq!(hs.t_n(1).len(), 2);
+        // Rank 2: (a,a) → 2 classes. (a,b) distinct: cells (1,1)
+        // impossible (cell has one element), (1,2),(2,1),(2,2) → 3.
+        assert_eq!(hs.t_n(2).len(), 5);
+        // Membership: 7 is the sole P1 element.
+        let db = hs.database();
+        assert!(db.query(0, tuple![7].elems()));
+        assert!(!db.query(0, tuple![8].elems()));
+        assert!(db.query(1, tuple![8].elems()));
+    }
+
+    #[test]
+    fn unary_cells_no_infinite_cells_has_outside_region() {
+        let hs = unary_cells(vec![CellSize::Finite(vec![1, 2])]);
+        hs.validate(2).unwrap();
+        // Rank 1: in-cell vs outside → 2 classes... but the two cell
+        // elements 1,2 are interchangeable (same cell), so: 2 classes.
+        assert_eq!(hs.t_n(1).len(), 2);
+    }
+
+    #[test]
+    fn component_graph_triangle_edges() {
+        let tri = FiniteStructure::undirected_graph([0, 1, 2], [(0, 1), (1, 2), (2, 0)]);
+        let g = ComponentGraph::new(vec![tri]);
+        let a = g.encode(Coords { ty: 0, copy: 0, node: 0 });
+        let b = g.encode(Coords { ty: 0, copy: 0, node: 1 });
+        let c = g.encode(Coords { ty: 0, copy: 1, node: 0 });
+        assert!(g.edge(a, b), "same copy, adjacent nodes");
+        assert!(!g.edge(a, c), "different copies never adjacent");
+        assert!(g.edge(b, a), "triangles are symmetric");
+    }
+
+    #[test]
+    fn component_graph_equivalence() {
+        let tri = FiniteStructure::undirected_graph([0, 1, 2], [(0, 1), (1, 2), (2, 0)]);
+        let g = ComponentGraph::new(vec![tri]);
+        let e = |c, n| g.encode(Coords { ty: 0, copy: c, node: n });
+        // Two nodes in one copy ≅ two nodes in another copy.
+        let u: Tuple = vec![e(0, 0), e(0, 1)].into();
+        let v: Tuple = vec![e(3, 2), e(3, 0)].into();
+        assert!(g.equivalent(&u, &v));
+        // Same-copy pair vs cross-copy pair: not equivalent.
+        let w: Tuple = vec![e(0, 0), e(1, 1)].into();
+        assert!(!g.equivalent(&u, &w));
+        // Cross-copy ≅ cross-copy (copies interchangeable).
+        let w2: Tuple = vec![e(2, 2), e(5, 0)].into();
+        assert!(g.equivalent(&w, &w2));
+    }
+
+    #[test]
+    fn triangles_hsdb_validates() {
+        let tri = FiniteStructure::undirected_graph([0, 1, 2], [(0, 1), (1, 2), (2, 0)]);
+        let hs = ComponentGraph::new(vec![tri]).into_hsdb();
+        hs.validate(2).unwrap();
+        // Rank 1: all nodes equivalent → 1 class.
+        assert_eq!(hs.t_n(1).len(), 1);
+        // Rank 2: x=y; same-copy distinct (adjacent — all pairs in a
+        // triangle are adjacent); cross-copy distinct → 3 classes.
+        assert_eq!(hs.t_n(2).len(), 3);
+    }
+
+    #[test]
+    fn two_component_types_distinguished() {
+        let tri = FiniteStructure::undirected_graph([0, 1, 2], [(0, 1), (1, 2), (2, 0)]);
+        let edge = FiniteStructure::undirected_graph([0, 1], [(0, 1)]);
+        let hs = ComponentGraph::new(vec![tri, edge]).into_hsdb();
+        hs.validate(2).unwrap();
+        // Rank 1: triangle-node vs edge-node → 2 classes (each
+        // component is vertex-transitive).
+        assert_eq!(hs.t_n(1).len(), 2);
+    }
+
+    #[test]
+    fn path_component_has_two_node_orbits() {
+        // Path 0–1–2: endpoints vs midpoint.
+        let path = FiniteStructure::undirected_graph([0, 1, 2], [(0, 1), (1, 2)]);
+        let hs = ComponentGraph::new(vec![path]).into_hsdb();
+        hs.validate(2).unwrap();
+        assert_eq!(hs.t_n(1).len(), 2, "endpoint class and midpoint class");
+    }
+
+    #[test]
+    fn paper_example_graph_has_two_edge_classes() {
+        let hs = paper_example_graph();
+        hs.validate(2).unwrap();
+        // The paper marks exactly two representatives of edge classes:
+        // (1,3) — the symmetric pair — and (2,4) — the one-way edge.
+        assert_eq!(hs.reps(0).len(), 2, "two edge classes as drawn");
+    }
+
+    #[test]
+    fn line_equiv_translation_and_reflection() {
+        let eq = line_equiv();
+        // Elements: 0↦pos0, 2↦pos1, 4↦pos2, 1↦pos-1.
+        // (0,2) ≅ (2,4): translation by 1.
+        assert!(eq.equivalent(&tuple![0, 2], &tuple![2, 4]));
+        // (0,2) ≅ (2,0): reflection.
+        assert!(eq.equivalent(&tuple![0, 2], &tuple![2, 0]));
+        // (0,2) ≇ (0,4): distance 1 vs 2.
+        assert!(!eq.equivalent(&tuple![0, 2], &tuple![0, 4]));
+    }
+
+    #[test]
+    fn line_rank2_classes_grow_with_distance() {
+        // The §3.1 point: (1,2i) ≇ (1,2j) for i≠j — infinitely many
+        // rank-2 classes. Check pairwise non-equivalence of increasing
+        // distances.
+        let eq = line_equiv();
+        let pairs: Vec<Tuple> =
+            (1..6).map(|d| vec![Elem(0), Elem(2 * d)].into()).collect();
+        for (i, u) in pairs.iter().enumerate() {
+            for v in &pairs[i + 1..] {
+                assert!(!eq.equivalent(u, v), "{u:?} vs {v:?}");
+            }
+        }
+    }
+}
+
+/// The infinite star: a distinguished hub adjacent (symmetrically) to
+/// every other element; leaves are pairwise non-adjacent. Highly
+/// symmetric — automorphisms fix the hub and permute leaves freely —
+/// with exactly two rank-1 classes. (Contrast with the line: bounded
+/// distances, so the coloring technique finds nothing.)
+///
+/// Encoding: the hub is element 0.
+pub fn infinite_star() -> HsDatabase {
+    let db = DatabaseBuilder::new("star")
+        .relation(
+            "E",
+            FnRelation::new("star", 2, |t| {
+                (t[0].value() == 0) != (t[1].value() == 0)
+            }),
+        )
+        .build();
+    let equiv: EquivRef = Arc::new(FnEquiv::new(|u: &Tuple, v: &Tuple| {
+        u.equality_pattern() == v.equality_pattern()
+            && u.elems()
+                .iter()
+                .zip(v.elems())
+                .all(|(a, b)| (a.value() == 0) == (b.value() == 0))
+    }));
+    let source = Arc::new(FnCandidates::new(|x: &Tuple| {
+        let mut out = x.distinct_elems();
+        if !out.contains(&Elem(0)) {
+            out.push(Elem(0)); // the hub
+        }
+        let fresh = (1..)
+            .map(Elem)
+            .find(|e| !out.contains(e))
+            .expect("infinitely many leaves");
+        out.push(fresh);
+        out
+    }));
+    assemble(db, equiv, source)
+}
+
+#[cfg(test)]
+mod star_tests {
+    use super::*;
+    use recdb_core::tuple;
+
+    #[test]
+    fn star_is_highly_symmetric_with_two_node_classes() {
+        let hs = infinite_star();
+        hs.validate(2).unwrap();
+        assert_eq!(hs.t_n(1).len(), 2, "hub and leaf");
+        // Rank 2: (hub,hub), (leaf,leaf=), (hub,leaf), (leaf,hub),
+        // (leaf,leaf≠) → 5.
+        assert_eq!(hs.t_n(2).len(), 5);
+    }
+
+    #[test]
+    fn star_edges_are_hub_leaf_only() {
+        let hs = infinite_star();
+        let db = hs.database();
+        assert!(db.query(0, tuple![0, 7].elems()));
+        assert!(db.query(0, tuple![7, 0].elems()));
+        assert!(!db.query(0, tuple![3, 7].elems()));
+        assert!(!db.query(0, tuple![0, 0].elems()));
+        // C₁ = the two hub-leaf orientations.
+        assert_eq!(hs.reps(0).len(), 2);
+    }
+
+    #[test]
+    fn leaves_are_interchangeable_hub_is_fixed() {
+        let hs = infinite_star();
+        assert!(hs.equivalent(&tuple![3], &tuple![9]));
+        assert!(!hs.equivalent(&tuple![0], &tuple![9]));
+        assert!(hs.equivalent(&tuple![0, 3, 5], &tuple![0, 8, 2]));
+        assert!(!hs.equivalent(&tuple![0, 3], &tuple![3, 0]));
+    }
+}
+
+/// The disjoint union of **two** two-way infinite lines — the paper's
+/// §3.2 example of elementarily equivalent but non-isomorphic
+/// recursive structures (one line vs. two lines). Neither is highly
+/// symmetric; the pair exists to show that Corollary 3.1 genuinely
+/// needs high symmetricity.
+///
+/// Encoding: element `2v` lies on line 0 at the line-coding of `v`;
+/// `2v+1` lies on line 1.
+pub fn two_lines_db() -> Database {
+    fn pos(v: u64) -> i64 {
+        let v = v as i64;
+        if v % 2 == 0 {
+            v / 2
+        } else {
+            -(v + 1) / 2
+        }
+    }
+    DatabaseBuilder::new("two-lines")
+        .relation(
+            "E",
+            FnRelation::new("2line", 2, |t| {
+                let (x, y) = (t[0].value(), t[1].value());
+                x % 2 == y % 2 && (pos(x / 2) - pos(y / 2)).abs() == 1
+            }),
+        )
+        .build()
+}
+
+#[cfg(test)]
+mod two_lines_tests {
+    use super::*;
+    use recdb_logic::EfGame;
+
+    #[test]
+    fn lines_never_cross() {
+        let db = two_lines_db();
+        // 0 (line 0, pos 0) and 4 (line 0, pos 1) are adjacent.
+        assert!(db.query(0, &[Elem(0), Elem(4)]));
+        // 0 (line 0) and 5 (line 1) are never adjacent.
+        assert!(!db.query(0, &[Elem(0), Elem(5)]));
+        // Line 1 adjacency mirrors line 0.
+        assert!(db.query(0, &[Elem(1), Elem(5)]));
+    }
+
+    #[test]
+    fn one_line_and_two_lines_are_ef_equivalent_at_small_depth() {
+        // The §3.2 figure: a single line and two disjoint lines are
+        // elementarily equivalent (non-isomorphic). Finite play: the
+        // duplicator survives small-round games between the two
+        // databases over matched windows.
+        let one = infinite_line_db();
+        let two = two_lines_db();
+        let pool_one: Vec<Elem> = (0..12).map(Elem).collect();
+        let pool_two: Vec<Elem> = (0..24).map(Elem).collect();
+        let mut game = EfGame::new(&one, &two, pool_one, pool_two);
+        for r in 0..=1 {
+            assert!(
+                game.duplicator_wins(&Tuple::empty(), &Tuple::empty(), r),
+                "duplicator must survive r={r}"
+            );
+        }
+    }
+
+    #[test]
+    fn cross_line_pairs_differ_from_same_line_pairs() {
+        // (0, 4): same line, adjacent. (0, 5): different lines. Their
+        // local types differ (edge vs non-edge); deeper: a same-line
+        // non-adjacent pair (0, 8) vs a cross pair (0, 5) share local
+        // type but split in one EF round over a window (connectivity
+        // leaking through finitely many rounds — full inequivalence
+        // needs unboundedly many, which is the point of the example).
+        let two = two_lines_db();
+        assert!(!recdb_core::locally_equivalent(
+            &two,
+            &Tuple::from_values([0, 4]),
+            &Tuple::from_values([0, 5])
+        ));
+        let pool: Vec<Elem> = (0..20).map(Elem).collect();
+        let mut game = EfGame::new(&two, &two, pool.clone(), pool);
+        assert!(game.duplicator_wins(
+            &Tuple::from_values([0, 8]),
+            &Tuple::from_values([0, 5]),
+            0
+        ));
+        // One round: the midpoint 4 between 0 and 8 has no counterpart
+        // for the cross pair.
+        assert!(!game.duplicator_wins(
+            &Tuple::from_values([0, 8]),
+            &Tuple::from_values([0, 5]),
+            1
+        ));
+    }
+}

@@ -1,0 +1,330 @@
+//! Finite ∕ co-finite recursive data bases (§4).
+//!
+//! Def 4.1: an fcf-r-db has every relation either finite (represented
+//! by its tuple set) or co-finite (represented by its finite complement
+//! plus an indicator). The finiteness indication is *representation
+//! metadata* — it is not recursive in the membership oracles. Prop 4.1:
+//! fcf-r-dbs are exactly the hs-r-dbs whose relations are finite or
+//! co-finite; this module builds the `C_B` representation and
+//! implements both directions, including the paper's algorithm for
+//! extracting `Df` (the constants of the finite parts) from a
+//! characteristic tree.
+
+use crate::build::FnCandidates;
+use crate::constructions::assemble;
+use crate::rep::{EquivRef, FnEquiv, HsDatabase};
+use crate::tree::CharacteristicTree;
+use recdb_core::{
+    CoFiniteRelation, Database, DatabaseBuilder, Elem, FiniteRelation, FiniteStructure,
+    RecursiveRelation, Schema, Tuple,
+};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// One fcf relation: finite with its tuples, or co-finite with its
+/// complement (the "special indicator" is the variant tag).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FcfRel {
+    /// A finite relation.
+    Finite(FiniteRelation),
+    /// A co-finite relation, by complement.
+    CoFinite(CoFiniteRelation),
+}
+
+impl FcfRel {
+    /// The arity.
+    pub fn arity(&self) -> usize {
+        match self {
+            FcfRel::Finite(r) => r.arity(),
+            FcfRel::CoFinite(r) => r.arity(),
+        }
+    }
+
+    /// The finite part: the tuples for a finite relation, the
+    /// complement for a co-finite one.
+    pub fn finite_part(&self) -> &BTreeSet<Tuple> {
+        match self {
+            FcfRel::Finite(r) => r.tuples(),
+            FcfRel::CoFinite(r) => r.complement(),
+        }
+    }
+
+    fn contains(&self, t: &[Elem]) -> bool {
+        match self {
+            FcfRel::Finite(r) => r.contains(t),
+            FcfRel::CoFinite(r) => r.contains(t),
+        }
+    }
+}
+
+/// A finite ∕ co-finite recursive data base.
+#[derive(Clone, Debug)]
+pub struct FcfDatabase {
+    name: String,
+    rels: Arc<Vec<FcfRel>>,
+}
+
+impl FcfDatabase {
+    /// Builds an fcf-r-db from its relation representations.
+    pub fn new(name: impl Into<String>, rels: Vec<FcfRel>) -> Self {
+        FcfDatabase {
+            name: name.into(),
+            rels: Arc::new(rels),
+        }
+    }
+
+    /// The relations.
+    pub fn relations(&self) -> &[FcfRel] {
+        &self.rels
+    }
+
+    /// `Df`: all constants appearing in the finite parts (Def §4).
+    pub fn df(&self) -> BTreeSet<Elem> {
+        self.rels
+            .iter()
+            .flat_map(|r| r.finite_part().iter())
+            .flat_map(|t| t.elems().iter().copied())
+            .collect()
+    }
+
+    /// The plain r-db view (membership oracles only — the finiteness
+    /// indicators are *not* recoverable from this view).
+    pub fn as_database(&self) -> Database {
+        let mut b = DatabaseBuilder::new(self.name.clone());
+        for (i, r) in self.rels.iter().enumerate() {
+            let rels = Arc::clone(&self.rels);
+            b = b.relation(
+                format!("R{}", i + 1),
+                recdb_core::FnRelation::new("fcf", r.arity(), move |t| rels[i].contains(t)),
+            );
+        }
+        b.build()
+    }
+
+    /// The finite structure on `Df` holding the finite parts — the
+    /// object whose automorphisms are exactly the `Df`-behaviours of
+    /// `B`'s automorphisms (an automorphism of `B` = an automorphism of
+    /// this structure × any permutation of `D ∖ Df`).
+    pub fn df_structure(&self) -> FiniteStructure {
+        let df = self.df();
+        let arities: Vec<usize> = self.rels.iter().map(FcfRel::arity).collect();
+        let schema = Schema::new(arities);
+        let rels: Vec<BTreeSet<Tuple>> = self
+            .rels
+            .iter()
+            .map(|r| r.finite_part().clone())
+            .collect();
+        FiniteStructure::new(schema, df, rels)
+    }
+
+    /// The `≅_B` oracle: equality patterns match, `Df`-positions align
+    /// under some automorphism of the `Df` structure, and non-`Df`
+    /// positions map to non-`Df` positions (those elements are freely
+    /// interchangeable).
+    pub fn equiv(&self) -> EquivRef {
+        let df = self.df();
+        let dfst = self.df_structure();
+        Arc::new(FnEquiv::new(move |u, v| {
+            if u.rank() != v.rank() || u.equality_pattern() != v.equality_pattern() {
+                return false;
+            }
+            // Split positions.
+            let mut u_df = Vec::new();
+            let mut v_df = Vec::new();
+            for (a, b) in u.elems().iter().zip(v.elems()) {
+                match (df.contains(a), df.contains(b)) {
+                    (true, true) => {
+                        u_df.push(*a);
+                        v_df.push(*b);
+                    }
+                    (false, false) => {}
+                    _ => return false,
+                }
+            }
+            dfst.isomorphism_extending(&dfst, &Tuple::from(u_df), &Tuple::from(v_df))
+                .is_some()
+        }))
+    }
+
+    /// Builds the full hs-r-db representation (Prop 4.1's "if"
+    /// direction: every fcf-r-db is an hs-r-db).
+    pub fn into_hsdb(self) -> HsDatabase {
+        let db = self.as_database();
+        let equiv = self.equiv();
+        let df: Vec<Elem> = self.df().into_iter().collect();
+        // Candidates: existing elements, every Df element, one fresh
+        // non-Df element.
+        let source = Arc::new(FnCandidates::new(move |x: &Tuple| {
+            let mut out = x.distinct_elems();
+            for &d in &df {
+                if !out.contains(&d) {
+                    out.push(d);
+                }
+            }
+            let fresh = (0u64..)
+                .map(Elem)
+                .find(|e| !out.contains(e))
+                .expect("ℕ is infinite");
+            out.push(fresh);
+            out
+        }));
+        assemble(db, equiv, source)
+    }
+}
+
+/// **Prop 4.1's algorithm**: extract `Df` from a characteristic tree
+/// alone. Finds the shortest tuple `d` of distinct elements in `T_B`
+/// such that `T(d)` contains exactly one offspring extending `d` with
+/// a fresh element; `d`'s elements are then exactly `Df`.
+///
+/// `max_depth` bounds the breadth-first search (the true `|Df|` must
+/// be ≤ `max_depth` for the extraction to succeed).
+pub fn df_from_tree(
+    tree: &dyn CharacteristicTree,
+    max_depth: usize,
+) -> Option<BTreeSet<Elem>> {
+    let mut level: Vec<Tuple> = vec![Tuple::empty()];
+    for _ in 0..=max_depth {
+        // Check condition (ii) for each all-distinct tuple at this level.
+        for d in &level {
+            if d.distinct_elems().len() != d.rank() {
+                continue;
+            }
+            let fresh_children = tree
+                .offspring(d)
+                .into_iter()
+                .filter(|a| !d.elems().contains(a))
+                .count();
+            if fresh_children == 1 {
+                return Some(d.elems().iter().copied().collect());
+            }
+        }
+        // Descend.
+        let mut next = Vec::new();
+        for x in &level {
+            for a in tree.offspring(x) {
+                next.push(x.extend(a));
+            }
+        }
+        level = next;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recdb_core::tuple;
+
+    /// Finite unary relation {1,2}, co-finite binary relation
+    /// ℕ²∖{(1,1)}.
+    fn sample() -> FcfDatabase {
+        FcfDatabase::new(
+            "sample",
+            vec![
+                FcfRel::Finite(FiniteRelation::unary([1, 2])),
+                FcfRel::CoFinite(CoFiniteRelation::new(2, [tuple![1, 1]])),
+            ],
+        )
+    }
+
+    #[test]
+    fn df_collects_finite_part_constants() {
+        let df = sample().df();
+        assert_eq!(df, [Elem(1), Elem(2)].into_iter().collect());
+    }
+
+    #[test]
+    fn membership_oracles() {
+        let db = sample().as_database();
+        assert!(db.query(0, tuple![1].elems()));
+        assert!(!db.query(0, tuple![3].elems()));
+        assert!(!db.query(1, tuple![1, 1].elems()));
+        assert!(db.query(1, tuple![1, 2].elems()));
+        assert!(db.query(1, tuple![50, 50].elems()));
+    }
+
+    #[test]
+    fn equivalence_respects_df() {
+        let eq = sample().equiv();
+        // Two non-Df elements are interchangeable.
+        assert!(eq.equivalent(&tuple![5], &tuple![9]));
+        // Df vs non-Df: never.
+        assert!(!eq.equivalent(&tuple![1], &tuple![5]));
+        // 1 vs 2: both in the unary relation, but (1,1) ∉ R2 while
+        // (2,2) ∈ R2 — no automorphism maps 1 to 2.
+        assert!(!eq.equivalent(&tuple![1], &tuple![2]));
+    }
+
+    #[test]
+    fn symmetric_df_elements_are_equivalent() {
+        // Finite unary {1,2} only: 1 and 2 are automorphic.
+        let f = FcfDatabase::new(
+            "sym",
+            vec![FcfRel::Finite(FiniteRelation::unary([1, 2]))],
+        );
+        let eq = f.equiv();
+        assert!(eq.equivalent(&tuple![1], &tuple![2]));
+        assert!(eq.equivalent(&tuple![1, 2], &tuple![2, 1]));
+        assert!(!eq.equivalent(&tuple![1, 2], &tuple![1, 5]));
+    }
+
+    #[test]
+    fn fcf_hsdb_validates() {
+        let hs = sample().into_hsdb();
+        hs.validate(2).unwrap();
+        // Rank 1 classes: {1}, {2}, non-Df → 3.
+        assert_eq!(hs.t_n(1).len(), 3);
+    }
+
+    #[test]
+    fn df_extraction_from_tree() {
+        let fcf = sample();
+        let expect = fcf.df();
+        let hs = fcf.into_hsdb();
+        let got = df_from_tree(hs.tree(), 4).expect("Df found");
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn df_extraction_empty_df() {
+        // All relations co-finite with empty complement: Df = ∅, the
+        // root itself satisfies the condition.
+        let f = FcfDatabase::new(
+            "full",
+            vec![FcfRel::CoFinite(CoFiniteRelation::full(1))],
+        );
+        let hs = f.clone().into_hsdb();
+        assert_eq!(df_from_tree(hs.tree(), 2), Some(BTreeSet::new()));
+        assert_eq!(f.df(), BTreeSet::new());
+    }
+
+    #[test]
+    fn df_extraction_depth_too_small_fails() {
+        let hs = sample().into_hsdb();
+        assert_eq!(df_from_tree(hs.tree(), 1), None, "needs depth ≥ |Df| = 2");
+    }
+
+    #[test]
+    fn projection_of_cofinite_is_full_prop_4_2() {
+        // Prop 4.2: for co-finite R ⊆ Dⁿ (n ≥ 1), R↓ = Dⁿ⁻¹. Verify on
+        // samples: every (n−1)-tuple has an extension in R.
+        let r = CoFiniteRelation::new(2, [tuple![1, 1], tuple![2, 5]]);
+        for y in 0..20u64 {
+            let found = (0..25u64).any(|x| r.contains(&[Elem(x), Elem(y)]));
+            assert!(found, "column {y} must be hit");
+        }
+    }
+
+    #[test]
+    fn finite_structure_on_df_has_expected_automorphisms() {
+        let f = FcfDatabase::new(
+            "sym",
+            vec![FcfRel::Finite(FiniteRelation::unary([1, 2]))],
+        );
+        assert_eq!(f.df_structure().automorphisms().len(), 2);
+        let g = sample();
+        // Df = {1,2}: (1,1) excluded from R2 pins both elements.
+        assert_eq!(g.df_structure().automorphisms().len(), 1);
+    }
+}

@@ -1,0 +1,343 @@
+//! Recursive countable random structures (Prop 3.2, [HH2]).
+//!
+//! A countable *random* structure satisfies every extension axiom: for
+//! each finite set `X` and each consistent way a new point can relate
+//! to `X` atomically, such a point exists. Prop 3.2: random structures
+//! are highly symmetric, with `≅_A` coinciding with the decidable
+//! `≅ₗ`. The paper (citing [HH2]) notes a *recursive* random structure
+//! exists; we build two:
+//!
+//! * [`rado_graph`] — the classical Rado graph via the BIT predicate
+//!   (undirected, irreflexive);
+//! * [`random_digraph`] — a directed graph with loops realizing every
+//!   atomic pattern, via a base-4 digit coding.
+//!
+//! Witnesses for extension axioms are *constructed*, not searched: the
+//! codings let us write down, for any finite `X` and pattern, an
+//! element realizing it ([`rado_witness`], [`digraph_witness`]). The
+//! characteristic-tree offspring function uses exactly this — the
+//! executable content of the example after Def 3.7.
+
+use crate::build::FnCandidates;
+use crate::constructions::assemble;
+use crate::rep::{EquivRef, FnEquiv, HsDatabase};
+use recdb_core::{locally_equivalent, Database, DatabaseBuilder, Elem, FnRelation, Tuple};
+use std::sync::Arc;
+
+/// Rado-graph adjacency: for `x ≠ y`, `E(x,y)` iff bit `min(x,y)` of
+/// `max(x,y)` is set. Symmetric and irreflexive.
+pub fn rado_edge(x: u64, y: u64) -> bool {
+    if x == y {
+        return false;
+    }
+    let (lo, hi) = (x.min(y), x.max(y));
+    lo < 64 && (hi >> lo) & 1 == 1
+}
+
+/// The Rado graph as a plain r-db.
+pub fn rado_db() -> Database {
+    DatabaseBuilder::new("rado")
+        .relation(
+            "E",
+            FnRelation::new("rado", 2, |t| rado_edge(t[0].value(), t[1].value())),
+        )
+        .build()
+}
+
+/// Constructs an element adjacent to exactly `neighbors ⊆ X` among
+/// `X = xs` (and larger than every element of `X`): the extension-axiom
+/// witness for the Rado graph.
+///
+/// # Panics
+/// Panics if an element of `xs` is ≥ 63 (the u64 coding bound; the
+/// tree never gets that deep in practice) or `neighbors` mentions an
+/// element outside `xs`.
+pub fn rado_witness(xs: &[Elem], neighbors: &[Elem]) -> Elem {
+    for n in neighbors {
+        assert!(xs.contains(n), "neighbor {n:?} not in X");
+    }
+    let max = xs.iter().map(|e| e.value()).max().unwrap_or(0);
+    assert!(max < 62, "coding bound exceeded");
+    let mut y = 1u64 << (max + 1);
+    for n in neighbors {
+        y |= 1 << n.value();
+    }
+    Elem(y)
+}
+
+/// Random-digraph atoms. Loops: `E(y,y)` iff `y` is odd. Cross edges
+/// for `x < y`: let `d` be the base-4 digit of `⌊y/2⌋` at position `x`;
+/// bit 0 of `d` is `E(x,y)`, bit 1 is `E(y,x)`.
+pub fn digraph_edge(x: u64, y: u64) -> bool {
+    if x == y {
+        return x % 2 == 1;
+    }
+    let (lo, hi, want_bit) = if x < y { (x, y, 0) } else { (y, x, 1) };
+    if lo >= 31 {
+        return false; // beyond the coding range: no edges (still total)
+    }
+    let digit = ((hi / 2) >> (2 * lo)) & 3;
+    (digit >> want_bit) & 1 == 1
+}
+
+/// The random directed graph (with loops) as a plain r-db.
+pub fn random_digraph_db() -> Database {
+    DatabaseBuilder::new("random-digraph")
+        .relation(
+            "E",
+            FnRelation::new("rdg", 2, |t| digraph_edge(t[0].value(), t[1].value())),
+        )
+        .build()
+}
+
+/// A prescribed atomic pattern for a new digraph element against a
+/// finite set `X`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DigraphPattern {
+    /// Should the new element have a loop?
+    pub looped: bool,
+    /// For each element of `X` (same order): `(E(x,y), E(y,x))`.
+    pub edges: Vec<(bool, bool)>,
+}
+
+/// Constructs an element realizing `pattern` against `xs`: the
+/// extension-axiom witness for the random digraph.
+///
+/// # Panics
+/// Panics on length mismatch or coding-bound overflow.
+pub fn digraph_witness(xs: &[Elem], pattern: &DigraphPattern) -> Elem {
+    assert_eq!(xs.len(), pattern.edges.len(), "pattern length mismatch");
+    let max = xs.iter().map(|e| e.value()).max().unwrap_or(0);
+    assert!(max < 30, "coding bound exceeded");
+    let mut code = 1u64 << (2 * (max + 1));
+    for (x, &(fwd, back)) in xs.iter().zip(&pattern.edges) {
+        let d = (fwd as u64) | ((back as u64) << 1);
+        code |= d << (2 * x.value());
+    }
+    Elem(2 * code + pattern.looped as u64)
+}
+
+/// The Rado graph as an hs-r-db: `≅_A = ≅ₗ` (Prop 3.2), tree offspring
+/// by constructed witnesses.
+pub fn rado_graph() -> HsDatabase {
+    let db = rado_db();
+    let equiv: EquivRef = {
+        let db = db.clone();
+        Arc::new(FnEquiv::new(move |u, v| locally_equivalent(&db, u, v)))
+    };
+    let source = Arc::new(FnCandidates::new(|x: &Tuple| {
+        let distinct = x.distinct_elems();
+        let mut out = distinct.clone();
+        // One witness per neighbourhood-subset of the distinct elements.
+        for mask in 0u32..(1 << distinct.len()) {
+            let neigh: Vec<Elem> = distinct
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| (mask >> i) & 1 == 1)
+                .map(|(_, &e)| e)
+                .collect();
+            out.push(rado_witness(&distinct, &neigh));
+        }
+        out
+    }));
+    assemble(db, equiv, source)
+}
+
+/// The random digraph as an hs-r-db.
+pub fn random_digraph() -> HsDatabase {
+    let db = random_digraph_db();
+    let equiv: EquivRef = {
+        let db = db.clone();
+        Arc::new(FnEquiv::new(move |u, v| locally_equivalent(&db, u, v)))
+    };
+    let source = Arc::new(FnCandidates::new(|x: &Tuple| {
+        let distinct = x.distinct_elems();
+        let mut out = distinct.clone();
+        let m = distinct.len();
+        for looped in [false, true] {
+            for mask in 0u64..(1 << (2 * m)) {
+                let edges: Vec<(bool, bool)> = (0..m)
+                    .map(|i| ((mask >> (2 * i)) & 1 == 1, (mask >> (2 * i + 1)) & 1 == 1))
+                    .collect();
+                out.push(digraph_witness(&distinct, &DigraphPattern { looped, edges }));
+            }
+        }
+        out
+    }));
+    assemble(db, equiv, source)
+}
+
+/// Checks the `k`-extension axioms of the Rado graph by *construction*
+/// over the concrete set `xs`: for every subset pattern there is a
+/// fresh witness with exactly that neighbourhood. Returns the number of
+/// patterns verified.
+pub fn verify_rado_extension(xs: &[Elem]) -> usize {
+    let db = rado_db();
+    let mut verified = 0;
+    for mask in 0u32..(1 << xs.len()) {
+        let neigh: Vec<Elem> = xs
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| (mask >> i) & 1 == 1)
+            .map(|(_, &e)| e)
+            .collect();
+        let y = rado_witness(xs, &neigh);
+        assert!(!xs.contains(&y), "witness must be fresh");
+        for x in xs {
+            let want = neigh.contains(x);
+            assert_eq!(
+                db.query(0, &[*x, y]),
+                want,
+                "witness neighbourhood wrong at {x:?}"
+            );
+            assert_eq!(db.query(0, &[y, *x]), want, "symmetry");
+        }
+        verified += 1;
+    }
+    verified
+}
+
+/// Checks the `k`-extension axioms of the random digraph over the
+/// concrete set `xs`: for every loop-bit and per-element edge-pattern
+/// there is a fresh constructed witness realizing it exactly. Returns
+/// the number of patterns verified (`2·4^|xs|`).
+pub fn verify_digraph_extension(xs: &[Elem]) -> usize {
+    let db = random_digraph_db();
+    let mut verified = 0;
+    for looped in [false, true] {
+        for mask in 0u64..(1 << (2 * xs.len())) {
+            let edges: Vec<(bool, bool)> = (0..xs.len())
+                .map(|i| ((mask >> (2 * i)) & 1 == 1, (mask >> (2 * i + 1)) & 1 == 1))
+                .collect();
+            let y = digraph_witness(xs, &DigraphPattern { looped, edges: edges.clone() });
+            assert!(!xs.contains(&y), "witness must be fresh");
+            assert_eq!(db.query(0, &[y, y]), looped, "loop bit");
+            for (x, (fwd, back)) in xs.iter().zip(&edges) {
+                assert_eq!(db.query(0, &[*x, y]), *fwd, "x→y at {x:?}");
+                assert_eq!(db.query(0, &[y, *x]), *back, "y→x at {x:?}");
+            }
+            verified += 1;
+        }
+    }
+    verified
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recdb_core::tuple;
+
+    #[test]
+    fn rado_edge_is_symmetric_irreflexive() {
+        for x in 0..40u64 {
+            assert!(!rado_edge(x, x));
+            for y in 0..40u64 {
+                assert_eq!(rado_edge(x, y), rado_edge(y, x));
+            }
+        }
+    }
+
+    #[test]
+    fn rado_witnesses_realize_all_patterns() {
+        let xs: Vec<Elem> = vec![Elem(0), Elem(3), Elem(5)];
+        assert_eq!(verify_rado_extension(&xs), 8);
+    }
+
+    #[test]
+    fn digraph_patterns_realized() {
+        let db = random_digraph_db();
+        let xs = vec![Elem(2), Elem(7)];
+        for looped in [false, true] {
+            for mask in 0u64..16 {
+                let edges: Vec<(bool, bool)> = (0..2)
+                    .map(|i| ((mask >> (2 * i)) & 1 == 1, (mask >> (2 * i + 1)) & 1 == 1))
+                    .collect();
+                let p = DigraphPattern {
+                    looped,
+                    edges: edges.clone(),
+                };
+                let y = digraph_witness(&xs, &p);
+                assert!(!xs.contains(&y));
+                assert_eq!(db.query(0, &[y, y]), looped, "loop bit");
+                for (x, (fwd, back)) in xs.iter().zip(&edges) {
+                    assert_eq!(db.query(0, &[*x, y]), *fwd, "x→y");
+                    assert_eq!(db.query(0, &[y, *x]), *back, "y→x");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rado_hsdb_validates_and_branches_correctly() {
+        let hs = rado_graph();
+        hs.validate(2).unwrap();
+        // T¹: all vertices equivalent (vertex-transitive): 1 class.
+        assert_eq!(hs.t_n(1).len(), 1);
+        // T²: x=y, adjacent distinct, non-adjacent distinct: 3.
+        assert_eq!(hs.t_n(2).len(), 3);
+        // T³ = rank-3 ≅ₗ classes realized: patterns of a graph on ≤3
+        // points: 1 (all equal) … computed = Σ over partitions; for
+        // distinct triples 2^3 graphs on 3 labelled vertices… just
+        // check against the class-count formula restricted to
+        // irreflexive symmetric graphs: m=1:1, m=2:2, m=3:8 → plus
+        // mixed patterns: partitions of 3 into ≤3 blocks:
+        // S(3,1)=1·1, S(3,2)=3·2, S(3,3)=1·8 → 1+6+8 = 15.
+        assert_eq!(hs.t_n(3).len(), 15);
+    }
+
+    #[test]
+    fn random_digraph_hsdb_validates() {
+        let hs = random_digraph();
+        hs.validate(2).unwrap();
+        // T¹: loop vs no loop → 2 classes.
+        assert_eq!(hs.t_n(1).len(), 2);
+        // T²: x=y → 2; x≠y: loops 2×2, cross-edges 4 → 16 → 18.
+        assert_eq!(hs.t_n(2).len(), 18);
+    }
+
+    #[test]
+    fn equivalence_is_local_isomorphism_on_random_structures() {
+        // Prop 3.2's heart: in a random structure, ≅_A = ≅ₗ.
+        let hs = rado_graph();
+        let db = hs.database();
+        let pairs = [
+            (tuple![1, 3], tuple![2, 5]),
+            (tuple![0, 1], tuple![0, 2]),
+            (tuple![4, 4], tuple![9, 9]),
+        ];
+        for (u, v) in pairs {
+            assert_eq!(
+                hs.equivalent(&u, &v),
+                locally_equivalent(db, &u, &v),
+                "≅_A must equal ≅ₗ at ({u:?},{v:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn canonical_reps_exist_for_arbitrary_tuples() {
+        let hs = rado_graph();
+        for u in [tuple![10, 25], tuple![7, 7], tuple![1, 2]] {
+            let rep = hs.canonical_rep(&u);
+            assert!(hs.equivalent(&u, &rep));
+        }
+    }
+
+    #[test]
+    fn digraph_edge_total_beyond_coding_range() {
+        // Total even for huge elements (no panic, defined answer).
+        assert!(!digraph_edge(1u64 << 40, 3));
+        let _ = digraph_edge(5, u64::MAX);
+    }
+}
+
+#[cfg(test)]
+mod extension_axiom_tests {
+    use super::*;
+
+    #[test]
+    fn digraph_extension_axioms_by_construction() {
+        assert_eq!(verify_digraph_extension(&[Elem(1)]), 8);
+        assert_eq!(verify_digraph_extension(&[Elem(2), Elem(5)]), 32);
+    }
+}

@@ -1,0 +1,228 @@
+//! The `Vⁿᵣ` refinement algorithm (Props 3.4–3.7, Corollaries 3.2/3.3).
+//!
+//! `Vⁿᵣ` is the partition of `Tⁿ` into `≡ᵣ`-classes. The paper's
+//! pipeline — the algorithmic heart of the QLhs completeness proof —
+//! computes it as:
+//!
+//! * `Vⁿ₀` — partition `Tⁿ` by local isomorphism (the "refinement by
+//!   projections" loop at the end of the Theorem 3.1 proof);
+//! * `Vⁿᵣ = Vⁿ⁺ʳ₀ ↓ʳ` (Corollary 3.3), where one `↓` step groups
+//!   tuples by the *signature* of extension classes they admit
+//!   (Prop 3.7: `Vⁿ⁺¹ᵣ ↓ = Vⁿᵣ₊₁`);
+//! * for highly symmetric `B` there is an `r₀` with `Vⁿ_{r₀} = Vⁿ`,
+//!   the all-singletons partition (Prop 3.6 / Corollary 3.2) — found
+//!   by testing `|Vᵢ| = 1` for each block, which is exactly what the
+//!   `|Y| = 1?` construct of QLhs exists for (footnote 8).
+
+use crate::rep::HsDatabase;
+use recdb_core::{locally_equivalent, Database, Tuple};
+use std::collections::BTreeMap;
+
+/// A partition of a set of tuples, as sorted blocks.
+pub type Partition = Vec<Vec<Tuple>>;
+
+/// Partitions `tuples` by local isomorphism within `db` — `Vⁿ₀` when
+/// applied to `Tⁿ`.
+pub fn partition_by_local_iso(db: &Database, tuples: &[Tuple]) -> Partition {
+    let mut blocks: Partition = Vec::new();
+    for t in tuples {
+        match blocks
+            .iter_mut()
+            .find(|b| locally_equivalent(db, &b[0], t))
+        {
+            Some(b) => b.push(t.clone()),
+            None => blocks.push(vec![t.clone()]),
+        }
+    }
+    blocks
+}
+
+/// One `↓` step (Prop 3.7): given the partition `Vⁿ⁺¹ᵣ` of `Tⁿ⁺¹`,
+/// produce `Vⁿᵣ₊₁` on `Tⁿ` by grouping tuples by the set of blocks
+/// their one-element tree extensions reach.
+pub fn project_partition(hs: &HsDatabase, level_n: &[Tuple], finer: &Partition) -> Partition {
+    // Map each extension to its block index.
+    let mut block_of: BTreeMap<&Tuple, usize> = BTreeMap::new();
+    for (i, b) in finer.iter().enumerate() {
+        for t in b {
+            block_of.insert(t, i);
+        }
+    }
+    let mut by_signature: BTreeMap<Vec<usize>, Vec<Tuple>> = BTreeMap::new();
+    for u in level_n {
+        let mut sig: Vec<usize> = hs
+            .tree()
+            .offspring(u)
+            .into_iter()
+            .map(|a| {
+                let ua = u.extend(a);
+                *block_of
+                    .get(&ua)
+                    .expect("extension of a level-n node must appear in the finer partition")
+            })
+            .collect();
+        sig.sort_unstable();
+        sig.dedup();
+        by_signature.entry(sig).or_default().push(u.clone());
+    }
+    by_signature.into_values().collect()
+}
+
+/// Computes `Vⁿᵣ` via Corollary 3.3: start from `Vⁿ⁺ʳ₀` and project
+/// `r` times.
+pub fn v_n_r(hs: &HsDatabase, n: usize, r: usize) -> Partition {
+    let mut level = n + r;
+    let tuples = hs.t_n(level);
+    let mut part = partition_by_local_iso(hs.database(), &tuples);
+    for _ in 0..r {
+        level -= 1;
+        let coarser_level = hs.t_n(level);
+        part = project_partition(hs, &coarser_level, &part);
+    }
+    part
+}
+
+/// Is every block a singleton? (`Vⁿᵣ = Vⁿ` detection — the `|Vᵢ|=1`
+/// test of the Theorem 3.1 proof.)
+pub fn all_singletons(p: &Partition) -> bool {
+    p.iter().all(|b| b.len() == 1)
+}
+
+/// Finds the least `r ≤ max_r` with `Vⁿᵣ` all singletons — the `r₀` of
+/// Prop 3.6 for rank `n`. Returns the partition trajectory's block
+/// counts alongside.
+pub fn find_r0(hs: &HsDatabase, n: usize, max_r: usize) -> (Option<usize>, Vec<usize>) {
+    let mut counts = Vec::new();
+    for r in 0..=max_r {
+        let p = v_n_r(hs, n, r);
+        counts.push(p.len());
+        if all_singletons(&p) {
+            return (Some(r), counts);
+        }
+    }
+    (None, counts)
+}
+
+/// Direct computation of `≡ᵣ` on tree nodes via Prop 3.4 (quantifiers
+/// range over offspring) — used to cross-check the `↓`-based pipeline.
+pub fn equiv_r_tree(hs: &HsDatabase, u: &Tuple, v: &Tuple, r: usize) -> bool {
+    if r == 0 {
+        return locally_equivalent(hs.database(), u, v);
+    }
+    if !locally_equivalent(hs.database(), u, v) {
+        return false;
+    }
+    let tu = hs.tree().offspring(u);
+    let tv = hs.tree().offspring(v);
+    let fwd = tu.iter().all(|&a| {
+        tv.iter()
+            .any(|&b| equiv_r_tree(hs, &u.extend(a), &v.extend(b), r - 1))
+    });
+    fwd && tv.iter().all(|&b| {
+        tu.iter()
+            .any(|&a| equiv_r_tree(hs, &u.extend(a), &v.extend(b), r - 1))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constructions::{infinite_clique, paper_example_graph, unary_cells, CellSize};
+    use crate::random::rado_graph;
+
+    #[test]
+    fn clique_refines_to_singletons_at_r0() {
+        let hs = infinite_clique();
+        // On the clique, ≅ₗ already equals ≅_B: r₀ = 0 at every rank.
+        for n in 1..=3 {
+            let (r0, counts) = find_r0(&hs, n, 3);
+            assert_eq!(r0, Some(0), "rank {n}");
+            assert_eq!(counts[0], hs.t_n(n).len());
+        }
+    }
+
+    #[test]
+    fn rado_refines_to_singletons_immediately() {
+        // Prop 3.2: on random structures ≅ = ≅ₗ, so r₀ = 0.
+        let hs = rado_graph();
+        let (r0, _) = find_r0(&hs, 2, 2);
+        assert_eq!(r0, Some(0));
+    }
+
+    #[test]
+    fn paper_example_needs_refinement() {
+        // In the §3.1 example graph (components 0⇄1 and 2→3), the
+        // rank-1 tuples (a node of the symmetric pair vs a source vs a
+        // sink) are NOT all ≅ₗ-distinct: a bare node carries only its
+        // loop bit, so V¹₀ is coarse; one refinement round separates
+        // them by their extension signatures.
+        let hs = paper_example_graph();
+        let n1 = hs.t_n(1).len();
+        let v10 = v_n_r(&hs, 1, 0);
+        assert!(
+            v10.len() < n1,
+            "≅ₗ alone must not separate all rank-1 classes (got {} of {n1})",
+            v10.len()
+        );
+        let (r0, counts) = find_r0(&hs, 1, 4);
+        assert!(r0.is_some(), "refinement must converge, counts {counts:?}");
+        assert!(r0.unwrap() >= 1);
+        // Block counts weakly increase (refinement is monotone).
+        for w in counts.windows(2) {
+            assert!(w[0] <= w[1], "monotone refinement: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn projection_identity_prop_3_7() {
+        // Cross-check: Vⁿᵣ computed by the ↓ pipeline equals the
+        // partition induced by the direct ≡ᵣ recursion on tree nodes.
+        let hs = paper_example_graph();
+        for n in 1..=2 {
+            for r in 0..=2 {
+                let pipeline = v_n_r(&hs, n, r);
+                let tn = hs.t_n(n);
+                // Build the direct partition.
+                let mut direct: Partition = Vec::new();
+                for t in &tn {
+                    match direct
+                        .iter_mut()
+                        .find(|b| equiv_r_tree(&hs, &b[0], t, r))
+                    {
+                        Some(b) => b.push(t.clone()),
+                        None => direct.push(vec![t.clone()]),
+                    }
+                }
+                let norm = |mut p: Partition| {
+                    for b in &mut p {
+                        b.sort();
+                    }
+                    p.sort();
+                    p
+                };
+                assert_eq!(
+                    norm(pipeline),
+                    norm(direct),
+                    "Vⁿᵣ pipelines disagree at n={n}, r={r}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unary_cells_r0_zero() {
+        let hs = unary_cells(vec![CellSize::Infinite, CellSize::Infinite]);
+        let (r0, _) = find_r0(&hs, 2, 2);
+        assert_eq!(r0, Some(0), "unary facts are all local");
+    }
+
+    #[test]
+    fn all_singletons_detector() {
+        assert!(all_singletons(&vec![vec![Tuple::empty()]]));
+        assert!(!all_singletons(&vec![vec![
+            Tuple::empty(),
+            Tuple::empty()
+        ]]));
+        assert!(all_singletons(&Vec::new()));
+    }
+}

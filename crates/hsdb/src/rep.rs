@@ -1,0 +1,336 @@
+//! The `C_B` representation of highly symmetric recursive data bases
+//! (Def 3.7).
+//!
+//! An hs-r-db is *given* to query languages as
+//! `C_B = (T_B, ≅_B, C₁,…,C_k)`: a highly recursive characteristic
+//! tree, a recursive tuple-equivalence oracle, and, for each relation,
+//! the finite set of tree representatives of the classes constituting
+//! it. From `C_B` one can compute `B` itself (`u ∈ Rᵢ` iff `u ≅_B v`
+//! for some `v ∈ Cᵢ`), but not conversely — the tree carries extra
+//! information that is not computable from the oracles alone.
+
+use crate::tree::{is_node, paths_of_length, CharacteristicTree, TreeRef};
+use recdb_core::{Database, Elem, Schema, Tuple};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// The tuple-equivalence oracle `≅_B` (Def 3.1: `u ≅_B v` iff some
+/// automorphism of `B` takes `u` to `v`).
+pub trait EquivOracle: Send + Sync {
+    /// Decides `u ≅_B v`.
+    fn equivalent(&self, u: &Tuple, v: &Tuple) -> bool;
+}
+
+/// A shared equivalence-oracle handle.
+pub type EquivRef = Arc<dyn EquivOracle>;
+
+/// An equivalence oracle given by a closure.
+pub struct FnEquiv {
+    f: EquivFn,
+}
+
+/// A boxed tuple-equivalence predicate.
+type EquivFn = Box<dyn Fn(&Tuple, &Tuple) -> bool + Send + Sync>;
+
+impl FnEquiv {
+    /// Wraps a closure deciding `≅_B`.
+    pub fn new(f: impl Fn(&Tuple, &Tuple) -> bool + Send + Sync + 'static) -> Self {
+        FnEquiv { f: Box::new(f) }
+    }
+}
+
+impl EquivOracle for FnEquiv {
+    fn equivalent(&self, u: &Tuple, v: &Tuple) -> bool {
+        (self.f)(u, v)
+    }
+}
+
+/// A highly symmetric recursive database together with its `C_B`
+/// representation.
+#[derive(Clone)]
+pub struct HsDatabase {
+    /// The underlying r-db (membership oracles).
+    db: Database,
+    /// The characteristic tree `T_B`.
+    tree: TreeRef,
+    /// The equivalence oracle `≅_B`.
+    equiv: EquivRef,
+    /// `Cᵢ`: the representatives (tree paths) of the classes
+    /// constituting each `Rᵢ`.
+    reps: Vec<BTreeSet<Tuple>>,
+}
+
+impl HsDatabase {
+    /// Assembles an hs-r-db from its parts.
+    ///
+    /// # Panics
+    /// Panics if the representative count doesn't match the schema.
+    pub fn new(
+        db: Database,
+        tree: TreeRef,
+        equiv: EquivRef,
+        reps: Vec<BTreeSet<Tuple>>,
+    ) -> Self {
+        assert_eq!(
+            reps.len(),
+            db.schema().len(),
+            "one representative set per relation"
+        );
+        HsDatabase {
+            db,
+            tree,
+            equiv,
+            reps,
+        }
+    }
+
+    /// Assembles an hs-r-db computing the `Cᵢ` from the membership
+    /// oracles: `Cᵢ` = the paths of `T^{aᵢ}` that lie in `Rᵢ` (sound
+    /// because each `Rᵢ` is a union of whole classes).
+    pub fn with_computed_reps(db: Database, tree: TreeRef, equiv: EquivRef) -> Self {
+        let mut reps = Vec::with_capacity(db.schema().len());
+        for i in 0..db.schema().len() {
+            let a = db.schema().arity(i);
+            let ci: BTreeSet<Tuple> = paths_of_length(tree.as_ref(), a)
+                .into_iter()
+                .filter(|t| db.query(i, t.elems()))
+                .collect();
+            reps.push(ci);
+        }
+        HsDatabase::new(db, tree, equiv, reps)
+    }
+
+    /// The underlying r-db.
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        self.db.schema()
+    }
+
+    /// The characteristic tree.
+    pub fn tree(&self) -> &dyn CharacteristicTree {
+        self.tree.as_ref()
+    }
+
+    /// A shared handle to the tree.
+    pub fn tree_ref(&self) -> TreeRef {
+        Arc::clone(&self.tree)
+    }
+
+    /// The `≅_B` oracle.
+    pub fn equiv(&self) -> &dyn EquivOracle {
+        self.equiv.as_ref()
+    }
+
+    /// A shared handle to the equivalence oracle.
+    pub fn equiv_ref(&self) -> EquivRef {
+        Arc::clone(&self.equiv)
+    }
+
+    /// Decides `u ≅_B v`.
+    pub fn equivalent(&self, u: &Tuple, v: &Tuple) -> bool {
+        self.equiv.equivalent(u, v)
+    }
+
+    /// `Cᵢ`: the representative set of relation `i`.
+    pub fn reps(&self, i: usize) -> &BTreeSet<Tuple> {
+        &self.reps[i]
+    }
+
+    /// The set `Tⁿ`.
+    pub fn t_n(&self, n: usize) -> Vec<Tuple> {
+        paths_of_length(self.tree.as_ref(), n)
+    }
+
+    /// The canonical representative of `u`'s class: the unique path in
+    /// `T^{|u|}` equivalent to `u`.
+    ///
+    /// # Panics
+    /// Panics if no representative exists (the tree does not actually
+    /// cover `u`'s class — a representation bug, not a query error).
+    pub fn canonical_rep(&self, u: &Tuple) -> Tuple {
+        self.t_n(u.rank())
+            .into_iter()
+            .find(|t| self.equiv.equivalent(u, t))
+            .unwrap_or_else(|| panic!("no representative for {u:?} — invalid C_B"))
+    }
+
+    /// Membership via the representation: `u ∈ Rᵢ` iff `u ≅_B v` for
+    /// some `v ∈ Cᵢ`. (Should agree with the direct oracle; the
+    /// validation below checks it.)
+    pub fn member_via_reps(&self, i: usize, u: &Tuple) -> bool {
+        self.reps[i].iter().any(|v| self.equiv.equivalent(u, v))
+    }
+
+    /// Validates the representation invariants on ranks `≤ max_rank`
+    /// and (for membership cross-checks) the tuples of `Tⁿ`:
+    ///
+    /// 1. every `Cᵢ` element is a tree path of rank `aᵢ` and lies in
+    ///    `Rᵢ`;
+    /// 2. no two distinct paths of `Tⁿ` are equivalent (one rep per
+    ///    class);
+    /// 3. `≅_B` restricted to `Tⁿ` is reflexive;
+    /// 4. representation-based membership agrees with the oracle on
+    ///    all `Tⁿ` tuples, `n = aᵢ`;
+    /// 5. equivalent tuples agree on membership (relations are unions
+    ///    of classes).
+    ///
+    /// # Errors
+    /// A description of the first violated invariant.
+    pub fn validate(&self, max_rank: usize) -> Result<(), String> {
+        for (i, ci) in self.reps.iter().enumerate() {
+            let a = self.db.schema().arity(i);
+            for t in ci {
+                if t.rank() != a {
+                    return Err(format!("C{i} contains {t:?} of wrong rank"));
+                }
+                if !is_node(self.tree.as_ref(), t) {
+                    return Err(format!("C{i} contains non-tree-path {t:?}"));
+                }
+                if !self.db.query(i, t.elems()) {
+                    return Err(format!("C{i} rep {t:?} is not in R{i}"));
+                }
+            }
+        }
+        for n in 0..=max_rank {
+            let tn = self.t_n(n);
+            for (j, u) in tn.iter().enumerate() {
+                if !self.equiv.equivalent(u, u) {
+                    return Err(format!("≅_B not reflexive at {u:?}"));
+                }
+                for v in &tn[j + 1..] {
+                    if self.equiv.equivalent(u, v) {
+                        return Err(format!("duplicate class reps {u:?} ≅ {v:?} in T^{n}"));
+                    }
+                }
+            }
+        }
+        for i in 0..self.reps.len() {
+            let a = self.db.schema().arity(i);
+            if a > max_rank {
+                continue;
+            }
+            for u in self.t_n(a) {
+                if self.member_via_reps(i, &u) != self.db.query(i, u.elems()) {
+                    return Err(format!(
+                        "representation membership disagrees with oracle at R{i} {u:?}"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Picks one element per class of rank 1 — useful as a quantifier
+    /// pool (Theorem 6.3) when combined with deeper representatives.
+    pub fn rank1_representatives(&self) -> Vec<Elem> {
+        self.t_n(1).iter().map(|t| t[0]).collect()
+    }
+}
+
+impl std::fmt::Debug for HsDatabase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "HsDatabase({:?})", self.db)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::FnTree;
+    use recdb_core::{tuple, DatabaseBuilder, FnRelation};
+
+    /// A hand-built hs representation of the infinite clique.
+    fn clique_hs() -> HsDatabase {
+        let db = DatabaseBuilder::new("K")
+            .relation("E", FnRelation::infinite_clique())
+            .build();
+        let tree = Arc::new(FnTree::new(|x| {
+            let mut d = x.distinct_elems();
+            d.push(Elem(d.len() as u64));
+            d
+        }));
+        let equiv = Arc::new(FnEquiv::new(|u, v| {
+            u.equality_pattern() == v.equality_pattern()
+        }));
+        HsDatabase::with_computed_reps(db, tree, equiv)
+    }
+
+    #[test]
+    fn clique_representation_validates() {
+        clique_hs().validate(3).expect("valid C_B");
+    }
+
+    #[test]
+    fn clique_reps_of_e_is_the_distinct_pair() {
+        let hs = clique_hs();
+        assert_eq!(
+            hs.reps(0).iter().cloned().collect::<Vec<_>>(),
+            vec![tuple![0, 1]],
+            "E consists of the single class of distinct pairs"
+        );
+    }
+
+    #[test]
+    fn canonical_rep_of_arbitrary_tuples() {
+        let hs = clique_hs();
+        assert_eq!(hs.canonical_rep(&tuple![17, 4]), tuple![0, 1]);
+        assert_eq!(hs.canonical_rep(&tuple![9, 9]), tuple![0, 0]);
+        assert_eq!(hs.canonical_rep(&tuple![5, 3, 5]), tuple![0, 1, 0]);
+    }
+
+    #[test]
+    fn member_via_reps_agrees_with_oracle() {
+        let hs = clique_hs();
+        for u in [tuple![3, 8], tuple![2, 2]] {
+            assert_eq!(
+                hs.member_via_reps(0, &u),
+                hs.database().query(0, u.elems())
+            );
+        }
+    }
+
+    #[test]
+    fn validation_catches_duplicate_reps() {
+        // A broken tree whose level 1 has two equivalent nodes.
+        let db = DatabaseBuilder::new("K")
+            .relation("E", FnRelation::infinite_clique())
+            .build();
+        let tree = Arc::new(FnTree::new(|x| {
+            if x.is_empty() {
+                vec![Elem(0), Elem(1)] // both rank-1 classes are the same!
+            } else {
+                vec![]
+            }
+        }));
+        let equiv = Arc::new(FnEquiv::new(|u, v| {
+            u.equality_pattern() == v.equality_pattern()
+        }));
+        let hs = HsDatabase::new(db, tree, equiv, vec![BTreeSet::new()]);
+        let err = hs.validate(1).unwrap_err();
+        assert!(err.contains("duplicate"), "{err}");
+    }
+
+    #[test]
+    fn validation_catches_rep_not_in_relation() {
+        let db = DatabaseBuilder::new("K")
+            .relation("E", FnRelation::infinite_clique())
+            .build();
+        let tree = Arc::new(FnTree::new(|x| {
+            let mut d = x.distinct_elems();
+            d.push(Elem(d.len() as u64));
+            d
+        }));
+        let equiv = Arc::new(FnEquiv::new(|u, v| {
+            u.equality_pattern() == v.equality_pattern()
+        }));
+        // Claim (0,0) ∈ E — false for the irreflexive clique.
+        let bad_reps = vec![[tuple![0, 0]].into_iter().collect()];
+        let hs = HsDatabase::new(db, tree, equiv, bad_reps);
+        let err = hs.validate(2).unwrap_err();
+        assert!(err.contains("not in R"), "{err}");
+    }
+}

@@ -1,0 +1,149 @@
+//! Stretchings and the Prop 3.1 characterization of high symmetricity.
+//!
+//! A *stretching* of `B` by `d₁,…,d_m` adds the unary singleton
+//! relations `{(d₁)},…,{(d_m)}` (§3.1) — it "colors" the marked
+//! elements. Prop 3.1: `B` is highly symmetric iff **every** stretching
+//! has finitely many rank-1 equivalence classes. The coloring technique
+//! for refuting high symmetricity follows: mark an element and exhibit
+//! infinitely many pairwise non-equivalent elements (e.g. the infinite
+//! line, where marking a node makes every distance its own class).
+
+use crate::build::{CandidateSource, FnCandidates};
+use crate::rep::{EquivRef, FnEquiv, HsDatabase};
+use recdb_core::{Elem, Tuple};
+use std::sync::Arc;
+
+/// Stretches an hs-r-db by marked elements, rebuilding the whole
+/// `C_B` representation.
+///
+/// The stretched equivalence is `u ≅_{B'} v` iff `d·u ≅_B d·v` (an
+/// automorphism of the stretching must fix each mark); the candidate
+/// source for the stretched tree is inherited — candidates covering
+/// the extension classes of `d·x` in `B` also cover those of `x` in
+/// `B'`.
+pub fn stretch_hsdb(
+    hs: &HsDatabase,
+    marks: &[Elem],
+    base_candidates: Arc<dyn CandidateSource>,
+) -> HsDatabase {
+    let marks_t: Tuple = marks.to_vec().into();
+    let db2 = hs.database().stretch(marks);
+    let base_equiv = hs.equiv_ref();
+    let equiv2: EquivRef = {
+        let marks_t = marks_t.clone();
+        Arc::new(FnEquiv::new(move |u, v| {
+            base_equiv.equivalent(&marks_t.concat(u), &marks_t.concat(v))
+        }))
+    };
+    let source2 = {
+        let marks_t = marks_t.clone();
+        Arc::new(FnCandidates::new(move |x: &Tuple| {
+            base_candidates.candidates(&marks_t.concat(x))
+        }))
+    };
+    crate::constructions::assemble(db2, equiv2, source2)
+}
+
+/// The coloring refutation of Prop 3.1, quantitatively: the number of
+/// pairwise non-equivalent *singleton* tuples among `elements` in the
+/// (possibly stretched) database, judged by the supplied equivalence.
+/// A count that keeps growing as `elements` widens is the paper's
+/// witness that the database is **not** highly symmetric.
+pub fn count_rank1_classes(equiv: &dyn crate::rep::EquivOracle, elements: &[Elem]) -> usize {
+    let mut reps: Vec<Tuple> = Vec::new();
+    for &e in elements {
+        let t: Tuple = vec![e].into();
+        if !reps.iter().any(|r| equiv.equivalent(r, &t)) {
+            reps.push(t);
+        }
+    }
+    reps.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::FnCandidates;
+    use crate::constructions::{infinite_clique, line_equiv};
+    use crate::rep::FnEquiv;
+
+    fn clique_candidates() -> Arc<dyn CandidateSource> {
+        Arc::new(FnCandidates::new(|x: &Tuple| {
+            let mut d = x.distinct_elems();
+            let fresh = (0..).map(Elem).find(|e| !d.contains(e)).expect("ℕ");
+            d.push(fresh);
+            d
+        }))
+    }
+
+    #[test]
+    fn stretched_clique_is_still_highly_symmetric() {
+        let hs = infinite_clique();
+        let s = stretch_hsdb(&hs, &[Elem(3)], clique_candidates());
+        s.validate(2).unwrap();
+        // Rank 1: the mark vs everything else → 2 classes.
+        assert_eq!(s.t_n(1).len(), 2);
+        // Rank 2 classes: pairs over {mark, other} with equality:
+        // (m,m), (m,a), (a,m), (a,a), (a,b) → 5.
+        assert_eq!(s.t_n(2).len(), 5);
+        // Mark relation present and correct.
+        let db = s.database();
+        assert!(db.query(1, &[Elem(3)]));
+        assert!(!db.query(1, &[Elem(4)]));
+    }
+
+    #[test]
+    fn stretched_clique_double_marks() {
+        let hs = infinite_clique();
+        let s = stretch_hsdb(&hs, &[Elem(0), Elem(1)], clique_candidates());
+        s.validate(1).unwrap();
+        // Rank 1: mark₁, mark₂, other → 3 classes.
+        assert_eq!(s.t_n(1).len(), 3);
+    }
+
+    #[test]
+    fn coloring_refutes_line_high_symmetricity() {
+        // Uncolored line: all nodes equivalent → 1 rank-1 class.
+        let eq = line_equiv();
+        let elements: Vec<Elem> = (0..12).map(Elem).collect();
+        assert_eq!(count_rank1_classes(eq.as_ref(), &elements), 1);
+        // Color node 0 (position 0): equivalence of the stretched db:
+        // u ≅' v iff (0,u) ≅ (0,v) — distance to the mark matters.
+        let eq2 = {
+            let eq = line_equiv();
+            FnEquiv::new(move |u: &Tuple, v: &Tuple| {
+                let zu: Tuple = Tuple::from_values([0]).concat(u);
+                let zv: Tuple = Tuple::from_values([0]).concat(v);
+                eq.equivalent(&zu, &zv)
+            })
+        };
+        // Class count grows with the window: the coloring technique.
+        let narrow: Vec<Elem> = (0..6).map(Elem).collect();
+        let wide: Vec<Elem> = (0..12).map(Elem).collect();
+        let c_narrow = count_rank1_classes(&eq2, &narrow);
+        let c_wide = count_rank1_classes(&eq2, &wide);
+        assert!(
+            c_wide > c_narrow,
+            "marked line must keep spawning classes: {c_narrow} vs {c_wide}"
+        );
+        // Distances come in mirror pairs, so ~window/2 classes.
+        assert!(c_wide >= 6);
+    }
+
+    #[test]
+    fn clique_stretchings_stay_bounded_in_contrast() {
+        // Prop 3.1's positive side on the clique: stretch by any marks,
+        // rank-1 classes stay ≤ marks+1.
+        let hs = infinite_clique();
+        for m in 0..3u64 {
+            let marks: Vec<Elem> = (0..m).map(Elem).collect();
+            let s = stretch_hsdb(&hs, &marks, clique_candidates());
+            let elements: Vec<Elem> = (0..20).map(Elem).collect();
+            let count = count_rank1_classes(s.equiv(), &elements);
+            assert!(
+                count <= m as usize + 1,
+                "clique stretching must stay bounded (m={m}, count={count})"
+            );
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! Characteristic trees (Def 3.3).
+//!
+//! A characteristic tree `T_B` for a database `B` has vertices labeled
+//! by domain elements such that the label tuple along each root path is
+//! a representative of one `≅_B`-equivalence class, every class of
+//! every rank has exactly one representing path, and — for the "highly
+//! recursive" trees of Def 3.7 — the offspring function `T_B(x)` is
+//! total, computable, and finitely branching. `B` is highly symmetric
+//! iff `T_B` is finitely branching.
+
+use recdb_core::{Elem, Tuple};
+use std::sync::Arc;
+
+/// The offspring oracle of a highly recursive characteristic tree.
+///
+/// Implementations must be total and finitely branching; a node is
+/// identified with the tuple of labels leading to it (the root is the
+/// empty tuple).
+pub trait CharacteristicTree: Send + Sync {
+    /// `T_B(x)`: the labels of the immediate offspring of node `x`.
+    fn offspring(&self, x: &Tuple) -> Vec<Elem>;
+}
+
+/// A shared tree handle.
+pub type TreeRef = Arc<dyn CharacteristicTree>;
+
+/// A tree given by a closure.
+pub struct FnTree {
+    f: OffspringFn,
+}
+
+/// A boxed offspring function.
+type OffspringFn = Box<dyn Fn(&Tuple) -> Vec<Elem> + Send + Sync>;
+
+impl FnTree {
+    /// Wraps an offspring closure.
+    pub fn new(f: impl Fn(&Tuple) -> Vec<Elem> + Send + Sync + 'static) -> Self {
+        FnTree { f: Box::new(f) }
+    }
+}
+
+impl CharacteristicTree for FnTree {
+    fn offspring(&self, x: &Tuple) -> Vec<Elem> {
+        (self.f)(x)
+    }
+}
+
+/// All paths of length `n` from the root — the set `Tⁿ` of Def 3.3.
+/// Cost is the product of branching factors; finite because the tree is
+/// finitely branching.
+pub fn paths_of_length(tree: &dyn CharacteristicTree, n: usize) -> Vec<Tuple> {
+    let mut level = vec![Tuple::empty()];
+    for _ in 0..n {
+        let mut next = Vec::new();
+        for x in &level {
+            for a in tree.offspring(x) {
+                next.push(x.extend(a));
+            }
+        }
+        level = next;
+    }
+    level
+}
+
+/// Is `x` a node of the tree (a prefix-path from the root)?
+pub fn is_node(tree: &dyn CharacteristicTree, x: &Tuple) -> bool {
+    let mut cur = Tuple::empty();
+    for &e in x.elems() {
+        if !tree.offspring(&cur).contains(&e) {
+            return false;
+        }
+        cur = cur.extend(e);
+    }
+    true
+}
+
+/// The per-level branching profile `|T¹|, |T²|/|T¹|, …` up to depth
+/// `n` — reported by the experiments as the "class counts per rank"
+/// series.
+pub fn level_sizes(tree: &dyn CharacteristicTree, n: usize) -> Vec<usize> {
+    (1..=n)
+        .map(|k| paths_of_length(tree, k).len())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recdb_core::tuple;
+
+    /// The clique tree: offspring = existing distinct labels plus one
+    /// fresh label (restricted-growth strings as element tuples).
+    fn clique_tree() -> FnTree {
+        FnTree::new(|x| {
+            let mut distinct = x.distinct_elems();
+            let fresh = Elem(distinct.len() as u64);
+            distinct.push(fresh);
+            distinct
+        })
+    }
+
+    #[test]
+    fn clique_tree_levels_are_bell_numbers() {
+        let t = clique_tree();
+        assert_eq!(level_sizes(&t, 4), vec![1, 2, 5, 15]);
+    }
+
+    #[test]
+    fn paths_are_restricted_growth_tuples() {
+        let t = clique_tree();
+        for p in paths_of_length(&t, 3) {
+            let pat = p.equality_pattern();
+            let as_vals: Vec<usize> = p.elems().iter().map(|e| e.value() as usize).collect();
+            assert_eq!(pat, as_vals, "labels are canonical block ids");
+        }
+    }
+
+    #[test]
+    fn is_node_checks_prefixes() {
+        let t = clique_tree();
+        assert!(is_node(&t, &Tuple::empty()));
+        assert!(is_node(&t, &tuple![0]));
+        assert!(is_node(&t, &tuple![0, 0]));
+        assert!(is_node(&t, &tuple![0, 1]));
+        assert!(!is_node(&t, &tuple![1]), "first label must be 0");
+        assert!(!is_node(&t, &tuple![0, 2]), "labels cannot skip");
+    }
+
+    #[test]
+    fn zero_length_paths_is_root() {
+        let t = clique_tree();
+        assert_eq!(paths_of_length(&t, 0), vec![Tuple::empty()]);
+    }
+}

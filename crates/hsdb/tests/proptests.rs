@@ -1,0 +1,133 @@
+//! Property-based tests for hs-r-db invariants: representation
+//! soundness, refinement monotonicity, equivalence-oracle laws, and
+//! fcf structure.
+
+use proptest::prelude::*;
+use recdb_core::{locally_equivalent, CoFiniteRelation, Elem, FiniteRelation, Tuple};
+use recdb_hsdb::{
+    infinite_clique, paper_example_graph, rado_graph, unary_cells, v_n_r, CellSize,
+    ComponentGraph, FcfDatabase, FcfRel, HsDatabase,
+};
+use recdb_core::FiniteStructure;
+
+fn zoo_member(ix: usize) -> HsDatabase {
+    match ix % 4 {
+        0 => infinite_clique(),
+        1 => paper_example_graph(),
+        2 => unary_cells(vec![CellSize::Infinite, CellSize::Infinite]),
+        _ => rado_graph(),
+    }
+}
+
+fn small_tuple() -> impl Strategy<Value = Tuple> {
+    proptest::collection::vec(0u64..12, 1..3).prop_map(Tuple::from_values)
+}
+
+proptest! {
+    /// ≅_B is an equivalence relation on sampled tuples, and refines
+    /// into ≅ₗ (equivalent tuples are locally equivalent).
+    #[test]
+    fn equivalence_laws(ix in 0usize..4, u in small_tuple(), v in small_tuple(), w in small_tuple()) {
+        let hs = zoo_member(ix);
+        prop_assert!(hs.equivalent(&u, &u), "reflexive");
+        prop_assert_eq!(hs.equivalent(&u, &v), hs.equivalent(&v, &u));
+        if hs.equivalent(&u, &v) && hs.equivalent(&v, &w) {
+            prop_assert!(hs.equivalent(&u, &w), "transitive");
+        }
+        if hs.equivalent(&u, &v) {
+            prop_assert!(
+                locally_equivalent(hs.database(), &u, &v),
+                "≅_B ⊆ ≅ₗ"
+            );
+        }
+    }
+
+    /// Every sampled tuple has exactly one representative in Tⁿ.
+    #[test]
+    fn unique_representative(ix in 0usize..4, u in small_tuple()) {
+        let hs = zoo_member(ix);
+        let reps: Vec<Tuple> = hs
+            .t_n(u.rank())
+            .into_iter()
+            .filter(|t| hs.equivalent(&u, t))
+            .collect();
+        prop_assert_eq!(reps.len(), 1, "one class, one path (Def 3.3)");
+    }
+
+    /// Membership is class-invariant: relations are unions of classes.
+    #[test]
+    fn membership_class_invariant(ix in 0usize..4, u in small_tuple(), v in small_tuple()) {
+        let hs = zoo_member(ix);
+        if u.rank() == 2 && v.rank() == 2 && hs.equivalent(&u, &v) {
+            for i in 0..hs.schema().len() {
+                if hs.schema().arity(i) == 2 {
+                    prop_assert_eq!(
+                        hs.database().query(i, u.elems()),
+                        hs.database().query(i, v.elems())
+                    );
+                }
+            }
+        }
+    }
+
+    /// Refinement monotonicity: block counts of Vⁿᵣ weakly increase
+    /// with r and never exceed |Tⁿ|.
+    #[test]
+    fn refinement_monotone(ix in 0usize..3, n in 1usize..3) {
+        let hs = zoo_member(ix); // exclude rado (depth-limited) via ..3
+        let tn = hs.t_n(n).len();
+        let mut prev = 0;
+        for r in 0..=2 {
+            let blocks = v_n_r(&hs, n, r).len();
+            prop_assert!(blocks >= prev, "refinement only splits");
+            prop_assert!(blocks <= tn);
+            prev = blocks;
+        }
+    }
+
+    /// Component-graph coordinates round-trip.
+    #[test]
+    fn coords_roundtrip(v in 0u64..10_000) {
+        let tri = FiniteStructure::undirected_graph([0, 1, 2], [(0, 1), (1, 2), (2, 0)]);
+        let edge = FiniteStructure::undirected_graph([0, 1], [(0, 1)]);
+        let g = ComponentGraph::new(vec![tri, edge]);
+        let c = g.coords(Elem(v));
+        prop_assert_eq!(g.encode(c), Elem(v));
+    }
+
+    /// fcf equivalence: non-Df elements are interchangeable, and the
+    /// induced relation is an equivalence on samples.
+    #[test]
+    fn fcf_equivalence(
+        df_members in proptest::collection::btree_set(0u64..6, 1..4),
+        u in small_tuple(),
+        v in small_tuple(),
+    ) {
+        let fcf = FcfDatabase::new(
+            "p",
+            vec![
+                FcfRel::Finite(FiniteRelation::unary(df_members.iter().copied())),
+                FcfRel::CoFinite(CoFiniteRelation::new(
+                    1,
+                    df_members.iter().take(1).map(|&x| Tuple::from_values([x])),
+                )),
+            ],
+        );
+        let eq = fcf.equiv();
+        prop_assert!(eq.equivalent(&u, &u));
+        prop_assert_eq!(eq.equivalent(&u, &v), eq.equivalent(&v, &u));
+        // Two fresh non-Df singletons are equivalent.
+        let big1 = Tuple::from_values([100]);
+        let big2 = Tuple::from_values([200]);
+        prop_assert!(eq.equivalent(&big1, &big2));
+    }
+
+    /// The canonical representative is idempotent.
+    #[test]
+    fn canonical_idempotent(ix in 0usize..4, u in small_tuple()) {
+        let hs = zoo_member(ix);
+        let r1 = hs.canonical_rep(&u);
+        let r2 = hs.canonical_rep(&r1);
+        prop_assert_eq!(r1, r2);
+    }
+}

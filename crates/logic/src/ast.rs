@@ -1,0 +1,397 @@
+//! First-order formulas over a relational schema.
+//!
+//! The languages of the paper are fragments of first-order relational
+//! calculus: `L⁻` (quantifier-free, §2), `L⁻ₙ` (restricted outputs,
+//! Prop 2.7), and full `L` (§6, BP-hs-r-completeness). One AST serves
+//! them all; the fragments are enforced by predicates
+//! ([`Formula::is_quantifier_free`]) and wrapper types.
+//!
+//! Variables are de Bruijn-free: a formula mentions variables by
+//! numeric index. In a query `{(x₀,…,x_{n−1}) | φ}`, indices `< n` are
+//! free; quantifiers bind fresh higher indices.
+
+use recdb_core::Schema;
+use std::fmt;
+
+/// A variable, identified by index.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Var(pub u32);
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// A first-order formula over a relational schema with equality.
+///
+/// Atomic formulas are exactly those of §2: `xᵢ = xⱼ` and
+/// `(x_{j₁},…,x_{j_aᵢ}) ∈ Rᵢ` (including `( ) ∈ R` for rank-0
+/// relations).
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Formula {
+    /// The constant true.
+    True,
+    /// The constant false.
+    False,
+    /// `xᵢ = xⱼ`.
+    Eq(Var, Var),
+    /// `(x_{j₁},…) ∈ Rᵢ` — relation index into the schema, argument
+    /// variables.
+    Rel(usize, Vec<Var>),
+    /// Negation.
+    Not(Box<Formula>),
+    /// Conjunction (n-ary, flattened).
+    And(Vec<Formula>),
+    /// Disjunction (n-ary, flattened).
+    Or(Vec<Formula>),
+    /// Implication `φ → ψ`.
+    Implies(Box<Formula>, Box<Formula>),
+    /// Biconditional `φ ↔ ψ`.
+    Iff(Box<Formula>, Box<Formula>),
+    /// `∃v. φ`.
+    Exists(Var, Box<Formula>),
+    /// `∀v. φ`.
+    Forall(Var, Box<Formula>),
+}
+
+impl Formula {
+    /// Negation, with double-negation collapse.
+    #[allow(clippy::should_implement_trait)] // deliberate builder name mirroring ¬
+    pub fn not(self) -> Formula {
+        match self {
+            Formula::Not(inner) => *inner,
+            Formula::True => Formula::False,
+            Formula::False => Formula::True,
+            other => Formula::Not(Box::new(other)),
+        }
+    }
+
+    /// Conjunction of a list (identity: `True`).
+    pub fn and(conjuncts: Vec<Formula>) -> Formula {
+        let mut flat = Vec::new();
+        for c in conjuncts {
+            match c {
+                Formula::True => {}
+                Formula::False => return Formula::False,
+                Formula::And(inner) => flat.extend(inner),
+                other => flat.push(other),
+            }
+        }
+        match flat.len() {
+            0 => Formula::True,
+            1 => flat.pop().unwrap(),
+            _ => Formula::And(flat),
+        }
+    }
+
+    /// Disjunction of a list (identity: `False`).
+    pub fn or(disjuncts: Vec<Formula>) -> Formula {
+        let mut flat = Vec::new();
+        for d in disjuncts {
+            match d {
+                Formula::False => {}
+                Formula::True => return Formula::True,
+                Formula::Or(inner) => flat.extend(inner),
+                other => flat.push(other),
+            }
+        }
+        match flat.len() {
+            0 => Formula::False,
+            1 => flat.pop().unwrap(),
+            _ => Formula::Or(flat),
+        }
+    }
+
+    /// Is the formula quantifier-free (an `L⁻` body)?
+    pub fn is_quantifier_free(&self) -> bool {
+        match self {
+            Formula::True | Formula::False | Formula::Eq(..) | Formula::Rel(..) => true,
+            Formula::Not(f) => f.is_quantifier_free(),
+            Formula::And(fs) | Formula::Or(fs) => fs.iter().all(Formula::is_quantifier_free),
+            Formula::Implies(a, b) | Formula::Iff(a, b) => {
+                a.is_quantifier_free() && b.is_quantifier_free()
+            }
+            Formula::Exists(..) | Formula::Forall(..) => false,
+        }
+    }
+
+    /// Quantifier depth (maximum nesting of quantifiers) — the `r` of
+    /// `≡ᵣ` (Def 3.4 commentary: `u ≡ᵣ v` iff u, v satisfy the same
+    /// formulas with ≤ r quantifiers).
+    pub fn quantifier_depth(&self) -> usize {
+        match self {
+            Formula::True | Formula::False | Formula::Eq(..) | Formula::Rel(..) => 0,
+            Formula::Not(f) => f.quantifier_depth(),
+            Formula::And(fs) | Formula::Or(fs) => {
+                fs.iter().map(Formula::quantifier_depth).max().unwrap_or(0)
+            }
+            Formula::Implies(a, b) | Formula::Iff(a, b) => {
+                a.quantifier_depth().max(b.quantifier_depth())
+            }
+            Formula::Exists(_, f) | Formula::Forall(_, f) => 1 + f.quantifier_depth(),
+        }
+    }
+
+    /// Free variables (sorted, deduplicated).
+    pub fn free_vars(&self) -> Vec<Var> {
+        fn go(f: &Formula, bound: &mut Vec<Var>, out: &mut Vec<Var>) {
+            match f {
+                Formula::True | Formula::False => {}
+                Formula::Eq(a, b) => {
+                    for v in [a, b] {
+                        if !bound.contains(v) && !out.contains(v) {
+                            out.push(*v);
+                        }
+                    }
+                }
+                Formula::Rel(_, vs) => {
+                    for v in vs {
+                        if !bound.contains(v) && !out.contains(v) {
+                            out.push(*v);
+                        }
+                    }
+                }
+                Formula::Not(g) => go(g, bound, out),
+                Formula::And(gs) | Formula::Or(gs) => {
+                    for g in gs {
+                        go(g, bound, out);
+                    }
+                }
+                Formula::Implies(a, b) | Formula::Iff(a, b) => {
+                    go(a, bound, out);
+                    go(b, bound, out);
+                }
+                Formula::Exists(v, g) | Formula::Forall(v, g) => {
+                    bound.push(*v);
+                    go(g, bound, out);
+                    bound.pop();
+                }
+            }
+        }
+        let mut out = Vec::new();
+        go(self, &mut Vec::new(), &mut out);
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// The highest variable index mentioned anywhere (bound or free),
+    /// or `None` for a sentence with no variables.
+    pub fn max_var(&self) -> Option<u32> {
+        match self {
+            Formula::True | Formula::False => None,
+            Formula::Eq(a, b) => Some(a.0.max(b.0)),
+            Formula::Rel(_, vs) => vs.iter().map(|v| v.0).max(),
+            Formula::Not(f) => f.max_var(),
+            Formula::And(fs) | Formula::Or(fs) => fs.iter().filter_map(Formula::max_var).max(),
+            Formula::Implies(a, b) | Formula::Iff(a, b) => match (a.max_var(), b.max_var()) {
+                (Some(x), Some(y)) => Some(x.max(y)),
+                (x, y) => x.or(y),
+            },
+            Formula::Exists(v, f) | Formula::Forall(v, f) => {
+                Some(f.max_var().map_or(v.0, |m| m.max(v.0)))
+            }
+        }
+    }
+
+    /// Validates all relation atoms against a schema (indices in
+    /// range, argument counts equal to arities).
+    pub fn validate(&self, schema: &Schema) -> Result<(), String> {
+        match self {
+            Formula::True | Formula::False | Formula::Eq(..) => Ok(()),
+            Formula::Rel(i, vs) => {
+                if *i >= schema.len() {
+                    return Err(format!("relation index {i} out of range"));
+                }
+                if vs.len() != schema.arity(*i) {
+                    return Err(format!(
+                        "relation {} has arity {} but atom has {} arguments",
+                        schema.name(*i),
+                        schema.arity(*i),
+                        vs.len()
+                    ));
+                }
+                Ok(())
+            }
+            Formula::Not(f) => f.validate(schema),
+            Formula::And(fs) | Formula::Or(fs) => fs.iter().try_for_each(|f| f.validate(schema)),
+            Formula::Implies(a, b) | Formula::Iff(a, b) => {
+                a.validate(schema)?;
+                b.validate(schema)
+            }
+            Formula::Exists(_, f) | Formula::Forall(_, f) => f.validate(schema),
+        }
+    }
+
+    /// Renders the formula with schema relation names.
+    pub fn display<'a>(&'a self, schema: &'a Schema) -> FormulaDisplay<'a> {
+        FormulaDisplay {
+            formula: self,
+            schema,
+        }
+    }
+}
+
+/// Pretty-printer borrowing the schema for relation names.
+pub struct FormulaDisplay<'a> {
+    formula: &'a Formula,
+    schema: &'a Schema,
+}
+
+impl fmt::Display for FormulaDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn go(x: &Formula, s: &Schema, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match x {
+                Formula::True => write!(f, "true"),
+                Formula::False => write!(f, "false"),
+                Formula::Eq(a, b) => write!(f, "{a} = {b}"),
+                Formula::Rel(i, vs) => {
+                    write!(f, "{}(", s.name(*i))?;
+                    for (k, v) in vs.iter().enumerate() {
+                        if k > 0 {
+                            write!(f, ", ")?;
+                        }
+                        write!(f, "{v}")?;
+                    }
+                    write!(f, ")")
+                }
+                Formula::Not(g) => {
+                    write!(f, "!(")?;
+                    go(g, s, f)?;
+                    write!(f, ")")
+                }
+                Formula::And(gs) => {
+                    write!(f, "(")?;
+                    for (k, g) in gs.iter().enumerate() {
+                        if k > 0 {
+                            write!(f, " & ")?;
+                        }
+                        go(g, s, f)?;
+                    }
+                    write!(f, ")")
+                }
+                Formula::Or(gs) => {
+                    write!(f, "(")?;
+                    for (k, g) in gs.iter().enumerate() {
+                        if k > 0 {
+                            write!(f, " | ")?;
+                        }
+                        go(g, s, f)?;
+                    }
+                    write!(f, ")")
+                }
+                Formula::Implies(a, b) => {
+                    write!(f, "(")?;
+                    go(a, s, f)?;
+                    write!(f, " -> ")?;
+                    go(b, s, f)?;
+                    write!(f, ")")
+                }
+                Formula::Iff(a, b) => {
+                    write!(f, "(")?;
+                    go(a, s, f)?;
+                    write!(f, " <-> ")?;
+                    go(b, s, f)?;
+                    write!(f, ")")
+                }
+                Formula::Exists(v, g) => {
+                    write!(f, "exists {v}. (")?;
+                    go(g, s, f)?;
+                    write!(f, ")")
+                }
+                Formula::Forall(v, g) => {
+                    write!(f, "forall {v}. (")?;
+                    go(g, s, f)?;
+                    write!(f, ")")
+                }
+            }
+        }
+        go(self.formula, self.schema, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Formula {
+        // x0 ≠ x1 ∧ E(x0,x1)
+        Formula::and(vec![
+            Formula::Eq(Var(0), Var(1)).not(),
+            Formula::Rel(0, vec![Var(0), Var(1)]),
+        ])
+    }
+
+    #[test]
+    fn smart_constructors_simplify() {
+        assert_eq!(Formula::and(vec![]), Formula::True);
+        assert_eq!(Formula::or(vec![]), Formula::False);
+        assert_eq!(
+            Formula::and(vec![Formula::True, Formula::False]),
+            Formula::False
+        );
+        assert_eq!(Formula::or(vec![Formula::True, sample()]), Formula::True);
+        assert_eq!(sample().not().not(), sample());
+    }
+
+    #[test]
+    fn nested_and_flattens() {
+        let f = Formula::and(vec![
+            Formula::and(vec![Formula::Eq(Var(0), Var(0)), Formula::Eq(Var(1), Var(1))]),
+            Formula::Eq(Var(2), Var(2)),
+        ]);
+        match f {
+            Formula::And(items) => assert_eq!(items.len(), 3),
+            other => panic!("expected flat And, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn quantifier_free_detection() {
+        assert!(sample().is_quantifier_free());
+        let q = Formula::Exists(Var(2), Box::new(sample()));
+        assert!(!q.is_quantifier_free());
+        assert_eq!(q.quantifier_depth(), 1);
+        assert_eq!(
+            Formula::Forall(Var(3), Box::new(q.clone())).quantifier_depth(),
+            2
+        );
+    }
+
+    #[test]
+    fn free_vars_respect_binding() {
+        let f = Formula::Exists(
+            Var(2),
+            Box::new(Formula::and(vec![
+                Formula::Eq(Var(0), Var(2)),
+                Formula::Rel(0, vec![Var(2), Var(1)]),
+            ])),
+        );
+        assert_eq!(f.free_vars(), vec![Var(0), Var(1)]);
+        assert_eq!(f.max_var(), Some(2));
+    }
+
+    #[test]
+    fn validate_checks_arity_and_index() {
+        let s = Schema::new([2]);
+        assert!(sample().validate(&s).is_ok());
+        assert!(Formula::Rel(1, vec![]).validate(&s).is_err());
+        assert!(Formula::Rel(0, vec![Var(0)]).validate(&s).is_err());
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let s = Schema::with_names(&["E"], &[2]);
+        let txt = sample().display(&s).to_string();
+        assert!(txt.contains("E(x0, x1)"), "got {txt}");
+        assert!(txt.contains("!(x0 = x1)"), "got {txt}");
+    }
+
+    #[test]
+    fn sentence_has_no_vars() {
+        let f = Formula::Rel(0, vec![]);
+        assert_eq!(f.max_var(), None);
+        assert!(f.free_vars().is_empty());
+    }
+}

@@ -1,0 +1,162 @@
+//! Semantic analysis of `L⁻` queries via class compilation.
+//!
+//! Because a quantifier-free query *is* a finite union of
+//! `≅ₗ`-classes (Prop 2.4 / Theorem 2.1), every semantic question
+//! about `L⁻` is decidable by compiling to the class normal form:
+//! satisfiability, validity, equivalence, containment — and a
+//! canonical **disjunctive normal form** whose disjuncts are exactly
+//! the class-describing formulas `φᵢ`. This module is the decision
+//! toolkit the paper's completeness theorem implies but does not
+//! spell out.
+
+use crate::lminus::{formula_for_class, LMinusQuery};
+use crate::Formula;
+use recdb_core::Schema;
+
+/// Is the query empty on **every** r-db (i.e. it contains no class)?
+/// `undefined` is not empty — it is undefined.
+pub fn is_unsatisfiable(q: &LMinusQuery) -> bool {
+    !q.is_undefined() && q.to_class_union().class_count() == 0
+}
+
+/// Does the query hold of **all** tuples of its rank on every r-db
+/// (i.e. it contains every class)?
+pub fn is_valid(q: &LMinusQuery) -> bool {
+    if q.is_undefined() {
+        return false;
+    }
+    let cu = q.to_class_union();
+    let rank = q.rank().expect("defined");
+    cu.class_count() as u128 == recdb_core::count_classes(q.schema(), rank)
+}
+
+/// Are two queries semantically equal (same behaviour on every r-db
+/// and tuple)? Both `undefined` counts as equivalent.
+pub fn equivalent(a: &LMinusQuery, b: &LMinusQuery) -> bool {
+    assert_eq!(a.schema(), b.schema(), "comparing across schemas");
+    match (a.is_undefined(), b.is_undefined()) {
+        (true, true) => true,
+        (false, false) => {
+            a.rank() == b.rank() && a.to_class_union() == b.to_class_union()
+        }
+        _ => false,
+    }
+}
+
+/// Is `a ⊆ b` semantically (every class of `a` is a class of `b`)?
+/// Undefined queries contain and are contained by nothing defined.
+pub fn contained_in(a: &LMinusQuery, b: &LMinusQuery) -> bool {
+    assert_eq!(a.schema(), b.schema(), "comparing across schemas");
+    if a.is_undefined() || b.is_undefined() {
+        return a.is_undefined() && b.is_undefined();
+    }
+    if a.rank() != b.rank() {
+        return false;
+    }
+    let ca = a.to_class_union();
+    let cb = b.to_class_union();
+    ca.intersection(&cb) == ca
+}
+
+/// The canonical DNF: the disjunction of the class formulas of the
+/// classes the query contains, in canonical class order. Two
+/// semantically equal queries produce **identical** DNF ASTs.
+pub fn canonical_dnf(q: &LMinusQuery) -> Option<Formula> {
+    if q.is_undefined() {
+        return None;
+    }
+    let schema: &Schema = q.schema();
+    let disjuncts: Vec<Formula> = q
+        .to_class_union()
+        .classes()
+        .map(|ty| formula_for_class(ty, schema))
+        .collect();
+    Some(Formula::or(disjuncts))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recdb_core::Schema;
+
+    fn schema() -> Schema {
+        Schema::with_names(&["E"], &[2])
+    }
+
+    fn q(src: &str) -> LMinusQuery {
+        LMinusQuery::parse(src, &schema()).unwrap()
+    }
+
+    #[test]
+    fn contradiction_detected() {
+        assert!(is_unsatisfiable(&q("{ (x, y) | E(x, y) & !E(x, y) }")));
+        assert!(is_unsatisfiable(&q("{ (x) | x != x }")));
+        assert!(!is_unsatisfiable(&q("{ (x, y) | E(x, y) }")));
+        assert!(!is_unsatisfiable(&q("undefined")));
+    }
+
+    #[test]
+    fn tautology_detected() {
+        assert!(is_valid(&q("{ (x, y) | E(x, y) | !E(x, y) }")));
+        assert!(is_valid(&q("{ (x) | x = x }")));
+        assert!(!is_valid(&q("{ (x, y) | E(x, y) }")));
+        assert!(!is_valid(&q("undefined")));
+    }
+
+    #[test]
+    fn semantic_equivalence_modulo_syntax() {
+        // Contrapositive: E(x,y) → E(y,x) ≡ ¬E(y,x) → ¬E(x,y).
+        let a = q("{ (x, y) | E(x, y) -> E(y, x) }");
+        let b = q("{ (x, y) | !E(y, x) -> !E(x, y) }");
+        assert!(equivalent(&a, &b));
+        // And their canonical DNFs are syntactically identical.
+        assert_eq!(canonical_dnf(&a), canonical_dnf(&b));
+        // A genuinely different query is not equivalent.
+        let c = q("{ (x, y) | E(x, y) & E(y, x) }");
+        assert!(!equivalent(&a, &c));
+    }
+
+    #[test]
+    fn containment_is_a_partial_order_on_samples() {
+        let sym = q("{ (x, y) | E(x, y) & E(y, x) }");
+        let edge = q("{ (x, y) | E(x, y) }");
+        let any = q("{ (x, y) | x = x }");
+        assert!(contained_in(&sym, &edge));
+        assert!(contained_in(&edge, &any));
+        assert!(contained_in(&sym, &any), "transitivity instance");
+        assert!(!contained_in(&edge, &sym));
+        assert!(contained_in(&edge, &edge), "reflexive");
+    }
+
+    #[test]
+    fn undefined_interacts_correctly() {
+        let u = q("undefined");
+        assert!(equivalent(&u, &u));
+        assert!(!equivalent(&u, &q("{ (x) | x = x }")));
+        assert!(contained_in(&u, &u));
+        assert!(!contained_in(&u, &q("{ (x) | x = x }")));
+        assert_eq!(canonical_dnf(&u), None);
+    }
+
+    #[test]
+    fn dnf_evaluates_like_the_original() {
+        use crate::eval::eval_qf;
+        use recdb_core::{tuple, DatabaseBuilder, FnRelation};
+        let orig = q("{ (x, y) | (E(x, y) | x = y) & !E(y, x) }");
+        let dnf = canonical_dnf(&orig).unwrap();
+        let db = DatabaseBuilder::new("lt")
+            .relation("E", FnRelation::new("lt", 2, |t| t[0].value() < t[1].value()))
+            .build();
+        for t in [tuple![1, 2], tuple![2, 1], tuple![3, 3]] {
+            assert_eq!(
+                orig.eval(&db, &t).is_member(),
+                eval_qf(&db, &dnf, &t).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn rank_mismatch_not_contained() {
+        assert!(!contained_in(&q("{ (x) | x = x }"), &q("{ (x, y) | x = y }")));
+    }
+}

@@ -1,0 +1,287 @@
+//! Ehrenfeucht–Fraïssé games and the `≡ᵣ` hierarchy (§3.2).
+//!
+//! Def 3.4: `u ≡₀ v` iff `(B,u) ≅ₗ (B,v)`; `u ≡ᵣ₊₁ v` iff
+//! `∀a ∃b. ua ≡ᵣ vb` and `∀b ∃a. ua ≡ᵣ vb`. Equivalently, `u ≡ᵣ v` iff
+//! the duplicator has a winning strategy in the `r`-round EF game on
+//! `(B,u)` and `(B,v)` [E, Fr], iff `u` and `v` satisfy the same FO
+//! formulas with ≤ r quantifiers.
+//!
+//! Playing the game on infinite structures requires bounding the
+//! spoiler's moves: Prop 3.4 shows that it suffices to quantify over
+//! the offspring sets of a characteristic tree. This module therefore
+//! takes explicit *move pools*; the `recdb-hsdb` crate supplies sound
+//! pools for highly symmetric databases, and [`equiv_r_finite`] plays
+//! over a finite structure's full universe (always sound).
+
+use recdb_core::{locally_isomorphic, Database, Elem, FiniteStructure, Tuple};
+use std::collections::HashMap;
+
+/// A memoized EF-game solver between two (possibly identical)
+/// databases, with per-side move pools.
+pub struct EfGame<'a> {
+    left: &'a Database,
+    right: &'a Database,
+    pool_left: Vec<Elem>,
+    pool_right: Vec<Elem>,
+    memo: HashMap<(Tuple, Tuple, usize), bool>,
+}
+
+impl<'a> EfGame<'a> {
+    /// Sets up a game between `(left, ·)` and `(right, ·)` with the
+    /// spoiler/duplicator choosing elements from the given pools.
+    pub fn new(
+        left: &'a Database,
+        right: &'a Database,
+        pool_left: impl Into<Vec<Elem>>,
+        pool_right: impl Into<Vec<Elem>>,
+    ) -> Self {
+        EfGame {
+            left,
+            right,
+            pool_left: pool_left.into(),
+            pool_right: pool_right.into(),
+            memo: HashMap::new(),
+        }
+    }
+
+    /// Does the duplicator win the `r`-round game from position
+    /// `(u, v)`? (Def 3.4's `u ≡ᵣ v`, with moves restricted to the
+    /// pools.)
+    pub fn duplicator_wins(&mut self, u: &Tuple, v: &Tuple, r: usize) -> bool {
+        if r == 0 {
+            return locally_isomorphic(self.left, u, self.right, v);
+        }
+        if let Some(&cached) = self.memo.get(&(u.clone(), v.clone(), r)) {
+            return cached;
+        }
+        // Cheap necessary condition: positions must already be locally
+        // isomorphic (the duplicator has lost otherwise, since ≡ᵣ ⊆ ≡₀).
+        let result = if !locally_isomorphic(self.left, u, self.right, v) {
+            false
+        } else {
+            let spoiler_left_fails = self.pool_left.clone().iter().any(|&a| {
+                let ua = u.extend(a);
+                !self
+                    .pool_right
+                    .clone()
+                    .iter()
+                    .any(|&b| self.duplicator_wins(&ua, &v.extend(b), r - 1))
+            });
+            let spoiler_right_fails = !spoiler_left_fails
+                && self.pool_right.clone().iter().any(|&b| {
+                    let vb = v.extend(b);
+                    !self
+                        .pool_left
+                        .clone()
+                        .iter()
+                        .any(|&a| self.duplicator_wins(&u.extend(a), &vb, r - 1))
+                });
+            !spoiler_left_fails && !spoiler_right_fails
+        };
+        self.memo.insert((u.clone(), v.clone(), r), result);
+        result
+    }
+
+    /// The least `r ≤ max_r` at which the spoiler wins from `(u,v)`,
+    /// or `None` if the duplicator survives all tested rounds.
+    pub fn distinguishing_round(&mut self, u: &Tuple, v: &Tuple, max_r: usize) -> Option<usize> {
+        // ≡ᵣ is downward closed, so scan upward.
+        (0..=max_r).find(|&r| !self.duplicator_wins(u, v, r))
+    }
+}
+
+/// `u ≡ᵣ v` within one database, with a single move pool.
+pub fn equiv_r(db: &Database, u: &Tuple, v: &Tuple, r: usize, pool: &[Elem]) -> bool {
+    EfGame::new(db, db, pool, pool).duplicator_wins(u, v, r)
+}
+
+/// `u ≡ᵣ v` on a finite structure, with moves over its whole universe
+/// — always sound; used for the elementary-equivalence experiments of
+/// Corollary 3.1 and the §3.2 grid/line counterexamples (restricted to
+/// finite approximants).
+pub fn equiv_r_finite(st: &FiniteStructure, u: &Tuple, v: &Tuple, r: usize) -> bool {
+    // Reuse the database game by wrapping the structure's relations.
+    let db = finite_as_db(st);
+    let pool: Vec<Elem> = st.universe().to_vec();
+    EfGame::new(&db, &db, pool.clone(), pool).duplicator_wins(u, v, r)
+}
+
+/// Plays the `r`-round game between two finite structures over their
+/// universes: the classical EF game deciding FO_r-equivalence.
+pub fn ef_finite_pair(a: &FiniteStructure, b: &FiniteStructure, r: usize) -> bool {
+    let da = finite_as_db(a);
+    let db_ = finite_as_db(b);
+    let pa: Vec<Elem> = a.universe().to_vec();
+    let pb: Vec<Elem> = b.universe().to_vec();
+    EfGame::new(&da, &db_, pa, pb).duplicator_wins(&Tuple::empty(), &Tuple::empty(), r)
+}
+
+/// Wraps a finite structure as an r-db (its relations as finite
+/// relations over ℕ).
+pub fn finite_as_db(st: &FiniteStructure) -> Database {
+    let mut b = recdb_core::DatabaseBuilder::new("finite-as-db");
+    for i in 0..st.schema().len() {
+        let arity = st.schema().arity(i);
+        let rel =
+            recdb_core::FiniteRelation::new(arity, st.relation(i).iter().cloned());
+        b = b.relation(st.schema().name(i), rel);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recdb_core::{tuple, DatabaseBuilder, FnRelation};
+
+    /// A finite path graph 0–1–…–(n−1).
+    fn path(n: u64) -> FiniteStructure {
+        FiniteStructure::undirected_graph(0..n, (0..n - 1).map(|i| (i, i + 1)))
+    }
+
+    /// A finite cycle of length n.
+    fn cycle(n: u64) -> FiniteStructure {
+        FiniteStructure::undirected_graph(
+            0..n,
+            (0..n).map(|i| (i, (i + 1) % n)),
+        )
+    }
+
+    #[test]
+    fn round_zero_is_local_isomorphism() {
+        let p = path(4);
+        // Endpoints vs middles differ at r=0 only when facts differ:
+        // single nodes carry no edge facts, so all are ≡₀.
+        assert!(equiv_r_finite(&p, &tuple![0], &tuple![1], 0));
+        // But an edge pair vs a non-edge pair differ already at r=0.
+        assert!(!equiv_r_finite(&p, &tuple![0, 1], &tuple![0, 2], 0));
+    }
+
+    #[test]
+    fn endpoints_vs_middle_distinguished_at_one_round() {
+        let p = path(4);
+        // Node 0 (degree 1) vs node 1 (degree 2): spoiler plays the
+        // second neighbour of 1.
+        assert!(!equiv_r_finite(&p, &tuple![0], &tuple![1], 2));
+        // The two endpoints are genuinely equivalent (automorphism).
+        for r in 0..3 {
+            assert!(equiv_r_finite(&p, &tuple![0], &tuple![3], r));
+        }
+    }
+
+    #[test]
+    fn equiv_r_is_downward_closed() {
+        let p = path(5);
+        let pairs = [
+            (tuple![0], tuple![1]),
+            (tuple![1], tuple![2]),
+            (tuple![0], tuple![4]),
+            (tuple![1], tuple![3]),
+        ];
+        for (u, v) in pairs {
+            let mut prev = true;
+            for r in 0..4 {
+                let now = equiv_r_finite(&p, &u, &v, r);
+                assert!(
+                    !now || prev,
+                    "≡ᵣ must be downward closed: {u:?},{v:?} at r={r}"
+                );
+                prev = now;
+            }
+        }
+    }
+
+    #[test]
+    fn cycles_of_different_length_need_log_rounds() {
+        // C₆ vs C₇ as whole structures: indistinguishable for small r,
+        // distinguished once r is large enough (classically ~log₂ of
+        // the distance sums; here small).
+        assert!(ef_finite_pair(&cycle(6), &cycle(7), 1));
+        assert!(ef_finite_pair(&cycle(6), &cycle(7), 2));
+        assert!(!ef_finite_pair(&cycle(6), &cycle(7), 4));
+    }
+
+    #[test]
+    fn identical_structures_always_duplicator() {
+        let c = cycle(5);
+        for r in 0..3 {
+            assert!(ef_finite_pair(&c, &c.clone(), r));
+        }
+    }
+
+    #[test]
+    fn infinite_clique_tuples_equiv_all_r_over_pool() {
+        let db = DatabaseBuilder::new("K")
+            .relation("E", FnRelation::infinite_clique())
+            .build();
+        let pool: Vec<Elem> = (0..6).map(Elem).collect();
+        // Any two distinct-element pairs are interchangeable.
+        for r in 0..3 {
+            assert!(equiv_r(&db, &tuple![0, 1], &tuple![2, 5], r, &pool));
+        }
+    }
+
+    #[test]
+    fn line_distance_pairs_distinguished() {
+        // The §3.1 infinite line: (1,2i) vs (1,2j) for i≠j are
+        // non-equivalent; EF over a pool detects nearby distances.
+        let db = DatabaseBuilder::new("line")
+            .relation("E", FnRelation::infinite_line())
+            .build();
+        let pool: Vec<Elem> = (0..12).map(Elem).collect();
+        // Positions: 0↦0, 2↦1, 4↦2 — (0,2) adjacent, (0,4) at distance 2.
+        assert!(!equiv_r(&db, &tuple![0, 2], &tuple![0, 4], 0, &pool));
+        // (0,4) vs (0,6): distance 2 vs 3 — equal at r=0, split later.
+        assert!(equiv_r(&db, &tuple![0, 4], &tuple![0, 6], 0, &pool));
+        assert!(!equiv_r(&db, &tuple![0, 4], &tuple![0, 6], 1, &pool));
+    }
+
+    #[test]
+    fn distinguishing_round_finds_least_r() {
+        let db = DatabaseBuilder::new("line")
+            .relation("E", FnRelation::infinite_line())
+            .build();
+        let pool: Vec<Elem> = (0..12).map(Elem).collect();
+        let mut game = EfGame::new(&db, &db, pool.clone(), pool);
+        assert_eq!(
+            game.distinguishing_round(&tuple![0, 4], &tuple![0, 6], 3),
+            Some(1)
+        );
+        assert_eq!(
+            game.distinguishing_round(&tuple![0, 2], &tuple![2, 4], 2),
+            None,
+            "adjacent pairs are automorphic on the line"
+        );
+    }
+
+    #[test]
+    fn ef_agrees_with_quantifier_depth_formulas() {
+        // Sanity link to logic: if u ≡ᵣ v then no formula of quantifier
+        // depth ≤ r separates them. Test one instance: degree-1 vs
+        // degree-2 nodes on a path are separated by a depth-2 formula
+        // and indeed ≡₁ distinguishes… (they differ at r=2).
+        use crate::{eval_finite, Assignment, Formula, Var};
+        let p = path(4);
+        // ψ(x) = ∃y∃z (y≠z ∧ E(x,y) ∧ E(x,z)) — depth 2.
+        let psi = Formula::Exists(
+            Var(1),
+            Box::new(Formula::Exists(
+                Var(2),
+                Box::new(Formula::and(vec![
+                    Formula::Eq(Var(1), Var(2)).not(),
+                    Formula::Rel(0, vec![Var(0), Var(1)]),
+                    Formula::Rel(0, vec![Var(0), Var(2)]),
+                ])),
+            )),
+        );
+        let holds_at = |x: u64| {
+            let mut asg = Assignment::from_tuple(&tuple![x]);
+            eval_finite(&p, &psi, &mut asg).unwrap()
+        };
+        assert_ne!(holds_at(0), holds_at(1), "ψ separates 0 and 1");
+        assert!(
+            !equiv_r_finite(&p, &tuple![0], &tuple![1], 2),
+            "so they must differ at r = qd(ψ) = 2"
+        );
+    }
+}

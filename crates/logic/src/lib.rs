@@ -1,0 +1,32 @@
+//! # recdb-logic — first-order logic over recursive data bases
+//!
+//! The logical toolbox of the Hirst–Harel reproduction:
+//!
+//! * [`Formula`], [`Var`] — FO formulas over a schema ([`ast`]);
+//! * [`parse_query`] — set-builder concrete syntax ([`parser`]);
+//! * [`eval_qf`], [`eval_with_pool`], [`eval_finite`] — the three
+//!   evaluation modes ([`eval`]);
+//! * [`LMinusQuery`] — the r-complete language `L⁻` of Theorem 2.1,
+//!   with both directions constructive ([`lminus`]);
+//! * [`EfGame`], [`equiv_r`] — Ehrenfeucht–Fraïssé games and the `≡ᵣ`
+//!   hierarchy of §3.2 ([`ef`]).
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod dnf;
+pub mod ef;
+pub mod eval;
+pub mod lminus;
+pub mod nnf;
+pub mod lminus_n;
+pub mod parser;
+
+pub use dnf::{canonical_dnf, contained_in, equivalent, is_unsatisfiable, is_valid};
+pub use ast::{Formula, FormulaDisplay, Var};
+pub use ef::{ef_finite_pair, equiv_r, equiv_r_finite, finite_as_db, EfGame};
+pub use eval::{eval_finite, eval_qf, eval_with_pool, Assignment, UnboundVar};
+pub use lminus_n::{find_restricted_genericity_violation, LMinusNQuery};
+pub use lminus::{formula_for_class, LMinusQuery};
+pub use nnf::{is_nnf, quantified_vars, quantifier_count, to_nnf};
+pub use parser::{parse_query, ParseError, ParsedQuery};

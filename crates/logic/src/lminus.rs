@@ -1,0 +1,351 @@
+//! `L⁻` — quantifier-free first-order logic as a query language, and
+//! its r-completeness (Theorem 2.1).
+//!
+//! Queries have the form `{(x₁,…,xₙ) | φ(x₁,…,xₙ,R₁,…,R_k)}` with `φ`
+//! quantifier-free, plus the special expression `undefined`. The two
+//! directions of Theorem 2.1 are both constructive here:
+//!
+//! * *soundness*: [`LMinusQuery::eval`] — finitely many oracle calls,
+//!   total, and locally generic by construction;
+//! * *completeness*: [`LMinusQuery::from_class_union`] — given any
+//!   computable r-query in its Prop 2.4 normal form (a union of
+//!   `≅ₗ`-classes), synthesize the describing formula
+//!   `φ_{i₁} ∨ … ∨ φ_{iₗ}`.
+//!
+//! [`formula_for_class`] builds the paper's `φᵢ` for one class: the
+//! conjunction describing the equality pattern and the containment /
+//! non-containment of every projection of `u` in every relation.
+
+use crate::eval::eval_qf;
+use crate::{Formula, ParseError, ParsedQuery, Var};
+use recdb_core::{
+    enumerate_classes, index_vectors, AtomicType, ClassUnionQuery, Database, QueryOutcome,
+    RQuery, Schema, Tuple,
+};
+
+/// An `L⁻` query: quantifier-free set-builder query or `undefined`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LMinusQuery {
+    schema: Schema,
+    body: Option<(usize, Formula)>,
+}
+
+impl LMinusQuery {
+    /// The `undefined` expression.
+    pub fn undefined(schema: Schema) -> Self {
+        LMinusQuery { schema, body: None }
+    }
+
+    /// Wraps a quantifier-free formula as a rank-`rank` query.
+    ///
+    /// # Errors
+    /// Rejects formulas with quantifiers, free variables ≥ `rank`, or
+    /// atoms not matching the schema.
+    pub fn new(schema: Schema, rank: usize, body: Formula) -> Result<Self, String> {
+        if !body.is_quantifier_free() {
+            return Err("L⁻ bodies must be quantifier-free".into());
+        }
+        body.validate(&schema)?;
+        if let Some(v) = body.free_vars().into_iter().find(|v| v.0 as usize >= rank) {
+            return Err(format!("free variable {v} exceeds head rank {rank}"));
+        }
+        Ok(LMinusQuery {
+            schema,
+            body: Some((rank, body)),
+        })
+    }
+
+    /// Parses `L⁻` concrete syntax (see [`crate::parse_query`]).
+    ///
+    /// # Errors
+    /// Propagates parse errors; rejects quantified bodies.
+    pub fn parse(src: &str, schema: &Schema) -> Result<Self, ParseError> {
+        match crate::parse_query(src, schema)? {
+            ParsedQuery::Undefined => Ok(LMinusQuery::undefined(schema.clone())),
+            ParsedQuery::Defined { rank, body } => {
+                LMinusQuery::new(schema.clone(), rank, body).map_err(|msg| ParseError {
+                    at: 0,
+                    msg,
+                })
+            }
+        }
+    }
+
+    /// The query's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Whether this is the `undefined` expression.
+    pub fn is_undefined(&self) -> bool {
+        self.body.is_none()
+    }
+
+    /// The output rank, if defined.
+    pub fn rank(&self) -> Option<usize> {
+        self.body.as_ref().map(|(r, _)| *r)
+    }
+
+    /// The body formula, if defined.
+    pub fn body(&self) -> Option<&Formula> {
+        self.body.as_ref().map(|(_, f)| f)
+    }
+
+    /// Evaluates membership of `u` in the query result on `db`.
+    pub fn eval(&self, db: &Database, u: &Tuple) -> QueryOutcome {
+        match &self.body {
+            None => QueryOutcome::Undefined,
+            Some((rank, f)) => {
+                if u.rank() != *rank {
+                    return QueryOutcome::Defined(false);
+                }
+                QueryOutcome::Defined(
+                    eval_qf(db, f, u).expect("validated query cannot have unbound vars"),
+                )
+            }
+        }
+    }
+
+    /// Compiles the query to its Prop 2.4 normal form: the union of
+    /// the `≅ₗ`-classes it contains. (Evaluates the body on each
+    /// class's canonical witness — sound because `L⁻` queries are
+    /// locally generic.)
+    pub fn to_class_union(&self) -> ClassUnionQuery {
+        match &self.body {
+            None => ClassUnionQuery::undefined(self.schema.clone()),
+            Some((rank, f)) => {
+                let classes: Vec<AtomicType> = enumerate_classes(&self.schema, *rank)
+                    .into_iter()
+                    .filter(|ty| {
+                        let (db, u) = ty.witness(&self.schema);
+                        eval_qf(&db, f, &u).expect("validated")
+                    })
+                    .collect();
+                ClassUnionQuery::new(self.schema.clone(), *rank, classes)
+            }
+        }
+    }
+
+    /// **Theorem 2.1, completeness direction.** Synthesizes the `L⁻`
+    /// expression for a computable r-query given in its normal form:
+    /// `φ_{i₁} ∨ … ∨ φ_{iₗ}` where each `φᵢ` describes one class.
+    pub fn from_class_union(q: &ClassUnionQuery) -> LMinusQuery {
+        if q.is_undefined() {
+            return LMinusQuery::undefined(q.schema().clone());
+        }
+        let rank = q.output_rank().expect("defined query has a rank");
+        let disjuncts: Vec<Formula> = q
+            .classes()
+            .map(|ty| formula_for_class(ty, q.schema()))
+            .collect();
+        LMinusQuery::new(q.schema().clone(), rank, Formula::or(disjuncts))
+            .expect("synthesized formula is quantifier-free and well-formed")
+    }
+}
+
+impl RQuery for LMinusQuery {
+    fn output_rank(&self) -> Option<usize> {
+        self.rank()
+    }
+
+    fn contains(&self, db: &Database, u: &Tuple) -> QueryOutcome {
+        self.eval(db, u)
+    }
+}
+
+/// Builds the paper's `φᵢ` for one `≅ₗ`-class: a complete quantifier-
+/// free description. The conjunction asserts
+///
+/// * for every pair of positions, `xᵢ = xⱼ` or `xᵢ ≠ xⱼ` as the class's
+///   equality pattern dictates, and
+/// * for every relation and every index vector over the class's
+///   distinct elements, the corresponding (possibly negated) membership
+///   atom, with each block represented by its first head variable.
+pub fn formula_for_class(ty: &AtomicType, schema: &Schema) -> Formula {
+    let pattern = ty.pattern();
+    let n = ty.rank();
+    let mut conjuncts = Vec::new();
+    // Equality pattern over all position pairs.
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let eq = Formula::Eq(Var(i as u32), Var(j as u32));
+            conjuncts.push(if pattern[i] == pattern[j] { eq } else { eq.not() });
+        }
+    }
+    // Block representative variables: first position of each block.
+    let blocks = ty.distinct_count();
+    let mut rep_var = vec![Var(0); blocks];
+    for (b, var) in rep_var.iter_mut().enumerate() {
+        let pos = pattern
+            .iter()
+            .position(|&p| p == b)
+            .expect("pattern is a restricted-growth string");
+        *var = Var(pos as u32);
+    }
+    // Membership facts.
+    for r in 0..schema.len() {
+        let a = schema.arity(r);
+        if a == 0 {
+            let atom = Formula::Rel(r, vec![]);
+            conjuncts.push(if ty.fact(r, 0) { atom } else { atom.not() });
+            continue;
+        }
+        if blocks == 0 {
+            continue;
+        }
+        for (j, idx) in index_vectors(blocks, a).iter().enumerate() {
+            let args: Vec<Var> = idx.iter().map(|&b| rep_var[b]).collect();
+            let atom = Formula::Rel(r, args);
+            conjuncts.push(if ty.fact(r, j) { atom } else { atom.not() });
+        }
+    }
+    Formula::and(conjuncts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recdb_core::{tuple, DatabaseBuilder, FiniteRelation, FnRelation};
+
+    fn graph_schema() -> Schema {
+        Schema::with_names(&["E"], &[2])
+    }
+
+    fn clique() -> Database {
+        DatabaseBuilder::new("K")
+            .relation("E", FnRelation::infinite_clique())
+            .build()
+    }
+
+    #[test]
+    fn parse_and_eval_edge_query() {
+        let q = LMinusQuery::parse("{ (x, y) | x != y & E(x, y) }", &graph_schema()).unwrap();
+        assert!(q.eval(&clique(), &tuple![1, 2]).is_member());
+        assert!(!q.eval(&clique(), &tuple![5, 5]).is_member());
+    }
+
+    #[test]
+    fn parse_rejects_quantifiers() {
+        let e = LMinusQuery::parse("{ (x) | exists y. E(x, y) }", &graph_schema());
+        assert!(e.is_err(), "L⁻ must reject quantified bodies");
+    }
+
+    #[test]
+    fn undefined_round_trips() {
+        let q = LMinusQuery::parse("undefined", &graph_schema()).unwrap();
+        assert!(q.is_undefined());
+        assert_eq!(q.eval(&clique(), &tuple![1]), QueryOutcome::Undefined);
+        let cu = q.to_class_union();
+        assert!(cu.is_undefined());
+        assert!(LMinusQuery::from_class_union(&cu).is_undefined());
+    }
+
+    #[test]
+    fn free_variable_beyond_rank_rejected() {
+        let e = LMinusQuery::new(
+            graph_schema(),
+            1,
+            Formula::Rel(0, vec![Var(0), Var(1)]),
+        );
+        assert!(e.is_err());
+    }
+
+    /// Theorem 2.1 round trip: L⁻ → classes → L⁻ preserves semantics.
+    #[test]
+    fn theorem_2_1_roundtrip() {
+        let schema = graph_schema();
+        let sources = [
+            "{ (x, y) | x != y & E(x, y) }",
+            "{ (x, y) | E(x, y) <-> E(y, x) }",
+            "{ (x, y) | E(x, x) | y = x }",
+            "{ (x) | E(x, x) }",
+            "{ () | true }",
+        ];
+        let dbs = [
+            clique(),
+            DatabaseBuilder::new("line")
+                .relation("E", FnRelation::infinite_line())
+                .build(),
+            DatabaseBuilder::new("fin")
+                .relation("E", FiniteRelation::edges([(1, 1), (1, 2), (2, 3)]))
+                .build(),
+        ];
+        for src in sources {
+            let q = LMinusQuery::parse(src, &schema).unwrap();
+            let synthesized = LMinusQuery::from_class_union(&q.to_class_union());
+            for db in &dbs {
+                for u in [
+                    tuple![],
+                    tuple![1],
+                    tuple![1, 2],
+                    tuple![3, 3],
+                    tuple![0, 2],
+                    tuple![2, 1],
+                ] {
+                    assert_eq!(
+                        q.eval(db, &u),
+                        synthesized.eval(db, &u),
+                        "round trip differs for {src} on {}@{u:?}",
+                        db.name()
+                    );
+                }
+            }
+        }
+    }
+
+    /// The synthesized formula for a single class accepts exactly that
+    /// class.
+    #[test]
+    fn formula_for_class_characterizes_the_class() {
+        let schema = Schema::new([2, 1]);
+        let classes = enumerate_classes(&schema, 2);
+        // Check a sample of classes against all witnesses.
+        for ty in classes.iter().step_by(7) {
+            let phi = formula_for_class(ty, &schema);
+            for other in classes.iter().step_by(5) {
+                let (db, u) = other.witness(&schema);
+                assert_eq!(
+                    eval_qf(&db, &phi, &u).unwrap(),
+                    ty == other,
+                    "φ for {ty:?} must hold exactly on its own class"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn class_union_and_lminus_agree_pointwise() {
+        let schema = graph_schema();
+        let q = LMinusQuery::parse("{ (x, y) | E(x, y) & !E(y, x) }", &schema).unwrap();
+        let cu = q.to_class_union();
+        let db = DatabaseBuilder::new("asym")
+            .relation("E", FnRelation::new("lt", 2, |t| t[0].value() < t[1].value()))
+            .build();
+        for u in [tuple![1, 2], tuple![2, 1], tuple![4, 4]] {
+            assert_eq!(q.eval(&db, &u), cu.contains(&db, &u));
+        }
+    }
+
+    #[test]
+    fn papers_phi_example_is_satisfiable_exactly_on_its_witness() {
+        // Build the paper's C²ᵢ class formula and check it on its witness.
+        let schema = Schema::new([2, 1]);
+        let src = "{ (x, y) | x != y & !R1(x, y) & R1(y, x) & R1(x, x) & !R1(y, y) & !R2(x) & R2(y) }";
+        let q = LMinusQuery::parse(src, &schema).unwrap();
+        let cu = q.to_class_union();
+        assert_eq!(cu.class_count(), 1, "φᵢ describes exactly one class");
+        let ty = cu.classes().next().unwrap();
+        let (db, u) = ty.witness(&schema);
+        assert!(q.eval(&db, &u).is_member());
+    }
+
+    #[test]
+    fn wrong_rank_tuples_are_not_members() {
+        let q = LMinusQuery::parse("{ (x, y) | E(x, y) }", &graph_schema()).unwrap();
+        assert_eq!(q.eval(&clique(), &tuple![1]), QueryOutcome::Defined(false));
+        assert_eq!(
+            q.eval(&clique(), &tuple![1, 2, 3]),
+            QueryOutcome::Defined(false)
+        );
+    }
+}

@@ -1,0 +1,235 @@
+//! `L⁻ₙ` — quantifier-free queries with outputs restricted to
+//! `{1,…,n}` (Prop 2.7).
+//!
+//! `L⁻ₙ` allows expressions `{x⃗ | φ(x⃗, B) ∧ x⃗ ∈ {1,…,n}^m}` with `φ`
+//! quantifier-free. Such queries are *not* generic in the usual sense
+//! (they name concrete elements); the paper's adjusted criterion is
+//! that isomorphisms need only be preserved **for tuples over
+//! `{1,…,n}`**, and Prop 2.7 shows `L⁻ₙ` captures exactly the
+//! recursive queries with that restricted genericity.
+//!
+//! Because the allowed constants are fixed, a query may now also
+//! distinguish *which* of `1,…,n` appears in a position — its atomic
+//! view of a tuple is the `≅ₗ` type *of the tuple extended by the
+//! constants `(1,…,n)`*, which is the equivalence underlying the
+//! Prop 2.7 proof ("finitely many equivalence classes of `≅ₗ` for each
+//! rank that contain only tuples over `{1,…,n}`").
+
+use crate::eval::eval_qf;
+use crate::{Formula, ParseError, ParsedQuery};
+use recdb_core::{Database, Elem, QueryOutcome, Schema, Tuple};
+
+/// An `L⁻ₙ` query: a quantifier-free body plus the output restriction
+/// to `{1,…,n}`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LMinusNQuery {
+    schema: Schema,
+    /// The `n` of `{1,…,n}`.
+    bound: u64,
+    rank: usize,
+    body: Formula,
+}
+
+impl LMinusNQuery {
+    /// Wraps a quantifier-free formula with an output bound.
+    ///
+    /// # Errors
+    /// Rejects quantified bodies, bad free variables, or schema
+    /// mismatches (same rules as `L⁻`).
+    pub fn new(schema: Schema, bound: u64, rank: usize, body: Formula) -> Result<Self, String> {
+        if !body.is_quantifier_free() {
+            return Err("L⁻ₙ bodies must be quantifier-free".into());
+        }
+        body.validate(&schema)?;
+        if let Some(v) = body.free_vars().into_iter().find(|v| v.0 as usize >= rank) {
+            return Err(format!("free variable {v} exceeds head rank {rank}"));
+        }
+        Ok(LMinusNQuery {
+            schema,
+            bound,
+            rank,
+            body,
+        })
+    }
+
+    /// Parses the body in set-builder syntax and attaches the bound.
+    ///
+    /// # Errors
+    /// Parse errors, and `undefined` is not part of `L⁻ₙ`.
+    pub fn parse(src: &str, schema: &Schema, bound: u64) -> Result<Self, ParseError> {
+        match crate::parse_query(src, schema)? {
+            ParsedQuery::Undefined => Err(ParseError {
+                at: 0,
+                msg: "undefined is not an L⁻ₙ expression".into(),
+            }),
+            ParsedQuery::Defined { rank, body } => {
+                LMinusNQuery::new(schema.clone(), bound, rank, body)
+                    .map_err(|msg| ParseError { at: 0, msg })
+            }
+        }
+    }
+
+    /// The output bound `n`.
+    pub fn bound(&self) -> u64 {
+        self.bound
+    }
+
+    /// The output rank.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Evaluates membership: the tuple must lie inside `{1,…,n}^rank`
+    /// *and* satisfy the body.
+    pub fn eval(&self, db: &Database, u: &Tuple) -> QueryOutcome {
+        if u.rank() != self.rank {
+            return QueryOutcome::Defined(false);
+        }
+        if !u
+            .elems()
+            .iter()
+            .all(|e| e.value() >= 1 && e.value() <= self.bound)
+        {
+            return QueryOutcome::Defined(false);
+        }
+        QueryOutcome::Defined(eval_qf(db, &self.body, u).expect("validated"))
+    }
+
+    /// The full (finite!) output relation on a database: all of
+    /// `{1,…,n}^rank` filtered by the body. `L⁻ₙ` outputs are always
+    /// finite — the price of naming constants.
+    pub fn materialize(&self, db: &Database) -> Vec<Tuple> {
+        let mut out = Vec::new();
+        let mut cur = vec![1u64; self.rank];
+        loop {
+            let t: Tuple = cur.iter().map(|&v| Elem(v)).collect();
+            if eval_qf(db, &self.body, &t).expect("validated") {
+                out.push(t);
+            }
+            // Odometer over {1..bound}^rank.
+            let mut pos = 0;
+            while pos < self.rank {
+                cur[pos] += 1;
+                if cur[pos] <= self.bound {
+                    break;
+                }
+                cur[pos] = 1;
+                pos += 1;
+            }
+            if pos == self.rank {
+                break;
+            }
+        }
+        out
+    }
+}
+
+/// Checks restricted genericity (Prop 2.7's criterion) on samples: for
+/// isomorphic pairs `(B₁,u)≅(B₂,v)` with `u,v` over `{1,…,n}`, the
+/// query must answer identically. The caller supplies pairs known to
+/// be isomorphic.
+pub fn find_restricted_genericity_violation(
+    q: &LMinusNQuery,
+    isomorphic_pairs: &[(Database, Tuple, Database, Tuple)],
+) -> Option<(Tuple, Tuple)> {
+    for (b1, u, b2, v) in isomorphic_pairs {
+        let in_range = |t: &Tuple| {
+            t.elems()
+                .iter()
+                .all(|e| e.value() >= 1 && e.value() <= q.bound())
+        };
+        if !in_range(u) || !in_range(v) {
+            continue;
+        }
+        if q.eval(b1, u) != q.eval(b2, v) {
+            return Some((u.clone(), v.clone()));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recdb_core::{tuple, DatabaseBuilder, FnRelation};
+
+    fn db() -> Database {
+        DatabaseBuilder::new("div")
+            .relation("Div", FnRelation::divides())
+            .build()
+    }
+
+    #[test]
+    fn output_is_clipped_to_bound() {
+        let q = LMinusNQuery::parse("{ (x, y) | Div(x, y) }", db().schema(), 4).unwrap();
+        assert!(q.eval(&db(), &tuple![2, 4]).is_member());
+        assert!(
+            !q.eval(&db(), &tuple![2, 6]).is_member(),
+            "6 > n: outside the output range"
+        );
+        assert!(
+            !q.eval(&db(), &tuple![0, 4]).is_member(),
+            "0 < 1: outside the output range"
+        );
+    }
+
+    #[test]
+    fn materialize_enumerates_the_square() {
+        let q = LMinusNQuery::parse("{ (x, y) | Div(x, y) }", db().schema(), 3).unwrap();
+        let out = q.materialize(&db());
+        // Divisor pairs within {1,2,3}²: (1,1),(1,2),(1,3),(2,2),(3,3).
+        assert_eq!(out.len(), 5);
+        assert!(out.contains(&tuple![1, 3]));
+        assert!(!out.contains(&tuple![2, 3]));
+    }
+
+    #[test]
+    fn rank_zero_query() {
+        let schema = db().schema().clone();
+        let q = LMinusNQuery::new(schema, 3, 0, Formula::True).unwrap();
+        assert!(q.eval(&db(), &Tuple::empty()).is_member());
+        assert_eq!(q.materialize(&db()), vec![Tuple::empty()]);
+    }
+
+    #[test]
+    fn the_papers_non_genericity_example() {
+        // "Let B′ be isomorphic to B, with 1..n replaced by n+1..2n.
+        // Then Q(B′) = ∅" — the shifted database gets an empty answer
+        // though it is isomorphic to the original.
+        let n = 3u64;
+        let base = DatabaseBuilder::new("base")
+            .relation(
+                "P",
+                FnRelation::new("small", 1, move |t| (1..=n).contains(&t[0].value())),
+            )
+            .build();
+        let shifted = DatabaseBuilder::new("shifted")
+            .relation(
+                "P",
+                FnRelation::new("shift", 1, move |t| {
+                    (n + 1..=2 * n).contains(&t[0].value())
+                }),
+            )
+            .build();
+        let q = LMinusNQuery::parse("{ (x) | P(x) }", base.schema(), n).unwrap();
+        assert_eq!(q.materialize(&base).len(), 3);
+        assert_eq!(
+            q.materialize(&shifted).len(),
+            0,
+            "the isomorphic copy answers empty: Q is not generic in the full sense"
+        );
+        // But restricted genericity (tuples over {1..n} mapped to
+        // tuples over {1..n}) is respected: the only in-range tuples of
+        // an isomorphism pair get equal answers when the databases
+        // agree on {1..n} — e.g. B vs itself:
+        let pairs = vec![(base.clone(), tuple![2], base.clone(), tuple![2])];
+        assert!(find_restricted_genericity_violation(&q, &pairs).is_none());
+    }
+
+    #[test]
+    fn quantifiers_rejected() {
+        let schema = db().schema().clone();
+        assert!(LMinusNQuery::parse("{ (x) | exists y. Div(x, y) }", &schema, 3).is_err());
+        assert!(LMinusNQuery::parse("undefined", &schema, 3).is_err());
+    }
+}

@@ -1,0 +1,257 @@
+//! Negation normal form and prenex quantifier analysis.
+//!
+//! Theorem 6.3's evaluation bound quantifies over `T^{n+k}` where `k`
+//! is the number of quantifiers — the well-definedness of that `k`
+//! rests on standard normal-form facts this module implements:
+//! negation pushing (NNF) preserves quantifier count, and the
+//! quantifier *depth* after NNF equals the prenex quantifier count for
+//! the formulas the synthesis procedures emit.
+
+use crate::ast::{Formula, Var};
+
+/// Pushes negations to the atoms, eliminating `→` and `↔` along the
+/// way. Quantifier depth is preserved (∃/∀ swap under ¬ but do not
+/// multiply); `↔` duplicates subformulas, as it must.
+pub fn to_nnf(f: &Formula) -> Formula {
+    nnf(f, false)
+}
+
+fn nnf(f: &Formula, negate: bool) -> Formula {
+    match f {
+        Formula::True => {
+            if negate {
+                Formula::False
+            } else {
+                Formula::True
+            }
+        }
+        Formula::False => {
+            if negate {
+                Formula::True
+            } else {
+                Formula::False
+            }
+        }
+        Formula::Eq(a, b) => {
+            let atom = Formula::Eq(*a, *b);
+            if negate {
+                Formula::Not(Box::new(atom))
+            } else {
+                atom
+            }
+        }
+        Formula::Rel(i, vs) => {
+            let atom = Formula::Rel(*i, vs.clone());
+            if negate {
+                Formula::Not(Box::new(atom))
+            } else {
+                atom
+            }
+        }
+        Formula::Not(g) => nnf(g, !negate),
+        Formula::And(gs) => {
+            let parts: Vec<Formula> = gs.iter().map(|g| nnf(g, negate)).collect();
+            if negate {
+                Formula::or(parts)
+            } else {
+                Formula::and(parts)
+            }
+        }
+        Formula::Or(gs) => {
+            let parts: Vec<Formula> = gs.iter().map(|g| nnf(g, negate)).collect();
+            if negate {
+                Formula::and(parts)
+            } else {
+                Formula::or(parts)
+            }
+        }
+        Formula::Implies(a, b) => {
+            // a → b ≡ ¬a ∨ b.
+            if negate {
+                // ¬(a → b) ≡ a ∧ ¬b.
+                Formula::and(vec![nnf(a, false), nnf(b, true)])
+            } else {
+                Formula::or(vec![nnf(a, true), nnf(b, false)])
+            }
+        }
+        Formula::Iff(a, b) => {
+            // a ↔ b ≡ (a ∧ b) ∨ (¬a ∧ ¬b); negated: (a ∧ ¬b) ∨ (¬a ∧ b).
+            if negate {
+                Formula::or(vec![
+                    Formula::and(vec![nnf(a, false), nnf(b, true)]),
+                    Formula::and(vec![nnf(a, true), nnf(b, false)]),
+                ])
+            } else {
+                Formula::or(vec![
+                    Formula::and(vec![nnf(a, false), nnf(b, false)]),
+                    Formula::and(vec![nnf(a, true), nnf(b, true)]),
+                ])
+            }
+        }
+        Formula::Exists(v, g) => {
+            if negate {
+                Formula::Forall(*v, Box::new(nnf(g, true)))
+            } else {
+                Formula::Exists(*v, Box::new(nnf(g, false)))
+            }
+        }
+        Formula::Forall(v, g) => {
+            if negate {
+                Formula::Exists(*v, Box::new(nnf(g, true)))
+            } else {
+                Formula::Forall(*v, Box::new(nnf(g, false)))
+            }
+        }
+    }
+}
+
+/// Is the formula in NNF (negations only on atoms, no →/↔)?
+pub fn is_nnf(f: &Formula) -> bool {
+    match f {
+        Formula::True | Formula::False | Formula::Eq(..) | Formula::Rel(..) => true,
+        Formula::Not(g) => matches!(**g, Formula::Eq(..) | Formula::Rel(..)),
+        Formula::And(gs) | Formula::Or(gs) => gs.iter().all(is_nnf),
+        Formula::Implies(..) | Formula::Iff(..) => false,
+        Formula::Exists(_, g) | Formula::Forall(_, g) => is_nnf(g),
+    }
+}
+
+/// Total quantifier occurrences (not depth) — an upper bound on the
+/// prenex prefix length after standard variable-renaming.
+pub fn quantifier_count(f: &Formula) -> usize {
+    match f {
+        Formula::True | Formula::False | Formula::Eq(..) | Formula::Rel(..) => 0,
+        Formula::Not(g) => quantifier_count(g),
+        Formula::And(gs) | Formula::Or(gs) => gs.iter().map(quantifier_count).sum(),
+        Formula::Implies(a, b) | Formula::Iff(a, b) => {
+            quantifier_count(a) + quantifier_count(b)
+        }
+        Formula::Exists(_, g) | Formula::Forall(_, g) => 1 + quantifier_count(g),
+    }
+}
+
+/// All quantified variables, in syntactic order (diagnostics for the
+/// `T^{n+k}` pool-size computation).
+pub fn quantified_vars(f: &Formula) -> Vec<Var> {
+    fn go(f: &Formula, out: &mut Vec<Var>) {
+        match f {
+            Formula::True | Formula::False | Formula::Eq(..) | Formula::Rel(..) => {}
+            Formula::Not(g) => go(g, out),
+            Formula::And(gs) | Formula::Or(gs) => gs.iter().for_each(|g| go(g, out)),
+            Formula::Implies(a, b) | Formula::Iff(a, b) => {
+                go(a, out);
+                go(b, out);
+            }
+            Formula::Exists(v, g) | Formula::Forall(v, g) => {
+                out.push(*v);
+                go(g, out);
+            }
+        }
+    }
+    let mut out = Vec::new();
+    go(f, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::{eval_finite, Assignment};
+    use recdb_core::{tuple, FiniteStructure};
+
+    fn sample_structure() -> FiniteStructure {
+        FiniteStructure::undirected_graph([0, 1, 2, 3], [(0, 1), (1, 2), (2, 3)])
+    }
+
+    fn formulas() -> Vec<Formula> {
+        use Formula::*;
+        vec![
+            Implies(
+                Box::new(Rel(0, vec![Var(0), Var(1)])),
+                Box::new(Rel(0, vec![Var(1), Var(0)])),
+            ),
+            Iff(
+                Box::new(Eq(Var(0), Var(1))),
+                Box::new(Rel(0, vec![Var(0), Var(1)])),
+            ),
+            Not(Box::new(Exists(
+                Var(2),
+                Box::new(Formula::and(vec![
+                    Rel(0, vec![Var(0), Var(2)]),
+                    Rel(0, vec![Var(1), Var(2)]),
+                ])),
+            ))),
+            Forall(
+                Var(2),
+                Box::new(Not(Box::new(Formula::or(vec![
+                    Eq(Var(2), Var(0)),
+                    Rel(0, vec![Var(2), Var(1)]),
+                ])))),
+            ),
+        ]
+    }
+
+    #[test]
+    fn nnf_is_nnf_and_preserves_semantics() {
+        let st = sample_structure();
+        for f in formulas() {
+            let n = to_nnf(&f);
+            assert!(is_nnf(&n), "not NNF: {n:?}");
+            for t in [tuple![0, 1], tuple![1, 3], tuple![2, 2]] {
+                let mut a1 = Assignment::from_tuple(&t);
+                let mut a2 = Assignment::from_tuple(&t);
+                assert_eq!(
+                    eval_finite(&st, &f, &mut a1).unwrap(),
+                    eval_finite(&st, &n, &mut a2).unwrap(),
+                    "NNF changed semantics at {t:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn nnf_preserves_quantifier_depth_for_simple_negation() {
+        // ¬∃x∀y φ → ∀x∃y ¬φ: same depth.
+        let f = Formula::Not(Box::new(Formula::Exists(
+            Var(1),
+            Box::new(Formula::Forall(
+                Var(2),
+                Box::new(Formula::Rel(0, vec![Var(1), Var(2)])),
+            )),
+        )));
+        let n = to_nnf(&f);
+        assert_eq!(n.quantifier_depth(), f.quantifier_depth());
+        assert!(matches!(n, Formula::Forall(..)));
+    }
+
+    #[test]
+    fn quantifier_count_and_vars() {
+        let f = Formula::and(vec![
+            Formula::Exists(Var(1), Box::new(Formula::True)),
+            Formula::Forall(
+                Var(2),
+                Box::new(Formula::Exists(Var(3), Box::new(Formula::True))),
+            ),
+        ]);
+        assert_eq!(quantifier_count(&f), 3);
+        assert_eq!(quantified_vars(&f), vec![Var(1), Var(2), Var(3)]);
+        assert_eq!(f.quantifier_depth(), 2, "depth ≤ count");
+    }
+
+    #[test]
+    fn iff_duplication_is_the_known_cost() {
+        // Use non-constant sides so the smart constructors cannot
+        // collapse a branch: (∃y E(x,y)) ↔ E(x,x).
+        let f = Formula::Iff(
+            Box::new(Formula::Exists(
+                Var(1),
+                Box::new(Formula::Rel(0, vec![Var(0), Var(1)])),
+            )),
+            Box::new(Formula::Rel(0, vec![Var(0), Var(0)])),
+        );
+        let n = to_nnf(&f);
+        // The single quantifier appears twice after ↔ expansion.
+        assert_eq!(quantifier_count(&n), 2);
+        assert_eq!(n.quantifier_depth(), 1, "depth unchanged");
+    }
+}

@@ -1,0 +1,580 @@
+//! A concrete syntax for first-order queries.
+//!
+//! Queries are written in the paper's set-builder style:
+//!
+//! ```text
+//! { (x, y) | x != y & !R1(x, y) & R1(y, x) & R1(x, x) & !R1(y, y) & !R2(x) & R2(y) }
+//! ```
+//!
+//! (this is exactly the paper's `φᵢ` for the example class `C²ᵢ`). The
+//! grammar:
+//!
+//! ```text
+//! query   := "{" "(" vars ")" "|" formula "}" | "undefined"
+//! formula := iff
+//! iff     := impl ("<->" impl)*
+//! impl    := or ("->" or)*              (right-associative)
+//! or      := and ("|" and)*
+//! and     := unary ("&" unary)*
+//! unary   := "!" unary | ("exists"|"forall") ident "." unary | atom
+//! atom    := "(" formula ")" | "true" | "false"
+//!          | ident "(" vars? ")"                 (relation atom)
+//!          | ident ("=" | "!=") ident            (equality atom)
+//! ```
+//!
+//! Free variables are those in the query header, bound in order to
+//! `x₀,…,x_{n−1}`; quantifiers introduce fresh indices.
+
+use crate::{Formula, Var};
+use recdb_core::Schema;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A parse error, with a byte offset into the source.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset of the error.
+    pub at: usize,
+    /// Human-readable message.
+    pub msg: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.at, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// A parsed query: either `undefined` or a head of free variables and
+/// a body formula.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ParsedQuery {
+    /// The special everywhere-undefined query expression.
+    Undefined,
+    /// `{ (x₀,…,x_{n−1}) | φ }`.
+    Defined {
+        /// Number of free (head) variables.
+        rank: usize,
+        /// The body, with head variables as `Var(0..rank)`.
+        body: Formula,
+    },
+}
+
+#[derive(Clone, Debug, PartialEq)]
+enum Tok {
+    Ident(String),
+    LBrace,
+    RBrace,
+    LParen,
+    RParen,
+    Comma,
+    Pipe,
+    Amp,
+    Bang,
+    Eq,
+    Neq,
+    Arrow,
+    DArrow,
+    Dot,
+}
+
+fn lex(src: &str) -> Result<Vec<(usize, Tok)>, ParseError> {
+    let b = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < b.len() {
+        let c = b[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '{' => {
+                out.push((i, Tok::LBrace));
+                i += 1;
+            }
+            '}' => {
+                out.push((i, Tok::RBrace));
+                i += 1;
+            }
+            '(' => {
+                out.push((i, Tok::LParen));
+                i += 1;
+            }
+            ')' => {
+                out.push((i, Tok::RParen));
+                i += 1;
+            }
+            ',' => {
+                out.push((i, Tok::Comma));
+                i += 1;
+            }
+            '.' => {
+                out.push((i, Tok::Dot));
+                i += 1;
+            }
+            '&' => {
+                out.push((i, Tok::Amp));
+                i += 1;
+            }
+            '|' => {
+                out.push((i, Tok::Pipe));
+                i += 1;
+            }
+            '=' => {
+                out.push((i, Tok::Eq));
+                i += 1;
+            }
+            '!' => {
+                if b.get(i + 1) == Some(&b'=') {
+                    out.push((i, Tok::Neq));
+                    i += 2;
+                } else {
+                    out.push((i, Tok::Bang));
+                    i += 1;
+                }
+            }
+            '-' => {
+                if b.get(i + 1) == Some(&b'>') {
+                    out.push((i, Tok::Arrow));
+                    i += 2;
+                } else {
+                    return Err(ParseError {
+                        at: i,
+                        msg: "expected '->'".into(),
+                    });
+                }
+            }
+            '<' => {
+                if src[i..].starts_with("<->") {
+                    out.push((i, Tok::DArrow));
+                    i += 3;
+                } else {
+                    return Err(ParseError {
+                        at: i,
+                        msg: "expected '<->'".into(),
+                    });
+                }
+            }
+            c if c.is_ascii_alphanumeric() || c == '_' => {
+                let start = i;
+                while i < b.len() && ((b[i] as char).is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                out.push((start, Tok::Ident(src[start..i].to_string())));
+            }
+            other => {
+                return Err(ParseError {
+                    at: i,
+                    msg: format!("unexpected character {other:?}"),
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+struct Parser<'a> {
+    toks: Vec<(usize, Tok)>,
+    pos: usize,
+    schema: &'a Schema,
+    vars: HashMap<String, Var>,
+    next_var: u32,
+    src_len: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|(_, t)| t)
+    }
+
+    fn at(&self) -> usize {
+        self.toks
+            .get(self.pos)
+            .map(|(i, _)| *i)
+            .unwrap_or(self.src_len)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|(_, t)| t.clone());
+        self.pos += 1;
+        t
+    }
+
+    fn expect(&mut self, want: Tok, what: &str) -> Result<(), ParseError> {
+        let at = self.at();
+        match self.bump() {
+            Some(t) if t == want => Ok(()),
+            got => Err(ParseError {
+                at,
+                msg: format!("expected {what}, got {got:?}"),
+            }),
+        }
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError {
+            at: self.at(),
+            msg: msg.into(),
+        })
+    }
+
+    fn lookup_var(&self, name: &str) -> Result<Var, ParseError> {
+        self.vars.get(name).copied().ok_or(ParseError {
+            at: self.at(),
+            msg: format!("unknown variable {name:?}"),
+        })
+    }
+
+    fn parse_query(&mut self) -> Result<ParsedQuery, ParseError> {
+        if let Some(Tok::Ident(id)) = self.peek() {
+            if id == "undefined" {
+                self.bump();
+                return Ok(ParsedQuery::Undefined);
+            }
+        }
+        self.expect(Tok::LBrace, "'{'")?;
+        self.expect(Tok::LParen, "'('")?;
+        let mut rank = 0usize;
+        loop {
+            match self.peek() {
+                Some(Tok::RParen) => {
+                    self.bump();
+                    break;
+                }
+                Some(Tok::Ident(_)) => {
+                    let Some(Tok::Ident(name)) = self.bump() else {
+                        unreachable!()
+                    };
+                    if self.vars.contains_key(&name) {
+                        return self.err(format!("duplicate head variable {name:?}"));
+                    }
+                    self.vars.insert(name, Var(self.next_var));
+                    self.next_var += 1;
+                    rank += 1;
+                    if self.peek() == Some(&Tok::Comma) {
+                        self.bump();
+                    }
+                }
+                _ => return self.err("expected variable or ')' in head"),
+            }
+        }
+        self.expect(Tok::Pipe, "'|'")?;
+        let body = self.parse_formula()?;
+        self.expect(Tok::RBrace, "'}'")?;
+        if self.pos != self.toks.len() {
+            return self.err("trailing tokens after query");
+        }
+        body.validate(self.schema).map_err(|msg| ParseError {
+            at: self.src_len,
+            msg,
+        })?;
+        Ok(ParsedQuery::Defined { rank, body })
+    }
+
+    fn parse_formula(&mut self) -> Result<Formula, ParseError> {
+        let mut lhs = self.parse_implies()?;
+        while self.peek() == Some(&Tok::DArrow) {
+            self.bump();
+            let rhs = self.parse_implies()?;
+            lhs = Formula::Iff(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_implies(&mut self) -> Result<Formula, ParseError> {
+        let lhs = self.parse_or()?;
+        if self.peek() == Some(&Tok::Arrow) {
+            self.bump();
+            let rhs = self.parse_implies()?; // right-assoc
+            Ok(Formula::Implies(Box::new(lhs), Box::new(rhs)))
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn parse_or(&mut self) -> Result<Formula, ParseError> {
+        let mut items = vec![self.parse_and()?];
+        while self.peek() == Some(&Tok::Pipe) {
+            self.bump();
+            items.push(self.parse_and()?);
+        }
+        Ok(if items.len() == 1 {
+            items.pop().unwrap()
+        } else {
+            Formula::or(items)
+        })
+    }
+
+    fn parse_and(&mut self) -> Result<Formula, ParseError> {
+        let mut items = vec![self.parse_unary()?];
+        while self.peek() == Some(&Tok::Amp) {
+            self.bump();
+            items.push(self.parse_unary()?);
+        }
+        Ok(if items.len() == 1 {
+            items.pop().unwrap()
+        } else {
+            Formula::and(items)
+        })
+    }
+
+    fn parse_unary(&mut self) -> Result<Formula, ParseError> {
+        match self.peek() {
+            Some(Tok::Bang) => {
+                self.bump();
+                Ok(self.parse_unary()?.not())
+            }
+            Some(Tok::Ident(id)) if id == "exists" || id == "forall" => {
+                let is_exists = id == "exists";
+                self.bump();
+                let name = match self.bump() {
+                    Some(Tok::Ident(n)) => n,
+                    _ => return self.err("expected variable after quantifier"),
+                };
+                self.expect(Tok::Dot, "'.' after quantified variable")?;
+                let v = Var(self.next_var);
+                self.next_var += 1;
+                let shadowed = self.vars.insert(name.clone(), v);
+                let body = self.parse_unary()?;
+                match shadowed {
+                    Some(old) => {
+                        self.vars.insert(name, old);
+                    }
+                    None => {
+                        self.vars.remove(&name);
+                    }
+                }
+                Ok(if is_exists {
+                    Formula::Exists(v, Box::new(body))
+                } else {
+                    Formula::Forall(v, Box::new(body))
+                })
+            }
+            _ => self.parse_atom(),
+        }
+    }
+
+    fn parse_atom(&mut self) -> Result<Formula, ParseError> {
+        match self.bump() {
+            Some(Tok::LParen) => {
+                let f = self.parse_formula()?;
+                self.expect(Tok::RParen, "')'")?;
+                Ok(f)
+            }
+            Some(Tok::Ident(id)) if id == "true" => Ok(Formula::True),
+            Some(Tok::Ident(id)) if id == "false" => Ok(Formula::False),
+            Some(Tok::Ident(id)) => {
+                // Relation atom `R(v,…)` or equality `v = w` / `v != w`.
+                match self.peek() {
+                    Some(Tok::LParen) => {
+                        self.bump();
+                        let rel = match self.schema.index_of(&id) {
+                            Some(i) => i,
+                            None => return self.err(format!("unknown relation {id:?}")),
+                        };
+                        let mut args = Vec::new();
+                        loop {
+                            match self.peek() {
+                                Some(Tok::RParen) => {
+                                    self.bump();
+                                    break;
+                                }
+                                Some(Tok::Ident(_)) => {
+                                    let Some(Tok::Ident(name)) = self.bump() else {
+                                        unreachable!()
+                                    };
+                                    args.push(self.lookup_var(&name)?);
+                                    if self.peek() == Some(&Tok::Comma) {
+                                        self.bump();
+                                    }
+                                }
+                                _ => return self.err("expected variable or ')'"),
+                            }
+                        }
+                        Ok(Formula::Rel(rel, args))
+                    }
+                    Some(Tok::Eq) => {
+                        self.bump();
+                        let a = self.lookup_var(&id)?;
+                        let b = match self.bump() {
+                            Some(Tok::Ident(n)) => self.lookup_var(&n)?,
+                            _ => return self.err("expected variable after '='"),
+                        };
+                        Ok(Formula::Eq(a, b))
+                    }
+                    Some(Tok::Neq) => {
+                        self.bump();
+                        let a = self.lookup_var(&id)?;
+                        let b = match self.bump() {
+                            Some(Tok::Ident(n)) => self.lookup_var(&n)?,
+                            _ => return self.err("expected variable after '!='"),
+                        };
+                        Ok(Formula::Eq(a, b).not())
+                    }
+                    _ => self.err(format!("expected '(' , '=' or '!=' after {id:?}")),
+                }
+            }
+            got => self.err(format!("expected atom, got {got:?}")),
+        }
+    }
+}
+
+/// Parses a query in set-builder syntax against a schema.
+pub fn parse_query(src: &str, schema: &Schema) -> Result<ParsedQuery, ParseError> {
+    let toks = lex(src)?;
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        schema,
+        vars: HashMap::new(),
+        next_var: 0,
+        src_len: src.len(),
+    };
+    p.parse_query()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::new([2, 1])
+    }
+
+    #[test]
+    fn parses_the_papers_phi_i() {
+        let q = parse_query(
+            "{ (x, y) | x != y & !R1(x, y) & R1(y, x) & R1(x, x) & !R1(y, y) & !R2(x) & R2(y) }",
+            &schema(),
+        )
+        .unwrap();
+        let ParsedQuery::Defined { rank, body } = q else {
+            panic!("expected defined query")
+        };
+        assert_eq!(rank, 2);
+        assert!(body.is_quantifier_free());
+        match &body {
+            Formula::And(items) => assert_eq!(items.len(), 7),
+            other => panic!("expected conjunction, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_undefined() {
+        assert_eq!(
+            parse_query("undefined", &schema()).unwrap(),
+            ParsedQuery::Undefined
+        );
+    }
+
+    #[test]
+    fn parses_quantifiers_with_shadowing() {
+        let q = parse_query("{ (x) | exists y. (x != y & R1(x, y)) }", &schema()).unwrap();
+        let ParsedQuery::Defined { rank, body } = q else {
+            panic!()
+        };
+        assert_eq!(rank, 1);
+        assert_eq!(body.quantifier_depth(), 1);
+        assert_eq!(body.free_vars(), vec![Var(0)]);
+    }
+
+    #[test]
+    fn quantifier_shadowing_restores_outer_variable() {
+        // Inner `exists x` shadows head x; afterwards `x` is the head again.
+        let q = parse_query(
+            "{ (x) | (exists x. R2(x)) & R2(x) }",
+            &schema(),
+        )
+        .unwrap();
+        let ParsedQuery::Defined { body, .. } = q else {
+            panic!()
+        };
+        assert_eq!(body.free_vars(), vec![Var(0)]);
+    }
+
+    #[test]
+    fn rank_zero_atoms_and_empty_head() {
+        let s = Schema::with_names(&["P"], &[0]);
+        let q = parse_query("{ () | P() }", &s).unwrap();
+        let ParsedQuery::Defined { rank, body } = q else {
+            panic!()
+        };
+        assert_eq!(rank, 0);
+        assert_eq!(body, Formula::Rel(0, vec![]));
+    }
+
+    #[test]
+    fn connective_precedence() {
+        // a & b | c parses as (a & b) | c.
+        let s = Schema::with_names(&["P"], &[1]);
+        let q = parse_query("{ (x) | P(x) & !P(x) | x = x }", &s).unwrap();
+        let ParsedQuery::Defined { body, .. } = q else {
+            panic!()
+        };
+        match body {
+            Formula::Or(items) => assert_eq!(items.len(), 2),
+            other => panic!("expected Or at top, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn implication_is_right_associative() {
+        let s = Schema::with_names(&["P"], &[1]);
+        let q = parse_query("{ (x) | P(x) -> P(x) -> P(x) }", &s).unwrap();
+        let ParsedQuery::Defined { body, .. } = q else {
+            panic!()
+        };
+        match body {
+            Formula::Implies(_, rhs) => {
+                assert!(matches!(*rhs, Formula::Implies(..)))
+            }
+            other => panic!("expected Implies, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_on_unknown_relation() {
+        let e = parse_query("{ (x) | Q(x) }", &schema()).unwrap_err();
+        assert!(e.msg.contains("unknown relation"), "{e}");
+    }
+
+    #[test]
+    fn error_on_unknown_variable() {
+        let e = parse_query("{ (x) | R2(z) }", &schema()).unwrap_err();
+        assert!(e.msg.contains("unknown variable"), "{e}");
+    }
+
+    #[test]
+    fn error_on_arity_mismatch() {
+        let e = parse_query("{ (x) | R1(x) }", &schema()).unwrap_err();
+        assert!(e.msg.contains("arity"), "{e}");
+    }
+
+    #[test]
+    fn error_on_duplicate_head() {
+        let e = parse_query("{ (x, x) | x = x }", &schema()).unwrap_err();
+        assert!(e.msg.contains("duplicate head"), "{e}");
+    }
+
+    #[test]
+    fn error_on_trailing_tokens() {
+        let e = parse_query("{ (x) | x = x } garbage", &schema()).unwrap_err();
+        assert!(e.msg.contains("trailing"), "{e}");
+    }
+
+    #[test]
+    fn roundtrip_through_display() {
+        let s = Schema::with_names(&["E"], &[2]);
+        let q = parse_query("{ (x, y) | x != y & E(x, y) | E(y, x) }", &s).unwrap();
+        let ParsedQuery::Defined { body, .. } = q else {
+            panic!()
+        };
+        let txt = body.display(&s).to_string();
+        // Reparse the displayed text (head variables are x0, x1 there).
+        let q2 = parse_query(&format!("{{ (x0, x1) | {txt} }}"), &s).unwrap();
+        let ParsedQuery::Defined { body: body2, .. } = q2 else {
+            panic!()
+        };
+        assert_eq!(body, body2);
+    }
+}

@@ -1,0 +1,175 @@
+//! Property-based tests for the logic crate: formula algebra, parser
+//! round trips, evaluation laws, and EF-game structure.
+
+use proptest::prelude::*;
+use recdb_core::{Database, DatabaseBuilder, FiniteRelation, Schema, Tuple};
+use recdb_logic::ast::{Formula, Var};
+use recdb_logic::{
+    equiv_r_finite, eval_qf, formula_for_class, parse_query, LMinusQuery, ParsedQuery,
+};
+
+/// Strategy: a quantifier-free formula over one binary relation and
+/// variables x0..x2.
+fn qf_formula() -> impl Strategy<Value = Formula> {
+    let leaf = prop_oneof![
+        Just(Formula::True),
+        Just(Formula::False),
+        (0u32..3, 0u32..3).prop_map(|(a, b)| Formula::Eq(Var(a), Var(b))),
+        (0u32..3, 0u32..3).prop_map(|(a, b)| Formula::Rel(0, vec![Var(a), Var(b)])),
+    ];
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|f| f.not()),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Formula::and(vec![a, b])),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Formula::or(vec![a, b])),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Formula::Implies(Box::new(a), Box::new(b))),
+            (inner.clone(), inner)
+                .prop_map(|(a, b)| Formula::Iff(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+fn small_graph_db() -> impl Strategy<Value = Database> {
+    proptest::collection::btree_set((0u64..5, 0u64..5), 0..10).prop_map(|edges| {
+        DatabaseBuilder::new("g")
+            .relation("E", FiniteRelation::edges(edges))
+            .build()
+    })
+}
+
+fn small_tuple() -> impl Strategy<Value = Tuple> {
+    proptest::collection::vec(0u64..5, 3..4).prop_map(Tuple::from_values)
+}
+
+proptest! {
+    /// Generated QF formulas stay quantifier-free and evaluate totally.
+    #[test]
+    fn qf_formulas_evaluate_totally(
+        f in qf_formula(),
+        db in small_graph_db(),
+        t in small_tuple(),
+    ) {
+        prop_assert!(f.is_quantifier_free());
+        prop_assert_eq!(f.quantifier_depth(), 0);
+        let _ = eval_qf(&db, &f, &t).unwrap();
+    }
+
+    /// Double negation is semantic identity.
+    #[test]
+    fn double_negation(f in qf_formula(), db in small_graph_db(), t in small_tuple()) {
+        let nn = f.clone().not().not();
+        prop_assert_eq!(
+            eval_qf(&db, &f, &t).unwrap(),
+            eval_qf(&db, &nn, &t).unwrap()
+        );
+    }
+
+    /// De Morgan: ¬(a ∧ b) ≡ ¬a ∨ ¬b.
+    #[test]
+    fn de_morgan(
+        a in qf_formula(),
+        b in qf_formula(),
+        db in small_graph_db(),
+        t in small_tuple(),
+    ) {
+        let lhs = Formula::and(vec![a.clone(), b.clone()]).not();
+        let rhs = Formula::or(vec![a.not(), b.not()]);
+        prop_assert_eq!(
+            eval_qf(&db, &lhs, &t).unwrap(),
+            eval_qf(&db, &rhs, &t).unwrap()
+        );
+    }
+
+    /// Implication is material: (a → b) ≡ (¬a ∨ b).
+    #[test]
+    fn material_implication(
+        a in qf_formula(),
+        b in qf_formula(),
+        db in small_graph_db(),
+        t in small_tuple(),
+    ) {
+        let imp = Formula::Implies(Box::new(a.clone()), Box::new(b.clone()));
+        let or = Formula::or(vec![a.not(), b]);
+        prop_assert_eq!(
+            eval_qf(&db, &imp, &t).unwrap(),
+            eval_qf(&db, &or, &t).unwrap()
+        );
+    }
+
+    /// Display → parse round trip preserves semantics for QF queries.
+    #[test]
+    fn display_parse_roundtrip(
+        f in qf_formula(),
+        db in small_graph_db(),
+        t in small_tuple(),
+    ) {
+        let schema = Schema::with_names(&["E"], &[2]);
+        let printed = f.display(&schema).to_string();
+        let src = format!("{{ (x0, x1, x2) | {printed} }}");
+        let reparsed = parse_query(&src, &schema).unwrap();
+        let ParsedQuery::Defined { body, .. } = reparsed else {
+            return Err(TestCaseError::fail("expected defined"));
+        };
+        prop_assert_eq!(
+            eval_qf(&db, &f, &t).unwrap(),
+            eval_qf(&db, &body, &t).unwrap(),
+            "printed: {}", printed
+        );
+    }
+
+    /// Theorem 2.1 round trip on arbitrary QF formulas.
+    #[test]
+    fn theorem_2_1_roundtrip(
+        f in qf_formula(),
+        db in small_graph_db(),
+        t in small_tuple(),
+    ) {
+        let schema = Schema::with_names(&["E"], &[2]);
+        let Ok(q) = LMinusQuery::new(schema, 3, f) else {
+            return Ok(()); // free vars beyond rank — not a rank-3 query
+        };
+        let round = LMinusQuery::from_class_union(&q.to_class_union());
+        prop_assert_eq!(q.eval(&db, &t), round.eval(&db, &t));
+    }
+
+    /// Class formulas characterize their class (on witnesses).
+    #[test]
+    fn class_formula_characterizes(
+        db in small_graph_db(),
+        t in small_tuple(),
+        s in small_tuple(),
+    ) {
+        let schema = Schema::with_names(&["E"], &[2]);
+        let ty = recdb_core::AtomicType::of(&db, &t);
+        let phi = formula_for_class(&ty, &schema);
+        prop_assert!(eval_qf(&db, &phi, &t).unwrap(), "own tuple satisfies φ");
+        prop_assert_eq!(
+            eval_qf(&db, &phi, &s).unwrap(),
+            recdb_core::locally_equivalent(&db, &t, &s)
+        );
+    }
+
+    /// EF equivalence is an equivalence relation at each round count,
+    /// and downward-closed in r.
+    #[test]
+    fn ef_structure(
+        edges in proptest::collection::btree_set((0u64..4, 0u64..4), 0..8),
+        a in 0u64..4,
+        b in 0u64..4,
+    ) {
+        let st = recdb_core::FiniteStructure::graph(0..4, edges);
+        let (ta, tb) = (Tuple::from_values([a]), Tuple::from_values([b]));
+        let mut prev = true;
+        for r in 0..3 {
+            let now = equiv_r_finite(&st, &ta, &tb, r);
+            // Symmetry.
+            prop_assert_eq!(now, equiv_r_finite(&st, &tb, &ta, r));
+            // Reflexivity.
+            prop_assert!(equiv_r_finite(&st, &ta, &ta, r));
+            // Downward closure: once separated, stays separated.
+            prop_assert!(!now || prev, "≡ᵣ downward closed");
+            prev = now;
+        }
+    }
+}

@@ -1,0 +1,380 @@
+//! The QLhs interpreter (§3.3).
+//!
+//! Programs act on the representation `C_B`, never on the infinite
+//! database itself: "at any point during the computation of a program
+//! each term contains the labels along some paths in `Tⁿ`". Term
+//! values are finite sets of tree representatives; the operations use
+//! the highly recursive tree for `E`/`↑`/`¬` and the `≅_B` oracle for
+//! `↓`/`~`, exactly as the Theorem 3.1 soundness argument describes.
+
+use crate::ast::{Prog, Term};
+use crate::value::{RunError, Val};
+use recdb_core::{Fuel, Tuple};
+use recdb_hsdb::HsDatabase;
+use std::collections::{BTreeSet, HashMap};
+
+/// A QLhs interpreter bound to one hs-r-db representation.
+pub struct HsInterp<'a> {
+    hs: &'a HsDatabase,
+    /// Cache of `Tⁿ` levels (the tree is deterministic).
+    levels: HashMap<usize, Vec<Tuple>>,
+    /// Cache of canonical representatives.
+    canon: HashMap<Tuple, Tuple>,
+}
+
+impl<'a> HsInterp<'a> {
+    /// Binds an interpreter to a database representation.
+    pub fn new(hs: &'a HsDatabase) -> Self {
+        HsInterp {
+            hs,
+            levels: HashMap::new(),
+            canon: HashMap::new(),
+        }
+    }
+
+    fn level(&mut self, n: usize) -> &[Tuple] {
+        self.levels.entry(n).or_insert_with(|| self.hs.t_n(n))
+    }
+
+    fn canonical(&mut self, u: &Tuple) -> Tuple {
+        if let Some(c) = self.canon.get(u) {
+            return c.clone();
+        }
+        let c = self.hs.canonical_rep(u);
+        self.canon.insert(u.clone(), c.clone());
+        c
+    }
+
+    /// Evaluates a term in an environment.
+    pub fn eval_term(
+        &mut self,
+        t: &Term,
+        env: &[Val],
+        fuel: &mut Fuel,
+    ) -> Result<Val, RunError> {
+        fuel.tick()?;
+        Ok(match t {
+            Term::E => {
+                let diag: BTreeSet<Tuple> = self
+                    .level(2)
+                    .to_vec()
+                    .into_iter()
+                    .filter(|t| t[0] == t[1])
+                    .collect();
+                Val { rank: 2, tuples: diag }
+            }
+            Term::Rel(i) => {
+                if *i >= self.hs.schema().len() {
+                    return Err(RunError::NoSuchRelation(*i));
+                }
+                Val {
+                    rank: self.hs.schema().arity(*i),
+                    tuples: self.hs.reps(*i).clone(),
+                }
+            }
+            Term::Var(v) => env
+                .get(*v)
+                .cloned()
+                .unwrap_or_else(|| Val::empty(0)),
+            Term::And(a, b) => {
+                let x = self.eval_term(a, env, fuel)?;
+                let y = self.eval_term(b, env, fuel)?;
+                if x.rank != y.rank {
+                    return Err(RunError::RankMismatch {
+                        left: x.rank,
+                        right: y.rank,
+                    });
+                }
+                Val {
+                    rank: x.rank,
+                    tuples: x.tuples.intersection(&y.tuples).cloned().collect(),
+                }
+            }
+            Term::Not(e) => {
+                let x = self.eval_term(e, env, fuel)?;
+                let all: BTreeSet<Tuple> = self.level(x.rank).iter().cloned().collect();
+                Val {
+                    rank: x.rank,
+                    tuples: all.difference(&x.tuples).cloned().collect(),
+                }
+            }
+            Term::Up(e) => {
+                let x = self.eval_term(e, env, fuel)?;
+                let mut out = BTreeSet::new();
+                for u in &x.tuples {
+                    for a in self.hs.tree().offspring(u) {
+                        fuel.tick()?;
+                        out.insert(u.extend(a));
+                    }
+                }
+                Val {
+                    rank: x.rank + 1,
+                    tuples: out,
+                }
+            }
+            Term::Down(e) => {
+                let x = self.eval_term(e, env, fuel)?;
+                if x.rank == 0 {
+                    // Convention: ↓ below rank 0 is the empty rank-0
+                    // relation (this is what makes "test e↓ for
+                    // emptiness" a zero-test for rank-counters).
+                    return Ok(Val::empty(0));
+                }
+                let mut out = BTreeSet::new();
+                for u in &x.tuples {
+                    fuel.tick()?;
+                    let dropped = u.drop_first().expect("rank ≥ 1");
+                    out.insert(self.canonical(&dropped));
+                }
+                Val {
+                    rank: x.rank - 1,
+                    tuples: out,
+                }
+            }
+            Term::Swap(e) => {
+                let x = self.eval_term(e, env, fuel)?;
+                if x.rank < 2 {
+                    return Ok(x); // nothing to exchange
+                }
+                let mut out = BTreeSet::new();
+                for u in &x.tuples {
+                    fuel.tick()?;
+                    let swapped = u.swap_last_two().expect("rank ≥ 2");
+                    out.insert(self.canonical(&swapped));
+                }
+                Val {
+                    rank: x.rank,
+                    tuples: out,
+                }
+            }
+        })
+    }
+
+    /// Runs a program; the result is the final value of `Y₁`
+    /// (variable 0), as in §3.3.
+    pub fn run(&mut self, p: &Prog, fuel: &mut Fuel) -> Result<Val, RunError> {
+        let nvars = p.max_var().map_or(1, |m| m + 1);
+        let mut env = vec![Val::empty(0); nvars.max(1)];
+        self.exec(p, &mut env, fuel)?;
+        Ok(env[0].clone())
+    }
+
+    /// Runs a program in a caller-supplied environment (for staged
+    /// computations that pre-load inputs into variables).
+    pub fn exec(
+        &mut self,
+        p: &Prog,
+        env: &mut Vec<Val>,
+        fuel: &mut Fuel,
+    ) -> Result<(), RunError> {
+        fuel.tick()?;
+        match p {
+            Prog::Assign(v, e) => {
+                let val = self.eval_term(e, env, fuel)?;
+                if *v >= env.len() {
+                    env.resize(*v + 1, Val::empty(0));
+                }
+                env[*v] = val;
+            }
+            Prog::Seq(ps) => {
+                for q in ps {
+                    self.exec(q, env, fuel)?;
+                }
+            }
+            Prog::WhileEmpty(v, body) => {
+                while env.get(*v).is_none_or(Val::is_empty) {
+                    fuel.tick()?;
+                    self.exec(body, env, fuel)?;
+                }
+            }
+            Prog::WhileSingleton(v, body) => {
+                while env.get(*v).is_some_and(Val::is_singleton) {
+                    fuel.tick()?;
+                    self.exec(body, env, fuel)?;
+                }
+            }
+            Prog::WhileFinite(_, _) => {
+                return Err(RunError::DialectViolation(
+                    "while |Y|<∞ is a QLf+ construct; QLhs values are always finite sets of representatives",
+                ))
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{Prog, Term};
+    use recdb_core::tuple;
+    use recdb_hsdb::{infinite_clique, paper_example_graph, rado_graph};
+
+    fn run_on(hs: &HsDatabase, p: &Prog) -> Result<Val, RunError> {
+        let mut interp = HsInterp::new(hs);
+        let mut fuel = Fuel::new(100_000);
+        interp.run(p, &mut fuel)
+    }
+
+    #[test]
+    fn e_is_the_diagonal_class() {
+        let hs = infinite_clique();
+        let v = run_on(&hs, &Prog::assign(0, Term::E)).unwrap();
+        assert_eq!(v.rank, 2);
+        assert_eq!(v.tuples.iter().cloned().collect::<Vec<_>>(), vec![tuple![0, 0]]);
+    }
+
+    #[test]
+    fn rel_loads_representatives() {
+        let hs = infinite_clique();
+        let v = run_on(&hs, &Prog::assign(0, Term::Rel(0))).unwrap();
+        assert_eq!(v.rank, 2);
+        assert_eq!(
+            v.tuples.iter().cloned().collect::<Vec<_>>(),
+            vec![tuple![0, 1]],
+            "the clique's single edge class"
+        );
+    }
+
+    #[test]
+    fn complement_within_level() {
+        // ¬R1 on the clique: T² ∖ {(0,1)} = {(0,0)} — the diagonal.
+        let hs = infinite_clique();
+        let v = run_on(&hs, &Prog::assign(0, Term::Rel(0).not())).unwrap();
+        assert_eq!(v.tuples.iter().cloned().collect::<Vec<_>>(), vec![tuple![0, 0]]);
+    }
+
+    #[test]
+    fn up_collects_children() {
+        let hs = infinite_clique();
+        // E↑: children of (0,0): (0,0,0) and (0,0,1) — 2 classes.
+        let v = run_on(&hs, &Prog::assign(0, Term::E.up())).unwrap();
+        assert_eq!(v.rank, 3);
+        assert_eq!(v.len(), 2);
+    }
+
+    #[test]
+    fn down_uses_equivalence() {
+        let hs = infinite_clique();
+        // R1↓ on the clique: drop first of (0,1) → (1) ≅ (0): T¹'s rep.
+        let v = run_on(&hs, &Prog::assign(0, Term::Rel(0).down())).unwrap();
+        assert_eq!(v.rank, 1);
+        assert_eq!(v.tuples.iter().cloned().collect::<Vec<_>>(), vec![tuple![0]]);
+    }
+
+    #[test]
+    fn down_on_rank_zero_is_empty() {
+        let hs = infinite_clique();
+        // E↓↓ = {()} (the rank-0 "true"); E↓↓↓ = ∅ rank 0.
+        let v = run_on(&hs, &Prog::assign(0, Term::E.down_n(2))).unwrap();
+        assert_eq!(v.rank, 0);
+        assert!(v.is_singleton(), "E↓↓ is the nonempty rank-0 relation");
+        let v = run_on(&hs, &Prog::assign(0, Term::E.down_n(3))).unwrap();
+        assert_eq!(v.rank, 0);
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn swap_on_asymmetric_classes() {
+        // On the §3.1 example graph, the one-way edge class (2→3)
+        // swaps to the reversed class (3←2 viewed as ordered pair
+        // (sink, source)), which is a different representative.
+        let hs = paper_example_graph();
+        let edges = run_on(&hs, &Prog::assign(0, Term::Rel(0))).unwrap();
+        assert_eq!(edges.len(), 2);
+        let swapped = run_on(&hs, &Prog::assign(0, Term::Rel(0).swap())).unwrap();
+        assert_eq!(swapped.rank, 2);
+        // The symmetric class maps to itself; the one-way class maps
+        // out of R1 — so R1 ∩ R1~ is exactly the symmetric class.
+        let sym = run_on(
+            &hs,
+            &Prog::assign(0, Term::Rel(0).and(Term::Rel(0).swap())),
+        )
+        .unwrap();
+        assert_eq!(sym.len(), 1, "only the symmetric edge class survives");
+    }
+
+    #[test]
+    fn swap_below_rank_two_is_identity() {
+        let hs = infinite_clique();
+        let v = run_on(&hs, &Prog::assign(0, Term::Rel(0).down().swap())).unwrap();
+        assert_eq!(v.rank, 1);
+        assert!(!v.is_empty());
+    }
+
+    #[test]
+    fn rank_mismatch_detected() {
+        let hs = infinite_clique();
+        let e = run_on(&hs, &Prog::assign(0, Term::E.and(Term::E.down())));
+        assert!(matches!(e, Err(RunError::RankMismatch { left: 2, right: 1 })));
+    }
+
+    #[test]
+    fn no_such_relation_detected() {
+        let hs = infinite_clique();
+        assert!(matches!(
+            run_on(&hs, &Prog::assign(0, Term::Rel(5))),
+            Err(RunError::NoSuchRelation(5))
+        ));
+    }
+
+    #[test]
+    fn while_empty_terminates_when_filled() {
+        let hs = infinite_clique();
+        // while |Y1|=0 { Y1 := E } — one iteration.
+        let p = Prog::WhileEmpty(0, Box::new(Prog::assign(0, Term::E)));
+        let v = run_on(&hs, &p).unwrap();
+        assert!(!v.is_empty());
+    }
+
+    #[test]
+    fn while_singleton_escapes_via_up() {
+        let hs = infinite_clique();
+        // Y1 := E↓ (singleton); while |Y1|=1 { Y1 := Y1↑ } — up from
+        // (0) gives {(0,0),(0,1)}: two reps, loop exits.
+        let p = Prog::seq([
+            Prog::assign(0, Term::E.down()),
+            Prog::WhileSingleton(0, Box::new(Prog::assign(0, Term::Var(0).up()))),
+        ]);
+        let v = run_on(&hs, &p).unwrap();
+        assert_eq!(v.len(), 2);
+    }
+
+    #[test]
+    fn diverging_loop_exhausts_fuel() {
+        let hs = infinite_clique();
+        // Y2 stays empty forever.
+        let p = Prog::WhileEmpty(1, Box::new(Prog::assign(0, Term::E)));
+        assert!(matches!(run_on(&hs, &p), Err(RunError::Fuel(_))));
+    }
+
+    #[test]
+    fn whilefinite_rejected_in_qlhs() {
+        let hs = infinite_clique();
+        let p = Prog::WhileFinite(0, Box::new(Prog::Seq(vec![])));
+        assert!(matches!(
+            run_on(&hs, &p),
+            Err(RunError::DialectViolation(_))
+        ));
+    }
+
+    #[test]
+    fn rado_set_algebra() {
+        let hs = rado_graph();
+        // T² has 3 classes: diag, edge, non-edge. R1 ∪ E covers 2;
+        // its complement is the non-edge class.
+        let p = Prog::assign(0, Term::Rel(0).union(Term::E).not());
+        let v = run_on(&hs, &p).unwrap();
+        assert_eq!(v.len(), 1);
+        let rep = v.tuples.first().unwrap();
+        assert_ne!(rep[0], rep[1]);
+        assert!(!hs.database().query(0, rep.elems()));
+    }
+
+    #[test]
+    fn uninitialized_variable_is_empty_rank0() {
+        let hs = infinite_clique();
+        let v = run_on(&hs, &Prog::assign(0, Term::Var(7))).unwrap();
+        assert_eq!(v, Val::empty(0));
+    }
+}

@@ -1,0 +1,41 @@
+//! # recdb-qlhs — the QL language family (§3.3, §4; [CH])
+//!
+//! Three dialects of Chandra–Harel's QL over one AST:
+//!
+//! * **QL** ([`FinInterp`]) — the finitary baseline over
+//!   [`recdb_core::FiniteStructure`]s;
+//! * **QLhs** ([`HsInterp`]) — the paper's hs-r-complete language,
+//!   acting on `C_B` representations with the added `while |Y|=1`
+//!   test (Theorem 3.1);
+//! * **QLf+** ([`FcfInterp`]) — the finite∕co-finite variant with
+//!   `while |Y|<∞` (§4, Prop 4.3).
+//!
+//! [`derived`] supplies the programmability toolkit the completeness
+//! proof leans on: rank-0 booleans, branching combinators, and a
+//! compiler from counter machines to QL programs ("this gives QL the
+//! power of general counter machines, and hence of Turing machines").
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod completeness;
+pub mod derived;
+pub mod fcf_interp;
+pub mod fin_interp;
+pub mod hs_interp;
+pub mod optimize;
+pub mod parser;
+pub mod value;
+
+pub use completeness::{theorem_3_1_pipeline, DEncoding, IndexTuple};
+pub use ast::{Prog, Term, VarId};
+pub use derived::{
+    compile_counter, false_term, if_empty, if_nonempty, numeral, rank_program, true_term,
+    CompiledCounter,
+};
+pub use fcf_interp::{FcfInterp, FcfVal};
+pub use fin_interp::FinInterp;
+pub use hs_interp::HsInterp;
+pub use optimize::{simplify_prog, simplify_term, term_size};
+pub use parser::{parse_program, ProgParseError};
+pub use value::{RunError, Val};

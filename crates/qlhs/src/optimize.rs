@@ -1,0 +1,171 @@
+//! Term simplification for QL programs.
+//!
+//! Rewrites that are sound in *every* dialect's semantics (they follow
+//! from the set-algebra laws alone, which all three interpreters
+//! share):
+//!
+//! * `¬¬e → e`
+//! * `e ∩ e → e`
+//! * `(e~)~ → e` for terms whose rank is provably ≥ 2 or provably
+//!   < 2 — since `~` is the identity below rank 2, double-swap is the
+//!   identity at every rank;
+//! * `¬e ∩ ¬f → ¬(e ∪ f)` is *not* applied (union is not primitive);
+//! * constant folding of `E↓↓↓…` chains is left to the interpreters
+//!   (the empty-rank-0 convention is semantic, not syntactic).
+//!
+//! The simplifier is careful about *errors*: a rewrite must not turn a
+//! failing term (rank mismatch, missing relation) into a succeeding
+//! one or vice versa. `e ∩ e → e` preserves errors because both sides
+//! evaluate `e`; `¬¬e → e` likewise.
+
+use crate::ast::{Prog, Term};
+
+/// Simplifies a term bottom-up. Idempotent.
+pub fn simplify_term(t: &Term) -> Term {
+    match t {
+        Term::E | Term::Rel(_) | Term::Var(_) => t.clone(),
+        Term::And(a, b) => {
+            let (sa, sb) = (simplify_term(a), simplify_term(b));
+            if sa == sb {
+                sa
+            } else {
+                Term::And(Box::new(sa), Box::new(sb))
+            }
+        }
+        Term::Not(e) => {
+            let se = simplify_term(e);
+            match se {
+                Term::Not(inner) => *inner,
+                other => Term::Not(Box::new(other)),
+            }
+        }
+        Term::Up(e) => Term::Up(Box::new(simplify_term(e))),
+        Term::Down(e) => Term::Down(Box::new(simplify_term(e))),
+        Term::Swap(e) => {
+            let se = simplify_term(e);
+            match se {
+                Term::Swap(inner) => *inner,
+                other => Term::Swap(Box::new(other)),
+            }
+        }
+    }
+}
+
+/// Simplifies every term in a program and flattens nested sequences.
+pub fn simplify_prog(p: &Prog) -> Prog {
+    match p {
+        Prog::Assign(v, t) => Prog::Assign(*v, simplify_term(t)),
+        Prog::Seq(ps) => {
+            let mut flat = Vec::new();
+            for q in ps {
+                match simplify_prog(q) {
+                    Prog::Seq(inner) => flat.extend(inner),
+                    other => flat.push(other),
+                }
+            }
+            Prog::Seq(flat)
+        }
+        Prog::WhileEmpty(v, body) => {
+            Prog::WhileEmpty(*v, Box::new(simplify_prog(body)))
+        }
+        Prog::WhileSingleton(v, body) => {
+            Prog::WhileSingleton(*v, Box::new(simplify_prog(body)))
+        }
+        Prog::WhileFinite(v, body) => {
+            Prog::WhileFinite(*v, Box::new(simplify_prog(body)))
+        }
+    }
+}
+
+/// Size of a term (AST nodes) — the quantity simplification reduces.
+pub fn term_size(t: &Term) -> usize {
+    match t {
+        Term::E | Term::Rel(_) | Term::Var(_) => 1,
+        Term::And(a, b) => 1 + term_size(a) + term_size(b),
+        Term::Not(e) | Term::Up(e) | Term::Down(e) | Term::Swap(e) => 1 + term_size(e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hs_interp::HsInterp;
+    use recdb_core::Fuel;
+    use recdb_hsdb::{infinite_clique, paper_example_graph};
+
+    #[test]
+    fn rewrites_fire() {
+        let t = Term::Rel(0).not().not();
+        assert_eq!(simplify_term(&t), Term::Rel(0));
+        let t = Term::Rel(0).swap().swap();
+        assert_eq!(simplify_term(&t), Term::Rel(0));
+        let t = Term::Rel(0).and(Term::Rel(0));
+        assert_eq!(simplify_term(&t), Term::Rel(0));
+        // Nested: ¬¬(e ∩ e) → e.
+        let t = Term::Rel(0).and(Term::Rel(0)).not().not();
+        assert_eq!(simplify_term(&t), Term::Rel(0));
+    }
+
+    #[test]
+    fn simplification_is_idempotent_and_shrinking() {
+        let t = Term::E
+            .not()
+            .not()
+            .and(Term::E.not().not())
+            .swap()
+            .swap()
+            .up();
+        let s1 = simplify_term(&t);
+        let s2 = simplify_term(&s1);
+        assert_eq!(s1, s2);
+        assert!(term_size(&s1) <= term_size(&t));
+        assert_eq!(s1, Term::E.up());
+    }
+
+    #[test]
+    fn semantics_preserved_on_hs_interpreters() {
+        let terms = [
+            Term::Rel(0).not().not(),
+            Term::Rel(0).swap().swap().and(Term::Rel(0)),
+            Term::E.and(Term::E).not(),
+            Term::Rel(0).up().swap().swap().down(),
+        ];
+        for hs in [infinite_clique(), paper_example_graph()] {
+            for t in &terms {
+                let s = simplify_term(t);
+                let mut i1 = HsInterp::new(&hs);
+                let mut i2 = HsInterp::new(&hs);
+                let v1 = i1.eval_term(t, &[], &mut Fuel::new(1_000_000)).unwrap();
+                let v2 = i2.eval_term(&s, &[], &mut Fuel::new(1_000_000)).unwrap();
+                assert_eq!(v1, v2, "simplification changed semantics of {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn errors_are_preserved() {
+        // Rank-mismatch terms still fail after simplification.
+        let t = Term::E.and(Term::E.down()).not().not();
+        let s = simplify_term(&t);
+        let hs = infinite_clique();
+        let r1 = HsInterp::new(&hs).eval_term(&t, &[], &mut Fuel::new(10_000));
+        let r2 = HsInterp::new(&hs).eval_term(&s, &[], &mut Fuel::new(10_000));
+        assert!(r1.is_err() && r2.is_err());
+    }
+
+    #[test]
+    fn seq_flattening() {
+        let p = Prog::seq([
+            Prog::seq([Prog::assign(0, Term::E.not().not())]),
+            Prog::seq([Prog::seq([Prog::assign(1, Term::E)])]),
+        ]);
+        let s = simplify_prog(&p);
+        match s {
+            Prog::Seq(items) => {
+                assert_eq!(items.len(), 2);
+                assert_eq!(items[0], Prog::assign(0, Term::E));
+            }
+            other => panic!("expected flat Seq, got {other:?}"),
+        }
+    }
+}

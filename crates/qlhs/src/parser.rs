@@ -1,0 +1,323 @@
+//! Concrete syntax for QL-family programs.
+//!
+//! ```text
+//! Y2 := R1 & !E;
+//! while empty(Y2) {
+//!     Y2 := up(Y1);
+//! }
+//! while single(Y3) { Y3 := up(Y3); }   // QLhs-only test
+//! while finite(Y4) { Y4 := !Y4; }      // QLf+-only test
+//! Y1 := swap(down(Y2));
+//! ```
+//!
+//! Terms: `E`, `R<k>`, `Y<k>` (1-based, as in the paper), `&`
+//! (intersection), `!` (complement), `up(·)`, `down(·)`, `swap(·)`,
+//! parentheses. Statements: assignment `Yk := term;` and the three
+//! while-forms. `//` comments run to end of line.
+
+use crate::ast::{Prog, Term};
+use std::fmt;
+
+/// A parse error with byte offset.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProgParseError {
+    /// Byte offset.
+    pub at: usize,
+    /// Message.
+    pub msg: String,
+}
+
+impl fmt::Display for ProgParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "QL parse error at byte {}: {}", self.at, self.msg)
+    }
+}
+
+impl std::error::Error for ProgParseError {}
+
+struct P<'a> {
+    src: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> P<'a> {
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, ProgParseError> {
+        Err(ProgParseError {
+            at: self.pos,
+            msg: msg.into(),
+        })
+    }
+
+    fn skip_ws(&mut self) {
+        loop {
+            while self.pos < self.src.len() && (self.src[self.pos] as char).is_whitespace() {
+                self.pos += 1;
+            }
+            if self.src[self.pos..].starts_with(b"//") {
+                while self.pos < self.src.len() && self.src[self.pos] != b'\n' {
+                    self.pos += 1;
+                }
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn eat(&mut self, token: &str) -> bool {
+        self.skip_ws();
+        if self.src[self.pos..].starts_with(token.as_bytes()) {
+            self.pos += token.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, token: &str) -> Result<(), ProgParseError> {
+        if self.eat(token) {
+            Ok(())
+        } else {
+            self.err(format!("expected {token:?}"))
+        }
+    }
+
+    fn ident(&mut self) -> Option<String> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.pos < self.src.len()
+            && ((self.src[self.pos] as char).is_ascii_alphanumeric())
+        {
+            self.pos += 1;
+        }
+        if self.pos > start {
+            Some(String::from_utf8_lossy(&self.src[start..self.pos]).into_owned())
+        } else {
+            None
+        }
+    }
+
+    /// `Y<k>` → 0-based id.
+    fn var_id(&mut self) -> Result<usize, ProgParseError> {
+        let at = self.pos;
+        match self.ident() {
+            Some(id) if id.starts_with('Y') => id[1..]
+                .parse::<usize>()
+                .ok()
+                .and_then(|k| k.checked_sub(1))
+                .ok_or(ProgParseError {
+                    at,
+                    msg: format!("bad variable {id:?} (expected Y1, Y2, …)"),
+                }),
+            other => Err(ProgParseError {
+                at,
+                msg: format!("expected a variable, got {other:?}"),
+            }),
+        }
+    }
+
+    fn term(&mut self) -> Result<Term, ProgParseError> {
+        let mut lhs = self.term_unary()?;
+        while self.eat("&") {
+            let rhs = self.term_unary()?;
+            lhs = lhs.and(rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn term_unary(&mut self) -> Result<Term, ProgParseError> {
+        self.skip_ws();
+        if self.eat("!") {
+            return Ok(self.term_unary()?.not());
+        }
+        if self.eat("(") {
+            let t = self.term()?;
+            self.expect(")")?;
+            return Ok(t);
+        }
+        let at = self.pos;
+        let Some(id) = self.ident() else {
+            return self.err("expected a term");
+        };
+        match id.as_str() {
+            "E" => Ok(Term::E),
+            "up" | "down" | "swap" => {
+                self.expect("(")?;
+                let inner = self.term()?;
+                self.expect(")")?;
+                Ok(match id.as_str() {
+                    "up" => inner.up(),
+                    "down" => inner.down(),
+                    _ => inner.swap(),
+                })
+            }
+            s if s.starts_with('R') => s[1..]
+                .parse::<usize>()
+                .ok()
+                .and_then(|k| k.checked_sub(1))
+                .map(Term::Rel)
+                .ok_or(ProgParseError {
+                    at,
+                    msg: format!("bad relation {s:?} (expected R1, R2, …)"),
+                }),
+            s if s.starts_with('Y') => s[1..]
+                .parse::<usize>()
+                .ok()
+                .and_then(|k| k.checked_sub(1))
+                .map(Term::Var)
+                .ok_or(ProgParseError {
+                    at,
+                    msg: format!("bad variable {s:?}"),
+                }),
+            other => Err(ProgParseError {
+                at,
+                msg: format!("unknown term head {other:?}"),
+            }),
+        }
+    }
+
+    fn block(&mut self) -> Result<Prog, ProgParseError> {
+        self.expect("{")?;
+        let mut stmts = Vec::new();
+        loop {
+            self.skip_ws();
+            if self.eat("}") {
+                break;
+            }
+            stmts.push(self.stmt()?);
+        }
+        Ok(Prog::Seq(stmts))
+    }
+
+    fn stmt(&mut self) -> Result<Prog, ProgParseError> {
+        self.skip_ws();
+        if self.src[self.pos..].starts_with(b"while") {
+            self.pos += 5;
+            self.skip_ws();
+            let at = self.pos;
+            let Some(kind) = self.ident() else {
+                return self.err("expected empty/single/finite after 'while'");
+            };
+            self.expect("(")?;
+            let v = self.var_id()?;
+            self.expect(")")?;
+            let body = Box::new(self.block()?);
+            return match kind.as_str() {
+                "empty" => Ok(Prog::WhileEmpty(v, body)),
+                "single" => Ok(Prog::WhileSingleton(v, body)),
+                "finite" => Ok(Prog::WhileFinite(v, body)),
+                other => Err(ProgParseError {
+                    at,
+                    msg: format!("unknown while-test {other:?}"),
+                }),
+            };
+        }
+        let v = self.var_id()?;
+        self.expect(":=")?;
+        let t = self.term()?;
+        self.expect(";")?;
+        Ok(Prog::Assign(v, t))
+    }
+}
+
+/// Parses a QL-family program.
+pub fn parse_program(src: &str) -> Result<Prog, ProgParseError> {
+    let mut p = P {
+        src: src.as_bytes(),
+        pos: 0,
+    };
+    let mut stmts = Vec::new();
+    loop {
+        p.skip_ws();
+        if p.pos >= p.src.len() {
+            break;
+        }
+        stmts.push(p.stmt()?);
+    }
+    Ok(Prog::Seq(stmts))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{Prog, Term};
+
+    #[test]
+    fn parses_assignment_and_ops() {
+        let p = parse_program("Y1 := swap(down(up(R1 & !E)));").unwrap();
+        assert_eq!(
+            p,
+            Prog::Seq(vec![Prog::assign(
+                0,
+                Term::Rel(0).and(Term::E.not()).up().down().swap()
+            )])
+        );
+    }
+
+    #[test]
+    fn parses_while_forms() {
+        let src = "
+            Y2 := R1;
+            while empty(Y2) { Y2 := E; }
+            while single(Y2) { Y2 := up(Y2); }
+            while finite(Y2) { Y2 := !Y2; }
+        ";
+        let p = parse_program(src).unwrap();
+        assert!(p.uses_singleton_test());
+        assert!(p.uses_finiteness_test());
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let p = parse_program("// a comment\nY1 := E; // trailing\n").unwrap();
+        assert_eq!(p, Prog::Seq(vec![Prog::assign(0, Term::E)]));
+    }
+
+    #[test]
+    fn one_based_indexing() {
+        let p = parse_program("Y3 := R2;").unwrap();
+        assert_eq!(p, Prog::Seq(vec![Prog::assign(2, Term::Rel(1))]));
+    }
+
+    #[test]
+    fn nested_blocks() {
+        let src = "while empty(Y1) { while empty(Y2) { Y2 := E; } Y1 := Y2; }";
+        let p = parse_program(src).unwrap();
+        match p {
+            Prog::Seq(v) => match &v[0] {
+                Prog::WhileEmpty(0, body) => match body.as_ref() {
+                    Prog::Seq(inner) => assert_eq!(inner.len(), 2),
+                    other => panic!("bad body {other:?}"),
+                },
+                other => panic!("bad stmt {other:?}"),
+            },
+            other => panic!("bad prog {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(parse_program("Y0 := E;").is_err(), "Y0 is not a variable");
+        assert!(parse_program("Y1 = E;").is_err(), "needs :=");
+        assert!(parse_program("Y1 := Q1;").is_err(), "unknown head");
+        assert!(parse_program("while sometimes(Y1) { }").is_err());
+        assert!(parse_program("Y1 := up(E;").is_err(), "unclosed paren");
+    }
+
+    #[test]
+    fn ampersand_is_left_associative() {
+        let p = parse_program("Y1 := E & E & E;").unwrap();
+        let Prog::Seq(v) = p else { panic!() };
+        let Prog::Assign(_, t) = &v[0] else { panic!() };
+        assert_eq!(t.to_string(), "((E & E) & E)");
+    }
+
+    #[test]
+    fn display_parse_roundtrip() {
+        let src = "Y2 := R1 & !E; while empty(Y2) { Y1 := up(Y2); }";
+        let p = parse_program(src).unwrap();
+        let printed = p.to_string();
+        let p2 = parse_program(&printed).unwrap();
+        // Display uses (a & b) grouping; reparse must agree.
+        assert_eq!(p2.to_string(), printed);
+    }
+}

@@ -1,0 +1,16 @@
+//! # recdb-suite — integration tests and examples host
+//!
+//! This crate exists to anchor the repository-level `tests/` and
+//! `examples/` directories (Cargo requires tests and examples to
+//! belong to a package; the paths are mapped in `Cargo.toml`). It
+//! re-exports the whole workspace for convenience.
+
+#![warn(missing_docs)]
+
+pub use recdb_bp as bp;
+pub use recdb_core as core;
+pub use recdb_gm as gm;
+pub use recdb_hsdb as hsdb;
+pub use recdb_logic as logic;
+pub use recdb_qlhs as qlhs;
+pub use recdb_turing as turing;

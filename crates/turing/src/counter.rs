@@ -1,0 +1,391 @@
+//! Counter (Minsky) machines with relation oracles.
+//!
+//! Counter machines are Turing-complete, and they are the computational
+//! core the paper leans on twice: the completeness proof of Theorem 3.1
+//! notes that "QLhs can be thought of as having counters … This gives
+//! QL the power of general counter machines (and hence of Turing
+//! machines)", and Def 2.4's oracle machines are realized here as
+//! counter programs extended with an `Oracle` instruction asking
+//! "is (c₁,…,c_a) ∈ Rᵢ?" about the input database.
+
+use recdb_core::{Database, Elem, Fuel, FuelError};
+use std::fmt;
+
+/// A register index.
+pub type Reg = usize;
+
+/// A program address.
+pub type Addr = usize;
+
+/// One counter-machine instruction.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Instr {
+    /// `c[r] += 1`.
+    Inc(Reg),
+    /// `c[r] -= 1` (saturating at 0).
+    Dec(Reg),
+    /// Jump to `addr` if `c[r] == 0`, else fall through.
+    Jz(Reg, Addr),
+    /// Unconditional jump.
+    Jmp(Addr),
+    /// Copy `c[src]` into `c[dst]` (destroying `dst`). A convenience
+    /// macro-instruction (expressible with Inc/Dec/Jz and a scratch
+    /// register; provided natively to keep programs readable).
+    Copy {
+        /// Source register.
+        src: Reg,
+        /// Destination register.
+        dst: Reg,
+    },
+    /// Ask the oracle "is `(c[args[0]],…) ∈ R_rel`?" and jump to `jyes`
+    /// or `jno`. Register contents are read as domain elements. This is
+    /// the only way a program can inspect the database — Def 2.4's
+    /// discipline, mechanically enforced.
+    Oracle {
+        /// Relation index in the database schema.
+        rel: usize,
+        /// Registers holding the question tuple.
+        args: Vec<Reg>,
+        /// Jump target on a positive answer.
+        jyes: Addr,
+        /// Jump target on a negative answer.
+        jno: Addr,
+    },
+    /// Halt and answer.
+    Halt(bool),
+}
+
+/// A counter-machine program.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct CounterProgram {
+    /// The instruction sequence; execution starts at address 0.
+    pub code: Vec<Instr>,
+}
+
+/// Why a run ended.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RunResult {
+    /// The machine executed `Halt(b)`.
+    Halted(bool),
+    /// The program counter left the program (treated as rejecting
+    /// halt, like falling off the end).
+    FellOff,
+}
+
+/// A snapshot of a finished run.
+#[derive(Clone, Debug)]
+pub struct RunOutcome {
+    /// How the run ended.
+    pub result: RunResult,
+    /// Steps executed.
+    pub steps: u64,
+    /// Final register file.
+    pub registers: Vec<u64>,
+}
+
+impl CounterProgram {
+    /// Runs the program with the given initial registers against a
+    /// database oracle, within a fuel budget.
+    ///
+    /// # Errors
+    /// Returns [`FuelError`] if the budget is exhausted first — the
+    /// caller cannot distinguish divergence from slowness, exactly as
+    /// recursion theory demands.
+    pub fn run(
+        &self,
+        db: Option<&Database>,
+        initial: &[u64],
+        fuel: &mut Fuel,
+    ) -> Result<RunOutcome, FuelError> {
+        let mut regs: Vec<u64> = initial.to_vec();
+        let mut pc: usize = 0;
+        let mut steps: u64 = 0;
+        loop {
+            fuel.tick()?;
+            steps += 1;
+            let Some(instr) = self.code.get(pc) else {
+                return Ok(RunOutcome {
+                    result: RunResult::FellOff,
+                    steps,
+                    registers: regs,
+                });
+            };
+            pc += 1;
+            match instr {
+                Instr::Inc(r) => {
+                    grow(&mut regs, *r);
+                    regs[*r] += 1;
+                }
+                Instr::Dec(r) => {
+                    grow(&mut regs, *r);
+                    regs[*r] = regs[*r].saturating_sub(1);
+                }
+                Instr::Jz(r, addr) => {
+                    grow(&mut regs, *r);
+                    if regs[*r] == 0 {
+                        pc = *addr;
+                    }
+                }
+                Instr::Jmp(addr) => pc = *addr,
+                Instr::Copy { src, dst } => {
+                    grow(&mut regs, (*src).max(*dst));
+                    regs[*dst] = regs[*src];
+                }
+                Instr::Oracle {
+                    rel,
+                    args,
+                    jyes,
+                    jno,
+                } => {
+                    let db = db.expect("oracle instruction requires a database");
+                    let tuple: Vec<Elem> = args
+                        .iter()
+                        .map(|&r| {
+                            Elem(regs.get(r).copied().unwrap_or(0))
+                        })
+                        .collect();
+                    pc = if db.query(*rel, &tuple) { *jyes } else { *jno };
+                }
+                Instr::Halt(b) => {
+                    return Ok(RunOutcome {
+                        result: RunResult::Halted(*b),
+                        steps,
+                        registers: regs,
+                    })
+                }
+            }
+        }
+    }
+
+    /// Runs without any database (programs with no `Oracle`
+    /// instructions).
+    pub fn run_pure(&self, initial: &[u64], fuel: &mut Fuel) -> Result<RunOutcome, FuelError> {
+        self.run(None, initial, fuel)
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.code.len()
+    }
+
+    /// Whether the program is empty.
+    pub fn is_empty(&self) -> bool {
+        self.code.is_empty()
+    }
+}
+
+fn grow(regs: &mut Vec<u64>, r: Reg) {
+    if r >= regs.len() {
+        regs.resize(r + 1, 0);
+    }
+}
+
+impl fmt::Display for CounterProgram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, instr) in self.code.iter().enumerate() {
+            writeln!(f, "{i:4}: {instr:?}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A tiny assembler for readable program construction.
+#[derive(Default)]
+pub struct Asm {
+    code: Vec<Instr>,
+    labels: Vec<(String, usize)>,
+    fixups: Vec<(usize, String)>,
+}
+
+impl Asm {
+    /// Starts an empty program.
+    pub fn new() -> Self {
+        Asm::default()
+    }
+
+    /// Defines a label at the current address.
+    pub fn label(mut self, name: &str) -> Self {
+        self.labels.push((name.to_string(), self.code.len()));
+        self
+    }
+
+    /// Emits an instruction with resolved addresses.
+    pub fn instr(mut self, i: Instr) -> Self {
+        self.code.push(i);
+        self
+    }
+
+    /// Emits `Jz` to a (possibly forward) label.
+    pub fn jz(mut self, r: Reg, label: &str) -> Self {
+        self.fixups.push((self.code.len(), label.to_string()));
+        self.code.push(Instr::Jz(r, usize::MAX));
+        self
+    }
+
+    /// Emits `Jmp` to a label.
+    pub fn jmp(mut self, label: &str) -> Self {
+        self.fixups.push((self.code.len(), label.to_string()));
+        self.code.push(Instr::Jmp(usize::MAX));
+        self
+    }
+
+    /// Emits an `Oracle` with label targets.
+    pub fn oracle(mut self, rel: usize, args: Vec<Reg>, yes: &str, no: &str) -> Self {
+        self.fixups
+            .push((self.code.len(), format!("{yes}\u{0}{no}")));
+        self.code.push(Instr::Oracle {
+            rel,
+            args,
+            jyes: usize::MAX,
+            jno: usize::MAX,
+        });
+        self
+    }
+
+    /// Resolves labels and produces the program.
+    ///
+    /// # Panics
+    /// Panics on undefined labels.
+    pub fn assemble(mut self) -> CounterProgram {
+        let find = |labels: &[(String, usize)], name: &str| -> usize {
+            labels
+                .iter()
+                .find(|(n, _)| n == name)
+                .unwrap_or_else(|| panic!("undefined label {name:?}"))
+                .1
+        };
+        for (at, name) in std::mem::take(&mut self.fixups) {
+            match &mut self.code[at] {
+                Instr::Jz(_, a) | Instr::Jmp(a) => *a = find(&self.labels, &name),
+                Instr::Oracle { jyes, jno, .. } => {
+                    let (y, n) = name.split_once('\u{0}').expect("oracle fixup format");
+                    *jyes = find(&self.labels, y);
+                    *jno = find(&self.labels, n);
+                }
+                other => panic!("fixup on non-jump {other:?}"),
+            }
+        }
+        CounterProgram { code: self.code }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recdb_core::{DatabaseBuilder, FnRelation};
+
+    /// addition: c0 += c1 (destroys c1).
+    fn add_program() -> CounterProgram {
+        Asm::new()
+            .label("loop")
+            .jz(1, "done")
+            .instr(Instr::Dec(1))
+            .instr(Instr::Inc(0))
+            .jmp("loop")
+            .label("done")
+            .instr(Instr::Halt(true))
+            .assemble()
+    }
+
+    #[test]
+    fn addition_by_transfer() {
+        let p = add_program();
+        let mut fuel = Fuel::new(1000);
+        let out = p.run_pure(&[3, 4], &mut fuel).unwrap();
+        assert_eq!(out.result, RunResult::Halted(true));
+        assert_eq!(out.registers[0], 7);
+        assert_eq!(out.registers[1], 0);
+    }
+
+    #[test]
+    fn fuel_exhaustion_on_infinite_loop() {
+        let p = Asm::new().label("l").jmp("l").assemble();
+        let mut fuel = Fuel::new(100);
+        assert!(p.run_pure(&[], &mut fuel).is_err());
+    }
+
+    #[test]
+    fn falling_off_the_end() {
+        let p = CounterProgram {
+            code: vec![Instr::Inc(0)],
+        };
+        let mut fuel = Fuel::new(10);
+        let out = p.run_pure(&[], &mut fuel).unwrap();
+        assert_eq!(out.result, RunResult::FellOff);
+        assert_eq!(out.registers[0], 1);
+    }
+
+    #[test]
+    fn oracle_instruction_queries_database() {
+        // Accept iff (c0, c1) ∈ E.
+        let p = Asm::new()
+            .oracle(0, vec![0, 1], "yes", "no")
+            .label("yes")
+            .instr(Instr::Halt(true))
+            .label("no")
+            .instr(Instr::Halt(false))
+            .assemble();
+        let db = DatabaseBuilder::new("K")
+            .relation("E", FnRelation::infinite_clique())
+            .build();
+        let mut fuel = Fuel::new(100);
+        assert_eq!(
+            p.run(Some(&db), &[1, 2], &mut fuel).unwrap().result,
+            RunResult::Halted(true)
+        );
+        let mut fuel = Fuel::new(100);
+        assert_eq!(
+            p.run(Some(&db), &[5, 5], &mut fuel).unwrap().result,
+            RunResult::Halted(false)
+        );
+        assert_eq!(db.oracle_calls(), 2, "exactly one oracle question per run");
+    }
+
+    #[test]
+    fn copy_macro_instruction() {
+        let p = CounterProgram {
+            code: vec![Instr::Copy { src: 0, dst: 3 }, Instr::Halt(true)],
+        };
+        let mut fuel = Fuel::new(10);
+        let out = p.run_pure(&[9], &mut fuel).unwrap();
+        assert_eq!(out.registers[3], 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "undefined label")]
+    fn undefined_label_panics() {
+        let _ = Asm::new().jmp("nowhere").assemble();
+    }
+
+    #[test]
+    fn dec_saturates_at_zero() {
+        let p = CounterProgram {
+            code: vec![Instr::Dec(0), Instr::Dec(0), Instr::Halt(true)],
+        };
+        let mut fuel = Fuel::new(10);
+        let out = p.run_pure(&[1], &mut fuel).unwrap();
+        assert_eq!(out.registers[0], 0);
+    }
+
+    #[test]
+    fn multiplication_program() {
+        // c2 = c0 * c1 using c3 as scratch.
+        let p = Asm::new()
+            .label("outer")
+            .jz(0, "done")
+            .instr(Instr::Dec(0))
+            // c2 += c1 via scratch c3 (preserving c1)
+            .instr(Instr::Copy { src: 1, dst: 3 })
+            .label("inner")
+            .jz(3, "outer")
+            .instr(Instr::Dec(3))
+            .instr(Instr::Inc(2))
+            .jmp("inner")
+            .label("done")
+            .instr(Instr::Halt(true))
+            .assemble();
+        let mut fuel = Fuel::new(10_000);
+        let out = p.run_pure(&[6, 7], &mut fuel).unwrap();
+        assert_eq!(out.registers[2], 42);
+    }
+}

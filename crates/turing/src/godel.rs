@@ -1,0 +1,355 @@
+//! Gödel numbering of counter programs, and the paper's §1 relation
+//! `R(x, y, z)` ⇔ "the `y`-th machine halts on input `z` after ≤ `x`
+//! steps".
+//!
+//! The introduction's motivating non-closure example: `R` is primitive
+//! recursive (bounded simulation is total), but its projection onto the
+//! last two columns, `R↓ = {(y,z) | ∃x R(x,y,z)}`, is the halting
+//! predicate — not recursive. So recursive relations are not closed
+//! under projection, and the class of computable queries over general
+//! r-dbs must be modest (no quantifiers — Theorem 2.1).
+//!
+//! We use counter machines as the machine model (Turing-equivalent);
+//! the numbering is total: *every* natural decodes to some program.
+
+use crate::counter::{CounterProgram, Instr, RunResult};
+use recdb_core::{FnRelation, Fuel};
+
+/// Cantor pairing `⟨a,b⟩ = (a+b)(a+b+1)/2 + b`, saturating on overflow
+/// (saturated codes decode to garbage-but-valid programs, preserving
+/// totality).
+pub fn pair(a: u64, b: u64) -> u64 {
+    try_pair(a, b).unwrap_or(u64::MAX)
+}
+
+/// Overflow-aware pairing: `None` when `⟨a,b⟩` exceeds `u64`. The
+/// numbering is total in the *decode* direction (every natural is a
+/// program); the encode direction is partial because our index space
+/// is `u64`, not ℕ — a mechanical, documented narrowing of the paper's
+/// setting.
+pub fn try_pair(a: u64, b: u64) -> Option<u64> {
+    let s = a as u128 + b as u128;
+    let v = s.checked_mul(s + 1)? / 2 + b as u128;
+    u64::try_from(v).ok()
+}
+
+/// Inverse of [`pair`].
+pub fn unpair(z: u64) -> (u64, u64) {
+    // Find w = floor((sqrt(8z+1)-1)/2) robustly.
+    let z128 = z as u128;
+    let mut w = (((8.0 * z as f64 + 1.0).sqrt() - 1.0) / 2.0) as u128;
+    // Correct floating point drift.
+    while w * (w + 1) / 2 > z128 {
+        w -= 1;
+    }
+    while (w + 1) * (w + 2) / 2 <= z128 {
+        w += 1;
+    }
+    let t = w * (w + 1) / 2;
+    let b = z128 - t;
+    let a = w - b;
+    (a as u64, b as u64)
+}
+
+/// Encodes a list of naturals: `[] ↦ 0`, `x:xs ↦ ⟨x, code(xs)⟩ + 1`.
+/// `None` when the code exceeds `u64` (Cantor pairing nests
+/// quadratically, so only short lists of modest values are encodable
+/// in a 64-bit index space).
+pub fn encode_list(xs: &[u64]) -> Option<u64> {
+    xs.iter().rev().try_fold(0u64, |acc, &x| {
+        try_pair(x, acc)?.checked_add(1)
+    })
+}
+
+/// Decodes a list (total; stops after `max_len` items as a safety
+/// valve against adversarial codes).
+pub fn decode_list(mut code: u64, max_len: usize) -> Vec<u64> {
+    let mut out = Vec::new();
+    while code > 0 && out.len() < max_len {
+        let (x, rest) = unpair(code - 1);
+        out.push(x);
+        code = rest;
+    }
+    out
+}
+
+const TAG_INC: u64 = 0;
+const TAG_DEC: u64 = 1;
+const TAG_JZ: u64 = 2;
+const TAG_JMP: u64 = 3;
+const TAG_HALT_T: u64 = 4;
+const TAG_HALT_F: u64 = 5;
+const TAGS: u64 = 6;
+
+/// Encodes one instruction, if it is in the oracle-free fragment the
+/// numbering covers (`Copy` and `Oracle` are convenience extensions and
+/// have no code).
+pub fn encode_instr(i: &Instr) -> Option<u64> {
+    Some(match i {
+        Instr::Inc(r) => TAG_INC + TAGS * (*r as u64),
+        Instr::Dec(r) => TAG_DEC + TAGS * (*r as u64),
+        Instr::Jz(r, a) => TAG_JZ + TAGS * try_pair(*r as u64, *a as u64)?,
+        Instr::Jmp(a) => TAG_JMP + TAGS * (*a as u64),
+        Instr::Halt(true) => TAG_HALT_T,
+        Instr::Halt(false) => TAG_HALT_F,
+        Instr::Copy { .. } | Instr::Oracle { .. } => return None,
+    })
+}
+
+/// Decodes one instruction (total).
+pub fn decode_instr(code: u64) -> Instr {
+    let tag = code % TAGS;
+    let payload = code / TAGS;
+    match tag {
+        TAG_INC => Instr::Inc(payload as usize),
+        TAG_DEC => Instr::Dec(payload as usize),
+        TAG_JZ => {
+            let (r, a) = unpair(payload);
+            Instr::Jz(r as usize, a as usize)
+        }
+        TAG_JMP => Instr::Jmp(payload as usize),
+        TAG_HALT_T => Instr::Halt(true),
+        _ => Instr::Halt(false),
+    }
+}
+
+/// Maximum decoded program length (a safety valve; real encodings of
+/// interesting programs are far shorter).
+pub const MAX_DECODED_LEN: usize = 4096;
+
+/// Encodes a program (oracle-free fragment only).
+pub fn encode_program(p: &CounterProgram) -> Option<u64> {
+    let codes: Vec<u64> = p.code.iter().map(encode_instr).collect::<Option<_>>()?;
+    encode_list(&codes)
+}
+
+/// Decodes the `y`-th program — **total**: every natural is the code
+/// of some program, so "the y-th machine" is meaningful for all y.
+pub fn decode_program(y: u64) -> CounterProgram {
+    CounterProgram {
+        code: decode_list(y, MAX_DECODED_LEN)
+            .into_iter()
+            .map(decode_instr)
+            .collect(),
+    }
+}
+
+/// Does machine `y` halt on input `z` within `x` steps? Total and
+/// primitive recursive: simulate for at most `x` steps.
+pub fn halts_within(x: u64, y: u64, z: u64) -> bool {
+    let p = decode_program(y);
+    let mut fuel = Fuel::new(x);
+    match p.run_pure(&[z], &mut fuel) {
+        Ok(out) => matches!(out.result, RunResult::Halted(_) | RunResult::FellOff),
+        Err(_) => false,
+    }
+}
+
+/// The §1 relation as a recursive relation over ℕ³:
+/// `R = {(x,y,z) | machine y halts on input z after ≤ x steps}`.
+pub fn step_bounded_halting_relation() -> FnRelation {
+    FnRelation::new("HaltsWithin", 3, |t| {
+        halts_within(t[0].value(), t[1].value(), t[2].value())
+    })
+}
+
+/// Semi-decides the projection `∃x R(x,y,z)` by searching `x < bound`.
+/// The paper's point is precisely that **no bound suffices in
+/// general** — this is the executable witness of non-closure under
+/// projection.
+pub fn projection_search(y: u64, z: u64, bound: u64) -> Option<u64> {
+    (1..bound).find(|&x| halts_within(x, y, z))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counter::Asm;
+
+    #[test]
+    fn pairing_roundtrip() {
+        for a in 0..30 {
+            for b in 0..30 {
+                assert_eq!(unpair(pair(a, b)), (a, b));
+            }
+        }
+        assert_eq!(pair(0, 0), 0);
+    }
+
+    #[test]
+    fn pairing_is_injective_on_range() {
+        let mut seen = std::collections::HashSet::new();
+        for a in 0..40 {
+            for b in 0..40 {
+                assert!(seen.insert(pair(a, b)), "collision at ({a},{b})");
+            }
+        }
+    }
+
+    #[test]
+    fn list_roundtrip() {
+        for xs in [vec![], vec![0], vec![5, 0, 12], vec![1, 2, 3, 4]] {
+            assert_eq!(decode_list(encode_list(&xs).unwrap(), 100), xs);
+        }
+    }
+
+    #[test]
+    fn instr_roundtrip() {
+        let instrs = [
+            Instr::Inc(3),
+            Instr::Dec(0),
+            Instr::Jz(2, 17),
+            Instr::Jmp(4),
+            Instr::Halt(true),
+            Instr::Halt(false),
+        ];
+        for i in &instrs {
+            let code = encode_instr(i).unwrap();
+            assert_eq!(&decode_instr(code), i);
+        }
+    }
+
+    #[test]
+    fn copy_and_oracle_have_no_code() {
+        assert!(encode_instr(&Instr::Copy { src: 0, dst: 1 }).is_none());
+        assert!(encode_instr(&Instr::Oracle {
+            rel: 0,
+            args: vec![],
+            jyes: 0,
+            jno: 0
+        })
+        .is_none());
+    }
+
+    #[test]
+    fn program_roundtrip() {
+        let p = Asm::new()
+            .label("l")
+            .jz(0, "end")
+            .instr(Instr::Dec(0))
+            .jmp("l")
+            .label("end")
+            .instr(Instr::Halt(true))
+            .assemble();
+        let code = encode_program(&p).unwrap();
+        assert_eq!(decode_program(code), p);
+    }
+
+    #[test]
+    fn halting_machine_detected() {
+        // The trivial machine [Halt(true)] halts immediately.
+        let code = encode_program(&CounterProgram {
+            code: vec![Instr::Halt(true)],
+        })
+        .unwrap();
+        assert!(halts_within(5, code, 0));
+        assert!(halts_within(5, code, 99));
+        assert!(!halts_within(0, code, 0), "zero budget: not yet halted");
+    }
+
+    #[test]
+    fn diverging_machine_never_halts_within_any_tested_bound() {
+        // while true {} — Jmp 0.
+        let code = encode_program(&CounterProgram {
+            code: vec![Instr::Jmp(0)],
+        })
+        .unwrap();
+        for x in [1, 10, 100, 1000] {
+            assert!(!halts_within(x, code, 0));
+        }
+        assert_eq!(projection_search(code, 0, 500), None);
+    }
+
+    #[test]
+    fn countdown_machine_halts_in_input_dependent_time() {
+        // Decrement r0 until 0: time grows with z.
+        let p = Asm::new()
+            .label("l")
+            .jz(0, "end")
+            .instr(Instr::Dec(0))
+            .jmp("l")
+            .label("end")
+            .instr(Instr::Halt(true))
+            .assemble();
+        let code = encode_program(&p).unwrap();
+        assert!(halts_within(100, code, 5));
+        assert!(!halts_within(3, code, 50), "needs ~3·50 steps");
+        // The projection search finds the halting time.
+        let t5 = projection_search(code, 5, 1000).unwrap();
+        let t20 = projection_search(code, 20, 1000).unwrap();
+        assert!(t20 > t5, "halting time increases with input");
+    }
+
+    #[test]
+    fn every_natural_decodes_to_a_program() {
+        for y in 0..200 {
+            let p = decode_program(y);
+            // And simulating it is total under fuel.
+            assert!(halts_within(50, y, 3) || !halts_within(50, y, 3));
+            let _ = p.len();
+        }
+    }
+
+    #[test]
+    fn step_bounded_halting_is_monotone_in_x() {
+        let rel = step_bounded_halting_relation();
+        use recdb_core::{Elem, RecursiveRelation};
+        for y in 0..50u64 {
+            let mut halted = false;
+            for x in 0..60u64 {
+                let now = rel.contains(&[Elem(x), Elem(y), Elem(2)]);
+                assert!(
+                    now || !halted,
+                    "halting within x steps must be monotone (y={y}, x={x})"
+                );
+                halted = now;
+            }
+        }
+    }
+}
+
+/// Aggregate halting statistics over the first `machines` Gödel codes:
+/// for each step bound in `bounds` (ascending), how many machines halt
+/// on input `z` within that bound. The paper's §1 argument in numbers:
+/// the counts keep creeping upward with the bound, and no finite bound
+/// is final — each row is a lower approximation of the (undecidable)
+/// halting set.
+pub fn halting_statistics(machines: u64, bounds: &[u64], z: u64) -> Vec<(u64, u64)> {
+    bounds
+        .iter()
+        .map(|&x| {
+            let halted = (0..machines).filter(|&y| halts_within(x, y, z)).count() as u64;
+            (x, halted)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod stats_tests {
+    use super::*;
+
+    #[test]
+    fn halting_counts_are_monotone_in_the_bound() {
+        let stats = halting_statistics(300, &[1, 5, 20, 100, 400], 2);
+        for w in stats.windows(2) {
+            assert!(w[0].1 <= w[1].1, "monotone: {stats:?}");
+        }
+        // Some machines halt fast, and not all of the first 300 halt
+        // even with a generous budget (e.g. y encoding `Jmp 0`).
+        assert!(stats.first().unwrap().1 > 0);
+        assert!(stats.last().unwrap().1 < 300);
+    }
+
+    #[test]
+    fn statistics_depend_on_the_input() {
+        // A countdown machine's halting time grows with z; the
+        // aggregate view shifts accordingly for tight bounds.
+        let tight_z0 = halting_statistics(200, &[3], 0)[0].1;
+        let tight_z9 = halting_statistics(200, &[3], 9)[0].1;
+        // Not asserting an inequality direction for all machines —
+        // only that the statistic is input-sensitive in general.
+        let loose_z0 = halting_statistics(200, &[500], 0)[0].1;
+        assert!(loose_z0 >= tight_z0);
+        let _ = tight_z9;
+    }
+}

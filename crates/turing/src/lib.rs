@@ -1,0 +1,31 @@
+//! # recdb-turing — oracle machines over recursive data bases
+//!
+//! The machine substrate of the Hirst–Harel reproduction:
+//!
+//! * [`counter`] — counter (Minsky) machines with an `Oracle`
+//!   instruction: the Turing-complete workhorse, and the model the
+//!   QLhs completeness proof simulates (Theorem 3.1);
+//! * [`tm`] — genuine single-tape oracle Turing machines with the dual
+//!   work-symbol / domain-element alphabet of §5 (Def 2.4);
+//! * [`godel`] — a total Gödel numbering of counter programs and the
+//!   §1 step-bounded halting relation `R(x,y,z)`, whose projection is
+//!   the halting problem (the non-closure example that motivates the
+//!   whole paper);
+//! * [`query`] — machines wrapped as [`recdb_core::RQuery`] values
+//!   with explicit fuel.
+
+#![warn(missing_docs)]
+
+pub mod counter;
+pub mod godel;
+pub mod query;
+pub mod tm;
+
+pub use counter::{Addr, Asm, CounterProgram, Instr, Reg, RunOutcome, RunResult};
+pub use godel::{
+    decode_instr, decode_list, decode_program, encode_instr, encode_list, encode_program,
+    halting_statistics, halts_within, pair, projection_search,
+    step_bounded_halting_relation, try_pair, unpair,
+};
+pub use query::{Machine, MachineQuery};
+pub use tm::{membership_machine, symmetric_edge_machine, OracleTm, TmBuilder, Verdict};

@@ -1,0 +1,178 @@
+//! Machine-defined r-queries: Def 2.4 made executable.
+//!
+//! An r-query is *recursive* when an oracle machine decides
+//! `u ∈ Q(B)` using only oracle questions. [`MachineQuery`] wraps
+//! either machine model behind [`recdb_core::RQuery`], with an explicit
+//! fuel budget standing in for "the machine does not halt" (a run that
+//! exhausts fuel is reported as [`QueryOutcome::Undefined`] —
+//! semantically honest only when the budget exceeds the machine's true
+//! running time on the instance; experiments choose budgets
+//! accordingly).
+
+use crate::counter::{CounterProgram, RunResult};
+use crate::tm::{OracleTm, Verdict};
+use recdb_core::{Database, Fuel, QueryOutcome, RQuery, Tuple};
+
+/// Which machine model backs the query.
+pub enum Machine {
+    /// A counter program with `Oracle` instructions. The input tuple is
+    /// loaded into registers `0..n`.
+    Counter(CounterProgram),
+    /// An oracle Turing machine. The input tuple is written on the
+    /// tape.
+    Tm(OracleTm),
+}
+
+/// An r-query computed by a machine with oracle access (Def 2.4).
+pub struct MachineQuery {
+    machine: Machine,
+    output_rank: usize,
+    fuel_budget: u64,
+}
+
+impl MachineQuery {
+    /// Wraps a counter program as a rank-`rank` query with a per-call
+    /// fuel budget.
+    pub fn counter(p: CounterProgram, rank: usize, fuel_budget: u64) -> Self {
+        MachineQuery {
+            machine: Machine::Counter(p),
+            output_rank: rank,
+            fuel_budget,
+        }
+    }
+
+    /// Wraps an oracle TM as a rank-`rank` query with a per-call fuel
+    /// budget.
+    pub fn tm(m: OracleTm, rank: usize, fuel_budget: u64) -> Self {
+        MachineQuery {
+            machine: Machine::Tm(m),
+            output_rank: rank,
+            fuel_budget,
+        }
+    }
+
+    /// The per-call fuel budget.
+    pub fn fuel_budget(&self) -> u64 {
+        self.fuel_budget
+    }
+}
+
+impl RQuery for MachineQuery {
+    fn output_rank(&self) -> Option<usize> {
+        Some(self.output_rank)
+    }
+
+    fn contains(&self, db: &Database, u: &Tuple) -> QueryOutcome {
+        if u.rank() != self.output_rank {
+            return QueryOutcome::Defined(false);
+        }
+        let mut fuel = Fuel::new(self.fuel_budget);
+        match &self.machine {
+            Machine::Counter(p) => {
+                let init: Vec<u64> = u.elems().iter().map(|e| e.value()).collect();
+                match p.run(Some(db), &init, &mut fuel) {
+                    Ok(out) => match out.result {
+                        RunResult::Halted(b) => QueryOutcome::Defined(b),
+                        RunResult::FellOff => QueryOutcome::Defined(false),
+                    },
+                    Err(_) => QueryOutcome::Undefined,
+                }
+            }
+            Machine::Tm(m) => match m.run(db, u, &mut fuel) {
+                Ok(Verdict::Accept) => QueryOutcome::Defined(true),
+                Ok(Verdict::Reject) => QueryOutcome::Defined(false),
+                Err(_) => QueryOutcome::Undefined,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counter::{Asm, Instr};
+    use crate::tm::membership_machine;
+    use recdb_core::{tuple, DatabaseBuilder, FnRelation};
+
+    fn clique() -> Database {
+        DatabaseBuilder::new("K")
+            .relation("E", FnRelation::infinite_clique())
+            .build()
+    }
+
+    #[test]
+    fn counter_query_decides_edges() {
+        let p = Asm::new()
+            .oracle(0, vec![0, 1], "y", "n")
+            .label("y")
+            .instr(Instr::Halt(true))
+            .label("n")
+            .instr(Instr::Halt(false))
+            .assemble();
+        let q = MachineQuery::counter(p, 2, 1000);
+        assert!(q.contains(&clique(), &tuple![1, 2]).is_member());
+        assert!(!q.contains(&clique(), &tuple![4, 4]).is_member());
+        assert_eq!(q.output_rank(), Some(2));
+    }
+
+    #[test]
+    fn tm_query_decides_edges() {
+        let q = MachineQuery::tm(membership_machine(0), 2, 1000);
+        assert!(q.contains(&clique(), &tuple![1, 2]).is_member());
+        assert!(!q.contains(&clique(), &tuple![7, 7]).is_member());
+    }
+
+    #[test]
+    fn wrong_rank_is_defined_false() {
+        let q = MachineQuery::tm(membership_machine(0), 2, 1000);
+        assert_eq!(
+            q.contains(&clique(), &tuple![1]),
+            QueryOutcome::Defined(false)
+        );
+    }
+
+    #[test]
+    fn diverging_machine_reports_undefined() {
+        let p = Asm::new().label("l").jmp("l").assemble();
+        let q = MachineQuery::counter(p, 1, 100);
+        assert_eq!(q.contains(&clique(), &tuple![3]), QueryOutcome::Undefined);
+    }
+
+    #[test]
+    fn counter_query_using_tape_arithmetic() {
+        // Accept x iff (x, x+1) ∈ E — a *non-generic* query (it
+        // manufactures the element x+1), demonstrating that machine
+        // queries can violate genericity; the checker must catch it.
+        let p = Asm::new()
+            .instr(Instr::Copy { src: 0, dst: 1 })
+            .instr(Instr::Inc(1))
+            .oracle(0, vec![0, 1], "y", "n")
+            .label("y")
+            .instr(Instr::Halt(true))
+            .label("n")
+            .instr(Instr::Halt(false))
+            .assemble();
+        let q = MachineQuery::counter(p, 1, 1000);
+        // On the "less-than" graph this accepts everything…
+        let lt = DatabaseBuilder::new("lt")
+            .relation("E", FnRelation::new("lt", 2, |t| t[0].value() < t[1].value()))
+            .build();
+        assert!(q.contains(&lt, &tuple![5]).is_member());
+        // …and on E = {(2,3)} the tuples (2) and (4) are locally
+        // isomorphic (no reflexive edge at either), yet only (2) has a
+        // successor edge — the checker must expose the non-genericity.
+        let single = DatabaseBuilder::new("single")
+            .relation(
+                "E",
+                FnRelation::new("succ2", 2, |t| {
+                    t[0].value() == 2 && t[1].value() == 3
+                }),
+            )
+            .build();
+        let samples = vec![(single.clone(), tuple![2]), (single, tuple![4])];
+        assert!(
+            recdb_core::find_local_genericity_violation(&q, &samples).is_some(),
+            "the checker must expose the non-genericity"
+        );
+    }
+}

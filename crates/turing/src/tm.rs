@@ -1,0 +1,371 @@
+//! Oracle Turing machines (Def 2.4).
+//!
+//! "An r-query Q is recursive if there is an oracle Turing machine
+//! which, given a tuple u, uses oracles for the relations of the input
+//! data base B to decide whether u ∈ Q(B)."
+//!
+//! The machine model here is single-tape with a **dual alphabet**, the
+//! same convention §5 uses for generic machines: cells hold either
+//! finite work symbols or domain elements. The finite control matches
+//! on the *class* of the scanned cell (blank, a specific work symbol,
+//! or "some domain element") — it cannot branch on element identity,
+//! which is how genericity is preserved mechanically. The only access
+//! to the database is the oracle call: entering an oracle state asks
+//! "is t ∈ Rᵢ?" where `t` is the block of element cells at the head.
+
+use recdb_core::{Database, Elem, Fuel, FuelError, Tuple};
+use std::collections::HashMap;
+
+/// A machine state.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub struct State(pub u32);
+
+/// A tape cell.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Cell {
+    /// The blank symbol.
+    Blank,
+    /// A finite work symbol.
+    Sym(u16),
+    /// A domain element.
+    Elem(Elem),
+}
+
+/// The class of a cell, as seen by the finite control.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum CellClass {
+    /// Scanning a blank.
+    Blank,
+    /// Scanning this specific work symbol.
+    Sym(u16),
+    /// Scanning *some* domain element (identity invisible).
+    AnyElem,
+}
+
+impl Cell {
+    fn class(self) -> CellClass {
+        match self {
+            Cell::Blank => CellClass::Blank,
+            Cell::Sym(s) => CellClass::Sym(s),
+            Cell::Elem(_) => CellClass::AnyElem,
+        }
+    }
+}
+
+/// Head movement.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Move {
+    /// One cell left (the tape is unbounded both ways).
+    Left,
+    /// One cell right.
+    Right,
+    /// Stay put.
+    Stay,
+}
+
+/// What to write before moving.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Write {
+    /// Leave the cell unchanged (in particular, element cells can be
+    /// *kept* or erased but never forged — the control has no way to
+    /// name an element).
+    Keep,
+    /// Write a blank.
+    Blank,
+    /// Write a work symbol.
+    Sym(u16),
+}
+
+/// A transition: write, move, next state.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Trans {
+    /// What to write.
+    pub write: Write,
+    /// Where to move.
+    pub mv: Move,
+    /// Next state.
+    pub next: State,
+}
+
+/// An oracle call bound to a state: on entry, the block of contiguous
+/// element cells starting at the head (rightwards) is the question
+/// tuple for relation `rel`; control resumes at `yes` or `no`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct OracleCall {
+    /// Relation index.
+    pub rel: usize,
+    /// State on a positive answer.
+    pub yes: State,
+    /// State on a negative answer.
+    pub no: State,
+}
+
+/// An oracle Turing machine.
+#[derive(Clone, Debug, Default)]
+pub struct OracleTm {
+    /// Transition table.
+    pub delta: HashMap<(State, CellClass), Trans>,
+    /// Oracle states.
+    pub oracles: HashMap<State, OracleCall>,
+    /// Accepting state.
+    pub accept: State,
+    /// Rejecting state.
+    pub reject: State,
+}
+
+/// The verdict of a halting run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Verdict {
+    /// Reached the accept state.
+    Accept,
+    /// Reached the reject state, or got stuck (no transition).
+    Reject,
+}
+
+impl OracleTm {
+    /// Runs the machine on input `u` (written as element cells at
+    /// positions `0..n`, head at 0, state 0) against the database.
+    ///
+    /// # Errors
+    /// [`FuelError`] if the step budget runs out.
+    pub fn run(&self, db: &Database, u: &Tuple, fuel: &mut Fuel) -> Result<Verdict, FuelError> {
+        let mut tape: HashMap<i64, Cell> = u
+            .elems()
+            .iter()
+            .enumerate()
+            .map(|(i, &e)| (i as i64, Cell::Elem(e)))
+            .collect();
+        let mut head: i64 = 0;
+        let mut state = State(0);
+        loop {
+            fuel.tick()?;
+            if state == self.accept {
+                return Ok(Verdict::Accept);
+            }
+            if state == self.reject {
+                return Ok(Verdict::Reject);
+            }
+            if let Some(call) = self.oracles.get(&state) {
+                // Collect the contiguous element block at the head.
+                let mut t = Vec::new();
+                let mut p = head;
+                while let Some(Cell::Elem(e)) = tape.get(&p).copied() {
+                    t.push(e);
+                    p += 1;
+                }
+                state = if db.query(call.rel, &t) {
+                    call.yes
+                } else {
+                    call.no
+                };
+                continue;
+            }
+            let cell = tape.get(&head).copied().unwrap_or(Cell::Blank);
+            let Some(tr) = self.delta.get(&(state, cell.class())) else {
+                return Ok(Verdict::Reject); // stuck = reject
+            };
+            match tr.write {
+                Write::Keep => {}
+                Write::Blank => {
+                    tape.remove(&head);
+                }
+                Write::Sym(s) => {
+                    tape.insert(head, Cell::Sym(s));
+                }
+            }
+            head += match tr.mv {
+                Move::Left => -1,
+                Move::Right => 1,
+                Move::Stay => 0,
+            };
+            state = tr.next;
+        }
+    }
+}
+
+/// Builder for oracle TMs.
+#[derive(Default)]
+pub struct TmBuilder {
+    tm: OracleTm,
+    next_state: u32,
+}
+
+impl TmBuilder {
+    /// Starts a builder; state 0 is the start state.
+    pub fn new() -> Self {
+        TmBuilder {
+            tm: OracleTm {
+                accept: State(u32::MAX),
+                reject: State(u32::MAX - 1),
+                ..Default::default()
+            },
+            next_state: 1, // state 0 reserved for start
+        }
+    }
+
+    /// Allocates a fresh state.
+    pub fn fresh(&mut self) -> State {
+        let s = State(self.next_state);
+        self.next_state += 1;
+        s
+    }
+
+    /// The accept state.
+    pub fn accept(&self) -> State {
+        self.tm.accept
+    }
+
+    /// The reject state.
+    pub fn reject(&self) -> State {
+        self.tm.reject
+    }
+
+    /// Adds a transition.
+    pub fn on(&mut self, s: State, c: CellClass, write: Write, mv: Move, next: State) -> &mut Self {
+        self.tm.delta.insert((s, c), Trans { write, mv, next });
+        self
+    }
+
+    /// Marks `s` as an oracle state.
+    pub fn oracle(&mut self, s: State, rel: usize, yes: State, no: State) -> &mut Self {
+        self.tm.oracles.insert(s, OracleCall { rel, yes, no });
+        self
+    }
+
+    /// Finishes the machine.
+    pub fn build(self) -> OracleTm {
+        self.tm
+    }
+}
+
+/// The simplest interesting machine: accepts `u` iff `u ∈ Rᵢ` — the
+/// identity query on relation `i`, as one oracle call from the start
+/// state.
+pub fn membership_machine(rel: usize) -> OracleTm {
+    let mut b = TmBuilder::new();
+    let (acc, rej) = (b.accept(), b.reject());
+    b.oracle(State(0), rel, acc, rej);
+    b.build()
+}
+
+/// A machine accepting `u = (x,y)` iff `(x,y) ∈ R_rel` **or**
+/// `(y,x) ∈ R_rel_rev`: two oracle calls chained through a fresh
+/// state. (A single-relation version would need to materialize the
+/// reversed pair on tape, but the control cannot *forge* element
+/// cells — only loads can place them — so the reversed question is
+/// asked of a database-supplied reversed relation instead. The GMhs
+/// model of §5 lifts exactly this restriction with its store-loading
+/// operations.)
+pub fn symmetric_edge_machine(rel: usize, rel_rev: usize) -> OracleTm {
+    let mut b = TmBuilder::new();
+    let (acc, rej) = (b.accept(), b.reject());
+    let try_rev = b.fresh();
+    b.oracle(State(0), rel, acc, try_rev);
+    b.oracle(try_rev, rel_rev, acc, rej);
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recdb_core::{tuple, DatabaseBuilder, FnRelation};
+
+    fn lt_db() -> Database {
+        DatabaseBuilder::new("lt")
+            .relation("Lt", FnRelation::new("lt", 2, |t| t[0].value() < t[1].value()))
+            .relation("Gt", FnRelation::new("gt", 2, |t| t[0].value() > t[1].value()))
+            .build()
+    }
+
+    #[test]
+    fn membership_machine_decides_membership() {
+        let m = membership_machine(0);
+        let db = lt_db();
+        let mut fuel = Fuel::new(100);
+        assert_eq!(m.run(&db, &tuple![1, 2], &mut fuel).unwrap(), Verdict::Accept);
+        let mut fuel = Fuel::new(100);
+        assert_eq!(m.run(&db, &tuple![2, 1], &mut fuel).unwrap(), Verdict::Reject);
+    }
+
+    #[test]
+    fn symmetric_machine_tries_both_orders() {
+        let m = symmetric_edge_machine(0, 1);
+        let db = lt_db();
+        for (u, want) in [
+            (tuple![1, 2], Verdict::Accept),
+            (tuple![2, 1], Verdict::Accept),
+            (tuple![3, 3], Verdict::Reject),
+        ] {
+            let mut fuel = Fuel::new(100);
+            assert_eq!(m.run(&db, &u, &mut fuel).unwrap(), want, "at {u:?}");
+        }
+    }
+
+    #[test]
+    fn stuck_machine_rejects() {
+        let tm = OracleTm {
+            accept: State(9),
+            reject: State(8),
+            ..Default::default()
+        };
+        let db = lt_db();
+        let mut fuel = Fuel::new(100);
+        assert_eq!(tm.run(&db, &tuple![1], &mut fuel).unwrap(), Verdict::Reject);
+    }
+
+    #[test]
+    fn looping_machine_exhausts_fuel() {
+        let mut b = TmBuilder::new();
+        // Start state loops in place on any cell class.
+        for c in [CellClass::Blank, CellClass::AnyElem] {
+            b.on(State(0), c, Write::Keep, Move::Stay, State(0));
+        }
+        let tm = b.build();
+        let mut fuel = Fuel::new(50);
+        assert!(tm.run(&lt_db(), &tuple![1], &mut fuel).is_err());
+    }
+
+    #[test]
+    fn tape_walk_and_marking() {
+        // Machine: walk right over the input, blank every element,
+        // then accept on the first blank. Verifies movement + writes.
+        let mut b = TmBuilder::new();
+        let acc = b.accept();
+        b.on(
+            State(0),
+            CellClass::AnyElem,
+            Write::Blank,
+            Move::Right,
+            State(0),
+        );
+        b.on(State(0), CellClass::Blank, Write::Keep, Move::Stay, acc);
+        let tm = b.build();
+        let mut fuel = Fuel::new(100);
+        assert_eq!(
+            tm.run(&lt_db(), &tuple![4, 5, 6], &mut fuel).unwrap(),
+            Verdict::Accept
+        );
+    }
+
+    #[test]
+    fn oracle_question_block_ends_at_blank() {
+        // Machine: move right once (head now at second element) and
+        // query Lt on the remaining block — which has rank 1, so the
+        // oracle question is malformed for a binary relation. Instead
+        // use a db with a unary relation to check the block semantics.
+        let db = DatabaseBuilder::new("u")
+            .relation("Odd", FnRelation::new("odd", 1, |t| t[0].value() % 2 == 1))
+            .build();
+        let mut b = TmBuilder::new();
+        let (acc, rej) = (b.accept(), b.reject());
+        let q = b.fresh();
+        b.on(State(0), CellClass::AnyElem, Write::Keep, Move::Right, q);
+        b.oracle(q, 0, acc, rej);
+        let tm = b.build();
+        // Input (2, 7): after one step the block at the head is (7).
+        let mut fuel = Fuel::new(100);
+        assert_eq!(tm.run(&db, &tuple![2, 7], &mut fuel).unwrap(), Verdict::Accept);
+        let mut fuel = Fuel::new(100);
+        assert_eq!(tm.run(&db, &tuple![2, 4], &mut fuel).unwrap(), Verdict::Reject);
+    }
+}

@@ -1,0 +1,113 @@
+//! Property-based tests for the machine substrate: pairing bijection,
+//! Gödel numbering totality, and counter-machine execution laws.
+
+use proptest::prelude::*;
+use recdb_turing::{
+    decode_list, decode_program, encode_instr, encode_list, encode_program, halts_within,
+    pair, unpair, CounterProgram, Instr, RunResult,
+};
+use recdb_core::Fuel;
+
+fn arb_instr() -> impl Strategy<Value = Instr> {
+    prop_oneof![
+        (0usize..4).prop_map(Instr::Inc),
+        (0usize..4).prop_map(Instr::Dec),
+        (0usize..4, 0usize..12).prop_map(|(r, a)| Instr::Jz(r, a)),
+        (0usize..12).prop_map(Instr::Jmp),
+        any::<bool>().prop_map(Instr::Halt),
+    ]
+}
+
+fn arb_program() -> impl Strategy<Value = CounterProgram> {
+    proptest::collection::vec(arb_instr(), 0..10).prop_map(|code| CounterProgram { code })
+}
+
+proptest! {
+    /// Cantor pairing is a bijection on the tested range.
+    #[test]
+    fn pairing_bijection(a in 0u64..5000, b in 0u64..5000) {
+        prop_assert_eq!(unpair(pair(a, b)), (a, b));
+    }
+
+    /// Unpair ∘ pair⁻¹: every natural is some pair.
+    #[test]
+    fn unpair_total(z in 0u64..1_000_000) {
+        let (a, b) = unpair(z);
+        prop_assert_eq!(pair(a, b), z);
+    }
+
+    /// List encoding round-trips on the encodable fragment (Cantor
+    /// pairing nests quadratically, so long/large lists overflow the
+    /// u64 index space and encode to None).
+    #[test]
+    fn list_roundtrip(xs in proptest::collection::vec(0u64..1000, 0..6)) {
+        if let Some(code) = encode_list(&xs) {
+            prop_assert_eq!(decode_list(code, 100), xs);
+        }
+    }
+
+    /// Instruction and program encodings round-trip on the encodable
+    /// fragment.
+    #[test]
+    fn program_roundtrip(p in arb_program()) {
+        let Some(code) = encode_program(&p) else {
+            return Ok(()); // exceeds the u64 index space
+        };
+        prop_assert_eq!(decode_program(code), p.clone());
+        // Instruction-level too.
+        for i in &p.code {
+            let c = encode_instr(i).unwrap();
+            prop_assert_eq!(&recdb_turing::godel::decode_instr(c), i);
+        }
+    }
+
+    /// Fuel monotonicity: a program halting within f steps also halts
+    /// within any larger budget, with the same verdict and registers.
+    #[test]
+    fn fuel_monotone(p in arb_program(), z in 0u64..20) {
+        let mut small = Fuel::new(200);
+        let r_small = p.run_pure(&[z], &mut small);
+        if let Ok(out1) = r_small {
+            let mut big = Fuel::new(100_000);
+            let out2 = p.run_pure(&[z], &mut big).expect("bigger budget");
+            prop_assert_eq!(out1.result, out2.result);
+            prop_assert_eq!(out1.registers, out2.registers);
+            prop_assert_eq!(out1.steps, out2.steps);
+        }
+    }
+
+    /// `halts_within` is monotone in the step bound.
+    #[test]
+    fn halts_within_monotone(y in 0u64..500, z in 0u64..10) {
+        let mut halted = false;
+        for x in 0..80u64 {
+            let now = halts_within(x, y, z);
+            prop_assert!(now || !halted, "monotone at x={}", x);
+            halted = now;
+        }
+    }
+
+    /// Execution is deterministic.
+    #[test]
+    fn deterministic_execution(p in arb_program(), z in 0u64..20) {
+        let a = p.run_pure(&[z], &mut Fuel::new(5000));
+        let b = p.run_pure(&[z], &mut Fuel::new(5000));
+        match (a, b) {
+            (Ok(x), Ok(y)) => {
+                prop_assert_eq!(x.result, y.result);
+                prop_assert_eq!(x.registers, y.registers);
+            }
+            (Err(_), Err(_)) => {}
+            _ => return Err(TestCaseError::fail("nondeterministic fuel behaviour")),
+        }
+    }
+
+    /// Halting programs report Halted; the empty program falls off.
+    #[test]
+    fn empty_program_falls_off(z in 0u64..50) {
+        let p = CounterProgram { code: vec![] };
+        let out = p.run_pure(&[z], &mut Fuel::new(10)).unwrap();
+        prop_assert_eq!(out.result, RunResult::FellOff);
+        prop_assert_eq!(out.registers[0], z);
+    }
+}

@@ -1,0 +1,63 @@
+//! The Theorem 6.1 gadget: graph isomorphism reduces to tuple
+//! equivalence, so no effective BP-r-complete language can exist.
+//!
+//! Run with `cargo run --example bp_reduction`.
+
+use recdb_core::{FiniteStructure, Tuple};
+use recdb_bp::{fo_member, express_hs_relation, Gadget, B, C};
+use recdb_hsdb::paper_example_graph;
+
+fn main() {
+    let tri = FiniteStructure::undirected_graph([0, 1, 2], [(0, 1), (1, 2), (2, 0)]);
+    let tri2 = FiniteStructure::undirected_graph([4, 5, 6], [(4, 5), (5, 6), (6, 4)]);
+    let path = FiniteStructure::undirected_graph([0, 1, 2], [(0, 1), (1, 2)]);
+
+    println!("the §6 gadget: B = (D, R1={{a}}, R2=spine ∪ G₁ ∪ G₂)\n");
+
+    for (name, g1, g2) in [
+        ("triangle vs relabelled triangle", tri.clone(), tri2),
+        ("triangle vs path", tri.clone(), path),
+    ] {
+        let g = Gadget::new(g1, g2);
+        let equiv = g.b_equiv_c();
+        let sep = g.ef_separation_round(3);
+        println!("{name}:");
+        println!("  b ≅_B c (⟺ G₁ ≅ G₂): {equiv}");
+        println!("  EF separation round over the encoded universe: {sep:?}");
+        println!(
+            "  {{b}} preserves Aut(B) — i.e. is a legal BP relation: {}",
+            g.singleton_b_preserves_automorphisms()
+        );
+        println!();
+    }
+
+    println!("⇒ expressing {{b}} for every B would decide graph isomorphism");
+    println!("  (Σ¹₁-complete for genuinely recursive graphs, Prop 2.1):");
+    println!("  no effective BP-r-complete language exists.\n");
+
+    // The positive side (Theorem 6.3): over *highly symmetric*
+    // databases, first-order logic IS BP-complete. Express an
+    // automorphism-preserving relation and evaluate it recursively.
+    let hs = paper_example_graph();
+    let db = hs.database().clone();
+    let has_out = move |t: &Tuple| {
+        (0..64)
+            .map(recdb_core::Elem)
+            .any(|y| db.query(0, &[t[0], y]))
+    };
+    let phi = express_hs_relation(&hs, 1, &has_out, 3).expect("expressible in L");
+    println!("Theorem 6.3 on the §3.1 example: 'has an out-edge' as an FO formula");
+    println!(
+        "  quantifier depth {} ({} disjuncts over T¹)",
+        phi.quantifier_depth(),
+        hs.t_n(1).len()
+    );
+    for t in hs.t_n(1) {
+        println!(
+            "  rep {t}: oracle {}  formula {}",
+            has_out(&t),
+            fo_member(&hs, &phi, &t)
+        );
+    }
+    println!("  (b,c for {B:?},{C:?} — constants shown for orientation only)");
+}

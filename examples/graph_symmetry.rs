@@ -1,0 +1,132 @@
+//! High symmetricity: positives, negatives, and the coloring
+//! technique (§3.1), plus the `Vⁿᵣ` refinement (§3.2).
+//!
+//! Run with `cargo run --example graph_symmetry`.
+
+use recdb_core::{Elem, Tuple};
+use recdb_hsdb::{
+    count_rank1_classes, find_r0, infinite_clique, level_sizes, line_equiv,
+    paper_example_graph, stretch_hsdb, v_n_r, CandidateSource, FnCandidates,
+};
+use recdb_logic::{equiv_r, EfGame};
+use std::sync::Arc;
+
+fn main() {
+    // Positive: the infinite clique is highly symmetric. Its class
+    // counts per rank are the Bell numbers (only the equality pattern
+    // matters).
+    let clique = infinite_clique();
+    println!(
+        "clique |T¹..T⁵| = {:?}  (Bell numbers)",
+        level_sizes(clique.tree(), 5)
+    );
+
+    // Negative: the two-way infinite line — the paper's canonical
+    // non-example. Coloring one node (stretching) spawns one class per
+    // distance: the rank-1 classes grow without bound.
+    println!("\nthe infinite line, colored at node 0 (the coloring technique):");
+    let eq = line_equiv();
+    for window in [4u64, 8, 16, 32] {
+        let stretched_eq = {
+            let eq = line_equiv();
+            recdb_hsdb::FnEquiv::new(move |u: &Tuple, v: &Tuple| {
+                let zu = Tuple::from_values([0]).concat(u);
+                let zv = Tuple::from_values([0]).concat(v);
+                eq.equivalent(&zu, &zv)
+            })
+        };
+        let elements: Vec<Elem> = (0..window).map(Elem).collect();
+        println!(
+            "  window {window:>3}: rank-1 classes = {}",
+            count_rank1_classes(&stretched_eq, &elements)
+        );
+    }
+    // Contrast: uncolored, everything is one class.
+    let elements: Vec<Elem> = (0..32).map(Elem).collect();
+    println!(
+        "  uncolored line: rank-1 classes = {}",
+        count_rank1_classes(eq.as_ref(), &elements)
+    );
+
+    // Stretching the clique stays bounded — Prop 3.1's positive side.
+    let clique_cands: Arc<dyn CandidateSource> = Arc::new(FnCandidates::new(|x: &Tuple| {
+        let mut d = x.distinct_elems();
+        let fresh = (0..).map(Elem).find(|e| !d.contains(e)).expect("ℕ");
+        d.push(fresh);
+        d
+    }));
+    let stretched = stretch_hsdb(&clique, &[Elem(3)], clique_cands);
+    println!(
+        "\nclique stretched by one mark: |T¹| = {} (bounded forever)",
+        stretched.t_n(1).len()
+    );
+
+    // EF games on the line: pairs at different distances are
+    // distinguished at logarithmic rounds (Prop 3.3 ⟷ §3.2 examples).
+    let line = recdb_hsdb::infinite_line_db();
+    let pool: Vec<Elem> = (0..16).map(Elem).collect();
+    println!("\nEF distinguishing rounds on the line (pairs by distance):");
+    for (u, v) in [
+        (Tuple::from_values([0, 2]), Tuple::from_values([0, 4])),
+        (Tuple::from_values([0, 4]), Tuple::from_values([0, 6])),
+        (Tuple::from_values([0, 6]), Tuple::from_values([0, 8])),
+    ] {
+        let mut game = EfGame::new(&line, &line, pool.clone(), pool.clone());
+        let round = game.distinguishing_round(&u, &v, 3);
+        println!("  {u} vs {v}: spoiler wins at round {round:?}");
+    }
+    // Equivalent pairs survive (for rounds small enough that the
+    // finite move pool doesn't clip the duplicator's translated
+    // responses — the line is NOT highly symmetric, so no finite pool
+    // is sound at every depth; that unsoundness is itself the point of
+    // restricting Prop 3.4 to characteristic trees).
+    assert!(equiv_r(
+        &line,
+        &Tuple::from_values([0, 2]),
+        &Tuple::from_values([2, 4]),
+        2,
+        &pool
+    ));
+
+    // The paper's example graph: rank-1 classes are locally
+    // indistinguishable but split after one refinement round — the
+    // Vⁿᵣ pipeline (Prop 3.7, Cor 3.3) in action.
+    let ex = paper_example_graph();
+    println!("\n§3.1 example graph refinement at rank 1:");
+    for r in 0..=2 {
+        let part = v_n_r(&ex, 1, r);
+        println!(
+            "  V¹_{r}: {} blocks of sizes {:?}",
+            part.len(),
+            part.iter().map(Vec::len).collect::<Vec<_>>()
+        );
+    }
+    let (r0, _) = find_r0(&ex, 1, 4);
+    println!("  r₀ (Prop 3.6) = {r0:?}");
+
+    // Contrast pair: the infinite star is highly symmetric (distances
+    // through the hub are bounded), so coloring a leaf saturates at
+    // three classes instead of growing.
+    let star = recdb_hsdb::infinite_star();
+    println!(
+        "\ninfinite star: |T¹..T³| = {:?} — bounded, as Prop 3.1 predicts",
+        level_sizes(star.tree(), 3)
+    );
+
+    // And the paper's elementary-equivalence pair: one line vs two
+    // disjoint lines — non-isomorphic, yet the duplicator survives
+    // shallow EF games between them (they satisfy the same small
+    // sentences; full elementary equivalence is the §3.2 figure).
+    let one = recdb_hsdb::infinite_line_db();
+    let two = recdb_hsdb::two_lines_db();
+    let mut game = EfGame::new(
+        &one,
+        &two,
+        (0..10).map(Elem).collect::<Vec<_>>(),
+        (0..20).map(Elem).collect::<Vec<_>>(),
+    );
+    println!(
+        "one line vs two lines, duplicator survives r=1: {}",
+        game.duplicator_wins(&Tuple::empty(), &Tuple::empty(), 1)
+    );
+}

@@ -1,0 +1,78 @@
+//! Quickstart: recursive databases and the complete language `L⁻`.
+//!
+//! The paper's opening example of a recursive relation is arithmetic:
+//! `{(x,y,z) | z = x·y}` is an infinite but perfectly computable
+//! table. We build a small arithmetic r-db, ask quantifier-free
+//! queries (the *complete* language for this setting — Theorem 2.1),
+//! and watch the equivalence-class machinery that powers the
+//! completeness proof.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use recdb_core::{
+    count_classes, tuple, AtomicType, DatabaseBuilder, FnRelation, Tuple,
+};
+use recdb_logic::LMinusQuery;
+
+fn main() {
+    // An r-db with two computable relations over ℕ:
+    //   mult(x,y,z)  ⟺  z = x·y
+    //   divides(x,y) ⟺  x | y
+    let db = DatabaseBuilder::new("arithmetic")
+        .relation("Mult", FnRelation::multiplication())
+        .relation("Div", FnRelation::divides())
+        .build();
+
+    println!("database: {db:?}");
+
+    // Membership oracles: the only sanctioned access (Def 2.4).
+    println!("\noracle questions:");
+    for (t, rel) in [(tuple![6, 7, 42], 0), (tuple![6, 7, 43], 0), (tuple![3, 12], 1)] {
+        println!(
+            "  {} ∈ {}? {}",
+            t,
+            db.schema().name(rel),
+            db.query(rel, t.elems())
+        );
+    }
+
+    // L⁻ queries: quantifier-free first-order logic — the r-complete
+    // language. "x divides y and y does not divide x" (strict divisor
+    // pairs):
+    let schema = db.schema().clone();
+    let strict = LMinusQuery::parse("{ (x, y) | Div(x, y) & !Div(y, x) }", &schema)
+        .expect("well-formed L⁻");
+    println!("\nstrict-divisor query on sample tuples:");
+    for t in [tuple![3, 12], tuple![12, 3], tuple![5, 5], tuple![4, 6]] {
+        println!("  {t} ↦ {:?}", strict.eval(&db, &t));
+    }
+
+    // The completeness machinery: every computable query is a union of
+    // ≅ₗ-equivalence classes (Prop 2.4). How many classes are there?
+    println!("\n|Cⁿ| for this schema (type a = (3,2)):");
+    for n in 0..3 {
+        println!("  rank {n}: {} classes", count_classes(&schema, n));
+    }
+
+    // The atomic type of a concrete pair — the complete description an
+    // L⁻ query can see:
+    let t = tuple![3, 12];
+    let ty = AtomicType::of(&db, &t);
+    println!(
+        "\natomic type of {t}: {} distinct elements, pattern {:?}",
+        ty.distinct_count(),
+        ty.pattern()
+    );
+
+    // Theorem 2.1 round trip: compile the query to its class-union
+    // normal form and synthesize an equivalent L⁻ formula back.
+    let classes = strict.to_class_union();
+    let round = LMinusQuery::from_class_union(&classes);
+    let agree = [tuple![3, 12], tuple![12, 3], tuple![7, 7]]
+        .iter()
+        .all(|t: &Tuple| strict.eval(&db, t) == round.eval(&db, t));
+    println!(
+        "\nTheorem 2.1 round trip: {} classes in the union; synthesized formula agrees: {agree}",
+        classes.class_count()
+    );
+}

@@ -1,0 +1,95 @@
+//! The introduction's motivating database: trigonometric values.
+//!
+//! "Values for the trigonometric functions, for example, can be viewed
+//! as a recursive data base, since we might be interested in the sines
+//! or cosines of infinitely many angles. Instead of keeping them all
+//! in a table, which is impossible, we keep rules for computing the
+//! values from the angles."
+//!
+//! Domain: angles in whole degrees (ℕ). Relations are *rules*, not
+//! tables: `SinZero`, `CosZero`, `SinPos`, and `SameSin` (equal sines)
+//! are all decided arithmetically, for any of the infinitely many
+//! angles.
+//!
+//! Run with `cargo run --example trig_db`.
+
+use recdb_core::{tuple, DatabaseBuilder, FnRelation};
+use recdb_logic::LMinusQuery;
+
+/// sin(x°) = 0 ⟺ x ≡ 0 (mod 180).
+fn sin_zero(x: u64) -> bool {
+    x.is_multiple_of(180)
+}
+
+/// cos(x°) = 0 ⟺ x ≡ 90 (mod 180).
+fn cos_zero(x: u64) -> bool {
+    x % 180 == 90
+}
+
+/// sin(x°) > 0 ⟺ x mod 360 ∈ (0, 180).
+fn sin_pos(x: u64) -> bool {
+    let m = x % 360;
+    m > 0 && m < 180
+}
+
+/// sin(x°) = sin(y°) ⟺ x ≡ y (mod 360) or x + y ≡ 180 (mod 360).
+fn same_sin(x: u64, y: u64) -> bool {
+    x % 360 == y % 360 || (x + y) % 360 == 180
+}
+
+fn main() {
+    let db = DatabaseBuilder::new("trig")
+        .relation("SinZero", FnRelation::new("sin0", 1, |t| sin_zero(t[0].value())))
+        .relation("CosZero", FnRelation::new("cos0", 1, |t| cos_zero(t[0].value())))
+        .relation("SinPos", FnRelation::new("sin+", 1, |t| sin_pos(t[0].value())))
+        .relation(
+            "SameSin",
+            FnRelation::new("sin=", 2, |t| same_sin(t[0].value(), t[1].value())),
+        )
+        .build();
+    let schema = db.schema().clone();
+
+    println!("the infinite trig table, by rule:");
+    for x in [0u64, 30, 90, 150, 180, 270, 390] {
+        println!(
+            "  {x:>4}°: sin=0 {}  cos=0 {}  sin>0 {}",
+            db.query(0, tuple![x].elems()),
+            db.query(1, tuple![x].elems()),
+            db.query(2, tuple![x].elems()),
+        );
+    }
+
+    // L⁻ queries over the rules. "Angles whose sine equals 30°'s but
+    // which are not 30° (mod equality of the tuple components)" can't
+    // name the constant 30 — genericity forbids constants! — but
+    // relations between angles are fair game:
+    let q = LMinusQuery::parse(
+        "{ (x, y) | SameSin(x, y) & x != y & SinPos(x) }",
+        &schema,
+    )
+    .unwrap();
+    println!("\nSameSin ∧ distinct ∧ positive-sine pairs:");
+    for t in [tuple![30, 150], tuple![30, 390], tuple![30, 210], tuple![200, 340]] {
+        println!("  {t} ↦ {:?}", q.eval(&db, &t));
+    }
+
+    // The supplementary-angle law sin(x) = sin(180−x), visible as a
+    // quantifier-free consequence on tuples:
+    let supp = LMinusQuery::parse("{ (x, y) | SameSin(x, y) & SameSin(y, x) }", &schema).unwrap();
+    let asym = LMinusQuery::parse("{ (x, y) | SameSin(x, y) & !SameSin(y, x) }", &schema).unwrap();
+    let witnesses = [tuple![30, 150], tuple![45, 135], tuple![10, 20]];
+    println!("\nSameSin is symmetric (no asymmetric witness):");
+    for t in &witnesses {
+        println!(
+            "  {t}: sym {:?}, asym {:?}",
+            supp.eval(&db, t),
+            asym.eval(&db, t)
+        );
+    }
+
+    // Where completeness bites: "∃y. SameSin(x,y) ∧ x≠y" is generic
+    // but NOT locally generic — it cannot be a computable r-query
+    // (Prop 2.5), and L⁻ rightly cannot express it. The closest L⁻
+    // query works on explicit pairs only, as above.
+    println!("\n(existential queries are not computable over r-dbs — Theorem 2.1's point)");
+}

@@ -1,0 +1,113 @@
+//! §6 end-to-end: the negative result (gadget), the positive results
+//! (unary L⁻, FO over hs), and the Corollary 3.1 bridge — exercised
+//! together across crates.
+
+use recdb_bp::{
+    express_hs_relation, express_unary_relation, find_disagreement, fo_member,
+    BoundedOutputGadget, Gadget,
+};
+use recdb_core::{tuple, DatabaseBuilder, Elem, FiniteStructure, FnRelation, Tuple};
+use recdb_hsdb::{
+    combine_hs, infinite_clique, infinite_star, CandidateSource, FnCandidates,
+    COMBINED_A, COMBINED_B,
+};
+use std::sync::Arc;
+
+fn clique_cands() -> Arc<dyn CandidateSource> {
+    Arc::new(FnCandidates::new(|x: &Tuple| {
+        let mut d = x.distinct_elems();
+        let fresh = (0..).map(Elem).find(|e| !d.contains(e)).expect("ℕ");
+        d.push(fresh);
+        d
+    }))
+}
+
+#[test]
+fn gadget_and_bounded_variant_agree() {
+    let tri = FiniteStructure::undirected_graph([0, 1, 2], [(0, 1), (1, 2), (2, 0)]);
+    let tri2 = FiniteStructure::undirected_graph([3, 4, 5], [(3, 4), (4, 5), (5, 3)]);
+    let p4 = FiniteStructure::undirected_graph(0..4, [(0, 1), (1, 2), (2, 3)]);
+    for (g1, g2) in [(tri.clone(), tri2), (tri, p4)] {
+        let full = Gadget::new(g1.clone(), g2.clone());
+        let bounded = BoundedOutputGadget::new(g1, g2);
+        assert_eq!(full.b_equiv_c(), bounded.b_equiv_c());
+    }
+}
+
+#[test]
+fn theorem_6_3_across_constructions() {
+    // "Is adjacent to something" over the star: true of hub AND leaf
+    // (every leaf touches the hub) — so it is the full rank-1
+    // relation; "has two distinct neighbours" separates hub from leaf.
+    let hs = infinite_star();
+    let db = hs.database().clone();
+    let two_neighbours = move |t: &Tuple| {
+        let mut found = 0;
+        for y in 0..32u64 {
+            if db.query(0, &[t[0], Elem(y)]) {
+                found += 1;
+                if found == 2 {
+                    return true;
+                }
+            }
+        }
+        false
+    };
+    let phi = express_hs_relation(&hs, 1, &two_neighbours, 3).expect("expressible");
+    for t in hs.t_n(1) {
+        assert_eq!(fo_member(&hs, &phi, &t), two_neighbours(&t), "at {t:?}");
+    }
+    // The hub (0) qualifies; a leaf does not.
+    assert!(fo_member(&hs, &phi, &tuple![0]));
+    assert!(!fo_member(&hs, &phi, &tuple![7]));
+}
+
+#[test]
+fn corollary_3_1_bridge_works_with_bp_machinery() {
+    // Combine the clique with itself: a ≅ b. Then the relation {a} is
+    // NOT automorphism-preserving — and Theorem 6.3's synthesis over
+    // the combined hs-r-db must therefore mis-express it (the same
+    // phenomenon as the unary {x|x=2} test, now at the §6 level).
+    let k = infinite_clique();
+    let c = combine_hs(&k, &k, true, clique_cands(), clique_cands());
+    let only_a = |t: &Tuple| t[0] == COMBINED_A;
+    let phi = express_hs_relation(&c, 1, only_a, 2).expect("synthesizable");
+    // a and b share a class, so the formula treats them alike —
+    // disagreeing with {a} on b.
+    let on_a = fo_member(&c, &phi, &Tuple::from(vec![COMBINED_A]));
+    let on_b = fo_member(&c, &phi, &Tuple::from(vec![COMBINED_B]));
+    assert_eq!(on_a, on_b, "class-level formulas cannot split a from b");
+    assert!(
+        only_a(&Tuple::from(vec![COMBINED_A])) != only_a(&Tuple::from(vec![COMBINED_B])),
+        "but the raw relation does split them — hence inexpressible"
+    );
+}
+
+#[test]
+fn unary_expression_pipeline_on_a_fresh_database() {
+    // A three-cell unary database; express the union of two cells.
+    let db = DatabaseBuilder::new("u3")
+        .relation("P1", FnRelation::new("m0", 1, |t| t[0].value() % 3 == 0))
+        .relation("P2", FnRelation::new("m1", 1, |t| t[0].value() % 3 == 1))
+        .build();
+    let probe: Vec<Elem> = (0..9).map(Elem).collect();
+    let r = |t: &Tuple| t[0].value() % 3 != 2;
+    let q = express_unary_relation(&db, 1, r, &probe);
+    assert_eq!(find_disagreement(&db, &q, r, 1, &probe), None);
+}
+
+#[test]
+fn gadget_ef_budget_is_monotone() {
+    // Increasing the EF budget can only find a separation sooner-or-
+    // equal; once separated at r, larger budgets return the same round.
+    let tri = FiniteStructure::undirected_graph([0, 1, 2], [(0, 1), (1, 2), (2, 0)]);
+    let p3 = FiniteStructure::undirected_graph([0, 1, 2], [(0, 1), (1, 2)]);
+    let g = Gadget::new(tri, p3);
+    let r2 = g.ef_separation_round(2);
+    let r3 = g.ef_separation_round(3);
+    match (r2, r3) {
+        (Some(a), Some(b)) => assert_eq!(a, b),
+        (None, Some(_)) | (None, None) => {}
+        (Some(_), None) => panic!("separation cannot vanish with more budget"),
+    }
+}

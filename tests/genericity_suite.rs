@@ -1,0 +1,166 @@
+//! Genericity end-to-end: structured iso-pair sampling exposes exactly
+//! the non-generic queries, across query styles (class unions, L⁻,
+//! L⁻ₙ, machine queries).
+
+use recdb_core::{
+    enumerate_classes, genericity_disagreements, iso_pairs, tuple, ClassUnionQuery,
+    RQuery, Schema, Tuple,
+};
+use recdb_logic::{LMinusNQuery, LMinusQuery};
+use recdb_turing::{Asm, Instr, MachineQuery};
+
+fn graph_schema() -> Schema {
+    Schema::with_names(&["E"], &[2])
+}
+
+#[test]
+fn lminus_queries_are_generic_on_all_pairs() {
+    let schema = graph_schema();
+    let q = LMinusQuery::parse("{ (x, y) | E(x, y) & !E(y, x) }", &schema).unwrap();
+    let bad = genericity_disagreements(&schema, 2, 1, |db, t| q.eval(db, t).is_member());
+    assert!(bad.is_empty());
+}
+
+#[test]
+fn machine_queries_with_pure_oracle_access_are_generic() {
+    let p = Asm::new()
+        .oracle(0, vec![0, 1], "y", "n")
+        .label("y")
+        .instr(Instr::Halt(true))
+        .label("n")
+        .instr(Instr::Halt(false))
+        .assemble();
+    let schema = graph_schema();
+    let q = MachineQuery::counter(p, 2, 10_000);
+    let bad = genericity_disagreements(&schema, 2, 1, |db, t| {
+        q.contains(db, t) == recdb_core::QueryOutcome::Defined(true)
+    });
+    assert!(bad.is_empty());
+}
+
+#[test]
+fn machine_queries_that_forge_elements_are_exposed() {
+    // Accept x iff (x, x+1) ∈ E: forging x+1 breaks genericity.
+    let p = Asm::new()
+        .instr(Instr::Copy { src: 0, dst: 1 })
+        .instr(Instr::Inc(1))
+        .oracle(0, vec![0, 1], "y", "n")
+        .label("y")
+        .instr(Instr::Halt(true))
+        .label("n")
+        .instr(Instr::Halt(false))
+        .assemble();
+    let q = MachineQuery::counter(p, 1, 10_000);
+    // Build an explicit isomorphic pair where the forged successor
+    // relationship differs: a single edge (5,6), and a copy under the
+    // bijection 5↔7, 6↔9 (its edge is (7,9) — not a successor pair).
+    use recdb_core::{DatabaseBuilder, Elem, FiniteRelation};
+    let db = DatabaseBuilder::new("succ-edge")
+        .relation("E", FiniteRelation::edges([(5, 6)]))
+        .build();
+    let swap = |e: Elem| match e.value() {
+        5 => Elem(7),
+        7 => Elem(5),
+        6 => Elem(9),
+        9 => Elem(6),
+        v => Elem(v),
+    };
+    let copy = db.isomorphic_copy("swapped", swap);
+    let u = tuple![5];
+    let v = tuple![7];
+    assert!(recdb_core::locally_isomorphic(&db, &u, &copy, &v));
+    assert_ne!(
+        q.contains(&db, &u),
+        q.contains(&copy, &v),
+        "element-forging machine must be flagged as non-generic"
+    );
+}
+
+#[test]
+fn lminus_n_is_generic_only_in_the_restricted_sense() {
+    // L⁻ₙ names constants: the same class witnessed inside {1..4} and
+    // far outside gets different answers — the paper's shifted-copy
+    // observation, executably.
+    use recdb_core::Elem;
+    let schema = graph_schema();
+    let q = LMinusNQuery::parse("{ (x, y) | E(x, y) }", &schema, 4).unwrap();
+    let edge_class = enumerate_classes(&schema, 2)
+        .into_iter()
+        .find(|c| {
+            let (db, u) = c.witness(&schema);
+            u[0] != u[1] && db.query(0, u.elems())
+        })
+        .expect("an edge class exists");
+    let (db, u) = edge_class.witness(&schema);
+    // In-range copy: elements 1, 2.
+    let db_in = db.isomorphic_copy("in", |e| Elem(e.value().wrapping_sub(1)));
+    let u_in = u.map(|e| Elem(e.value() + 1));
+    // Out-of-range copy: elements 10, 11.
+    let db_out = db.isomorphic_copy("out", |e| Elem(e.value().wrapping_sub(10)));
+    let u_out = u.map(|e| Elem(e.value() + 10));
+    assert!(recdb_core::locally_isomorphic(&db_in, &u_in, &db_out, &u_out));
+    assert!(q.eval(&db_in, &u_in).is_member());
+    assert!(
+        !q.eval(&db_out, &u_out).is_member(),
+        "outside {{1..n}} the answer flips: not generic in the full sense"
+    );
+    // …but inside the range it behaves exactly like L⁻ (Prop 2.7's
+    // restricted genericity).
+    let plain = LMinusQuery::parse("{ (x, y) | E(x, y) }", &schema).unwrap();
+    assert_eq!(
+        q.eval(&db_in, &u_in).is_member(),
+        plain.eval(&db_in, &u_in).is_member()
+    );
+}
+
+#[test]
+fn class_unions_and_their_synthesized_lminus_agree_on_pairs() {
+    let schema = graph_schema();
+    let classes: Vec<_> = enumerate_classes(&schema, 2).into_iter().step_by(3).collect();
+    let cu = ClassUnionQuery::new(schema.clone(), 2, classes);
+    let synth = LMinusQuery::from_class_union(&cu);
+    for p in iso_pairs(&schema, 2, 1) {
+        for (db, t) in [&p.left, &p.right] {
+            assert_eq!(cu.contains(db, t), synth.eval(db, t), "at {t:?}");
+        }
+    }
+}
+
+#[test]
+fn the_paper_counterexample_disagrees_on_amalgamated_pairs() {
+    // ∃-queries survive the *shifted-copy* pairs (shifting preserves
+    // the existence of witnesses) but fail on pairs whose second side
+    // deletes the witness — the amalgamation of Prop 2.3 builds those.
+    use recdb_core::genericity::ExistsOtherNeighborQuery;
+    use recdb_core::{amalgamate, DatabaseBuilder, FiniteRelation};
+    let q = ExistsOtherNeighborQuery { search_bound: 64 };
+    let r1 = DatabaseBuilder::new("R1")
+        .relation("E", FiniteRelation::edges([(1, 1), (1, 2)]))
+        .build();
+    let r2 = DatabaseBuilder::new("R2")
+        .relation("E", FiniteRelation::edges([(3, 3)]))
+        .build();
+    // Amalgamate at rank 2 so the ∃-witness (the edge (1,2)) survives
+    // into the combined database, then compare the rank-1 prefixes:
+    // both have a reflexive loop and nothing else locally, yet only
+    // the u-side has an outgoing edge to another element.
+    let (b3, u3, v3) = amalgamate(&r1, &tuple![1, 2], &r2, &tuple![3, 4]);
+    let u_head = Tuple::from(vec![u3[0]]);
+    let v_head = Tuple::from(vec![v3[0]]);
+    assert!(recdb_core::locally_equivalent(&b3, &u_head, &v_head));
+    let a1 = q.contains(&b3, &u_head);
+    let a2 = q.contains(&b3, &v_head);
+    assert_ne!(a1, a2, "the amalgam separates the ∃-query's answers");
+}
+
+#[test]
+fn iso_pairs_cover_every_class_once() {
+    let schema = graph_schema();
+    let pairs = iso_pairs(&schema, 2, 1);
+    assert_eq!(pairs.len(), enumerate_classes(&schema, 2).len());
+    let mut seen = std::collections::BTreeSet::new();
+    for p in &pairs {
+        assert!(seen.insert(p.class.clone()), "classes must not repeat");
+    }
+    let _: &Tuple = &pairs[0].left.1;
+}
