@@ -242,19 +242,19 @@ fn e7_refinement() {
     for (name, hs) in hs_zoo() {
         if name == "rado" {
             // Depth-limited tree: only n=1, r≤1 is practical.
-            let (r0, counts) = find_r0(&hs, 1, 1);
+            let (r0, counts) = find_r0(&hs, 1, 1).expect("tree covers all levels");
             println!("{name:<14} {:>4} {:>16} {:>6}", 1, format!("{counts:?}"), fmt_r0(r0));
             continue;
         }
         for n in 1..=2 {
-            let (r0, counts) = find_r0(&hs, n, 3);
+            let (r0, counts) = find_r0(&hs, n, 3).expect("tree covers all levels");
             println!("{name:<14} {n:>4} {:>16} {:>6}", format!("{counts:?}"), fmt_r0(r0));
             assert!(r0.is_some(), "refinement must converge for hs databases");
         }
     }
     // Prop 3.7 cross-check on the paper example.
     let hs = paper_example_graph();
-    let v11 = v_n_r(&hs, 1, 1);
+    let v11 = v_n_r(&hs, 1, 1).expect("tree covers all levels");
     println!("\npaper example V¹₁ block sizes: {:?}", v11.iter().map(Vec::len).collect::<Vec<_>>());
     println!("✓ every hs database refines to singletons at a finite r₀ (Prop 3.6)");
 }

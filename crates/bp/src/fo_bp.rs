@@ -87,7 +87,7 @@ pub fn express_hs_relation(
     in_relation: impl Fn(&Tuple) -> bool,
     max_r: usize,
 ) -> Option<Formula> {
-    let (r0, _) = find_r0(hs, rank, max_r);
+    let (r0, _) = find_r0(hs, rank, max_r).ok()?;
     let r0 = r0?;
     let disjuncts: Vec<Formula> = hs
         .t_n(rank)

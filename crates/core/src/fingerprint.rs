@@ -1,0 +1,198 @@
+//! Canonical fingerprints of `≅ₗ`-classes.
+//!
+//! [`AtomicType::of`](crate::AtomicType::of) already computes the full
+//! canonical description of a tuple's `≅ₗ`-class (equality pattern +
+//! one membership bit per relation and index vector). A [`Fingerprint`]
+//! is the same observation sequence folded into a fixed-size digest:
+//! cheap to compute (the identical `Σᵢ mᵃⁱ` oracle questions, but no
+//! per-relation `Vec` allocations), trivially hashable, and `Copy`.
+//!
+//! Soundness contract: if `(B,u) ≅ₗ (B,v)` then
+//! `Fingerprint::of(B,u) == Fingerprint::of(B,v)` — locally equivalent
+//! tuples stream byte-identical observations into the hasher. The
+//! converse holds only up to 64-bit hash collision, so consumers that
+//! need exactness (the `Vⁿᵣ` partitioner) bucket by fingerprint first
+//! and verify with [`locally_equivalent`](crate::locally_equivalent)
+//! *within* a bucket — O(t) hashing plus within-bucket checks instead
+//! of O(t²) pairwise tests.
+
+use crate::{Database, Elem, Tuple};
+
+/// A 64-bit digest of a tuple's `≅ₗ`-class within one database.
+///
+/// Rank and distinct-element count ride along undigested so that the
+/// cheapest disagreements never even compare hashes.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Fingerprint {
+    rank: u32,
+    blocks: u32,
+    digest: u64,
+}
+
+impl Fingerprint {
+    /// Computes the fingerprint of `(db, u)` by streaming the same
+    /// observations as [`AtomicType::of`](crate::AtomicType::of) —
+    /// equality pattern, then per relation the membership bits in
+    /// odometer order over index vectors — into an FNV-1a digest.
+    pub fn of(db: &Database, u: &Tuple) -> Fingerprint {
+        let pattern = u.equality_pattern();
+        let blocks = pattern.iter().copied().max().map_or(0, |m| m + 1);
+        let reps = u.distinct_elems();
+        let mut h = Fnv1a::new();
+        for &p in &pattern {
+            h.write_u64(p as u64);
+        }
+        let schema = db.schema();
+        let mut probe: Vec<Elem> = Vec::new();
+        for i in 0..schema.len() {
+            let a = schema.arity(i);
+            if a == 0 {
+                h.write_u64(db.query(i, &[]) as u64);
+                continue;
+            }
+            if blocks == 0 {
+                continue;
+            }
+            // Odometer over {0..blocks}^a, least-significant digit
+            // first — the index_vectors order of the atomic types.
+            let mut idx = vec![0usize; a];
+            loop {
+                probe.clear();
+                probe.extend(idx.iter().map(|&j| reps[j]));
+                h.write_u64(db.query(i, &probe) as u64);
+                let mut pos = 0;
+                while pos < a {
+                    idx[pos] += 1;
+                    if idx[pos] < blocks {
+                        break;
+                    }
+                    idx[pos] = 0;
+                    pos += 1;
+                }
+                if pos == a {
+                    break;
+                }
+            }
+        }
+        Fingerprint {
+            rank: u.rank() as u32,
+            blocks: blocks as u32,
+            digest: h.finish(),
+        }
+    }
+
+    /// The rank of the fingerprinted tuple.
+    pub fn rank(&self) -> usize {
+        self.rank as usize
+    }
+
+    /// The number of distinct elements in the fingerprinted tuple.
+    pub fn distinct_count(&self) -> usize {
+        self.blocks as usize
+    }
+}
+
+/// Deterministic FNV-1a, folding `u64` words bytewise. Hand-rolled so
+/// the digest is independent of any std hasher's unspecified internals.
+struct Fnv1a(u64);
+
+impl Fnv1a {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    fn new() -> Self {
+        Fnv1a(Self::OFFSET)
+    }
+
+    fn write_u64(&mut self, x: u64) {
+        for b in x.to_le_bytes() {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(Self::PRIME);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{locally_equivalent, tuple, AtomicType, DatabaseBuilder, FnRelation};
+
+    fn sample_db() -> Database {
+        DatabaseBuilder::new("d")
+            .relation("D", FnRelation::divides())
+            .relation("P", FnRelation::new("even", 1, |t| t[0].value() % 2 == 0))
+            .build()
+    }
+
+    fn sample_tuples() -> Vec<Tuple> {
+        vec![
+            tuple![2, 4],
+            tuple![3, 9],
+            tuple![4, 2],
+            tuple![5, 7],
+            tuple![6, 6],
+            tuple![2, 2],
+            tuple![8, 4],
+            tuple![1],
+            tuple![2],
+            tuple![],
+        ]
+    }
+
+    #[test]
+    fn fingerprint_refines_like_atomic_types() {
+        // On samples: fp(u) == fp(v) ⟺ AtomicType::of(u) == ::of(v)
+        // (⇐ always; ⇒ holds here because no 64-bit collision occurs).
+        let db = sample_db();
+        let ts = sample_tuples();
+        for u in &ts {
+            for v in &ts {
+                let same_fp = Fingerprint::of(&db, u) == Fingerprint::of(&db, v);
+                let same_ty = AtomicType::of(&db, u) == AtomicType::of(&db, v);
+                assert_eq!(same_fp, same_ty, "fingerprint vs type at ({u:?},{v:?})");
+            }
+        }
+    }
+
+    #[test]
+    fn locally_equivalent_implies_equal_fingerprint() {
+        let db = sample_db();
+        let ts = sample_tuples();
+        for u in &ts {
+            for v in &ts {
+                if u.rank() == v.rank() && locally_equivalent(&db, u, v) {
+                    assert_eq!(
+                        Fingerprint::of(&db, u),
+                        Fingerprint::of(&db, v),
+                        "≅ₗ must imply equal fingerprints at ({u:?},{v:?})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rank_and_blocks_exposed() {
+        let db = sample_db();
+        let fp = Fingerprint::of(&db, &tuple![7, 7, 3]);
+        assert_eq!(fp.rank(), 3);
+        assert_eq!(fp.distinct_count(), 2);
+        assert_eq!(Fingerprint::of(&db, &tuple![]).distinct_count(), 0);
+    }
+
+    #[test]
+    fn oracle_cost_matches_atomic_type() {
+        // Same observation sequence ⇒ same number of oracle questions.
+        let db = sample_db();
+        let u = tuple![2, 4, 4];
+        db.reset_oracle_calls();
+        let _ = Fingerprint::of(&db, &u);
+        let fp_calls = db.oracle_calls();
+        db.reset_oracle_calls();
+        let _ = AtomicType::of(&db, &u);
+        assert_eq!(fp_calls, db.oracle_calls());
+    }
+}

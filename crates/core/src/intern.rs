@@ -1,0 +1,124 @@
+//! Dense tuple interning.
+//!
+//! The refinement pipeline, the EF-game memo, and the QLhs
+//! canonicalization cache all key hash maps by [`Tuple`]. Cloning a
+//! heap-allocated tuple per lookup (and hashing its elements on every
+//! probe) is pure overhead once the working set is known: a
+//! [`TupleInterner`] assigns each distinct tuple a dense [`TupleId`]
+//! (`u32`) exactly once, after which partitions, signatures, and memo
+//! keys are plain integers.
+
+use crate::Tuple;
+use std::collections::HashMap;
+
+/// A dense identifier for an interned [`Tuple`]. Ids are assigned
+/// contiguously from 0 in interning order, so they double as indices
+/// into side tables (`Vec<_>` keyed by id).
+pub type TupleId = u32;
+
+/// Assigns dense [`TupleId`]s to tuples, each tuple stored exactly once.
+#[derive(Clone, Debug, Default)]
+pub struct TupleInterner {
+    ids: HashMap<Tuple, TupleId>,
+    tuples: Vec<Tuple>,
+}
+
+impl TupleInterner {
+    /// An empty interner.
+    pub fn new() -> Self {
+        TupleInterner::default()
+    }
+
+    /// The id of `t`, assigning a fresh one on first sight.
+    ///
+    /// # Panics
+    /// Panics if more than `u32::MAX` distinct tuples are interned.
+    pub fn intern(&mut self, t: &Tuple) -> TupleId {
+        if let Some(&id) = self.ids.get(t) {
+            return id;
+        }
+        self.push_new(t.clone())
+    }
+
+    /// Like [`Self::intern`] but takes ownership, avoiding a clone when
+    /// the tuple is fresh.
+    pub fn intern_owned(&mut self, t: Tuple) -> TupleId {
+        if let Some(&id) = self.ids.get(&t) {
+            return id;
+        }
+        self.push_new(t)
+    }
+
+    fn push_new(&mut self, t: Tuple) -> TupleId {
+        assert!(
+            self.tuples.len() < u32::MAX as usize,
+            "TupleInterner overflow: more than u32::MAX distinct tuples"
+        );
+        let id = self.tuples.len() as TupleId;
+        self.ids.insert(t.clone(), id);
+        self.tuples.push(t);
+        id
+    }
+
+    /// The id of `t`, if it has been interned.
+    pub fn get(&self, t: &Tuple) -> Option<TupleId> {
+        self.ids.get(t).copied()
+    }
+
+    /// The tuple behind an id.
+    ///
+    /// # Panics
+    /// Panics if `id` was not produced by this interner.
+    pub fn resolve(&self, id: TupleId) -> &Tuple {
+        &self.tuples[id as usize]
+    }
+
+    /// Number of distinct tuples interned.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Whether the interner is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple;
+
+    #[test]
+    fn ids_are_dense_and_stable() {
+        let mut i = TupleInterner::new();
+        let a = i.intern(&tuple![1, 2]);
+        let b = i.intern(&tuple![3]);
+        let a2 = i.intern(&tuple![1, 2]);
+        assert_eq!(a, 0);
+        assert_eq!(b, 1);
+        assert_eq!(a, a2, "re-interning returns the same id");
+        assert_eq!(i.len(), 2);
+    }
+
+    #[test]
+    fn resolve_round_trips() {
+        let mut i = TupleInterner::new();
+        for t in [tuple![], tuple![5], tuple![5, 5, 7]] {
+            let id = i.intern(&t);
+            assert_eq!(i.resolve(id), &t);
+            assert_eq!(i.get(&t), Some(id));
+        }
+        assert_eq!(i.get(&tuple![9, 9]), None);
+    }
+
+    #[test]
+    fn intern_owned_agrees_with_intern() {
+        let mut i = TupleInterner::new();
+        let a = i.intern(&tuple![4, 2]);
+        let b = i.intern_owned(tuple![4, 2]);
+        let c = i.intern_owned(tuple![0]);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

@@ -16,6 +16,9 @@
 //!   isomorphism relation (Prop 2.1);
 //! * [`AtomicType`] and class enumeration/counting — the finite-index
 //!   equivalence classes `Cⁿ` of `≅ₗ`;
+//! * [`Fingerprint`] and [`TupleInterner`] — hot-path machinery:
+//!   hashable class digests for O(t) partition bucketing and dense
+//!   `u32` tuple ids for partition, signature, and memo keys;
 //! * [`ClassUnionQuery`] — the normal form of every computable r-query
 //!   (Props 2.3–2.5);
 //! * [`FiniteStructure`] — materialized finite structures with real
@@ -36,8 +39,10 @@ mod database;
 mod domain;
 mod elem;
 mod fin;
+mod fingerprint;
 mod fuel;
 pub mod genericity;
+mod intern;
 pub mod sampling;
 mod lociso;
 mod query;
@@ -50,7 +55,9 @@ pub use database::{Database, DatabaseBuilder};
 pub use domain::Domain;
 pub use elem::{Elem, Tuple};
 pub use fin::FiniteStructure;
+pub use fingerprint::Fingerprint;
 pub use fuel::{Fuel, FuelError};
+pub use intern::{TupleId, TupleInterner};
 pub use genericity::{amalgamate, find_local_genericity_violation, GenericityViolation};
 pub use lociso::{index_vectors, locally_equivalent, locally_isomorphic};
 pub use query::{ClassUnionQuery, QueryOutcome, RQuery};

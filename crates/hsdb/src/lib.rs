@@ -18,7 +18,8 @@
 //!   the Rado graph and a random digraph with constructed
 //!   extension-axiom witnesses;
 //! * [`refine`] — the `Vⁿᵣ` refinement pipeline (Props 3.4–3.7,
-//!   Corollaries 3.2/3.3) and `r₀` search;
+//!   Corollaries 3.2/3.3) and `r₀` search, fingerprint-bucketed and
+//!   (with the `parallel` feature) data-parallel;
 //! * [`stretch`] — stretchings and the Prop 3.1 coloring technique;
 //! * [`fcf`] — finite ∕ co-finite databases (§4), `Df` extraction.
 
@@ -29,6 +30,7 @@ pub mod catalog;
 pub mod build;
 pub mod constructions;
 pub mod fcf;
+mod par;
 pub mod random;
 pub mod refine;
 pub mod rep;
@@ -50,8 +52,9 @@ pub use random::{
     DigraphPattern,
 };
 pub use refine::{
-    all_singletons, equiv_r_tree, find_r0, partition_by_local_iso, project_partition,
-    v_n_r, Partition,
+    all_singletons, equiv_r_tree, find_r0, partition_by_local_iso,
+    partition_by_local_iso_pairwise, project_partition, v_n_r, Partition, RefineError,
+    TreeGame,
 };
 pub use rep::{EquivOracle, EquivRef, FnEquiv, HsDatabase};
 pub use stretch::{count_rank1_classes, stretch_hsdb};

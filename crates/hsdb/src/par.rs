@@ -1,0 +1,74 @@
+//! Data-parallel fan-out for the refinement pipeline.
+//!
+//! With the `parallel` feature enabled, [`par_map`] spreads an
+//! index-preserving map over `std::thread::scope` worker threads (one
+//! contiguous chunk per available core). Without the feature it is a
+//! plain serial map, so the crate builds and behaves identically
+//! single-threaded. The scoped-thread implementation keeps the crate
+//! dependency-free; the call shape is the same as `rayon`'s
+//! `par_iter().map().collect()`, so swapping rayon in later is a
+//! one-line change here.
+
+/// Chunks below this size are mapped serially even with `parallel`
+/// enabled — thread spawn overhead dwarfs the work otherwise.
+#[cfg(feature = "parallel")]
+const MIN_CHUNK: usize = 64;
+
+/// Maps `f` over `items`, preserving order.
+#[cfg(feature = "parallel")]
+pub(crate) fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let chunk = items.len().div_ceil(threads).max(MIN_CHUNK);
+    if threads == 1 || items.len() <= chunk {
+        return items.iter().map(f).collect();
+    }
+    let f = &f;
+    let mut out: Vec<R> = Vec::with_capacity(items.len());
+    std::thread::scope(|s| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|c| s.spawn(move || c.iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        for h in handles {
+            out.extend(h.join().expect("refinement worker panicked"));
+        }
+    });
+    out
+}
+
+/// Maps `f` over `items`, preserving order (serial fallback).
+#[cfg(not(feature = "parallel"))]
+pub(crate) fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    F: Fn(&T) -> R,
+{
+    items.iter().map(f).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order_and_length() {
+        let xs: Vec<u64> = (0..10_000).collect();
+        let ys = par_map(&xs, |&x| x * 2);
+        assert_eq!(ys.len(), xs.len());
+        for (i, y) in ys.iter().enumerate() {
+            assert_eq!(*y, 2 * i as u64);
+        }
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        assert_eq!(par_map(&[] as &[u8], |&x| x), Vec::<u8>::new());
+        assert_eq!(par_map(&[7u8], |&x| x + 1), vec![8]);
+    }
+}

@@ -13,17 +13,114 @@
 //!   the all-singletons partition (Prop 3.6 / Corollary 3.2) — found
 //!   by testing `|Vᵢ| = 1` for each block, which is exactly what the
 //!   `|Y| = 1?` construct of QLhs exists for (footnote 8).
+//!
+//! # Complexity
+//!
+//! [`partition_by_local_iso`] is fingerprint-bucketed: one
+//! [`Fingerprint`] per tuple (`O(t · Σᵢ mᵃⁱ)` oracle questions total),
+//! a hash-bucket pass, then `≅ₗ` verification only *within* a bucket —
+//! near-linear in `t = |Tⁿ⁺ʳ|`, versus the `O(t²)` pairwise
+//! [`locally_equivalent`] tests of the naive partitioner (kept as
+//! [`partition_by_local_iso_pairwise`], the test oracle). Projection
+//! steps key signatures by dense [`TupleId`]s from a [`TupleInterner`]
+//! instead of cloning tuples into `BTreeMap` keys. With the `parallel`
+//! feature, fingerprinting, bucket verification, and signature
+//! computation fan out across threads.
 
+use crate::par::par_map;
 use crate::rep::HsDatabase;
-use recdb_core::{locally_equivalent, Database, Tuple};
-use std::collections::BTreeMap;
+use recdb_core::{
+    locally_equivalent, Database, Elem, Fingerprint, Tuple, TupleId, TupleInterner,
+};
+use std::collections::HashMap;
+use std::fmt;
 
-/// A partition of a set of tuples, as sorted blocks.
+/// A partition of a set of tuples, as blocks in first-occurrence order.
 pub type Partition = Vec<Vec<Tuple>>;
+
+/// Errors surfaced by the refinement pipeline.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RefineError {
+    /// A one-element tree extension of a level-`n` node does not occur
+    /// in the finer partition handed to [`project_partition`]: the
+    /// partition does not cover `Tⁿ⁺¹`, so the `↓` step of Prop 3.7 is
+    /// undefined. (Unreachable through [`v_n_r`], whose finer
+    /// partitions are built from the full next tree level.)
+    MissingExtension {
+        /// The level-`n` node whose extension is uncovered.
+        node: Tuple,
+        /// The extension `ua` absent from the finer partition.
+        extension: Tuple,
+    },
+}
+
+impl fmt::Display for RefineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RefineError::MissingExtension { node, extension } => write!(
+                f,
+                "extension {extension:?} of level-n node {node:?} is missing \
+                 from the finer partition (it does not cover Tⁿ⁺¹)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RefineError {}
 
 /// Partitions `tuples` by local isomorphism within `db` — `Vⁿ₀` when
 /// applied to `Tⁿ`.
+///
+/// Fingerprint-bucketed: tuples are hashed to their canonical
+/// [`Fingerprint`] (equal for all `≅ₗ`-equivalent tuples), bucketed,
+/// and only bucket-mates — equal up to a 64-bit hash collision — are
+/// verified pairwise with [`locally_equivalent`]. Blocks come out in
+/// first-occurrence order.
 pub fn partition_by_local_iso(db: &Database, tuples: &[Tuple]) -> Partition {
+    // Stage 1: one fingerprint per tuple (data-parallel).
+    let fps = par_map(tuples, |t| Fingerprint::of(db, t));
+    // Stage 2: bucket tuple indices by fingerprint, first-occurrence
+    // order.
+    let mut bucket_ix: HashMap<Fingerprint, usize> = HashMap::new();
+    let mut buckets: Vec<Vec<usize>> = Vec::new();
+    for (i, fp) in fps.iter().enumerate() {
+        match bucket_ix.get(fp) {
+            Some(&b) => buckets[b].push(i),
+            None => {
+                bucket_ix.insert(*fp, buckets.len());
+                buckets.push(vec![i]);
+            }
+        }
+    }
+    // Stage 3: verify within each bucket (data-parallel across
+    // buckets). A bucket almost always is one `≅ₗ`-class; the inner
+    // loop exists to un-merge hash collisions.
+    let verified: Vec<Vec<Vec<usize>>> = par_map(&buckets, |ixs| {
+        let mut blocks: Vec<Vec<usize>> = Vec::new();
+        for &i in ixs {
+            match blocks
+                .iter_mut()
+                .find(|b| locally_equivalent(db, &tuples[b[0]], &tuples[i]))
+            {
+                Some(b) => b.push(i),
+                None => blocks.push(vec![i]),
+            }
+        }
+        blocks
+    });
+    verified
+        .into_iter()
+        .flatten()
+        .map(|ixs| ixs.into_iter().map(|i| tuples[i].clone()).collect())
+        .collect()
+}
+
+/// The original `O(t²)` pairwise partitioner, kept verbatim as the
+/// reference oracle for the fingerprint-bucketed path (see the
+/// equivalence proptests in `tests/proptests.rs` and the before/after
+/// comparison in the `refine` bench). Not for production use.
+#[doc(hidden)]
+pub fn partition_by_local_iso_pairwise(db: &Database, tuples: &[Tuple]) -> Partition {
     let mut blocks: Partition = Vec::new();
     for t in tuples {
         match blocks
@@ -40,46 +137,86 @@ pub fn partition_by_local_iso(db: &Database, tuples: &[Tuple]) -> Partition {
 /// One `↓` step (Prop 3.7): given the partition `Vⁿ⁺¹ᵣ` of `Tⁿ⁺¹`,
 /// produce `Vⁿᵣ₊₁` on `Tⁿ` by grouping tuples by the set of blocks
 /// their one-element tree extensions reach.
-pub fn project_partition(hs: &HsDatabase, level_n: &[Tuple], finer: &Partition) -> Partition {
-    // Map each extension to its block index.
-    let mut block_of: BTreeMap<&Tuple, usize> = BTreeMap::new();
-    for (i, b) in finer.iter().enumerate() {
-        for t in b {
-            block_of.insert(t, i);
+///
+/// Signatures are computed over dense interned ids (no tuple cloning
+/// into map keys) and grouped by hash; blocks come out in
+/// first-occurrence order over `level_n`.
+///
+/// # Errors
+/// [`RefineError::MissingExtension`] if some extension of a `level_n`
+/// node is not covered by `finer`.
+pub fn project_partition(
+    hs: &HsDatabase,
+    level_n: &[Tuple],
+    finer: &Partition,
+) -> Result<Partition, RefineError> {
+    // Intern every finer-partition tuple; record its block per id.
+    let mut interner = TupleInterner::new();
+    let mut block_of: Vec<u32> = Vec::new();
+    for (b, block) in finer.iter().enumerate() {
+        for t in block {
+            let id = interner.intern(t) as usize;
+            if id >= block_of.len() {
+                block_of.resize(id + 1, 0);
+            }
+            block_of[id] = b as u32;
         }
     }
-    let mut by_signature: BTreeMap<Vec<usize>, Vec<Tuple>> = BTreeMap::new();
-    for u in level_n {
-        let mut sig: Vec<usize> = hs
+    // Signature per level-n node (data-parallel: the interner is
+    // read-only from here on).
+    let sigs: Vec<Result<Vec<u32>, RefineError>> = par_map(level_n, |u| {
+        let mut sig: Vec<u32> = hs
             .tree()
             .offspring(u)
             .into_iter()
             .map(|a| {
                 let ua = u.extend(a);
-                *block_of
-                    .get(&ua)
-                    .expect("extension of a level-n node must appear in the finer partition")
+                match interner.get(&ua) {
+                    Some(id) => Ok(block_of[id as usize]),
+                    None => Err(RefineError::MissingExtension {
+                        node: u.clone(),
+                        extension: ua,
+                    }),
+                }
             })
-            .collect();
+            .collect::<Result<_, _>>()?;
         sig.sort_unstable();
         sig.dedup();
-        by_signature.entry(sig).or_default().push(u.clone());
+        Ok(sig)
+    });
+    // Group by signature, first-occurrence order.
+    let mut block_ix: HashMap<Vec<u32>, usize> = HashMap::new();
+    let mut blocks: Partition = Vec::new();
+    for (u, sig) in level_n.iter().zip(sigs) {
+        let sig = sig?;
+        match block_ix.get(&sig) {
+            Some(&b) => blocks[b].push(u.clone()),
+            None => {
+                block_ix.insert(sig, blocks.len());
+                blocks.push(vec![u.clone()]);
+            }
+        }
     }
-    by_signature.into_values().collect()
+    Ok(blocks)
 }
 
 /// Computes `Vⁿᵣ` via Corollary 3.3: start from `Vⁿ⁺ʳ₀` and project
 /// `r` times.
-pub fn v_n_r(hs: &HsDatabase, n: usize, r: usize) -> Partition {
+///
+/// # Errors
+/// Propagates [`RefineError`] from the projection steps (structurally
+/// unreachable for a deterministic characteristic tree, whose level
+/// `n+1` is exactly the set of one-element extensions of level `n`).
+pub fn v_n_r(hs: &HsDatabase, n: usize, r: usize) -> Result<Partition, RefineError> {
     let mut level = n + r;
     let tuples = hs.t_n(level);
     let mut part = partition_by_local_iso(hs.database(), &tuples);
     for _ in 0..r {
         level -= 1;
         let coarser_level = hs.t_n(level);
-        part = project_partition(hs, &coarser_level, &part);
+        part = project_partition(hs, &coarser_level, &part)?;
     }
-    part
+    Ok(part)
 }
 
 /// Is every block a singleton? (`Vⁿᵣ = Vⁿ` detection — the `|Vᵢ|=1`
@@ -91,37 +228,117 @@ pub fn all_singletons(p: &Partition) -> bool {
 /// Finds the least `r ≤ max_r` with `Vⁿᵣ` all singletons — the `r₀` of
 /// Prop 3.6 for rank `n`. Returns the partition trajectory's block
 /// counts alongside.
-pub fn find_r0(hs: &HsDatabase, n: usize, max_r: usize) -> (Option<usize>, Vec<usize>) {
+///
+/// # Errors
+/// Propagates [`RefineError`] from the underlying [`v_n_r`] calls.
+pub fn find_r0(
+    hs: &HsDatabase,
+    n: usize,
+    max_r: usize,
+) -> Result<(Option<usize>, Vec<usize>), RefineError> {
     let mut counts = Vec::new();
     for r in 0..=max_r {
-        let p = v_n_r(hs, n, r);
+        let p = v_n_r(hs, n, r)?;
         counts.push(p.len());
         if all_singletons(&p) {
-            return (Some(r), counts);
+            return Ok((Some(r), counts));
         }
     }
-    (None, counts)
+    Ok((None, counts))
 }
 
-/// Direct computation of `≡ᵣ` on tree nodes via Prop 3.4 (quantifiers
-/// range over offspring) — used to cross-check the `↓`-based pipeline.
+/// A memoized solver for `≡ᵣ` on tree nodes via Prop 3.4 (quantifiers
+/// range over offspring) — the direct recursion the `↓`-based pipeline
+/// is cross-checked against.
+///
+/// The memo is keyed by interned `(id, id, r)` triples (symmetric, so
+/// keys are normalized), and offspring sets are cached per node. One
+/// solver is meant to be shared across a whole cross-check run — e.g.
+/// partitioning all of `Tⁿ` pairwise — so overlapping subgames are
+/// solved once.
+pub struct TreeGame<'a> {
+    hs: &'a HsDatabase,
+    interner: TupleInterner,
+    memo: HashMap<(TupleId, TupleId, usize), bool>,
+    offspring: HashMap<TupleId, Vec<Elem>>,
+}
+
+impl<'a> TreeGame<'a> {
+    /// A fresh solver over `hs` with an empty cache.
+    pub fn new(hs: &'a HsDatabase) -> Self {
+        TreeGame {
+            hs,
+            interner: TupleInterner::new(),
+            memo: HashMap::new(),
+            offspring: HashMap::new(),
+        }
+    }
+
+    /// Decides `u ≡ᵣ v` (Def 3.4, offspring-bounded per Prop 3.4).
+    pub fn equiv_r(&mut self, u: &Tuple, v: &Tuple, r: usize) -> bool {
+        let ui = self.interner.intern(u);
+        let vi = self.interner.intern(v);
+        self.solve(ui, vi, r)
+    }
+
+    /// Number of memoized positions (observability hook; the EF
+    /// solver in `recdb-logic` exposes the same).
+    pub fn memo_len(&self) -> usize {
+        self.memo.len()
+    }
+
+    fn offspring_of(&mut self, id: TupleId) -> Vec<Elem> {
+        if let Some(o) = self.offspring.get(&id) {
+            return o.clone();
+        }
+        let o = self.hs.tree().offspring(self.interner.resolve(id));
+        self.offspring.insert(id, o.clone());
+        o
+    }
+
+    fn solve(&mut self, ui: TupleId, vi: TupleId, r: usize) -> bool {
+        if ui == vi {
+            return true; // ≡ᵣ is reflexive
+        }
+        // ≡ᵣ is symmetric: normalize the memo key.
+        let key = if ui <= vi { (ui, vi, r) } else { (vi, ui, r) };
+        if let Some(&cached) = self.memo.get(&key) {
+            return cached;
+        }
+        let u = self.interner.resolve(ui).clone();
+        let v = self.interner.resolve(vi).clone();
+        let result = if !locally_equivalent(self.hs.database(), &u, &v) {
+            false // ≡ᵣ ⊆ ≡₀ = ≅ₗ
+        } else if r == 0 {
+            true
+        } else {
+            let uext: Vec<TupleId> = self
+                .offspring_of(ui)
+                .into_iter()
+                .map(|a| self.interner.intern_owned(u.extend(a)))
+                .collect();
+            let vext: Vec<TupleId> = self
+                .offspring_of(vi)
+                .into_iter()
+                .map(|b| self.interner.intern_owned(v.extend(b)))
+                .collect();
+            uext.iter()
+                .all(|&ua| vext.iter().any(|&vb| self.solve(ua, vb, r - 1)))
+                && vext
+                    .iter()
+                    .all(|&vb| uext.iter().any(|&ua| self.solve(ua, vb, r - 1)))
+        };
+        self.memo.insert(key, result);
+        result
+    }
+}
+
+/// Direct computation of `≡ᵣ` on tree nodes via Prop 3.4 — one-shot
+/// form of [`TreeGame`]. For repeated queries over the same database
+/// (e.g. partitioning a whole level), build one [`TreeGame`] and reuse
+/// it so the memo is shared.
 pub fn equiv_r_tree(hs: &HsDatabase, u: &Tuple, v: &Tuple, r: usize) -> bool {
-    if r == 0 {
-        return locally_equivalent(hs.database(), u, v);
-    }
-    if !locally_equivalent(hs.database(), u, v) {
-        return false;
-    }
-    let tu = hs.tree().offspring(u);
-    let tv = hs.tree().offspring(v);
-    let fwd = tu.iter().all(|&a| {
-        tv.iter()
-            .any(|&b| equiv_r_tree(hs, &u.extend(a), &v.extend(b), r - 1))
-    });
-    fwd && tv.iter().all(|&b| {
-        tu.iter()
-            .any(|&a| equiv_r_tree(hs, &u.extend(a), &v.extend(b), r - 1))
-    })
+    TreeGame::new(hs).equiv_r(u, v, r)
 }
 
 #[cfg(test)]
@@ -135,7 +352,7 @@ mod tests {
         let hs = infinite_clique();
         // On the clique, ≅ₗ already equals ≅_B: r₀ = 0 at every rank.
         for n in 1..=3 {
-            let (r0, counts) = find_r0(&hs, n, 3);
+            let (r0, counts) = find_r0(&hs, n, 3).expect("tree covers all levels");
             assert_eq!(r0, Some(0), "rank {n}");
             assert_eq!(counts[0], hs.t_n(n).len());
         }
@@ -145,7 +362,7 @@ mod tests {
     fn rado_refines_to_singletons_immediately() {
         // Prop 3.2: on random structures ≅ = ≅ₗ, so r₀ = 0.
         let hs = rado_graph();
-        let (r0, _) = find_r0(&hs, 2, 2);
+        let (r0, _) = find_r0(&hs, 2, 2).expect("tree covers all levels");
         assert_eq!(r0, Some(0));
     }
 
@@ -158,13 +375,13 @@ mod tests {
         // them by their extension signatures.
         let hs = paper_example_graph();
         let n1 = hs.t_n(1).len();
-        let v10 = v_n_r(&hs, 1, 0);
+        let v10 = v_n_r(&hs, 1, 0).expect("tree covers all levels");
         assert!(
             v10.len() < n1,
             "≅ₗ alone must not separate all rank-1 classes (got {} of {n1})",
             v10.len()
         );
-        let (r0, counts) = find_r0(&hs, 1, 4);
+        let (r0, counts) = find_r0(&hs, 1, 4).expect("tree covers all levels");
         assert!(r0.is_some(), "refinement must converge, counts {counts:?}");
         assert!(r0.unwrap() >= 1);
         // Block counts weakly increase (refinement is monotone).
@@ -176,19 +393,21 @@ mod tests {
     #[test]
     fn projection_identity_prop_3_7() {
         // Cross-check: Vⁿᵣ computed by the ↓ pipeline equals the
-        // partition induced by the direct ≡ᵣ recursion on tree nodes.
+        // partition induced by the direct ≡ᵣ recursion on tree nodes,
+        // with one TreeGame cache shared across the whole run.
         let hs = paper_example_graph();
+        let mut game = TreeGame::new(&hs);
         for n in 1..=2 {
             for r in 0..=2 {
-                let pipeline = v_n_r(&hs, n, r);
+                let pipeline = v_n_r(&hs, n, r).expect("tree covers all levels");
                 let tn = hs.t_n(n);
                 // Build the direct partition.
                 let mut direct: Partition = Vec::new();
                 for t in &tn {
-                    match direct
-                        .iter_mut()
-                        .find(|b| equiv_r_tree(&hs, &b[0], t, r))
-                    {
+                    match direct.iter_mut().find(|b| {
+                        let head = b[0].clone();
+                        game.equiv_r(&head, t, r)
+                    }) {
                         Some(b) => b.push(t.clone()),
                         None => direct.push(vec![t.clone()]),
                     }
@@ -207,12 +426,75 @@ mod tests {
                 );
             }
         }
+        assert!(game.memo_len() > 0, "shared cache must have been used");
+    }
+
+    #[test]
+    fn tree_game_agrees_with_one_shot() {
+        let hs = paper_example_graph();
+        let tn = hs.t_n(1);
+        let mut game = TreeGame::new(&hs);
+        for u in &tn {
+            for v in &tn {
+                for r in 0..=2 {
+                    assert_eq!(
+                        game.equiv_r(u, v, r),
+                        equiv_r_tree(&hs, u, v, r),
+                        "cached vs one-shot at ({u:?},{v:?},{r})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bucketed_partition_matches_pairwise_oracle() {
+        let norm = |mut p: Partition| {
+            for b in &mut p {
+                b.sort();
+            }
+            p.sort();
+            p
+        };
+        for hs in [
+            infinite_clique(),
+            paper_example_graph(),
+            unary_cells(vec![CellSize::Infinite, CellSize::Infinite]),
+            rado_graph(),
+        ] {
+            for n in 1..=2 {
+                let tuples = hs.t_n(n);
+                assert_eq!(
+                    norm(partition_by_local_iso(hs.database(), &tuples)),
+                    norm(partition_by_local_iso_pairwise(hs.database(), &tuples)),
+                    "bucketed vs pairwise on {:?} at n={n}",
+                    hs.database()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn missing_extension_is_an_error_not_a_panic() {
+        let hs = infinite_clique();
+        let level1 = hs.t_n(1);
+        // Drop one tuple of T² from the finer partition: the ↓ step
+        // must report the uncovered extension.
+        let mut t2 = hs.t_n(2);
+        let dropped = t2.pop().expect("T² is nonempty");
+        let finer: Partition = t2.into_iter().map(|t| vec![t]).collect();
+        match project_partition(&hs, &level1, &finer) {
+            Err(RefineError::MissingExtension { extension, .. }) => {
+                assert_eq!(extension, dropped);
+            }
+            other => panic!("expected MissingExtension, got {other:?}"),
+        }
     }
 
     #[test]
     fn unary_cells_r0_zero() {
         let hs = unary_cells(vec![CellSize::Infinite, CellSize::Infinite]);
-        let (r0, _) = find_r0(&hs, 2, 2);
+        let (r0, _) = find_r0(&hs, 2, 2).expect("tree covers all levels");
         assert_eq!(r0, Some(0), "unary facts are all local");
     }
 

@@ -3,12 +3,15 @@
 //! fcf structure.
 
 use proptest::prelude::*;
-use recdb_core::{locally_equivalent, CoFiniteRelation, Elem, FiniteRelation, Tuple};
-use recdb_hsdb::{
-    infinite_clique, paper_example_graph, rado_graph, unary_cells, v_n_r, CellSize,
-    ComponentGraph, FcfDatabase, FcfRel, HsDatabase,
+use recdb_core::{
+    locally_equivalent, CoFiniteRelation, DatabaseBuilder, Elem, FiniteRelation,
+    FiniteStructure, Tuple,
 };
-use recdb_core::FiniteStructure;
+use recdb_hsdb::{
+    infinite_clique, paper_example_graph, partition_by_local_iso,
+    partition_by_local_iso_pairwise, rado_graph, unary_cells, v_n_r, CellSize,
+    ComponentGraph, FcfDatabase, FcfRel, HsDatabase, Partition,
+};
 
 fn zoo_member(ix: usize) -> HsDatabase {
     match ix % 4 {
@@ -21,6 +24,16 @@ fn zoo_member(ix: usize) -> HsDatabase {
 
 fn small_tuple() -> impl Strategy<Value = Tuple> {
     proptest::collection::vec(0u64..12, 1..3).prop_map(Tuple::from_values)
+}
+
+/// Sorts blocks and block members so two partitions compare as sets of
+/// sets.
+fn normalize(mut p: Partition) -> Partition {
+    for b in &mut p {
+        b.sort();
+    }
+    p.sort();
+    p
 }
 
 proptest! {
@@ -78,7 +91,7 @@ proptest! {
         let tn = hs.t_n(n).len();
         let mut prev = 0;
         for r in 0..=2 {
-            let blocks = v_n_r(&hs, n, r).len();
+            let blocks = v_n_r(&hs, n, r).expect("tree covers all levels").len();
             prop_assert!(blocks >= prev, "refinement only splits");
             prop_assert!(blocks <= tn);
             prev = blocks;
@@ -120,6 +133,51 @@ proptest! {
         let big1 = Tuple::from_values([100]);
         let big2 = Tuple::from_values([200]);
         prop_assert!(eq.equivalent(&big1, &big2));
+    }
+
+    /// The fingerprint-bucketed partitioner agrees with the O(t²)
+    /// pairwise oracle on the hs zoo's tree levels.
+    #[test]
+    fn bucketed_partition_equals_pairwise_on_zoo(ix in 0usize..4, n in 1usize..3) {
+        let hs = zoo_member(ix);
+        let tuples = hs.t_n(n);
+        prop_assert_eq!(
+            normalize(partition_by_local_iso(hs.database(), &tuples)),
+            normalize(partition_by_local_iso_pairwise(hs.database(), &tuples)),
+            "bucketed vs pairwise diverge on zoo member {} at n={}", ix, n
+        );
+    }
+
+    /// The fingerprint-bucketed partitioner agrees with the pairwise
+    /// oracle on random small finite databases and random tuple sets —
+    /// including duplicate tuples and mixed equality patterns.
+    #[test]
+    fn bucketed_partition_equals_pairwise_on_random_dbs(
+        edges in proptest::collection::btree_set((0u64..8, 0u64..8), 0..20),
+        marks in proptest::collection::btree_set(0u64..8, 0..5),
+        tuples in proptest::collection::vec(
+            proptest::collection::vec(0u64..8, 0..4).prop_map(Tuple::from_values),
+            0..40,
+        ),
+    ) {
+        let db = DatabaseBuilder::new("random")
+            .relation("E", FiniteRelation::edges(edges.iter().copied()))
+            .relation("P", FiniteRelation::unary(marks.iter().copied()))
+            .build();
+        // Partition per rank (the partitioners assume uniform rank no
+        // more than ≅ₗ does, but keep the oracle comparison honest).
+        for rank in 0..4 {
+            let of_rank: Vec<Tuple> = tuples
+                .iter()
+                .filter(|t| t.rank() == rank)
+                .cloned()
+                .collect();
+            prop_assert_eq!(
+                normalize(partition_by_local_iso(&db, &of_rank)),
+                normalize(partition_by_local_iso_pairwise(&db, &of_rank)),
+                "bucketed vs pairwise diverge at rank {}", rank
+            );
+        }
     }
 
     /// The canonical representative is idempotent.

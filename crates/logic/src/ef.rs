@@ -13,17 +13,24 @@
 //! pools for highly symmetric databases, and [`equiv_r_finite`] plays
 //! over a finite structure's full universe (always sound).
 
-use recdb_core::{locally_isomorphic, Database, Elem, FiniteStructure, Tuple};
+use recdb_core::{
+    locally_isomorphic, Database, Elem, FiniteStructure, Tuple, TupleId, TupleInterner,
+};
 use std::collections::HashMap;
 
 /// A memoized EF-game solver between two (possibly identical)
 /// databases, with per-side move pools.
+///
+/// Positions are interned to dense ids, so the memo is keyed by
+/// `(id, id, r)` — no tuple clones per lookup — and the recursion
+/// iterates the pools by index instead of cloning them per level.
 pub struct EfGame<'a> {
     left: &'a Database,
     right: &'a Database,
     pool_left: Vec<Elem>,
     pool_right: Vec<Elem>,
-    memo: HashMap<(Tuple, Tuple, usize), bool>,
+    interner: TupleInterner,
+    memo: HashMap<(TupleId, TupleId, usize), bool>,
 }
 
 impl<'a> EfGame<'a> {
@@ -40,6 +47,7 @@ impl<'a> EfGame<'a> {
             right,
             pool_left: pool_left.into(),
             pool_right: pool_right.into(),
+            interner: TupleInterner::new(),
             memo: HashMap::new(),
         }
     }
@@ -51,7 +59,9 @@ impl<'a> EfGame<'a> {
         if r == 0 {
             return locally_isomorphic(self.left, u, self.right, v);
         }
-        if let Some(&cached) = self.memo.get(&(u.clone(), v.clone(), r)) {
+        let ui = self.interner.intern(u);
+        let vi = self.interner.intern(v);
+        if let Some(&cached) = self.memo.get(&(ui, vi, r)) {
             return cached;
         }
         // Cheap necessary condition: positions must already be locally
@@ -59,27 +69,54 @@ impl<'a> EfGame<'a> {
         let result = if !locally_isomorphic(self.left, u, self.right, v) {
             false
         } else {
-            let spoiler_left_fails = self.pool_left.clone().iter().any(|&a| {
-                let ua = u.extend(a);
-                !self
-                    .pool_right
-                    .clone()
-                    .iter()
-                    .any(|&b| self.duplicator_wins(&ua, &v.extend(b), r - 1))
-            });
-            let spoiler_right_fails = !spoiler_left_fails
-                && self.pool_right.clone().iter().any(|&b| {
-                    let vb = v.extend(b);
-                    !self
-                        .pool_left
-                        .clone()
-                        .iter()
-                        .any(|&a| self.duplicator_wins(&u.extend(a), &vb, r - 1))
-                });
-            !spoiler_left_fails && !spoiler_right_fails
+            !self.spoiler_wins_left(u, v, r) && !self.spoiler_wins_right(u, v, r)
         };
-        self.memo.insert((u.clone(), v.clone(), r), result);
+        self.memo.insert((ui, vi, r), result);
         result
+    }
+
+    /// Does the spoiler win by playing on the left structure?
+    fn spoiler_wins_left(&mut self, u: &Tuple, v: &Tuple, r: usize) -> bool {
+        for i in 0..self.pool_left.len() {
+            let ua = u.extend(self.pool_left[i]);
+            let mut answered = false;
+            for j in 0..self.pool_right.len() {
+                let vb = v.extend(self.pool_right[j]);
+                if self.duplicator_wins(&ua, &vb, r - 1) {
+                    answered = true;
+                    break;
+                }
+            }
+            if !answered {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Does the spoiler win by playing on the right structure?
+    fn spoiler_wins_right(&mut self, u: &Tuple, v: &Tuple, r: usize) -> bool {
+        for j in 0..self.pool_right.len() {
+            let vb = v.extend(self.pool_right[j]);
+            let mut answered = false;
+            for i in 0..self.pool_left.len() {
+                let ua = u.extend(self.pool_left[i]);
+                if self.duplicator_wins(&ua, &vb, r - 1) {
+                    answered = true;
+                    break;
+                }
+            }
+            if !answered {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Number of memoized game positions — an observability hook for
+    /// benchmarks and cache-sharing diagnostics.
+    pub fn memo_len(&self) -> usize {
+        self.memo.len()
     }
 
     /// The least `r ≤ max_r` at which the spoiler wins from `(u,v)`,
@@ -252,6 +289,21 @@ mod tests {
             None,
             "adjacent pairs are automorphic on the line"
         );
+    }
+
+    #[test]
+    fn memo_grows_and_repeat_queries_hit_cache() {
+        let p = path(4);
+        let db = finite_as_db(&p);
+        let pool: Vec<Elem> = p.universe().to_vec();
+        let mut game = EfGame::new(&db, &db, pool.clone(), pool);
+        assert_eq!(game.memo_len(), 0);
+        let first = game.duplicator_wins(&tuple![0], &tuple![1], 2);
+        let filled = game.memo_len();
+        assert!(filled > 0, "recursion must memoize positions");
+        // Replaying the same game only reads the cache.
+        assert_eq!(game.duplicator_wins(&tuple![0], &tuple![1], 2), first);
+        assert_eq!(game.memo_len(), filled);
     }
 
     #[test]

@@ -9,7 +9,7 @@
 
 use crate::ast::{Prog, Term};
 use crate::value::{RunError, Val};
-use recdb_core::{Fuel, Tuple};
+use recdb_core::{Fuel, Tuple, TupleId, TupleInterner};
 use recdb_hsdb::HsDatabase;
 use std::collections::{BTreeSet, HashMap};
 
@@ -18,8 +18,11 @@ pub struct HsInterp<'a> {
     hs: &'a HsDatabase,
     /// Cache of `Tⁿ` levels (the tree is deterministic).
     levels: HashMap<usize, Vec<Tuple>>,
-    /// Cache of canonical representatives.
-    canon: HashMap<Tuple, Tuple>,
+    /// Dense ids for every tuple the interpreter has canonicalized —
+    /// memo keys are `u32`s instead of cloned tuples.
+    interner: TupleInterner,
+    /// Cache of canonical representatives, keyed by interned id.
+    canon: HashMap<TupleId, Tuple>,
 }
 
 impl<'a> HsInterp<'a> {
@@ -28,6 +31,7 @@ impl<'a> HsInterp<'a> {
         HsInterp {
             hs,
             levels: HashMap::new(),
+            interner: TupleInterner::new(),
             canon: HashMap::new(),
         }
     }
@@ -37,11 +41,16 @@ impl<'a> HsInterp<'a> {
     }
 
     fn canonical(&mut self, u: &Tuple) -> Tuple {
-        if let Some(c) = self.canon.get(u) {
+        let id = self.interner.intern(u);
+        if let Some(c) = self.canon.get(&id) {
             return c.clone();
         }
         let c = self.hs.canonical_rep(u);
-        self.canon.insert(u.clone(), c.clone());
+        self.canon.insert(id, c.clone());
+        // A canonical rep is its own rep: pre-seed so the linear scan
+        // in `canonical_rep` never reruns for tuples already in Tⁿ.
+        let cid = self.interner.intern(&c);
+        self.canon.entry(cid).or_insert_with(|| c.clone());
         c
     }
 

@@ -1,0 +1,143 @@
+//! Std-timer benchmark for the `Vⁿᵣ` refinement pipeline — the
+//! criterion-free companion to `crates/bench/benches/refine.rs`.
+//!
+//! Measures the base-partition strategies (fingerprint-bucketed vs the
+//! O(t²) pairwise oracle) on the same workload as the criterion
+//! `E7/partition` group — rank-4 random tuples over the `divides`
+//! database, a workload that realizes hundreds of distinct atomic
+//! types — plus the full `v_n_r` pipeline on the paper's example
+//! graph. Emits the `BENCH_refine.json` schema on stdout:
+//!
+//! ```text
+//! cargo run --release --example bench_refine > BENCH_refine.json
+//! ```
+//!
+//! `scripts/bench_refine.sh --std` wraps exactly that. The criterion
+//! benches stay the precision instrument; this harness exists so the
+//! speedup trajectory can be recorded in environments where the
+//! criterion dev-dependency is unavailable (e.g. offline builds).
+
+use recdb_core::{Database, DatabaseBuilder, Elem, FnRelation, Tuple};
+use recdb_hsdb::{
+    paper_example_graph, partition_by_local_iso, partition_by_local_iso_pairwise, v_n_r,
+};
+use std::time::Instant;
+
+/// Splitmix-style deterministic generator: the harness must not pull
+/// in `rand` (it runs where dev-dependencies cannot resolve), and the
+/// exact sample hardly matters — only that both strategies see the
+/// same tuple set.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 33
+    }
+}
+
+fn random_tuples(count: usize, rank: usize, universe: u64, seed: u64) -> Vec<Tuple> {
+    let mut lcg = Lcg(seed);
+    (0..count)
+        .map(|_| (0..rank).map(|_| Elem(lcg.next() % universe)).collect())
+        .collect()
+}
+
+/// Median wall time of `iters` runs (after one warmup), in ns.
+fn median_ns(iters: usize, mut f: impl FnMut() -> usize) -> u128 {
+    std::hint::black_box(f());
+    let mut samples: Vec<u128> = (0..iters)
+        .map(|_| {
+            let t = Instant::now();
+            std::hint::black_box(f());
+            t.elapsed().as_nanos()
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+struct Point {
+    group: &'static str,
+    bench: String,
+    size: usize,
+    median_ns: u128,
+}
+
+fn main() {
+    let divides: Database = DatabaseBuilder::new("divides")
+        .relation("E", FnRelation::divides())
+        .build();
+    let mut points = Vec::new();
+
+    for size in [64usize, 256, 1024] {
+        let tuples = random_tuples(size, 4, 16, 42);
+        points.push(Point {
+            group: "E7/partition",
+            bench: "bucketed".into(),
+            size,
+            median_ns: median_ns(5, || partition_by_local_iso(&divides, &tuples).len()),
+        });
+        points.push(Point {
+            group: "E7/partition",
+            bench: "pairwise".into(),
+            size,
+            median_ns: median_ns(5, || {
+                partition_by_local_iso_pairwise(&divides, &tuples).len()
+            }),
+        });
+    }
+
+    let hs = paper_example_graph();
+    for (n, r) in [(1usize, 2usize), (2, 1)] {
+        points.push(Point {
+            group: "E7/v_n_r",
+            bench: format!("n{n}r{r}"),
+            size: hs.t_n(n).len(),
+            median_ns: median_ns(5, || {
+                v_n_r(&hs, n, r).expect("tree covers all levels").len()
+            }),
+        });
+    }
+
+    // Hand-rolled JSON: the harness has no serde and needs none.
+    println!("{{");
+    println!("  \"schema\": \"BENCH_refine/v1\",");
+    println!("  \"harness\": \"std-timer (examples/bench_refine.rs, median of 5)\",");
+    println!(
+        "  \"parallel_feature\": {},", // true under `--features parallel`
+        cfg!(feature = "parallel")
+    );
+    println!("  \"points\": [");
+    for (i, p) in points.iter().enumerate() {
+        let comma = if i + 1 < points.len() { "," } else { "" };
+        println!(
+            "    {{\"group\": \"{}\", \"bench\": \"{}\", \"size\": {}, \"median_ns\": {}}}{comma}",
+            p.group, p.bench, p.size, p.median_ns
+        );
+    }
+    println!("  ]");
+    println!("}}");
+
+    // Human-readable speedup summary on stderr so redirecting stdout
+    // to BENCH_refine.json still shows the headline.
+    for size in [64usize, 256, 1024] {
+        let ns = |bench: &str| {
+            points
+                .iter()
+                .find(|p| p.group == "E7/partition" && p.bench == bench && p.size == size)
+                .map(|p| p.median_ns)
+                .unwrap_or(0)
+        };
+        let (b, p) = (ns("bucketed"), ns("pairwise"));
+        if b > 0 {
+            eprintln!(
+                "partition t={size:>5}: pairwise {p} ns / bucketed {b} ns = {:.1}x",
+                p as f64 / b as f64
+            );
+        }
+    }
+}

@@ -94,14 +94,14 @@ fn main() {
     let ex = paper_example_graph();
     println!("\n§3.1 example graph refinement at rank 1:");
     for r in 0..=2 {
-        let part = v_n_r(&ex, 1, r);
+        let part = v_n_r(&ex, 1, r).expect("tree covers all levels");
         println!(
             "  V¹_{r}: {} blocks of sizes {:?}",
             part.len(),
             part.iter().map(Vec::len).collect::<Vec<_>>()
         );
     }
-    let (r0, _) = find_r0(&ex, 1, 4);
+    let (r0, _) = find_r0(&ex, 1, 4).expect("tree covers all levels");
     println!("  r₀ (Prop 3.6) = {r0:?}");
 
     // Contrast pair: the infinite star is highly symmetric (distances

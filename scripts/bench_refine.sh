@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# Benchmark the Vⁿᵣ refinement pipeline and distill the medians into
+# BENCH_refine.json (one point per benchmark/size, median ns).
+#
+# Modes:
+#   scripts/bench_refine.sh          criterion benches (refine + local_iso),
+#                                    medians scraped from target/criterion
+#   scripts/bench_refine.sh --std    std-timer harness (examples/bench_refine.rs);
+#                                    no dev-dependencies needed — works offline
+#
+# Extra args after the mode are forwarded to cargo (e.g.
+# `scripts/bench_refine.sh --std --features parallel`).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT=BENCH_refine.json
+
+if [[ "${1:-}" == "--std" ]]; then
+    shift
+    cargo run --release -p recdb-suite --example bench_refine "$@" > "$OUT"
+    echo "wrote $OUT (std-timer harness)"
+    exit 0
+fi
+
+cargo bench -p recdb-bench --bench refine "$@"
+cargo bench -p recdb-bench --bench local_iso "$@"
+
+# Criterion writes <group>/<bench>/new/estimates.json with the median
+# point estimate in ns. Collect every estimate under the two benches'
+# groups (E7/*, E3/*) into the flat BENCH_refine.json schema.
+python3 - "$OUT" <<'PY'
+import json, pathlib, sys
+
+out = sys.argv[1]
+points = []
+root = pathlib.Path("target/criterion")
+for est in sorted(root.glob("E[37]*/**/new/estimates.json")):
+    rel = est.relative_to(root).parts[:-2]  # drop new/estimates.json
+    # Layout is <group>/<function>[/<value>] depending on BenchmarkId use.
+    group = rel[0]
+    bench = "/".join(rel[1:-1]) if len(rel) > 2 else rel[1]
+    size = rel[-1] if len(rel) > 2 else None
+    with est.open() as f:
+        median = json.load(f)["median"]["point_estimate"]
+    point = {"group": group, "bench": bench, "median_ns": round(median)}
+    if size is not None:
+        try:
+            point["size"] = int(size)
+        except ValueError:
+            point["bench"] = f"{bench}/{size}"
+    points.append(point)
+
+if not points:
+    sys.exit("no criterion estimates found under target/criterion")
+
+with open(out, "w") as f:
+    json.dump(
+        {"schema": "BENCH_refine/v1", "harness": "criterion (median point estimate)",
+         "points": points},
+        f, indent=2)
+    f.write("\n")
+print(f"wrote {out} ({len(points)} points, criterion)")
+PY

@@ -29,7 +29,7 @@ fn every_zoo_member_has_a_valid_representation() {
 fn refinement_converges_on_every_member() {
     for (name, hs) in zoo() {
         let max_r = if name == "rado" { 1 } else { 3 };
-        let (r0, counts) = find_r0(&hs, 1, max_r);
+        let (r0, counts) = find_r0(&hs, 1, max_r).expect("tree covers all levels");
         assert!(
             r0.is_some(),
             "{name}: refinement must converge, trajectory {counts:?}"
@@ -51,7 +51,7 @@ fn refinement_blocks_never_cross_class_boundaries() {
             continue;
         }
         for r in 0..=2 {
-            let part = v_n_r(&hs, 1, r);
+            let part = v_n_r(&hs, 1, r).expect("tree covers all levels");
             for t in hs.t_n(1) {
                 let holding: Vec<usize> = part
                     .iter()
