@@ -16,8 +16,14 @@ fn bench_test_primitives(c: &mut Criterion) {
     let mut g = c.benchmark_group("E13/while_tests");
     // Loops that run exactly once, isolating test overhead.
     let programs = [
-        ("empty_test", "Y2 := down(down(down(E))); while empty(Y2) { Y2 := down(down(E)); }"),
-        ("single_test", "Y2 := down(E); while single(Y2) { Y2 := up(Y2); }"),
+        (
+            "empty_test",
+            "Y2 := down(down(down(E))); while empty(Y2) { Y2 := down(down(E)); }",
+        ),
+        (
+            "single_test",
+            "Y2 := down(E); while single(Y2) { Y2 := up(Y2); }",
+        ),
     ];
     for (name, hs) in recdb_bench::hs_zoo() {
         if name == "rado" {

@@ -23,9 +23,7 @@ fn bench_vnr(c: &mut Criterion) {
     for (n, r) in [(1usize, 0usize), (1, 1), (1, 2), (2, 0), (2, 1)] {
         let label = format!("n{n}r{r}");
         g.bench_function(BenchmarkId::from_parameter(label), |b| {
-            b.iter(|| {
-                black_box(v_n_r(&hs, n, r).expect("tree covers all levels").len())
-            })
+            b.iter(|| black_box(v_n_r(&hs, n, r).expect("tree covers all levels").len()))
         });
     }
     g.finish();
@@ -104,18 +102,12 @@ fn bench_partition_strategies(c: &mut Criterion) {
     let mut g = c.benchmark_group("E7/partition");
     for size in [64usize, 256, 1024] {
         let tuples = random_tuples(size, 4, 16, 42);
-        g.bench_with_input(
-            BenchmarkId::new("bucketed", size),
-            &tuples,
-            |b, tuples| b.iter(|| black_box(partition_by_local_iso(&db, tuples).len())),
-        );
-        g.bench_with_input(
-            BenchmarkId::new("pairwise", size),
-            &tuples,
-            |b, tuples| {
-                b.iter(|| black_box(partition_by_local_iso_pairwise(&db, tuples).len()))
-            },
-        );
+        g.bench_with_input(BenchmarkId::new("bucketed", size), &tuples, |b, tuples| {
+            b.iter(|| black_box(partition_by_local_iso(&db, tuples).len()))
+        });
+        g.bench_with_input(BenchmarkId::new("pairwise", size), &tuples, |b, tuples| {
+            b.iter(|| black_box(partition_by_local_iso_pairwise(&db, tuples).len()))
+        });
     }
     g.finish();
 }

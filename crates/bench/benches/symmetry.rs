@@ -5,8 +5,8 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use recdb_core::{Elem, Tuple};
 use recdb_hsdb::{
-    count_rank1_classes, infinite_clique, line_equiv, stretch_hsdb, CandidateSource,
-    FnCandidates, FnEquiv,
+    count_rank1_classes, infinite_clique, line_equiv, stretch_hsdb, CandidateSource, FnCandidates,
+    FnEquiv,
 };
 use std::hint::black_box;
 use std::sync::Arc;

@@ -8,13 +8,13 @@
 use recdb_bench::{fcf_of_size, hs_zoo, infinite_db_zoo, random_tuples, schema_zoo};
 use recdb_bp::{express_hs_relation, fo_member, Gadget};
 use recdb_core::{
-    count_classes, enumerate_classes, locally_isomorphic, tuple, AtomicType,
-    ClassUnionQuery, Elem, FiniteStructure, Fuel, RQuery, Schema, Tuple,
+    count_classes, enumerate_classes, locally_isomorphic, tuple, AtomicType, ClassUnionQuery, Elem,
+    FiniteStructure, Fuel, RQuery, Schema, Tuple,
 };
 use recdb_gm::{GmAction, GmBuilder};
 use recdb_hsdb::{
-    count_rank1_classes, df_from_tree, find_r0, line_equiv, paper_example_graph,
-    rado_graph, v_n_r, verify_rado_extension, FnEquiv,
+    count_rank1_classes, df_from_tree, find_r0, line_equiv, paper_example_graph, rado_graph, v_n_r,
+    verify_rado_extension, FnEquiv,
 };
 use recdb_logic::{ef_finite_pair, LMinusQuery};
 use recdb_qlhs::{compile_counter, parse_program, FcfInterp, HsInterp, Val};
@@ -47,8 +47,14 @@ fn main() {
 /// E1 — §2 example: |Cⁿ| for the schema zoo; closed form vs
 /// enumeration (must agree; a=(2,1), n=2 must be 68).
 fn e1_class_counts() {
-    header("E1", "equivalence-class counts |Cⁿ| (Theorem 2.1 machinery)");
-    println!("{:<12} {:>4} {:>14} {:>12}", "schema", "n", "closed-form", "enumerated");
+    header(
+        "E1",
+        "equivalence-class counts |Cⁿ| (Theorem 2.1 machinery)",
+    );
+    println!(
+        "{:<12} {:>4} {:>14} {:>12}",
+        "schema", "n", "closed-form", "enumerated"
+    );
     for (name, schema) in schema_zoo() {
         for n in 0..=3 {
             let cf = count_classes(&schema, n);
@@ -69,7 +75,10 @@ fn e2_lminus_roundtrip() {
     header("E2", "L⁻ completeness round trip (Theorem 2.1)");
     let schema = Schema::with_names(&["E"], &[2]);
     let dbs = infinite_db_zoo();
-    println!("{:<8} {:>8} {:>10} {:>10}", "rank", "classes", "checks", "agree");
+    println!(
+        "{:<8} {:>8} {:>10} {:>10}",
+        "rank", "classes", "checks", "agree"
+    );
     for (rank, keep) in [(1usize, 1usize), (2, 3), (2, 1)] {
         let classes: Vec<AtomicType> = enumerate_classes(&schema, rank)
             .into_iter()
@@ -98,7 +107,10 @@ fn e2_lminus_roundtrip() {
 fn e3_lociso_cost() {
     header("E3", "local isomorphism decisions (Prop 2.2)");
     let dbs = infinite_db_zoo();
-    println!("{:<6} {:>10} {:>14} {:>12}", "rank", "pairs", "oracle calls", "time");
+    println!(
+        "{:<6} {:>10} {:>14} {:>12}",
+        "rank", "pairs", "oracle calls", "time"
+    );
     for rank in 1..=5 {
         let us = random_tuples(64, rank, 32, 21);
         let vs = random_tuples(64, rank, 32, 22);
@@ -124,7 +136,10 @@ fn e3_lociso_cost() {
 /// E4 — §1–§2 counterexamples: non-closure under projection, and the
 /// generic-but-not-locally-generic query.
 fn e4_nonclosure_and_genericity() {
-    header("E4", "non-closure & genericity counterexamples (§1, Prop 2.5)");
+    header(
+        "E4",
+        "non-closure & genericity counterexamples (§1, Prop 2.5)",
+    );
     // Step-bounded halting relation: projection = halting problem.
     let halting = encode_program(
         &Asm::new()
@@ -170,10 +185,7 @@ fn e4_nonclosure_and_genericity() {
     let r2 = recdb_core::DatabaseBuilder::new("R2")
         .relation("E", recdb_core::FiniteRelation::edges([(3, 3)]))
         .build();
-    let viol = recdb_core::find_local_genericity_violation(
-        &q,
-        &[(r1, tuple![1]), (r2, tuple![3])],
-    );
+    let viol = recdb_core::find_local_genericity_violation(&q, &[(r1, tuple![1]), (r2, tuple![3])]);
     println!(
         "\nQ = {{x | ∃y(x≠y ∧ E(x,y))}}: local-genericity violation found: {}",
         viol.is_some()
@@ -183,7 +195,10 @@ fn e4_nonclosure_and_genericity() {
 
 /// E5 — §3.1: symmetricity verdicts and the coloring technique.
 fn e5_symmetricity() {
-    header("E5", "high symmetricity & the coloring technique (§3.1, Prop 3.1)");
+    header(
+        "E5",
+        "high symmetricity & the coloring technique (§3.1, Prop 3.1)",
+    );
     println!("rank-1..3 class counts of the hs zoo (finite = highly symmetric):");
     for (name, hs) in hs_zoo() {
         let counts: Vec<usize> = (1..=3).map(|n| hs.t_n(n).len()).collect();
@@ -220,7 +235,10 @@ fn e6_random_structures() {
         );
     }
     let hs = rado_graph();
-    println!("  Rado tree levels |T¹..T³|: {:?}", (1..=3).map(|n| hs.t_n(n).len()).collect::<Vec<_>>());
+    println!(
+        "  Rado tree levels |T¹..T³|: {:?}",
+        (1..=3).map(|n| hs.t_n(n).len()).collect::<Vec<_>>()
+    );
     // ≅_A = ≅ₗ on samples.
     let db = hs.database();
     let ts = random_tuples(12, 2, 24, 33);
@@ -230,7 +248,10 @@ fn e6_random_structures() {
             agree &= hs.equivalent(u, v) == recdb_core::locally_equivalent(db, u, v);
         }
     }
-    println!("  ≅_A coincides with ≅ₗ on {}² sampled pairs: {agree}", ts.len());
+    println!(
+        "  ≅_A coincides with ≅ₗ on {}² sampled pairs: {agree}",
+        ts.len()
+    );
     assert!(agree);
     println!("✓ extension axioms hold; equivalence is local — Prop 3.2 confirmed");
 }
@@ -238,24 +259,39 @@ fn e6_random_structures() {
 /// E7 — the Vⁿᵣ refinement and r₀ (Props 3.5–3.7).
 fn e7_refinement() {
     header("E7", "Vⁿᵣ refinement to the automorphism partition (§3.2)");
-    println!("{:<14} {:>4} {:>16} {:>6}", "database", "n", "blocks V⁰→V²", "r₀");
+    println!(
+        "{:<14} {:>4} {:>16} {:>6}",
+        "database", "n", "blocks V⁰→V²", "r₀"
+    );
     for (name, hs) in hs_zoo() {
         if name == "rado" {
             // Depth-limited tree: only n=1, r≤1 is practical.
             let (r0, counts) = find_r0(&hs, 1, 1).expect("tree covers all levels");
-            println!("{name:<14} {:>4} {:>16} {:>6}", 1, format!("{counts:?}"), fmt_r0(r0));
+            println!(
+                "{name:<14} {:>4} {:>16} {:>6}",
+                1,
+                format!("{counts:?}"),
+                fmt_r0(r0)
+            );
             continue;
         }
         for n in 1..=2 {
             let (r0, counts) = find_r0(&hs, n, 3).expect("tree covers all levels");
-            println!("{name:<14} {n:>4} {:>16} {:>6}", format!("{counts:?}"), fmt_r0(r0));
+            println!(
+                "{name:<14} {n:>4} {:>16} {:>6}",
+                format!("{counts:?}"),
+                fmt_r0(r0)
+            );
             assert!(r0.is_some(), "refinement must converge for hs databases");
         }
     }
     // Prop 3.7 cross-check on the paper example.
     let hs = paper_example_graph();
     let v11 = v_n_r(&hs, 1, 1).expect("tree covers all levels");
-    println!("\npaper example V¹₁ block sizes: {:?}", v11.iter().map(Vec::len).collect::<Vec<_>>());
+    println!(
+        "\npaper example V¹₁ block sizes: {:?}",
+        v11.iter().map(Vec::len).collect::<Vec<_>>()
+    );
     println!("✓ every hs database refines to singletons at a finite r₀ (Prop 3.6)");
 }
 
@@ -270,20 +306,35 @@ fn e8_elementary_equivalence() {
         FiniteStructure::undirected_graph(0..n, (0..n).map(|i| (i, (i + 1) % n)))
     }
     println!("cycle pairs: duplicator survival by round");
-    println!("{:<10} {:>4} {:>4} {:>4} {:>4}", "pair", "r=1", "r=2", "r=3", "r=4");
+    println!(
+        "{:<10} {:>4} {:>4} {:>4} {:>4}",
+        "pair", "r=1", "r=2", "r=3", "r=4"
+    );
     for (n, m) in [(4u64, 5u64), (5, 6), (6, 7)] {
         let (a, b) = (cycle(n), cycle(m));
         let surv: Vec<String> = (1..=4)
-            .map(|r| if ef_finite_pair(&a, &b, r) { "dup".into() } else { "spo".to_string() })
+            .map(|r| {
+                if ef_finite_pair(&a, &b, r) {
+                    "dup".into()
+                } else {
+                    "spo".to_string()
+                }
+            })
             .collect();
-        println!("C{n} vs C{m:<3} {:>4} {:>4} {:>4} {:>4}", surv[0], surv[1], surv[2], surv[3]);
+        println!(
+            "C{n} vs C{m:<3} {:>4} {:>4} {:>4} {:>4}",
+            surv[0], surv[1], surv[2], surv[3]
+        );
     }
     println!("✓ larger cycles need more rounds — the elementary-equivalence gradient");
 }
 
 /// E9 — QLhs programs (Theorem 3.1), including the counter simulation.
 fn e9_qlhs_programs() {
-    header("E9", "QLhs interpreter & the counter-machine power (Theorem 3.1)");
+    header(
+        "E9",
+        "QLhs interpreter & the counter-machine power (Theorem 3.1)",
+    );
     println!("set-algebra programs across the zoo (result class counts):");
     let programs = [
         ("R1", "Y1 := R1;"),
@@ -301,7 +352,10 @@ fn e9_qlhs_programs() {
         for (_, src) in &programs {
             let prog = parse_program(src).unwrap();
             let out = HsInterp::new(&hs).run(&prog, &mut Fuel::new(10_000_000));
-            print!(" {:>10}", out.map(|v| v.len().to_string()).unwrap_or("err".into()));
+            print!(
+                " {:>10}",
+                out.map(|v| v.len().to_string()).unwrap_or("err".into())
+            );
         }
         println!();
     }
@@ -338,7 +392,10 @@ fn e9_qlhs_programs() {
 /// E10 — §4: Df extraction and QLf+.
 fn e10_fcf() {
     header("E10", "finite/co-finite databases (§4)");
-    println!("{:<8} {:>8} {:>14} {:>10}", "Df size", "found", "tree depth", "time");
+    println!(
+        "{:<8} {:>8} {:>14} {:>10}",
+        "Df size", "found", "tree depth", "time"
+    );
     for size in [0u64, 1, 2, 3, 4] {
         let fcf = fcf_of_size(size);
         let expect = fcf.df();
@@ -346,19 +403,21 @@ fn e10_fcf() {
         let t0 = Instant::now();
         let got = df_from_tree(hs.tree(), size as usize + 1);
         let ok = got.as_ref() == Some(&expect);
-        println!(
-            "{size:<8} {ok:>8} {:>14} {:>10.1?}",
-            size + 1,
-            t0.elapsed()
-        );
+        println!("{size:<8} {ok:>8} {:>14} {:>10.1?}", size + 1, t0.elapsed());
         assert!(ok);
     }
     // Prop 4.2 in QLf+: ↓ of a co-finite relation is full.
     let fcf = fcf_of_size(3);
     let v = FcfInterp::new(&fcf)
-        .run(&parse_program("Y1 := !down(R2);").unwrap(), &mut Fuel::new(100_000))
+        .run(
+            &parse_program("Y1 := !down(R2);").unwrap(),
+            &mut Fuel::new(100_000),
+        )
         .unwrap();
-    println!("\nQLf+ ¬(R2↓) is empty (Prop 4.2): {}", v.finite && v.tuples.is_empty());
+    println!(
+        "\nQLf+ ¬(R2↓) is empty (Prop 4.2): {}",
+        v.finite && v.tuples.is_empty()
+    );
     println!("✓ Df recoverable from the tree; QLf+ keeps values finite/co-finite");
 }
 
@@ -377,7 +436,10 @@ fn e11_gm() {
     b.set(s3, GmAction::EraseTape(halt));
     b.set(halt, GmAction::Halt);
     let gm = b.build(2);
-    println!("{:<10} {:>8} {:>10} {:>8}", "classes", "peak", "steps", "output");
+    println!(
+        "{:<10} {:>8} {:>10} {:>8}",
+        "classes", "peak", "steps", "output"
+    );
     for k in 1..=4usize {
         let comps: Vec<FiniteStructure> = (1..=k)
             .map(|len| {
@@ -390,9 +452,15 @@ fn e11_gm() {
         let out = gm.run(&hs, &mut Fuel::new(50_000_000)).unwrap();
         println!(
             "{classes:<10} {:>8} {:>10} {:>8}",
-            out.peak_units, out.steps, out.store[1].len()
+            out.peak_units,
+            out.steps,
+            out.store[1].len()
         );
-        assert_eq!(out.peak_units, classes * classes, "double load spawns |C₁|² units");
+        assert_eq!(
+            out.peak_units,
+            classes * classes,
+            "double load spawns |C₁|² units"
+        );
     }
     println!("✓ peak units = |C₁|² under a double load; collapse reunites them");
 }
@@ -408,8 +476,16 @@ fn e12_bp() {
     println!("{:<28} {:>8} {:>12}", "input pair", "b≅c", "EF sep round");
     for (label, g1, g2) in [
         ("C3 vs C3 (relabelled)", cyc(3), tri2),
-        ("C3 vs P3", cyc(3), FiniteStructure::undirected_graph(0..3, [(0, 1), (1, 2)])),
-        ("C4 vs P4", cyc(4), FiniteStructure::undirected_graph(0..4, [(0, 1), (1, 2), (2, 3)])),
+        (
+            "C3 vs P3",
+            cyc(3),
+            FiniteStructure::undirected_graph(0..3, [(0, 1), (1, 2)]),
+        ),
+        (
+            "C4 vs P4",
+            cyc(4),
+            FiniteStructure::undirected_graph(0..4, [(0, 1), (1, 2), (2, 3)]),
+        ),
     ] {
         let g = Gadget::new(g1, g2);
         println!(
@@ -440,13 +516,23 @@ fn e13_ablation() {
         "Y2 := down(E); Y3 := down(down(E)); while single(Y2) { Y2 := up(Y2); Y3 := up(Y3); } Y1 := Y3;",
     )
     .unwrap();
-    let v = HsInterp::new(&hs).run(&dynamic, &mut Fuel::new(1_000_000)).unwrap();
-    println!("singleton-driven growth on the clique stops at rank {}", v.rank);
+    let v = HsInterp::new(&hs)
+        .run(&dynamic, &mut Fuel::new(1_000_000))
+        .unwrap();
+    println!(
+        "singleton-driven growth on the clique stops at rank {}",
+        v.rank
+    );
     // On the paper example the diagonal splits immediately: different
     // stopping depth, same program — data-dependent control.
     let hs2 = paper_example_graph();
-    let v2 = HsInterp::new(&hs2).run(&dynamic, &mut Fuel::new(1_000_000)).unwrap();
-    println!("the same program on the §3.1 example stops at rank {}", v2.rank);
+    let v2 = HsInterp::new(&hs2)
+        .run(&dynamic, &mut Fuel::new(1_000_000))
+        .unwrap();
+    println!(
+        "the same program on the §3.1 example stops at rank {}",
+        v2.rank
+    );
     println!(
         "✓ |Y|=1 gives data-dependent stopping ({} vs {}); in finitary QL it is\n  definable via perm(D) — which has no finite rank over infinite domains",
         v.rank, v2.rank

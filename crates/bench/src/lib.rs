@@ -70,7 +70,10 @@ pub fn infinite_db_zoo() -> Vec<Database> {
             .relation("E", FnRelation::infinite_line())
             .build(),
         DatabaseBuilder::new("lt")
-            .relation("E", FnRelation::new("lt", 2, |t| t[0].value() < t[1].value()))
+            .relation(
+                "E",
+                FnRelation::new("lt", 2, |t| t[0].value() < t[1].value()),
+            )
             .build(),
         DatabaseBuilder::new("divides")
             .relation("E", FnRelation::divides())
@@ -87,7 +90,12 @@ pub fn infinite_db_zoo() -> Vec<Database> {
 pub fn hs_zoo() -> Vec<(&'static str, HsDatabase)> {
     recdb_hsdb::catalog()
         .into_iter()
-        .filter(|e| matches!(e.info.name, "clique" | "paper-example" | "cells-2inf" | "rado"))
+        .filter(|e| {
+            matches!(
+                e.info.name,
+                "clique" | "paper-example" | "cells-2inf" | "rado"
+            )
+        })
         .map(|e| (e.info.name, e.hs))
         .collect()
 }

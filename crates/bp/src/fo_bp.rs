@@ -142,10 +142,7 @@ mod tests {
         // source 1 (= node 2 of the arrow), sink 3.
         // Use representatives from the tree instead of guessing:
         let nodes = hs.t_n(1);
-        let with_out: Vec<bool> = nodes
-            .iter()
-            .map(|t| fo_member(&hs, &phi, t))
-            .collect();
+        let with_out: Vec<bool> = nodes.iter().map(|t| fo_member(&hs, &phi, t)).collect();
         assert_eq!(
             with_out.iter().filter(|&&b| b).count(),
             2,
@@ -195,8 +192,7 @@ mod tests {
         // oracle scans a wide window (neighbours of raw elements need
         // not be tree labels).
         let db = hs.database().clone();
-        let has_out =
-            move |t: &Tuple| (0..64).map(Elem).any(|y| db.query(0, &[t[0], y]));
+        let has_out = move |t: &Tuple| (0..64).map(Elem).any(|y| db.query(0, &[t[0], y]));
         let phi = express_hs_relation(&hs, 1, &has_out, 3).expect("expressible");
         for t in hs.t_n(1) {
             assert_eq!(fo_member(&hs, &phi, &t), has_out(&t), "at {t:?}");

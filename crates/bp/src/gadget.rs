@@ -10,9 +10,7 @@
 //! (the experiments' stand-in for recursive ones: any finite fragment
 //! of a recursive graph is reached this way).
 
-use recdb_core::{
-    Database, DatabaseBuilder, Elem, FiniteStructure, FnRelation, Tuple,
-};
+use recdb_core::{Database, DatabaseBuilder, Elem, FiniteStructure, FnRelation, Tuple};
 use recdb_logic::{ef_finite_pair, finite_as_db, EfGame};
 use std::collections::BTreeSet;
 use std::sync::Arc;
@@ -77,23 +75,17 @@ impl Gadget {
                 let (x, y) = (t[0], t[1]);
                 // Edges of G₁ / G₂ (encoded).
                 if in1(x) && in1(y) {
-                    let tx = Tuple::from(vec![
-                        Elem((x.value() - 3) / 2),
-                        Elem((y.value() - 3) / 2),
-                    ]);
+                    let tx =
+                        Tuple::from(vec![Elem((x.value() - 3) / 2), Elem((y.value() - 3) / 2)]);
                     return h1.contains(0, &tx);
                 }
                 if in2(x) && in2(y) {
-                    let tx = Tuple::from(vec![
-                        Elem((x.value() - 4) / 2),
-                        Elem((y.value() - 4) / 2),
-                    ]);
+                    let tx =
+                        Tuple::from(vec![Elem((x.value() - 4) / 2), Elem((y.value() - 4) / 2)]);
                     return h2.contains(0, &tx);
                 }
                 // The spine: (a,b), (a,c), b→D₁, c→D₂.
-                (x == A && (y == B || y == C))
-                    || (x == B && in1(y))
-                    || (x == C && in2(y))
+                (x == A && (y == B || y == C)) || (x == B && in1(y)) || (x == C && in2(y))
             })
         };
         let db = DatabaseBuilder::new("gadget")
@@ -119,11 +111,7 @@ impl Gadget {
     pub fn ef_separation_round(&self, max_r: usize) -> Option<usize> {
         let pool: Vec<Elem> = self.relevant_elements().into_iter().collect();
         let mut game = EfGame::new(&self.db, &self.db, pool.clone(), pool);
-        game.distinguishing_round(
-            &Tuple::from(vec![B]),
-            &Tuple::from(vec![C]),
-            max_r,
-        )
+        game.distinguishing_round(&Tuple::from(vec![B]), &Tuple::from(vec![C]), max_r)
     }
 
     /// The non-padding elements: `a, b, c` and both encoded vertex
@@ -200,19 +188,13 @@ impl BoundedOutputGadget {
         let r2 = FnRelation::new("R2", 2, move |t| {
             let (x, y) = (t[0], t[1]);
             if in1(x) && in1(y) {
-                let tx = Tuple::from(vec![
-                    Elem((x.value() - 4) / 2),
-                    Elem((y.value() - 4) / 2),
-                ]);
+                let tx = Tuple::from(vec![Elem((x.value() - 4) / 2), Elem((y.value() - 4) / 2)]);
                 return h1.universe().contains(&tx[0])
                     && h1.universe().contains(&tx[1])
                     && h1.contains(0, &tx);
             }
             if in2(x) && in2(y) {
-                let tx = Tuple::from(vec![
-                    Elem((x.value() - 5) / 2),
-                    Elem((y.value() - 5) / 2),
-                ]);
+                let tx = Tuple::from(vec![Elem((x.value() - 5) / 2), Elem((y.value() - 5) / 2)]);
                 return h2.universe().contains(&tx[0])
                     && h2.universe().contains(&tx[1])
                     && h2.contains(0, &tx);

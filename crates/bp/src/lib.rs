@@ -20,8 +20,8 @@ pub mod unary;
 
 pub use fo_bp::{express_hs_relation, fo_member, isolating_formula, quantifier_pool};
 pub use gadget::{
-    find_preservation_violation, fragment_as_db, graphs_ef_equivalent, BoundedOutputGadget,
-    Gadget, A, B, C,
+    find_preservation_violation, fragment_as_db, graphs_ef_equivalent, BoundedOutputGadget, Gadget,
+    A, B, C,
 };
 pub use unary::{
     express_unary_relation, find_disagreement, possible_class_count, realized_class_count,

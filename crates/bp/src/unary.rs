@@ -6,11 +6,9 @@
 //! expressible in `L⁻` (Theorem 6.2). Both directions are executable
 //! here.
 
-use recdb_core::{
-    enumerate_classes, locally_equivalent, AtomicType, Database, Elem, Tuple,
-};
-use recdb_logic::{formula_for_class, LMinusQuery};
+use recdb_core::{enumerate_classes, locally_equivalent, AtomicType, Database, Elem, Tuple};
 use recdb_logic::ast::Formula;
+use recdb_logic::{formula_for_class, LMinusQuery};
 
 /// Prop 6.1 as a decision procedure: on a **unary** database, tuple
 /// equivalence `≅_B` is exactly `≅ₗ`.
@@ -229,7 +227,10 @@ mod tests {
         let db = unary_db();
         let q_none = express_unary_relation(&db, 1, |_| false, &probe());
         let q_all = express_unary_relation(&db, 1, |_| true, &probe());
-        assert_eq!(find_disagreement(&db, &q_none, |_| false, 1, &probe()), None);
+        assert_eq!(
+            find_disagreement(&db, &q_none, |_| false, 1, &probe()),
+            None
+        );
         assert_eq!(find_disagreement(&db, &q_all, |_| true, 1, &probe()), None);
     }
 }

@@ -1,0 +1,85 @@
+//! CLI runner for the theorem ledger.
+//!
+//! ```text
+//! conformance [--seed N] [--filter SUBSTR] [--out PATH] [--list]
+//! ```
+//!
+//! Prints the ledger table to stdout, optionally writes the
+//! machine-readable `CONFORMANCE.json`, and exits non-zero if any
+//! check FAILs (SKIPPED is not a failure).
+
+use recdb_conformance::{checks, run_ledger, DEFAULT_SEED};
+use std::process::ExitCode;
+
+struct Args {
+    seed: u64,
+    filter: Option<String>,
+    out: Option<String>,
+    list: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        seed: DEFAULT_SEED,
+        filter: None,
+        out: None,
+        list: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs a value")?;
+                args.seed = parse_seed(&v)?;
+            }
+            "--filter" => args.filter = Some(it.next().ok_or("--filter needs a value")?),
+            "--out" => args.out = Some(it.next().ok_or("--out needs a path")?),
+            "--list" => args.list = true,
+            "--help" | "-h" => {
+                return Err("usage: conformance [--seed N] [--filter SUBSTR] \
+                            [--out PATH] [--list]"
+                    .into())
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+fn parse_seed(s: &str) -> Result<u64, String> {
+    let parsed = match s.strip_prefix("0x") {
+        Some(hex) => u64::from_str_radix(hex, 16),
+        None => s.parse(),
+    };
+    parsed.map_err(|_| format!("bad seed {s:?}"))
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    if args.list {
+        for def in checks::ledger() {
+            println!("{:<16} {:<24} {}", def.id, def.result, def.title);
+        }
+        return ExitCode::SUCCESS;
+    }
+    let report = run_ledger(args.seed, args.filter.as_deref());
+    print!("{}", report.render_table());
+    if let Some(path) = &args.out {
+        if let Err(e) = std::fs::write(path, report.to_json()) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::from(2);
+        }
+        eprintln!("wrote {path}");
+    }
+    if report.has_failures() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,35 @@
+//! Differential-oracle rows of the ledger: each check compares two
+//! independent implementations of the same semantic object.
+
+use crate::differential;
+use crate::ledger::CheckDef;
+
+/// The differential rows of the ledger.
+pub fn defs() -> Vec<CheckDef> {
+    vec![
+        CheckDef {
+            id: "DIFF-LMINUS-FO",
+            result: "Theorem 2.1 / §2 semantics",
+            title: "L⁻ oracle eval ≡ finite FO eval on restrictions",
+            run: differential::lminus_vs_finite_fo,
+        },
+        CheckDef {
+            id: "DIFF-QL-QLHS",
+            result: "Theorem 4.1 / §4-§5 semantics",
+            title: "FinInterp ≡ HsInterp on replicated components",
+            run: differential::fininterp_vs_hsinterp,
+        },
+        CheckDef {
+            id: "DIFF-PARTITION",
+            result: "Props 3.3–3.6 pipeline",
+            title: "bucketed partition ≡ pairwise O(t²) oracle",
+            run: differential::bucketed_vs_pairwise,
+        },
+        CheckDef {
+            id: "DIFF-EF-TREE",
+            result: "Prop 3.4 / Theorem 6.3",
+            title: "TreeGame ≡ pool-based EF game on tree nodes",
+            run: differential::tree_game_vs_ef_game,
+        },
+    ]
+}

@@ -1,0 +1,141 @@
+//! Metamorphic rows of the ledger: seeded input transformations with
+//! exactly known effect on the output.
+
+use crate::gen;
+use crate::ledger::{CheckCtx, CheckDef};
+use crate::metamorphic;
+use recdb_core::{
+    enumerate_classes, AtomicType, ClassUnionQuery, Database, DatabaseBuilder, FnRelation, Schema,
+};
+use recdb_hsdb::{catalog, deep_catalog};
+use recdb_logic::LMinusQuery;
+
+/// A seeded union of atomic classes over `schema` at `rank`.
+fn seeded_class_union(ctx: &mut CheckCtx, schema: &Schema, rank: usize) -> ClassUnionQuery {
+    let chosen: Vec<AtomicType> = enumerate_classes(schema, rank)
+        .into_iter()
+        .filter(|_| ctx.rng().gen_bool())
+        .collect();
+    ClassUnionQuery::new(schema.clone(), rank, chosen)
+}
+
+fn graph_queries(
+    ctx: &mut CheckCtx,
+    schema: &Schema,
+) -> Result<(LMinusQuery, LMinusQuery, ClassUnionQuery), String> {
+    let a = LMinusQuery::parse("{ (x, y) | E(x, y) & !E(y, x) }", schema)
+        .map_err(|e| format!("{e:?}"))?;
+    let b = LMinusQuery::parse("{ (x) | E(x, x) }", schema).map_err(|e| format!("{e:?}"))?;
+    let cu = seeded_class_union(ctx, schema, 2);
+    Ok((a, b, cu))
+}
+
+fn genericity(ctx: &mut CheckCtx) -> Result<(), String> {
+    let graph_schema = Schema::with_names(&["E"], &[2]);
+    // Family 1: seeded finite graph databases.
+    let db = gen::random_graph_db(ctx.rng(), "rand");
+    let (a, b, cu) = graph_queries(ctx, &graph_schema)?;
+    metamorphic::genericity_under_permutation(
+        ctx,
+        &db,
+        "random-graph",
+        &[
+            ("asymmetric-edge", &a),
+            ("loop", &b),
+            ("seeded-class-union", &cu),
+        ],
+    )?;
+    // Family 2: the infinite clique (the permutation is an
+    // automorphism of the window — answers must be invariant).
+    let clique = DatabaseBuilder::new("clique")
+        .relation("E", FnRelation::infinite_clique())
+        .build();
+    let (a, b, cu) = graph_queries(ctx, &graph_schema)?;
+    metamorphic::genericity_under_permutation(
+        ctx,
+        &clique,
+        "clique",
+        &[
+            ("asymmetric-edge", &a),
+            ("loop", &b),
+            ("seeded-class-union", &cu),
+        ],
+    )?;
+    // Family 3: the infinite line (structure-destroying permutations —
+    // the copy re-routes the oracle through π⁻¹, so answers follow).
+    let line = DatabaseBuilder::new("line")
+        .relation("E", FnRelation::infinite_line())
+        .build();
+    let (a, b, cu) = graph_queries(ctx, &graph_schema)?;
+    metamorphic::genericity_under_permutation(
+        ctx,
+        &line,
+        "line",
+        &[
+            ("asymmetric-edge", &a),
+            ("loop", &b),
+            ("seeded-class-union", &cu),
+        ],
+    )?;
+    // Family 4: a seeded fcf-r-db viewed as a plain database.
+    let fcf_db: Database = gen::random_fcf(ctx.rng(), "fcf").as_database();
+    let cu1 = seeded_class_union(ctx, fcf_db.schema(), 1);
+    let cu2 = seeded_class_union(ctx, fcf_db.schema(), 2);
+    metamorphic::genericity_under_permutation(
+        ctx,
+        &fcf_db,
+        "fcf-random",
+        &[("rank-1 union", &cu1), ("rank-2 union", &cu2)],
+    )?;
+    Ok(())
+}
+
+fn rank_mono(ctx: &mut CheckCtx) -> Result<(), String> {
+    for entry in catalog() {
+        let bounded = entry.info.practical_depth <= 3;
+        let n = if bounded {
+            1
+        } else {
+            1 + ctx.rng().gen_usize(2) // seeded n ∈ {1, 2}
+        };
+        let max_r = if bounded { 1 } else { 2 };
+        metamorphic::rank_monotonicity(ctx, &entry.hs, entry.info.name, n, max_r)?;
+    }
+    Ok(())
+}
+
+fn p37(ctx: &mut CheckCtx) -> Result<(), String> {
+    for entry in deep_catalog() {
+        // Always the base point, plus a seeded (n, r) within the
+        // practical grid n ∈ {1,2}, r ∈ {0,1}.
+        metamorphic::p37_identity(ctx, &entry.hs, entry.info.name, 1, 0)?;
+        let n = 1 + ctx.rng().gen_usize(2);
+        let r = ctx.rng().gen_usize(2);
+        metamorphic::p37_identity(ctx, &entry.hs, entry.info.name, n, r)?;
+    }
+    Ok(())
+}
+
+/// The metamorphic rows of the ledger.
+pub fn defs() -> Vec<CheckDef> {
+    vec![
+        CheckDef {
+            id: "META-GENERICITY",
+            result: "Def 2.5 / Prop 2.4",
+            title: "query answers invariant under seeded domain permutations",
+            run: genericity,
+        },
+        CheckDef {
+            id: "META-RANK-MONO",
+            result: "Props 3.5, 3.6",
+            title: "Vⁿᵣ block counts weakly increase and stay ≤ |Tⁿ|",
+            run: rank_mono,
+        },
+        CheckDef {
+            id: "META-P3.7",
+            result: "Prop 3.7",
+            title: "Vⁿ⁺¹ᵣ↓ = Vⁿᵣ₊₁ at seeded (n, r) on every deep family",
+            run: p37,
+        },
+    ]
+}

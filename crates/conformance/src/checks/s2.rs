@@ -1,0 +1,231 @@
+//! §2 ledger checks: the computable-query characterization.
+//!
+//! T2.1 — machine queries, class unions, and `L⁻` all define the same
+//! computable r-queries. P2.2 — local equivalence is atomic-type
+//! equality. P2.4/2.5 — computable queries are finite class unions,
+//! and the `∃`-counterexample is not one.
+
+use crate::gen::{self, WINDOW};
+use crate::ledger::{CheckCtx, CheckDef};
+use recdb_core::genericity::ExistsOtherNeighborQuery;
+use recdb_core::{
+    enumerate_classes, iso_pairs, locally_equivalent, locally_isomorphic, AtomicType,
+    ClassUnionQuery, Database, DatabaseBuilder, FiniteRelation, FnRelation, QueryOutcome, RQuery,
+    Schema, Tuple,
+};
+use recdb_logic::LMinusQuery;
+use recdb_turing::{Asm, Instr, MachineQuery};
+
+fn graph_schema() -> Schema {
+    Schema::with_names(&["E"], &[2])
+}
+
+fn fixed_dbs() -> Vec<Database> {
+    vec![
+        DatabaseBuilder::new("clique")
+            .relation("E", FnRelation::infinite_clique())
+            .build(),
+        DatabaseBuilder::new("line")
+            .relation("E", FnRelation::infinite_line())
+            .build(),
+        DatabaseBuilder::new("lt")
+            .relation(
+                "E",
+                FnRelation::new("lt", 2, |t| t[0].value() < t[1].value()),
+            )
+            .build(),
+    ]
+}
+
+/// Accept `(x,y)` iff `E(x,y) ∧ ¬E(y,x)` — an oracle counter program.
+fn asymmetric_edge_machine() -> MachineQuery {
+    let p = Asm::new()
+        .oracle(0, vec![0, 1], "fwd", "no")
+        .label("fwd")
+        .oracle(0, vec![1, 0], "no", "yes")
+        .label("yes")
+        .instr(Instr::Halt(true))
+        .label("no")
+        .instr(Instr::Halt(false))
+        .assemble();
+    MachineQuery::counter(p, 2, 10_000)
+}
+
+/// Compiles a locally generic oracle query to class-union normal form
+/// by evaluating it on class witnesses (Prop 2.4 → Theorem 2.1).
+fn normal_form(q: &dyn RQuery, schema: &Schema, rank: usize) -> ClassUnionQuery {
+    let classes: Vec<AtomicType> = enumerate_classes(schema, rank)
+        .into_iter()
+        .filter(|ty| {
+            let (db, u) = ty.witness(schema);
+            q.contains(&db, &u) == QueryOutcome::Defined(true)
+        })
+        .collect();
+    ClassUnionQuery::new(schema.clone(), rank, classes)
+}
+
+fn t2_1(ctx: &mut CheckCtx) -> Result<(), String> {
+    let schema = graph_schema();
+    let mut dbs = fixed_dbs();
+    for round in 0..2 {
+        dbs.push(gen::random_graph_db(ctx.rng(), &format!("rand-{round}")));
+    }
+    // Machine → class union → L⁻: all three agree everywhere probed.
+    let machine = asymmetric_edge_machine();
+    let nf = normal_form(&machine, &schema, 2);
+    let synthesized = LMinusQuery::from_class_union(&nf);
+    for db in &dbs {
+        ctx.family(db.name());
+        for t in gen::random_tuples(ctx.rng(), 8, 2, WINDOW) {
+            let via_machine = machine.contains(db, &t);
+            let via_lminus = synthesized.eval(db, &t);
+            if via_machine != via_lminus {
+                return Err(format!(
+                    "machine {via_machine:?} vs synthesized L⁻ {via_lminus:?} \
+                     at {}@{t:?}",
+                    db.name()
+                ));
+            }
+        }
+    }
+    // L⁻ → class union → L⁻ is the identity on answers.
+    let sources = [
+        "{ (x, y) | E(x, y) & !E(y, x) }",
+        "{ (x, y) | (E(x, y) | E(y, x)) & x != y }",
+        "{ (x) | E(x, x) }",
+    ];
+    for src in sources {
+        let q = LMinusQuery::parse(src, &schema).map_err(|e| format!("{src}: {e:?}"))?;
+        let round = LMinusQuery::from_class_union(&q.to_class_union());
+        let rank = q.rank().ok_or_else(|| format!("{src}: undefined"))?;
+        for db in &dbs {
+            for t in gen::random_tuples(ctx.rng(), 6, rank, WINDOW) {
+                if q.eval(db, &t) != round.eval(db, &t) {
+                    return Err(format!(
+                        "L⁻ round trip diverges for {src} at {}@{t:?}",
+                        db.name()
+                    ));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn p2_2(ctx: &mut CheckCtx) -> Result<(), String> {
+    let mut dbs = fixed_dbs();
+    for round in 0..2 {
+        dbs.push(gen::random_graph_db(ctx.rng(), &format!("rand-{round}")));
+    }
+    for db in &dbs {
+        ctx.family(db.name());
+        for rank in 1..=2usize {
+            for _ in 0..12 {
+                let u = gen::random_tuple(ctx.rng(), rank, WINDOW);
+                let v = gen::random_tuple(ctx.rng(), rank, WINDOW);
+                let via_local = locally_equivalent(db, &u, &v);
+                let via_type = AtomicType::of(db, &u) == AtomicType::of(db, &v);
+                if via_local != via_type {
+                    return Err(format!(
+                        "≅ₗ ({via_local}) vs atomic-type equality ({via_type}) \
+                         at {}:{u:?}/{v:?}",
+                        db.name()
+                    ));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn p2_4_5(ctx: &mut CheckCtx) -> Result<(), String> {
+    let schema = graph_schema();
+    // A seeded class union answers identically across every structured
+    // iso-pair (one pair per rank-2 class), and so does its
+    // synthesized L⁻ form.
+    let all = enumerate_classes(&schema, 2);
+    let chosen: Vec<AtomicType> = all
+        .iter()
+        .filter(|_| ctx.rng().gen_bool())
+        .cloned()
+        .collect();
+    let cu = ClassUnionQuery::new(schema.clone(), 2, chosen);
+    let synth = LMinusQuery::from_class_union(&cu);
+    ctx.family("iso-pairs");
+    for p in iso_pairs(&schema, 2, 1) {
+        let (ldb, lt) = &p.left;
+        let (rdb, rt) = &p.right;
+        if cu.contains(ldb, lt) != cu.contains(rdb, rt) {
+            return Err(format!(
+                "class union not generic across the iso-pair for {:?}",
+                p.class
+            ));
+        }
+        if cu.contains(ldb, lt) != synth.eval(ldb, lt) {
+            return Err(format!("synthesized L⁻ deviates at {lt:?}"));
+        }
+    }
+    // The paper's ∃-counterexample: generic but not locally generic —
+    // no rank-1 class union captures it (Prop 2.5's boundary).
+    ctx.family("paper-R1R2");
+    let q = ExistsOtherNeighborQuery { search_bound: 64 };
+    let r1 = DatabaseBuilder::new("R1")
+        .relation("E", FiniteRelation::edges([(1, 1), (1, 2)]))
+        .build();
+    let r2 = DatabaseBuilder::new("R2")
+        .relation("E", FiniteRelation::edges([(3, 3)]))
+        .build();
+    let u = Tuple::from_values([1]);
+    let v = Tuple::from_values([3]);
+    if !locally_isomorphic(&r1, &u, &r2, &v) {
+        return Err("R1/(1) and R2/(3) should be locally isomorphic".into());
+    }
+    if q.contains(&r1, &u) == q.contains(&r2, &v) {
+        return Err("∃-query should separate the locally isomorphic pair".into());
+    }
+    let rank1 = enumerate_classes(&schema, 1);
+    if rank1.len() > 6 {
+        return Err(format!("unexpected rank-1 class count {}", rank1.len()));
+    }
+    for mask in 0u32..(1 << rank1.len()) {
+        let subset: Vec<AtomicType> = rank1
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| (mask >> i) & 1 == 1)
+            .map(|(_, c)| c.clone())
+            .collect();
+        let candidate = ClassUnionQuery::new(schema.clone(), 1, subset);
+        let agree_both = candidate.contains(&r1, &u) == q.contains(&r1, &u)
+            && candidate.contains(&r2, &v) == q.contains(&r2, &v);
+        if agree_both {
+            return Err(format!(
+                "class-union mask {mask:#b} captured the non-locally-generic ∃-query"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// The §2 rows of the ledger.
+pub fn defs() -> Vec<CheckDef> {
+    vec![
+        CheckDef {
+            id: "T2.1",
+            result: "Theorem 2.1",
+            title: "machine, class-union, and L⁻ queries coincide",
+            run: t2_1,
+        },
+        CheckDef {
+            id: "P2.2",
+            result: "Prop 2.2",
+            title: "local equivalence is atomic-type equality",
+            run: p2_2,
+        },
+        CheckDef {
+            id: "P2.4-2.5",
+            result: "Props 2.4, 2.5",
+            title: "computable queries are finite class unions; ∃-query is not",
+            run: p2_4_5,
+        },
+    ]
+}

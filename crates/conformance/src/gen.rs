@@ -1,0 +1,187 @@
+//! Seeded generators for the metamorphic and differential engines.
+//!
+//! Everything here is a pure function of the [`SplitMix64`] stream it
+//! is handed, so a ledger check's inputs are reproducible from the
+//! `(master seed, check id)` pair alone.
+
+use crate::rng::SplitMix64;
+use recdb_core::{
+    CoFiniteRelation, Database, DatabaseBuilder, Elem, FiniteRelation, FiniteStructure, Tuple,
+};
+use recdb_hsdb::{FcfDatabase, FcfRel};
+
+/// Element window the random structures draw from (`0..WINDOW`).
+pub const WINDOW: u64 = 8;
+
+/// A random finite graph database (schema `E : 2`) over `0..WINDOW`,
+/// with edge density ≈ 1/3.
+pub fn random_graph_db(rng: &mut SplitMix64, name: &str) -> Database {
+    let mut edges = Vec::new();
+    for x in 0..WINDOW {
+        for y in 0..WINDOW {
+            if rng.gen_usize(3) == 0 {
+                edges.push((x, y));
+            }
+        }
+    }
+    DatabaseBuilder::new(name)
+        .relation("E", FiniteRelation::edges(edges))
+        .build()
+}
+
+/// A random *weakly connected* finite graph, as a
+/// [`FiniteStructure`], over a universe of `size` nodes.
+///
+/// Connectivity comes from a seeded spanning link for every node
+/// (each `x ≥ 1` gets an edge to some earlier node, in a random
+/// direction); [`recdb_hsdb::ComponentGraph`] requires it.
+pub fn random_finite_graph(rng: &mut SplitMix64, size: u64) -> FiniteStructure {
+    let mut edges = Vec::new();
+    for x in 1..size {
+        let anchor = rng.gen_range(0, x);
+        if rng.gen_bool() {
+            edges.push((anchor, x));
+        } else {
+            edges.push((x, anchor));
+        }
+    }
+    for x in 0..size {
+        for y in 0..size {
+            if rng.gen_usize(3) == 0 {
+                edges.push((x, y));
+            }
+        }
+    }
+    edges.sort_unstable();
+    edges.dedup();
+    FiniteStructure::graph(0..size, edges)
+}
+
+/// A random fcf-r-db (§4): one finite unary relation and one co-finite
+/// binary relation with a few exceptional tuples, all over `0..WINDOW`.
+pub fn random_fcf(rng: &mut SplitMix64, name: &str) -> FcfDatabase {
+    let unary: Vec<u64> = (0..WINDOW).filter(|_| rng.gen_bool()).collect();
+    let mut exceptions = Vec::new();
+    for _ in 0..rng.gen_range(1, 5) {
+        exceptions.push(Tuple::from_values([
+            rng.gen_range(0, WINDOW),
+            rng.gen_range(0, WINDOW),
+        ]));
+    }
+    FcfDatabase::new(
+        name,
+        vec![
+            FcfRel::Finite(FiniteRelation::unary(unary)),
+            FcfRel::CoFinite(CoFiniteRelation::new(2, exceptions)),
+        ],
+    )
+}
+
+/// A random tuple of the given rank over `0..window`.
+pub fn random_tuple(rng: &mut SplitMix64, rank: usize, window: u64) -> Tuple {
+    (0..rank).map(|_| Elem(rng.gen_range(0, window))).collect()
+}
+
+/// A batch of `count` random tuples of rank `rank` over `0..window`.
+pub fn random_tuples(rng: &mut SplitMix64, count: usize, rank: usize, window: u64) -> Vec<Tuple> {
+    (0..count)
+        .map(|_| random_tuple(rng, rank, window))
+        .collect()
+}
+
+/// A random permutation of `0..window`, with its inverse.
+///
+/// The pair `(forward, inverse)` maps elements inside the window and
+/// is extended by the identity outside it (see [`Permutation::apply`]).
+pub struct Permutation {
+    forward: Vec<u64>,
+    inverse: Vec<u64>,
+}
+
+impl Permutation {
+    /// A uniformly random permutation of `0..window`.
+    pub fn random(rng: &mut SplitMix64, window: u64) -> Self {
+        let mut forward: Vec<u64> = (0..window).collect();
+        rng.shuffle(&mut forward);
+        let mut inverse = vec![0u64; window as usize];
+        for (i, &f) in forward.iter().enumerate() {
+            inverse[f as usize] = i as u64;
+        }
+        Permutation { forward, inverse }
+    }
+
+    /// `π(e)` — identity outside the window.
+    pub fn apply(&self, e: Elem) -> Elem {
+        match self.forward.get(e.value() as usize) {
+            Some(&f) => Elem(f),
+            None => e,
+        }
+    }
+
+    /// `π⁻¹(e)` — identity outside the window.
+    pub fn apply_inv(&self, e: Elem) -> Elem {
+        match self.inverse.get(e.value() as usize) {
+            Some(&i) => Elem(i),
+            None => e,
+        }
+    }
+
+    /// `π` applied elementwise to a tuple.
+    pub fn apply_tuple(&self, t: &Tuple) -> Tuple {
+        t.map(|e| self.apply(e))
+    }
+
+    /// The inverse as an owned closure, in the shape
+    /// [`Database::isomorphic_copy`] wants (`f_inv`).
+    pub fn inv_fn(&self) -> impl Fn(Elem) -> Elem + Send + Sync + Clone + 'static {
+        let inverse = self.inverse.clone();
+        move |e: Elem| match inverse.get(e.value() as usize) {
+            Some(&i) => Elem(i),
+            None => e,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn permutation_inverts() {
+        let mut rng = SplitMix64::seed_from_u64(3);
+        let p = Permutation::random(&mut rng, 10);
+        for v in 0..10 {
+            assert_eq!(p.apply_inv(p.apply(Elem(v))), Elem(v));
+        }
+        // Identity outside the window.
+        assert_eq!(p.apply(Elem(99)), Elem(99));
+        assert_eq!(p.apply_inv(Elem(99)), Elem(99));
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        let mut a = SplitMix64::seed_from_u64(5);
+        let mut b = SplitMix64::seed_from_u64(5);
+        let da = random_graph_db(&mut a, "a");
+        let dbb = random_graph_db(&mut b, "b");
+        for x in 0..WINDOW {
+            for y in 0..WINDOW {
+                let t = [Elem(x), Elem(y)];
+                assert_eq!(da.query(0, &t), dbb.query(0, &t));
+            }
+        }
+        assert_eq!(
+            random_tuples(&mut a, 4, 2, WINDOW),
+            random_tuples(&mut b, 4, 2, WINDOW)
+        );
+    }
+
+    #[test]
+    fn fcf_generator_shapes() {
+        let mut rng = SplitMix64::seed_from_u64(11);
+        let fcf = random_fcf(&mut rng, "f");
+        assert_eq!(fcf.relations().len(), 2);
+        assert!(matches!(fcf.relations()[0], FcfRel::Finite(_)));
+        assert!(matches!(fcf.relations()[1], FcfRel::CoFinite(_)));
+    }
+}

@@ -1,0 +1,61 @@
+//! A minimal JSON writer — enough for `CONFORMANCE.json`, no external
+//! crates (offline builds cannot fetch serde).
+
+use std::fmt::Write as _;
+
+/// Escapes a string per RFC 8259.
+pub fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A `"key": "value"` pair with an escaped string value.
+pub fn kv_str(key: &str, value: &str) -> String {
+    format!("\"{}\": \"{}\"", esc(key), esc(value))
+}
+
+/// A `"key": value` pair with a raw (number/bool/array) value.
+pub fn kv_raw(key: &str, value: impl std::fmt::Display) -> String {
+    format!("\"{}\": {}", esc(key), value)
+}
+
+/// A JSON array of escaped strings.
+pub fn str_array(items: &[String]) -> String {
+    let inner: Vec<String> = items.iter().map(|s| format!("\"{}\"", esc(s))).collect();
+    format!("[{}]", inner.join(", "))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_specials() {
+        assert_eq!(esc("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(esc("Vⁿᵣ"), "Vⁿᵣ");
+        assert_eq!(esc("\u{01}"), "\\u0001");
+    }
+
+    #[test]
+    fn builds_pairs_and_arrays() {
+        assert_eq!(kv_str("id", "T2.1"), "\"id\": \"T2.1\"");
+        assert_eq!(kv_raw("seed", 7), "\"seed\": 7");
+        assert_eq!(
+            str_array(&["a".into(), "b\"c".into()]),
+            "[\"a\", \"b\\\"c\"]"
+        );
+    }
+}

@@ -1,0 +1,333 @@
+//! The theorem ledger: one registered, executable check per paper
+//! result (DESIGN.md §1), reporting PASS / FAIL / SKIPPED with the
+//! database families and seed each check ran on.
+//!
+//! The ledger is *data-driven*: [`crate::checks::ledger`] returns the
+//! registry, this module runs it and renders reports. Every later
+//! refactor (sharding, caching, async, new backends) must leave the
+//! ledger green — it is the executable form of the paper's results
+//! table.
+
+use crate::json::{kv_raw, kv_str, str_array};
+use crate::rng::{fnv1a, SplitMix64};
+use std::collections::BTreeSet;
+use std::time::{Duration, Instant};
+
+/// The verdict of one ledger check.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CheckStatus {
+    /// The result's executable content held on every probed input.
+    Pass,
+    /// A counterexample or internal error, with the evidence.
+    Fail(String),
+    /// The check could not run in this configuration (with the
+    /// reason); skips are reported, never silent.
+    Skipped(String),
+}
+
+impl CheckStatus {
+    /// Short uppercase tag for tables and JSON.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            CheckStatus::Pass => "PASS",
+            CheckStatus::Fail(_) => "FAIL",
+            CheckStatus::Skipped(_) => "SKIPPED",
+        }
+    }
+
+    /// The attached message, if any.
+    pub fn message(&self) -> &str {
+        match self {
+            CheckStatus::Pass => "",
+            CheckStatus::Fail(m) | CheckStatus::Skipped(m) => m,
+        }
+    }
+}
+
+/// Execution context handed to each check: a per-check RNG stream and
+/// a coverage recorder for the database families exercised.
+pub struct CheckCtx {
+    /// The seed of this check's RNG stream (derived from the master
+    /// seed and the check id — stable under ledger reordering).
+    pub seed: u64,
+    rng: SplitMix64,
+    families: BTreeSet<String>,
+}
+
+impl CheckCtx {
+    /// A context for `check_id` under `master_seed`.
+    pub fn new(master_seed: u64, check_id: &str) -> Self {
+        let seed = {
+            // One extra mixing round so master/check contributions
+            // interact beyond xor.
+            let mut s = SplitMix64::seed_from_u64(master_seed ^ fnv1a(check_id));
+            s.next_u64()
+        };
+        CheckCtx {
+            seed,
+            rng: SplitMix64::seed_from_u64(seed),
+            families: BTreeSet::new(),
+        }
+    }
+
+    /// The check's deterministic RNG stream.
+    pub fn rng(&mut self) -> &mut SplitMix64 {
+        &mut self.rng
+    }
+
+    /// Records that the check exercised a database family.
+    pub fn family(&mut self, name: &str) {
+        self.families.insert(name.to_string());
+    }
+
+    /// The families recorded so far (sorted, deduplicated).
+    pub fn families(&self) -> Vec<String> {
+        self.families.iter().cloned().collect()
+    }
+}
+
+/// One registered check: a paper-result row made executable.
+pub struct CheckDef {
+    /// Stable ledger id (e.g. `"T2.1"`, `"DIFF-PARTITION"`).
+    pub id: &'static str,
+    /// The DESIGN.md §1 result row(s) this check pins.
+    pub result: &'static str,
+    /// One-line statement of what is being verified.
+    pub title: &'static str,
+    /// The check body. `Ok(())` is PASS; `Err(msg)` is FAIL with
+    /// evidence; checks that cannot run in this configuration return
+    /// an `Err` prefixed with [`SKIP_PREFIX`] and report SKIPPED.
+    pub run: fn(&mut CheckCtx) -> Result<(), String>,
+}
+
+/// Prefix a check body's `Err` with this to report SKIPPED instead of
+/// FAIL (e.g. a family whose tree depth cannot support the probe).
+pub const SKIP_PREFIX: &str = "SKIP:";
+
+/// The outcome of running one check.
+#[derive(Clone, Debug)]
+pub struct CheckOutcome {
+    /// Ledger id.
+    pub id: String,
+    /// Paper result row(s).
+    pub result: String,
+    /// One-line statement.
+    pub title: String,
+    /// Database families the check exercised.
+    pub families: Vec<String>,
+    /// The per-check RNG seed actually used.
+    pub seed: u64,
+    /// Verdict.
+    pub status: CheckStatus,
+    /// Wall-clock duration.
+    pub duration: Duration,
+}
+
+/// A full ledger run.
+#[derive(Clone, Debug)]
+pub struct LedgerReport {
+    /// The master seed the run derived all check streams from.
+    pub master_seed: u64,
+    /// Whether the `parallel` feature (threaded refinement pipeline)
+    /// was active.
+    pub parallel: bool,
+    /// Per-check outcomes, in registry order.
+    pub outcomes: Vec<CheckOutcome>,
+}
+
+/// Runs one check, timing it and catching its verdict. Panics inside a
+/// check body (e.g. a failed `assert!` deep in library code) are
+/// caught and reported as FAIL, so one broken check cannot take down
+/// the rest of the ledger.
+pub fn run_check(def: &CheckDef, master_seed: u64) -> CheckOutcome {
+    let mut ctx = CheckCtx::new(master_seed, def.id);
+    let start = Instant::now();
+    let run = def.run;
+    let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run(&mut ctx)));
+    let status = match caught {
+        Ok(Ok(())) => CheckStatus::Pass,
+        Ok(Err(msg)) => match msg.strip_prefix(SKIP_PREFIX) {
+            Some(reason) => CheckStatus::Skipped(reason.trim().to_string()),
+            None => CheckStatus::Fail(msg),
+        },
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            CheckStatus::Fail(format!("panicked: {msg}"))
+        }
+    };
+    CheckOutcome {
+        id: def.id.to_string(),
+        result: def.result.to_string(),
+        title: def.title.to_string(),
+        families: ctx.families(),
+        seed: ctx.seed,
+        status,
+        duration: start.elapsed(),
+    }
+}
+
+/// Runs the whole registry (optionally filtered by substring of the
+/// check id) under `master_seed`.
+pub fn run_ledger(master_seed: u64, filter: Option<&str>) -> LedgerReport {
+    let outcomes = crate::checks::ledger()
+        .into_iter()
+        .filter(|def| filter.is_none_or(|f| def.id.contains(f)))
+        .map(|def| run_check(&def, master_seed))
+        .collect();
+    LedgerReport {
+        master_seed,
+        parallel: cfg!(feature = "parallel"),
+        outcomes,
+    }
+}
+
+impl LedgerReport {
+    /// `(pass, fail, skipped)` counts.
+    pub fn counts(&self) -> (usize, usize, usize) {
+        let mut c = (0, 0, 0);
+        for o in &self.outcomes {
+            match o.status {
+                CheckStatus::Pass => c.0 += 1,
+                CheckStatus::Fail(_) => c.1 += 1,
+                CheckStatus::Skipped(_) => c.2 += 1,
+            }
+        }
+        c
+    }
+
+    /// Did any check fail?
+    pub fn has_failures(&self) -> bool {
+        self.counts().1 > 0
+    }
+
+    /// Plain-text table for terminals and CI logs.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "theorem ledger — seed {:#x}, parallel={}\n",
+            self.master_seed, self.parallel
+        ));
+        out.push_str(&format!(
+            "{:<16} {:<10} {:>8} {:>9}  {:<28} {}\n",
+            "check", "status", "ms", "seed", "families", "title"
+        ));
+        for o in &self.outcomes {
+            out.push_str(&format!(
+                "{:<16} {:<10} {:>8} {:>9.9}  {:<28} {}\n",
+                o.id,
+                o.status.tag(),
+                o.duration.as_millis(),
+                format!("{:x}", o.seed),
+                o.families.join(","),
+                o.title
+            ));
+            if !o.status.message().is_empty() {
+                out.push_str(&format!("    {}\n", o.status.message()));
+            }
+        }
+        let (p, f, s) = self.counts();
+        out.push_str(&format!("{p} passed, {f} failed, {s} skipped\n"));
+        out
+    }
+
+    /// The machine-readable `CONFORMANCE.json` document (schema
+    /// `CONFORMANCE/v1`), diffable across PRs and across
+    /// serial/parallel runs.
+    pub fn to_json(&self) -> String {
+        let mut checks = Vec::with_capacity(self.outcomes.len());
+        for o in &self.outcomes {
+            checks.push(format!(
+                "    {{{}, {}, {}, {}, {}, {}, {}, {}}}",
+                kv_str("id", &o.id),
+                kv_str("result", &o.result),
+                kv_str("title", &o.title),
+                kv_raw("families", str_array(&o.families)),
+                kv_str("status", o.status.tag()),
+                kv_str("message", o.status.message()),
+                kv_raw("seed", o.seed),
+                kv_raw("duration_ms", o.duration.as_millis()),
+            ));
+        }
+        format!(
+            "{{\n  {},\n  {},\n  {},\n  \"checks\": [\n{}\n  ]\n}}\n",
+            kv_str("schema", "CONFORMANCE/v1"),
+            kv_raw("seed", self.master_seed),
+            kv_raw("parallel", self.parallel),
+            checks.join(",\n")
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn passing(_: &mut CheckCtx) -> Result<(), String> {
+        Ok(())
+    }
+    fn failing(_: &mut CheckCtx) -> Result<(), String> {
+        Err("boom".into())
+    }
+    fn skipping(_: &mut CheckCtx) -> Result<(), String> {
+        Err(format!("{SKIP_PREFIX} not available here"))
+    }
+
+    #[test]
+    fn statuses_map_correctly() {
+        for (run, tag) in [
+            (passing as fn(&mut CheckCtx) -> Result<(), String>, "PASS"),
+            (failing, "FAIL"),
+            (skipping, "SKIPPED"),
+        ] {
+            let def = CheckDef {
+                id: "X",
+                result: "X",
+                title: "t",
+                run,
+            };
+            assert_eq!(run_check(&def, 0).status.tag(), tag);
+        }
+    }
+
+    #[test]
+    fn check_seed_is_stable_and_id_dependent() {
+        let a = CheckCtx::new(1, "T2.1");
+        let b = CheckCtx::new(1, "T2.1");
+        let c = CheckCtx::new(1, "P2.2");
+        assert_eq!(a.seed, b.seed);
+        assert_ne!(a.seed, c.seed);
+    }
+
+    #[test]
+    fn json_shape_is_well_formed_enough() {
+        let def = CheckDef {
+            id: "X",
+            result: "X",
+            title: "quote \" here",
+            run: passing,
+        };
+        let report = LedgerReport {
+            master_seed: 7,
+            parallel: false,
+            outcomes: vec![run_check(&def, 7)],
+        };
+        let j = report.to_json();
+        assert!(j.contains("\"schema\": \"CONFORMANCE/v1\""));
+        assert!(j.contains("\"status\": \"PASS\""));
+        assert!(j.contains("quote \\\" here"));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+    }
+
+    #[test]
+    fn family_recording_dedups_and_sorts() {
+        let mut ctx = CheckCtx::new(0, "X");
+        ctx.family("b");
+        ctx.family("a");
+        ctx.family("b");
+        assert_eq!(ctx.families(), vec!["a".to_string(), "b".to_string()]);
+    }
+}

@@ -1,0 +1,109 @@
+//! Seeded metamorphic properties: transform an input in a way whose
+//! effect on the output is known exactly, then check the
+//! implementation honors it.
+//!
+//! Three properties from the paper's invariant inventory:
+//!
+//! * **genericity** (Def 2.5) — permuting the domain and the probe
+//!   tuple together must not change any computable query's answer;
+//! * **rank monotonicity** (Prop 3.5/3.6) — `Vⁿᵣ` block counts weakly
+//!   increase in `r` and stabilize at the all-singleton partition;
+//! * **the P3.7 identity** — `Vⁿ⁺¹ᵣ↓ = Vⁿᵣ₊₁`, checked directly
+//!   against `v_n_r`'s output (not against a reimplementation).
+
+use crate::differential::norm;
+use crate::gen::{self, Permutation, WINDOW};
+use crate::ledger::CheckCtx;
+use recdb_core::{Database, RQuery, Tuple};
+use recdb_hsdb::{find_r0, project_partition, v_n_r, HsDatabase};
+
+/// Checks every query in `queries` for genericity under a seeded
+/// domain permutation of `db`: `u ∈ Q(B)` iff `π(u) ∈ Q(π(B))`.
+pub fn genericity_under_permutation(
+    ctx: &mut CheckCtx,
+    db: &Database,
+    family: &str,
+    queries: &[(&str, &dyn RQuery)],
+) -> Result<(), String> {
+    ctx.family(family);
+    for round in 0..3 {
+        let perm = Permutation::random(ctx.rng(), WINDOW);
+        let db_pi = db.isomorphic_copy(format!("{}-perm{round}", db.name()), perm.inv_fn());
+        for (label, q) in queries {
+            let rank = q.output_rank().unwrap_or(1);
+            for t in gen::random_tuples(ctx.rng(), 8, rank, WINDOW) {
+                let plain = q.contains(db, &t);
+                let permuted = q.contains(&db_pi, &perm.apply_tuple(&t));
+                if plain != permuted {
+                    return Err(format!(
+                        "{label} on {family} is not generic: {plain:?} at {t:?} \
+                         but {permuted:?} at π({t:?}) in the permuted copy"
+                    ));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// `Vⁿᵣ` rank monotonicity on one family: block counts along
+/// `r = 0..` weakly increase, never exceed `|Tⁿ|`, and — when an `r₀`
+/// exists within the budget — end in the all-singleton partition.
+pub fn rank_monotonicity(
+    ctx: &mut CheckCtx,
+    hs: &HsDatabase,
+    family: &str,
+    n: usize,
+    max_r: usize,
+) -> Result<(), String> {
+    ctx.family(family);
+    let (r0, counts) = find_r0(hs, n, max_r).map_err(|e| format!("{family} n={n}: {e}"))?;
+    let ceiling = hs.t_n(n).len();
+    for w in counts.windows(2) {
+        if w[0] > w[1] {
+            return Err(format!(
+                "{family} n={n}: refinement not monotone, counts {counts:?}"
+            ));
+        }
+    }
+    if let Some(&last) = counts.last() {
+        if last > ceiling {
+            return Err(format!(
+                "{family} n={n}: {last} blocks exceed |Tⁿ| = {ceiling}"
+            ));
+        }
+    }
+    if let Some(r0) = r0 {
+        if counts[r0] != ceiling {
+            return Err(format!(
+                "{family} n={n}: r₀={r0} claimed but {} blocks ≠ |Tⁿ| = {ceiling}",
+                counts[r0]
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// The P3.7 identity on one family at one `(n, r)`:
+/// `project(Vⁿ⁺¹ᵣ) = Vⁿᵣ₊₁`, both sides straight from the production
+/// pipeline.
+pub fn p37_identity(
+    ctx: &mut CheckCtx,
+    hs: &HsDatabase,
+    family: &str,
+    n: usize,
+    r: usize,
+) -> Result<(), String> {
+    ctx.family(family);
+    let finer = v_n_r(hs, n + 1, r).map_err(|e| format!("{family} Vⁿ⁺¹ᵣ: {e}"))?;
+    let level_n: Vec<Tuple> = hs.t_n(n);
+    let projected =
+        project_partition(hs, &level_n, &finer).map_err(|e| format!("{family} ↓ step: {e}"))?;
+    let direct = v_n_r(hs, n, r + 1).map_err(|e| format!("{family} Vⁿᵣ₊₁: {e}"))?;
+    if norm(projected) != norm(direct) {
+        return Err(format!(
+            "P3.7 identity fails on {family}: Vⁿ⁺¹ᵣ↓ ≠ Vⁿᵣ₊₁ at n={n}, r={r}"
+        ));
+    }
+    Ok(())
+}

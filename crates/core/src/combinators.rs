@@ -60,7 +60,11 @@ pub fn union(left: RelationRef, right: RelationRef) -> UnionRelation {
 /// # Panics
 /// Panics on arity mismatch.
 pub fn intersect(left: RelationRef, right: RelationRef) -> IntersectRelation {
-    assert_eq!(left.arity(), right.arity(), "intersection needs equal arities");
+    assert_eq!(
+        left.arity(),
+        right.arity(),
+        "intersection needs equal arities"
+    );
     IntersectRelation { left, right }
 }
 

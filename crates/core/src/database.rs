@@ -32,11 +32,7 @@ impl Database {
     ///
     /// # Panics
     /// Panics if relation arities disagree with the schema.
-    pub fn new(
-        name: impl Into<String>,
-        schema: Schema,
-        relations: Vec<RelationRef>,
-    ) -> Self {
+    pub fn new(name: impl Into<String>, schema: Schema, relations: Vec<RelationRef>) -> Self {
         Self::with_domain(name, Domain::naturals(), schema, relations)
     }
 
@@ -148,10 +144,9 @@ impl Database {
     ) -> Database {
         let mut relations: Vec<RelationRef> = Vec::with_capacity(self.relations.len());
         for r in &self.relations {
-            relations.push(Arc::new(crate::combinators::mapped(
-                Arc::clone(r),
-                f_inv.clone(),
-            )) as RelationRef);
+            relations.push(
+                Arc::new(crate::combinators::mapped(Arc::clone(r), f_inv.clone())) as RelationRef,
+            );
         }
         Database {
             name: name.into(),
@@ -169,10 +164,9 @@ impl Database {
         let schema = self.schema.stretched(marks.len());
         let mut relations = self.relations.clone();
         for &d in marks {
-            relations.push(Arc::new(crate::FiniteRelation::new(
-                1,
-                [Tuple::from(vec![d])],
-            )) as RelationRef);
+            relations.push(
+                Arc::new(crate::FiniteRelation::new(1, [Tuple::from(vec![d])])) as RelationRef,
+            );
         }
         Database {
             name: format!("{}+stretch{:?}", self.name, marks),

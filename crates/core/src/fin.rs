@@ -95,11 +95,7 @@ impl FiniteStructure {
             .into_iter()
             .map(|(a, b)| Tuple::from_values([a, b]))
             .collect();
-        FiniteStructure::new(
-            schema,
-            universe.into_iter().map(Elem),
-            vec![rel],
-        )
+        FiniteStructure::new(schema, universe.into_iter().map(Elem), vec![rel])
     }
 
     /// Builds a finite *symmetric* graph: each edge inserted both ways.
@@ -251,9 +247,7 @@ impl FiniteStructure {
         for (i, rel) in self.relations.iter().enumerate() {
             let a = self.schema.arity(i);
             if a == 0 {
-                if (rel.contains(&Tuple::empty()))
-                    != other.relations[i].contains(&Tuple::empty())
-                {
+                if (rel.contains(&Tuple::empty())) != other.relations[i].contains(&Tuple::empty()) {
                     return false;
                 }
                 continue;

@@ -14,8 +14,7 @@
 //!   which is generic but **not** locally generic.
 
 use crate::{
-    locally_isomorphic, Database, DatabaseBuilder, Elem, FnRelation, QueryOutcome, RQuery,
-    Tuple,
+    locally_isomorphic, Database, DatabaseBuilder, Elem, FnRelation, QueryOutcome, RQuery, Tuple,
 };
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -33,12 +32,7 @@ use std::sync::Arc;
 ///
 /// # Panics
 /// Panics if the databases have different schemas.
-pub fn amalgamate(
-    b1: &Database,
-    u: &Tuple,
-    b2: &Database,
-    v: &Tuple,
-) -> (Database, Tuple, Tuple) {
+pub fn amalgamate(b1: &Database, u: &Tuple, b2: &Database, v: &Tuple) -> (Database, Tuple, Tuple) {
     assert_eq!(b1.schema(), b2.schema(), "amalgamation needs equal types");
     let du = u.distinct_elems();
     let dv = v.distinct_elems();
@@ -72,16 +66,22 @@ pub fn amalgamate(
                 // is in Rᵢ — we take the union, consistent with both
                 // pairs being locally isomorphic to their originals
                 // only when the rank-0 facts agree.)
-                let over_u = t.iter().all(|e| e.value() % 2 == 0 && (e.value() / 2) < dec_u.len() as u64);
-                let over_v = t.iter().all(|e| e.value() % 2 == 1 && (e.value() / 2) < dec_v.len() as u64);
+                let over_u = t
+                    .iter()
+                    .all(|e| e.value() % 2 == 0 && (e.value() / 2) < dec_u.len() as u64);
+                let over_v = t
+                    .iter()
+                    .all(|e| e.value() % 2 == 1 && (e.value() / 2) < dec_v.len() as u64);
                 if over_u {
-                    let orig: Vec<Elem> = t.iter().map(|e| dec_u[(e.value() / 2) as usize]).collect();
+                    let orig: Vec<Elem> =
+                        t.iter().map(|e| dec_u[(e.value() / 2) as usize]).collect();
                     if b1c.query(i, &orig) {
                         return true;
                     }
                 }
                 if over_v {
-                    let orig: Vec<Elem> = t.iter().map(|e| dec_v[(e.value() / 2) as usize]).collect();
+                    let orig: Vec<Elem> =
+                        t.iter().map(|e| dec_v[(e.value() / 2) as usize]).collect();
                     if b2c.query(i, &orig) {
                         return true;
                     }
@@ -152,7 +152,11 @@ impl RQuery for ExistsOtherNeighborQuery {
     }
 
     fn contains(&self, db: &Database, u: &Tuple) -> QueryOutcome {
-        assert_eq!(db.schema().arities(), &[2], "query is over one binary relation");
+        assert_eq!(
+            db.schema().arities(),
+            &[2],
+            "query is over one binary relation"
+        );
         if u.rank() != 1 {
             return QueryOutcome::Defined(false);
         }
@@ -248,7 +252,10 @@ mod tests {
         let (b3, _, _) = amalgamate(&b1, &u, &b2, &v);
         // Elements beyond the two copies belong to no relation.
         assert!(!b3.query(0, &[Elem(40), Elem(41)]));
-        assert!(!b3.query(0, &[Elem(0), Elem(1)]), "cross-copy tuples absent");
+        assert!(
+            !b3.query(0, &[Elem(0), Elem(1)]),
+            "cross-copy tuples absent"
+        );
     }
 
     #[test]

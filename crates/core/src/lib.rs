@@ -43,10 +43,10 @@ mod fingerprint;
 mod fuel;
 pub mod genericity;
 mod intern;
-pub mod sampling;
 mod lociso;
 mod query;
 mod relation;
+pub mod sampling;
 mod schema;
 mod types;
 
@@ -57,13 +57,11 @@ pub use elem::{Elem, Tuple};
 pub use fin::FiniteStructure;
 pub use fingerprint::Fingerprint;
 pub use fuel::{Fuel, FuelError};
-pub use intern::{TupleId, TupleInterner};
 pub use genericity::{amalgamate, find_local_genericity_violation, GenericityViolation};
+pub use intern::{TupleId, TupleInterner};
 pub use lociso::{index_vectors, locally_equivalent, locally_isomorphic};
 pub use query::{ClassUnionQuery, QueryOutcome, RQuery};
-pub use relation::{
-    CoFiniteRelation, FiniteRelation, FnRelation, RecursiveRelation, RelationRef,
-};
+pub use relation::{CoFiniteRelation, FiniteRelation, FnRelation, RecursiveRelation, RelationRef};
 pub use sampling::{genericity_disagreements, iso_pair_from_class, iso_pairs, IsoPair};
 pub use schema::Schema;
 pub use types::{

@@ -66,11 +66,7 @@ impl ClassUnionQuery {
     ///
     /// # Panics
     /// Panics if the classes do not all have rank `rank`.
-    pub fn new(
-        schema: Schema,
-        rank: usize,
-        classes: impl IntoIterator<Item = AtomicType>,
-    ) -> Self {
+    pub fn new(schema: Schema, rank: usize, classes: impl IntoIterator<Item = AtomicType>) -> Self {
         let classes: BTreeSet<AtomicType> = classes.into_iter().collect();
         for c in &classes {
             assert_eq!(c.rank(), rank, "class rank mismatch");
@@ -192,9 +188,7 @@ impl RQuery for ClassUnionQuery {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{
-        enumerate_classes, tuple, DatabaseBuilder, FnRelation,
-    };
+    use crate::{enumerate_classes, tuple, DatabaseBuilder, FnRelation};
 
     fn clique_db() -> Database {
         DatabaseBuilder::new("K")
@@ -304,7 +298,12 @@ mod tests {
             .relation("E", FnRelation::infinite_line())
             .build();
         // (K,(1,2)) and (line,(0,2)): both x≠y with a symmetric edge.
-        assert!(crate::locally_isomorphic(&k, &tuple![1, 2], &line, &tuple![0, 2]));
+        assert!(crate::locally_isomorphic(
+            &k,
+            &tuple![1, 2],
+            &line,
+            &tuple![0, 2]
+        ));
         assert_eq!(
             q.contains(&k, &tuple![1, 2]),
             q.contains(&line, &tuple![0, 2])

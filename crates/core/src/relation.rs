@@ -204,7 +204,11 @@ impl RecursiveRelation for CoFiniteRelation {
 
 impl fmt::Debug for CoFiniteRelation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "CoFiniteRelation/{} ℕⁿ∖{:?}", self.arity, self.complement)
+        write!(
+            f,
+            "CoFiniteRelation/{} ℕⁿ∖{:?}",
+            self.arity, self.complement
+        )
     }
 }
 
@@ -371,7 +375,10 @@ mod tests {
         assert!(r.contains(tuple![0, 1].elems()), "0 and 1 are adjacent");
         assert!(r.contains(tuple![0, 2].elems()), "0 and 2 are adjacent");
         assert!(r.contains(tuple![2, 4].elems()), "positions 1,2 adjacent");
-        assert!(!r.contains(tuple![1, 2].elems()), "positions -1,1 not adjacent");
+        assert!(
+            !r.contains(tuple![1, 2].elems()),
+            "positions -1,1 not adjacent"
+        );
         // Symmetry of the line.
         assert!(r.contains(tuple![4, 2].elems()));
         // Every node has degree exactly 2: check node 0's neighbours

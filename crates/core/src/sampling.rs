@@ -9,9 +9,7 @@
 //! Any recursive query that answers them differently is *provably*
 //! non-generic (Prop 2.5 direction).
 
-use crate::{
-    enumerate_classes, AtomicType, Database, Elem, Schema, Tuple,
-};
+use crate::{enumerate_classes, AtomicType, Database, Elem, Schema, Tuple};
 
 /// A pair of database/tuple pairs that are locally isomorphic by
 /// construction.
@@ -34,10 +32,9 @@ pub struct IsoPair {
 pub fn iso_pair_from_class(schema: &Schema, class: &AtomicType, shift: u64) -> IsoPair {
     assert_ne!(shift, 0, "shift must produce a distinct copy");
     let (db, u) = class.witness(schema);
-    let copy = db.isomorphic_copy(
-        format!("witness+{shift}"),
-        move |e| Elem(e.value().wrapping_sub(shift)),
-    );
+    let copy = db.isomorphic_copy(format!("witness+{shift}"), move |e| {
+        Elem(e.value().wrapping_sub(shift))
+    });
     let v = u.map(|e| Elem(e.value() + shift));
     IsoPair {
         left: (db, u),
@@ -67,9 +64,7 @@ pub fn genericity_disagreements(
 ) -> Vec<AtomicType> {
     iso_pairs(schema, rank, keep_every)
         .into_iter()
-        .filter(|p| {
-            query(&p.left.0, &p.left.1) != query(&p.right.0, &p.right.1)
-        })
+        .filter(|p| query(&p.left.0, &p.left.1) != query(&p.right.0, &p.right.1))
         .map(|p| p.class)
         .collect()
 }
@@ -103,9 +98,7 @@ mod tests {
             .step_by(2)
             .collect();
         let q = crate::ClassUnionQuery::new(schema.clone(), 2, classes);
-        let bad = genericity_disagreements(&schema, 2, 1, |db, t| {
-            q.contains(db, t).is_member()
-        });
+        let bad = genericity_disagreements(&schema, 2, 1, |db, t| q.contains(db, t).is_member());
         assert!(bad.is_empty(), "generic query flagged: {bad:?}");
     }
 

@@ -405,11 +405,14 @@ mod tests {
         // Every (db,u) falls in exactly one enumerated class.
         let db = DatabaseBuilder::new("d")
             .relation("E", FnRelation::infinite_line())
-            .relation("P", FnRelation::new("sq", 1, |t| {
-                let v = t[0].value();
-                let r = (v as f64).sqrt() as u64;
-                r * r == v || (r + 1) * (r + 1) == v
-            }))
+            .relation(
+                "P",
+                FnRelation::new("sq", 1, |t| {
+                    let v = t[0].value();
+                    let r = (v as f64).sqrt() as u64;
+                    r * r == v || (r + 1) * (r + 1) == v
+                }),
+            )
             .build();
         let classes = enumerate_classes(db.schema(), 2);
         for u in [tuple![0, 1], tuple![3, 3], tuple![4, 9], tuple![5, 2]] {

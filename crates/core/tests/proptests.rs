@@ -3,8 +3,8 @@
 use proptest::prelude::*;
 use recdb_core::{
     amalgamate, count_classes, enumerate_classes, locally_equivalent, locally_isomorphic,
-    AtomicType, ClassUnionQuery, Database, DatabaseBuilder, FiniteRelation, QueryOutcome,
-    RQuery, Schema, Tuple,
+    AtomicType, ClassUnionQuery, Database, DatabaseBuilder, FiniteRelation, QueryOutcome, RQuery,
+    Schema, Tuple,
 };
 
 /// Strategy: a small finite graph database over elements 0..6.
@@ -195,7 +195,9 @@ proptest! {
 
 mod combinator_props {
     use super::*;
-    use recdb_core::{complement, intersect, mapped, product, shared, union, FnRelation, RecursiveRelation};
+    use recdb_core::{
+        complement, intersect, mapped, product, shared, union, FnRelation, RecursiveRelation,
+    };
 
     fn rel_mod(m: u64) -> recdb_core::RelationRef {
         shared(FnRelation::new("mod", 2, move |t| {

@@ -11,7 +11,5 @@
 pub mod machine;
 pub mod programs;
 
+pub use machine::{GmAction, GmBuilder, GmCell, GmError, GmOutcome, GmProgram, Head, State, SEP};
 pub use programs::{copy_machine, fanout_probe, intersect_machine, up_machine};
-pub use machine::{
-    GmAction, GmBuilder, GmCell, GmError, GmOutcome, GmProgram, Head, State, SEP,
-};

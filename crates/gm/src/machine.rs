@@ -258,8 +258,7 @@ impl GmProgram {
         let mut peak = 1usize;
         loop {
             // Collapse identical units (union their stores).
-            let mut merged: BTreeMap<(State, Vec<GmCell>, usize, usize), Unit> =
-                BTreeMap::new();
+            let mut merged: BTreeMap<(State, Vec<GmCell>, usize, usize), Unit> = BTreeMap::new();
             for u in units {
                 match merged.get_mut(&u.key()) {
                     Some(m) => {
@@ -360,8 +359,7 @@ impl GmProgram {
                         next_units.push(u);
                     }
                     GmAction::LoadRel { rel, next } => {
-                        let tuples: Vec<Tuple> =
-                            u.store[rel].iter().cloned().collect();
+                        let tuples: Vec<Tuple> = u.store[rel].iter().cloned().collect();
                         for t in tuples {
                             fuel.tick()?;
                             let mut copy = u.clone();
@@ -385,10 +383,7 @@ impl GmProgram {
                             let end = copy.h1 + cur.rank();
                             // Insert the child element right after the
                             // block (shifting any suffix).
-                            copy.tape.insert(
-                                end.min(copy.tape.len()),
-                                GmCell::Elem(a),
-                            );
+                            copy.tape.insert(end.min(copy.tape.len()), GmCell::Elem(a));
                             copy.state = next;
                             next_units.push(copy);
                         }
@@ -400,8 +395,16 @@ impl GmProgram {
                         u.state = next;
                         next_units.push(u);
                     }
-                    GmAction::BranchStoreEmpty { rel, empty, nonempty } => {
-                        u.state = if u.store[rel].is_empty() { empty } else { nonempty };
+                    GmAction::BranchStoreEmpty {
+                        rel,
+                        empty,
+                        nonempty,
+                    } => {
+                        u.state = if u.store[rel].is_empty() {
+                            empty
+                        } else {
+                            nonempty
+                        };
                         next_units.push(u);
                     }
                     GmAction::EraseTape(next) => {
@@ -481,8 +484,20 @@ mod tests {
         let store = b.fresh();
         let erase = b.fresh();
         let halt = b.fresh();
-        b.set(start, GmAction::LoadRel { rel: 0, next: store });
-        b.set(store, GmAction::StoreCurrent { rel: out, next: erase });
+        b.set(
+            start,
+            GmAction::LoadRel {
+                rel: 0,
+                next: store,
+            },
+        );
+        b.set(
+            store,
+            GmAction::StoreCurrent {
+                rel: out,
+                next: erase,
+            },
+        );
         b.set(erase, GmAction::EraseTape(halt));
         b.set(halt, GmAction::Halt);
         b.build(out + 1)

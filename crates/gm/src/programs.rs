@@ -56,12 +56,24 @@ pub fn intersect_machine(a: usize, b_rel: usize, out: usize) -> GmProgram {
     let halt = b.fresh();
     let die = b.fresh();
     b.set(s0, GmAction::LoadRel { rel: a, next: s1 });
-    b.set(s1, GmAction::LoadRel { rel: b_rel, next: adv });
+    b.set(
+        s1,
+        GmAction::LoadRel {
+            rel: b_rel,
+            next: adv,
+        },
+    );
     // After two loads the tape is SEP t₁… SEP t₂…, h1 on t₂'s start,
     // h2 at 0. Move h2 right once onto t₁'s first element.
     b.set(adv, GmAction::Move(Head::Second, 1, cmp));
     b.set(cmp, GmAction::BranchEquiv { yes: keep, no: die });
-    b.set(keep, GmAction::StoreCurrent { rel: out, next: fin });
+    b.set(
+        keep,
+        GmAction::StoreCurrent {
+            rel: out,
+            next: fin,
+        },
+    );
     b.set(fin, GmAction::EraseTape(halt));
     b.set(halt, GmAction::Halt);
     b.set(die, GmAction::Die);
@@ -107,12 +119,7 @@ mod tests {
         let expected: std::collections::BTreeSet<_> = hs
             .reps(0)
             .iter()
-            .flat_map(|t| {
-                hs.tree()
-                    .offspring(t)
-                    .into_iter()
-                    .map(move |a| t.extend(a))
-            })
+            .flat_map(|t| hs.tree().offspring(t).into_iter().map(move |a| t.extend(a)))
             .collect();
         assert_eq!(out.store[1], expected);
     }

@@ -118,16 +118,16 @@ pub fn combine(b1: &recdb_core::Database, b2: &recdb_core::Database) -> Combined
             b1.schema().name(i),
             recdb_core::FnRelation::new("S", a, move |t: &[Elem]| {
                 // Sᵢ = R¹ᵢ ∪ R²ᵢ on the respective encodings.
-                let all1 = t.iter().all(|e| e.value() >= 2 && e.value().is_multiple_of(2));
+                let all1 = t
+                    .iter()
+                    .all(|e| e.value() >= 2 && e.value().is_multiple_of(2));
                 let all2 = t.iter().all(|e| e.value() >= 3 && e.value() % 2 == 1);
                 if all1 {
-                    let dec: Vec<Elem> =
-                        t.iter().map(|e| Elem((e.value() - 2) / 2)).collect();
+                    let dec: Vec<Elem> = t.iter().map(|e| Elem((e.value() - 2) / 2)).collect();
                     return c1.query(i, &dec);
                 }
                 if all2 {
-                    let dec: Vec<Elem> =
-                        t.iter().map(|e| Elem((e.value() - 3) / 2)).collect();
+                    let dec: Vec<Elem> = t.iter().map(|e| Elem((e.value() - 3) / 2)).collect();
                     return c2.query(i, &dec);
                 }
                 false
@@ -246,14 +246,13 @@ pub fn combine_hs(
                 && eq2.equivalent(&Tuple::from(s2u), &Tuple::from(s2v))
         }
     };
-    let equiv: crate::rep::EquivRef = std::sync::Arc::new(crate::rep::FnEquiv::new(
-        move |u: &Tuple, v: &Tuple| {
+    let equiv: crate::rep::EquivRef =
+        std::sync::Arc::new(crate::rep::FnEquiv::new(move |u: &Tuple, v: &Tuple| {
             if u.rank() != v.rank() || u.equality_pattern() != v.equality_pattern() {
                 return false;
             }
             check(u, v, false) || (sides_swappable && check(u, v, true))
-        },
-    ));
+        }));
     let source = std::sync::Arc::new(crate::build::FnCandidates::new(move |x: &Tuple| {
         let mut out = vec![COMBINED_A, COMBINED_B];
         out.extend(x.distinct_elems());
@@ -460,19 +459,10 @@ mod combine_hs_tests {
         c.validate(2).unwrap();
         // An edge inside side 1 and inside side 2 are the same class
         // (sides swappable).
-        assert!(c.equivalent(
-            &Tuple::from_values([2, 4]),
-            &Tuple::from_values([3, 5])
-        ));
+        assert!(c.equivalent(&Tuple::from_values([2, 4]), &Tuple::from_values([3, 5])));
         // A link edge (a, side-1 node) ≅ (b, side-2 node).
-        assert!(c.equivalent(
-            &Tuple::from_values([0, 2]),
-            &Tuple::from_values([1, 3])
-        ));
+        assert!(c.equivalent(&Tuple::from_values([0, 2]), &Tuple::from_values([1, 3])));
         // But not (a, side-2 node): a links only to side 1.
-        assert!(!c.equivalent(
-            &Tuple::from_values([0, 2]),
-            &Tuple::from_values([0, 3])
-        ));
+        assert!(!c.equivalent(&Tuple::from_values([0, 2]), &Tuple::from_values([0, 3])));
     }
 }

@@ -123,10 +123,7 @@ mod tests {
         let tree = DedupTree::new(clique_equiv(), Arc::new(ScanCandidates { bound: 8 }));
         // Deduplication collapses the 8 candidates to the class count.
         assert_eq!(level_sizes(&tree, 3), vec![1, 2, 5]);
-        assert_eq!(
-            paths_of_length(&tree, 2),
-            vec![tuple![0, 0], tuple![0, 1]]
-        );
+        assert_eq!(paths_of_length(&tree, 2), vec![tuple![0, 0], tuple![0, 1]]);
     }
 
     #[test]

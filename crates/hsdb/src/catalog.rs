@@ -60,7 +60,8 @@ pub fn catalog() -> Vec<CatalogEntry> {
             hs: paper_example_graph(),
             info: FamilyInfo {
                 name: "paper-example",
-                description: "the §3.1 worked example: sym-pair and arrow components, two edge classes",
+                description:
+                    "the §3.1 worked example: sym-pair and arrow components, two edge classes",
                 expected_levels: &[3, 15],
                 practical_depth: usize::MAX,
             },

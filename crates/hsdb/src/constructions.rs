@@ -19,20 +19,14 @@
 
 use crate::build::{CandidateSource, DedupTree, FnCandidates};
 use crate::rep::{EquivOracle, EquivRef, FnEquiv, HsDatabase};
-use recdb_core::{
-    Database, DatabaseBuilder, Elem, FiniteStructure, FnRelation, Tuple,
-};
+use recdb_core::{Database, DatabaseBuilder, Elem, FiniteStructure, FnRelation, Tuple};
 use std::collections::BTreeSet;
 use std::sync::Arc;
 
 /// Assembles an [`HsDatabase`] from a database, equivalence oracle and
 /// candidate source, building the tree by deduplication and computing
 /// the `Cᵢ` from the membership oracles.
-pub fn assemble(
-    db: Database,
-    equiv: EquivRef,
-    source: Arc<dyn CandidateSource>,
-) -> HsDatabase {
+pub fn assemble(db: Database, equiv: EquivRef, source: Arc<dyn CandidateSource>) -> HsDatabase {
     let tree = Arc::new(DedupTree::new(Arc::clone(&equiv), source));
     HsDatabase::with_computed_reps(db, tree, equiv)
 }
@@ -326,14 +320,8 @@ impl ComponentGraph {
             let idx: Vec<usize> = (0..cu.len())
                 .filter(|&i| (cu[i].ty, cu[i].copy) == *from)
                 .collect();
-            let ut: Tuple = idx
-                .iter()
-                .map(|&i| comp.universe()[cu[i].node])
-                .collect();
-            let vt: Tuple = idx
-                .iter()
-                .map(|&i| comp.universe()[cv[i].node])
-                .collect();
+            let ut: Tuple = idx.iter().map(|&i| comp.universe()[cu[i].node]).collect();
+            let vt: Tuple = idx.iter().map(|&i| comp.universe()[cv[i].node]).collect();
             if comp.isomorphism_extending(comp, &ut, &vt).is_none() {
                 return false;
             }
@@ -434,15 +422,9 @@ pub fn line_equiv() -> EquivRef {
         let pu: Vec<i64> = u.elems().iter().map(|&e| pos(e)).collect();
         let pv: Vec<i64> = v.elems().iter().map(|&e| pos(e)).collect();
         // Translation: differences from the first coordinate match.
-        let translated = pu
-            .iter()
-            .zip(&pv)
-            .all(|(a, b)| a - pu[0] == b - pv[0]);
+        let translated = pu.iter().zip(&pv).all(|(a, b)| a - pu[0] == b - pv[0]);
         // Reflection: differences negate.
-        let reflected = pu
-            .iter()
-            .zip(&pv)
-            .all(|(a, b)| a - pu[0] == -(b - pv[0]));
+        let reflected = pu.iter().zip(&pv).all(|(a, b)| a - pu[0] == -(b - pv[0]));
         translated || reflected
     }))
 }
@@ -507,9 +489,21 @@ mod tests {
     fn component_graph_triangle_edges() {
         let tri = FiniteStructure::undirected_graph([0, 1, 2], [(0, 1), (1, 2), (2, 0)]);
         let g = ComponentGraph::new(vec![tri]);
-        let a = g.encode(Coords { ty: 0, copy: 0, node: 0 });
-        let b = g.encode(Coords { ty: 0, copy: 0, node: 1 });
-        let c = g.encode(Coords { ty: 0, copy: 1, node: 0 });
+        let a = g.encode(Coords {
+            ty: 0,
+            copy: 0,
+            node: 0,
+        });
+        let b = g.encode(Coords {
+            ty: 0,
+            copy: 0,
+            node: 1,
+        });
+        let c = g.encode(Coords {
+            ty: 0,
+            copy: 1,
+            node: 0,
+        });
         assert!(g.edge(a, b), "same copy, adjacent nodes");
         assert!(!g.edge(a, c), "different copies never adjacent");
         assert!(g.edge(b, a), "triangles are symmetric");
@@ -519,7 +513,13 @@ mod tests {
     fn component_graph_equivalence() {
         let tri = FiniteStructure::undirected_graph([0, 1, 2], [(0, 1), (1, 2), (2, 0)]);
         let g = ComponentGraph::new(vec![tri]);
-        let e = |c, n| g.encode(Coords { ty: 0, copy: c, node: n });
+        let e = |c, n| {
+            g.encode(Coords {
+                ty: 0,
+                copy: c,
+                node: n,
+            })
+        };
         // Two nodes in one copy ≅ two nodes in another copy.
         let u: Tuple = vec![e(0, 0), e(0, 1)].into();
         let v: Tuple = vec![e(3, 2), e(3, 0)].into();
@@ -591,8 +591,7 @@ mod tests {
         // rank-2 classes. Check pairwise non-equivalence of increasing
         // distances.
         let eq = line_equiv();
-        let pairs: Vec<Tuple> =
-            (1..6).map(|d| vec![Elem(0), Elem(2 * d)].into()).collect();
+        let pairs: Vec<Tuple> = (1..6).map(|d| vec![Elem(0), Elem(2 * d)].into()).collect();
         for (i, u) in pairs.iter().enumerate() {
             for v in &pairs[i + 1..] {
                 assert!(!eq.equivalent(u, v), "{u:?} vs {v:?}");
@@ -612,9 +611,7 @@ pub fn infinite_star() -> HsDatabase {
     let db = DatabaseBuilder::new("star")
         .relation(
             "E",
-            FnRelation::new("star", 2, |t| {
-                (t[0].value() == 0) != (t[1].value() == 0)
-            }),
+            FnRelation::new("star", 2, |t| (t[0].value() == 0) != (t[1].value() == 0)),
         )
         .build();
     let equiv: EquivRef = Arc::new(FnEquiv::new(|u: &Tuple, v: &Tuple| {
@@ -755,17 +752,9 @@ mod two_lines_tests {
         ));
         let pool: Vec<Elem> = (0..20).map(Elem).collect();
         let mut game = EfGame::new(&two, &two, pool.clone(), pool);
-        assert!(game.duplicator_wins(
-            &Tuple::from_values([0, 8]),
-            &Tuple::from_values([0, 5]),
-            0
-        ));
+        assert!(game.duplicator_wins(&Tuple::from_values([0, 8]), &Tuple::from_values([0, 5]), 0));
         // One round: the midpoint 4 between 0 and 8 has no counterpart
         // for the cross pair.
-        assert!(!game.duplicator_wins(
-            &Tuple::from_values([0, 8]),
-            &Tuple::from_values([0, 5]),
-            1
-        ));
+        assert!(!game.duplicator_wins(&Tuple::from_values([0, 8]), &Tuple::from_values([0, 5]), 1));
     }
 }

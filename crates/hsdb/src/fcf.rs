@@ -109,11 +109,8 @@ impl FcfDatabase {
         let df = self.df();
         let arities: Vec<usize> = self.rels.iter().map(FcfRel::arity).collect();
         let schema = Schema::new(arities);
-        let rels: Vec<BTreeSet<Tuple>> = self
-            .rels
-            .iter()
-            .map(|r| r.finite_part().clone())
-            .collect();
+        let rels: Vec<BTreeSet<Tuple>> =
+            self.rels.iter().map(|r| r.finite_part().clone()).collect();
         FiniteStructure::new(schema, df, rels)
     }
 
@@ -179,10 +176,7 @@ impl FcfDatabase {
 ///
 /// `max_depth` bounds the breadth-first search (the true `|Df|` must
 /// be ≤ `max_depth` for the extraction to succeed).
-pub fn df_from_tree(
-    tree: &dyn CharacteristicTree,
-    max_depth: usize,
-) -> Option<BTreeSet<Elem>> {
+pub fn df_from_tree(tree: &dyn CharacteristicTree, max_depth: usize) -> Option<BTreeSet<Elem>> {
     let mut level: Vec<Tuple> = vec![Tuple::empty()];
     for _ in 0..=max_depth {
         // Check condition (ii) for each all-distinct tuple at this level.
@@ -259,10 +253,7 @@ mod tests {
     #[test]
     fn symmetric_df_elements_are_equivalent() {
         // Finite unary {1,2} only: 1 and 2 are automorphic.
-        let f = FcfDatabase::new(
-            "sym",
-            vec![FcfRel::Finite(FiniteRelation::unary([1, 2]))],
-        );
+        let f = FcfDatabase::new("sym", vec![FcfRel::Finite(FiniteRelation::unary([1, 2]))]);
         let eq = f.equiv();
         assert!(eq.equivalent(&tuple![1], &tuple![2]));
         assert!(eq.equivalent(&tuple![1, 2], &tuple![2, 1]));
@@ -290,10 +281,7 @@ mod tests {
     fn df_extraction_empty_df() {
         // All relations co-finite with empty complement: Df = ∅, the
         // root itself satisfies the condition.
-        let f = FcfDatabase::new(
-            "full",
-            vec![FcfRel::CoFinite(CoFiniteRelation::full(1))],
-        );
+        let f = FcfDatabase::new("full", vec![FcfRel::CoFinite(CoFiniteRelation::full(1))]);
         let hs = f.clone().into_hsdb();
         assert_eq!(df_from_tree(hs.tree(), 2), Some(BTreeSet::new()));
         assert_eq!(f.df(), BTreeSet::new());
@@ -318,10 +306,7 @@ mod tests {
 
     #[test]
     fn finite_structure_on_df_has_expected_automorphisms() {
-        let f = FcfDatabase::new(
-            "sym",
-            vec![FcfRel::Finite(FiniteRelation::unary([1, 2]))],
-        );
+        let f = FcfDatabase::new("sym", vec![FcfRel::Finite(FiniteRelation::unary([1, 2]))]);
         assert_eq!(f.df_structure().automorphisms().len(), 2);
         let g = sample();
         // Df = {1,2}: (1,1) excluded from R2 pins both elements.

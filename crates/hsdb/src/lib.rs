@@ -26,8 +26,8 @@
 #![warn(missing_docs)]
 
 pub mod backforth;
-pub mod catalog;
 pub mod build;
+pub mod catalog;
 pub mod constructions;
 pub mod fcf;
 mod par;
@@ -37,24 +37,23 @@ pub mod rep;
 pub mod stretch;
 pub mod tree;
 
-pub use backforth::{back_and_forth, combine, combine_hs, CombinedDb, PartialAutomorphism, COMBINED_A, COMBINED_B};
+pub use backforth::{
+    back_and_forth, combine, combine_hs, CombinedDb, PartialAutomorphism, COMBINED_A, COMBINED_B,
+};
 pub use build::{CandidateSource, DedupTree, FnCandidates, ScanCandidates};
 pub use catalog::{catalog, deep_catalog, CatalogEntry, FamilyInfo};
 pub use constructions::{
     assemble, infinite_clique, infinite_line_db, infinite_star, line_equiv, paper_example_graph,
-    two_lines_db,
-    unary_cells, CellSize, ComponentGraph, Coords,
+    two_lines_db, unary_cells, CellSize, ComponentGraph, Coords,
 };
 pub use fcf::{df_from_tree, FcfDatabase, FcfRel};
 pub use random::{
     digraph_witness, rado_graph, rado_witness, random_digraph, verify_digraph_extension,
-    verify_rado_extension,
-    DigraphPattern,
+    verify_rado_extension, DigraphPattern,
 };
 pub use refine::{
-    all_singletons, equiv_r_tree, find_r0, partition_by_local_iso,
-    partition_by_local_iso_pairwise, project_partition, v_n_r, Partition, RefineError,
-    TreeGame,
+    all_singletons, equiv_r_tree, find_r0, partition_by_local_iso, partition_by_local_iso_pairwise,
+    project_partition, v_n_r, Partition, RefineError, TreeGame,
 };
 pub use rep::{EquivOracle, EquivRef, FnEquiv, HsDatabase};
 pub use stretch::{count_rank1_classes, stretch_hsdb};

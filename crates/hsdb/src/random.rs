@@ -159,7 +159,10 @@ pub fn random_digraph() -> HsDatabase {
                 let edges: Vec<(bool, bool)> = (0..m)
                     .map(|i| ((mask >> (2 * i)) & 1 == 1, (mask >> (2 * i + 1)) & 1 == 1))
                     .collect();
-                out.push(digraph_witness(&distinct, &DigraphPattern { looped, edges }));
+                out.push(digraph_witness(
+                    &distinct,
+                    &DigraphPattern { looped, edges },
+                ));
             }
         }
         out
@@ -209,7 +212,13 @@ pub fn verify_digraph_extension(xs: &[Elem]) -> usize {
             let edges: Vec<(bool, bool)> = (0..xs.len())
                 .map(|i| ((mask >> (2 * i)) & 1 == 1, (mask >> (2 * i + 1)) & 1 == 1))
                 .collect();
-            let y = digraph_witness(xs, &DigraphPattern { looped, edges: edges.clone() });
+            let y = digraph_witness(
+                xs,
+                &DigraphPattern {
+                    looped,
+                    edges: edges.clone(),
+                },
+            );
             assert!(!xs.contains(&y), "witness must be fresh");
             assert_eq!(db.query(0, &[y, y]), looped, "loop bit");
             for (x, (fwd, back)) in xs.iter().zip(&edges) {

@@ -29,9 +29,7 @@
 
 use crate::par::par_map;
 use crate::rep::HsDatabase;
-use recdb_core::{
-    locally_equivalent, Database, Elem, Fingerprint, Tuple, TupleId, TupleInterner,
-};
+use recdb_core::{locally_equivalent, Database, Elem, Fingerprint, Tuple, TupleId, TupleInterner};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -123,10 +121,7 @@ pub fn partition_by_local_iso(db: &Database, tuples: &[Tuple]) -> Partition {
 pub fn partition_by_local_iso_pairwise(db: &Database, tuples: &[Tuple]) -> Partition {
     let mut blocks: Partition = Vec::new();
     for t in tuples {
-        match blocks
-            .iter_mut()
-            .find(|b| locally_equivalent(db, &b[0], t))
-        {
+        match blocks.iter_mut().find(|b| locally_equivalent(db, &b[0], t)) {
             Some(b) => b.push(t.clone()),
             None => blocks.push(vec![t.clone()]),
         }
@@ -347,27 +342,51 @@ mod tests {
     use crate::constructions::{infinite_clique, paper_example_graph, unary_cells, CellSize};
     use crate::random::rado_graph;
 
+    /// `find_r0` with the failing `(n, max_r)` stage attached, so a
+    /// broken refinement run reports *where* in the grid it died
+    /// instead of panicking through a bare `expect`.
+    fn find_r0_stage(
+        hs: &HsDatabase,
+        n: usize,
+        max_r: usize,
+    ) -> Result<(Option<usize>, Vec<usize>), String> {
+        find_r0(hs, n, max_r).map_err(|e| {
+            format!(
+                "find_r0 stage (n={n}, max_r={max_r}) on {}: {e}",
+                hs.database().name()
+            )
+        })
+    }
+
+    /// `v_n_r` with the failing `(n, r)` stage attached.
+    fn v_n_r_stage(hs: &HsDatabase, n: usize, r: usize) -> Result<Partition, String> {
+        v_n_r(hs, n, r)
+            .map_err(|e| format!("Vⁿᵣ stage (n={n}, r={r}) on {}: {e}", hs.database().name()))
+    }
+
     #[test]
-    fn clique_refines_to_singletons_at_r0() {
+    fn clique_refines_to_singletons_at_r0() -> Result<(), String> {
         let hs = infinite_clique();
         // On the clique, ≅ₗ already equals ≅_B: r₀ = 0 at every rank.
         for n in 1..=3 {
-            let (r0, counts) = find_r0(&hs, n, 3).expect("tree covers all levels");
+            let (r0, counts) = find_r0_stage(&hs, n, 3)?;
             assert_eq!(r0, Some(0), "rank {n}");
             assert_eq!(counts[0], hs.t_n(n).len());
         }
+        Ok(())
     }
 
     #[test]
-    fn rado_refines_to_singletons_immediately() {
+    fn rado_refines_to_singletons_immediately() -> Result<(), String> {
         // Prop 3.2: on random structures ≅ = ≅ₗ, so r₀ = 0.
         let hs = rado_graph();
-        let (r0, _) = find_r0(&hs, 2, 2).expect("tree covers all levels");
+        let (r0, _) = find_r0_stage(&hs, 2, 2)?;
         assert_eq!(r0, Some(0));
+        Ok(())
     }
 
     #[test]
-    fn paper_example_needs_refinement() {
+    fn paper_example_needs_refinement() -> Result<(), String> {
         // In the §3.1 example graph (components 0⇄1 and 2→3), the
         // rank-1 tuples (a node of the symmetric pair vs a source vs a
         // sink) are NOT all ≅ₗ-distinct: a bare node carries only its
@@ -375,23 +394,26 @@ mod tests {
         // them by their extension signatures.
         let hs = paper_example_graph();
         let n1 = hs.t_n(1).len();
-        let v10 = v_n_r(&hs, 1, 0).expect("tree covers all levels");
+        let v10 = v_n_r_stage(&hs, 1, 0)?;
         assert!(
             v10.len() < n1,
             "≅ₗ alone must not separate all rank-1 classes (got {} of {n1})",
             v10.len()
         );
-        let (r0, counts) = find_r0(&hs, 1, 4).expect("tree covers all levels");
-        assert!(r0.is_some(), "refinement must converge, counts {counts:?}");
-        assert!(r0.unwrap() >= 1);
+        let (r0, counts) = find_r0_stage(&hs, 1, 4)?;
+        let r0 = r0.ok_or(format!(
+            "find_r0 stage (n=1, max_r=4): refinement never converged, counts {counts:?}"
+        ))?;
+        assert!(r0 >= 1);
         // Block counts weakly increase (refinement is monotone).
         for w in counts.windows(2) {
             assert!(w[0] <= w[1], "monotone refinement: {counts:?}");
         }
+        Ok(())
     }
 
     #[test]
-    fn projection_identity_prop_3_7() {
+    fn projection_identity_prop_3_7() -> Result<(), String> {
         // Cross-check: Vⁿᵣ computed by the ↓ pipeline equals the
         // partition induced by the direct ≡ᵣ recursion on tree nodes,
         // with one TreeGame cache shared across the whole run.
@@ -399,7 +421,7 @@ mod tests {
         let mut game = TreeGame::new(&hs);
         for n in 1..=2 {
             for r in 0..=2 {
-                let pipeline = v_n_r(&hs, n, r).expect("tree covers all levels");
+                let pipeline = v_n_r_stage(&hs, n, r)?;
                 let tn = hs.t_n(n);
                 // Build the direct partition.
                 let mut direct: Partition = Vec::new();
@@ -427,6 +449,7 @@ mod tests {
             }
         }
         assert!(game.memo_len() > 0, "shared cache must have been used");
+        Ok(())
     }
 
     #[test]
@@ -475,36 +498,39 @@ mod tests {
     }
 
     #[test]
-    fn missing_extension_is_an_error_not_a_panic() {
+    fn missing_extension_is_an_error_not_a_panic() -> Result<(), String> {
         let hs = infinite_clique();
         let level1 = hs.t_n(1);
         // Drop one tuple of T² from the finer partition: the ↓ step
         // must report the uncovered extension.
         let mut t2 = hs.t_n(2);
-        let dropped = t2.pop().expect("T² is nonempty");
+        let dropped = t2
+            .pop()
+            .ok_or("↓ setup stage (n=1): T² of the clique is empty")?;
         let finer: Partition = t2.into_iter().map(|t| vec![t]).collect();
         match project_partition(&hs, &level1, &finer) {
             Err(RefineError::MissingExtension { extension, .. }) => {
                 assert_eq!(extension, dropped);
+                Ok(())
             }
-            other => panic!("expected MissingExtension, got {other:?}"),
+            other => Err(format!(
+                "↓ stage (n=1, r=0): expected MissingExtension, got {other:?}"
+            )),
         }
     }
 
     #[test]
-    fn unary_cells_r0_zero() {
+    fn unary_cells_r0_zero() -> Result<(), String> {
         let hs = unary_cells(vec![CellSize::Infinite, CellSize::Infinite]);
-        let (r0, _) = find_r0(&hs, 2, 2).expect("tree covers all levels");
+        let (r0, _) = find_r0_stage(&hs, 2, 2)?;
         assert_eq!(r0, Some(0), "unary facts are all local");
+        Ok(())
     }
 
     #[test]
     fn all_singletons_detector() {
         assert!(all_singletons(&vec![vec![Tuple::empty()]]));
-        assert!(!all_singletons(&vec![vec![
-            Tuple::empty(),
-            Tuple::empty()
-        ]]));
+        assert!(!all_singletons(&vec![vec![Tuple::empty(), Tuple::empty()]]));
         assert!(all_singletons(&Vec::new()));
     }
 }

@@ -65,12 +65,7 @@ impl HsDatabase {
     ///
     /// # Panics
     /// Panics if the representative count doesn't match the schema.
-    pub fn new(
-        db: Database,
-        tree: TreeRef,
-        equiv: EquivRef,
-        reps: Vec<BTreeSet<Tuple>>,
-    ) -> Self {
+    pub fn new(db: Database, tree: TreeRef, equiv: EquivRef, reps: Vec<BTreeSet<Tuple>>) -> Self {
         assert_eq!(
             reps.len(),
             db.schema().len(),
@@ -286,10 +281,7 @@ mod tests {
     fn member_via_reps_agrees_with_oracle() {
         let hs = clique_hs();
         for u in [tuple![3, 8], tuple![2, 2]] {
-            assert_eq!(
-                hs.member_via_reps(0, &u),
-                hs.database().query(0, u.elems())
-            );
+            assert_eq!(hs.member_via_reps(0, &u), hs.database().query(0, u.elems()));
         }
     }
 

@@ -78,9 +78,7 @@ pub fn is_node(tree: &dyn CharacteristicTree, x: &Tuple) -> bool {
 /// `n` — reported by the experiments as the "class counts per rank"
 /// series.
 pub fn level_sizes(tree: &dyn CharacteristicTree, n: usize) -> Vec<usize> {
-    (1..=n)
-        .map(|k| paths_of_length(tree, k).len())
-        .collect()
+    (1..=n).map(|k| paths_of_length(tree, k).len()).collect()
 }
 
 #[cfg(test)]

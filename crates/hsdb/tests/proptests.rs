@@ -4,13 +4,13 @@
 
 use proptest::prelude::*;
 use recdb_core::{
-    locally_equivalent, CoFiniteRelation, DatabaseBuilder, Elem, FiniteRelation,
-    FiniteStructure, Tuple,
+    locally_equivalent, CoFiniteRelation, DatabaseBuilder, Elem, FiniteRelation, FiniteStructure,
+    Tuple,
 };
 use recdb_hsdb::{
-    infinite_clique, paper_example_graph, partition_by_local_iso,
-    partition_by_local_iso_pairwise, rado_graph, unary_cells, v_n_r, CellSize,
-    ComponentGraph, FcfDatabase, FcfRel, HsDatabase, Partition,
+    infinite_clique, paper_example_graph, partition_by_local_iso, partition_by_local_iso_pairwise,
+    rado_graph, unary_cells, v_n_r, CellSize, ComponentGraph, FcfDatabase, FcfRel, HsDatabase,
+    Partition,
 };
 
 fn zoo_member(ix: usize) -> HsDatabase {

@@ -338,7 +338,10 @@ mod tests {
     #[test]
     fn nested_and_flattens() {
         let f = Formula::and(vec![
-            Formula::and(vec![Formula::Eq(Var(0), Var(0)), Formula::Eq(Var(1), Var(1))]),
+            Formula::and(vec![
+                Formula::Eq(Var(0), Var(0)),
+                Formula::Eq(Var(1), Var(1)),
+            ]),
             Formula::Eq(Var(2), Var(2)),
         ]);
         match f {

@@ -36,9 +36,7 @@ pub fn equivalent(a: &LMinusQuery, b: &LMinusQuery) -> bool {
     assert_eq!(a.schema(), b.schema(), "comparing across schemas");
     match (a.is_undefined(), b.is_undefined()) {
         (true, true) => true,
-        (false, false) => {
-            a.rank() == b.rank() && a.to_class_union() == b.to_class_union()
-        }
+        (false, false) => a.rank() == b.rank() && a.to_class_union() == b.to_class_union(),
         _ => false,
     }
 }
@@ -145,7 +143,10 @@ mod tests {
         let orig = q("{ (x, y) | (E(x, y) | x = y) & !E(y, x) }");
         let dnf = canonical_dnf(&orig).unwrap();
         let db = DatabaseBuilder::new("lt")
-            .relation("E", FnRelation::new("lt", 2, |t| t[0].value() < t[1].value()))
+            .relation(
+                "E",
+                FnRelation::new("lt", 2, |t| t[0].value() < t[1].value()),
+            )
             .build();
         for t in [tuple![1, 2], tuple![2, 1], tuple![3, 3]] {
             assert_eq!(
@@ -157,6 +158,9 @@ mod tests {
 
     #[test]
     fn rank_mismatch_not_contained() {
-        assert!(!contained_in(&q("{ (x) | x = x }"), &q("{ (x, y) | x = y }")));
+        assert!(!contained_in(
+            &q("{ (x) | x = x }"),
+            &q("{ (x, y) | x = y }")
+        ));
     }
 }

@@ -159,8 +159,7 @@ pub fn finite_as_db(st: &FiniteStructure) -> Database {
     let mut b = recdb_core::DatabaseBuilder::new("finite-as-db");
     for i in 0..st.schema().len() {
         let arity = st.schema().arity(i);
-        let rel =
-            recdb_core::FiniteRelation::new(arity, st.relation(i).iter().cloned());
+        let rel = recdb_core::FiniteRelation::new(arity, st.relation(i).iter().cloned());
         b = b.relation(st.schema().name(i), rel);
     }
     b.build()
@@ -178,10 +177,7 @@ mod tests {
 
     /// A finite cycle of length n.
     fn cycle(n: u64) -> FiniteStructure {
-        FiniteStructure::undirected_graph(
-            0..n,
-            (0..n).map(|i| (i, (i + 1) % n)),
-        )
+        FiniteStructure::undirected_graph(0..n, (0..n).map(|i| (i, (i + 1) % n)))
     }
 
     #[test]

@@ -318,8 +318,14 @@ mod tests {
         let db = clique();
         let empty = Tuple::empty();
         for (f, want) in [
-            (Formula::Implies(Box::new(t.clone()), Box::new(fa.clone())), false),
-            (Formula::Implies(Box::new(fa.clone()), Box::new(t.clone())), true),
+            (
+                Formula::Implies(Box::new(t.clone()), Box::new(fa.clone())),
+                false,
+            ),
+            (
+                Formula::Implies(Box::new(fa.clone()), Box::new(t.clone())),
+                true,
+            ),
             (Formula::Iff(Box::new(t.clone()), Box::new(t.clone())), true),
             (Formula::Iff(Box::new(t), Box::new(fa)), false),
         ] {

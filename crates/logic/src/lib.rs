@@ -18,15 +18,15 @@ pub mod dnf;
 pub mod ef;
 pub mod eval;
 pub mod lminus;
-pub mod nnf;
 pub mod lminus_n;
+pub mod nnf;
 pub mod parser;
 
-pub use dnf::{canonical_dnf, contained_in, equivalent, is_unsatisfiable, is_valid};
 pub use ast::{Formula, FormulaDisplay, Var};
+pub use dnf::{canonical_dnf, contained_in, equivalent, is_unsatisfiable, is_valid};
 pub use ef::{ef_finite_pair, equiv_r, equiv_r_finite, finite_as_db, EfGame};
 pub use eval::{eval_finite, eval_qf, eval_with_pool, Assignment, UnboundVar};
-pub use lminus_n::{find_restricted_genericity_violation, LMinusNQuery};
 pub use lminus::{formula_for_class, LMinusQuery};
+pub use lminus_n::{find_restricted_genericity_violation, LMinusNQuery};
 pub use nnf::{is_nnf, quantified_vars, quantifier_count, to_nnf};
 pub use parser::{parse_query, ParseError, ParsedQuery};

@@ -19,8 +19,8 @@
 use crate::eval::eval_qf;
 use crate::{Formula, ParseError, ParsedQuery, Var};
 use recdb_core::{
-    enumerate_classes, index_vectors, AtomicType, ClassUnionQuery, Database, QueryOutcome,
-    RQuery, Schema, Tuple,
+    enumerate_classes, index_vectors, AtomicType, ClassUnionQuery, Database, QueryOutcome, RQuery,
+    Schema, Tuple,
 };
 
 /// An `L⁻` query: quantifier-free set-builder query or `undefined`.
@@ -62,12 +62,8 @@ impl LMinusQuery {
     pub fn parse(src: &str, schema: &Schema) -> Result<Self, ParseError> {
         match crate::parse_query(src, schema)? {
             ParsedQuery::Undefined => Ok(LMinusQuery::undefined(schema.clone())),
-            ParsedQuery::Defined { rank, body } => {
-                LMinusQuery::new(schema.clone(), rank, body).map_err(|msg| ParseError {
-                    at: 0,
-                    msg,
-                })
-            }
+            ParsedQuery::Defined { rank, body } => LMinusQuery::new(schema.clone(), rank, body)
+                .map_err(|msg| ParseError { at: 0, msg }),
         }
     }
 
@@ -169,7 +165,11 @@ pub fn formula_for_class(ty: &AtomicType, schema: &Schema) -> Formula {
     for i in 0..n {
         for j in (i + 1)..n {
             let eq = Formula::Eq(Var(i as u32), Var(j as u32));
-            conjuncts.push(if pattern[i] == pattern[j] { eq } else { eq.not() });
+            conjuncts.push(if pattern[i] == pattern[j] {
+                eq
+            } else {
+                eq.not()
+            });
         }
     }
     // Block representative variables: first position of each block.
@@ -242,11 +242,7 @@ mod tests {
 
     #[test]
     fn free_variable_beyond_rank_rejected() {
-        let e = LMinusQuery::new(
-            graph_schema(),
-            1,
-            Formula::Rel(0, vec![Var(0), Var(1)]),
-        );
+        let e = LMinusQuery::new(graph_schema(), 1, Formula::Rel(0, vec![Var(0), Var(1)]));
         assert!(e.is_err());
     }
 
@@ -319,7 +315,10 @@ mod tests {
         let q = LMinusQuery::parse("{ (x, y) | E(x, y) & !E(y, x) }", &schema).unwrap();
         let cu = q.to_class_union();
         let db = DatabaseBuilder::new("asym")
-            .relation("E", FnRelation::new("lt", 2, |t| t[0].value() < t[1].value()))
+            .relation(
+                "E",
+                FnRelation::new("lt", 2, |t| t[0].value() < t[1].value()),
+            )
             .build();
         for u in [tuple![1, 2], tuple![2, 1], tuple![4, 4]] {
             assert_eq!(q.eval(&db, &u), cu.contains(&db, &u));
@@ -330,7 +329,8 @@ mod tests {
     fn papers_phi_example_is_satisfiable_exactly_on_its_witness() {
         // Build the paper's C²ᵢ class formula and check it on its witness.
         let schema = Schema::new([2, 1]);
-        let src = "{ (x, y) | x != y & !R1(x, y) & R1(y, x) & R1(x, x) & !R1(y, y) & !R2(x) & R2(y) }";
+        let src =
+            "{ (x, y) | x != y & !R1(x, y) & R1(y, x) & R1(x, x) & !R1(y, y) & !R2(x) & R2(y) }";
         let q = LMinusQuery::parse(src, &schema).unwrap();
         let cu = q.to_class_union();
         assert_eq!(cu.class_count(), 1, "φᵢ describes exactly one class");

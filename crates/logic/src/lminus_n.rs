@@ -206,9 +206,7 @@ mod tests {
         let shifted = DatabaseBuilder::new("shifted")
             .relation(
                 "P",
-                FnRelation::new("shift", 1, move |t| {
-                    (n + 1..=2 * n).contains(&t[0].value())
-                }),
+                FnRelation::new("shift", 1, move |t| (n + 1..=2 * n).contains(&t[0].value())),
             )
             .build();
         let q = LMinusNQuery::parse("{ (x) | P(x) }", base.schema(), n).unwrap();

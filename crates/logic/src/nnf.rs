@@ -123,9 +123,7 @@ pub fn quantifier_count(f: &Formula) -> usize {
         Formula::True | Formula::False | Formula::Eq(..) | Formula::Rel(..) => 0,
         Formula::Not(g) => quantifier_count(g),
         Formula::And(gs) | Formula::Or(gs) => gs.iter().map(quantifier_count).sum(),
-        Formula::Implies(a, b) | Formula::Iff(a, b) => {
-            quantifier_count(a) + quantifier_count(b)
-        }
+        Formula::Implies(a, b) | Formula::Iff(a, b) => quantifier_count(a) + quantifier_count(b),
         Formula::Exists(_, g) | Formula::Forall(_, g) => 1 + quantifier_count(g),
     }
 }

@@ -481,11 +481,7 @@ mod tests {
     #[test]
     fn quantifier_shadowing_restores_outer_variable() {
         // Inner `exists x` shadows head x; afterwards `x` is the head again.
-        let q = parse_query(
-            "{ (x) | (exists x. R2(x)) & R2(x) }",
-            &schema(),
-        )
-        .unwrap();
+        let q = parse_query("{ (x) | (exists x. R2(x)) & R2(x) }", &schema()).unwrap();
         let ParsedQuery::Defined { body, .. } = q else {
             panic!()
         };

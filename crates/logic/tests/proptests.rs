@@ -24,8 +24,7 @@ fn qf_formula() -> impl Strategy<Value = Formula> {
             (inner.clone(), inner.clone()).prop_map(|(a, b)| Formula::or(vec![a, b])),
             (inner.clone(), inner.clone())
                 .prop_map(|(a, b)| Formula::Implies(Box::new(a), Box::new(b))),
-            (inner.clone(), inner)
-                .prop_map(|(a, b)| Formula::Iff(Box::new(a), Box::new(b))),
+            (inner.clone(), inner).prop_map(|(a, b)| Formula::Iff(Box::new(a), Box::new(b))),
         ]
     })
 }

@@ -202,10 +202,7 @@ mod tests {
     #[test]
     fn builders_compose() {
         let t = Term::Rel(0).and(Term::Var(1)).not().up().down().swap();
-        assert_eq!(
-            t.to_string(),
-            "swap(down(up(!(R1 & Y2))))"
-        );
+        assert_eq!(t.to_string(), "swap(down(up(!(R1 & Y2))))");
     }
 
     #[test]
@@ -246,10 +243,7 @@ mod tests {
 
     #[test]
     fn display_program_shape() {
-        let p = Prog::WhileEmpty(
-            0,
-            Box::new(Prog::assign(0, Term::Rel(0).and(Term::E))),
-        );
+        let p = Prog::WhileEmpty(0, Box::new(Prog::assign(0, Term::Rel(0).and(Term::E))));
         let s = p.to_string();
         assert!(s.contains("while empty(Y1)"), "{s}");
         assert!(s.contains("Y1 := (R1 & E);"), "{s}");

@@ -138,10 +138,7 @@ impl CompiledCounter {
 /// the pure fragment — the fragment the Theorem 3.1 proof needs for
 /// Turing power; oracle questions are handled by the surrounding `P_Q`
 /// machinery, not by the counter core).
-pub fn compile_counter(
-    cp: &CounterProgram,
-    initial: &[u64],
-) -> Result<CompiledCounter, String> {
+pub fn compile_counter(cp: &CounterProgram, initial: &[u64]) -> Result<CompiledCounter, String> {
     // Variable layout.
     const RESULT: VarId = 0;
     const HALT: VarId = 1;
@@ -224,12 +221,7 @@ pub fn compile_counter(
         };
         // Guard: flag a set, and not yet stepped this sweep.
         let step_guard = Prog::seq([body, Prog::assign(STEP, true_term())]);
-        arms.push(if_nonempty(
-            PC0 + a,
-            if_empty(STEP, step_guard, S1),
-            S1,
-            S2,
-        ));
+        arms.push(if_nonempty(PC0 + a, if_empty(STEP, step_guard, S1), S1, S2));
     }
     // Falling off the end: the off-end flag set → halt rejecting.
     arms.push(if_nonempty(
@@ -299,9 +291,7 @@ mod tests {
                 if_empty(1, Prog::assign(0, true_term()), 2),
             ]);
             let mut env = Vec::new();
-            interp
-                .exec(&p, &mut env, &mut Fuel::new(100_000))
-                .unwrap();
+            interp.exec(&p, &mut env, &mut Fuel::new(100_000)).unwrap();
             assert_eq!(!env[0].is_empty(), expect_then, "if_empty({cond})");
 
             let p = Prog::seq([
@@ -310,9 +300,7 @@ mod tests {
                 if_nonempty(1, Prog::assign(0, true_term()), 2, 3),
             ]);
             let mut env = Vec::new();
-            interp
-                .exec(&p, &mut env, &mut Fuel::new(100_000))
-                .unwrap();
+            interp.exec(&p, &mut env, &mut Fuel::new(100_000)).unwrap();
             assert_eq!(!env[0].is_empty(), !expect_then, "if_nonempty({cond})");
         }
     }
@@ -437,7 +425,9 @@ mod rank_tests {
             ]);
             let mut interp = HsInterp::new(&hs);
             let mut env: Vec<Val> = Vec::new();
-            interp.exec(&p, &mut env, &mut Fuel::new(1_000_000)).unwrap();
+            interp
+                .exec(&p, &mut env, &mut Fuel::new(1_000_000))
+                .unwrap();
             assert_eq!(env[0].rank, n, "rank(numeral({n})) = {n}");
             assert!(!env[0].is_empty());
         }
@@ -453,7 +443,9 @@ mod rank_tests {
         ]);
         let mut interp = HsInterp::new(&hs);
         let mut env: Vec<Val> = Vec::new();
-        interp.exec(&p, &mut env, &mut Fuel::new(1_000_000)).unwrap();
+        interp
+            .exec(&p, &mut env, &mut Fuel::new(1_000_000))
+            .unwrap();
         assert_eq!(env[0].rank, 2);
 
         let p = Prog::seq([

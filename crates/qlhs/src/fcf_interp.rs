@@ -76,12 +76,7 @@ impl<'a> FcfInterp<'a> {
     }
 
     /// Evaluates a term.
-    pub fn eval_term(
-        &self,
-        t: &Term,
-        env: &[FcfVal],
-        fuel: &mut Fuel,
-    ) -> Result<FcfVal, RunError> {
+    pub fn eval_term(&self, t: &Term, env: &[FcfVal], fuel: &mut Fuel) -> Result<FcfVal, RunError> {
         fuel.tick()?;
         Ok(match t {
             Term::E => FcfVal {
@@ -216,12 +211,7 @@ impl<'a> FcfInterp<'a> {
     }
 
     /// Runs a program in a caller-supplied environment.
-    pub fn exec(
-        &self,
-        p: &Prog,
-        env: &mut Vec<FcfVal>,
-        fuel: &mut Fuel,
-    ) -> Result<(), RunError> {
+    pub fn exec(&self, p: &Prog, env: &mut Vec<FcfVal>, fuel: &mut Fuel) -> Result<(), RunError> {
         fuel.tick()?;
         match p {
             Prog::Assign(v, e) => {

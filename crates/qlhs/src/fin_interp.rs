@@ -46,12 +46,7 @@ impl<'a> FinInterp<'a> {
     }
 
     /// Evaluates a term.
-    pub fn eval_term(
-        &self,
-        t: &Term,
-        env: &[Val],
-        fuel: &mut Fuel,
-    ) -> Result<Val, RunError> {
+    pub fn eval_term(&self, t: &Term, env: &[Val], fuel: &mut Fuel) -> Result<Val, RunError> {
         fuel.tick()?;
         Ok(match t {
             Term::E => Val {
@@ -148,12 +143,7 @@ impl<'a> FinInterp<'a> {
     }
 
     /// Runs a program in a caller-supplied environment.
-    pub fn exec(
-        &self,
-        p: &Prog,
-        env: &mut Vec<Val>,
-        fuel: &mut Fuel,
-    ) -> Result<(), RunError> {
+    pub fn exec(&self, p: &Prog, env: &mut Vec<Val>, fuel: &mut Fuel) -> Result<(), RunError> {
         fuel.tick()?;
         match p {
             Prog::Assign(v, e) => {
@@ -259,9 +249,7 @@ mod tests {
 
     #[test]
     fn while_empty_runs() {
-        let p = Prog::seq([
-            Prog::WhileEmpty(0, Box::new(Prog::assign(0, Term::E))),
-        ]);
+        let p = Prog::seq([Prog::WhileEmpty(0, Box::new(Prog::assign(0, Term::E)))]);
         let v = run_on(&path3(), &p).unwrap();
         assert_eq!(v.len(), 3);
     }

@@ -55,12 +55,7 @@ impl<'a> HsInterp<'a> {
     }
 
     /// Evaluates a term in an environment.
-    pub fn eval_term(
-        &mut self,
-        t: &Term,
-        env: &[Val],
-        fuel: &mut Fuel,
-    ) -> Result<Val, RunError> {
+    pub fn eval_term(&mut self, t: &Term, env: &[Val], fuel: &mut Fuel) -> Result<Val, RunError> {
         fuel.tick()?;
         Ok(match t {
             Term::E => {
@@ -70,7 +65,10 @@ impl<'a> HsInterp<'a> {
                     .into_iter()
                     .filter(|t| t[0] == t[1])
                     .collect();
-                Val { rank: 2, tuples: diag }
+                Val {
+                    rank: 2,
+                    tuples: diag,
+                }
             }
             Term::Rel(i) => {
                 if *i >= self.hs.schema().len() {
@@ -81,10 +79,7 @@ impl<'a> HsInterp<'a> {
                     tuples: self.hs.reps(*i).clone(),
                 }
             }
-            Term::Var(v) => env
-                .get(*v)
-                .cloned()
-                .unwrap_or_else(|| Val::empty(0)),
+            Term::Var(v) => env.get(*v).cloned().unwrap_or_else(|| Val::empty(0)),
             Term::And(a, b) => {
                 let x = self.eval_term(a, env, fuel)?;
                 let y = self.eval_term(b, env, fuel)?;
@@ -170,12 +165,7 @@ impl<'a> HsInterp<'a> {
 
     /// Runs a program in a caller-supplied environment (for staged
     /// computations that pre-load inputs into variables).
-    pub fn exec(
-        &mut self,
-        p: &Prog,
-        env: &mut Vec<Val>,
-        fuel: &mut Fuel,
-    ) -> Result<(), RunError> {
+    pub fn exec(&mut self, p: &Prog, env: &mut Vec<Val>, fuel: &mut Fuel) -> Result<(), RunError> {
         fuel.tick()?;
         match p {
             Prog::Assign(v, e) => {
@@ -230,7 +220,10 @@ mod tests {
         let hs = infinite_clique();
         let v = run_on(&hs, &Prog::assign(0, Term::E)).unwrap();
         assert_eq!(v.rank, 2);
-        assert_eq!(v.tuples.iter().cloned().collect::<Vec<_>>(), vec![tuple![0, 0]]);
+        assert_eq!(
+            v.tuples.iter().cloned().collect::<Vec<_>>(),
+            vec![tuple![0, 0]]
+        );
     }
 
     #[test]
@@ -250,7 +243,10 @@ mod tests {
         // ¬R1 on the clique: T² ∖ {(0,1)} = {(0,0)} — the diagonal.
         let hs = infinite_clique();
         let v = run_on(&hs, &Prog::assign(0, Term::Rel(0).not())).unwrap();
-        assert_eq!(v.tuples.iter().cloned().collect::<Vec<_>>(), vec![tuple![0, 0]]);
+        assert_eq!(
+            v.tuples.iter().cloned().collect::<Vec<_>>(),
+            vec![tuple![0, 0]]
+        );
     }
 
     #[test]
@@ -268,7 +264,10 @@ mod tests {
         // R1↓ on the clique: drop first of (0,1) → (1) ≅ (0): T¹'s rep.
         let v = run_on(&hs, &Prog::assign(0, Term::Rel(0).down())).unwrap();
         assert_eq!(v.rank, 1);
-        assert_eq!(v.tuples.iter().cloned().collect::<Vec<_>>(), vec![tuple![0]]);
+        assert_eq!(
+            v.tuples.iter().cloned().collect::<Vec<_>>(),
+            vec![tuple![0]]
+        );
     }
 
     #[test]
@@ -295,11 +294,7 @@ mod tests {
         assert_eq!(swapped.rank, 2);
         // The symmetric class maps to itself; the one-way class maps
         // out of R1 — so R1 ∩ R1~ is exactly the symmetric class.
-        let sym = run_on(
-            &hs,
-            &Prog::assign(0, Term::Rel(0).and(Term::Rel(0).swap())),
-        )
-        .unwrap();
+        let sym = run_on(&hs, &Prog::assign(0, Term::Rel(0).and(Term::Rel(0).swap()))).unwrap();
         assert_eq!(sym.len(), 1, "only the symmetric edge class survives");
     }
 
@@ -315,7 +310,10 @@ mod tests {
     fn rank_mismatch_detected() {
         let hs = infinite_clique();
         let e = run_on(&hs, &Prog::assign(0, Term::E.and(Term::E.down())));
-        assert!(matches!(e, Err(RunError::RankMismatch { left: 2, right: 1 })));
+        assert!(matches!(
+            e,
+            Err(RunError::RankMismatch { left: 2, right: 1 })
+        ));
     }
 
     #[test]

@@ -27,8 +27,8 @@ pub mod optimize;
 pub mod parser;
 pub mod value;
 
-pub use completeness::{theorem_3_1_pipeline, DEncoding, IndexTuple};
 pub use ast::{Prog, Term, VarId};
+pub use completeness::{theorem_3_1_pipeline, DEncoding, IndexTuple};
 pub use derived::{
     compile_counter, false_term, if_empty, if_nonempty, numeral, rank_program, true_term,
     CompiledCounter,

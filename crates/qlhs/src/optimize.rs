@@ -65,15 +65,9 @@ pub fn simplify_prog(p: &Prog) -> Prog {
             }
             Prog::Seq(flat)
         }
-        Prog::WhileEmpty(v, body) => {
-            Prog::WhileEmpty(*v, Box::new(simplify_prog(body)))
-        }
-        Prog::WhileSingleton(v, body) => {
-            Prog::WhileSingleton(*v, Box::new(simplify_prog(body)))
-        }
-        Prog::WhileFinite(v, body) => {
-            Prog::WhileFinite(*v, Box::new(simplify_prog(body)))
-        }
+        Prog::WhileEmpty(v, body) => Prog::WhileEmpty(*v, Box::new(simplify_prog(body))),
+        Prog::WhileSingleton(v, body) => Prog::WhileSingleton(*v, Box::new(simplify_prog(body))),
+        Prog::WhileFinite(v, body) => Prog::WhileFinite(*v, Box::new(simplify_prog(body))),
     }
 }
 

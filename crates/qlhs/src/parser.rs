@@ -84,9 +84,7 @@ impl<'a> P<'a> {
     fn ident(&mut self) -> Option<String> {
         self.skip_ws();
         let start = self.pos;
-        while self.pos < self.src.len()
-            && ((self.src[self.pos] as char).is_ascii_alphanumeric())
-        {
+        while self.pos < self.src.len() && ((self.src[self.pos] as char).is_ascii_alphanumeric()) {
             self.pos += 1;
         }
         if self.pos > start {

@@ -140,9 +140,7 @@ impl CounterProgram {
                     let db = db.expect("oracle instruction requires a database");
                     let tuple: Vec<Elem> = args
                         .iter()
-                        .map(|&r| {
-                            Elem(regs.get(r).copied().unwrap_or(0))
-                        })
+                        .map(|&r| Elem(regs.get(r).copied().unwrap_or(0)))
                         .collect();
                     pc = if db.query(*rel, &tuple) { *jyes } else { *jno };
                 }

@@ -56,9 +56,9 @@ pub fn unpair(z: u64) -> (u64, u64) {
 /// quadratically, so only short lists of modest values are encodable
 /// in a 64-bit index space).
 pub fn encode_list(xs: &[u64]) -> Option<u64> {
-    xs.iter().rev().try_fold(0u64, |acc, &x| {
-        try_pair(x, acc)?.checked_add(1)
-    })
+    xs.iter()
+        .rev()
+        .try_fold(0u64, |acc, &x| try_pair(x, acc)?.checked_add(1))
 }
 
 /// Decodes a list (total; stops after `max_len` items as a safety

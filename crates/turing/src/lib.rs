@@ -24,8 +24,8 @@ pub mod tm;
 pub use counter::{Addr, Asm, CounterProgram, Instr, Reg, RunOutcome, RunResult};
 pub use godel::{
     decode_instr, decode_list, decode_program, encode_instr, encode_list, encode_program,
-    halting_statistics, halts_within, pair, projection_search,
-    step_bounded_halting_relation, try_pair, unpair,
+    halting_statistics, halts_within, pair, projection_search, step_bounded_halting_relation,
+    try_pair, unpair,
 };
 pub use query::{Machine, MachineQuery};
 pub use tm::{membership_machine, symmetric_edge_machine, OracleTm, TmBuilder, Verdict};

@@ -155,7 +155,10 @@ mod tests {
         let q = MachineQuery::counter(p, 1, 1000);
         // On the "less-than" graph this accepts everything…
         let lt = DatabaseBuilder::new("lt")
-            .relation("E", FnRelation::new("lt", 2, |t| t[0].value() < t[1].value()))
+            .relation(
+                "E",
+                FnRelation::new("lt", 2, |t| t[0].value() < t[1].value()),
+            )
             .build();
         assert!(q.contains(&lt, &tuple![5]).is_member());
         // …and on E = {(2,3)} the tuples (2) and (4) are locally
@@ -164,9 +167,7 @@ mod tests {
         let single = DatabaseBuilder::new("single")
             .relation(
                 "E",
-                FnRelation::new("succ2", 2, |t| {
-                    t[0].value() == 2 && t[1].value() == 3
-                }),
+                FnRelation::new("succ2", 2, |t| t[0].value() == 2 && t[1].value() == 3),
             )
             .build();
         let samples = vec![(single.clone(), tuple![2]), (single, tuple![4])];

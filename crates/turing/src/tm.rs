@@ -272,8 +272,14 @@ mod tests {
 
     fn lt_db() -> Database {
         DatabaseBuilder::new("lt")
-            .relation("Lt", FnRelation::new("lt", 2, |t| t[0].value() < t[1].value()))
-            .relation("Gt", FnRelation::new("gt", 2, |t| t[0].value() > t[1].value()))
+            .relation(
+                "Lt",
+                FnRelation::new("lt", 2, |t| t[0].value() < t[1].value()),
+            )
+            .relation(
+                "Gt",
+                FnRelation::new("gt", 2, |t| t[0].value() > t[1].value()),
+            )
             .build()
     }
 
@@ -282,9 +288,15 @@ mod tests {
         let m = membership_machine(0);
         let db = lt_db();
         let mut fuel = Fuel::new(100);
-        assert_eq!(m.run(&db, &tuple![1, 2], &mut fuel).unwrap(), Verdict::Accept);
+        assert_eq!(
+            m.run(&db, &tuple![1, 2], &mut fuel).unwrap(),
+            Verdict::Accept
+        );
         let mut fuel = Fuel::new(100);
-        assert_eq!(m.run(&db, &tuple![2, 1], &mut fuel).unwrap(), Verdict::Reject);
+        assert_eq!(
+            m.run(&db, &tuple![2, 1], &mut fuel).unwrap(),
+            Verdict::Reject
+        );
     }
 
     #[test]
@@ -364,8 +376,14 @@ mod tests {
         let tm = b.build();
         // Input (2, 7): after one step the block at the head is (7).
         let mut fuel = Fuel::new(100);
-        assert_eq!(tm.run(&db, &tuple![2, 7], &mut fuel).unwrap(), Verdict::Accept);
+        assert_eq!(
+            tm.run(&db, &tuple![2, 7], &mut fuel).unwrap(),
+            Verdict::Accept
+        );
         let mut fuel = Fuel::new(100);
-        assert_eq!(tm.run(&db, &tuple![2, 4], &mut fuel).unwrap(), Verdict::Reject);
+        assert_eq!(
+            tm.run(&db, &tuple![2, 4], &mut fuel).unwrap(),
+            Verdict::Reject
+        );
     }
 }

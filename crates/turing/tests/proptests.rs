@@ -2,11 +2,11 @@
 //! Gödel numbering totality, and counter-machine execution laws.
 
 use proptest::prelude::*;
-use recdb_turing::{
-    decode_list, decode_program, encode_instr, encode_list, encode_program, halts_within,
-    pair, unpair, CounterProgram, Instr, RunResult,
-};
 use recdb_core::Fuel;
+use recdb_turing::{
+    decode_list, decode_program, encode_instr, encode_list, encode_program, halts_within, pair,
+    unpair, CounterProgram, Instr, RunResult,
+};
 
 fn arb_instr() -> impl Strategy<Value = Instr> {
     prop_oneof![

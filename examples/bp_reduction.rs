@@ -3,8 +3,8 @@
 //!
 //! Run with `cargo run --example bp_reduction`.
 
+use recdb_bp::{express_hs_relation, fo_member, Gadget, B, C};
 use recdb_core::{FiniteStructure, Tuple};
-use recdb_bp::{fo_member, express_hs_relation, Gadget, B, C};
 use recdb_hsdb::paper_example_graph;
 
 fn main() {

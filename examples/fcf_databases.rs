@@ -32,13 +32,13 @@ fn main() {
     // Membership is computed from the representation.
     let plain = db.as_database();
     println!("\nmembership oracles:");
-    for (rel, t) in [(0usize, tuple![3]), (0, tuple![4]), (1, tuple![3, 7]), (1, tuple![100, 200])] {
-        println!(
-            "  {:?} ∈ R{}? {}",
-            t,
-            rel + 1,
-            plain.query(rel, t.elems())
-        );
+    for (rel, t) in [
+        (0usize, tuple![3]),
+        (0, tuple![4]),
+        (1, tuple![3, 7]),
+        (1, tuple![100, 200]),
+    ] {
+        println!("  {:?} ∈ R{}? {}", t, rel + 1, plain.query(rel, t.elems()));
     }
 
     // Prop 4.1: the fcf-r-db is an hs-r-db; its characteristic tree is
@@ -81,7 +81,9 @@ fn main() {
     )
     .unwrap();
     let mut env = Vec::new();
-    interp.exec(&prog, &mut env, &mut Fuel::new(100_000)).unwrap();
+    interp
+        .exec(&prog, &mut env, &mut Fuel::new(100_000))
+        .unwrap();
     println!(
         "\nafter `while finite(Y1) {{ Y1 := !Y1; }}`: co-finite reached in {} flip(s)",
         env[2].rank
@@ -90,7 +92,10 @@ fn main() {
     // Prop 4.2 live: projecting a co-finite relation yields the full
     // relation one rank down.
     let v = interp
-        .run(&parse_program("Y1 := down(R2);").unwrap(), &mut Fuel::new(100_000))
+        .run(
+            &parse_program("Y1 := down(R2);").unwrap(),
+            &mut Fuel::new(100_000),
+        )
         .unwrap();
     println!(
         "\nR2↓ is co-finite with empty complement (= D¹): finite={}, complement={:?}",

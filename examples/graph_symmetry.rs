@@ -5,8 +5,8 @@
 
 use recdb_core::{Elem, Tuple};
 use recdb_hsdb::{
-    count_rank1_classes, find_r0, infinite_clique, level_sizes, line_equiv,
-    paper_example_graph, stretch_hsdb, v_n_r, CandidateSource, FnCandidates,
+    count_rank1_classes, find_r0, infinite_clique, level_sizes, line_equiv, paper_example_graph,
+    stretch_hsdb, v_n_r, CandidateSource, FnCandidates,
 };
 use recdb_logic::{equiv_r, EfGame};
 use std::sync::Arc;

@@ -5,15 +5,16 @@
 
 use recdb_core::Fuel;
 use recdb_hsdb::{infinite_clique, paper_example_graph};
-use recdb_qlhs::{
-    compile_counter, numeral, parse_program, theorem_3_1_pipeline, HsInterp, Val,
-};
+use recdb_qlhs::{compile_counter, numeral, parse_program, theorem_3_1_pipeline, HsInterp, Val};
 use recdb_turing::{Asm, Instr};
 
 fn main() {
     // 1. The language, on the §3.1 example graph's representation.
     let hs = paper_example_graph();
-    println!("QLhs on the §3.1 example graph  (C₁ has {} classes)", hs.reps(0).len());
+    println!(
+        "QLhs on the §3.1 example graph  (C₁ has {} classes)",
+        hs.reps(0).len()
+    );
     let prog = parse_program(
         "
         Y2 := R1 & swap(R1);   // the symmetric edge class
@@ -24,7 +25,11 @@ fn main() {
     .unwrap();
     let mut interp = HsInterp::new(&hs);
     let v = interp.run(&prog, &mut Fuel::new(1_000_000)).unwrap();
-    println!("up(one-way-edges) has {} classes of rank {}\n", v.len(), v.rank);
+    println!(
+        "up(one-way-edges) has {} classes of rank {}\n",
+        v.len(),
+        v.rank
+    );
 
     // 2. Derived operators: numerals as ranks.
     let clique = infinite_clique();
@@ -33,7 +38,11 @@ fn main() {
         let val = interp
             .eval_term(&numeral(n), &[], &mut Fuel::new(100_000))
             .unwrap();
-        println!("numeral({n}): rank {} with {} representatives", val.rank, val.len());
+        println!(
+            "numeral({n}): rank {} with {} representatives",
+            val.rank,
+            val.len()
+        );
     }
 
     // 3. Counter-machine power: multiply 3 × 2 inside QLhs.
@@ -55,7 +64,10 @@ fn main() {
     HsInterp::new(&clique)
         .exec(&cc.prog, &mut env, &mut Fuel::new(50_000_000))
         .unwrap();
-    println!("\n3 × 2 computed by a QLhs program: rank {} (the number!)", env[cc.reg_var(2)].rank);
+    println!(
+        "\n3 × 2 computed by a QLhs program: rank {} (the number!)",
+        env[cc.reg_var(2)].rank
+    );
 
     // 4. The Theorem 3.1 pipeline: encode C's into integers, run an
     //    arbitrary recursive query there, decode through d.
@@ -73,7 +85,10 @@ fn main() {
     }
     // 5. Cross-check against the native swap operator.
     let native = HsInterp::new(&hs)
-        .run(&parse_program("Y1 := swap(R1);").unwrap(), &mut Fuel::new(1_000_000))
+        .run(
+            &parse_program("Y1 := swap(R1);").unwrap(),
+            &mut Fuel::new(1_000_000),
+        )
         .unwrap();
     println!(
         "\npipeline(reverse) == QLhs swap(R1): {}",

@@ -9,9 +9,7 @@
 //!
 //! Run with `cargo run --example quickstart`.
 
-use recdb_core::{
-    count_classes, tuple, AtomicType, DatabaseBuilder, FnRelation, Tuple,
-};
+use recdb_core::{count_classes, tuple, AtomicType, DatabaseBuilder, FnRelation, Tuple};
 use recdb_logic::LMinusQuery;
 
 fn main() {
@@ -27,7 +25,11 @@ fn main() {
 
     // Membership oracles: the only sanctioned access (Def 2.4).
     println!("\noracle questions:");
-    for (t, rel) in [(tuple![6, 7, 42], 0), (tuple![6, 7, 43], 0), (tuple![3, 12], 1)] {
+    for (t, rel) in [
+        (tuple![6, 7, 42], 0),
+        (tuple![6, 7, 43], 0),
+        (tuple![3, 12], 1),
+    ] {
         println!(
             "  {} ∈ {}? {}",
             t,
@@ -40,8 +42,8 @@ fn main() {
     // language. "x divides y and y does not divide x" (strict divisor
     // pairs):
     let schema = db.schema().clone();
-    let strict = LMinusQuery::parse("{ (x, y) | Div(x, y) & !Div(y, x) }", &schema)
-        .expect("well-formed L⁻");
+    let strict =
+        LMinusQuery::parse("{ (x, y) | Div(x, y) & !Div(y, x) }", &schema).expect("well-formed L⁻");
     println!("\nstrict-divisor query on sample tuples:");
     for t in [tuple![3, 12], tuple![12, 3], tuple![5, 5], tuple![4, 6]] {
         println!("  {t} ↦ {:?}", strict.eval(&db, &t));

@@ -8,7 +8,7 @@
 //! Run with `cargo run --example random_structure`.
 
 use recdb_core::{Elem, Fuel, Tuple};
-use recdb_hsdb::{rado_graph, rado_witness, verify_rado_extension, level_sizes};
+use recdb_hsdb::{level_sizes, rado_graph, rado_witness, verify_rado_extension};
 use recdb_qlhs::{parse_program, HsInterp};
 
 fn main() {
@@ -26,7 +26,10 @@ fn main() {
 
     // The characteristic tree: finitely branching, one path per
     // ≅_B-class.
-    println!("\ncharacteristic tree levels |T¹|..|T³|: {:?}", level_sizes(hs.tree(), 3));
+    println!(
+        "\ncharacteristic tree levels |T¹|..|T³|: {:?}",
+        level_sizes(hs.tree(), 3)
+    );
     println!("T² representatives:");
     for t in hs.t_n(2) {
         println!("  {t}  (edge: {})", hs.database().query(0, t.elems()));

@@ -39,9 +39,18 @@ fn same_sin(x: u64, y: u64) -> bool {
 
 fn main() {
     let db = DatabaseBuilder::new("trig")
-        .relation("SinZero", FnRelation::new("sin0", 1, |t| sin_zero(t[0].value())))
-        .relation("CosZero", FnRelation::new("cos0", 1, |t| cos_zero(t[0].value())))
-        .relation("SinPos", FnRelation::new("sin+", 1, |t| sin_pos(t[0].value())))
+        .relation(
+            "SinZero",
+            FnRelation::new("sin0", 1, |t| sin_zero(t[0].value())),
+        )
+        .relation(
+            "CosZero",
+            FnRelation::new("cos0", 1, |t| cos_zero(t[0].value())),
+        )
+        .relation(
+            "SinPos",
+            FnRelation::new("sin+", 1, |t| sin_pos(t[0].value())),
+        )
         .relation(
             "SameSin",
             FnRelation::new("sin=", 2, |t| same_sin(t[0].value(), t[1].value())),
@@ -63,13 +72,14 @@ fn main() {
     // which are not 30° (mod equality of the tuple components)" can't
     // name the constant 30 — genericity forbids constants! — but
     // relations between angles are fair game:
-    let q = LMinusQuery::parse(
-        "{ (x, y) | SameSin(x, y) & x != y & SinPos(x) }",
-        &schema,
-    )
-    .unwrap();
+    let q = LMinusQuery::parse("{ (x, y) | SameSin(x, y) & x != y & SinPos(x) }", &schema).unwrap();
     println!("\nSameSin ∧ distinct ∧ positive-sine pairs:");
-    for t in [tuple![30, 150], tuple![30, 390], tuple![30, 210], tuple![200, 340]] {
+    for t in [
+        tuple![30, 150],
+        tuple![30, 390],
+        tuple![30, 210],
+        tuple![200, 340],
+    ] {
         println!("  {t} ↦ {:?}", q.eval(&db, &t));
     }
 

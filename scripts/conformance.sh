@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# Run the theorem-ledger conformance harness at the fixed CI seed,
+# serially and through the threaded refinement pipeline, and verify the
+# two runs report identical per-check statuses. Writes CONFORMANCE.json
+# (the serial run's report; `"parallel": false` distinguishes it).
+#
+# Usage:
+#   scripts/conformance.sh                 fixed seed, both modes, diff
+#   scripts/conformance.sh --seed 0xbeef   override the seed
+#   scripts/conformance.sh --serial-only   skip the parallel pass
+#
+# No dev-dependencies needed — the conformance crate is offline-clean.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SEED=0x5ecdeb0a
+SERIAL_ONLY=0
+while [[ $# -gt 0 ]]; do
+    case "$1" in
+        --seed) SEED="$2"; shift 2 ;;
+        --serial-only) SERIAL_ONLY=1; shift ;;
+        *) echo "unknown argument: $1" >&2; exit 2 ;;
+    esac
+done
+
+OUT=CONFORMANCE.json
+PAR_OUT=target/CONFORMANCE.parallel.json
+
+cargo run --release -p recdb-conformance --bin conformance -- \
+    --seed "$SEED" --out "$OUT"
+
+if [[ "$SERIAL_ONLY" == 1 ]]; then
+    echo "serial-only run complete; wrote $OUT"
+    exit 0
+fi
+
+mkdir -p target
+cargo run --release -p recdb-conformance --features parallel --bin conformance -- \
+    --seed "$SEED" --out "$PAR_OUT"
+
+python3 - "$OUT" "$PAR_OUT" <<'PY'
+import json, sys
+
+serial, parallel = (json.load(open(p)) for p in sys.argv[1:3])
+assert serial["parallel"] is False and parallel["parallel"] is True, \
+    "feature flags not reflected in the reports"
+key = lambda run: [(c["id"], c["status"], c["seed"]) for c in run["checks"]]
+a, b = key(serial), key(parallel)
+if a != b:
+    for x, y in zip(a, b):
+        if x != y:
+            print(f"  serial {x} vs parallel {y}", file=sys.stderr)
+    sys.exit("serial and parallel ledgers disagree")
+print(f"serial and parallel ledgers agree ({len(a)} checks)")
+PY
+echo "wrote $OUT"

@@ -3,13 +3,13 @@
 //! together across crates.
 
 use recdb_bp::{
-    express_hs_relation, express_unary_relation, find_disagreement, fo_member,
-    BoundedOutputGadget, Gadget,
+    express_hs_relation, express_unary_relation, find_disagreement, fo_member, BoundedOutputGadget,
+    Gadget,
 };
 use recdb_core::{tuple, DatabaseBuilder, Elem, FiniteStructure, FnRelation, Tuple};
 use recdb_hsdb::{
-    combine_hs, infinite_clique, infinite_star, CandidateSource, FnCandidates,
-    COMBINED_A, COMBINED_B,
+    combine_hs, infinite_clique, infinite_star, CandidateSource, FnCandidates, COMBINED_A,
+    COMBINED_B,
 };
 use std::sync::Arc;
 

@@ -1,0 +1,94 @@
+//! The theorem ledger as an integration test: every registered check
+//! must PASS (or report an explicit SKIP reason) under the fixed CI
+//! seed, and the registry must keep covering the whole DESIGN.md §1
+//! results table.
+//!
+//! `cargo test --features parallel` runs the same ledger through the
+//! threaded refinement pipeline; the acceptance bar is identical
+//! statuses either way (see also `scripts/conformance.sh`, which diffs
+//! the two JSON reports).
+
+use recdb_conformance::{checks, run_check, run_ledger, CheckStatus, DEFAULT_SEED};
+use std::collections::BTreeSet;
+
+#[test]
+fn every_ledger_check_passes_under_the_fixed_seed() {
+    let report = run_ledger(DEFAULT_SEED, None);
+    let mut failures = Vec::new();
+    for o in &report.outcomes {
+        if let CheckStatus::Fail(msg) = &o.status {
+            failures.push(format!("{} (seed {:#x}): {msg}", o.id, o.seed));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "ledger failures:\n{}",
+        failures.join("\n")
+    );
+    let (pass, _, skipped) = report.counts();
+    assert!(
+        pass >= 12,
+        "at least 12 checks must run and pass, got {pass}"
+    );
+    assert_eq!(skipped, 0, "no check should skip under the default seed");
+}
+
+#[test]
+fn ledger_covers_every_design_result_row() {
+    let rows = [
+        "T2.1",
+        "P2.2",
+        "P2.4-2.5",
+        "P3.1",
+        "P3.2",
+        "P3.3-3.6",
+        "P3.7-C3.3",
+        "T3.1",
+        "C3.1",
+        "P4.1-4.3",
+        "T5.1",
+        "T6.1",
+        "P6.1-T6.2",
+        "T6.3",
+    ];
+    let defs = checks::ledger();
+    let ids: BTreeSet<&str> = defs.iter().map(|d| d.id).collect();
+    assert_eq!(ids.len(), defs.len(), "duplicate check ids");
+    for row in rows {
+        assert!(ids.contains(row), "result row {row} has no ledger check");
+    }
+}
+
+#[test]
+fn metamorphic_checks_cover_enough_families() {
+    // The acceptance bar: P3.7 identity and permutation-genericity on
+    // at least 3 database families each.
+    for id in ["META-P3.7", "META-GENERICITY"] {
+        let def = checks::ledger()
+            .into_iter()
+            .find(|d| d.id == id)
+            .unwrap_or_else(|| panic!("{id} missing"));
+        let outcome = run_check(&def, DEFAULT_SEED);
+        assert_eq!(
+            outcome.status,
+            CheckStatus::Pass,
+            "{id}: {:?}",
+            outcome.status
+        );
+        assert!(
+            outcome.families.len() >= 3,
+            "{id} must exercise ≥3 families, got {:?}",
+            outcome.families
+        );
+    }
+}
+
+#[test]
+fn outcomes_are_reproducible_for_a_given_seed() {
+    let a = run_ledger(0xfeed, Some("T2.1"));
+    let b = run_ledger(0xfeed, Some("T2.1"));
+    assert_eq!(a.outcomes.len(), 1);
+    assert_eq!(a.outcomes[0].seed, b.outcomes[0].seed);
+    assert_eq!(a.outcomes[0].status, b.outcomes[0].status);
+    assert_eq!(a.outcomes[0].families, b.outcomes[0].families);
+}

@@ -3,8 +3,8 @@
 //! L⁻ₙ, machine queries).
 
 use recdb_core::{
-    enumerate_classes, genericity_disagreements, iso_pairs, tuple, ClassUnionQuery,
-    RQuery, Schema, Tuple,
+    enumerate_classes, genericity_disagreements, iso_pairs, tuple, ClassUnionQuery, RQuery, Schema,
+    Tuple,
 };
 use recdb_logic::{LMinusNQuery, LMinusQuery};
 use recdb_turing::{Asm, Instr, MachineQuery};
@@ -98,7 +98,9 @@ fn lminus_n_is_generic_only_in_the_restricted_sense() {
     // Out-of-range copy: elements 10, 11.
     let db_out = db.isomorphic_copy("out", |e| Elem(e.value().wrapping_sub(10)));
     let u_out = u.map(|e| Elem(e.value() + 10));
-    assert!(recdb_core::locally_isomorphic(&db_in, &u_in, &db_out, &u_out));
+    assert!(recdb_core::locally_isomorphic(
+        &db_in, &u_in, &db_out, &u_out
+    ));
     assert!(q.eval(&db_in, &u_in).is_member());
     assert!(
         !q.eval(&db_out, &u_out).is_member(),
@@ -116,7 +118,10 @@ fn lminus_n_is_generic_only_in_the_restricted_sense() {
 #[test]
 fn class_unions_and_their_synthesized_lminus_agree_on_pairs() {
     let schema = graph_schema();
-    let classes: Vec<_> = enumerate_classes(&schema, 2).into_iter().step_by(3).collect();
+    let classes: Vec<_> = enumerate_classes(&schema, 2)
+        .into_iter()
+        .step_by(3)
+        .collect();
     let cu = ClassUnionQuery::new(schema.clone(), 2, classes);
     let synth = LMinusQuery::from_class_union(&cu);
     for p in iso_pairs(&schema, 2, 1) {

@@ -21,7 +21,10 @@ fn sample_dbs() -> Vec<Database> {
             .relation("E", FnRelation::infinite_line())
             .build(),
         DatabaseBuilder::new("lt")
-            .relation("E", FnRelation::new("lt", 2, |t| t[0].value() < t[1].value()))
+            .relation(
+                "E",
+                FnRelation::new("lt", 2, |t| t[0].value() < t[1].value()),
+            )
             .build(),
     ]
 }

@@ -6,8 +6,7 @@ use recdb_core::{Fuel, RecursiveRelation};
 use recdb_hsdb::{infinite_clique, paper_example_graph, unary_cells, CellSize};
 use recdb_qlhs::{compile_counter, HsInterp, Val};
 use recdb_turing::{
-    decode_program, encode_program, halts_within, projection_search, Asm,
-    CounterProgram, Instr,
+    decode_program, encode_program, halts_within, projection_search, Asm, CounterProgram, Instr,
 };
 
 /// gcd by repeated subtraction — a nontrivial pure counter program.
@@ -97,14 +96,16 @@ fn halting_relation_projection_is_only_semi_decidable() {
     // and for diverging machines every finite search fails.
     let rel = recdb_turing::step_bounded_halting_relation();
     // A halting machine: countdown.
-    let halting = encode_program(&Asm::new()
-        .label("l")
-        .jz(0, "end")
-        .instr(Instr::Dec(0))
-        .jmp("l")
-        .label("end")
-        .instr(Instr::Halt(true))
-        .assemble())
+    let halting = encode_program(
+        &Asm::new()
+            .label("l")
+            .jz(0, "end")
+            .instr(Instr::Dec(0))
+            .jmp("l")
+            .label("end")
+            .instr(Instr::Halt(true))
+            .assemble(),
+    )
     .unwrap();
     // A diverging machine.
     let diverging = encode_program(&CounterProgram {

@@ -9,7 +9,7 @@ use recdb_core::{Fuel, Tuple};
 use recdb_gm::{GmAction, GmBuilder};
 use recdb_hsdb::{paper_example_graph, rado_graph, random_digraph, HsDatabase};
 use recdb_logic::ast::{Formula, Var};
-use recdb_qlhs::{parse_program, HsInterp, Term, Prog};
+use recdb_qlhs::{parse_program, HsInterp, Prog, Term};
 
 fn run_qlhs(hs: &HsDatabase, src: &str) -> recdb_qlhs::Val {
     let prog = parse_program(src).expect("parses");
@@ -122,8 +122,7 @@ fn theorem_6_3_pool_is_stable() {
         // Hand evaluation with a much larger pool:
         let mut asg = recdb_logic::Assignment::from_tuple(&hs.canonical_rep(&t));
         let big_pool = quantifier_pool(&hs, 4);
-        let big = recdb_logic::eval_with_pool(hs.database(), &phi, &mut asg, &big_pool)
-            .unwrap();
+        let big = recdb_logic::eval_with_pool(hs.database(), &phi, &mut asg, &big_pool).unwrap();
         assert_eq!(small, big, "pool instability at {t:?}");
     }
 }

@@ -3,9 +3,8 @@
 
 use recdb_core::{Elem, Tuple};
 use recdb_hsdb::{
-    back_and_forth, count_rank1_classes, find_r0, infinite_clique, infinite_star,
-    line_equiv, paper_example_graph, rado_graph, unary_cells, v_n_r, CellSize, FnEquiv,
-    HsDatabase,
+    back_and_forth, count_rank1_classes, find_r0, infinite_clique, infinite_star, line_equiv,
+    paper_example_graph, rado_graph, unary_cells, v_n_r, CellSize, FnEquiv, HsDatabase,
 };
 
 fn zoo() -> Vec<(&'static str, HsDatabase)> {
@@ -13,7 +12,10 @@ fn zoo() -> Vec<(&'static str, HsDatabase)> {
         ("clique", infinite_clique()),
         ("star", infinite_star()),
         ("paper-example", paper_example_graph()),
-        ("cells", unary_cells(vec![CellSize::Infinite, CellSize::Infinite])),
+        (
+            "cells",
+            unary_cells(vec![CellSize::Infinite, CellSize::Infinite]),
+        ),
         ("rado", rado_graph()),
     ]
 }
@@ -120,8 +122,7 @@ fn coloring_dichotomy() {
     let wide: Vec<Elem> = (0..48).map(Elem).collect();
     // Line: strictly growing.
     assert!(
-        count_rank1_classes(&colored_line, &wide)
-            > count_rank1_classes(&colored_line, &narrow)
+        count_rank1_classes(&colored_line, &wide) > count_rank1_classes(&colored_line, &narrow)
     );
     // Star: saturates at 3 (hub, the marked leaf, other leaves).
     assert_eq!(count_rank1_classes(&colored_star, &narrow), 3);
