@@ -6,7 +6,7 @@
 //! each while-test primitive, and (b) a singleton-driven growth loop
 //! vs the same growth with a statically known iteration count.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use recdb_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use recdb_core::Fuel;
 use recdb_qlhs::{parse_program, HsInterp};
 use std::hint::black_box;

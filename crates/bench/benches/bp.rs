@@ -2,7 +2,7 @@
 //! (Theorem 6.1), tree-bounded FO evaluation versus quantifier depth
 //! (Theorem 6.3), and unary L⁻ expression synthesis (Theorem 6.2).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use recdb_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use recdb_bp::{express_unary_relation, fo_member, isolating_formula, Gadget};
 use recdb_core::{DatabaseBuilder, Elem, FiniteStructure, FnRelation, Tuple};
 use recdb_hsdb::paper_example_graph;

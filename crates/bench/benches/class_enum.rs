@@ -2,8 +2,8 @@
 //! n=2). Measures closed-form counting vs explicit enumeration across
 //! the schema zoo.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use recdb_bench::schema_zoo;
+use recdb_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use recdb_core::{count_classes, enumerate_classes};
 use std::hint::black_box;
 use std::time::Duration;

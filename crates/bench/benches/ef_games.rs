@@ -2,7 +2,7 @@
 //! pool size, on the line (distance discrimination) and finite cycles
 //! (the Corollary 3.1 elementary-equivalence workloads).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use recdb_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use recdb_core::{Elem, FiniteStructure, Tuple};
 use recdb_logic::{ef_finite_pair, EfGame};
 use std::hint::black_box;

@@ -2,8 +2,8 @@
 //! characteristic tree (Prop 4.1) versus finite-part size, and QLf+
 //! program evaluation.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use recdb_bench::fcf_of_size;
+use recdb_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use recdb_core::Fuel;
 use recdb_hsdb::df_from_tree;
 use recdb_qlhs::{parse_program, FcfInterp};

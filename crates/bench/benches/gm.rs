@@ -2,7 +2,7 @@
 //! §5 loading process spawns one unit per tuple; peak unit count and
 //! run time scale with the loaded relation.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use recdb_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use recdb_core::{FiniteStructure, Fuel};
 use recdb_gm::{GmAction, GmBuilder, GmProgram};
 use recdb_hsdb::{ComponentGraph, HsDatabase};

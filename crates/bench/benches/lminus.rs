@@ -2,7 +2,7 @@
 //! formula from a class union, and evaluation cost versus rank and
 //! class count.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use recdb_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use recdb_bench::{infinite_db_zoo, random_tuples};
 use recdb_core::{enumerate_classes, ClassUnionQuery, Schema};
 use recdb_logic::LMinusQuery;

@@ -2,7 +2,7 @@
 //! rank and schema width. The oracle-question count is `Σᵢ 2·n^{aᵢ}`;
 //! the measurements should track it.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use recdb_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use recdb_bench::{infinite_db_zoo, random_tuples};
 use recdb_core::locally_isomorphic;
 use std::hint::black_box;

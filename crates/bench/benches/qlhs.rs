@@ -2,7 +2,7 @@
 //! programs on representations of varying width, the finitary-QL
 //! baseline, and the compiled counter machine.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use recdb_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use recdb_core::{FiniteStructure, Fuel};
 use recdb_hsdb::infinite_clique;
 use recdb_qlhs::{compile_counter, parse_program, FinInterp, HsInterp, Val};

@@ -3,7 +3,7 @@
 //! canonical-representative lookup on the Rado graph and the random
 //! digraph.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use recdb_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use recdb_core::{Elem, Tuple};
 use recdb_hsdb::{rado_graph, rado_witness, random_digraph, verify_rado_extension};
 use std::hint::black_box;

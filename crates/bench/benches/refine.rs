@@ -8,7 +8,7 @@
 //! a test oracle), `bucketed/<t>` is the shipping one. Distill the
 //! medians with `scripts/bench_refine.sh`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use recdb_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use recdb_bench::{infinite_db_zoo, random_tuples};
 use recdb_hsdb::{
     equiv_r_tree, find_r0, paper_example_graph, partition_by_local_iso,

@@ -2,7 +2,7 @@
 //! technique on the line (class counts grow with the window) vs the
 //! clique (bounded), and stretching costs.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use recdb_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use recdb_core::{Elem, Tuple};
 use recdb_hsdb::{
     count_rank1_classes, infinite_clique, line_equiv, stretch_hsdb, CandidateSource, FnCandidates,

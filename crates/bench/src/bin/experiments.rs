@@ -3,7 +3,9 @@
 //! paper. `EXPERIMENTS.md` records the output.
 //!
 //! Run with `cargo run -p recdb-bench --bin experiments` (add
-//! `--release` for the timing columns to be meaningful).
+//! `--release` for the timing columns to be meaningful). With
+//! `--metrics-out <path>` the whole run records hot-path metrics and
+//! writes a `METRICS/v1` report on exit.
 
 use recdb_bench::{fcf_of_size, hs_zoo, infinite_db_zoo, random_tuples, schema_zoo};
 use recdb_bp::{express_hs_relation, fo_member, Gadget};
@@ -27,7 +29,23 @@ fn header(id: &str, title: &str) {
     println!("================================================================");
 }
 
+fn parse_metrics_out() -> Option<String> {
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        if arg == "--metrics-out" {
+            return Some(it.next().expect("--metrics-out needs a path"));
+        }
+    }
+    None
+}
+
 fn main() {
+    let metrics_out = parse_metrics_out();
+    let recorder = metrics_out.as_ref().map(|_| {
+        let r = recdb_obs::InMemoryRecorder::shared();
+        recdb_obs::install(r.clone());
+        r
+    });
     e1_class_counts();
     e2_lminus_roundtrip();
     e3_lociso_cost();
@@ -41,6 +59,13 @@ fn main() {
     e11_gm();
     e12_bp();
     e13_ablation();
+    if let (Some(path), Some(rec)) = (&metrics_out, recorder) {
+        recdb_obs::uninstall();
+        let mut metrics = rec.snapshot();
+        metrics.parallel = cfg!(feature = "parallel");
+        metrics.write_json(path).expect("write metrics report");
+        eprintln!("wrote {path}");
+    }
     println!("\nall experiments completed.");
 }
 

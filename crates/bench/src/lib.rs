@@ -5,18 +5,25 @@
 //! experiment suite defined in `DESIGN.md` §4 instead *validates each
 //! theorem empirically* and measures the cost of every algorithm the
 //! proofs rely on. This crate centralizes the workloads so the
-//! Criterion benches and the table-printing binary agree exactly.
+//! benches and the table-printing binary agree exactly.
+//!
+//! Also home of [`microbench`], the dependency-free Criterion-API shim
+//! the bench harnesses compile against (offline builds cannot fetch
+//! the real crate — DESIGN.md §7).
 
 #![warn(missing_docs)]
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+pub mod microbench;
+
+use recdb_core::rng::SplitMix64;
 use recdb_core::{Database, DatabaseBuilder, Elem, FiniteRelation, FnRelation, Schema, Tuple};
 use recdb_hsdb::HsDatabase;
 
+pub use microbench::{Bencher, BenchmarkGroup, BenchmarkId, Criterion};
+
 /// Deterministic RNG for reproducible workloads.
-pub fn rng(seed: u64) -> StdRng {
-    StdRng::seed_from_u64(seed)
+pub fn rng(seed: u64) -> SplitMix64 {
+    SplitMix64::seed_from_u64(seed)
 }
 
 /// A random finite graph database over `n` vertices with edge
@@ -26,7 +33,7 @@ pub fn random_graph_db(n: u64, density_pct: u32, seed: u64) -> Database {
     let mut edges = Vec::new();
     for a in 0..n {
         for b in 0..n {
-            if r.gen_ratio(density_pct, 100) {
+            if r.gen_usize(100) < density_pct as usize {
                 edges.push((a, b));
             }
         }
@@ -37,8 +44,8 @@ pub fn random_graph_db(n: u64, density_pct: u32, seed: u64) -> Database {
 }
 
 /// A random tuple of the given rank over `0..universe`.
-pub fn random_tuple(rank: usize, universe: u64, r: &mut StdRng) -> Tuple {
-    (0..rank).map(|_| Elem(r.gen_range(0..universe))).collect()
+pub fn random_tuple(rank: usize, universe: u64, r: &mut SplitMix64) -> Tuple {
+    (0..rank).map(|_| Elem(r.gen_range(0, universe))).collect()
 }
 
 /// A batch of random tuples.

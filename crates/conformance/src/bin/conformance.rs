@@ -1,11 +1,13 @@
 //! CLI runner for the theorem ledger.
 //!
 //! ```text
-//! conformance [--seed N] [--filter SUBSTR] [--out PATH] [--list]
+//! conformance [--seed N] [--filter SUBSTR] [--out PATH]
+//!             [--metrics-out PATH] [--list]
 //! ```
 //!
 //! Prints the ledger table to stdout, optionally writes the
-//! machine-readable `CONFORMANCE.json`, and exits non-zero if any
+//! machine-readable `CONFORMANCE.json` and a `METRICS/v1` report of
+//! the hot-path counters the run exercised, and exits non-zero if any
 //! check FAILs (SKIPPED is not a failure).
 
 use recdb_conformance::{checks, run_ledger, DEFAULT_SEED};
@@ -15,6 +17,7 @@ struct Args {
     seed: u64,
     filter: Option<String>,
     out: Option<String>,
+    metrics_out: Option<String>,
     list: bool,
 }
 
@@ -23,6 +26,7 @@ fn parse_args() -> Result<Args, String> {
         seed: DEFAULT_SEED,
         filter: None,
         out: None,
+        metrics_out: None,
         list: false,
     };
     let mut it = std::env::args().skip(1);
@@ -34,10 +38,13 @@ fn parse_args() -> Result<Args, String> {
             }
             "--filter" => args.filter = Some(it.next().ok_or("--filter needs a value")?),
             "--out" => args.out = Some(it.next().ok_or("--out needs a path")?),
+            "--metrics-out" => {
+                args.metrics_out = Some(it.next().ok_or("--metrics-out needs a path")?)
+            }
             "--list" => args.list = true,
             "--help" | "-h" => {
                 return Err("usage: conformance [--seed N] [--filter SUBSTR] \
-                            [--out PATH] [--list]"
+                            [--out PATH] [--metrics-out PATH] [--list]"
                     .into())
             }
             other => return Err(format!("unknown argument {other:?}")),
@@ -68,10 +75,26 @@ fn main() -> ExitCode {
         }
         return ExitCode::SUCCESS;
     }
+    // Only pay for metric recording when a report was asked for.
+    let recorder = args.metrics_out.as_ref().map(|_| {
+        let r = recdb_obs::InMemoryRecorder::shared();
+        recdb_obs::install(r.clone());
+        r
+    });
     let report = run_ledger(args.seed, args.filter.as_deref());
     print!("{}", report.render_table());
     if let Some(path) = &args.out {
         if let Err(e) = std::fs::write(path, report.to_json()) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::from(2);
+        }
+        eprintln!("wrote {path}");
+    }
+    if let (Some(path), Some(rec)) = (&args.metrics_out, recorder) {
+        recdb_obs::uninstall();
+        let mut metrics = rec.snapshot();
+        metrics.parallel = cfg!(feature = "parallel");
+        if let Err(e) = metrics.write_json(path) {
             eprintln!("cannot write {path}: {e}");
             return ExitCode::from(2);
         }

@@ -35,6 +35,7 @@ impl Fingerprint {
     /// equality pattern, then per relation the membership bits in
     /// odometer order over index vectors — into an FNV-1a digest.
     pub fn of(db: &Database, u: &Tuple) -> Fingerprint {
+        recdb_obs::count("core.fingerprints", 1);
         let pattern = u.equality_pattern();
         let blocks = pattern.iter().copied().max().map_or(0, |m| m + 1);
         let reps = u.distinct_elems();

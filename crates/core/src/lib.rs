@@ -46,6 +46,7 @@ mod intern;
 mod lociso;
 mod query;
 mod relation;
+pub mod rng;
 pub mod sampling;
 mod schema;
 mod types;
@@ -62,6 +63,7 @@ pub use intern::{TupleId, TupleInterner};
 pub use lociso::{index_vectors, locally_equivalent, locally_isomorphic};
 pub use query::{ClassUnionQuery, QueryOutcome, RQuery};
 pub use relation::{CoFiniteRelation, FiniteRelation, FnRelation, RecursiveRelation, RelationRef};
+pub use rng::{fnv1a, SplitMix64};
 pub use sampling::{genericity_disagreements, iso_pair_from_class, iso_pairs, IsoPair};
 pub use schema::Schema;
 pub use types::{

@@ -29,6 +29,7 @@ pub fn locally_isomorphic(b1: &Database, u: &Tuple, b2: &Database, v: &Tuple) ->
         b2.schema(),
         "local isomorphism requires databases of the same type"
     );
+    recdb_obs::count("core.lociso_checks", 1);
     // (i) equal rank
     if u.rank() != v.rank() {
         return false;

@@ -1,83 +1,110 @@
 //! Property-based tests for the core invariants of §2.
+//!
+//! Written as seeded deterministic property loops over
+//! [`recdb_core::SplitMix64`] rather than an external framework, so
+//! they run in offline environments (DESIGN.md §7, seed-test triage).
+//! Each test derives its stream from its own name, so adding or
+//! reordering tests never perturbs another test's inputs.
 
-use proptest::prelude::*;
 use recdb_core::{
-    amalgamate, count_classes, enumerate_classes, locally_equivalent, locally_isomorphic,
-    AtomicType, ClassUnionQuery, Database, DatabaseBuilder, FiniteRelation, QueryOutcome, RQuery,
-    Schema, Tuple,
+    amalgamate, count_classes, enumerate_classes, fnv1a, locally_equivalent, locally_isomorphic,
+    AtomicType, ClassUnionQuery, Database, DatabaseBuilder, Elem, FiniteRelation, QueryOutcome,
+    RQuery, Schema, SplitMix64, Tuple,
 };
+use std::collections::BTreeSet;
 
-/// Strategy: a small finite graph database over elements 0..6.
-fn small_graph_db() -> impl Strategy<Value = Database> {
-    proptest::collection::btree_set((0u64..6, 0u64..6), 0..12).prop_map(|edges| {
-        DatabaseBuilder::new("g")
-            .relation("E", FiniteRelation::edges(edges))
-            .build()
-    })
+/// Cases per property — seeded, so every run explores the same inputs.
+const CASES: usize = 96;
+
+fn rng_for(test: &str) -> SplitMix64 {
+    SplitMix64::seed_from_u64(fnv1a(test) ^ 0x5ecd_eb0a)
 }
 
-/// Strategy: a tuple of rank 0..4 over elements 0..6.
-fn small_tuple() -> impl Strategy<Value = Tuple> {
-    proptest::collection::vec(0u64..6, 0..4).prop_map(Tuple::from_values)
+/// A small finite graph database over elements 0..6.
+fn small_graph_db(rng: &mut SplitMix64) -> Database {
+    DatabaseBuilder::new("g")
+        .relation("E", FiniteRelation::edges(small_edge_set(rng)))
+        .build()
 }
 
-proptest! {
-    /// `≅ₗ` is reflexive.
-    #[test]
-    fn lociso_reflexive(db in small_graph_db(), u in small_tuple()) {
-        prop_assert!(locally_equivalent(&db, &u, &u));
+fn small_edge_set(rng: &mut SplitMix64) -> BTreeSet<(u64, u64)> {
+    let n = rng.gen_usize(12);
+    (0..n)
+        .map(|_| (rng.gen_range(0, 6), rng.gen_range(0, 6)))
+        .collect()
+}
+
+/// A tuple of rank 0..4 over elements 0..6.
+fn small_tuple(rng: &mut SplitMix64) -> Tuple {
+    let rank = rng.gen_usize(4);
+    Tuple::from_values((0..rank).map(|_| rng.gen_range(0, 6)))
+}
+
+#[test]
+fn lociso_reflexive() {
+    let mut rng = rng_for("lociso_reflexive");
+    for _ in 0..CASES {
+        let db = small_graph_db(&mut rng);
+        let u = small_tuple(&mut rng);
+        assert!(locally_equivalent(&db, &u, &u));
     }
+}
 
-    /// `≅ₗ` is symmetric (across two databases).
-    #[test]
-    fn lociso_symmetric(
-        db1 in small_graph_db(),
-        db2 in small_graph_db(),
-        u in small_tuple(),
-        v in small_tuple(),
-    ) {
-        prop_assert_eq!(
+#[test]
+fn lociso_symmetric() {
+    let mut rng = rng_for("lociso_symmetric");
+    for _ in 0..CASES {
+        let db1 = small_graph_db(&mut rng);
+        let db2 = small_graph_db(&mut rng);
+        let u = small_tuple(&mut rng);
+        let v = small_tuple(&mut rng);
+        assert_eq!(
             locally_isomorphic(&db1, &u, &db2, &v),
             locally_isomorphic(&db2, &v, &db1, &u)
         );
     }
+}
 
-    /// `≅ₗ` is transitive.
-    #[test]
-    fn lociso_transitive(
-        db in small_graph_db(),
-        u in small_tuple(),
-        v in small_tuple(),
-        w in small_tuple(),
-    ) {
+#[test]
+fn lociso_transitive() {
+    let mut rng = rng_for("lociso_transitive");
+    for _ in 0..CASES {
+        let db = small_graph_db(&mut rng);
+        let u = small_tuple(&mut rng);
+        let v = small_tuple(&mut rng);
+        let w = small_tuple(&mut rng);
         if locally_equivalent(&db, &u, &v) && locally_equivalent(&db, &v, &w) {
-            prop_assert!(locally_equivalent(&db, &u, &w));
+            assert!(locally_equivalent(&db, &u, &w));
         }
     }
+}
 
-    /// Atomic-type equality coincides with `≅ₗ` — the classes `Cⁿ` are
-    /// exactly the fibers of `AtomicType::of` (Prop 2.2 / Prop 2.4).
-    #[test]
-    fn atomic_type_iff_lociso(
-        db1 in small_graph_db(),
-        db2 in small_graph_db(),
-        u in small_tuple(),
-        v in small_tuple(),
-    ) {
-        prop_assert_eq!(
+/// Atomic-type equality coincides with `≅ₗ` — the classes `Cⁿ` are
+/// exactly the fibers of `AtomicType::of` (Prop 2.2 / Prop 2.4).
+#[test]
+fn atomic_type_iff_lociso() {
+    let mut rng = rng_for("atomic_type_iff_lociso");
+    for _ in 0..CASES {
+        let db1 = small_graph_db(&mut rng);
+        let db2 = small_graph_db(&mut rng);
+        let u = small_tuple(&mut rng);
+        let v = small_tuple(&mut rng);
+        assert_eq!(
             AtomicType::of(&db1, &u) == AtomicType::of(&db2, &v),
             locally_isomorphic(&db1, &u, &db2, &v)
         );
     }
+}
 
-    /// `≅ₗ` is invariant under injective renaming of the tuple (with
-    /// the graph renamed accordingly).
-    #[test]
-    fn lociso_invariant_under_renaming(
-        edges in proptest::collection::btree_set((0u64..6, 0u64..6), 0..12),
-        u in small_tuple(),
-        shift in 1u64..50,
-    ) {
+/// `≅ₗ` is invariant under injective renaming of the tuple (with the
+/// graph renamed accordingly).
+#[test]
+fn lociso_invariant_under_renaming() {
+    let mut rng = rng_for("lociso_invariant_under_renaming");
+    for _ in 0..CASES {
+        let edges = small_edge_set(&mut rng);
+        let u = small_tuple(&mut rng);
+        let shift = rng.gen_range(1, 50);
         let db = DatabaseBuilder::new("g")
             .relation("E", FiniteRelation::edges(edges.iter().copied()))
             .build();
@@ -87,62 +114,73 @@ proptest! {
                 FiniteRelation::edges(edges.iter().map(|&(a, b)| (a + shift, b + shift))),
             )
             .build();
-        let v = u.map(|e| recdb_core::Elem(e.value() + shift));
-        prop_assert!(locally_isomorphic(&db, &u, &db2, &v));
+        let v = u.map(|e| Elem(e.value() + shift));
+        assert!(locally_isomorphic(&db, &u, &db2, &v));
     }
+}
 
-    /// The amalgam of Prop 2.3 is locally isomorphic to both inputs.
-    #[test]
-    fn amalgam_locally_isomorphic_to_inputs(
-        db1 in small_graph_db(),
-        db2 in small_graph_db(),
-        u in small_tuple(),
-        v in small_tuple(),
-    ) {
+/// The amalgam of Prop 2.3 is locally isomorphic to both inputs.
+#[test]
+fn amalgam_locally_isomorphic_to_inputs() {
+    let mut rng = rng_for("amalgam_locally_isomorphic_to_inputs");
+    for _ in 0..CASES {
+        let db1 = small_graph_db(&mut rng);
+        let db2 = small_graph_db(&mut rng);
+        let u = small_tuple(&mut rng);
+        let v = small_tuple(&mut rng);
         let (b3, u3, v3) = amalgamate(&db1, &u, &db2, &v);
-        prop_assert!(locally_isomorphic(&db1, &u, &b3, &u3));
-        prop_assert!(locally_isomorphic(&db2, &v, &b3, &v3));
+        assert!(locally_isomorphic(&db1, &u, &b3, &u3));
+        assert!(locally_isomorphic(&db2, &v, &b3, &v3));
     }
+}
 
-    /// Witnesses round-trip: the type of a witness is the type itself.
-    #[test]
-    fn witness_roundtrip(idx in 0usize..68) {
-        let schema = Schema::new([2, 1]);
-        let classes = enumerate_classes(&schema, 2);
-        prop_assert_eq!(classes.len(), 68);
-        let ty = &classes[idx];
+/// Witnesses round-trip: the type of a witness is the type itself —
+/// exhaustively over all 68 rank-2 classes of the ⟨2,1⟩ schema.
+#[test]
+fn witness_roundtrip() {
+    let schema = Schema::new([2, 1]);
+    let classes = enumerate_classes(&schema, 2);
+    assert_eq!(classes.len(), 68);
+    for ty in &classes {
         let (db, u) = ty.witness(&schema);
-        prop_assert_eq!(&AtomicType::of(&db, &u), ty);
+        assert_eq!(&AtomicType::of(&db, &u), ty);
     }
+}
 
-    /// Class-union queries are locally generic by construction: the
-    /// answer depends only on the atomic type.
-    #[test]
-    fn class_union_query_answers_by_type(
-        db1 in small_graph_db(),
-        db2 in small_graph_db(),
-        u in small_tuple(),
-        v in small_tuple(),
-        selector in proptest::collection::vec(any::<bool>(), 10),
-    ) {
+/// Class-union queries are locally generic by construction: the answer
+/// depends only on the atomic type.
+#[test]
+fn class_union_query_answers_by_type() {
+    let mut rng = rng_for("class_union_query_answers_by_type");
+    for _ in 0..CASES {
+        let db1 = small_graph_db(&mut rng);
+        let db2 = small_graph_db(&mut rng);
+        let u = small_tuple(&mut rng);
+        let v = small_tuple(&mut rng);
+        let selector: Vec<bool> = (0..10).map(|_| rng.gen_bool()).collect();
         let schema = Schema::new([2]);
         let rank = u.rank();
         let all = enumerate_classes(&schema, rank);
         let chosen: Vec<AtomicType> = all
             .into_iter()
             .enumerate()
-            .filter(|(i, _)| selector.get(i % selector.len().max(1)).copied().unwrap_or(false))
+            .filter(|(i, _)| selector[i % selector.len()])
             .map(|(_, c)| c)
             .collect();
         let q = ClassUnionQuery::new(schema, rank, chosen);
         if locally_isomorphic(&db1, &u, &db2, &v) {
-            prop_assert_eq!(q.contains(&db1, &u), q.contains(&db2, &v));
+            assert_eq!(q.contains(&db1, &u), q.contains(&db2, &v));
         }
     }
+}
 
-    /// Complementation is an involution and partitions membership.
-    #[test]
-    fn complement_partitions(db in small_graph_db(), u in small_tuple()) {
+/// Complementation is an involution and partitions membership.
+#[test]
+fn complement_partitions() {
+    let mut rng = rng_for("complement_partitions");
+    for _ in 0..CASES {
+        let db = small_graph_db(&mut rng);
+        let u = small_tuple(&mut rng);
         let schema = Schema::new([2]);
         let rank = u.rank();
         let half: Vec<AtomicType> = enumerate_classes(&schema, rank)
@@ -152,44 +190,57 @@ proptest! {
         let q = ClassUnionQuery::new(schema, rank, half);
         let c = q.complement().unwrap();
         let (a, b) = (q.contains(&db, &u), c.contains(&db, &u));
-        prop_assert_ne!(a.is_member(), b.is_member());
-        prop_assert_eq!(c.complement().unwrap(), q);
+        assert_ne!(a.is_member(), b.is_member());
+        assert_eq!(c.complement().unwrap(), q);
     }
+}
 
-    /// `count_classes` agrees with enumeration for random small schemas.
-    #[test]
-    fn count_matches_enumeration(
-        a1 in 1usize..3,
-        a2 in 0usize..2,
-        n in 0usize..3,
-    ) {
-        let schema = Schema::new([a1, a2]);
-        // Skip astronomically large cases the enumerator guards against.
-        let count = count_classes(&schema, n);
-        if count < 5000 {
-            prop_assert_eq!(count, enumerate_classes(&schema, n).len() as u128);
+/// `count_classes` agrees with enumeration, exhaustively over small
+/// schemas ⟨a1, a2⟩ with a1 ∈ {1,2}, a2 ∈ {0,1} and n ∈ {0,1,2}.
+#[test]
+fn count_matches_enumeration() {
+    for a1 in 1usize..3 {
+        for a2 in 0usize..2 {
+            for n in 0usize..3 {
+                let schema = Schema::new([a1, a2]);
+                // Skip astronomically large cases the enumerator
+                // guards against.
+                let count = count_classes(&schema, n);
+                if count < 5000 {
+                    assert_eq!(count, enumerate_classes(&schema, n).len() as u128);
+                }
+            }
         }
     }
+}
 
-    /// Equality patterns are restricted-growth strings.
-    #[test]
-    fn equality_pattern_is_rgs(u in small_tuple()) {
+/// Equality patterns are restricted-growth strings.
+#[test]
+fn equality_pattern_is_rgs() {
+    let mut rng = rng_for("equality_pattern_is_rgs");
+    for _ in 0..CASES {
+        let u = small_tuple(&mut rng);
         let pat = u.equality_pattern();
         let mut maxv: Option<usize> = None;
         for &p in &pat {
             match maxv {
-                None => prop_assert_eq!(p, 0),
-                Some(m) => prop_assert!(p <= m + 1),
+                None => assert_eq!(p, 0),
+                Some(m) => assert!(p <= m + 1),
             }
             maxv = Some(maxv.map_or(0, |m| m.max(p)));
         }
     }
+}
 
-    /// Query outcomes on undefined queries are Undefined on every input.
-    #[test]
-    fn undefined_is_total_undefined(db in small_graph_db(), u in small_tuple()) {
+/// Query outcomes on undefined queries are Undefined on every input.
+#[test]
+fn undefined_is_total_undefined() {
+    let mut rng = rng_for("undefined_is_total_undefined");
+    for _ in 0..CASES {
+        let db = small_graph_db(&mut rng);
+        let u = small_tuple(&mut rng);
         let q = ClassUnionQuery::undefined(Schema::new([2]));
-        prop_assert_eq!(q.contains(&db, &u), QueryOutcome::Undefined);
+        assert_eq!(q.contains(&db, &u), QueryOutcome::Undefined);
     }
 }
 
@@ -205,76 +256,79 @@ mod combinator_props {
         }))
     }
 
-    proptest! {
-        /// Boolean-algebra laws of the relation combinators, pointwise.
-        #[test]
-        fn combinator_laws(
-            m1 in 2u64..6,
-            m2 in 2u64..6,
-            a in 0u64..30,
-            b in 0u64..30,
-        ) {
-            let t = [recdb_core::Elem(a), recdb_core::Elem(b)];
-            let (r, s) = (rel_mod(m1), rel_mod(m2));
-            // De Morgan.
-            let lhs = complement(shared(union(r.clone(), s.clone())));
-            let rhs = intersect(
-                shared(complement(r.clone())),
-                shared(complement(s.clone())),
-            );
-            prop_assert_eq!(lhs.contains(&t), rhs.contains(&t));
-            // Involution.
-            let cc = complement(shared(complement(r.clone())));
-            prop_assert_eq!(cc.contains(&t), r.contains(&t));
-            // Intersection commutes.
-            let i1 = intersect(r.clone(), s.clone());
-            let i2 = intersect(s, r);
-            prop_assert_eq!(i1.contains(&t), i2.contains(&t));
+    /// Boolean-algebra laws of the relation combinators, pointwise —
+    /// exhaustive over the moduli, random over the evaluation points.
+    #[test]
+    fn combinator_laws() {
+        let mut rng = rng_for("combinator_laws");
+        for m1 in 2u64..6 {
+            for m2 in 2u64..6 {
+                for _ in 0..8 {
+                    let a = rng.gen_range(0, 30);
+                    let b = rng.gen_range(0, 30);
+                    let t = [Elem(a), Elem(b)];
+                    let (r, s) = (rel_mod(m1), rel_mod(m2));
+                    // De Morgan.
+                    let lhs = complement(shared(union(r.clone(), s.clone())));
+                    let rhs =
+                        intersect(shared(complement(r.clone())), shared(complement(s.clone())));
+                    assert_eq!(lhs.contains(&t), rhs.contains(&t));
+                    // Involution.
+                    let cc = complement(shared(complement(r.clone())));
+                    assert_eq!(cc.contains(&t), r.contains(&t));
+                    // Intersection commutes.
+                    let i1 = intersect(r.clone(), s.clone());
+                    let i2 = intersect(s, r);
+                    assert_eq!(i1.contains(&t), i2.contains(&t));
+                }
+            }
         }
+    }
 
-        /// Product membership splits exactly at the arity boundary.
-        #[test]
-        fn product_split(
-            m1 in 2u64..6,
-            m2 in 2u64..6,
-            vals in proptest::collection::vec(0u64..20, 4),
-        ) {
+    /// Product membership splits exactly at the arity boundary.
+    #[test]
+    fn product_split() {
+        let mut rng = rng_for("product_split");
+        for _ in 0..CASES {
+            let m1 = rng.gen_range(2, 6);
+            let m2 = rng.gen_range(2, 6);
             let (r, s) = (rel_mod(m1), rel_mod(m2));
             let p = product(r.clone(), s.clone());
-            let t: Vec<recdb_core::Elem> = vals.iter().map(|&v| recdb_core::Elem(v)).collect();
-            prop_assert_eq!(
-                p.contains(&t),
-                r.contains(&t[..2]) && s.contains(&t[2..])
-            );
+            let t: Vec<Elem> = (0..4).map(|_| Elem(rng.gen_range(0, 20))).collect();
+            assert_eq!(p.contains(&t), r.contains(&t[..2]) && s.contains(&t[2..]));
         }
+    }
 
-        /// Mapped copies are isomorphic: membership is preserved under
-        /// the element translation.
-        #[test]
-        fn mapped_preserves_membership(
-            m in 2u64..6,
-            a in 0u64..30,
-            b in 0u64..30,
-            shift in 1u64..50,
-        ) {
+    /// Mapped copies are isomorphic: membership is preserved under the
+    /// element translation.
+    #[test]
+    fn mapped_preserves_membership() {
+        let mut rng = rng_for("mapped_preserves_membership");
+        for _ in 0..CASES {
+            let m = rng.gen_range(2, 6);
+            let a = rng.gen_range(0, 30);
+            let b = rng.gen_range(0, 30);
+            let shift = rng.gen_range(1, 50);
             let r = rel_mod(m);
-            let copy = mapped(r.clone(), move |e| {
-                recdb_core::Elem(e.value().wrapping_sub(shift))
-            });
-            let orig = [recdb_core::Elem(a), recdb_core::Elem(b)];
-            let image = [recdb_core::Elem(a + shift), recdb_core::Elem(b + shift)];
-            prop_assert_eq!(r.contains(&orig), copy.contains(&image));
+            let copy = mapped(r.clone(), move |e| Elem(e.value().wrapping_sub(shift)));
+            let orig = [Elem(a), Elem(b)];
+            let image = [Elem(a + shift), Elem(b + shift)];
+            assert_eq!(r.contains(&orig), copy.contains(&image));
         }
+    }
 
-        /// Sampled iso-pairs are always locally isomorphic, for any
-        /// subsampling stride.
-        #[test]
-        fn iso_pairs_always_locally_isomorphic(keep in 1usize..8, rank in 1usize..3) {
-            let schema = Schema::with_names(&["E"], &[2]);
-            for p in recdb_core::iso_pairs(&schema, rank, keep) {
-                prop_assert!(locally_isomorphic(
-                    &p.left.0, &p.left.1, &p.right.0, &p.right.1
-                ));
+    /// Sampled iso-pairs are always locally isomorphic, for any
+    /// subsampling stride — exhaustive over (keep, rank).
+    #[test]
+    fn iso_pairs_always_locally_isomorphic() {
+        for keep in 1usize..8 {
+            for rank in 1usize..3 {
+                let schema = Schema::with_names(&["E"], &[2]);
+                for p in recdb_core::iso_pairs(&schema, rank, keep) {
+                    assert!(locally_isomorphic(
+                        &p.left.0, &p.left.1, &p.right.0, &p.right.1
+                    ));
+                }
             }
         }
     }

@@ -1,0 +1,174 @@
+//! Oracle-call edge cases for the GMhs machinery (ISSUE 3, satellite
+//! 4): the §5 machines consult three oracles — `T_B` offspring, the
+//! `≅_B` equivalence test, and the representative store. These tests
+//! pin the degenerate answers: an empty `T_B` reply, `≅_B` on equal
+//! (including rank-0) tuples, and halting on a database with zero
+//! relations.
+
+use recdb_core::{tuple, DatabaseBuilder, Elem, FiniteRelation, Fuel, Tuple};
+use recdb_gm::{GmAction, GmBuilder, GmError, Head};
+use recdb_hsdb::{infinite_clique, EquivRef, FnEquiv, FnTree, HsDatabase, TreeRef};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// A one-node universe: `P = {0}`, characteristic tree of depth 1
+/// (`T_B(ε) = {0}`, `T_B((0)) = ∅`). Legal per Def 3.7 — highly
+/// recursive trees may be finite — and the minimal way to make the
+/// offspring oracle answer "none".
+fn depth_one_db() -> HsDatabase {
+    let db = DatabaseBuilder::new("depth-one")
+        .relation("P", FiniteRelation::new(1, [tuple![0]]))
+        .build();
+    let tree: TreeRef = Arc::new(FnTree::new(|x: &Tuple| {
+        if x.rank() == 0 {
+            vec![Elem(0)]
+        } else {
+            Vec::new()
+        }
+    }));
+    let equiv: EquivRef = Arc::new(FnEquiv::new(|u: &Tuple, v: &Tuple| u == v));
+    let reps: BTreeSet<Tuple> = [tuple![0]].into_iter().collect();
+    HsDatabase::new(db, tree, equiv, vec![reps])
+}
+
+/// Operation (v) with an empty `T_B` answer spawns zero copies, so the
+/// unit vanishes and the machine goes extinct — the same protocol that
+/// makes `LoadRel` on an empty store a dead end.
+#[test]
+fn load_offspring_with_empty_tb_answer_goes_extinct() {
+    let hs = depth_one_db();
+    let mut b = GmBuilder::new();
+    let s0 = b.fresh();
+    let s1 = b.fresh();
+    let halt = b.fresh();
+    b.set(s0, GmAction::LoadRel { rel: 0, next: s1 });
+    b.set(s1, GmAction::LoadOffspring { next: halt });
+    b.set(halt, GmAction::Halt);
+    let gm = b.build(1);
+    assert!(matches!(
+        gm.run(&hs, &mut Fuel::new(10_000)),
+        Err(GmError::Extinct)
+    ));
+}
+
+/// The same tree's single leaf is loadable before the dead end: one
+/// offspring at the root, none below it.
+#[test]
+fn depth_one_tree_loads_its_single_leaf() {
+    let hs = depth_one_db();
+    let mut b = GmBuilder::new();
+    let s0 = b.fresh();
+    let st = b.fresh();
+    let fin = b.fresh();
+    let halt = b.fresh();
+    b.set(s0, GmAction::LoadRel { rel: 0, next: st });
+    b.set(st, GmAction::StoreCurrent { rel: 1, next: fin });
+    b.set(fin, GmAction::EraseTape(halt));
+    b.set(halt, GmAction::Halt);
+    let gm = b.build(2);
+    let out = gm
+        .run(&hs, &mut Fuel::new(10_000))
+        .expect("single unit halts");
+    assert_eq!(
+        out.store[1],
+        [tuple![0]].into_iter().collect::<BTreeSet<_>>()
+    );
+    assert_eq!(out.peak_units, 1);
+}
+
+/// Test 4 (`≅_B`) on *equal* tuples: both heads scan the same element
+/// block, so the oracle is asked `u ≅_B u` and must answer yes —
+/// reflexivity observed through the machine, not just the oracle API.
+#[test]
+fn branch_equiv_takes_yes_on_equal_tuples() {
+    let hs = infinite_clique();
+    let mut b = GmBuilder::new();
+    let s0 = b.fresh();
+    let mv = b.fresh();
+    let cmp = b.fresh();
+    let yes = b.fresh();
+    let fin = b.fresh();
+    let halt = b.fresh();
+    let die = b.fresh();
+    // After the load: tape = SEP e₁ e₂, h1 = 1, h2 = 0. One right
+    // move puts h2 on the same block as h1.
+    b.set(s0, GmAction::LoadRel { rel: 0, next: mv });
+    b.set(mv, GmAction::Move(Head::Second, 1, cmp));
+    b.set(cmp, GmAction::BranchEquiv { yes, no: die });
+    b.set(yes, GmAction::StoreCurrent { rel: 1, next: fin });
+    b.set(fin, GmAction::EraseTape(halt));
+    b.set(halt, GmAction::Halt);
+    b.set(die, GmAction::Die);
+    let gm = b.build(2);
+    let out = gm.run(&hs, &mut Fuel::new(100_000)).expect("yes branch");
+    assert_eq!(out.store[1].len(), 1, "every unit detected u ≅_B u");
+}
+
+/// The degenerate `≅_B` call: on an empty tape both heads scan the
+/// rank-0 empty block, and `() ≅_B ()` still answers yes.
+#[test]
+fn branch_equiv_on_empty_blocks_is_reflexive() {
+    let hs = infinite_clique();
+    let mut b = GmBuilder::new();
+    let cmp = b.fresh();
+    let halt = b.fresh();
+    let die = b.fresh();
+    b.set(cmp, GmAction::BranchEquiv { yes: halt, no: die });
+    b.set(halt, GmAction::Halt);
+    b.set(die, GmAction::Die);
+    let gm = b.build(1);
+    let out = gm.run(&hs, &mut Fuel::new(1_000)).expect("reflexive on ()");
+    assert_eq!(out.steps, 1);
+}
+
+/// A schema with zero relations: an HsDatabase carrying no `Cᵢ` at
+/// all. The initial unit starts with an all-empty store.
+fn zero_relation_db() -> HsDatabase {
+    let db = DatabaseBuilder::new("zero-schema").build();
+    let tree: TreeRef = Arc::new(FnTree::new(|x: &Tuple| {
+        // Clique-style tree: offspring are the distinct labels plus one
+        // fresh element (never consulted by the tests below).
+        let mut d = x.distinct_elems();
+        let fresh = (0..).map(Elem).find(|e| !d.contains(e)).expect("ℕ");
+        d.push(fresh);
+        d
+    }));
+    let equiv: EquivRef = Arc::new(FnEquiv::new(|u: &Tuple, v: &Tuple| {
+        u.equality_pattern() == v.equality_pattern()
+    }));
+    HsDatabase::new(db, tree, equiv, Vec::new())
+}
+
+/// Zero-relation inputs halt cleanly: state 0 = Halt is a complete,
+/// successful computation with an empty store and zero steps.
+#[test]
+fn halting_on_zero_relation_input() {
+    let hs = zero_relation_db();
+    let mut b = GmBuilder::new();
+    let halt = b.fresh();
+    b.set(halt, GmAction::Halt);
+    let gm = b.build(0);
+    let out = gm.run(&hs, &mut Fuel::new(100)).expect("immediate halt");
+    assert!(out.store.is_empty());
+    assert_eq!(out.steps, 0);
+    assert_eq!(out.peak_units, 1);
+}
+
+/// Stepping (moves, writes, erase) still works with no relations in
+/// the store — only `LoadRel` is impossible, and it isn't reached.
+#[test]
+fn zero_relation_input_supports_tape_work() {
+    let hs = zero_relation_db();
+    let mut b = GmBuilder::new();
+    let s0 = b.fresh();
+    let s1 = b.fresh();
+    let s2 = b.fresh();
+    let halt = b.fresh();
+    b.set(s0, GmAction::WriteSym(3, s1));
+    b.set(s1, GmAction::Move(Head::First, 1, s2));
+    b.set(s2, GmAction::EraseTape(halt));
+    b.set(halt, GmAction::Halt);
+    let gm = b.build(0);
+    let out = gm.run(&hs, &mut Fuel::new(100)).expect("clean halt");
+    assert_eq!(out.steps, 3);
+}

@@ -14,6 +14,18 @@
 #[cfg(feature = "parallel")]
 const MIN_CHUNK: usize = 64;
 
+/// Records one fan-out into the metrics sink. The serial paths report
+/// a single whole-slice chunk, so `parallel.chunks` and the
+/// `parallel.worker_tuples` histogram carry the same key set in serial
+/// and `--features parallel` builds — `scripts/conformance.sh` diffs
+/// exactly those key sets.
+fn record_fanout(chunk_lens: &[usize]) {
+    recdb_obs::count("parallel.chunks", chunk_lens.len() as u64);
+    for &len in chunk_lens {
+        recdb_obs::observe("parallel.worker_tuples", len as u64);
+    }
+}
+
 /// Maps `f` over `items`, preserving order.
 #[cfg(feature = "parallel")]
 pub(crate) fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
@@ -27,8 +39,11 @@ where
         .unwrap_or(1);
     let chunk = items.len().div_ceil(threads).max(MIN_CHUNK);
     if threads == 1 || items.len() <= chunk {
+        record_fanout(&[items.len()]);
         return items.iter().map(f).collect();
     }
+    let chunk_lens: Vec<usize> = items.chunks(chunk).map(<[T]>::len).collect();
+    record_fanout(&chunk_lens);
     let f = &f;
     let mut out: Vec<R> = Vec::with_capacity(items.len());
     std::thread::scope(|s| {
@@ -49,6 +64,7 @@ pub(crate) fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
 where
     F: Fn(&T) -> R,
 {
+    record_fanout(&[items.len()]);
     items.iter().map(f).collect()
 }
 

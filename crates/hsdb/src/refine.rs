@@ -75,6 +75,9 @@ impl std::error::Error for RefineError {}
 /// verified pairwise with [`locally_equivalent`]. Blocks come out in
 /// first-occurrence order.
 pub fn partition_by_local_iso(db: &Database, tuples: &[Tuple]) -> Partition {
+    let _span = recdb_obs::span("refine.partition.ns");
+    recdb_obs::count("refine.partition_calls", 1);
+    recdb_obs::count("refine.tuples", tuples.len() as u64);
     // Stage 1: one fingerprint per tuple (data-parallel).
     let fps = par_map(tuples, |t| Fingerprint::of(db, t));
     // Stage 2: bucket tuple indices by fingerprint, first-occurrence
@@ -90,27 +93,50 @@ pub fn partition_by_local_iso(db: &Database, tuples: &[Tuple]) -> Partition {
             }
         }
     }
+    recdb_obs::count("refine.buckets_probed", buckets.len() as u64);
+    for b in &buckets {
+        recdb_obs::observe("refine.bucket_size", b.len() as u64);
+    }
     // Stage 3: verify within each bucket (data-parallel across
     // buckets). A bucket almost always is one `≅ₗ`-class; the inner
-    // loop exists to un-merge hash collisions.
-    let verified: Vec<Vec<Vec<usize>>> = par_map(&buckets, |ixs| {
+    // loop exists to un-merge hash collisions. Each worker returns its
+    // failed-comparison count so the recorder is only touched from
+    // this thread (instrumentation must not reorder worker output).
+    let verified: Vec<(Vec<Vec<usize>>, u64)> = par_map(&buckets, |ixs| {
         let mut blocks: Vec<Vec<usize>> = Vec::new();
+        let mut failed_cmps: u64 = 0;
         for &i in ixs {
-            match blocks
-                .iter_mut()
-                .find(|b| locally_equivalent(db, &tuples[b[0]], &tuples[i]))
-            {
+            match blocks.iter_mut().find(|b| {
+                let eq = locally_equivalent(db, &tuples[b[0]], &tuples[i]);
+                if !eq {
+                    failed_cmps += 1;
+                }
+                eq
+            }) {
                 Some(b) => b.push(i),
                 None => blocks.push(vec![i]),
             }
         }
-        blocks
+        (blocks, failed_cmps)
     });
-    verified
-        .into_iter()
-        .flatten()
-        .map(|ixs| ixs.into_iter().map(|i| tuples[i].clone()).collect())
-        .collect()
+    let mut out: Partition = Vec::new();
+    for (blocks, failed_cmps) in verified {
+        recdb_obs::count("refine.fingerprint_collisions", failed_cmps);
+        // A fallback is a bucket split: two `≅ₗ`-classes shared a
+        // 64-bit digest and pairwise verification had to un-merge
+        // them. Counted unconditionally (delta 0 on the common path)
+        // so the metric key exists in every partitioning run.
+        recdb_obs::count(
+            "refine.pairwise_verify_fallbacks",
+            u64::from(blocks.len() > 1),
+        );
+        out.extend(blocks.into_iter().map(|ixs| {
+            ixs.into_iter()
+                .map(|i| tuples[i].clone())
+                .collect::<Vec<_>>()
+        }));
+    }
+    out
 }
 
 /// The original `O(t²)` pairwise partitioner, kept verbatim as the
@@ -145,6 +171,8 @@ pub fn project_partition(
     level_n: &[Tuple],
     finer: &Partition,
 ) -> Result<Partition, RefineError> {
+    let _span = recdb_obs::span("refine.project.ns");
+    recdb_obs::count("refine.projection_steps", 1);
     // Intern every finer-partition tuple; record its block per id.
     let mut interner = TupleInterner::new();
     let mut block_of: Vec<u32> = Vec::new();
@@ -203,13 +231,16 @@ pub fn project_partition(
 /// unreachable for a deterministic characteristic tree, whose level
 /// `n+1` is exactly the set of one-element extensions of level `n`).
 pub fn v_n_r(hs: &HsDatabase, n: usize, r: usize) -> Result<Partition, RefineError> {
+    let _span = recdb_obs::span("refine.v_n_r.ns");
     let mut level = n + r;
     let tuples = hs.t_n(level);
     let mut part = partition_by_local_iso(hs.database(), &tuples);
+    recdb_obs::observe("refine.blocks_per_stage", part.len() as u64);
     for _ in 0..r {
         level -= 1;
         let coarser_level = hs.t_n(level);
         part = project_partition(hs, &coarser_level, &part)?;
+        recdb_obs::observe("refine.blocks_per_stage", part.len() as u64);
     }
     Ok(part)
 }
@@ -298,8 +329,10 @@ impl<'a> TreeGame<'a> {
         // ≡ᵣ is symmetric: normalize the memo key.
         let key = if ui <= vi { (ui, vi, r) } else { (vi, ui, r) };
         if let Some(&cached) = self.memo.get(&key) {
+            recdb_obs::count("tree_game.memo_hits", 1);
             return cached;
         }
+        recdb_obs::count("tree_game.memo_misses", 1);
         let u = self.interner.resolve(ui).clone();
         let v = self.interner.resolve(vi).clone();
         let result = if !locally_equivalent(self.hs.database(), &u, &v) {

@@ -1,0 +1,181 @@
+//! Counter-pinned regression tests for the refinement pipeline's
+//! metrics (ISSUE 3): structural perf properties of PR 1's
+//! fingerprint bucketing fail `cargo test` here instead of only
+//! drifting in benchmark medians.
+//!
+//! The recorder slot is process-global, so every test takes a local
+//! serial lock and reads before/after snapshots — deltas are immune
+//! to counts other tests in this binary contribute.
+
+use recdb_core::Tuple;
+use recdb_hsdb::{
+    infinite_clique, paper_example_graph, partition_by_local_iso, rado_graph, unary_cells, v_n_r,
+    CellSize, HsDatabase, TreeGame,
+};
+use recdb_obs::InMemoryRecorder;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Tests within this binary run on parallel threads but share the
+/// global recorder: serialize them.
+fn serial() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn with_recorder<R>(f: impl FnOnce() -> R) -> (R, Arc<InMemoryRecorder>) {
+    let rec = InMemoryRecorder::shared();
+    recdb_obs::install(rec.clone());
+    let out = f();
+    recdb_obs::uninstall();
+    (out, rec)
+}
+
+fn zoo() -> Vec<HsDatabase> {
+    vec![
+        infinite_clique(),
+        paper_example_graph(),
+        unary_cells(vec![CellSize::Infinite, CellSize::Infinite]),
+        rado_graph(),
+    ]
+}
+
+/// On the well-bucketed zoo databases, fingerprints separate the
+/// `≅ₗ`-classes perfectly: no bucket ever splits during verification.
+/// A nonzero fallback count means PR 1's bucketing regressed from
+/// near-linear back towards pairwise behaviour.
+#[test]
+fn zoo_partitions_never_fall_back_to_pairwise() {
+    let _g = serial();
+    for hs in zoo() {
+        for n in 1..=2 {
+            let tuples = hs.t_n(n);
+            let ((), rec) = with_recorder(|| {
+                partition_by_local_iso(hs.database(), &tuples);
+            });
+            assert_eq!(
+                rec.counter_value("refine.pairwise_verify_fallbacks"),
+                0,
+                "bucket split on {} at n={n}",
+                hs.database().name()
+            );
+            assert_eq!(
+                rec.counter_value("refine.fingerprint_collisions"),
+                0,
+                "failed in-bucket comparison on {} at n={n}",
+                hs.database().name()
+            );
+            // The run itself must have been observed.
+            assert_eq!(rec.counter_value("refine.partition_calls"), 1);
+            assert_eq!(rec.counter_value("refine.tuples"), tuples.len() as u64);
+            assert!(rec.counter_value("refine.buckets_probed") > 0);
+        }
+    }
+}
+
+/// The fallback path *is* exercised (and counted) when two classes
+/// collide — simulated by the degenerate single-bucket case of rank-0
+/// duplicates vs the real counter staying 0 above. Guard the counter's
+/// wiring with a database where `≅ₗ`-distinct tuples share a bucket
+/// only if fingerprints collide: none known in the zoo, so instead pin
+/// that bucket sizes and probes add up.
+#[test]
+fn bucket_accounting_adds_up() {
+    let _g = serial();
+    let hs = paper_example_graph();
+    let tuples = hs.t_n(2);
+    let ((), rec) = with_recorder(|| {
+        partition_by_local_iso(hs.database(), &tuples);
+    });
+    let hist = rec
+        .histogram("refine.bucket_size")
+        .expect("bucket sizes observed");
+    assert_eq!(hist.count, rec.counter_value("refine.buckets_probed"));
+    assert_eq!(
+        hist.sum,
+        tuples.len() as u64,
+        "every tuple lands in a bucket"
+    );
+    assert_eq!(
+        rec.counter_value("core.fingerprints"),
+        tuples.len() as u64,
+        "exactly one fingerprint per tuple"
+    );
+}
+
+/// The `v_n_r` pipeline records one blocks-per-stage sample for the
+/// base partition plus one per projection step.
+#[test]
+fn v_n_r_records_stage_trajectory() {
+    let _g = serial();
+    let hs = paper_example_graph();
+    let (res, rec) = with_recorder(|| v_n_r(&hs, 1, 2));
+    let part = res.expect("tree covers all levels");
+    let stages = rec
+        .histogram("refine.blocks_per_stage")
+        .expect("stages observed");
+    assert_eq!(stages.count, 3, "base partition + r=2 projections");
+    assert_eq!(rec.counter_value("refine.projection_steps"), 2);
+    assert_eq!(
+        stages.min,
+        part.len() as u64,
+        "projection drops arity, so the last (Tⁿ) stage has the fewest blocks"
+    );
+    assert!(
+        stages.max >= stages.min,
+        "the base partition on Tⁿ⁺ʳ dominates the trajectory"
+    );
+}
+
+/// A shared `TreeGame` hits its memo on the second identical query.
+#[test]
+fn tree_game_memo_hit_rate_positive_on_repeats() {
+    let _g = serial();
+    let hs = paper_example_graph();
+    let tn = hs.t_n(1);
+    let ((), rec) = with_recorder(|| {
+        let mut game = TreeGame::new(&hs);
+        for _ in 0..2 {
+            for u in &tn {
+                for v in &tn {
+                    game.equiv_r(u, v, 2);
+                }
+            }
+        }
+    });
+    let hits = rec.counter_value("tree_game.memo_hits");
+    let misses = rec.counter_value("tree_game.memo_misses");
+    assert!(misses > 0, "first pass populates the memo");
+    assert!(
+        hits > 0,
+        "second pass must hit the memo (hits={hits}, misses={misses})"
+    );
+}
+
+/// Metrics are a pure side channel: the partition is identical with
+/// the recorder installed and absent.
+#[test]
+fn recorder_does_not_perturb_partitions() {
+    let _g = serial();
+    let hs = paper_example_graph();
+    let tuples = hs.t_n(2);
+    let bare = partition_by_local_iso(hs.database(), &tuples);
+    let (recorded, _rec) = with_recorder(|| partition_by_local_iso(hs.database(), &tuples));
+    assert_eq!(
+        bare, recorded,
+        "block order and content must be bit-identical"
+    );
+}
+
+/// Degenerate inputs still account cleanly.
+#[test]
+fn empty_input_records_zero_tuples() {
+    let _g = serial();
+    let hs = infinite_clique();
+    let ((), rec) = with_recorder(|| {
+        partition_by_local_iso(hs.database(), &[] as &[Tuple]);
+    });
+    assert_eq!(rec.counter_value("refine.partition_calls"), 1);
+    assert_eq!(rec.counter_value("refine.tuples"), 0);
+    assert_eq!(rec.counter_value("refine.buckets_probed"), 0);
+    assert_eq!(rec.counter_value("refine.pairwise_verify_fallbacks"), 0);
+}

@@ -1,17 +1,27 @@
 //! Property-based tests for hs-r-db invariants: representation
 //! soundness, refinement monotonicity, equivalence-oracle laws, and
 //! fcf structure.
+//!
+//! Written as seeded deterministic property loops over
+//! [`recdb_core::SplitMix64`] rather than an external framework, so
+//! they run in offline environments (DESIGN.md §7, seed-test triage).
 
-use proptest::prelude::*;
 use recdb_core::{
-    locally_equivalent, CoFiniteRelation, DatabaseBuilder, Elem, FiniteRelation, FiniteStructure,
-    Tuple,
+    fnv1a, locally_equivalent, CoFiniteRelation, DatabaseBuilder, Elem, FiniteRelation,
+    FiniteStructure, SplitMix64, Tuple,
 };
 use recdb_hsdb::{
     infinite_clique, paper_example_graph, partition_by_local_iso, partition_by_local_iso_pairwise,
     rado_graph, unary_cells, v_n_r, CellSize, ComponentGraph, FcfDatabase, FcfRel, HsDatabase,
     Partition,
 };
+use std::collections::BTreeSet;
+
+const CASES: usize = 48;
+
+fn rng_for(test: &str) -> SplitMix64 {
+    SplitMix64::seed_from_u64(fnv1a(test) ^ 0x5ecd_eb0a)
+}
 
 fn zoo_member(ix: usize) -> HsDatabase {
     match ix % 4 {
@@ -22,8 +32,10 @@ fn zoo_member(ix: usize) -> HsDatabase {
     }
 }
 
-fn small_tuple() -> impl Strategy<Value = Tuple> {
-    proptest::collection::vec(0u64..12, 1..3).prop_map(Tuple::from_values)
+/// A tuple of rank 1..3 over elements 0..12.
+fn small_tuple(rng: &mut SplitMix64) -> Tuple {
+    let rank = 1 + rng.gen_usize(2);
+    Tuple::from_values((0..rank).map(|_| rng.gen_range(0, 12)))
 }
 
 /// Sorts blocks and block members so two partitions compare as sets of
@@ -36,86 +48,114 @@ fn normalize(mut p: Partition) -> Partition {
     p
 }
 
-proptest! {
-    /// ≅_B is an equivalence relation on sampled tuples, and refines
-    /// into ≅ₗ (equivalent tuples are locally equivalent).
-    #[test]
-    fn equivalence_laws(ix in 0usize..4, u in small_tuple(), v in small_tuple(), w in small_tuple()) {
+/// ≅_B is an equivalence relation on sampled tuples, and refines into
+/// ≅ₗ (equivalent tuples are locally equivalent).
+#[test]
+fn equivalence_laws() {
+    let mut rng = rng_for("equivalence_laws");
+    for ix in 0..4 {
         let hs = zoo_member(ix);
-        prop_assert!(hs.equivalent(&u, &u), "reflexive");
-        prop_assert_eq!(hs.equivalent(&u, &v), hs.equivalent(&v, &u));
-        if hs.equivalent(&u, &v) && hs.equivalent(&v, &w) {
-            prop_assert!(hs.equivalent(&u, &w), "transitive");
-        }
-        if hs.equivalent(&u, &v) {
-            prop_assert!(
-                locally_equivalent(hs.database(), &u, &v),
-                "≅_B ⊆ ≅ₗ"
-            );
+        for _ in 0..CASES / 4 {
+            let u = small_tuple(&mut rng);
+            let v = small_tuple(&mut rng);
+            let w = small_tuple(&mut rng);
+            assert!(hs.equivalent(&u, &u), "reflexive");
+            assert_eq!(hs.equivalent(&u, &v), hs.equivalent(&v, &u));
+            if hs.equivalent(&u, &v) && hs.equivalent(&v, &w) {
+                assert!(hs.equivalent(&u, &w), "transitive");
+            }
+            if hs.equivalent(&u, &v) {
+                assert!(locally_equivalent(hs.database(), &u, &v), "≅_B ⊆ ≅ₗ");
+            }
         }
     }
+}
 
-    /// Every sampled tuple has exactly one representative in Tⁿ.
-    #[test]
-    fn unique_representative(ix in 0usize..4, u in small_tuple()) {
+/// Every sampled tuple has exactly one representative in Tⁿ.
+#[test]
+fn unique_representative() {
+    let mut rng = rng_for("unique_representative");
+    for ix in 0..4 {
         let hs = zoo_member(ix);
-        let reps: Vec<Tuple> = hs
-            .t_n(u.rank())
-            .into_iter()
-            .filter(|t| hs.equivalent(&u, t))
-            .collect();
-        prop_assert_eq!(reps.len(), 1, "one class, one path (Def 3.3)");
+        for _ in 0..CASES / 4 {
+            let u = small_tuple(&mut rng);
+            let reps: Vec<Tuple> = hs
+                .t_n(u.rank())
+                .into_iter()
+                .filter(|t| hs.equivalent(&u, t))
+                .collect();
+            assert_eq!(reps.len(), 1, "one class, one path (Def 3.3)");
+        }
     }
+}
 
-    /// Membership is class-invariant: relations are unions of classes.
-    #[test]
-    fn membership_class_invariant(ix in 0usize..4, u in small_tuple(), v in small_tuple()) {
+/// Membership is class-invariant: relations are unions of classes.
+#[test]
+fn membership_class_invariant() {
+    let mut rng = rng_for("membership_class_invariant");
+    for ix in 0..4 {
         let hs = zoo_member(ix);
-        if u.rank() == 2 && v.rank() == 2 && hs.equivalent(&u, &v) {
-            for i in 0..hs.schema().len() {
-                if hs.schema().arity(i) == 2 {
-                    prop_assert_eq!(
-                        hs.database().query(i, u.elems()),
-                        hs.database().query(i, v.elems())
-                    );
+        for _ in 0..CASES / 4 {
+            let u = small_tuple(&mut rng);
+            let v = small_tuple(&mut rng);
+            if u.rank() == 2 && v.rank() == 2 && hs.equivalent(&u, &v) {
+                for i in 0..hs.schema().len() {
+                    if hs.schema().arity(i) == 2 {
+                        assert_eq!(
+                            hs.database().query(i, u.elems()),
+                            hs.database().query(i, v.elems())
+                        );
+                    }
                 }
             }
         }
     }
+}
 
-    /// Refinement monotonicity: block counts of Vⁿᵣ weakly increase
-    /// with r and never exceed |Tⁿ|.
-    #[test]
-    fn refinement_monotone(ix in 0usize..3, n in 1usize..3) {
-        let hs = zoo_member(ix); // exclude rado (depth-limited) via ..3
-        let tn = hs.t_n(n).len();
-        let mut prev = 0;
-        for r in 0..=2 {
-            let blocks = v_n_r(&hs, n, r).expect("tree covers all levels").len();
-            prop_assert!(blocks >= prev, "refinement only splits");
-            prop_assert!(blocks <= tn);
-            prev = blocks;
+/// Refinement monotonicity: block counts of Vⁿᵣ weakly increase with r
+/// and never exceed |Tⁿ| — exhaustive over the cheap zoo members
+/// (rado is depth-limited) and n ∈ {1,2}.
+#[test]
+fn refinement_monotone() {
+    for ix in 0..3 {
+        let hs = zoo_member(ix);
+        for n in 1usize..3 {
+            let tn = hs.t_n(n).len();
+            let mut prev = 0;
+            for r in 0..=2 {
+                let blocks = v_n_r(&hs, n, r).expect("tree covers all levels").len();
+                assert!(blocks >= prev, "refinement only splits");
+                assert!(blocks <= tn);
+                prev = blocks;
+            }
         }
     }
+}
 
-    /// Component-graph coordinates round-trip.
-    #[test]
-    fn coords_roundtrip(v in 0u64..10_000) {
-        let tri = FiniteStructure::undirected_graph([0, 1, 2], [(0, 1), (1, 2), (2, 0)]);
-        let edge = FiniteStructure::undirected_graph([0, 1], [(0, 1)]);
-        let g = ComponentGraph::new(vec![tri, edge]);
+/// Component-graph coordinates round-trip.
+#[test]
+fn coords_roundtrip() {
+    let mut rng = rng_for("coords_roundtrip");
+    let tri = FiniteStructure::undirected_graph([0, 1, 2], [(0, 1), (1, 2), (2, 0)]);
+    let edge = FiniteStructure::undirected_graph([0, 1], [(0, 1)]);
+    let g = ComponentGraph::new(vec![tri, edge]);
+    for _ in 0..CASES * 4 {
+        let v = rng.gen_range(0, 10_000);
         let c = g.coords(Elem(v));
-        prop_assert_eq!(g.encode(c), Elem(v));
+        assert_eq!(g.encode(c), Elem(v));
     }
+}
 
-    /// fcf equivalence: non-Df elements are interchangeable, and the
-    /// induced relation is an equivalence on samples.
-    #[test]
-    fn fcf_equivalence(
-        df_members in proptest::collection::btree_set(0u64..6, 1..4),
-        u in small_tuple(),
-        v in small_tuple(),
-    ) {
+/// fcf equivalence: non-Df elements are interchangeable, and the
+/// induced relation is an equivalence on samples.
+#[test]
+fn fcf_equivalence() {
+    let mut rng = rng_for("fcf_equivalence");
+    for _ in 0..CASES {
+        let n_members = 1 + rng.gen_usize(3);
+        let df_members: BTreeSet<u64> = (0..n_members).map(|_| rng.gen_range(0, 6)).collect();
+        let u = small_tuple(&mut rng);
+        let v = small_tuple(&mut rng);
         let fcf = FcfDatabase::new(
             "p",
             vec![
@@ -127,39 +167,58 @@ proptest! {
             ],
         );
         let eq = fcf.equiv();
-        prop_assert!(eq.equivalent(&u, &u));
-        prop_assert_eq!(eq.equivalent(&u, &v), eq.equivalent(&v, &u));
+        assert!(eq.equivalent(&u, &u));
+        assert_eq!(eq.equivalent(&u, &v), eq.equivalent(&v, &u));
         // Two fresh non-Df singletons are equivalent.
         let big1 = Tuple::from_values([100]);
         let big2 = Tuple::from_values([200]);
-        prop_assert!(eq.equivalent(&big1, &big2));
+        assert!(eq.equivalent(&big1, &big2));
     }
+}
 
-    /// The fingerprint-bucketed partitioner agrees with the O(t²)
-    /// pairwise oracle on the hs zoo's tree levels.
-    #[test]
-    fn bucketed_partition_equals_pairwise_on_zoo(ix in 0usize..4, n in 1usize..3) {
+/// The fingerprint-bucketed partitioner agrees with the O(t²) pairwise
+/// oracle on the hs zoo's tree levels — exhaustive over (member, n).
+#[test]
+fn bucketed_partition_equals_pairwise_on_zoo() {
+    for ix in 0..4 {
         let hs = zoo_member(ix);
-        let tuples = hs.t_n(n);
-        prop_assert_eq!(
-            normalize(partition_by_local_iso(hs.database(), &tuples)),
-            normalize(partition_by_local_iso_pairwise(hs.database(), &tuples)),
-            "bucketed vs pairwise diverge on zoo member {} at n={}", ix, n
-        );
+        for n in 1usize..3 {
+            let tuples = hs.t_n(n);
+            assert_eq!(
+                normalize(partition_by_local_iso(hs.database(), &tuples)),
+                normalize(partition_by_local_iso_pairwise(hs.database(), &tuples)),
+                "bucketed vs pairwise diverge on zoo member {ix} at n={n}"
+            );
+        }
     }
+}
 
-    /// The fingerprint-bucketed partitioner agrees with the pairwise
-    /// oracle on random small finite databases and random tuple sets —
-    /// including duplicate tuples and mixed equality patterns.
-    #[test]
-    fn bucketed_partition_equals_pairwise_on_random_dbs(
-        edges in proptest::collection::btree_set((0u64..8, 0u64..8), 0..20),
-        marks in proptest::collection::btree_set(0u64..8, 0..5),
-        tuples in proptest::collection::vec(
-            proptest::collection::vec(0u64..8, 0..4).prop_map(Tuple::from_values),
-            0..40,
-        ),
-    ) {
+/// The fingerprint-bucketed partitioner agrees with the pairwise
+/// oracle on random small finite databases and random tuple sets —
+/// including duplicate tuples and mixed equality patterns.
+#[test]
+fn bucketed_partition_equals_pairwise_on_random_dbs() {
+    let mut rng = rng_for("bucketed_partition_equals_pairwise_on_random_dbs");
+    for _ in 0..CASES / 2 {
+        let edges: BTreeSet<(u64, u64)> = {
+            let n = rng.gen_usize(20);
+            (0..n)
+                .map(|_| (rng.gen_range(0, 8), rng.gen_range(0, 8)))
+                .collect()
+        };
+        let marks: BTreeSet<u64> = {
+            let n = rng.gen_usize(5);
+            (0..n).map(|_| rng.gen_range(0, 8)).collect()
+        };
+        let tuples: Vec<Tuple> = {
+            let n = rng.gen_usize(40);
+            (0..n)
+                .map(|_| {
+                    let rank = rng.gen_usize(4);
+                    Tuple::from_values((0..rank).map(|_| rng.gen_range(0, 8)))
+                })
+                .collect()
+        };
         let db = DatabaseBuilder::new("random")
             .relation("E", FiniteRelation::edges(edges.iter().copied()))
             .relation("P", FiniteRelation::unary(marks.iter().copied()))
@@ -172,20 +231,26 @@ proptest! {
                 .filter(|t| t.rank() == rank)
                 .cloned()
                 .collect();
-            prop_assert_eq!(
+            assert_eq!(
                 normalize(partition_by_local_iso(&db, &of_rank)),
                 normalize(partition_by_local_iso_pairwise(&db, &of_rank)),
-                "bucketed vs pairwise diverge at rank {}", rank
+                "bucketed vs pairwise diverge at rank {rank}"
             );
         }
     }
+}
 
-    /// The canonical representative is idempotent.
-    #[test]
-    fn canonical_idempotent(ix in 0usize..4, u in small_tuple()) {
+/// The canonical representative is idempotent.
+#[test]
+fn canonical_idempotent() {
+    let mut rng = rng_for("canonical_idempotent");
+    for ix in 0..4 {
         let hs = zoo_member(ix);
-        let r1 = hs.canonical_rep(&u);
-        let r2 = hs.canonical_rep(&r1);
-        prop_assert_eq!(r1, r2);
+        for _ in 0..CASES / 4 {
+            let u = small_tuple(&mut rng);
+            let r1 = hs.canonical_rep(&u);
+            let r2 = hs.canonical_rep(&r1);
+            assert_eq!(r1, r2);
+        }
     }
 }

@@ -31,6 +31,10 @@ pub struct EfGame<'a> {
     pool_right: Vec<Elem>,
     interner: TupleInterner,
     memo: HashMap<(TupleId, TupleId, usize), bool>,
+    /// Entries the memo may hold before it is flushed (`None` =
+    /// unbounded, the default). Flushing only discards cached results
+    /// of a deterministic recursion, so answers are unaffected.
+    memo_capacity: Option<usize>,
 }
 
 impl<'a> EfGame<'a> {
@@ -49,21 +53,35 @@ impl<'a> EfGame<'a> {
             pool_right: pool_right.into(),
             interner: TupleInterner::new(),
             memo: HashMap::new(),
+            memo_capacity: None,
         }
+    }
+
+    /// Bounds the position memo to at most `cap` entries: when an
+    /// insert would exceed the bound, the memo is flushed (and the
+    /// flush recorded as `ef.memo_evictions`). Results are identical —
+    /// the memo only caches a deterministic recursion — but a run may
+    /// recompute subgames; use the eviction counter to see how often.
+    pub fn with_memo_capacity(mut self, cap: usize) -> Self {
+        self.memo_capacity = Some(cap.max(1));
+        self
     }
 
     /// Does the duplicator win the `r`-round game from position
     /// `(u, v)`? (Def 3.4's `u ≡ᵣ v`, with moves restricted to the
     /// pools.)
     pub fn duplicator_wins(&mut self, u: &Tuple, v: &Tuple, r: usize) -> bool {
+        recdb_obs::observe("ef.rank", r as u64);
         if r == 0 {
             return locally_isomorphic(self.left, u, self.right, v);
         }
         let ui = self.interner.intern(u);
         let vi = self.interner.intern(v);
         if let Some(&cached) = self.memo.get(&(ui, vi, r)) {
+            recdb_obs::count("ef.memo_hits", 1);
             return cached;
         }
+        recdb_obs::count("ef.memo_misses", 1);
         // Cheap necessary condition: positions must already be locally
         // isomorphic (the duplicator has lost otherwise, since ≡ᵣ ⊆ ≡₀).
         let result = if !locally_isomorphic(self.left, u, self.right, v) {
@@ -71,6 +89,12 @@ impl<'a> EfGame<'a> {
         } else {
             !self.spoiler_wins_left(u, v, r) && !self.spoiler_wins_right(u, v, r)
         };
+        if let Some(cap) = self.memo_capacity {
+            if self.memo.len() >= cap {
+                recdb_obs::count("ef.memo_evictions", self.memo.len() as u64);
+                self.memo.clear();
+            }
+        }
         self.memo.insert((ui, vi, r), result);
         result
     }

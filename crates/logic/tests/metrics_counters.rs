@@ -1,0 +1,136 @@
+//! Counter-pinned regression tests for the EF-game memo metrics
+//! (ISSUE 3): cache effectiveness is asserted in `cargo test`, not
+//! just observed in benchmarks.
+//!
+//! The recorder slot is process-global, so every test takes a local
+//! serial lock and uses a fresh recorder per scenario.
+
+use recdb_core::{tuple, Elem, FiniteStructure};
+use recdb_logic::{finite_as_db, EfGame};
+use recdb_obs::InMemoryRecorder;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+fn serial() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn with_recorder<R>(f: impl FnOnce() -> R) -> (R, Arc<InMemoryRecorder>) {
+    let rec = InMemoryRecorder::shared();
+    recdb_obs::install(rec.clone());
+    let out = f();
+    recdb_obs::uninstall();
+    (out, rec)
+}
+
+/// A finite path graph 0–1–…–(n−1).
+fn path(n: u64) -> FiniteStructure {
+    FiniteStructure::undirected_graph(0..n, (0..n - 1).map(|i| (i, i + 1)))
+}
+
+/// Repeated-rank runs must hit the memo: replaying the same game (and
+/// its overlapping subgames) reads cached positions. A zero hit rate
+/// means the interned `(id, id, r)` keys regressed.
+#[test]
+fn ef_memo_hit_rate_positive_on_repeated_ranks() {
+    let _g = serial();
+    let p = path(5);
+    let db = finite_as_db(&p);
+    let pool: Vec<Elem> = p.universe().to_vec();
+    let ((), rec) = with_recorder(|| {
+        let mut game = EfGame::new(&db, &db, pool.clone(), pool.clone());
+        for _ in 0..2 {
+            for r in 1..=3 {
+                game.duplicator_wins(&tuple![0], &tuple![1], r);
+                game.duplicator_wins(&tuple![1], &tuple![2], r);
+            }
+        }
+    });
+    let hits = rec.counter_value("ef.memo_hits");
+    let misses = rec.counter_value("ef.memo_misses");
+    assert!(misses > 0, "first pass populates the memo");
+    assert!(
+        hits > 0,
+        "repeat pass must hit (hits={hits}, misses={misses})"
+    );
+    let hit_rate = hits as f64 / (hits + misses) as f64;
+    assert!(hit_rate > 0.0, "ef_memo_hit_rate > 0 (got {hit_rate})");
+}
+
+/// The rank histogram's max is the deepest rank the solver was asked
+/// for — the "max rank reached" readout of the metrics report.
+#[test]
+fn rank_histogram_tracks_max_rank() {
+    let _g = serial();
+    let p = path(4);
+    let db = finite_as_db(&p);
+    let pool: Vec<Elem> = p.universe().to_vec();
+    let ((), rec) = with_recorder(|| {
+        let mut game = EfGame::new(&db, &db, pool.clone(), pool.clone());
+        game.duplicator_wins(&tuple![0], &tuple![1], 3);
+    });
+    let ranks = rec.histogram("ef.rank").expect("ranks observed");
+    assert_eq!(ranks.max, 3, "top-level call dominates the rank histogram");
+    assert_eq!(ranks.min, 0, "the recursion bottoms out at r = 0");
+}
+
+/// An unbounded memo never evicts; a capacity-bounded one evicts and
+/// still answers identically (the memo caches a deterministic
+/// recursion, so flushing it cannot change results).
+#[test]
+fn bounded_memo_evicts_without_changing_answers() {
+    let _g = serial();
+    let p = path(5);
+    let db = finite_as_db(&p);
+    let pool: Vec<Elem> = p.universe().to_vec();
+    let queries: Vec<(recdb_core::Tuple, recdb_core::Tuple, usize)> = (0..4)
+        .flat_map(|a: u64| (0..4).map(move |b: u64| (tuple![a], tuple![b], 3)))
+        .collect();
+
+    let (unbounded, rec_unbounded) = with_recorder(|| {
+        let mut game = EfGame::new(&db, &db, pool.clone(), pool.clone());
+        queries
+            .iter()
+            .map(|(u, v, r)| game.duplicator_wins(u, v, *r))
+            .collect::<Vec<bool>>()
+    });
+    assert_eq!(
+        rec_unbounded.counter_value("ef.memo_evictions"),
+        0,
+        "default capacity is unlimited"
+    );
+
+    let (bounded, rec_bounded) = with_recorder(|| {
+        let mut game = EfGame::new(&db, &db, pool.clone(), pool.clone()).with_memo_capacity(8);
+        queries
+            .iter()
+            .map(|(u, v, r)| game.duplicator_wins(u, v, *r))
+            .collect::<Vec<bool>>()
+    });
+    assert!(
+        rec_bounded.counter_value("ef.memo_evictions") > 0,
+        "an 8-entry memo must flush during a 16-query rank-3 sweep"
+    );
+    assert_eq!(unbounded, bounded, "eviction is semantics-preserving");
+}
+
+/// Metrics are a pure side channel: game verdicts are identical with
+/// the recorder installed and absent.
+#[test]
+fn recorder_does_not_perturb_verdicts() {
+    let _g = serial();
+    let p = path(5);
+    let db = finite_as_db(&p);
+    let pool: Vec<Elem> = p.universe().to_vec();
+    let mut bare_game = EfGame::new(&db, &db, pool.clone(), pool.clone());
+    let bare: Vec<bool> = (0..5u64)
+        .map(|a| bare_game.duplicator_wins(&tuple![a], &tuple![0], 2))
+        .collect();
+    let (recorded, _rec) = with_recorder(|| {
+        let mut game = EfGame::new(&db, &db, pool.clone(), pool.clone());
+        (0..5u64)
+            .map(|a| game.duplicator_wins(&tuple![a], &tuple![0], 2))
+            .collect::<Vec<bool>>()
+    });
+    assert_eq!(bare, recorded);
+}

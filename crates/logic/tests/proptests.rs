@@ -1,173 +1,225 @@
 //! Property-based tests for the logic crate: formula algebra, parser
 //! round trips, evaluation laws, and EF-game structure.
+//!
+//! Written as seeded deterministic property loops over
+//! [`recdb_core::SplitMix64`] rather than an external framework, so
+//! they run in offline environments (DESIGN.md §7, seed-test triage).
 
-use proptest::prelude::*;
-use recdb_core::{Database, DatabaseBuilder, FiniteRelation, Schema, Tuple};
+use recdb_core::{fnv1a, Database, DatabaseBuilder, FiniteRelation, Schema, SplitMix64, Tuple};
 use recdb_logic::ast::{Formula, Var};
 use recdb_logic::{
     equiv_r_finite, eval_qf, formula_for_class, parse_query, LMinusQuery, ParsedQuery,
 };
+use std::collections::BTreeSet;
 
-/// Strategy: a quantifier-free formula over one binary relation and
-/// variables x0..x2.
-fn qf_formula() -> impl Strategy<Value = Formula> {
-    let leaf = prop_oneof![
-        Just(Formula::True),
-        Just(Formula::False),
-        (0u32..3, 0u32..3).prop_map(|(a, b)| Formula::Eq(Var(a), Var(b))),
-        (0u32..3, 0u32..3).prop_map(|(a, b)| Formula::Rel(0, vec![Var(a), Var(b)])),
-    ];
-    leaf.prop_recursive(3, 24, 3, |inner| {
-        prop_oneof![
-            inner.clone().prop_map(|f| f.not()),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| Formula::and(vec![a, b])),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| Formula::or(vec![a, b])),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Formula::Implies(Box::new(a), Box::new(b))),
-            (inner.clone(), inner).prop_map(|(a, b)| Formula::Iff(Box::new(a), Box::new(b))),
-        ]
-    })
+const CASES: usize = 96;
+
+fn rng_for(test: &str) -> SplitMix64 {
+    SplitMix64::seed_from_u64(fnv1a(test) ^ 0x5ecd_eb0a)
 }
 
-fn small_graph_db() -> impl Strategy<Value = Database> {
-    proptest::collection::btree_set((0u64..5, 0u64..5), 0..10).prop_map(|edges| {
-        DatabaseBuilder::new("g")
-            .relation("E", FiniteRelation::edges(edges))
-            .build()
-    })
+fn qf_leaf(rng: &mut SplitMix64) -> Formula {
+    match rng.gen_usize(4) {
+        0 => Formula::True,
+        1 => Formula::False,
+        2 => Formula::Eq(
+            Var(rng.gen_range(0, 3) as u32),
+            Var(rng.gen_range(0, 3) as u32),
+        ),
+        _ => Formula::Rel(
+            0,
+            vec![
+                Var(rng.gen_range(0, 3) as u32),
+                Var(rng.gen_range(0, 3) as u32),
+            ],
+        ),
+    }
 }
 
-fn small_tuple() -> impl Strategy<Value = Tuple> {
-    proptest::collection::vec(0u64..5, 3..4).prop_map(Tuple::from_values)
+/// A random quantifier-free formula over one binary relation and
+/// variables x0..x2, with recursion depth at most `depth`.
+fn qf_formula(rng: &mut SplitMix64, depth: usize) -> Formula {
+    if depth == 0 || rng.gen_usize(4) == 0 {
+        return qf_leaf(rng);
+    }
+    match rng.gen_usize(5) {
+        0 => qf_formula(rng, depth - 1).not(),
+        1 => Formula::and(vec![qf_formula(rng, depth - 1), qf_formula(rng, depth - 1)]),
+        2 => Formula::or(vec![qf_formula(rng, depth - 1), qf_formula(rng, depth - 1)]),
+        3 => Formula::Implies(
+            Box::new(qf_formula(rng, depth - 1)),
+            Box::new(qf_formula(rng, depth - 1)),
+        ),
+        _ => Formula::Iff(
+            Box::new(qf_formula(rng, depth - 1)),
+            Box::new(qf_formula(rng, depth - 1)),
+        ),
+    }
 }
 
-proptest! {
-    /// Generated QF formulas stay quantifier-free and evaluate totally.
-    #[test]
-    fn qf_formulas_evaluate_totally(
-        f in qf_formula(),
-        db in small_graph_db(),
-        t in small_tuple(),
-    ) {
-        prop_assert!(f.is_quantifier_free());
-        prop_assert_eq!(f.quantifier_depth(), 0);
+fn small_graph_db(rng: &mut SplitMix64) -> Database {
+    let n = rng.gen_usize(10);
+    let edges: BTreeSet<(u64, u64)> = (0..n)
+        .map(|_| (rng.gen_range(0, 5), rng.gen_range(0, 5)))
+        .collect();
+    DatabaseBuilder::new("g")
+        .relation("E", FiniteRelation::edges(edges))
+        .build()
+}
+
+/// A rank-3 tuple over elements 0..5.
+fn small_tuple(rng: &mut SplitMix64) -> Tuple {
+    Tuple::from_values((0..3).map(|_| rng.gen_range(0, 5)))
+}
+
+/// Generated QF formulas stay quantifier-free and evaluate totally.
+#[test]
+fn qf_formulas_evaluate_totally() {
+    let mut rng = rng_for("qf_formulas_evaluate_totally");
+    for _ in 0..CASES {
+        let f = qf_formula(&mut rng, 3);
+        let db = small_graph_db(&mut rng);
+        let t = small_tuple(&mut rng);
+        assert!(f.is_quantifier_free());
+        assert_eq!(f.quantifier_depth(), 0);
         let _ = eval_qf(&db, &f, &t).unwrap();
     }
+}
 
-    /// Double negation is semantic identity.
-    #[test]
-    fn double_negation(f in qf_formula(), db in small_graph_db(), t in small_tuple()) {
+/// Double negation is semantic identity.
+#[test]
+fn double_negation() {
+    let mut rng = rng_for("double_negation");
+    for _ in 0..CASES {
+        let f = qf_formula(&mut rng, 3);
+        let db = small_graph_db(&mut rng);
+        let t = small_tuple(&mut rng);
         let nn = f.clone().not().not();
-        prop_assert_eq!(
+        assert_eq!(
             eval_qf(&db, &f, &t).unwrap(),
             eval_qf(&db, &nn, &t).unwrap()
         );
     }
+}
 
-    /// De Morgan: ¬(a ∧ b) ≡ ¬a ∨ ¬b.
-    #[test]
-    fn de_morgan(
-        a in qf_formula(),
-        b in qf_formula(),
-        db in small_graph_db(),
-        t in small_tuple(),
-    ) {
+/// De Morgan: ¬(a ∧ b) ≡ ¬a ∨ ¬b.
+#[test]
+fn de_morgan() {
+    let mut rng = rng_for("de_morgan");
+    for _ in 0..CASES {
+        let a = qf_formula(&mut rng, 3);
+        let b = qf_formula(&mut rng, 3);
+        let db = small_graph_db(&mut rng);
+        let t = small_tuple(&mut rng);
         let lhs = Formula::and(vec![a.clone(), b.clone()]).not();
         let rhs = Formula::or(vec![a.not(), b.not()]);
-        prop_assert_eq!(
+        assert_eq!(
             eval_qf(&db, &lhs, &t).unwrap(),
             eval_qf(&db, &rhs, &t).unwrap()
         );
     }
+}
 
-    /// Implication is material: (a → b) ≡ (¬a ∨ b).
-    #[test]
-    fn material_implication(
-        a in qf_formula(),
-        b in qf_formula(),
-        db in small_graph_db(),
-        t in small_tuple(),
-    ) {
+/// Implication is material: (a → b) ≡ (¬a ∨ b).
+#[test]
+fn material_implication() {
+    let mut rng = rng_for("material_implication");
+    for _ in 0..CASES {
+        let a = qf_formula(&mut rng, 3);
+        let b = qf_formula(&mut rng, 3);
+        let db = small_graph_db(&mut rng);
+        let t = small_tuple(&mut rng);
         let imp = Formula::Implies(Box::new(a.clone()), Box::new(b.clone()));
         let or = Formula::or(vec![a.not(), b]);
-        prop_assert_eq!(
+        assert_eq!(
             eval_qf(&db, &imp, &t).unwrap(),
             eval_qf(&db, &or, &t).unwrap()
         );
     }
+}
 
-    /// Display → parse round trip preserves semantics for QF queries.
-    #[test]
-    fn display_parse_roundtrip(
-        f in qf_formula(),
-        db in small_graph_db(),
-        t in small_tuple(),
-    ) {
+/// Display → parse round trip preserves semantics for QF queries.
+#[test]
+fn display_parse_roundtrip() {
+    let mut rng = rng_for("display_parse_roundtrip");
+    for _ in 0..CASES {
+        let f = qf_formula(&mut rng, 3);
+        let db = small_graph_db(&mut rng);
+        let t = small_tuple(&mut rng);
         let schema = Schema::with_names(&["E"], &[2]);
         let printed = f.display(&schema).to_string();
         let src = format!("{{ (x0, x1, x2) | {printed} }}");
         let reparsed = parse_query(&src, &schema).unwrap();
         let ParsedQuery::Defined { body, .. } = reparsed else {
-            return Err(TestCaseError::fail("expected defined"));
+            panic!("expected defined query for: {printed}");
         };
-        prop_assert_eq!(
+        assert_eq!(
             eval_qf(&db, &f, &t).unwrap(),
             eval_qf(&db, &body, &t).unwrap(),
-            "printed: {}", printed
+            "printed: {printed}"
         );
     }
+}
 
-    /// Theorem 2.1 round trip on arbitrary QF formulas.
-    #[test]
-    fn theorem_2_1_roundtrip(
-        f in qf_formula(),
-        db in small_graph_db(),
-        t in small_tuple(),
-    ) {
+/// Theorem 2.1 round trip on arbitrary QF formulas.
+#[test]
+fn theorem_2_1_roundtrip() {
+    let mut rng = rng_for("theorem_2_1_roundtrip");
+    for _ in 0..CASES {
+        let f = qf_formula(&mut rng, 3);
+        let db = small_graph_db(&mut rng);
+        let t = small_tuple(&mut rng);
         let schema = Schema::with_names(&["E"], &[2]);
         let Ok(q) = LMinusQuery::new(schema, 3, f) else {
-            return Ok(()); // free vars beyond rank — not a rank-3 query
+            continue; // free vars beyond rank — not a rank-3 query
         };
         let round = LMinusQuery::from_class_union(&q.to_class_union());
-        prop_assert_eq!(q.eval(&db, &t), round.eval(&db, &t));
+        assert_eq!(q.eval(&db, &t), round.eval(&db, &t));
     }
+}
 
-    /// Class formulas characterize their class (on witnesses).
-    #[test]
-    fn class_formula_characterizes(
-        db in small_graph_db(),
-        t in small_tuple(),
-        s in small_tuple(),
-    ) {
+/// Class formulas characterize their class (on witnesses).
+#[test]
+fn class_formula_characterizes() {
+    let mut rng = rng_for("class_formula_characterizes");
+    for _ in 0..CASES {
+        let db = small_graph_db(&mut rng);
+        let t = small_tuple(&mut rng);
+        let s = small_tuple(&mut rng);
         let schema = Schema::with_names(&["E"], &[2]);
         let ty = recdb_core::AtomicType::of(&db, &t);
         let phi = formula_for_class(&ty, &schema);
-        prop_assert!(eval_qf(&db, &phi, &t).unwrap(), "own tuple satisfies φ");
-        prop_assert_eq!(
+        assert!(eval_qf(&db, &phi, &t).unwrap(), "own tuple satisfies φ");
+        assert_eq!(
             eval_qf(&db, &phi, &s).unwrap(),
             recdb_core::locally_equivalent(&db, &t, &s)
         );
     }
+}
 
-    /// EF equivalence is an equivalence relation at each round count,
-    /// and downward-closed in r.
-    #[test]
-    fn ef_structure(
-        edges in proptest::collection::btree_set((0u64..4, 0u64..4), 0..8),
-        a in 0u64..4,
-        b in 0u64..4,
-    ) {
+/// EF equivalence is an equivalence relation at each round count, and
+/// downward-closed in r.
+#[test]
+fn ef_structure() {
+    let mut rng = rng_for("ef_structure");
+    for _ in 0..CASES / 2 {
+        let n = rng.gen_usize(8);
+        let edges: BTreeSet<(u64, u64)> = (0..n)
+            .map(|_| (rng.gen_range(0, 4), rng.gen_range(0, 4)))
+            .collect();
+        let a = rng.gen_range(0, 4);
+        let b = rng.gen_range(0, 4);
         let st = recdb_core::FiniteStructure::graph(0..4, edges);
         let (ta, tb) = (Tuple::from_values([a]), Tuple::from_values([b]));
         let mut prev = true;
         for r in 0..3 {
             let now = equiv_r_finite(&st, &ta, &tb, r);
             // Symmetry.
-            prop_assert_eq!(now, equiv_r_finite(&st, &tb, &ta, r));
+            assert_eq!(now, equiv_r_finite(&st, &tb, &ta, r));
             // Reflexivity.
-            prop_assert!(equiv_r_finite(&st, &ta, &ta, r));
+            assert!(equiv_r_finite(&st, &ta, &ta, r));
             // Downward closure: once separated, stays separated.
-            prop_assert!(!now || prev, "≡ᵣ downward closed");
+            assert!(!now || prev, "≡ᵣ downward closed");
             prev = now;
         }
     }

@@ -43,8 +43,10 @@ impl<'a> HsInterp<'a> {
     fn canonical(&mut self, u: &Tuple) -> Tuple {
         let id = self.interner.intern(u);
         if let Some(c) = self.canon.get(&id) {
+            recdb_obs::count("qlhs.canon_hits", 1);
             return c.clone();
         }
+        recdb_obs::count("qlhs.canon_misses", 1);
         let c = self.hs.canonical_rep(u);
         self.canon.insert(id, c.clone());
         // A canonical rep is its own rep: pre-seed so the linear scan

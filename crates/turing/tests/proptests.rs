@@ -1,113 +1,160 @@
 //! Property-based tests for the machine substrate: pairing bijection,
 //! Gödel numbering totality, and counter-machine execution laws.
+//!
+//! Written as seeded deterministic property loops over
+//! [`recdb_core::SplitMix64`] rather than an external framework, so
+//! they run in offline environments (DESIGN.md §7, seed-test triage).
 
-use proptest::prelude::*;
-use recdb_core::Fuel;
+use recdb_core::{fnv1a, Fuel, SplitMix64};
 use recdb_turing::{
     decode_list, decode_program, encode_instr, encode_list, encode_program, halts_within, pair,
     unpair, CounterProgram, Instr, RunResult,
 };
 
-fn arb_instr() -> impl Strategy<Value = Instr> {
-    prop_oneof![
-        (0usize..4).prop_map(Instr::Inc),
-        (0usize..4).prop_map(Instr::Dec),
-        (0usize..4, 0usize..12).prop_map(|(r, a)| Instr::Jz(r, a)),
-        (0usize..12).prop_map(Instr::Jmp),
-        any::<bool>().prop_map(Instr::Halt),
-    ]
+const CASES: usize = 128;
+
+fn rng_for(test: &str) -> SplitMix64 {
+    SplitMix64::seed_from_u64(fnv1a(test) ^ 0x5ecd_eb0a)
 }
 
-fn arb_program() -> impl Strategy<Value = CounterProgram> {
-    proptest::collection::vec(arb_instr(), 0..10).prop_map(|code| CounterProgram { code })
-}
-
-proptest! {
-    /// Cantor pairing is a bijection on the tested range.
-    #[test]
-    fn pairing_bijection(a in 0u64..5000, b in 0u64..5000) {
-        prop_assert_eq!(unpair(pair(a, b)), (a, b));
+fn arb_instr(rng: &mut SplitMix64) -> Instr {
+    match rng.gen_usize(5) {
+        0 => Instr::Inc(rng.gen_usize(4)),
+        1 => Instr::Dec(rng.gen_usize(4)),
+        2 => Instr::Jz(rng.gen_usize(4), rng.gen_usize(12)),
+        3 => Instr::Jmp(rng.gen_usize(12)),
+        _ => Instr::Halt(rng.gen_bool()),
     }
+}
 
-    /// Unpair ∘ pair⁻¹: every natural is some pair.
-    #[test]
-    fn unpair_total(z in 0u64..1_000_000) {
+fn arb_program(rng: &mut SplitMix64) -> CounterProgram {
+    let len = rng.gen_usize(10);
+    CounterProgram {
+        code: (0..len).map(|_| arb_instr(rng)).collect(),
+    }
+}
+
+/// Cantor pairing is a bijection on the tested range.
+#[test]
+fn pairing_bijection() {
+    let mut rng = rng_for("pairing_bijection");
+    for _ in 0..CASES * 4 {
+        let a = rng.gen_range(0, 5000);
+        let b = rng.gen_range(0, 5000);
+        assert_eq!(unpair(pair(a, b)), (a, b));
+    }
+}
+
+/// Unpair ∘ pair⁻¹: every natural is some pair.
+#[test]
+fn unpair_total() {
+    let mut rng = rng_for("unpair_total");
+    for _ in 0..CASES * 4 {
+        let z = rng.gen_range(0, 1_000_000);
         let (a, b) = unpair(z);
-        prop_assert_eq!(pair(a, b), z);
+        assert_eq!(pair(a, b), z);
     }
+}
 
-    /// List encoding round-trips on the encodable fragment (Cantor
-    /// pairing nests quadratically, so long/large lists overflow the
-    /// u64 index space and encode to None).
-    #[test]
-    fn list_roundtrip(xs in proptest::collection::vec(0u64..1000, 0..6)) {
+/// List encoding round-trips on the encodable fragment (Cantor
+/// pairing nests quadratically, so long/large lists overflow the u64
+/// index space and encode to None).
+#[test]
+fn list_roundtrip() {
+    let mut rng = rng_for("list_roundtrip");
+    for _ in 0..CASES {
+        let len = rng.gen_usize(6);
+        let xs: Vec<u64> = (0..len).map(|_| rng.gen_range(0, 1000)).collect();
         if let Some(code) = encode_list(&xs) {
-            prop_assert_eq!(decode_list(code, 100), xs);
+            assert_eq!(decode_list(code, 100), xs);
         }
     }
+}
 
-    /// Instruction and program encodings round-trip on the encodable
-    /// fragment.
-    #[test]
-    fn program_roundtrip(p in arb_program()) {
+/// Instruction and program encodings round-trip on the encodable
+/// fragment.
+#[test]
+fn program_roundtrip() {
+    let mut rng = rng_for("program_roundtrip");
+    for _ in 0..CASES {
+        let p = arb_program(&mut rng);
         let Some(code) = encode_program(&p) else {
-            return Ok(()); // exceeds the u64 index space
+            continue; // exceeds the u64 index space
         };
-        prop_assert_eq!(decode_program(code), p.clone());
+        assert_eq!(decode_program(code), p);
         // Instruction-level too.
         for i in &p.code {
             let c = encode_instr(i).unwrap();
-            prop_assert_eq!(&recdb_turing::godel::decode_instr(c), i);
+            assert_eq!(&recdb_turing::godel::decode_instr(c), i);
         }
     }
+}
 
-    /// Fuel monotonicity: a program halting within f steps also halts
-    /// within any larger budget, with the same verdict and registers.
-    #[test]
-    fn fuel_monotone(p in arb_program(), z in 0u64..20) {
+/// Fuel monotonicity: a program halting within f steps also halts
+/// within any larger budget, with the same verdict and registers.
+#[test]
+fn fuel_monotone() {
+    let mut rng = rng_for("fuel_monotone");
+    for _ in 0..CASES {
+        let p = arb_program(&mut rng);
+        let z = rng.gen_range(0, 20);
         let mut small = Fuel::new(200);
         let r_small = p.run_pure(&[z], &mut small);
         if let Ok(out1) = r_small {
             let mut big = Fuel::new(100_000);
             let out2 = p.run_pure(&[z], &mut big).expect("bigger budget");
-            prop_assert_eq!(out1.result, out2.result);
-            prop_assert_eq!(out1.registers, out2.registers);
-            prop_assert_eq!(out1.steps, out2.steps);
+            assert_eq!(out1.result, out2.result);
+            assert_eq!(out1.registers, out2.registers);
+            assert_eq!(out1.steps, out2.steps);
         }
     }
+}
 
-    /// `halts_within` is monotone in the step bound.
-    #[test]
-    fn halts_within_monotone(y in 0u64..500, z in 0u64..10) {
+/// `halts_within` is monotone in the step bound.
+#[test]
+fn halts_within_monotone() {
+    let mut rng = rng_for("halts_within_monotone");
+    for _ in 0..CASES / 4 {
+        let y = rng.gen_range(0, 500);
+        let z = rng.gen_range(0, 10);
         let mut halted = false;
         for x in 0..80u64 {
             let now = halts_within(x, y, z);
-            prop_assert!(now || !halted, "monotone at x={}", x);
+            assert!(now || !halted, "monotone at x={x}");
             halted = now;
         }
     }
+}
 
-    /// Execution is deterministic.
-    #[test]
-    fn deterministic_execution(p in arb_program(), z in 0u64..20) {
+/// Execution is deterministic.
+#[test]
+fn deterministic_execution() {
+    let mut rng = rng_for("deterministic_execution");
+    for _ in 0..CASES {
+        let p = arb_program(&mut rng);
+        let z = rng.gen_range(0, 20);
         let a = p.run_pure(&[z], &mut Fuel::new(5000));
         let b = p.run_pure(&[z], &mut Fuel::new(5000));
         match (a, b) {
             (Ok(x), Ok(y)) => {
-                prop_assert_eq!(x.result, y.result);
-                prop_assert_eq!(x.registers, y.registers);
+                assert_eq!(x.result, y.result);
+                assert_eq!(x.registers, y.registers);
             }
             (Err(_), Err(_)) => {}
-            _ => return Err(TestCaseError::fail("nondeterministic fuel behaviour")),
+            _ => panic!("nondeterministic fuel behaviour"),
         }
     }
+}
 
-    /// Halting programs report Halted; the empty program falls off.
-    #[test]
-    fn empty_program_falls_off(z in 0u64..50) {
+/// Halting programs report Halted; the empty program falls off.
+#[test]
+fn empty_program_falls_off() {
+    let mut rng = rng_for("empty_program_falls_off");
+    for _ in 0..CASES {
+        let z = rng.gen_range(0, 50);
         let p = CounterProgram { code: vec![] };
         let out = p.run_pure(&[z], &mut Fuel::new(10)).unwrap();
-        prop_assert_eq!(out.result, RunResult::FellOff);
-        prop_assert_eq!(out.registers[0], z);
+        assert_eq!(out.result, RunResult::FellOff);
+        assert_eq!(out.registers[0], z);
     }
 }

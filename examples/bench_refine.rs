@@ -12,10 +12,11 @@
 //! cargo run --release --example bench_refine > BENCH_refine.json
 //! ```
 //!
-//! `scripts/bench_refine.sh --std` wraps exactly that. The criterion
-//! benches stay the precision instrument; this harness exists so the
-//! speedup trajectory can be recorded in environments where the
-//! criterion dev-dependency is unavailable (e.g. offline builds).
+//! `scripts/bench_refine.sh` wraps exactly that. With
+//! `--metrics-out <path>` the run also installs a metrics recorder and
+//! writes a `METRICS/v1` report of the hot-path counters (buckets
+//! probed, fingerprint collisions, fan-out imbalance, …) next to the
+//! timing points — the "why is it slow" companion to the medians.
 
 use recdb_core::{Database, DatabaseBuilder, Elem, FnRelation, Tuple};
 use recdb_hsdb::{
@@ -67,7 +68,23 @@ struct Point {
     median_ns: u128,
 }
 
+fn parse_metrics_out() -> Option<String> {
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        if arg == "--metrics-out" {
+            return Some(it.next().expect("--metrics-out needs a path"));
+        }
+    }
+    None
+}
+
 fn main() {
+    let metrics_out = parse_metrics_out();
+    let recorder = metrics_out.as_ref().map(|_| {
+        let r = recdb_obs::InMemoryRecorder::shared();
+        recdb_obs::install(r.clone());
+        r
+    });
     let divides: Database = DatabaseBuilder::new("divides")
         .relation("E", FnRelation::divides())
         .build();
@@ -121,6 +138,14 @@ fn main() {
     }
     println!("  ]");
     println!("}}");
+
+    if let (Some(path), Some(rec)) = (&metrics_out, recorder) {
+        recdb_obs::uninstall();
+        let mut metrics = rec.snapshot();
+        metrics.parallel = cfg!(feature = "parallel");
+        metrics.write_json(path).expect("write metrics report");
+        eprintln!("wrote {path}");
+    }
 
     // Human-readable speedup summary on stderr so redirecting stdout
     // to BENCH_refine.json still shows the headline.

@@ -1,63 +1,72 @@
 #!/usr/bin/env bash
 # Benchmark the Vⁿᵣ refinement pipeline and distill the medians into
-# BENCH_refine.json (one point per benchmark/size, median ns).
+# BENCH_refine.json, plus a METRICS_refine.json report of the hot-path
+# counters (buckets probed, fingerprint collisions, fan-out imbalance).
 #
 # Modes:
-#   scripts/bench_refine.sh          criterion benches (refine + local_iso),
-#                                    medians scraped from target/criterion
-#   scripts/bench_refine.sh --std    std-timer harness (examples/bench_refine.rs);
-#                                    no dev-dependencies needed — works offline
+#   scripts/bench_refine.sh            std-timer harness
+#                                      (examples/bench_refine.rs); no
+#                                      dev-dependencies — works offline
+#   scripts/bench_refine.sh --bench    microbench harness (cargo bench,
+#                                      refine + local_iso); medians
+#                                      scraped from the harness's
+#                                      `bench <label> median_ns <t>`
+#                                      lines
 #
-# Extra args after the mode are forwarded to cargo (e.g.
-# `scripts/bench_refine.sh --std --features parallel`).
+# Extra args are forwarded to cargo (e.g.
+# `scripts/bench_refine.sh --features parallel`).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 OUT=BENCH_refine.json
+METRICS_OUT=METRICS_refine.json
 
+# Historical alias: the std harness used to be opt-in via --std and is
+# now the default.
 if [[ "${1:-}" == "--std" ]]; then
     shift
-    cargo run --release -p recdb-suite --example bench_refine "$@" > "$OUT"
-    echo "wrote $OUT (std-timer harness)"
-    exit 0
 fi
 
-cargo bench -p recdb-bench --bench refine "$@"
-cargo bench -p recdb-bench --bench local_iso "$@"
+if [[ "${1:-}" == "--bench" ]]; then
+    shift
+    mkdir -p target
+    RAW=target/bench_refine.raw
+    cargo bench -p recdb-bench --bench refine "$@" | tee "$RAW"
+    cargo bench -p recdb-bench --bench local_iso "$@" | tee -a "$RAW"
 
-# Criterion writes <group>/<bench>/new/estimates.json with the median
-# point estimate in ns. Collect every estimate under the two benches'
-# groups (E7/*, E3/*) into the flat BENCH_refine.json schema.
-python3 - "$OUT" <<'PY'
-import json, pathlib, sys
+    # The in-tree microbench harness prints one line per benchmark:
+    #   bench <group>/<id> median_ns <t> samples <k>
+    python3 - "$OUT" "$RAW" <<'PY'
+import json, sys
 
-out = sys.argv[1]
+out, raw = sys.argv[1:3]
 points = []
-root = pathlib.Path("target/criterion")
-for est in sorted(root.glob("E[37]*/**/new/estimates.json")):
-    rel = est.relative_to(root).parts[:-2]  # drop new/estimates.json
-    # Layout is <group>/<function>[/<value>] depending on BenchmarkId use.
-    group = rel[0]
-    bench = "/".join(rel[1:-1]) if len(rel) > 2 else rel[1]
-    size = rel[-1] if len(rel) > 2 else None
-    with est.open() as f:
-        median = json.load(f)["median"]["point_estimate"]
-    point = {"group": group, "bench": bench, "median_ns": round(median)}
-    if size is not None:
-        try:
-            point["size"] = int(size)
-        except ValueError:
-            point["bench"] = f"{bench}/{size}"
-    points.append(point)
-
+for line in open(raw):
+    parts = line.split()
+    if len(parts) >= 4 and parts[0] == "bench" and parts[2] == "median_ns":
+        group, _, bench = parts[1].partition("/")
+        points.append(
+            {"group": group, "bench": bench or group, "median_ns": int(parts[3])}
+        )
 if not points:
-    sys.exit("no criterion estimates found under target/criterion")
-
+    sys.exit("no `bench ... median_ns ...` lines found in harness output")
 with open(out, "w") as f:
     json.dump(
-        {"schema": "BENCH_refine/v1", "harness": "criterion (median point estimate)",
+        {"schema": "BENCH_refine/v1",
+         "harness": "microbench (median ns per iteration)",
          "points": points},
         f, indent=2)
     f.write("\n")
-print(f"wrote {out} ({len(points)} points, criterion)")
+print(f"wrote {out} ({len(points)} points, microbench)")
 PY
+    # The bench harness doesn't install a recorder; take the metrics
+    # report from the std harness on the same E7 workload.
+    cargo run --release -p recdb-suite --example bench_refine "$@" -- \
+        --metrics-out "$METRICS_OUT" > /dev/null
+    echo "wrote $METRICS_OUT"
+    exit 0
+fi
+
+cargo run --release -p recdb-suite --example bench_refine "$@" -- \
+    --metrics-out "$METRICS_OUT" > "$OUT"
+echo "wrote $OUT (std-timer harness) and $METRICS_OUT"

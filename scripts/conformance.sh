@@ -2,7 +2,10 @@
 # Run the theorem-ledger conformance harness at the fixed CI seed,
 # serially and through the threaded refinement pipeline, and verify the
 # two runs report identical per-check statuses. Writes CONFORMANCE.json
-# (the serial run's report; `"parallel": false` distinguishes it).
+# (the serial run's report; `"parallel": false` distinguishes it) and a
+# METRICS.json hot-path counter report per mode; the serial and
+# parallel metric *key sets* must match (values legitimately differ —
+# thread fan-out changes chunk counts, not which metrics exist).
 #
 # Usage:
 #   scripts/conformance.sh                 fixed seed, both modes, diff
@@ -25,18 +28,20 @@ done
 
 OUT=CONFORMANCE.json
 PAR_OUT=target/CONFORMANCE.parallel.json
+METRICS=METRICS.json
+PAR_METRICS=target/METRICS.parallel.json
 
 cargo run --release -p recdb-conformance --bin conformance -- \
-    --seed "$SEED" --out "$OUT"
+    --seed "$SEED" --out "$OUT" --metrics-out "$METRICS"
 
 if [[ "$SERIAL_ONLY" == 1 ]]; then
-    echo "serial-only run complete; wrote $OUT"
+    echo "serial-only run complete; wrote $OUT and $METRICS"
     exit 0
 fi
 
 mkdir -p target
 cargo run --release -p recdb-conformance --features parallel --bin conformance -- \
-    --seed "$SEED" --out "$PAR_OUT"
+    --seed "$SEED" --out "$PAR_OUT" --metrics-out "$PAR_METRICS"
 
 python3 - "$OUT" "$PAR_OUT" <<'PY'
 import json, sys
@@ -53,4 +58,23 @@ if a != b:
     sys.exit("serial and parallel ledgers disagree")
 print(f"serial and parallel ledgers agree ({len(a)} checks)")
 PY
-echo "wrote $OUT"
+
+# Key-set diff only: values differ across schedules by design.
+python3 - "$METRICS" "$PAR_METRICS" <<'PY'
+import json, sys
+
+serial, parallel = (json.load(open(p)) for p in sys.argv[1:3])
+assert serial["parallel"] is False and parallel["parallel"] is True, \
+    "feature flags not reflected in the metrics reports"
+keys = lambda m: {f"counter:{k}" for k in m["counters"]} \
+    | {f"histogram:{k}" for k in m["histograms"]}
+a, b = keys(serial), keys(parallel)
+if a != b:
+    for k in sorted(a - b):
+        print(f"  serial-only metric: {k}", file=sys.stderr)
+    for k in sorted(b - a):
+        print(f"  parallel-only metric: {k}", file=sys.stderr)
+    sys.exit("serial and parallel metric key sets disagree")
+print(f"serial and parallel metric key sets agree ({len(a)} keys)")
+PY
+echo "wrote $OUT, $METRICS"

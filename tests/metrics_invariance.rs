@@ -1,0 +1,163 @@
+//! Metrics-invariance property suite (ISSUE 3, satellite 1): the
+//! observability layer is a pure side channel. Every instrumented
+//! entry point — `v_n_r`, `find_r0`, `partition_by_local_iso`, and the
+//! QLhs `HsInterp` — must return bit-identical results with a recorder
+//! installed, with none installed, and after uninstalling one again.
+//!
+//! Compiling the suite with `--features parallel` routes the same
+//! assertions through the threaded partition pipeline, so the ledger
+//! seed exercises both schedules:
+//!
+//! ```text
+//! cargo test -p recdb-suite --test metrics_invariance
+//! cargo test -p recdb-suite --test metrics_invariance --features parallel
+//! ```
+//!
+//! Tests in this binary share the process-global recorder slot and so
+//! serialize on a local lock.
+
+use recdb_conformance::gen::{random_graph_db, random_tuples};
+use recdb_core::{fnv1a, Fuel, SplitMix64};
+use recdb_hsdb::{
+    find_r0, infinite_clique, paper_example_graph, partition_by_local_iso, rado_graph, unary_cells,
+    v_n_r, CellSize, HsDatabase,
+};
+use recdb_obs::InMemoryRecorder;
+use recdb_qlhs::{HsInterp, Prog, Term, Val};
+use std::sync::{Mutex, MutexGuard};
+
+/// Fixed ledger seed (`recdb_conformance::DEFAULT_SEED`).
+const SEED: u64 = 0x5ecd_eb0a;
+
+fn serial() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn rng_for(test: &str) -> SplitMix64 {
+    SplitMix64::seed_from_u64(fnv1a(test) ^ SEED)
+}
+
+/// Zoo members paired with the deepest tree level that is practical to
+/// enumerate (the Rado graph's BIT coding is shallow-only — see
+/// `FamilyInfo::practical_depth` in the hsdb catalog).
+fn zoo() -> Vec<(HsDatabase, usize)> {
+    vec![
+        (infinite_clique(), usize::MAX),
+        (paper_example_graph(), usize::MAX),
+        (
+            unary_cells(vec![CellSize::Infinite, CellSize::Infinite]),
+            usize::MAX,
+        ),
+        (rado_graph(), 3),
+    ]
+}
+
+/// Runs `f` three ways — bare, with an installed recorder, bare again —
+/// and asserts all three results are identical. Returns the bare one.
+fn invariant_under_recorder<R: PartialEq + std::fmt::Debug>(
+    what: &str,
+    mut f: impl FnMut() -> R,
+) -> R {
+    let before = f();
+    recdb_obs::install(InMemoryRecorder::shared());
+    let during = f();
+    recdb_obs::uninstall();
+    let after = f();
+    assert_eq!(
+        before, during,
+        "{what}: recorder install changed the result"
+    );
+    assert_eq!(before, after, "{what}: recorder uninstall left residue");
+    before
+}
+
+/// `v_n_r` over the zoo at the (n, r) grid the conformance ledger
+/// uses: identical partitions (block order included) recorder on/off.
+#[test]
+fn v_n_r_invariant_on_zoo() {
+    let _g = serial();
+    for (hs, depth) in zoo() {
+        let name = hs.database().name().to_string();
+        for n in 1..=2 {
+            for r in 0..=2 {
+                if n + r > depth {
+                    continue;
+                }
+                invariant_under_recorder(&format!("v_n_r({name}, {n}, {r})"), || {
+                    v_n_r(&hs, n, r).expect("deterministic tree")
+                });
+            }
+        }
+    }
+}
+
+/// `find_r0` returns the same (r₀, trajectory) pair recorder on/off.
+#[test]
+fn find_r0_invariant_on_zoo() {
+    let _g = serial();
+    for (hs, depth) in zoo() {
+        let name = hs.database().name().to_string();
+        let max_r = 3.min(depth.saturating_sub(1));
+        invariant_under_recorder(&format!("find_r0({name})"), || {
+            find_r0(&hs, 1, max_r).expect("deterministic tree")
+        });
+    }
+}
+
+/// The bucketed partition on seeded random graph databases (the same
+/// generator family the conformance ledger draws from) is identical
+/// recorder on/off — covering inputs where fingerprint buckets do
+/// split and the pairwise-fallback path runs under instrumentation.
+#[test]
+fn partition_invariant_on_seeded_random_dbs() {
+    let _g = serial();
+    let mut rng = rng_for("partition_invariant_on_seeded_random_dbs");
+    for case in 0..12 {
+        let db = random_graph_db(&mut rng, &format!("inv-{case}"));
+        let tuples = random_tuples(&mut rng, 24, 2, 10);
+        invariant_under_recorder(&format!("partition(case {case})"), || {
+            partition_by_local_iso(&db, &tuples)
+        });
+    }
+}
+
+/// `HsInterp::run` on seeded rank-2 term programs produces identical
+/// values recorder on/off — the canonical-rep cache counters must not
+/// leak into evaluation.
+#[test]
+fn hs_interp_invariant_on_seeded_terms() {
+    let _g = serial();
+    let mut rng = rng_for("hs_interp_invariant_on_seeded_terms");
+    // Graph-schema zoo members only (unary_cells has no binary R1).
+    for hs in [infinite_clique(), paper_example_graph(), rado_graph()] {
+        let name = hs.database().name().to_string();
+        for case in 0..8 {
+            let t = rank2_term(&mut rng, 3);
+            let prog = Prog::assign(0, t);
+            invariant_under_recorder(&format!("hs_interp({name}, case {case})"), || {
+                let v: Val = HsInterp::new(&hs)
+                    .run(&prog, &mut Fuel::new(5_000_000))
+                    .expect("rank-2 terms are total on graph schemas");
+                v
+            });
+        }
+    }
+}
+
+/// Random rank-preserving term over {E, R1, ¬, swap, ∧} — mirrors the
+/// qlhs property-test generator.
+fn rank2_term(rng: &mut SplitMix64, depth: usize) -> Term {
+    if depth == 0 || rng.gen_usize(4) == 0 {
+        return if rng.gen_bool() {
+            Term::E
+        } else {
+            Term::Rel(0)
+        };
+    }
+    match rng.gen_usize(3) {
+        0 => rank2_term(rng, depth - 1).not(),
+        1 => rank2_term(rng, depth - 1).swap(),
+        _ => rank2_term(rng, depth - 1).and(rank2_term(rng, depth - 1)),
+    }
+}
