@@ -1,0 +1,206 @@
+//! `analyze` — the static-analysis CLI.
+//!
+//! ```text
+//! analyze [OPTIONS] FILE          check a QL-family program
+//! analyze --formula [OPTIONS] FILE   check an L⁻/FO query expression
+//!
+//! OPTIONS
+//!   --dialect ql|qlhs|qlf+   dialect to check against (default: the
+//!                            smallest dialect admitting the program's
+//!                            tests)
+//!   --schema A1,A2,...       relation arities (default: 2)
+//!   --lminus                 (formula mode) require quantifier-free
+//!   --metrics-out PATH       write a METRICS/v1 JSON snapshot
+//!   -                        read from stdin
+//! ```
+//!
+//! Exit status: 0 if no error-severity diagnostics, 1 otherwise, 2 on
+//! usage/parse failures.
+
+use recdb_analyze::{analyze_formula, analyze_prog, Severity, Verdict};
+use recdb_core::Schema;
+use recdb_obs::InMemoryRecorder;
+use recdb_qlhs::{classify, parse_program_with_spans, Dialect};
+use std::io::Read;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+struct Opts {
+    file: String,
+    dialect: Option<Dialect>,
+    schema: Schema,
+    formula: bool,
+    lminus: bool,
+    metrics_out: Option<String>,
+}
+
+fn usage() -> String {
+    "usage: analyze [--formula] [--lminus] [--dialect ql|qlhs|qlf+] \
+     [--schema A1,A2,...] [--metrics-out PATH] FILE|-"
+        .to_string()
+}
+
+fn parse_opts(args: &[String]) -> Result<Opts, String> {
+    let mut opts = Opts {
+        file: String::new(),
+        dialect: None,
+        schema: Schema::new(vec![2]),
+        formula: false,
+        lminus: false,
+        metrics_out: None,
+    };
+    let mut file = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--formula" => opts.formula = true,
+            "--lminus" => opts.lminus = true,
+            "--dialect" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| "--dialect needs a value".to_string())?;
+                opts.dialect = Some(match v.to_ascii_lowercase().as_str() {
+                    "ql" => Dialect::Ql,
+                    "qlhs" => Dialect::Qlhs,
+                    "qlf+" | "qlf" | "qlfplus" => Dialect::QlfPlus,
+                    other => return Err(format!("unknown dialect `{other}`")),
+                });
+            }
+            "--schema" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| "--schema needs a value".to_string())?;
+                let arities: Result<Vec<usize>, _> =
+                    v.split(',').map(|s| s.trim().parse::<usize>()).collect();
+                opts.schema = Schema::new(arities.map_err(|e| format!("bad --schema `{v}`: {e}"))?);
+            }
+            "--metrics-out" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| "--metrics-out needs a value".to_string())?;
+                opts.metrics_out = Some(v.clone());
+            }
+            "--help" | "-h" => return Err(usage()),
+            other if file.is_none() => file = Some(other.to_string()),
+            other => return Err(format!("unexpected argument `{other}`\n{}", usage())),
+        }
+    }
+    opts.file = file.ok_or_else(usage)?;
+    Ok(opts)
+}
+
+fn read_input(file: &str) -> Result<String, String> {
+    if file == "-" {
+        let mut s = String::new();
+        std::io::stdin()
+            .read_to_string(&mut s)
+            .map_err(|e| format!("reading stdin: {e}"))?;
+        Ok(s)
+    } else {
+        std::fs::read_to_string(file).map_err(|e| format!("reading {file}: {e}"))
+    }
+}
+
+fn line_col(src: &str, at: usize) -> (usize, usize) {
+    let upto = &src.as_bytes()[..at.min(src.len())];
+    let line = 1 + upto.iter().filter(|&&b| b == b'\n').count();
+    let col = 1 + upto.iter().rev().take_while(|&&b| b != b'\n').count();
+    (line, col)
+}
+
+fn run(opts: &Opts) -> Result<bool, String> {
+    let src = read_input(&opts.file)?;
+    let name = if opts.file == "-" {
+        "<stdin>"
+    } else {
+        &opts.file
+    };
+
+    if opts.formula {
+        let parsed = recdb_logic::parse_query(&src, &opts.schema).map_err(|e| {
+            let (l, c) = line_col(&src, e.at);
+            format!("{name}:{l}:{c}: {}", e.msg)
+        })?;
+        let (rank, body) = match parsed {
+            recdb_logic::ParsedQuery::Undefined => {
+                println!("{name}: the everywhere-undefined query (always legal)");
+                return Ok(true);
+            }
+            recdb_logic::ParsedQuery::Defined { rank, body } => (rank, body),
+        };
+        let report = analyze_formula(&body, &opts.schema, Some(rank), opts.lminus);
+        for d in &report.diagnostics {
+            print!("{}", d.render(None, name));
+        }
+        println!(
+            "{name}: rank {rank}, {} free variable(s), quantifier depth {} (EF-rank bound), {}",
+            report.free_vars.len(),
+            report.ef_rank_bound,
+            if report.quantifier_free {
+                "quantifier-free (L⁻)"
+            } else {
+                "quantified (full L)"
+            }
+        );
+        return Ok(report.is_clean());
+    }
+
+    let (prog, spans) = parse_program_with_spans(&src).map_err(|e| {
+        let (l, c) = line_col(&src, e.at);
+        format!("{name}:{l}:{c}: {}", e.msg)
+    })?;
+    let dialect = opts
+        .dialect
+        .or_else(|| classify(&prog))
+        .unwrap_or(Dialect::Qlhs);
+    let analysis = analyze_prog(&prog, &opts.schema, dialect);
+    for d in &analysis.diagnostics {
+        print!("{}", d.render(Some((&src, &spans)), name));
+    }
+    let errors = analysis
+        .diagnostics
+        .iter()
+        .filter(|d| d.severity() == Severity::Error)
+        .count();
+    let warnings = analysis.diagnostics.len() - errors;
+    println!(
+        "{name}: {} under {} — verdict: {} ({errors} error(s), {warnings} warning(s))",
+        match analysis.verdict {
+            Verdict::Safe => "no rank/arity/dialect error on any run",
+            Verdict::Unsafe => "every run returns an error",
+            Verdict::Unknown => "potential errors found",
+        },
+        dialect,
+        analysis.verdict,
+    );
+    Ok(errors == 0)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_opts(&args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    let recorder = Arc::new(InMemoryRecorder::new());
+    if opts.metrics_out.is_some() {
+        recdb_obs::install(recorder.clone());
+    }
+    let result = run(&opts);
+    if let Some(path) = &opts.metrics_out {
+        if let Err(e) = recorder.snapshot().write_json(path) {
+            eprintln!("writing metrics to {path}: {e}");
+        }
+    }
+    match result {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::from(1),
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::from(2)
+        }
+    }
+}

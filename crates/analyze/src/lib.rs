@@ -1,0 +1,44 @@
+//! # recdb-analyze — static semantic analysis for the QL family and L⁻
+//!
+//! Everything the repo can say about a program *without running it*:
+//!
+//! * **Rank/arity inference** ([`analyze_prog`], [`rank`]) — an
+//!   abstract interpretation over the lattice
+//!   `⊥ ⊑ Known(k) ⊑ ⊤` whose transfer function is *exact*: a
+//!   `Known(k)` is a proof that the value has rank `k` on every
+//!   execution. Detects `&` rank mismatches, out-of-schema `Relᵢ`,
+//!   and use-before-assign, with `while` bodies iterated to a
+//!   fixpoint.
+//! * **Dialect checking** — delegated to [`recdb_qlhs::dialect`] (the
+//!   same checker the interpreters run in their `run` entry points),
+//!   surfaced as coded diagnostics `E0003`/`E0004`.
+//! * **Lints** — dead variables, unreachable and divergent loops
+//!   (constant-emptiness propagation), `down` on rank 0, and
+//!   rank-provable simplification opportunities.
+//! * **L⁻ analysis** ([`analyze_formula`]) — schema conformance,
+//!   quantifier-freeness, free-variable/head agreement, polarity-aware
+//!   active-domain safety, and a syntactic EF-rank upper bound.
+//! * **Verdicts** ([`Verdict`]) — `Safe` (no rank/arity/dialect error
+//!   on any run), `Unsafe` (every run errors), `Unknown`. The
+//!   conformance harness checks these claims differentially against
+//!   all three interpreters on seeded random programs.
+//! * **Diagnostics** ([`diag`]) — stable codes, severities, tree
+//!   paths, spans (via the parser's span table), a rustc-style
+//!   renderer, and `analyze.diagnostics.<code>` counters on the
+//!   `recdb-obs` metrics layer.
+//!
+//! The `analyze` binary is the CLI front end.
+
+#![warn(missing_docs)]
+
+pub mod diag;
+pub mod logic;
+pub mod prog;
+pub mod rank;
+pub mod simplify;
+
+pub use diag::{Code, Diagnostic, Severity};
+pub use logic::{analyze_formula, FormulaReport};
+pub use prog::{analyze_prog, Analysis, Verdict};
+pub use rank::{term_rank, AbsEmpty, AbsRank};
+pub use simplify::simplify_prog_checked;

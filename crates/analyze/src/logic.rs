@@ -1,0 +1,310 @@
+//! Static analysis of first-order / L⁻ formulas ([`recdb_logic`]).
+//!
+//! Three families of checks:
+//!
+//! * **Schema conformance** (`E0201`) — every relational atom's index
+//!   and argument count against the schema (delegates to
+//!   [`Formula::validate`], turning its string error into a coded
+//!   diagnostic).
+//! * **L⁻ shape** (`E0202`, `E0203`) — the paper's L⁻ queries (§2)
+//!   are `{(x₀,…,x_{r−1}) | φ}` with φ quantifier-free and free
+//!   variables drawn from the head.
+//! * **Adom safety** (`W0201`) — over a recursive data base the
+//!   domain is infinite, so a satisfying assignment for e.g. `¬R(x)`
+//!   ranges over infinitely many values. A free variable is flagged
+//!   unless it is *positively bound*: under a polarity-aware walk, it
+//!   occurs in a relational atom in positive position along every
+//!   disjunct. This is the classic syntactic safe-range
+//!   approximation — sound (never flags a genuinely bound variable's
+//!   formula as safe) but incomplete.
+//!
+//! [`FormulaReport::ef_rank_bound`] is the syntactic quantifier depth
+//! — an upper bound on the Ehrenfeucht–Fraïssé rank `r` needed to
+//! distinguish tuples with the formula (`u ≡ᵣ v` agreement, Def 3.4
+//! commentary), and hence on the `r` for which `≡ᵣ`-class reasoning
+//! (Lemma 3.5 machinery) must be run.
+
+use crate::diag::{Code, Diagnostic};
+use recdb_core::Schema;
+use recdb_logic::{Formula, Var};
+use std::collections::BTreeSet;
+
+/// The result of [`analyze_formula`].
+#[derive(Clone, Debug)]
+pub struct FormulaReport {
+    /// Coded findings (empty paths — formulas have no statement tree).
+    pub diagnostics: Vec<Diagnostic>,
+    /// Free variables, sorted.
+    pub free_vars: Vec<Var>,
+    /// Is the formula quantifier-free (a legal L⁻ body)?
+    pub quantifier_free: bool,
+    /// Syntactic upper bound on the EF rank needed for this formula:
+    /// its quantifier depth.
+    pub ef_rank_bound: usize,
+    /// Free variables *not* provably restricted to the active domain.
+    pub adom_unsafe_vars: Vec<Var>,
+}
+
+impl FormulaReport {
+    /// No error-severity findings?
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics
+            .iter()
+            .all(|d| d.severity() == crate::diag::Severity::Warning)
+    }
+}
+
+/// Free variables positively bound by a relational atom along every
+/// way of satisfying `f`. `None` means "all variables" (the formula
+/// is unsatisfiable in this polarity, so the claim holds vacuously).
+fn positively_bound(f: &Formula, positive: bool) -> Option<BTreeSet<Var>> {
+    match f {
+        Formula::True => {
+            if positive {
+                Some(BTreeSet::new())
+            } else {
+                None // ¬true never holds: vacuously binds everything.
+            }
+        }
+        Formula::False => {
+            if positive {
+                None
+            } else {
+                Some(BTreeSet::new())
+            }
+        }
+        // x = y restricts neither side to the active domain.
+        Formula::Eq(..) => Some(BTreeSet::new()),
+        Formula::Rel(_, vs) => {
+            if positive {
+                Some(vs.iter().copied().collect())
+            } else {
+                // ¬R(x̄) holds for almost all of an infinite domain.
+                Some(BTreeSet::new())
+            }
+        }
+        Formula::Not(g) => positively_bound(g, !positive),
+        Formula::And(gs) => {
+            // Positive conjunction: bound by any conjunct suffices.
+            // Negative (¬(g₁∧…)) = disjunction of negations: need all.
+            combine(gs.iter().map(|g| positively_bound(g, positive)), positive)
+        }
+        Formula::Or(gs) => combine(gs.iter().map(|g| positively_bound(g, positive)), !positive),
+        Formula::Implies(a, b) => {
+            // a → b ≡ ¬a ∨ b.
+            let parts = [
+                positively_bound(a, !positive),
+                positively_bound(b, positive),
+            ];
+            combine(parts.into_iter(), !positive)
+        }
+        // φ ↔ ψ can be satisfied with both sides false, which binds
+        // nothing.
+        Formula::Iff(..) => Some(BTreeSet::new()),
+        Formula::Exists(v, g) | Formula::Forall(v, g) => {
+            positively_bound(g, positive).map(|mut s| {
+                s.remove(v);
+                s
+            })
+        }
+    }
+}
+
+/// Union (`true`) or intersection (`false`) of bound-variable sets,
+/// with `None` as the absorbing "everything" element.
+fn combine(
+    parts: impl Iterator<Item = Option<BTreeSet<Var>>>,
+    union: bool,
+) -> Option<BTreeSet<Var>> {
+    let mut acc: Option<Option<BTreeSet<Var>>> = None; // None = no parts yet
+    for p in parts {
+        acc = Some(match (acc, p) {
+            (None, p) => p,
+            (Some(None), p) | (Some(p), None) => {
+                if union {
+                    None
+                } else {
+                    p
+                }
+            }
+            (Some(Some(a)), Some(b)) => Some(if union {
+                a.union(&b).copied().collect()
+            } else {
+                a.intersection(&b).copied().collect()
+            }),
+        });
+    }
+    // An empty conjunction is `true` (binds nothing); an empty
+    // disjunction is `false` (binds everything vacuously).
+    acc.unwrap_or(if union { Some(BTreeSet::new()) } else { None })
+}
+
+/// Analyzes `f` against `schema`.
+///
+/// `declared_rank: Some(r)` treats `f` as the body of an r-ary query
+/// `{(x₀,…,x_{r−1}) | f}` and checks its free variables against the
+/// head. `lminus` additionally requires the body to be
+/// quantifier-free (the L⁻ fragment of §2).
+pub fn analyze_formula(
+    f: &Formula,
+    schema: &Schema,
+    declared_rank: Option<usize>,
+    lminus: bool,
+) -> FormulaReport {
+    recdb_obs::count("analyze.formulas", 1);
+    let mut diags = Vec::new();
+    let mut emit = |code: Code, msg: String, note: Option<String>| {
+        let mut d = Diagnostic::new(code, Vec::new(), msg);
+        if let Some(n) = note {
+            d = d.with_note(n);
+        }
+        d.record();
+        diags.push(d);
+    };
+
+    if let Err(e) = f.validate(schema) {
+        emit(Code::MalformedAtom, e, None);
+    }
+
+    let quantifier_free = f.is_quantifier_free();
+    if lminus && !quantifier_free {
+        emit(
+            Code::QuantifierInLMinus,
+            "L⁻ bodies are quantifier-free, but this formula quantifies".to_string(),
+            Some("quantified queries belong to full L, outside the paper's L⁻ fragment".into()),
+        );
+    }
+
+    let free_vars = f.free_vars();
+    if let Some(r) = declared_rank {
+        for v in &free_vars {
+            if (v.0 as usize) >= r {
+                emit(
+                    Code::FreeVarBeyondRank,
+                    format!("free variable {v} is outside the declared rank {r}"),
+                    Some(format!("head variables are x0..x{}", r.saturating_sub(1))),
+                );
+            }
+        }
+    }
+
+    let bound = positively_bound(f, true).unwrap_or_else(|| free_vars.iter().copied().collect());
+    let adom_unsafe_vars: Vec<Var> = free_vars
+        .iter()
+        .copied()
+        .filter(|v| !bound.contains(v))
+        .collect();
+    for v in &adom_unsafe_vars {
+        emit(
+            Code::AdomUnsafe,
+            format!("free variable {v} is not bound by any positive relational atom"),
+            Some(
+                "over a recursive data base the domain is infinite: satisfying \
+                 assignments for this variable need not stay in the active domain"
+                    .into(),
+            ),
+        );
+    }
+
+    FormulaReport {
+        diagnostics: diags,
+        free_vars,
+        quantifier_free,
+        ef_rank_bound: f.quantifier_depth(),
+        adom_unsafe_vars,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s2() -> Schema {
+        Schema::new(vec![2])
+    }
+
+    fn rel(i: usize, vs: &[u32]) -> Formula {
+        Formula::Rel(i, vs.iter().map(|&v| Var(v)).collect())
+    }
+
+    #[test]
+    fn clean_qf_query_passes() {
+        // { (x0,x1) | R(x0,x1) ∧ ¬R(x1,x0) }
+        let f = Formula::and(vec![rel(0, &[0, 1]), rel(0, &[1, 0]).not()]);
+        let r = analyze_formula(&f, &s2(), Some(2), true);
+        assert!(r.diagnostics.is_empty(), "{:?}", r.diagnostics);
+        assert!(r.quantifier_free);
+        assert_eq!(r.ef_rank_bound, 0);
+        assert_eq!(r.free_vars, vec![Var(0), Var(1)]);
+    }
+
+    #[test]
+    fn malformed_atoms_are_caught() {
+        // Wrong arity.
+        let r = analyze_formula(&rel(0, &[0]), &s2(), None, false);
+        assert!(r.diagnostics.iter().any(|d| d.code == Code::MalformedAtom));
+        // Index out of schema.
+        let r = analyze_formula(&rel(3, &[0, 1]), &s2(), None, false);
+        assert!(r.diagnostics.iter().any(|d| d.code == Code::MalformedAtom));
+        assert!(!r.is_clean());
+    }
+
+    #[test]
+    fn quantifiers_rejected_in_lminus_with_depth_bound() {
+        let f = Formula::Exists(
+            Var(2),
+            Box::new(Formula::Forall(Var(3), Box::new(rel(0, &[2, 3])))),
+        );
+        let r = analyze_formula(&f, &s2(), Some(0), true);
+        assert!(r
+            .diagnostics
+            .iter()
+            .any(|d| d.code == Code::QuantifierInLMinus));
+        assert_eq!(r.ef_rank_bound, 2);
+        // Without the lminus flag, quantification is fine.
+        let r = analyze_formula(&f, &s2(), Some(0), false);
+        assert!(!r
+            .diagnostics
+            .iter()
+            .any(|d| d.code == Code::QuantifierInLMinus));
+    }
+
+    #[test]
+    fn free_var_beyond_declared_rank() {
+        let f = rel(0, &[0, 5]);
+        let r = analyze_formula(&f, &s2(), Some(2), true);
+        assert!(r
+            .diagnostics
+            .iter()
+            .any(|d| d.code == Code::FreeVarBeyondRank));
+    }
+
+    #[test]
+    fn adom_safety_is_polarity_aware() {
+        // ¬R(x0,x1): both free vars unbound.
+        let r = analyze_formula(&rel(0, &[0, 1]).not(), &s2(), Some(2), true);
+        assert_eq!(r.adom_unsafe_vars, vec![Var(0), Var(1)]);
+        // R(x0,x1) ∧ ¬R(x1,x0): the positive conjunct binds both.
+        let f = Formula::and(vec![rel(0, &[0, 1]), rel(0, &[1, 0]).not()]);
+        let r = analyze_formula(&f, &s2(), Some(2), true);
+        assert!(r.adom_unsafe_vars.is_empty());
+        // R(x0,x0) ∨ x0=x1: the equality disjunct binds nothing, so
+        // both variables are unsafe (x0 escapes via the right
+        // disjunct).
+        let f = Formula::Or(vec![rel(0, &[0, 0]), Formula::Eq(Var(0), Var(1))]);
+        let r = analyze_formula(&f, &s2(), Some(2), true);
+        assert_eq!(r.adom_unsafe_vars, vec![Var(0), Var(1)]);
+        // Double negation restores polarity: ¬¬R(x0,x1) binds.
+        let f = Formula::Not(Box::new(Formula::Not(Box::new(rel(0, &[0, 1])))));
+        let r = analyze_formula(&f, &s2(), Some(2), true);
+        assert!(r.adom_unsafe_vars.is_empty());
+    }
+
+    #[test]
+    fn quantified_vars_are_not_reported_free() {
+        let f = Formula::Exists(Var(1), Box::new(rel(0, &[0, 1])));
+        let r = analyze_formula(&f, &s2(), Some(1), false);
+        assert_eq!(r.free_vars, vec![Var(0)]);
+        assert!(r.adom_unsafe_vars.is_empty());
+    }
+}

@@ -1,0 +1,203 @@
+//! The abstract domains: rank, emptiness, and assignment state.
+//!
+//! ## Rank lattice
+//!
+//! ```text
+//!           ⊤   (rank not provable — or a definite mismatch)
+//!        / / \ \
+//!   …  0  1  2  3 …   (Known(k): the value has rank k on EVERY run)
+//!        \ \ / /
+//!           ⊥   (unreachable — no run gets here)
+//! ```
+//!
+//! The transfer function [`term_rank`] is *exact* on `Known` inputs:
+//! every QL operator's output rank is a function of its input ranks
+//! (`E↦2`, `Relᵢ↦arity(i)`, `↑` adds one, `↓` subtracts one clamping
+//! at 0 — the empty-rank-0 convention — `∩`/`¬`/`~` preserve), and an
+//! unassigned variable evaluates to the empty rank-0 value, never an
+//! error. So `Known(k)` genuinely means "rank k on every execution
+//! reaching this point"; information is only lost at control-flow
+//! joins, where disagreeing `Known`s go to `⊤`.
+//!
+//! ## Emptiness lattice
+//!
+//! `⊥ ⊑ {Empty, NonEmpty} ⊑ ⊤`. This one is *not* exact (`∩` of two
+//! non-empty values may be empty, `¬` depends on the domain), and
+//! `NonEmpty` facts for `E` assume a non-empty domain — true for every
+//! structure this repo builds, but an assumption. It therefore only
+//! feeds *warnings* (unreachable/divergent loops), never the
+//! [`Verdict`](crate::Verdict).
+
+use recdb_core::Schema;
+use recdb_qlhs::Term;
+
+/// Abstract rank of a QL value.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AbsRank {
+    /// Unreachable.
+    Bot,
+    /// Provably rank `k` on every run reaching this point.
+    Known(usize),
+    /// Not provable (or provably erroneous).
+    Top,
+}
+
+impl AbsRank {
+    /// Least upper bound.
+    pub fn join(self, other: AbsRank) -> AbsRank {
+        match (self, other) {
+            (AbsRank::Bot, x) | (x, AbsRank::Bot) => x,
+            (AbsRank::Known(a), AbsRank::Known(b)) if a == b => AbsRank::Known(a),
+            _ => AbsRank::Top,
+        }
+    }
+
+    /// The proven concrete rank, if any.
+    pub fn known(self) -> Option<usize> {
+        match self {
+            AbsRank::Known(k) => Some(k),
+            _ => None,
+        }
+    }
+
+    /// Applies `f` to a `Known` rank, passing `Bot`/`Top` through.
+    pub fn map(self, f: impl FnOnce(usize) -> usize) -> AbsRank {
+        match self {
+            AbsRank::Known(k) => AbsRank::Known(f(k)),
+            other => other,
+        }
+    }
+}
+
+/// Abstract emptiness of a QL value.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AbsEmpty {
+    /// Unreachable.
+    Bot,
+    /// Provably empty.
+    Empty,
+    /// Provably non-empty (under the non-empty-domain assumption).
+    NonEmpty,
+    /// Unknown.
+    Top,
+}
+
+impl AbsEmpty {
+    /// Least upper bound.
+    pub fn join(self, other: AbsEmpty) -> AbsEmpty {
+        match (self, other) {
+            (AbsEmpty::Bot, x) | (x, AbsEmpty::Bot) => x,
+            (a, b) if a == b => a,
+            _ => AbsEmpty::Top,
+        }
+    }
+}
+
+/// Whether a variable has been assigned on paths reaching a point.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Assigned {
+    /// On no path (a read is a definite use-before-assign).
+    No,
+    /// On some paths.
+    Maybe,
+    /// On every path.
+    Yes,
+}
+
+impl Assigned {
+    /// Least upper bound (`No ⊔ Yes = Maybe`).
+    pub fn join(self, other: Assigned) -> Assigned {
+        if self == other {
+            self
+        } else {
+            Assigned::Maybe
+        }
+    }
+}
+
+/// The exact rank transfer function. `vars[v]` is the abstract rank of
+/// `Yᵥ` at this program point (indices past the slice mean
+/// never-assigned, i.e. `Known(0)`). Returns `Top` for a definite
+/// `∩`-mismatch or an out-of-schema `Relᵢ` — the *diagnosis* of those
+/// is the program analysis's job ([`crate::analyze_prog`]); here they
+/// just mean "no provable rank".
+pub fn term_rank(t: &Term, schema: &Schema, vars: &[AbsRank]) -> AbsRank {
+    match t {
+        Term::E => AbsRank::Known(2),
+        Term::Rel(i) => {
+            if *i < schema.len() {
+                AbsRank::Known(schema.arity(*i))
+            } else {
+                AbsRank::Top
+            }
+        }
+        Term::Var(v) => vars.get(*v).copied().unwrap_or(AbsRank::Known(0)),
+        Term::And(a, b) => {
+            let (ra, rb) = (term_rank(a, schema, vars), term_rank(b, schema, vars));
+            match (ra, rb) {
+                (AbsRank::Bot, x) | (x, AbsRank::Bot) => x,
+                (AbsRank::Known(x), AbsRank::Known(y)) if x == y => AbsRank::Known(x),
+                _ => AbsRank::Top,
+            }
+        }
+        Term::Not(e) | Term::Swap(e) => term_rank(e, schema, vars),
+        Term::Up(e) => term_rank(e, schema, vars).map(|k| k + 1),
+        Term::Down(e) => term_rank(e, schema, vars).map(|k| k.saturating_sub(1)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recdb_qlhs::Term;
+
+    #[test]
+    fn rank_join_table() {
+        use AbsRank::*;
+        assert_eq!(Bot.join(Known(2)), Known(2));
+        assert_eq!(Known(2).join(Known(2)), Known(2));
+        assert_eq!(Known(1).join(Known(2)), Top);
+        assert_eq!(Top.join(Bot), Top);
+    }
+
+    #[test]
+    fn empty_join_table() {
+        use AbsEmpty::*;
+        assert_eq!(Bot.join(Empty), Empty);
+        assert_eq!(Empty.join(Empty), Empty);
+        assert_eq!(Empty.join(NonEmpty), Top);
+        assert_eq!(NonEmpty.join(Top), Top);
+    }
+
+    #[test]
+    fn assigned_join_table() {
+        use Assigned::*;
+        assert_eq!(No.join(Yes), Maybe);
+        assert_eq!(Yes.join(Yes), Yes);
+        assert_eq!(Maybe.join(No), Maybe);
+    }
+
+    #[test]
+    fn transfer_matches_runtime_rank_rules() {
+        let schema = Schema::new(vec![2, 3]);
+        let vars = [AbsRank::Known(1), AbsRank::Top];
+        let cases: [(Term, AbsRank); 8] = [
+            (Term::E, AbsRank::Known(2)),
+            (Term::Rel(1), AbsRank::Known(3)),
+            (Term::Rel(9), AbsRank::Top),
+            (Term::Var(0).up(), AbsRank::Known(2)),
+            (Term::Var(1).down(), AbsRank::Top),
+            // Unassigned variable: empty rank-0 at runtime.
+            (Term::Var(7), AbsRank::Known(0)),
+            // ↓ clamps at rank 0.
+            (Term::Var(7).down(), AbsRank::Known(0)),
+            (Term::E.and(Term::Rel(0).swap()), AbsRank::Known(2)),
+        ];
+        for (t, want) in cases {
+            assert_eq!(term_rank(&t, &schema, &vars), want, "{t}");
+        }
+        // Definite mismatch degrades to Top (diagnosis elsewhere).
+        let t = Term::E.and(Term::E.up());
+        assert_eq!(term_rank(&t, &schema, &vars), AbsRank::Top);
+    }
+}

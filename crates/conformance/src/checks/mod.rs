@@ -3,8 +3,10 @@
 //! metamorphic engines.
 //!
 //! Registry order mirrors the paper: §2 → §3 → §4 → §5 → §6, then the
-//! cross-implementation differentials, then the metamorphic sweeps.
+//! cross-implementation differentials, the metamorphic sweeps, and the
+//! static-analyzer differentials.
 
+pub mod analyze;
 pub mod diff;
 pub mod meta;
 pub mod s2;
@@ -24,6 +26,7 @@ pub fn ledger() -> Vec<CheckDef> {
     defs.extend(s6::defs());
     defs.extend(diff::defs());
     defs.extend(meta::defs());
+    defs.extend(analyze::defs());
     defs
 }
 

@@ -9,6 +9,7 @@ use recdb_core::{
     CoFiniteRelation, Database, DatabaseBuilder, Elem, FiniteRelation, FiniteStructure, Tuple,
 };
 use recdb_hsdb::{FcfDatabase, FcfRel};
+use recdb_qlhs::{Prog, Term};
 
 /// Element window the random structures draw from (`0..WINDOW`).
 pub const WINDOW: u64 = 8;
@@ -75,6 +76,84 @@ pub fn random_fcf(rng: &mut SplitMix64, name: &str) -> FcfDatabase {
             FcfRel::CoFinite(CoFiniteRelation::new(2, exceptions)),
         ],
     )
+}
+
+/// Shape knobs for [`random_term`] / [`random_prog`].
+///
+/// The generator is deliberately allowed to produce *ill-formed*
+/// programs: `rels` may exceed the target schema's length (missing
+/// relations) and the `allow_*` flags may admit tests the target
+/// dialect rejects. The analyzer-differential checks rely on the mix.
+#[derive(Clone, Copy, Debug)]
+pub struct ProgShape {
+    /// Relation indices are drawn from `0..rels`.
+    pub rels: usize,
+    /// Variable indices are drawn from `0..vars`.
+    pub vars: usize,
+    /// Generate `while single(Y)` statements.
+    pub allow_singleton: bool,
+    /// Generate `while finite(Y)` statements.
+    pub allow_finite: bool,
+}
+
+/// A random term of the given depth budget.
+pub fn random_term(rng: &mut SplitMix64, depth: usize, shape: &ProgShape) -> Term {
+    if depth == 0 {
+        return match rng.gen_usize(4) {
+            0 => Term::E,
+            1 => Term::Rel(rng.gen_usize(shape.rels.max(1))),
+            _ => Term::Var(rng.gen_usize(shape.vars.max(1))),
+        };
+    }
+    match rng.gen_usize(7) {
+        0 => {
+            let left = random_term(rng, depth - 1, shape);
+            left.and(random_term(rng, depth - 1, shape))
+        }
+        1 => random_term(rng, depth - 1, shape).not(),
+        2 => random_term(rng, depth - 1, shape).up(),
+        3 => random_term(rng, depth - 1, shape).down(),
+        4 => random_term(rng, depth - 1, shape).swap(),
+        _ => random_term(rng, 0, shape),
+    }
+}
+
+/// A random program: a sequence of assignments and (shallow) `while`
+/// loops. Loop bodies are biased toward flipping their own guard (a
+/// trailing `Y := E`), so most generated loops terminate; the rest
+/// exercise the fuel path.
+pub fn random_prog(rng: &mut SplitMix64, depth: usize, stmts: usize, shape: &ProgShape) -> Prog {
+    let mut seq = Vec::with_capacity(stmts + 1);
+    for _ in 0..stmts {
+        let v = rng.gen_usize(shape.vars.max(1));
+        let looping = depth > 0 && rng.gen_usize(4) == 0;
+        if looping {
+            let inner_stmts = 1 + rng.gen_usize(2);
+            let inner = random_prog(rng, depth - 1, inner_stmts, shape);
+            let mut body = vec![inner];
+            if rng.gen_usize(4) != 0 {
+                body.push(Prog::assign(v, Term::E));
+            }
+            let body = Box::new(Prog::Seq(body));
+            let mut forms: Vec<fn(usize, Box<Prog>) -> Prog> = vec![Prog::WhileEmpty];
+            if shape.allow_singleton {
+                forms.push(Prog::WhileSingleton);
+            }
+            if shape.allow_finite {
+                forms.push(Prog::WhileFinite);
+            }
+            seq.push(forms[rng.gen_usize(forms.len())](v, body));
+        } else {
+            let depth = 1 + rng.gen_usize(3);
+            seq.push(Prog::assign(v, random_term(rng, depth, shape)));
+        }
+    }
+    // Y1 usually gets a final value, so programs compute something.
+    if rng.gen_usize(4) != 0 {
+        let depth = 1 + rng.gen_usize(2);
+        seq.push(Prog::assign(0, random_term(rng, depth, shape)));
+    }
+    Prog::Seq(seq)
 }
 
 /// A random tuple of the given rank over `0..window`.

@@ -78,6 +78,12 @@ impl FcfDatabase {
         &self.rels
     }
 
+    /// The schema (arities, in relation order) — what static analysis
+    /// needs without touching the representations themselves.
+    pub fn schema(&self) -> Schema {
+        Schema::new(self.rels.iter().map(FcfRel::arity).collect::<Vec<_>>())
+    }
+
     /// `Df`: all constants appearing in the finite parts (Def §4).
     pub fn df(&self) -> BTreeSet<Elem> {
         self.rels

@@ -12,11 +12,31 @@
 //! * **QLf+** — the finite∕co-finite variant (§4): adds
 //!   `while |Y|<∞`, and reinterprets `E` and `↑` over `Df`.
 //!
-//! Dialect restrictions are enforced at interpretation time: the QL
-//! interpreter rejects `while |Y|=1`, and only the QLf+ interpreter
-//! accepts `while |Y|<∞`.
+//! Dialect restrictions are enforced *statically*, before a program
+//! runs: every interpreter's `run` entry point calls
+//! [`crate::dialect::Dialect::check`] as a mandatory pre-pass, so an
+//! illegal test anywhere in the program is rejected up-front with a
+//! [`crate::value::RunError::DialectViolation`]. (The interpreters
+//! keep their interpretation-time checks as defense in depth for
+//! callers driving `exec` directly.) The `recdb-analyze` crate builds
+//! its richer diagnostics — rank/arity inference, lints, spans — on
+//! the same AST.
 
 use std::fmt;
+
+/// A path from the root of a [`Prog`] tree to one of its nodes, as a
+/// sequence of child indices. The child convention:
+///
+/// * `Seq(ps)` — child `i` is `ps[i]`;
+/// * the three `while` forms — child `0` is the loop body;
+/// * `Assign` — a leaf (term-level positions are reported by quoting
+///   the offending subterm, not by extending the path).
+///
+/// The parser's span table ([`crate::parser::SpanTable`]) and the
+/// static analyzer's diagnostics both key on this type, which is how a
+/// diagnostic on a builder-constructed AST finds its source span when
+/// the program came from [`crate::parser::parse_program_with_spans`].
+pub type NodePath = Vec<u32>;
 
 /// A relational variable `Yᵢ` (0-based).
 pub type VarId = usize;

@@ -203,7 +203,13 @@ impl<'a> FcfInterp<'a> {
     }
 
     /// Runs a program; result is `Y₁`.
+    ///
+    /// The QLf+ dialect check runs first: a `while |Y|=1` anywhere in
+    /// the program — reachable or not — is rejected up-front.
     pub fn run(&self, p: &Prog, fuel: &mut Fuel) -> Result<FcfVal, RunError> {
+        crate::dialect::Dialect::QlfPlus
+            .check(p)
+            .map_err(|v| RunError::DialectViolation(v.message()))?;
         let nvars = p.max_var().map_or(1, |m| m + 1);
         let mut env = vec![FcfVal::empty(0); nvars.max(1)];
         self.exec(p, &mut env, fuel)?;

@@ -135,7 +135,14 @@ impl<'a> FinInterp<'a> {
     }
 
     /// Runs a program; result is `Y₁`.
+    ///
+    /// The QL dialect check runs first: a `while |Y|=1` or
+    /// `while |Y|<∞` anywhere in the program — reachable or not — is
+    /// rejected up-front.
     pub fn run(&self, p: &Prog, fuel: &mut Fuel) -> Result<Val, RunError> {
+        crate::dialect::Dialect::Ql
+            .check(p)
+            .map_err(|v| RunError::DialectViolation(v.message()))?;
         let nvars = p.max_var().map_or(1, |m| m + 1);
         let mut env = vec![Val::empty(0); nvars.max(1)];
         self.exec(p, &mut env, fuel)?;

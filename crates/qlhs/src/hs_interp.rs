@@ -158,7 +158,13 @@ impl<'a> HsInterp<'a> {
 
     /// Runs a program; the result is the final value of `Y₁`
     /// (variable 0), as in §3.3.
+    ///
+    /// The QLhs dialect check runs first: a `while |Y|<∞` anywhere in
+    /// the program — reachable or not — is rejected up-front.
     pub fn run(&mut self, p: &Prog, fuel: &mut Fuel) -> Result<Val, RunError> {
+        crate::dialect::Dialect::Qlhs
+            .check(p)
+            .map_err(|v| RunError::DialectViolation(v.message()))?;
         let nvars = p.max_var().map_or(1, |m| m + 1);
         let mut env = vec![Val::empty(0); nvars.max(1)];
         self.exec(p, &mut env, fuel)?;

@@ -20,6 +20,7 @@
 pub mod ast;
 pub mod completeness;
 pub mod derived;
+pub mod dialect;
 pub mod fcf_interp;
 pub mod fin_interp;
 pub mod hs_interp;
@@ -27,15 +28,19 @@ pub mod optimize;
 pub mod parser;
 pub mod value;
 
-pub use ast::{Prog, Term, VarId};
+pub use ast::{NodePath, Prog, Term, VarId};
 pub use completeness::{theorem_3_1_pipeline, DEncoding, IndexTuple};
 pub use derived::{
     compile_counter, false_term, if_empty, if_nonempty, numeral, rank_program, true_term,
     CompiledCounter,
 };
+pub use dialect::{classify, Dialect, DialectViolation, IllegalTest};
 pub use fcf_interp::{FcfInterp, FcfVal};
 pub use fin_interp::FinInterp;
 pub use hs_interp::HsInterp;
-pub use optimize::{simplify_prog, simplify_term, term_size};
-pub use parser::{parse_program, ProgParseError};
+pub use optimize::{
+    simplify_prog, simplify_prog_with, simplify_term, simplify_term_with, term_size, ClosedRanks,
+    RankOracle,
+};
+pub use parser::{parse_program, parse_program_with_spans, ProgParseError, Span, SpanTable};
 pub use value::{RunError, Val};

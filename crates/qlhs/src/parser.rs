@@ -15,8 +15,75 @@
 //! parentheses. Statements: assignment `Yk := term;` and the three
 //! while-forms. `//` comments run to end of line.
 
-use crate::ast::{Prog, Term};
+use crate::ast::{NodePath, Prog, Term};
+use std::collections::BTreeMap;
 use std::fmt;
+
+/// A half-open byte range `[start, end)` into the source text.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub struct Span {
+    /// First byte of the spanned region.
+    pub start: usize,
+    /// One past the last byte.
+    pub end: usize,
+}
+
+impl Span {
+    /// `(line, column)` of the span start, both 1-based — what a
+    /// rustc-style `--> file:line:col` header wants.
+    pub fn line_col(&self, src: &str) -> (usize, usize) {
+        let upto = &src.as_bytes()[..self.start.min(src.len())];
+        let line = 1 + upto.iter().filter(|&&b| b == b'\n').count();
+        let col = 1 + upto.iter().rev().take_while(|&&b| b != b'\n').count();
+        (line, col)
+    }
+}
+
+/// Statement spans keyed by tree path (see [`NodePath`]): every
+/// `Assign` and `while` node parsed from source gets the byte range of
+/// its full statement text. Diagnostics produced on the parsed AST
+/// look their source positions up here.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SpanTable {
+    spans: BTreeMap<NodePath, Span>,
+}
+
+impl SpanTable {
+    /// The span recorded for a node path, if the node came from source.
+    pub fn get(&self, path: &[u32]) -> Option<Span> {
+        self.spans.get(path).copied()
+    }
+
+    /// The span of the innermost recorded ancestor of `path`
+    /// (including `path` itself) — lets a term-level diagnostic fall
+    /// back to its enclosing statement.
+    pub fn enclosing(&self, path: &[u32]) -> Option<Span> {
+        let mut p = path;
+        loop {
+            if let Some(s) = self.spans.get(p) {
+                return Some(*s);
+            }
+            match p.split_last() {
+                Some((_, rest)) => p = rest,
+                None => return None,
+            }
+        }
+    }
+
+    /// Number of spans recorded.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Is the table empty?
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    fn insert(&mut self, path: NodePath, span: Span) {
+        self.spans.insert(path, span);
+    }
+}
 
 /// A parse error with byte offset.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -38,6 +105,10 @@ impl std::error::Error for ProgParseError {}
 struct P<'a> {
     src: &'a [u8],
     pos: usize,
+    /// Current tree path (child indices from the root `Seq`).
+    path: NodePath,
+    /// Statement spans recorded as parsing proceeds.
+    spans: SpanTable,
 }
 
 impl<'a> P<'a> {
@@ -176,17 +247,35 @@ impl<'a> P<'a> {
     fn block(&mut self) -> Result<Prog, ProgParseError> {
         self.expect("{")?;
         let mut stmts = Vec::new();
+        // The body `Seq` is the while node's child 0.
+        self.path.push(0);
         loop {
             self.skip_ws();
             if self.eat("}") {
                 break;
             }
-            stmts.push(self.stmt()?);
+            self.path.push(stmts.len() as u32);
+            let r = self.stmt();
+            self.path.pop();
+            stmts.push(r?);
         }
+        self.path.pop();
         Ok(Prog::Seq(stmts))
     }
 
     fn stmt(&mut self) -> Result<Prog, ProgParseError> {
+        self.skip_ws();
+        let start = self.pos;
+        let stmt = self.stmt_inner()?;
+        let span = Span {
+            start,
+            end: self.pos,
+        };
+        self.spans.insert(self.path.clone(), span);
+        Ok(stmt)
+    }
+
+    fn stmt_inner(&mut self) -> Result<Prog, ProgParseError> {
         self.skip_ws();
         if self.src[self.pos..].starts_with(b"while") {
             self.pos += 5;
@@ -219,9 +308,19 @@ impl<'a> P<'a> {
 
 /// Parses a QL-family program.
 pub fn parse_program(src: &str) -> Result<Prog, ProgParseError> {
+    parse_program_with_spans(src).map(|(p, _)| p)
+}
+
+/// Parses a QL-family program, also returning the [`SpanTable`] that
+/// maps every statement's tree path to its source byte range. The
+/// static analyzer threads this table through to render rustc-style
+/// diagnostics pointing back into the program text.
+pub fn parse_program_with_spans(src: &str) -> Result<(Prog, SpanTable), ProgParseError> {
     let mut p = P {
         src: src.as_bytes(),
         pos: 0,
+        path: Vec::new(),
+        spans: SpanTable::default(),
     };
     let mut stmts = Vec::new();
     loop {
@@ -229,9 +328,12 @@ pub fn parse_program(src: &str) -> Result<Prog, ProgParseError> {
         if p.pos >= p.src.len() {
             break;
         }
-        stmts.push(p.stmt()?);
+        p.path.push(stmts.len() as u32);
+        let r = p.stmt();
+        p.path.pop();
+        stmts.push(r?);
     }
-    Ok(Prog::Seq(stmts))
+    Ok((Prog::Seq(stmts), p.spans))
 }
 
 #[cfg(test)]
@@ -307,6 +409,30 @@ mod tests {
         let Prog::Seq(v) = p else { panic!() };
         let Prog::Assign(_, t) = &v[0] else { panic!() };
         assert_eq!(t.to_string(), "((E & E) & E)");
+    }
+
+    #[test]
+    fn spans_key_on_statement_paths() {
+        let src = "Y1 := E;\nwhile empty(Y2) {\n  Y2 := up(Y1);\n}\n";
+        let (p, spans) = parse_program_with_spans(src).unwrap();
+        let Prog::Seq(stmts) = &p else { panic!() };
+        assert_eq!(stmts.len(), 2);
+        // Top-level statements at paths [0] and [1].
+        let s0 = spans.get(&[0]).unwrap();
+        assert_eq!(&src[s0.start..s0.end], "Y1 := E;");
+        assert_eq!(s0.line_col(src), (1, 1));
+        let s1 = spans.get(&[1]).unwrap();
+        assert!(src[s1.start..s1.end].starts_with("while empty(Y2)"));
+        assert_eq!(s1.line_col(src), (2, 1));
+        // The loop body's statement: while → body Seq (child 0) →
+        // statement 0.
+        let inner = spans.get(&[1, 0, 0]).unwrap();
+        assert_eq!(&src[inner.start..inner.end], "Y2 := up(Y1);");
+        assert_eq!(inner.line_col(src), (3, 3));
+        // A term-level path falls back to its enclosing statement.
+        assert_eq!(spans.enclosing(&[1, 0, 0, 7]), Some(inner));
+        assert_eq!(spans.len(), 3);
+        assert!(!spans.is_empty());
     }
 
     #[test]

@@ -1,0 +1,264 @@
+//! The analyzer corpus runner.
+//!
+//! `examples/programs/*.ql` is a committed corpus of QL-family
+//! programs, each carrying `// analyze:` directives that pin how it is
+//! checked and what the verdict must be:
+//!
+//! ```text
+//! // analyze: dialect=ql schema=2 expect=unsafe
+//! Y1 := E & down(E);
+//! ```
+//!
+//! A verdict drifting from its directive fails the task (the corpus is
+//! a regression suite for the analyzer's user-facing behavior, CLI
+//! rendering included). Single-line `parse_program("…")` literals in
+//! `examples/` and `tests/` are analyzed too, report-only: they follow
+//! whatever schema their test fabricates, so only the JSON report —
+//! the CI artifact — records their diagnostics.
+
+use crate::scan;
+use recdb_analyze::{analyze_prog, Severity, Verdict};
+use recdb_core::Schema;
+use recdb_qlhs::{classify, parse_program, parse_program_with_spans, Dialect};
+use std::fmt::Write as _;
+use std::path::Path;
+
+struct Directives {
+    dialect: Option<Dialect>,
+    schema: Schema,
+    expect: Option<Verdict>,
+}
+
+fn parse_directives(src: &str) -> Result<Directives, String> {
+    let mut d = Directives {
+        dialect: None,
+        schema: Schema::new(vec![2]),
+        expect: None,
+    };
+    for line in src.lines() {
+        let Some(rest) = line.trim().strip_prefix("// analyze:") else {
+            continue;
+        };
+        for kv in rest.split_whitespace() {
+            let (key, value) = kv
+                .split_once('=')
+                .ok_or_else(|| format!("malformed directive `{kv}`"))?;
+            match key {
+                "dialect" => {
+                    d.dialect = Some(match value {
+                        "ql" => Dialect::Ql,
+                        "qlhs" => Dialect::Qlhs,
+                        "qlf+" | "qlf" => Dialect::QlfPlus,
+                        other => return Err(format!("unknown dialect `{other}`")),
+                    })
+                }
+                "schema" => {
+                    let arities: Result<Vec<usize>, _> = value.split(',').map(str::parse).collect();
+                    d.schema =
+                        Schema::new(arities.map_err(|e| format!("bad schema `{value}`: {e}"))?);
+                }
+                "expect" => {
+                    d.expect = Some(match value {
+                        "safe" => Verdict::Safe,
+                        "unsafe" => Verdict::Unsafe,
+                        "unknown" => Verdict::Unknown,
+                        other => return Err(format!("unknown verdict `{other}`")),
+                    })
+                }
+                other => return Err(format!("unknown directive key `{other}`")),
+            }
+        }
+    }
+    Ok(d)
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// The string literal argument of each single-line `parse_program("…")`
+/// call in `file`, unescaped, with its 1-based line number.
+fn embedded_programs(raw: &str) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    for (i, line) in raw.lines().enumerate() {
+        for (idx, _) in line.match_indices("parse_program(") {
+            let rest = line[idx + "parse_program(".len()..].trim_start();
+            let Some(body) = rest.strip_prefix('"') else {
+                continue;
+            };
+            let mut prog = String::new();
+            let mut chars = body.chars();
+            let mut closed = false;
+            while let Some(c) = chars.next() {
+                match c {
+                    '\\' => match chars.next() {
+                        Some('n') => prog.push('\n'),
+                        Some('t') => prog.push('\t'),
+                        Some(other) => prog.push(other),
+                        None => break,
+                    },
+                    '"' => {
+                        closed = true;
+                        break;
+                    }
+                    c => prog.push(c),
+                }
+            }
+            if closed && !prog.trim().is_empty() {
+                out.push((i + 1, prog));
+            }
+        }
+    }
+    out
+}
+
+/// Runs the corpus; returns `true` when every directive holds.
+pub fn run(root: &Path, report_path: Option<&Path>) -> bool {
+    let mut ok = true;
+    let mut file_rows = Vec::new();
+    let mut literal_rows = Vec::new();
+
+    let programs_dir = root.join("examples/programs");
+    let mut ql_files: Vec<_> = std::fs::read_dir(&programs_dir)
+        .map(|es| {
+            es.flatten()
+                .map(|e| e.path())
+                .filter(|p| p.extension().is_some_and(|x| x == "ql"))
+                .collect()
+        })
+        .unwrap_or_default();
+    ql_files.sort();
+    if ql_files.is_empty() {
+        eprintln!("corpus: no .ql files under {}", programs_dir.display());
+        ok = false;
+    }
+
+    for path in &ql_files {
+        let name = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let src = std::fs::read_to_string(path).unwrap_or_default();
+        let directives = match parse_directives(&src) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("corpus: {name}: {e}");
+                ok = false;
+                continue;
+            }
+        };
+        let (prog, spans) = match parse_program_with_spans(&src) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("corpus: {name}: parse error at byte {}: {}", e.at, e.msg);
+                ok = false;
+                continue;
+            }
+        };
+        let dialect = directives
+            .dialect
+            .or_else(|| classify(&prog))
+            .unwrap_or(Dialect::Qlhs);
+        let analysis = analyze_prog(&prog, &directives.schema, dialect);
+        if let Some(expect) = directives.expect {
+            if analysis.verdict != expect {
+                eprintln!(
+                    "corpus: {name}: expected verdict {expect}, analyzer says {} —",
+                    analysis.verdict
+                );
+                for d in &analysis.diagnostics {
+                    eprint!("{}", d.render(Some((&src, &spans)), &name));
+                }
+                ok = false;
+            }
+        }
+        let diags: Vec<String> = analysis
+            .diagnostics
+            .iter()
+            .map(|d| {
+                format!(
+                    "{{\"code\": \"{}\", \"severity\": \"{}\", \"message\": \"{}\"}}",
+                    d.code,
+                    match d.severity() {
+                        Severity::Error => "error",
+                        Severity::Warning => "warning",
+                    },
+                    json_escape(&d.message)
+                )
+            })
+            .collect();
+        file_rows.push(format!(
+            "    {{\"file\": \"{}\", \"dialect\": \"{}\", \"verdict\": \"{}\", \"diagnostics\": [{}]}}",
+            json_escape(&name),
+            dialect,
+            analysis.verdict,
+            diags.join(", ")
+        ));
+    }
+
+    // Report-only: program literals embedded in examples and tests.
+    for dir in ["examples", "tests"] {
+        for file in scan::rust_files(&root.join(dir)) {
+            let name = file
+                .strip_prefix(root)
+                .unwrap_or(&file)
+                .to_string_lossy()
+                .replace('\\', "/");
+            let raw = std::fs::read_to_string(&file).unwrap_or_default();
+            for (line, src) in embedded_programs(&raw) {
+                let Ok(prog) = parse_program(&src) else {
+                    continue;
+                };
+                let dialect = classify(&prog).unwrap_or(Dialect::Qlhs);
+                let analysis = analyze_prog(&prog, &Schema::new(vec![2]), dialect);
+                let codes: Vec<String> = analysis
+                    .diagnostics
+                    .iter()
+                    .map(|d| format!("\"{}\"", d.code))
+                    .collect();
+                literal_rows.push(format!(
+                    "    {{\"file\": \"{}\", \"line\": {line}, \"verdict\": \"{}\", \"codes\": [{}]}}",
+                    json_escape(&name),
+                    analysis.verdict,
+                    codes.join(", ")
+                ));
+            }
+        }
+    }
+
+    if let Some(path) = report_path {
+        let report = format!(
+            "{{\n  \"schema\": \"ANALYZE_CORPUS/v1\",\n  \"files\": [\n{}\n  ],\n  \"literals\": [\n{}\n  ]\n}}\n",
+            file_rows.join(",\n"),
+            literal_rows.join(",\n")
+        );
+        if let Err(e) = std::fs::write(path, report) {
+            eprintln!("corpus: writing {}: {e}", path.display());
+            ok = false;
+        } else {
+            println!("corpus: wrote {}", path.display());
+        }
+    }
+    if ok {
+        println!(
+            "corpus: OK — {} corpus file(s), {} embedded literal(s) analyzed",
+            ql_files.len(),
+            literal_rows.len()
+        );
+    }
+    ok
+}

@@ -1,0 +1,72 @@
+//! `xtask` — repo maintenance tasks, runnable offline.
+//!
+//! ```text
+//! cargo run -p xtask -- lint [--update-baseline]
+//! cargo run -p xtask -- analyze-corpus [--report PATH]
+//! ```
+//!
+//! * `lint` — the panic-freedom ratchet (counts `panic!` / `.unwrap()`
+//!   / `.expect(` in non-test crate sources against the committed
+//!   `LINT_RATCHET.json` baseline and fails on growth) plus a
+//!   cross-check of the DESIGN.md §6 metric-name table against the
+//!   `recdb_obs::{count,observe,span}` call sites in the sources.
+//! * `analyze-corpus` — runs the static analyzer over
+//!   `examples/programs/*.ql` (each file carries `// analyze:`
+//!   directives naming its dialect, schema, and expected verdict) and,
+//!   report-only, over single-line `parse_program("…")` literals found
+//!   in `examples/` and `tests/`.
+
+mod corpus;
+mod metrics_doc;
+mod ratchet;
+mod scan;
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// The workspace root: `crates/xtask/../..`.
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/xtask sits two levels below the workspace root")
+        .to_path_buf()
+}
+
+fn usage() -> &'static str {
+    "usage: cargo run -p xtask -- <task>\n\
+     tasks:\n\
+       lint [--update-baseline]      panic ratchet + metric-table cross-check\n\
+       analyze-corpus [--report PATH]  analyzer over examples/programs and\n\
+                                       embedded program literals"
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let root = workspace_root();
+    let ok = match args.first().map(String::as_str) {
+        Some("lint") => {
+            let update = args.iter().any(|a| a == "--update-baseline");
+            let ratchet_ok = ratchet::run(&root, update);
+            let metrics_ok = metrics_doc::run(&root);
+            ratchet_ok && metrics_ok
+        }
+        Some("analyze-corpus") => {
+            let report = args
+                .iter()
+                .position(|a| a == "--report")
+                .and_then(|i| args.get(i + 1))
+                .map(PathBuf::from);
+            corpus::run(&root, report.as_deref())
+        }
+        _ => {
+            eprintln!("{}", usage());
+            return ExitCode::from(2);
+        }
+    };
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

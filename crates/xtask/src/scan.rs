@@ -1,0 +1,149 @@
+//! Shared source scanning: file walking and a light, line-oriented
+//! Rust lexer that is just smart enough to strip comments, blank out
+//! string contents, and skip `#[cfg(test)]` blocks.
+//!
+//! This is deliberately not a parser. The repo's style keeps test
+//! modules as `#[cfg(test)] mod tests { … }` at the end of each file,
+//! and the lints only need occurrence counts, so brace-tracking over
+//! cleaned lines is exact in practice and trivially offline.
+
+use std::path::{Path, PathBuf};
+
+/// All `.rs` files under `dir`, recursively, sorted for determinism.
+pub fn rust_files(dir: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    collect(dir, &mut out);
+    out.sort();
+    out
+}
+
+fn collect(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            collect(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// One source line, comments removed. `keep_strings` controls whether
+/// string-literal contents survive (the metric scan needs them; the
+/// panic scan must not count a `"panic!"` inside a message).
+fn clean_line(line: &str, keep_strings: bool) -> String {
+    let mut out = String::with_capacity(line.len());
+    let mut chars = line.chars().peekable();
+    let mut in_string = false;
+    while let Some(c) = chars.next() {
+        if in_string {
+            match c {
+                '\\' => {
+                    // Escapes never terminate the literal.
+                    if keep_strings {
+                        out.push(c);
+                        if let Some(&n) = chars.peek() {
+                            out.push(n);
+                        }
+                    }
+                    chars.next();
+                }
+                '"' => {
+                    in_string = false;
+                    out.push('"');
+                }
+                _ => {
+                    if keep_strings {
+                        out.push(c);
+                    }
+                }
+            }
+        } else {
+            match c {
+                '"' => {
+                    in_string = true;
+                    out.push('"');
+                }
+                '/' if chars.peek() == Some(&'/') => break,
+                _ => out.push(c),
+            }
+        }
+    }
+    out
+}
+
+/// The non-test portion of a file: comments stripped, `#[cfg(test)]`
+/// items (brace-balanced) removed.
+pub fn non_test_source(raw: &str, keep_strings: bool) -> String {
+    let mut out = String::with_capacity(raw.len());
+    let mut skip_depth: Option<i64> = None;
+    let mut pending_skip = false;
+    for line in raw.lines() {
+        let cleaned = clean_line(line, keep_strings);
+        if let Some(depth) = &mut skip_depth {
+            *depth += brace_delta(&cleaned);
+            if *depth <= 0 {
+                skip_depth = None;
+            }
+            continue;
+        }
+        if pending_skip {
+            let delta = brace_delta(&cleaned);
+            if cleaned.contains('{') {
+                pending_skip = false;
+                if delta > 0 {
+                    skip_depth = Some(delta);
+                }
+                // `{ … }` on one line: fully skipped already.
+            } else if cleaned.contains(';') {
+                // `#[cfg(test)] mod tests;` — an out-of-line item.
+                pending_skip = false;
+            }
+            continue;
+        }
+        if cleaned.trim_start().starts_with("#[cfg(test)]") {
+            pending_skip = true;
+            continue;
+        }
+        out.push_str(&cleaned);
+        out.push('\n');
+    }
+    out
+}
+
+fn brace_delta(line: &str) -> i64 {
+    let mut d = 0;
+    for c in line.chars() {
+        match c {
+            '{' => d += 1,
+            '}' => d -= 1,
+            _ => {}
+        }
+    }
+    d
+}
+
+/// Non-overlapping occurrences of `needle` in `haystack`.
+pub fn count_occurrences(haystack: &str, needle: &str) -> usize {
+    haystack.matches(needle).count()
+}
+
+/// The string literal immediately following each occurrence of
+/// `marker` (e.g. `count(` → the metric name). Occurrences not
+/// directly followed by a literal (dynamic names) are skipped.
+pub fn literals_after(source: &str, marker: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    for (idx, _) in source.match_indices(marker) {
+        let rest = &source[idx + marker.len()..];
+        let rest = rest.trim_start();
+        if let Some(body) = rest.strip_prefix('"') {
+            if let Some(end) = body.find('"') {
+                out.push(body[..end].to_string());
+            }
+        }
+    }
+    out
+}

@@ -1,0 +1,5 @@
+// Y3 is assigned but never read (and Y1, the output, is exempt from
+// the lint): W0102, but still a safe program.
+// analyze: dialect=ql schema=2 expect=safe
+Y1 := R1;
+Y3 := up(R1);

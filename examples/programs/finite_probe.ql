@@ -1,0 +1,10 @@
+// A QLf+-only loop over the fcf schema (R1 unary, R2 binary):
+// complement Y2 while it stays finite. Rank is iteration-invariant
+// (complement preserves it), so the analyzer keeps an exact rank
+// through the fixpoint and proves safety.
+// analyze: dialect=qlf+ schema=1,2 expect=safe
+Y2 := R1;
+while finite(Y2) {
+    Y2 := !Y2;
+}
+Y1 := Y2;

@@ -1,0 +1,6 @@
+// The README's ill-ranked example: `E` has rank 2 and `down(E)` has
+// rank 1, so the intersection fails on every run — the analyzer's
+// verdict is `unsafe`, and the interpreters agree with a
+// RankMismatch error.
+// analyze: dialect=ql schema=2 expect=unsafe
+Y1 := E & down(E);

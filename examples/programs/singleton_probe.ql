@@ -1,0 +1,10 @@
+// A QLhs-only loop: pump a value up while it stays a singleton. The
+// rank of Y2 grows every iteration, so at the loop-head fixpoint it is
+// ⊤ — but nothing downstream needs a rank proof, so the program is
+// still provably safe.
+// analyze: dialect=qlhs schema=2 expect=safe
+Y2 := E;
+while single(Y2) {
+    Y2 := up(Y2);
+}
+Y1 := Y2;

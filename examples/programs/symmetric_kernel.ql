@@ -1,0 +1,6 @@
+// Symmetric kernel of the edge relation: the pairs related both ways.
+// Clean under the finitary dialect — every `&` has provably equal
+// operand ranks, so the analyzer proves no run can fail.
+// analyze: dialect=ql schema=2 expect=safe
+Y2 := swap(R1);
+Y1 := R1 & Y2;

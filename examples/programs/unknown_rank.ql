@@ -1,0 +1,9 @@
+// Y2 has rank 0 if the loop runs zero times and rank ≥ 1 otherwise,
+// so its rank at the join is ⊤ and the final `&` cannot be proven
+// rank-correct — nor proven wrong. Verdict: unknown (W0107).
+// analyze: dialect=ql schema=2 expect=unknown
+while empty(Y1) {
+    Y2 := up(Y2);
+    Y1 := E;
+}
+Y1 := Y2 & E;
