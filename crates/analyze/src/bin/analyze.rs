@@ -9,6 +9,11 @@
 //!                            smallest dialect admitting the program's
 //!                            tests)
 //!   --schema A1,A2,...       relation arities (default: 2)
+//!   --generic                also run the genericity and termination
+//!                            passes and print their verdicts
+//!   --format text|json       output format (default: text). JSON is
+//!                            machine-readable ANALYZE-CLI/v1 with
+//!                            diagnostics in stable (path, code) order
 //!   --lminus                 (formula mode) require quantifier-free
 //!   --metrics-out PATH       write a METRICS/v1 JSON snapshot
 //!   -                        read from stdin
@@ -17,7 +22,10 @@
 //! Exit status: 0 if no error-severity diagnostics, 1 otherwise, 2 on
 //! usage/parse failures.
 
-use recdb_analyze::{analyze_formula, analyze_prog, Severity, Verdict};
+use recdb_analyze::{
+    analyze_formula, analyze_full, Diagnostic, GenericityVerdict, LoopBound, Severity,
+    TerminationVerdict, Verdict,
+};
 use recdb_core::Schema;
 use recdb_obs::InMemoryRecorder;
 use recdb_qlhs::{classify, parse_program_with_spans, Dialect};
@@ -25,18 +33,26 @@ use std::io::Read;
 use std::process::ExitCode;
 use std::sync::Arc;
 
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Text,
+    Json,
+}
+
 struct Opts {
     file: String,
     dialect: Option<Dialect>,
     schema: Schema,
     formula: bool,
     lminus: bool,
+    generic: bool,
+    format: Format,
     metrics_out: Option<String>,
 }
 
 fn usage() -> String {
-    "usage: analyze [--formula] [--lminus] [--dialect ql|qlhs|qlf+] \
-     [--schema A1,A2,...] [--metrics-out PATH] FILE|-"
+    "usage: analyze [--formula] [--lminus] [--generic] [--dialect ql|qlhs|qlf+] \
+     [--schema A1,A2,...] [--format text|json] [--metrics-out PATH] FILE|-"
         .to_string()
 }
 
@@ -47,6 +63,8 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         schema: Schema::new(vec![2]),
         formula: false,
         lminus: false,
+        generic: false,
+        format: Format::Text,
         metrics_out: None,
     };
     let mut file = None;
@@ -55,6 +73,17 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         match a.as_str() {
             "--formula" => opts.formula = true,
             "--lminus" => opts.lminus = true,
+            "--generic" => opts.generic = true,
+            "--format" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| "--format needs a value".to_string())?;
+                opts.format = match v.to_ascii_lowercase().as_str() {
+                    "text" => Format::Text,
+                    "json" => Format::Json,
+                    other => return Err(format!("unknown format `{other}`")),
+                };
+            }
             "--dialect" => {
                 let v = it
                     .next()
@@ -99,6 +128,139 @@ fn read_input(file: &str) -> Result<String, String> {
     } else {
         std::fs::read_to_string(file).map_err(|e| format!("reading {file}: {e}"))
     }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// One diagnostic as a JSON object. `line`/`col` come from the span
+/// table when the statement has a recorded span.
+fn diag_json(d: &Diagnostic, src: &str, spans: &recdb_qlhs::SpanTable) -> String {
+    let mut fields = vec![
+        format!("\"code\": \"{}\"", d.code),
+        format!("\"severity\": \"{}\"", d.severity()),
+        format!(
+            "\"path\": [{}]",
+            d.path
+                .iter()
+                .map(|i| i.to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
+        ),
+        format!("\"message\": \"{}\"", json_escape(&d.message)),
+    ];
+    if let Some(span) = spans.enclosing(&d.path) {
+        let (line, col) = span.line_col(src);
+        fields.push(format!("\"line\": {line}"));
+        fields.push(format!("\"col\": {col}"));
+    }
+    if let Some(note) = &d.note {
+        fields.push(format!("\"note\": \"{}\"", json_escape(note)));
+    }
+    format!("{{{}}}", fields.join(", "))
+}
+
+/// Renders the whole program analysis as one ANALYZE-CLI/v1 JSON
+/// document. Diagnostics are sorted by (path, code, message) so the
+/// output is stable across runs and refactors of emission order.
+fn report_json(
+    name: &str,
+    dialect: Dialect,
+    analysis: &recdb_analyze::FullAnalysis,
+    diags: &[&Diagnostic],
+    src: &str,
+    spans: &recdb_qlhs::SpanTable,
+    generic: bool,
+) -> String {
+    let mut sorted: Vec<&Diagnostic> = diags.to_vec();
+    sorted.sort_by(|a, b| (&a.path, a.code, &a.message).cmp(&(&b.path, b.code, &b.message)));
+    let diag_rows: Vec<String> = sorted
+        .iter()
+        .map(|d| format!("    {}", diag_json(d, src, spans)))
+        .collect();
+    let mut out = String::from("{\n");
+    out.push_str("  \"format\": \"ANALYZE-CLI/v1\",\n");
+    out.push_str(&format!("  \"file\": \"{}\",\n", json_escape(name)));
+    out.push_str(&format!("  \"dialect\": \"{dialect}\",\n"));
+    out.push_str(&format!(
+        "  \"verdict\": \"{}\",\n",
+        analysis.safety.verdict
+    ));
+    if generic {
+        let g = &analysis.genericity;
+        out.push_str("  \"genericity\": {");
+        match &g.verdict {
+            GenericityVerdict::Generic { fixed } => {
+                out.push_str(&format!(
+                    "\"verdict\": \"generic\", \"fixed\": [{}]",
+                    fixed
+                        .iter()
+                        .map(|c| c.to_string())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ));
+            }
+            GenericityVerdict::NonGeneric { witness, .. } => {
+                out.push_str(&format!(
+                    "\"verdict\": \"nongeneric\", \"witness\": [{}, {}]",
+                    witness.0, witness.1
+                ));
+            }
+            GenericityVerdict::Unknown => out.push_str("\"verdict\": \"unknown\""),
+        }
+        out.push_str("},\n");
+        let t = &analysis.termination;
+        out.push_str("  \"termination\": {");
+        match t.verdict {
+            TerminationVerdict::Terminates { iterations } => out.push_str(&format!(
+                "\"verdict\": \"terminates\", \"iterations\": {iterations}"
+            )),
+            TerminationVerdict::Diverges => out.push_str("\"verdict\": \"diverges\""),
+            TerminationVerdict::Unknown => out.push_str("\"verdict\": \"unknown\""),
+        }
+        let loop_rows: Vec<String> = t
+            .loops
+            .iter()
+            .map(|l| {
+                let path = l
+                    .path
+                    .iter()
+                    .map(|i| i.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                let bound = match l.bound {
+                    LoopBound::Bounded(b) => format!("\"bounded\", \"bound\": {b}"),
+                    LoopBound::Divergent => "\"divergent\"".to_string(),
+                    LoopBound::Unknown => "\"unknown\"".to_string(),
+                };
+                format!("{{\"path\": [{path}], \"kind\": {bound}}}")
+            })
+            .collect();
+        out.push_str(&format!(", \"loops\": [{}]", loop_rows.join(", ")));
+        out.push_str("},\n");
+    }
+    if diag_rows.is_empty() {
+        out.push_str("  \"diagnostics\": []\n}\n");
+    } else {
+        out.push_str(&format!(
+            "  \"diagnostics\": [\n{}\n  ]\n}}\n",
+            diag_rows.join(",\n")
+        ));
+    }
+    out
 }
 
 fn line_col(src: &str, at: usize) -> (usize, usize) {
@@ -153,26 +315,45 @@ fn run(opts: &Opts) -> Result<bool, String> {
         .dialect
         .or_else(|| classify(&prog))
         .unwrap_or(Dialect::Qlhs);
-    let analysis = analyze_prog(&prog, &opts.schema, dialect);
-    for d in &analysis.diagnostics {
-        print!("{}", d.render(Some((&src, &spans)), name));
+    let full = analyze_full(&prog, &opts.schema, dialect);
+    let mut diags: Vec<&Diagnostic> = full.safety.diagnostics.iter().collect();
+    if opts.generic {
+        diags.extend(full.termination.diagnostics.iter());
+        diags.extend(full.genericity.diagnostics.iter());
     }
-    let errors = analysis
-        .diagnostics
+    if opts.format == Format::Json {
+        print!(
+            "{}",
+            report_json(name, dialect, &full, &diags, &src, &spans, opts.generic)
+        );
+    } else {
+        for d in &diags {
+            print!("{}", d.render(Some((&src, &spans)), name));
+        }
+        let errors = diags
+            .iter()
+            .filter(|d| d.severity() == Severity::Error)
+            .count();
+        let warnings = diags.len() - errors;
+        println!(
+            "{name}: {} under {} — verdict: {} ({errors} error(s), {warnings} warning(s))",
+            match full.safety.verdict {
+                Verdict::Safe => "no rank/arity/dialect error on any run",
+                Verdict::Unsafe => "every run returns an error",
+                Verdict::Unknown => "potential errors found",
+            },
+            dialect,
+            full.safety.verdict,
+        );
+        if opts.generic {
+            println!("{name}: genericity: {}", full.genericity.verdict);
+            println!("{name}: termination: {}", full.termination.verdict);
+        }
+    }
+    let errors = diags
         .iter()
         .filter(|d| d.severity() == Severity::Error)
         .count();
-    let warnings = analysis.diagnostics.len() - errors;
-    println!(
-        "{name}: {} under {} — verdict: {} ({errors} error(s), {warnings} warning(s))",
-        match analysis.verdict {
-            Verdict::Safe => "no rank/arity/dialect error on any run",
-            Verdict::Unsafe => "every run returns an error",
-            Verdict::Unknown => "potential errors found",
-        },
-        dialect,
-        analysis.verdict,
-    );
     Ok(errors == 0)
 }
 

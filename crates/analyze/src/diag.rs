@@ -35,7 +35,8 @@ impl fmt::Display for Severity {
 macro_rules! codes {
     ($( $variant:ident = ($code:literal, $sev:ident, $title:literal), )*) => {
         /// A stable diagnostic code. `E0xxx` are QL-program errors,
-        /// `W01xx` QL-program lints, `E02xx`/`W02xx` cover L⁻
+        /// `W01xx` QL-program lints, `W03xx` genericity findings,
+        /// `W04xx` termination findings, and `E02xx`/`W02xx` cover L⁻
         /// formulas.
         #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
         pub enum Code {
@@ -85,6 +86,10 @@ codes! {
     DownOnRankZero = ("W0105", Warning, "`down` on a rank-0 term always yields the empty rank-0 value"),
     SimplifiableTerm = ("W0106", Warning, "term has a rank-provable simplification"),
     UnprovableRank = ("W0107", Warning, "cannot prove the operands of `&` have equal ranks"),
+    NonGenericOutput = ("W0301", Warning, "output provably depends on named domain constants"),
+    GenericityUnknown = ("W0302", Warning, "genericity of the program could not be decided"),
+    UnboundedLoop = ("W0401", Warning, "no iteration bound could be proved for this loop"),
+    ProvedDivergentLoop = ("W0402", Warning, "loop is proved to never exit once entered"),
     MalformedAtom = ("E0201", Error, "relation atom does not match the schema"),
     QuantifierInLMinus = ("E0202", Error, "L⁻ bodies must be quantifier-free"),
     FreeVarBeyondRank = ("E0203", Error, "free variable index is outside the declared rank"),

@@ -32,13 +32,48 @@
 #![warn(missing_docs)]
 
 pub mod diag;
+pub mod generic;
 pub mod logic;
 pub mod prog;
 pub mod rank;
 pub mod simplify;
+pub mod terminate;
 
 pub use diag::{Code, Diagnostic, Severity};
+pub use generic::{analyze_genericity, GenericAnalysis, GenericityVerdict};
 pub use logic::{analyze_formula, FormulaReport};
 pub use prog::{analyze_prog, Analysis, Verdict};
 pub use rank::{term_rank, AbsEmpty, AbsRank};
 pub use simplify::simplify_prog_checked;
+pub use terminate::{
+    analyze_termination, LoopBound, LoopInfo, LoopKind, TerminationAnalysis, TerminationVerdict,
+};
+
+/// Safety, termination, and genericity in one call — the three passes
+/// composed in dependency order (termination uses the safety verdict,
+/// genericity uses both).
+#[derive(Clone, Debug)]
+pub struct FullAnalysis {
+    /// Rank/arity/dialect safety ([`analyze_prog`]).
+    pub safety: Analysis,
+    /// Loop bounds and the termination verdict ([`analyze_termination`]).
+    pub termination: TerminationAnalysis,
+    /// The C-genericity verdict ([`analyze_genericity`]).
+    pub genericity: GenericAnalysis,
+}
+
+/// Runs all three program analyses on `p`.
+pub fn analyze_full(
+    p: &recdb_qlhs::Prog,
+    schema: &recdb_core::Schema,
+    dialect: recdb_qlhs::Dialect,
+) -> FullAnalysis {
+    let safety = analyze_prog(p, schema, dialect);
+    let termination = analyze_termination(p, schema, dialect, &safety);
+    let genericity = analyze_genericity(p, schema, dialect, &safety, &termination);
+    FullAnalysis {
+        safety,
+        termination,
+        genericity,
+    }
+}

@@ -185,6 +185,9 @@ impl Analyzer<'_> {
                     (AbsRank::Top, AbsEmpty::Top)
                 }
             }
+            // `Cₐ` is a rank-1 singleton on every backend (the class of
+            // `a` over C_B representations) — never empty.
+            Term::Const(_) => (AbsRank::Known(1), AbsEmpty::NonEmpty),
             Term::Var(v) => {
                 let s = env.get(*v).copied().unwrap_or(VarState::UNSET);
                 if s.assigned == Assigned::No {
@@ -472,7 +475,7 @@ fn dead_variable_lints(p: &Prog) -> Vec<Diagnostic> {
     use std::collections::BTreeMap;
     fn term_reads(t: &Term, reads: &mut std::collections::BTreeSet<VarId>) {
         match t {
-            Term::E | Term::Rel(_) => {}
+            Term::E | Term::Rel(_) | Term::Const(_) => {}
             Term::Var(v) => {
                 reads.insert(*v);
             }

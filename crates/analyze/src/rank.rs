@@ -124,6 +124,9 @@ impl Assigned {
 pub fn term_rank(t: &Term, schema: &Schema, vars: &[AbsRank]) -> AbsRank {
     match t {
         Term::E => AbsRank::Known(2),
+        // A constant is always the rank-1 singleton `{(a)}` (the class
+        // of `a` over C_B representations) — rank 1 on every backend.
+        Term::Const(_) => AbsRank::Known(1),
         Term::Rel(i) => {
             if *i < schema.len() {
                 AbsRank::Known(schema.arity(*i))

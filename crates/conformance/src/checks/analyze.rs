@@ -112,6 +112,7 @@ pub fn analyzer_accepts_soundly(ctx: &mut CheckCtx) -> Result<(), String> {
             vars: 3,
             allow_singleton: dialect.admits_singleton_test(),
             allow_finite: dialect.admits_finiteness_test(),
+            consts: 0,
         };
         let stmts = 1 + ctx.rng().gen_usize(3);
         let p = gen::random_prog(ctx.rng(), 2, stmts, &shape);
@@ -157,6 +158,7 @@ pub fn analyzer_rejects_soundly(ctx: &mut CheckCtx) -> Result<(), String> {
             vars: 3,
             allow_singleton: true,
             allow_finite: true,
+            consts: 0,
         };
         let stmts = 1 + ctx.rng().gen_usize(3);
         let mut p = gen::random_prog(ctx.rng(), 2, stmts, &shape);
@@ -210,6 +212,7 @@ pub fn simplifier_preserves_semantics(ctx: &mut CheckCtx) -> Result<(), String> 
             vars: 3,
             allow_singleton: dialect.admits_singleton_test(),
             allow_finite: dialect.admits_finiteness_test(),
+            consts: 0,
         };
         let stmts = 1 + ctx.rng().gen_usize(3);
         let p = gen::random_prog(ctx.rng(), 2, stmts, &shape);

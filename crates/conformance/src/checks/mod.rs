@@ -8,6 +8,7 @@
 
 pub mod analyze;
 pub mod diff;
+pub mod generic;
 pub mod meta;
 pub mod s2;
 pub mod s3;
@@ -27,6 +28,7 @@ pub fn ledger() -> Vec<CheckDef> {
     defs.extend(diff::defs());
     defs.extend(meta::defs());
     defs.extend(analyze::defs());
+    defs.extend(generic::defs());
     defs
 }
 

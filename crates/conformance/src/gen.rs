@@ -94,15 +94,20 @@ pub struct ProgShape {
     pub allow_singleton: bool,
     /// Generate `while finite(Y)` statements.
     pub allow_finite: bool,
+    /// Constant symbols `C<a>` are drawn from `0..consts`; `0`
+    /// disables them (the pre-genericity generator).
+    pub consts: u64,
 }
 
 /// A random term of the given depth budget.
 pub fn random_term(rng: &mut SplitMix64, depth: usize, shape: &ProgShape) -> Term {
     if depth == 0 {
-        return match rng.gen_usize(4) {
+        let arms = if shape.consts > 0 { 5 } else { 4 };
+        return match rng.gen_usize(arms) {
             0 => Term::E,
             1 => Term::Rel(rng.gen_usize(shape.rels.max(1))),
-            _ => Term::Var(rng.gen_usize(shape.vars.max(1))),
+            2 | 3 => Term::Var(rng.gen_usize(shape.vars.max(1))),
+            _ => Term::Const(rng.gen_range(0, shape.consts)),
         };
     }
     match rng.gen_usize(7) {
@@ -168,58 +173,7 @@ pub fn random_tuples(rng: &mut SplitMix64, count: usize, rank: usize, window: u6
         .collect()
 }
 
-/// A random permutation of `0..window`, with its inverse.
-///
-/// The pair `(forward, inverse)` maps elements inside the window and
-/// is extended by the identity outside it (see [`Permutation::apply`]).
-pub struct Permutation {
-    forward: Vec<u64>,
-    inverse: Vec<u64>,
-}
-
-impl Permutation {
-    /// A uniformly random permutation of `0..window`.
-    pub fn random(rng: &mut SplitMix64, window: u64) -> Self {
-        let mut forward: Vec<u64> = (0..window).collect();
-        rng.shuffle(&mut forward);
-        let mut inverse = vec![0u64; window as usize];
-        for (i, &f) in forward.iter().enumerate() {
-            inverse[f as usize] = i as u64;
-        }
-        Permutation { forward, inverse }
-    }
-
-    /// `π(e)` — identity outside the window.
-    pub fn apply(&self, e: Elem) -> Elem {
-        match self.forward.get(e.value() as usize) {
-            Some(&f) => Elem(f),
-            None => e,
-        }
-    }
-
-    /// `π⁻¹(e)` — identity outside the window.
-    pub fn apply_inv(&self, e: Elem) -> Elem {
-        match self.inverse.get(e.value() as usize) {
-            Some(&i) => Elem(i),
-            None => e,
-        }
-    }
-
-    /// `π` applied elementwise to a tuple.
-    pub fn apply_tuple(&self, t: &Tuple) -> Tuple {
-        t.map(|e| self.apply(e))
-    }
-
-    /// The inverse as an owned closure, in the shape
-    /// [`Database::isomorphic_copy`] wants (`f_inv`).
-    pub fn inv_fn(&self) -> impl Fn(Elem) -> Elem + Send + Sync + Clone + 'static {
-        let inverse = self.inverse.clone();
-        move |e: Elem| match inverse.get(e.value() as usize) {
-            Some(&i) => Elem(i),
-            None => e,
-        }
-    }
-}
+pub use recdb_qlhs::Permutation;
 
 #[cfg(test)]
 mod tests {

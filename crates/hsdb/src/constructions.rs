@@ -41,7 +41,13 @@ pub fn infinite_clique() -> HsDatabase {
     }));
     let source = Arc::new(FnCandidates::new(|x: &Tuple| {
         let mut d = x.distinct_elems();
-        let fresh = (0..).map(Elem).find(|e| !d.contains(e)).expect("ℕ");
+        // The smallest natural not in `d` lies in `0..=|d|` (pigeonhole),
+        // so the search is bounded and the fallback unreachable.
+        let bound = d.len() as u64;
+        let fresh = (0..=bound)
+            .map(Elem)
+            .find(|e| !d.contains(e))
+            .unwrap_or(Elem(bound));
         d.push(fresh);
         d
     }));
@@ -374,10 +380,13 @@ fn is_weakly_connected(c: &FiniteStructure) -> bool {
     let mut seen = vec![false; universe.len()];
     let mut stack = vec![0usize];
     seen[0] = true;
-    let idx_of = |e: recdb_core::Elem| universe.binary_search(&e).expect("in universe");
+    let idx_of = |e: recdb_core::Elem| universe.binary_search(&e).ok();
     while let Some(i) = stack.pop() {
         for t in c.relation(0) {
-            let (a, b) = (idx_of(t[0]), idx_of(t[1]));
+            // Structure tuples are validated to lie in the universe.
+            let (Some(a), Some(b)) = (idx_of(t[0]), idx_of(t[1])) else {
+                continue;
+            };
             for (x, y) in [(a, b), (b, a)] {
                 if x == i && !seen[y] {
                     seen[y] = true;
@@ -626,10 +635,13 @@ pub fn infinite_star() -> HsDatabase {
         if !out.contains(&Elem(0)) {
             out.push(Elem(0)); // the hub
         }
-        let fresh = (1..)
+        // The smallest leaf id not in `out` lies in `1..=|out|+1`
+        // (pigeonhole), so the search is bounded.
+        let bound = out.len() as u64 + 1;
+        let fresh = (1..=bound)
             .map(Elem)
             .find(|e| !out.contains(e))
-            .expect("infinitely many leaves");
+            .unwrap_or(Elem(bound));
         out.push(fresh);
         out
     }));

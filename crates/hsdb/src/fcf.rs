@@ -164,10 +164,13 @@ impl FcfDatabase {
                     out.push(d);
                 }
             }
-            let fresh = (0u64..)
+            // The smallest natural not in `out` lies in `0..=|out|`
+            // (pigeonhole), so the search is bounded.
+            let bound = out.len() as u64;
+            let fresh = (0..=bound)
                 .map(Elem)
                 .find(|e| !out.contains(e))
-                .expect("ℕ is infinite");
+                .unwrap_or(Elem(bound));
             out.push(fresh);
             out
         }));

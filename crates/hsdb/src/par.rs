@@ -52,7 +52,9 @@ where
             .map(|c| s.spawn(move || c.iter().map(f).collect::<Vec<R>>()))
             .collect();
         for h in handles {
-            out.extend(h.join().expect("refinement worker panicked"));
+            // A worker panic carries the original payload; re-raise it
+            // instead of minting a second panic here.
+            out.extend(h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)));
         }
     });
     out

@@ -78,10 +78,13 @@ impl Formula {
                 other => flat.push(other),
             }
         }
-        match flat.len() {
-            0 => Formula::True,
-            1 => flat.pop().unwrap(),
-            _ => Formula::And(flat),
+        match flat.pop() {
+            None => Formula::True,
+            Some(only) if flat.is_empty() => only,
+            Some(last) => {
+                flat.push(last);
+                Formula::And(flat)
+            }
         }
     }
 
@@ -96,10 +99,13 @@ impl Formula {
                 other => flat.push(other),
             }
         }
-        match flat.len() {
-            0 => Formula::False,
-            1 => flat.pop().unwrap(),
-            _ => Formula::Or(flat),
+        match flat.pop() {
+            None => Formula::False,
+            Some(only) if flat.is_empty() => only,
+            Some(last) => {
+                flat.push(last);
+                Formula::Or(flat)
+            }
         }
     }
 

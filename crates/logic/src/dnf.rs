@@ -22,11 +22,10 @@ pub fn is_unsatisfiable(q: &LMinusQuery) -> bool {
 /// Does the query hold of **all** tuples of its rank on every r-db
 /// (i.e. it contains every class)?
 pub fn is_valid(q: &LMinusQuery) -> bool {
-    if q.is_undefined() {
-        return false;
-    }
+    let Some(rank) = q.rank() else {
+        return false; // undefined, hence not valid
+    };
     let cu = q.to_class_union();
-    let rank = q.rank().expect("defined");
     cu.class_count() as u128 == recdb_core::count_classes(q.schema(), rank)
 }
 

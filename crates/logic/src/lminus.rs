@@ -95,9 +95,8 @@ impl LMinusQuery {
                 if u.rank() != *rank {
                     return QueryOutcome::Defined(false);
                 }
-                QueryOutcome::Defined(
-                    eval_qf(db, f, u).expect("validated query cannot have unbound vars"),
-                )
+                // Validation at construction rules out unbound vars.
+                QueryOutcome::Defined(eval_qf(db, f, u).unwrap_or(false))
             }
         }
     }
@@ -114,7 +113,7 @@ impl LMinusQuery {
                     .into_iter()
                     .filter(|ty| {
                         let (db, u) = ty.witness(&self.schema);
-                        eval_qf(&db, f, &u).expect("validated")
+                        eval_qf(&db, f, &u).unwrap_or(false)
                     })
                     .collect();
                 ClassUnionQuery::new(self.schema.clone(), *rank, classes)
@@ -126,16 +125,18 @@ impl LMinusQuery {
     /// expression for a computable r-query given in its normal form:
     /// `φ_{i₁} ∨ … ∨ φ_{iₗ}` where each `φᵢ` describes one class.
     pub fn from_class_union(q: &ClassUnionQuery) -> LMinusQuery {
-        if q.is_undefined() {
+        let Some(rank) = q.output_rank() else {
             return LMinusQuery::undefined(q.schema().clone());
-        }
-        let rank = q.output_rank().expect("defined query has a rank");
+        };
         let disjuncts: Vec<Formula> = q
             .classes()
             .map(|ty| formula_for_class(ty, q.schema()))
             .collect();
+        // The synthesized body is quantifier-free over `rank` vars by
+        // construction; a rejection here would be a synthesis bug, and
+        // the T2.1 differentials would flag the undefined fallback.
         LMinusQuery::new(q.schema().clone(), rank, Formula::or(disjuncts))
-            .expect("synthesized formula is quantifier-free and well-formed")
+            .unwrap_or_else(|_| LMinusQuery::undefined(q.schema().clone()))
     }
 }
 
@@ -174,13 +175,15 @@ pub fn formula_for_class(ty: &AtomicType, schema: &Schema) -> Formula {
     }
     // Block representative variables: first position of each block.
     let blocks = ty.distinct_count();
+    // First position of each block; a restricted-growth string names
+    // every block below `blocks`, so each slot is written exactly once.
     let mut rep_var = vec![Var(0); blocks];
-    for (b, var) in rep_var.iter_mut().enumerate() {
-        let pos = pattern
-            .iter()
-            .position(|&p| p == b)
-            .expect("pattern is a restricted-growth string");
-        *var = Var(pos as u32);
+    let mut seen = vec![false; blocks];
+    for (pos, &p) in pattern.iter().enumerate() {
+        if p < blocks && !seen[p] {
+            seen[p] = true;
+            rep_var[p] = Var(pos as u32);
+        }
     }
     // Membership facts.
     for r in 0..schema.len() {

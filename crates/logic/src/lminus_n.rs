@@ -92,7 +92,8 @@ impl LMinusNQuery {
         {
             return QueryOutcome::Defined(false);
         }
-        QueryOutcome::Defined(eval_qf(db, &self.body, u).expect("validated"))
+        // Validation at construction rules out unbound vars.
+        QueryOutcome::Defined(eval_qf(db, &self.body, u).unwrap_or(false))
     }
 
     /// The full (finite!) output relation on a database: all of
@@ -103,7 +104,7 @@ impl LMinusNQuery {
         let mut cur = vec![1u64; self.rank];
         loop {
             let t: Tuple = cur.iter().map(|&v| Elem(v)).collect();
-            if eval_qf(db, &self.body, &t).expect("validated") {
+            if eval_qf(db, &self.body, &t).unwrap_or(false) {
                 out.push(t);
             }
             // Odometer over {1..bound}^rank.

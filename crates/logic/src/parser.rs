@@ -200,7 +200,7 @@ impl<'a> Parser<'a> {
         t
     }
 
-    fn expect(&mut self, want: Tok, what: &str) -> Result<(), ParseError> {
+    fn require(&mut self, want: Tok, what: &str) -> Result<(), ParseError> {
         let at = self.at();
         match self.bump() {
             Some(t) if t == want => Ok(()),
@@ -232,8 +232,8 @@ impl<'a> Parser<'a> {
                 return Ok(ParsedQuery::Undefined);
             }
         }
-        self.expect(Tok::LBrace, "'{'")?;
-        self.expect(Tok::LParen, "'('")?;
+        self.require(Tok::LBrace, "'{'")?;
+        self.require(Tok::LParen, "'('")?;
         let mut rank = 0usize;
         loop {
             match self.peek() {
@@ -258,9 +258,9 @@ impl<'a> Parser<'a> {
                 _ => return self.err("expected variable or ')' in head"),
             }
         }
-        self.expect(Tok::Pipe, "'|'")?;
+        self.require(Tok::Pipe, "'|'")?;
         let body = self.parse_formula()?;
-        self.expect(Tok::RBrace, "'}'")?;
+        self.require(Tok::RBrace, "'}'")?;
         if self.pos != self.toks.len() {
             return self.err("trailing tokens after query");
         }
@@ -298,11 +298,8 @@ impl<'a> Parser<'a> {
             self.bump();
             items.push(self.parse_and()?);
         }
-        Ok(if items.len() == 1 {
-            items.pop().unwrap()
-        } else {
-            Formula::or(items)
-        })
+        // `Formula::or` is the identity on a single disjunct.
+        Ok(Formula::or(items))
     }
 
     fn parse_and(&mut self) -> Result<Formula, ParseError> {
@@ -311,11 +308,8 @@ impl<'a> Parser<'a> {
             self.bump();
             items.push(self.parse_unary()?);
         }
-        Ok(if items.len() == 1 {
-            items.pop().unwrap()
-        } else {
-            Formula::and(items)
-        })
+        // `Formula::and` is the identity on a single conjunct.
+        Ok(Formula::and(items))
     }
 
     fn parse_unary(&mut self) -> Result<Formula, ParseError> {
@@ -331,7 +325,7 @@ impl<'a> Parser<'a> {
                     Some(Tok::Ident(n)) => n,
                     _ => return self.err("expected variable after quantifier"),
                 };
-                self.expect(Tok::Dot, "'.' after quantified variable")?;
+                self.require(Tok::Dot, "'.' after quantified variable")?;
                 let v = Var(self.next_var);
                 self.next_var += 1;
                 let shadowed = self.vars.insert(name.clone(), v);
@@ -358,7 +352,7 @@ impl<'a> Parser<'a> {
         match self.bump() {
             Some(Tok::LParen) => {
                 let f = self.parse_formula()?;
-                self.expect(Tok::RParen, "')'")?;
+                self.require(Tok::RParen, "')'")?;
                 Ok(f)
             }
             Some(Tok::Ident(id)) if id == "true" => Ok(Formula::True),

@@ -63,6 +63,15 @@ pub enum Term {
     Down(Box<Term>),
     /// `e~` — exchange the two rightmost coordinates.
     Swap(Box<Term>),
+    /// `Cₐ` — a domain constant: the rank-1 singleton `{(a)}` naming
+    /// the element `a`. Constants are the [CH] §2.5 extension that
+    /// turns plain genericity into *C-genericity*: a program using
+    /// `Cₐ` is only expected to commute with permutations fixing `a`.
+    /// Over `C_B` representations (QLhs) the constant denotes the
+    /// whole `≅_B`-class of `a` — the representation cannot split a
+    /// class — and over QLf+ it is the finite value `{(a)}` whether or
+    /// not `a ∈ Df`.
+    Const(u64),
 }
 
 impl Term {
@@ -102,6 +111,21 @@ impl Term {
     /// `e ∪ f = ¬(¬e ∩ ¬f)` (derived).
     pub fn union(self, other: Term) -> Term {
         self.not().and(other.not()).not()
+    }
+
+    /// Collects every constant symbol mentioned in the term into `out`.
+    pub fn constants_into(&self, out: &mut std::collections::BTreeSet<u64>) {
+        match self {
+            Term::E | Term::Rel(_) | Term::Var(_) => {}
+            Term::Const(c) => {
+                out.insert(*c);
+            }
+            Term::And(a, b) => {
+                a.constants_into(out);
+                b.constants_into(out);
+            }
+            Term::Not(e) | Term::Up(e) | Term::Down(e) | Term::Swap(e) => e.constants_into(out),
+        }
     }
 }
 
@@ -156,7 +180,7 @@ impl Prog {
     pub fn max_var(&self) -> Option<VarId> {
         fn term_max(t: &Term) -> Option<VarId> {
             match t {
-                Term::E | Term::Rel(_) => None,
+                Term::E | Term::Rel(_) | Term::Const(_) => None,
                 Term::Var(v) => Some(*v),
                 Term::And(a, b) => term_max(a).max(term_max(b)),
                 Term::Not(e) | Term::Up(e) | Term::Down(e) | Term::Swap(e) => term_max(e),
@@ -169,6 +193,24 @@ impl Prog {
                 Some(*v).max(p.max_var())
             }
         }
+    }
+
+    /// Every constant symbol mentioned anywhere in the program — the
+    /// syntactic upper bound on the set `C` the program's output may
+    /// depend on (C-genericity, [CH] §2.5).
+    pub fn constants(&self) -> std::collections::BTreeSet<u64> {
+        fn go(p: &Prog, out: &mut std::collections::BTreeSet<u64>) {
+            match p {
+                Prog::Assign(_, e) => e.constants_into(out),
+                Prog::Seq(ps) => ps.iter().for_each(|q| go(q, out)),
+                Prog::WhileEmpty(_, p) | Prog::WhileSingleton(_, p) | Prog::WhileFinite(_, p) => {
+                    go(p, out)
+                }
+            }
+        }
+        let mut out = std::collections::BTreeSet::new();
+        go(self, &mut out);
+        out
     }
 }
 
@@ -183,6 +225,7 @@ impl fmt::Display for Term {
             Term::Up(e) => write!(f, "up({e})"),
             Term::Down(e) => write!(f, "down({e})"),
             Term::Swap(e) => write!(f, "swap({e})"),
+            Term::Const(c) => write!(f, "C{c}"),
         }
     }
 }

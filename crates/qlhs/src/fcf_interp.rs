@@ -95,6 +95,14 @@ impl<'a> FcfInterp<'a> {
                 }
             }
             Term::Var(v) => env.get(*v).cloned().unwrap_or_else(|| FcfVal::empty(0)),
+            // A constant is the finite rank-1 singleton `{(a)}`,
+            // whether or not `a ∈ Df` (constants name domain elements,
+            // and the domain is all of ℕ).
+            Term::Const(c) => FcfVal {
+                rank: 1,
+                finite: true,
+                tuples: [Tuple::from_values([*c])].into_iter().collect(),
+            },
             Term::And(a, b) => {
                 let x = self.eval_term(a, env, fuel)?;
                 let y = self.eval_term(b, env, fuel)?;
@@ -166,8 +174,11 @@ impl<'a> FcfInterp<'a> {
                         tuples: x
                             .tuples
                             .iter()
-                            .map(|u| u.drop_first().expect("rank ≥ 1"))
-                            .collect(),
+                            .map(|u| {
+                                u.drop_first()
+                                    .ok_or(RunError::Internal("↓ on a tuple shorter than its rank"))
+                            })
+                            .collect::<Result<_, _>>()?,
                     }
                 } else if x.rank == 1 {
                     // Prop 4.2: co-finite R ⊆ D¹ projects to D⁰ = {()}.
@@ -195,8 +206,11 @@ impl<'a> FcfInterp<'a> {
                     tuples: x
                         .tuples
                         .iter()
-                        .map(|u| u.swap_last_two().expect("rank ≥ 2"))
-                        .collect(),
+                        .map(|u| {
+                            u.swap_last_two()
+                                .ok_or(RunError::Internal("swap on a tuple shorter than its rank"))
+                        })
+                        .collect::<Result<_, _>>()?,
                 }
             }
         })

@@ -67,6 +67,14 @@ impl<'a> FinInterp<'a> {
                 }
             }
             Term::Var(v) => env.get(*v).cloned().unwrap_or_else(|| Val::empty(0)),
+            // `Cₐ = {(a)}` whether or not `a` lies in this structure's
+            // universe — constants name elements of the ambient domain,
+            // and structures are finite windows onto it. (`¬Cₐ` still
+            // complements within the universe.)
+            Term::Const(c) => Val {
+                rank: 1,
+                tuples: [Tuple::from_values([*c])].into_iter().collect(),
+            },
             Term::And(a, b) => {
                 let x = self.eval_term(a, env, fuel)?;
                 let y = self.eval_term(b, env, fuel)?;
@@ -113,8 +121,11 @@ impl<'a> FinInterp<'a> {
                     tuples: x
                         .tuples
                         .iter()
-                        .map(|u| u.drop_first().expect("rank ≥ 1"))
-                        .collect(),
+                        .map(|u| {
+                            u.drop_first()
+                                .ok_or(RunError::Internal("↓ on a tuple shorter than its rank"))
+                        })
+                        .collect::<Result<_, _>>()?,
                 }
             }
             Term::Swap(e) => {
@@ -127,8 +138,11 @@ impl<'a> FinInterp<'a> {
                     tuples: x
                         .tuples
                         .iter()
-                        .map(|u| u.swap_last_two().expect("rank ≥ 2"))
-                        .collect(),
+                        .map(|u| {
+                            u.swap_last_two()
+                                .ok_or(RunError::Internal("swap on a tuple shorter than its rank"))
+                        })
+                        .collect::<Result<_, _>>()?,
                 }
             }
         })

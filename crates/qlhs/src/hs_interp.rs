@@ -82,6 +82,17 @@ impl<'a> HsInterp<'a> {
                 }
             }
             Term::Var(v) => env.get(*v).cloned().unwrap_or_else(|| Val::empty(0)),
+            // Over a `C_B` representation a constant cannot name a
+            // single element — values are unions of `≅_B`-classes — so
+            // `Cₐ` denotes the whole class of `a`, i.e. the canonical
+            // representative of `(a)` in `T¹`.
+            Term::Const(c) => {
+                let rep = self.canonical(&Tuple::from_values([*c]));
+                Val {
+                    rank: 1,
+                    tuples: [rep].into_iter().collect(),
+                }
+            }
             Term::And(a, b) => {
                 let x = self.eval_term(a, env, fuel)?;
                 let y = self.eval_term(b, env, fuel)?;
@@ -129,7 +140,9 @@ impl<'a> HsInterp<'a> {
                 let mut out = BTreeSet::new();
                 for u in &x.tuples {
                     fuel.tick()?;
-                    let dropped = u.drop_first().expect("rank ≥ 1");
+                    let dropped = u
+                        .drop_first()
+                        .ok_or(RunError::Internal("↓ on a tuple shorter than its rank"))?;
                     out.insert(self.canonical(&dropped));
                 }
                 Val {
@@ -145,7 +158,9 @@ impl<'a> HsInterp<'a> {
                 let mut out = BTreeSet::new();
                 for u in &x.tuples {
                     fuel.tick()?;
-                    let swapped = u.swap_last_two().expect("rank ≥ 2");
+                    let swapped = u
+                        .swap_last_two()
+                        .ok_or(RunError::Internal("swap on a tuple shorter than its rank"))?;
                     out.insert(self.canonical(&swapped));
                 }
                 Val {

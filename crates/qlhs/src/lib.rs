@@ -26,6 +26,7 @@ pub mod fin_interp;
 pub mod hs_interp;
 pub mod optimize;
 pub mod parser;
+pub mod permute;
 pub mod value;
 
 pub use ast::{NodePath, Prog, Term, VarId};
@@ -43,4 +44,5 @@ pub use optimize::{
     RankOracle,
 };
 pub use parser::{parse_program, parse_program_with_spans, ProgParseError, Span, SpanTable};
+pub use permute::Permutation;
 pub use value::{RunError, Val};

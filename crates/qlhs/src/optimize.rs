@@ -60,6 +60,7 @@ impl RankOracle for ClosedRanks {
     fn term_rank(&self, t: &Term) -> Option<usize> {
         match t {
             Term::E => Some(2),
+            Term::Const(_) => Some(1),
             Term::Rel(_) | Term::Var(_) => None,
             Term::And(a, b) => match (self.term_rank(a), self.term_rank(b)) {
                 (Some(x), Some(y)) if x == y => Some(x),
@@ -82,7 +83,7 @@ pub fn simplify_term(t: &Term) -> Term {
 /// the swap rewrites need. Idempotent for a fixed oracle.
 pub fn simplify_term_with(t: &Term, ranks: &impl RankOracle) -> Term {
     match t {
-        Term::E | Term::Rel(_) | Term::Var(_) => t.clone(),
+        Term::E | Term::Rel(_) | Term::Var(_) | Term::Const(_) => t.clone(),
         Term::And(a, b) => {
             let (sa, sb) = (simplify_term_with(a, ranks), simplify_term_with(b, ranks));
             if sa == sb {
@@ -157,7 +158,7 @@ pub fn simplify_prog_with(p: &Prog, ranks: &impl RankOracle) -> Prog {
 /// Size of a term (AST nodes) — the quantity simplification reduces.
 pub fn term_size(t: &Term) -> usize {
     match t {
-        Term::E | Term::Rel(_) | Term::Var(_) => 1,
+        Term::E | Term::Rel(_) | Term::Var(_) | Term::Const(_) => 1,
         Term::And(a, b) => 1 + term_size(a) + term_size(b),
         Term::Not(e) | Term::Up(e) | Term::Down(e) | Term::Swap(e) => 1 + term_size(e),
     }

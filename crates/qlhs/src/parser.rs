@@ -10,7 +10,8 @@
 //! Y1 := swap(down(Y2));
 //! ```
 //!
-//! Terms: `E`, `R<k>`, `Y<k>` (1-based, as in the paper), `&`
+//! Terms: `E`, `R<k>`, `Y<k>` (1-based, as in the paper), `C<a>` (the
+//! domain constant `a` — 0-based, naming the element directly), `&`
 //! (intersection), `!` (complement), `up(·)`, `down(·)`, `swap(·)`,
 //! parentheses. Statements: assignment `Yk := term;` and the three
 //! while-forms. `//` comments run to end of line.
@@ -144,7 +145,7 @@ impl<'a> P<'a> {
         }
     }
 
-    fn expect(&mut self, token: &str) -> Result<(), ProgParseError> {
+    fn require(&mut self, token: &str) -> Result<(), ProgParseError> {
         if self.eat(token) {
             Ok(())
         } else {
@@ -200,7 +201,7 @@ impl<'a> P<'a> {
         }
         if self.eat("(") {
             let t = self.term()?;
-            self.expect(")")?;
+            self.require(")")?;
             return Ok(t);
         }
         let at = self.pos;
@@ -210,9 +211,9 @@ impl<'a> P<'a> {
         match id.as_str() {
             "E" => Ok(Term::E),
             "up" | "down" | "swap" => {
-                self.expect("(")?;
+                self.require("(")?;
                 let inner = self.term()?;
-                self.expect(")")?;
+                self.require(")")?;
                 Ok(match id.as_str() {
                     "up" => inner.up(),
                     "down" => inner.down(),
@@ -237,6 +238,16 @@ impl<'a> P<'a> {
                     at,
                     msg: format!("bad variable {s:?}"),
                 }),
+            s if s.starts_with('C') => {
+                s[1..]
+                    .parse::<u64>()
+                    .ok()
+                    .map(Term::Const)
+                    .ok_or(ProgParseError {
+                        at,
+                        msg: format!("bad constant {s:?} (expected C0, C1, …)"),
+                    })
+            }
             other => Err(ProgParseError {
                 at,
                 msg: format!("unknown term head {other:?}"),
@@ -245,7 +256,7 @@ impl<'a> P<'a> {
     }
 
     fn block(&mut self) -> Result<Prog, ProgParseError> {
-        self.expect("{")?;
+        self.require("{")?;
         let mut stmts = Vec::new();
         // The body `Seq` is the while node's child 0.
         self.path.push(0);
@@ -284,9 +295,9 @@ impl<'a> P<'a> {
             let Some(kind) = self.ident() else {
                 return self.err("expected empty/single/finite after 'while'");
             };
-            self.expect("(")?;
+            self.require("(")?;
             let v = self.var_id()?;
-            self.expect(")")?;
+            self.require(")")?;
             let body = Box::new(self.block()?);
             return match kind.as_str() {
                 "empty" => Ok(Prog::WhileEmpty(v, body)),
@@ -299,9 +310,9 @@ impl<'a> P<'a> {
             };
         }
         let v = self.var_id()?;
-        self.expect(":=")?;
+        self.require(":=")?;
         let t = self.term()?;
-        self.expect(";")?;
+        self.require(";")?;
         Ok(Prog::Assign(v, t))
     }
 }
@@ -370,6 +381,19 @@ mod tests {
     fn comments_are_skipped() {
         let p = parse_program("// a comment\nY1 := E; // trailing\n").unwrap();
         assert_eq!(p, Prog::Seq(vec![Prog::assign(0, Term::E)]));
+    }
+
+    #[test]
+    fn parses_constants() {
+        let p = parse_program("Y1 := C3 & !C0;").unwrap();
+        assert_eq!(
+            p,
+            Prog::Seq(vec![Prog::assign(
+                0,
+                Term::Const(3).and(Term::Const(0).not())
+            )])
+        );
+        assert!(parse_program("Y1 := Cx;").is_err(), "bad constant index");
     }
 
     #[test]

@@ -71,6 +71,9 @@ pub enum RunError {
     Fuel(FuelError),
     /// QLf+: `↑` applied to a co-finite (infinite) value.
     UpOnInfinite,
+    /// An interpreter invariant failed (e.g. a tuple shorter than its
+    /// value's declared rank) — a bug report, not a query error.
+    Internal(&'static str),
 }
 
 impl fmt::Display for RunError {
@@ -83,6 +86,7 @@ impl fmt::Display for RunError {
             RunError::DialectViolation(msg) => write!(f, "dialect violation: {msg}"),
             RunError::Fuel(e) => write!(f, "{e}"),
             RunError::UpOnInfinite => write!(f, "up() applied to a co-finite relation"),
+            RunError::Internal(msg) => write!(f, "interpreter invariant violated: {msg}"),
         }
     }
 }

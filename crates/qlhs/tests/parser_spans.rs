@@ -1,0 +1,65 @@
+//! Span-table regression tests: byte-exact statement spans must
+//! survive the two spots that have historically been easy to get
+//! wrong — comments butting up against end-of-input, and `NodePath`
+//! addressing through nested `while` bodies.
+
+use recdb_qlhs::{parse_program, parse_program_with_spans, Prog};
+
+#[test]
+fn trailing_comment_without_final_newline_parses() {
+    // The comment is the last thing in the file and there is no
+    // terminating '\n' for the lexer to stop on.
+    let p = parse_program("Y1 := E; // tail comment").unwrap();
+    assert_eq!(p.to_string().trim(), "Y1 := E;");
+
+    // Same, with the comment alone on the final line.
+    let p = parse_program("Y1 := E;\n// closing remark").unwrap();
+    assert_eq!(p.to_string().trim(), "Y1 := E;");
+
+    // A file that is nothing but an unterminated comment is an empty
+    // program, not a parse error.
+    let p = parse_program("// only a comment").unwrap();
+    assert_eq!(p, Prog::Seq(vec![]));
+}
+
+#[test]
+fn spans_survive_an_eof_comment() {
+    let src = "Y1 := E; // tail comment";
+    let (_, spans) = parse_program_with_spans(src).unwrap();
+    let s0 = spans.get(&[0]).unwrap();
+    // The span covers the statement only, not the comment.
+    assert_eq!(&src[s0.start..s0.end], "Y1 := E;");
+}
+
+#[test]
+fn nested_loop_bodies_are_addressable_by_path() {
+    let src = "while empty(Y1) {\n  Y2 := E;\n  while empty(Y3) {\n    Y3 := up(Y2);\n  }\n}\n";
+    let (p, spans) = parse_program_with_spans(src).unwrap();
+    let Prog::Seq(stmts) = &p else {
+        panic!("top level is a Seq")
+    };
+    assert_eq!(stmts.len(), 1);
+
+    // Outer while at [0]; its body Seq is child 0.
+    let outer = spans.get(&[0]).unwrap();
+    assert!(src[outer.start..outer.end].starts_with("while empty(Y1)"));
+    assert_eq!(outer.line_col(src), (1, 1));
+
+    // First body statement at [0, 0, 0].
+    let first = spans.get(&[0, 0, 0]).unwrap();
+    assert_eq!(&src[first.start..first.end], "Y2 := E;");
+    assert_eq!(first.line_col(src), (2, 3));
+
+    // The inner while at [0, 0, 1], and *its* body statement one
+    // level further down at [0, 0, 1, 0, 0].
+    let inner = spans.get(&[0, 0, 1]).unwrap();
+    assert!(src[inner.start..inner.end].starts_with("while empty(Y3)"));
+    assert_eq!(inner.line_col(src), (3, 3));
+    let leaf = spans.get(&[0, 0, 1, 0, 0]).unwrap();
+    assert_eq!(&src[leaf.start..leaf.end], "Y3 := up(Y2);");
+    assert_eq!(leaf.line_col(src), (4, 5));
+
+    // Term-level paths inside the innermost body fall back to their
+    // enclosing statement.
+    assert_eq!(spans.enclosing(&[0, 0, 1, 0, 0, 3, 1]), Some(leaf));
+}

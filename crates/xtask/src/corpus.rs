@@ -9,6 +9,16 @@
 //! Y1 := E & down(E);
 //! ```
 //!
+//! A separate `// VERDICT:` directive pins the genericity verdict
+//! (`generic`, `nongeneric`, or `unknown`) of the abstract
+//! interpretation pass:
+//!
+//! ```text
+//! // analyze: dialect=ql schema=2 expect=safe
+//! // VERDICT: nongeneric
+//! Y1 := C3;
+//! ```
+//!
 //! A verdict drifting from its directive fails the task (the corpus is
 //! a regression suite for the analyzer's user-facing behavior, CLI
 //! rendering included). Single-line `parse_program("…")` literals in
@@ -17,7 +27,7 @@
 //! the CI artifact — records their diagnostics.
 
 use crate::scan;
-use recdb_analyze::{analyze_prog, Severity, Verdict};
+use recdb_analyze::{analyze_full, analyze_prog, GenericityVerdict, Severity, Verdict};
 use recdb_core::Schema;
 use recdb_qlhs::{classify, parse_program, parse_program_with_spans, Dialect};
 use std::fmt::Write as _;
@@ -27,6 +37,8 @@ struct Directives {
     dialect: Option<Dialect>,
     schema: Schema,
     expect: Option<Verdict>,
+    /// Expected genericity verdict kind (`// VERDICT:` directive).
+    genericity: Option<&'static str>,
 }
 
 fn parse_directives(src: &str) -> Result<Directives, String> {
@@ -34,8 +46,18 @@ fn parse_directives(src: &str) -> Result<Directives, String> {
         dialect: None,
         schema: Schema::new(vec![2]),
         expect: None,
+        genericity: None,
     };
     for line in src.lines() {
+        if let Some(rest) = line.trim().strip_prefix("// VERDICT:") {
+            d.genericity = Some(match rest.trim() {
+                "generic" => "generic",
+                "nongeneric" => "nongeneric",
+                "unknown" => "unknown",
+                other => return Err(format!("unknown genericity verdict `{other}`")),
+            });
+            continue;
+        }
         let Some(rest) = line.trim().strip_prefix("// analyze:") else {
             continue;
         };
@@ -173,7 +195,8 @@ pub fn run(root: &Path, report_path: Option<&Path>) -> bool {
             .dialect
             .or_else(|| classify(&prog))
             .unwrap_or(Dialect::Qlhs);
-        let analysis = analyze_prog(&prog, &directives.schema, dialect);
+        let full = analyze_full(&prog, &directives.schema, dialect);
+        let analysis = &full.safety;
         if let Some(expect) = directives.expect {
             if analysis.verdict != expect {
                 eprintln!(
@@ -183,6 +206,21 @@ pub fn run(root: &Path, report_path: Option<&Path>) -> bool {
                 for d in &analysis.diagnostics {
                     eprint!("{}", d.render(Some((&src, &spans)), &name));
                 }
+                ok = false;
+            }
+        }
+        let gkind = match &full.genericity.verdict {
+            GenericityVerdict::Generic { .. } => "generic",
+            GenericityVerdict::NonGeneric { .. } => "nongeneric",
+            GenericityVerdict::Unknown => "unknown",
+        };
+        if let Some(expect) = directives.genericity {
+            if gkind != expect {
+                eprintln!(
+                    "corpus: {name}: expected genericity verdict `{expect}`, analyzer says \
+                     `{}` ({})",
+                    gkind, full.genericity.verdict
+                );
                 ok = false;
             }
         }
@@ -202,10 +240,13 @@ pub fn run(root: &Path, report_path: Option<&Path>) -> bool {
             })
             .collect();
         file_rows.push(format!(
-            "    {{\"file\": \"{}\", \"dialect\": \"{}\", \"verdict\": \"{}\", \"diagnostics\": [{}]}}",
+            "    {{\"file\": \"{}\", \"dialect\": \"{}\", \"verdict\": \"{}\", \
+             \"genericity\": \"{}\", \"termination\": \"{}\", \"diagnostics\": [{}]}}",
             json_escape(&name),
             dialect,
             analysis.verdict,
+            json_escape(&full.genericity.verdict.to_string()),
+            json_escape(&full.termination.verdict.to_string()),
             diags.join(", ")
         ));
     }

@@ -1,0 +1,6 @@
+// ¬C2 mentions the constant 2 but is invariant under every
+// permutation that fixes it: generic relative to the fixed set {2}
+// (C-genericity, Def 2.5).
+// analyze: dialect=ql schema=2 expect=safe
+// VERDICT: generic
+Y1 := !C2;

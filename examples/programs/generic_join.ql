@@ -1,0 +1,7 @@
+// A constant-free query: every construct commutes with domain
+// permutations, so the taint pass proves genericity outright
+// (Def 2.5 with an empty fixed set).
+// analyze: dialect=ql schema=2 expect=safe
+// VERDICT: generic
+Y2 := up(R1);
+Y1 := swap(Y2) & Y2;

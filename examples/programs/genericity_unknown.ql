@@ -1,0 +1,9 @@
+// A QLhs-only singleton test under the plain QL dialect: the dialect
+// check rejects the program before it runs, so there is no output
+// relation to judge — genericity stays Unknown (W0302).
+// analyze: dialect=ql schema=2 expect=unsafe
+// VERDICT: unknown
+Y1 := C1;
+while single(Y1) {
+    Y1 := up(Y1);
+}

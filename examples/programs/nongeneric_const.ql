@@ -1,0 +1,6 @@
+// The output is the fixed singleton {(3)} on every database, so any
+// permutation moving 3 changes it: the analyzer proves non-genericity
+// and reports a witness transposition (W0301).
+// analyze: dialect=ql schema=2 expect=safe
+// VERDICT: nongeneric
+Y1 := C3;
