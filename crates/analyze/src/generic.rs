@@ -375,9 +375,11 @@ pub fn analyze_genericity(
                 }
             }
             // Provably constant output with no elements (empty, or a
-            // set of empty tuples): every permutation fixes it, and
-            // non-completing outcomes are π-equivariant.
-            (Some(_), Some(elems)) if exact_grounded && elems.is_empty() => {
+            // set of empty tuples): every permutation fixes it. Only
+            // claimable when the run provably completes — otherwise a
+            // guard-observed constant can flip Ok vs divergence under
+            // a permutation, so the guard taint must stay fixed.
+            (Some(_), Some(elems)) if exact_grounded && completes && elems.is_empty() => {
                 GenericityVerdict::Generic {
                     fixed: BTreeSet::new(),
                 }
@@ -496,6 +498,20 @@ mod tests {
         // a permutation differential would observe as Ok vs Fuel.
         let a = generic_of(
             "Y1 := R1; Y2 := C4 & down(R1); while empty(Y2) { Y3 := E; Y2 := R1 & R1; }",
+            Dialect::Ql,
+        );
+        assert_eq!(fixed_of(&a), [4].into_iter().collect::<BTreeSet<u64>>());
+    }
+
+    #[test]
+    fn exact_empty_generic_claim_needs_proved_termination() {
+        // Y1 is provably empty on every *completing* run, but the loop
+        // has no proved bound and its guard observes 4: a π moving 4
+        // can flip the run between Ok(∅) and divergence, so the plain
+        // Generic {∅} claim is unsound — fall back to fixing the
+        // guard taint.
+        let a = generic_of(
+            "Y2 := C4 & down(R1); while empty(Y2) { Y3 := E; }",
             Dialect::Ql,
         );
         assert_eq!(fixed_of(&a), [4].into_iter().collect::<BTreeSet<u64>>());

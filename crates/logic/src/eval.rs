@@ -178,6 +178,20 @@ pub fn eval_qf(db: &Database, f: &Formula, u: &Tuple) -> Result<bool, UnboundVar
     eval_inner(db, f, &mut asg, &[])
 }
 
+/// [`eval_qf`] for a body that construction-time validation guarantees
+/// has no unbound variables. A violated guarantee is loud in debug
+/// builds; release builds answer `false` (never a plausible `true`) so
+/// the differentials see a wrong-shaped output instead of a crash.
+pub(crate) fn eval_qf_validated(db: &Database, f: &Formula, u: &Tuple) -> bool {
+    match eval_qf(db, f, u) {
+        Ok(b) => b,
+        Err(e) => {
+            debug_assert!(false, "validated body hit {e} on {u:?}");
+            false
+        }
+    }
+}
+
 /// Evaluates an arbitrary FO formula on an r-db, with quantifiers
 /// ranging over the finite `pool`. Soundness of a given pool is the
 /// caller's obligation (Theorem 6.3 supplies it for hs-r-dbs via

@@ -16,7 +16,7 @@
 //! conjunction describing the equality pattern and the containment /
 //! non-containment of every projection of `u` in every relation.
 
-use crate::eval::eval_qf;
+use crate::eval::eval_qf_validated;
 use crate::{Formula, ParseError, ParsedQuery, Var};
 use recdb_core::{
     enumerate_classes, index_vectors, AtomicType, ClassUnionQuery, Database, QueryOutcome, RQuery,
@@ -96,7 +96,7 @@ impl LMinusQuery {
                     return QueryOutcome::Defined(false);
                 }
                 // Validation at construction rules out unbound vars.
-                QueryOutcome::Defined(eval_qf(db, f, u).unwrap_or(false))
+                QueryOutcome::Defined(eval_qf_validated(db, f, u))
             }
         }
     }
@@ -113,7 +113,7 @@ impl LMinusQuery {
                     .into_iter()
                     .filter(|ty| {
                         let (db, u) = ty.witness(&self.schema);
-                        eval_qf(&db, f, &u).unwrap_or(false)
+                        eval_qf_validated(&db, f, &u)
                     })
                     .collect();
                 ClassUnionQuery::new(self.schema.clone(), *rank, classes)
@@ -208,6 +208,7 @@ pub fn formula_for_class(ty: &AtomicType, schema: &Schema) -> Formula {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::eval::eval_qf;
     use recdb_core::{tuple, DatabaseBuilder, FiniteRelation, FnRelation};
 
     fn graph_schema() -> Schema {

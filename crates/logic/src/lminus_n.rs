@@ -15,7 +15,7 @@
 //! Prop 2.7 proof ("finitely many equivalence classes of `≅ₗ` for each
 //! rank that contain only tuples over `{1,…,n}`").
 
-use crate::eval::eval_qf;
+use crate::eval::eval_qf_validated;
 use crate::{Formula, ParseError, ParsedQuery};
 use recdb_core::{Database, Elem, QueryOutcome, Schema, Tuple};
 
@@ -93,7 +93,7 @@ impl LMinusNQuery {
             return QueryOutcome::Defined(false);
         }
         // Validation at construction rules out unbound vars.
-        QueryOutcome::Defined(eval_qf(db, &self.body, u).unwrap_or(false))
+        QueryOutcome::Defined(eval_qf_validated(db, &self.body, u))
     }
 
     /// The full (finite!) output relation on a database: all of
@@ -104,7 +104,7 @@ impl LMinusNQuery {
         let mut cur = vec![1u64; self.rank];
         loop {
             let t: Tuple = cur.iter().map(|&v| Elem(v)).collect();
-            if eval_qf(db, &self.body, &t).unwrap_or(false) {
+            if eval_qf_validated(db, &self.body, &t) {
                 out.push(t);
             }
             // Odometer over {1..bound}^rank.
