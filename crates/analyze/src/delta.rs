@@ -1,0 +1,146 @@
+//! The semi-naive eligibility pass: which loops the delta engine can
+//! prove monotone.
+//!
+//! The proof obligation itself — body flattens to inflationary unions
+//! `Y := Y ∪ s` with linear monotone delta sources — lives in
+//! [`recdb_qlhs::seminaive::classify_loop`], the exact classifier the
+//! three interpreters consult at runtime. This pass replays it
+//! statically over every `while` in the program so tooling can report
+//! *ahead of execution* which loops will run `O(delta)` and which will
+//! fall back to from-scratch evaluation, with a `W0501` diagnostic
+//! naming the obstruction for each fallback. Because it calls the same
+//! classifier the runtime uses, the static report can never disagree
+//! with the engine's actual dispatch (the runtime has additional
+//! *dynamic* fallbacks — co-finite values, rank mismatches — that no
+//! static pass can rule out; those are not claimed here).
+
+use crate::diag::{Code, Diagnostic};
+use recdb_qlhs::seminaive::classify_loop;
+use recdb_qlhs::{IneligibleLoop, NodePath, Prog};
+
+/// What the pass concluded about one loop.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LoopDelta {
+    /// Tree path of the `while` node.
+    pub path: NodePath,
+    /// `None`: the body is in the provable fragment and the
+    /// interpreters will evaluate it semi-naively. `Some(reason)`: the
+    /// loop falls back to from-scratch evaluation.
+    pub fallback: Option<IneligibleLoop>,
+}
+
+/// The pass result: one entry per `while` loop, in preorder.
+#[derive(Clone, Debug, Default)]
+pub struct DeltaAnalysis {
+    /// Per-loop verdicts.
+    pub loops: Vec<LoopDelta>,
+    /// `W0501` diagnostics for the fallback loops.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl DeltaAnalysis {
+    /// Number of loops the delta engine will take.
+    pub fn eligible(&self) -> usize {
+        self.loops.iter().filter(|l| l.fallback.is_none()).count()
+    }
+}
+
+fn walk(p: &Prog, path: &mut NodePath, out: &mut DeltaAnalysis) {
+    match p {
+        Prog::Assign(..) => {}
+        Prog::Seq(ps) => {
+            for (i, q) in ps.iter().enumerate() {
+                path.push(i as u32);
+                walk(q, path, out);
+                path.pop();
+            }
+        }
+        Prog::WhileEmpty(_, body) | Prog::WhileSingleton(_, body) | Prog::WhileFinite(_, body) => {
+            let fallback = classify_loop(body).err();
+            if let Some(reason) = fallback {
+                let d = Diagnostic::new(Code::SemiNaiveIneligible, path.clone(), reason.message())
+                    .with_note(
+                        "the interpreter re-evaluates this body from scratch every iteration; \
+                         rewrite assignments as Y := Y ∪ s with s monotone in the loop-written \
+                         variables to enable O(delta) evaluation",
+                    );
+                d.record();
+                out.diagnostics.push(d);
+            }
+            out.loops.push(LoopDelta {
+                path: path.clone(),
+                fallback,
+            });
+            path.push(0);
+            walk(body, path, out);
+            path.pop();
+        }
+    }
+}
+
+/// Runs the semi-naive eligibility pass over every loop in `p`.
+pub fn analyze_delta(p: &Prog) -> DeltaAnalysis {
+    recdb_obs::count("analyze.delta.programs", 1);
+    let mut out = DeltaAnalysis::default();
+    let mut path = NodePath::new();
+    walk(p, &mut path, &mut out);
+    recdb_obs::count("analyze.delta.eligible", out.eligible() as u64);
+    recdb_obs::count(
+        "analyze.delta.fallbacks",
+        (out.loops.len() - out.eligible()) as u64,
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recdb_qlhs::Term;
+
+    fn union_assign(v: usize, s: Term) -> Prog {
+        Prog::assign(v, Term::Var(v).union(s))
+    }
+
+    #[test]
+    fn eligible_loop_is_clean() {
+        let p = Prog::seq([
+            Prog::assign(0, Term::Const(0)),
+            Prog::WhileEmpty(
+                1,
+                Box::new(union_assign(0, Term::Var(0).up().and(Term::Rel(0)).down())),
+            ),
+        ]);
+        let a = analyze_delta(&p);
+        assert_eq!(a.loops.len(), 1);
+        assert_eq!(a.eligible(), 1);
+        assert!(a.diagnostics.is_empty());
+        assert_eq!(a.loops[0].path, vec![1]);
+    }
+
+    #[test]
+    fn fallback_loops_get_w0501_per_obstruction() {
+        // Outer loop: nested while (ineligible); inner: replacement
+        // assignment (ineligible).
+        let inner = Prog::WhileEmpty(1, Box::new(Prog::assign(0, Term::Var(0).up())));
+        let p = Prog::WhileEmpty(0, Box::new(inner));
+        let a = analyze_delta(&p);
+        assert_eq!(a.loops.len(), 2);
+        assert_eq!(a.eligible(), 0);
+        assert_eq!(a.loops[0].fallback, Some(IneligibleLoop::NestedLoop));
+        assert_eq!(a.loops[1].fallback, Some(IneligibleLoop::NotInflationary));
+        assert_eq!(a.diagnostics.len(), 2);
+        assert!(a
+            .diagnostics
+            .iter()
+            .all(|d| d.code == Code::SemiNaiveIneligible));
+        // Paths address the actual while nodes: root, then its body.
+        assert_eq!(a.loops[0].path, NodePath::new());
+        assert_eq!(a.loops[1].path, vec![0]);
+    }
+
+    #[test]
+    fn loop_free_program_reports_nothing() {
+        let a = analyze_delta(&Prog::assign(0, Term::E));
+        assert!(a.loops.is_empty() && a.diagnostics.is_empty());
+    }
+}

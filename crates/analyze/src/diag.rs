@@ -90,6 +90,7 @@ codes! {
     GenericityUnknown = ("W0302", Warning, "genericity of the program could not be decided"),
     UnboundedLoop = ("W0401", Warning, "no iteration bound could be proved for this loop"),
     ProvedDivergentLoop = ("W0402", Warning, "loop is proved to never exit once entered"),
+    SemiNaiveIneligible = ("W0501", Warning, "loop body is outside the provable semi-naive fragment; the interpreter falls back to from-scratch evaluation"),
     MalformedAtom = ("E0201", Error, "relation atom does not match the schema"),
     QuantifierInLMinus = ("E0202", Error, "L⁻ bodies must be quantifier-free"),
     FreeVarBeyondRank = ("E0203", Error, "free variable index is outside the declared rank"),

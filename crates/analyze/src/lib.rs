@@ -31,6 +31,7 @@
 
 #![warn(missing_docs)]
 
+pub mod delta;
 pub mod diag;
 pub mod generic;
 pub mod logic;
@@ -39,6 +40,7 @@ pub mod rank;
 pub mod simplify;
 pub mod terminate;
 
+pub use delta::{analyze_delta, DeltaAnalysis, LoopDelta};
 pub use diag::{Code, Diagnostic, Severity};
 pub use generic::{analyze_genericity, GenericAnalysis, GenericityVerdict};
 pub use logic::{analyze_formula, FormulaReport};
@@ -60,6 +62,8 @@ pub struct FullAnalysis {
     pub termination: TerminationAnalysis,
     /// The C-genericity verdict ([`analyze_genericity`]).
     pub genericity: GenericAnalysis,
+    /// Per-loop semi-naive eligibility ([`analyze_delta`]).
+    pub delta: DeltaAnalysis,
 }
 
 /// Runs all three program analyses on `p`.
@@ -71,9 +75,11 @@ pub fn analyze_full(
     let safety = analyze_prog(p, schema, dialect);
     let termination = analyze_termination(p, schema, dialect, &safety);
     let genericity = analyze_genericity(p, schema, dialect, &safety, &termination);
+    let delta = analyze_delta(p);
     FullAnalysis {
         safety,
         termination,
         genericity,
+        delta,
     }
 }

@@ -113,6 +113,7 @@ pub fn analyzer_accepts_soundly(ctx: &mut CheckCtx) -> Result<(), String> {
             allow_singleton: dialect.admits_singleton_test(),
             allow_finite: dialect.admits_finiteness_test(),
             consts: 0,
+            union_bias: false,
         };
         let stmts = 1 + ctx.rng().gen_usize(3);
         let p = gen::random_prog(ctx.rng(), 2, stmts, &shape);
@@ -159,6 +160,7 @@ pub fn analyzer_rejects_soundly(ctx: &mut CheckCtx) -> Result<(), String> {
             allow_singleton: true,
             allow_finite: true,
             consts: 0,
+            union_bias: false,
         };
         let stmts = 1 + ctx.rng().gen_usize(3);
         let mut p = gen::random_prog(ctx.rng(), 2, stmts, &shape);
@@ -213,6 +215,7 @@ pub fn simplifier_preserves_semantics(ctx: &mut CheckCtx) -> Result<(), String> 
             allow_singleton: dialect.admits_singleton_test(),
             allow_finite: dialect.admits_finiteness_test(),
             consts: 0,
+            union_bias: false,
         };
         let stmts = 1 + ctx.rng().gen_usize(3);
         let p = gen::random_prog(ctx.rng(), 2, stmts, &shape);

@@ -183,6 +183,7 @@ fn shape_for(backend: &GBackend, consts: u64) -> ProgShape {
         allow_singleton: dialect.admits_singleton_test(),
         allow_finite: dialect.admits_finiteness_test(),
         consts,
+        union_bias: false,
     }
 }
 

@@ -15,6 +15,7 @@ pub mod s3;
 pub mod s4;
 pub mod s5;
 pub mod s6;
+pub mod seminaive;
 
 use crate::ledger::CheckDef;
 
@@ -29,6 +30,7 @@ pub fn ledger() -> Vec<CheckDef> {
     defs.extend(meta::defs());
     defs.extend(analyze::defs());
     defs.extend(generic::defs());
+    defs.extend(seminaive::defs());
     defs
 }
 

@@ -42,12 +42,13 @@ pub fn lminus_vs_finite_fo(ctx: &mut CheckCtx) -> Result<(), String> {
         ctx.family("random-graph");
         for src in sources {
             let q = LMinusQuery::parse(src, &schema).map_err(|e| format!("parse {src}: {e:?}"))?;
-            let rank = q.rank().expect("defined");
+            let rank = q.rank().ok_or(format!("query {src} has no rank"))?;
             for t in gen::random_tuples(ctx.rng(), 6, rank, WINDOW) {
                 let via_oracle = q.eval(&db, &t).is_member();
                 let frag = FiniteStructure::restriction(&db, &t);
                 let mut asg = Assignment::from_tuple(&t);
-                let via_finite = eval_finite(&frag, q.body().expect("defined"), &mut asg)
+                let body = q.body().ok_or(format!("query {src} has no body"))?;
+                let via_finite = eval_finite(&frag, body, &mut asg)
                     .map_err(|e| format!("eval_finite {src} at {t:?}: {e:?}"))?;
                 if via_oracle != via_finite {
                     return Err(format!(

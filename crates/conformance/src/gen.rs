@@ -97,6 +97,58 @@ pub struct ProgShape {
     /// Constant symbols `C<a>` are drawn from `0..consts`; `0`
     /// disables them (the pre-genericity generator).
     pub consts: u64,
+    /// Bias loop bodies toward inflationary unions in the provable
+    /// semi-naive fragment (`Y := Y ∪ s`, `s` linear monotone), so
+    /// differential runs exercise the delta engine and not just its
+    /// fallback. Draws **no** RNG when off: existing check streams are
+    /// unchanged.
+    pub union_bias: bool,
+}
+
+/// A `W`-free leaf for monotone sources: mentions no variable at all.
+fn wfree_leaf(rng: &mut SplitMix64, shape: &ProgShape) -> Term {
+    match rng.gen_usize(2) {
+        0 => Term::E,
+        _ => Term::Rel(rng.gen_usize(shape.rels.max(1))),
+    }
+}
+
+/// A random linear monotone source over the loop-written variables:
+/// at most one occurrence of `Var(w)`, reached only through
+/// `∩`/`↑`/`↓`/`swap`, with every `∩`-partner variable-free.
+fn monotone_source(rng: &mut SplitMix64, depth: usize, shape: &ProgShape, w: usize) -> Term {
+    let mut t = if rng.gen_bool() {
+        Term::Var(w)
+    } else {
+        wfree_leaf(rng, shape)
+    };
+    for _ in 0..depth {
+        t = match rng.gen_usize(4) {
+            0 => t.up(),
+            1 => t.down(),
+            2 => t.swap(),
+            _ => t.and(wfree_leaf(rng, shape)),
+        };
+    }
+    t
+}
+
+/// A loop body inside the provable semi-naive fragment: a sequence of
+/// `Y_w := Y_w ∪ s` with `s` linear monotone, usually ending with a
+/// guard-flipping union on the loop variable so the loop terminates.
+fn union_body(rng: &mut SplitMix64, shape: &ProgShape, guard: usize) -> Prog {
+    let k = 1 + rng.gen_usize(2);
+    let mut body = Vec::with_capacity(k + 1);
+    for _ in 0..k {
+        let w = rng.gen_usize(shape.vars.max(1));
+        let depth = 1 + rng.gen_usize(2);
+        let s = monotone_source(rng, depth, shape, w);
+        body.push(Prog::assign(w, Term::Var(w).union(s)));
+    }
+    if rng.gen_usize(4) != 0 {
+        body.push(Prog::assign(guard, Term::Var(guard).union(Term::E)));
+    }
+    Prog::Seq(body)
 }
 
 /// A random term of the given depth budget.
@@ -133,13 +185,19 @@ pub fn random_prog(rng: &mut SplitMix64, depth: usize, stmts: usize, shape: &Pro
         let v = rng.gen_usize(shape.vars.max(1));
         let looping = depth > 0 && rng.gen_usize(4) == 0;
         if looping {
-            let inner_stmts = 1 + rng.gen_usize(2);
-            let inner = random_prog(rng, depth - 1, inner_stmts, shape);
-            let mut body = vec![inner];
-            if rng.gen_usize(4) != 0 {
-                body.push(Prog::assign(v, Term::E));
-            }
-            let body = Box::new(Prog::Seq(body));
+            // Short-circuit keeps the stream identical when the bias
+            // is off: no draw happens unless `union_bias` is set.
+            let body = if shape.union_bias && rng.gen_usize(2) == 0 {
+                Box::new(union_body(rng, shape, v))
+            } else {
+                let inner_stmts = 1 + rng.gen_usize(2);
+                let inner = random_prog(rng, depth - 1, inner_stmts, shape);
+                let mut body = vec![inner];
+                if rng.gen_usize(4) != 0 {
+                    body.push(Prog::assign(v, Term::E));
+                }
+                Box::new(Prog::Seq(body))
+            };
             let mut forms: Vec<fn(usize, Box<Prog>) -> Prog> = vec![Prog::WhileEmpty];
             if shape.allow_singleton {
                 forms.push(Prog::WhileSingleton);

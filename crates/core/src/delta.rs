@@ -1,0 +1,164 @@
+//! Semi-naive delta variables (the datafrog `Variable` discipline).
+//!
+//! A [`DeltaVar`] holds a monotonically growing set of interned
+//! [`TupleId`]s split into the classic three regions:
+//!
+//! * **stable** — tuples that have already been fed through every
+//!   delta rule;
+//! * **recent** — tuples admitted on the previous round, the delta the
+//!   current round consumes;
+//! * **to_add** — tuples produced this round, pending admission.
+//!
+//! [`DeltaVar::changed`] rotates the regions (`stable ∪= recent`,
+//! `recent = to_add`, `to_add = ∅`) and reports whether another round
+//! is needed — the standard `while v.changed() { … }` drain loop.
+//!
+//! Unlike datafrog's `Variable`, the underlying storage is a single
+//! deduplicated append log in admission order, with the regions as
+//! index ranges into it. The log gives sequential consumers an exact
+//! per-reader delta: a cursor into the log plus
+//! [`DeltaVar::added_since`] yields precisely the tuples admitted
+//! since that reader last looked, independent of the global round
+//! rotation. The QL semi-naive engine (`recdb-qlhs`) relies on this to
+//! reproduce sequential statement semantics exactly.
+
+use crate::TupleId;
+use std::collections::BTreeSet;
+
+/// A monotone set of interned tuple ids with `stable`/`recent`/`to_add`
+/// views over a deduplicated insertion-ordered log.
+#[derive(Clone, Debug, Default)]
+pub struct DeltaVar {
+    /// Every id ever admitted, in first-insertion order. Regions:
+    /// `order[..stable_len]` is stable, `order[stable_len..recent_len]`
+    /// is recent, `order[recent_len..]` is to_add.
+    order: Vec<TupleId>,
+    present: BTreeSet<TupleId>,
+    stable_len: usize,
+    recent_len: usize,
+}
+
+impl DeltaVar {
+    /// An empty variable.
+    pub fn new() -> Self {
+        DeltaVar::default()
+    }
+
+    /// Inserts an id into `to_add`; returns `true` if it was new.
+    /// Merging is monotone: an id already present anywhere (stable,
+    /// recent, or pending) is ignored.
+    pub fn insert(&mut self, id: TupleId) -> bool {
+        if self.present.insert(id) {
+            self.order.push(id);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Rotates the regions: `stable` absorbs `recent`, `to_add`
+    /// becomes the new `recent`. Returns whether the new `recent` is
+    /// nonempty, i.e. whether another semi-naive round is warranted.
+    /// Observes the admitted delta size as `fixpoint.delta.recent`.
+    pub fn changed(&mut self) -> bool {
+        self.stable_len = self.recent_len;
+        self.recent_len = self.order.len();
+        recdb_obs::observe(
+            "fixpoint.delta.recent",
+            (self.recent_len - self.stable_len) as u64,
+        );
+        self.recent_len > self.stable_len
+    }
+
+    /// Membership across all three regions.
+    pub fn contains(&self, id: TupleId) -> bool {
+        self.present.contains(&id)
+    }
+
+    /// Total number of distinct ids (all regions).
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Is the variable empty (all regions)?
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// The stable region.
+    pub fn stable(&self) -> &[TupleId] {
+        &self.order[..self.stable_len]
+    }
+
+    /// The recent region — the current round's delta.
+    pub fn recent(&self) -> &[TupleId] {
+        &self.order[self.stable_len..self.recent_len]
+    }
+
+    /// The pending region.
+    pub fn to_add(&self) -> &[TupleId] {
+        &self.order[self.recent_len..]
+    }
+
+    /// Everything admitted at or after log position `cursor` — the
+    /// per-reader delta for cursor-based sequential consumers. Pair
+    /// with [`Self::len`] to advance the cursor.
+    pub fn added_since(&self, cursor: usize) -> &[TupleId] {
+        &self.order[cursor.min(self.order.len())..]
+    }
+
+    /// The whole log in admission order.
+    pub fn iter(&self) -> impl Iterator<Item = TupleId> + '_ {
+        self.order.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_dedupes_and_preserves_order() {
+        let mut v = DeltaVar::new();
+        assert!(v.insert(3));
+        assert!(v.insert(1));
+        assert!(!v.insert(3), "duplicate admission is monotone-merged");
+        assert_eq!(v.len(), 2);
+        assert_eq!(v.iter().collect::<Vec<_>>(), vec![3, 1]);
+        assert!(v.contains(1));
+        assert!(!v.contains(7));
+    }
+
+    #[test]
+    fn changed_rotates_regions() {
+        let mut v = DeltaVar::new();
+        v.insert(10);
+        v.insert(20);
+        assert_eq!(v.to_add(), &[10, 20]);
+        assert!(v.stable().is_empty() && v.recent().is_empty());
+        assert!(v.changed());
+        assert_eq!(v.recent(), &[10, 20]);
+        assert!(v.to_add().is_empty());
+        v.insert(30);
+        v.insert(10); // already stable-bound: dropped
+        assert!(v.changed());
+        assert_eq!(v.stable(), &[10, 20]);
+        assert_eq!(v.recent(), &[30]);
+        assert!(!v.changed(), "no pending ids: fixpoint reached");
+        assert_eq!(v.stable(), &[10, 20, 30]);
+    }
+
+    #[test]
+    fn cursors_see_exact_deltas() {
+        let mut v = DeltaVar::new();
+        v.insert(1);
+        v.insert(2);
+        let cursor = v.len();
+        assert_eq!(v.added_since(0), &[1, 2]);
+        assert!(v.added_since(cursor).is_empty());
+        v.insert(3);
+        v.insert(2);
+        assert_eq!(v.added_since(cursor), &[3]);
+        assert!(v.added_since(99).is_empty(), "cursor past end is empty");
+    }
+}

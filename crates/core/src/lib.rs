@@ -36,6 +36,7 @@
 
 pub mod combinators;
 mod database;
+mod delta;
 mod domain;
 mod elem;
 mod fin;
@@ -53,6 +54,7 @@ mod types;
 
 pub use combinators::{complement, intersect, mapped, product, shared, union};
 pub use database::{Database, DatabaseBuilder};
+pub use delta::DeltaVar;
 pub use domain::Domain;
 pub use elem::{Elem, Tuple};
 pub use fin::FiniteStructure;

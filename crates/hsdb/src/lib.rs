@@ -53,7 +53,8 @@ pub use random::{
 };
 pub use refine::{
     all_singletons, equiv_r_tree, find_r0, partition_by_local_iso, partition_by_local_iso_pairwise,
-    project_partition, v_n_r, Partition, RefineError, TreeGame,
+    project_partition, v_n_r, v_n_r_over, IncrementalPartition, Partition, RefineError, TreeGame,
+    VnrCache,
 };
 pub use rep::{EquivOracle, EquivRef, FnEquiv, HsDatabase};
 pub use stretch::{count_rank1_classes, stretch_hsdb};

@@ -273,6 +273,193 @@ pub fn find_r0(
     Ok((None, counts))
 }
 
+/// Incrementally maintained `≅ₗ`-partition of a growing tuple set over
+/// a fixed database — the single-insertion form of
+/// [`partition_by_local_iso`].
+///
+/// An insertion fingerprints only the new tuple and verifies only
+/// within its bucket: `O(1)` fingerprint computations versus the
+/// `O(t)` of a from-scratch repartition over `t` tuples, with
+/// identical blocks (insertion order is first-occurrence order, so the
+/// partitions agree up to block order).
+pub struct IncrementalPartition<'a> {
+    db: &'a Database,
+    /// Fingerprint → indices of the blocks carrying that digest
+    /// (usually one; more only on a 64-bit collision).
+    buckets: HashMap<Fingerprint, Vec<usize>>,
+    blocks: Partition,
+    len: usize,
+}
+
+impl<'a> IncrementalPartition<'a> {
+    /// An empty partition over `db`.
+    pub fn new(db: &'a Database) -> Self {
+        IncrementalPartition {
+            db,
+            buckets: HashMap::new(),
+            blocks: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Builds a partition by inserting `tuples` in order.
+    pub fn from_tuples(db: &'a Database, tuples: &[Tuple]) -> Self {
+        let mut p = IncrementalPartition::new(db);
+        for t in tuples {
+            p.insert(t.clone());
+        }
+        p
+    }
+
+    /// Inserts `t`, returning the index of the block it joined.
+    ///
+    /// Touches only `t`'s fingerprint bucket: one [`Fingerprint`]
+    /// computation plus one [`locally_equivalent`] verification per
+    /// bucket-mate block.
+    pub fn insert(&mut self, t: Tuple) -> usize {
+        recdb_obs::count("refine.incr.inserts", 1);
+        let fp = Fingerprint::of(self.db, &t);
+        let cands = self.buckets.entry(fp).or_default();
+        for &b in cands.iter() {
+            if locally_equivalent(self.db, &self.blocks[b][0], &t) {
+                self.blocks[b].push(t);
+                self.len += 1;
+                return b;
+            }
+        }
+        let b = self.blocks.len();
+        cands.push(b);
+        self.blocks.push(vec![t]);
+        self.len += 1;
+        recdb_obs::count("refine.incr.new_blocks", 1);
+        b
+    }
+
+    /// The current blocks, in first-occurrence order.
+    pub fn blocks(&self) -> &Partition {
+        &self.blocks
+    }
+
+    /// Number of tuples inserted so far.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no tuple has been inserted yet.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+/// Enumerates the extension levels of a node subset: `levels[0]` is
+/// `nodes`, `levels[k]` its depth-`k` one-element tree extensions.
+fn extension_levels(hs: &HsDatabase, nodes: &[Tuple], depth: usize) -> Vec<Vec<Tuple>> {
+    let mut levels = vec![nodes.to_vec()];
+    for k in 0..depth {
+        let mut next = Vec::new();
+        for t in &levels[k] {
+            for a in hs.tree().offspring(t) {
+                next.push(t.extend(a));
+            }
+        }
+        levels.push(next);
+    }
+    levels
+}
+
+/// From-scratch `Vⁿᵣ` over an explicit subset of level-`n` nodes — the
+/// differential oracle for [`VnrCache`]. Because `≅ₗ` is a pairwise
+/// property and a node's extension signature consults only its own
+/// subtree, this is exactly the restriction of the full `Vⁿᵣ` to the
+/// subset; `v_n_r_over(hs, &hs.t_n(n), r)` coincides with
+/// [`v_n_r`]`(hs, n, r)`.
+///
+/// # Errors
+/// Propagates [`RefineError`] from the projection steps.
+pub fn v_n_r_over(hs: &HsDatabase, nodes: &[Tuple], r: usize) -> Result<Partition, RefineError> {
+    let levels = extension_levels(hs, nodes, r);
+    let mut part = partition_by_local_iso(hs.database(), &levels[r]);
+    for k in (0..r).rev() {
+        part = project_partition(hs, &levels[k], &part)?;
+    }
+    Ok(part)
+}
+
+/// Incrementally maintained `Vⁿᵣ` over a growing subset of `Tⁿ` — the
+/// subset-growth form of [`v_n_r`].
+///
+/// The expensive half of the pipeline — fingerprinting and `≅ₗ`
+/// verification at the finest level `n+r` — is maintained by an
+/// [`IncrementalPartition`]: inserting one level-`n` node partitions
+/// only that node's depth-`r` subtree (subtrees of distinct nodes are
+/// disjoint, so nothing already partitioned is revisited). The cheap
+/// `↓` projections — hash grouping over interned ids, no oracle
+/// questions — are re-run on demand by [`VnrCache::partition`].
+pub struct VnrCache<'a> {
+    hs: &'a HsDatabase,
+    r: usize,
+    /// `levels[k]`: depth-`k` extensions of the node subset;
+    /// `levels[0]` is the subset itself.
+    levels: Vec<Vec<Tuple>>,
+    fine: IncrementalPartition<'a>,
+}
+
+impl<'a> VnrCache<'a> {
+    /// An empty cache computing `Vⁿᵣ` for the given `r` (the rank `n`
+    /// is implicit in the nodes inserted).
+    pub fn new(hs: &'a HsDatabase, r: usize) -> Self {
+        VnrCache {
+            hs,
+            r,
+            levels: vec![Vec::new(); r + 1],
+            fine: IncrementalPartition::new(hs.database()),
+        }
+    }
+
+    /// Adds one level-`n` node to the subset, partitioning its
+    /// depth-`r` subtree incrementally. Inserting a node twice
+    /// double-counts it (callers own dedup, as with the slice inputs
+    /// of the batch pipeline).
+    pub fn insert(&mut self, u: Tuple) {
+        let mut frontier = vec![u];
+        for k in 0..self.r {
+            self.levels[k].extend(frontier.iter().cloned());
+            let mut next = Vec::new();
+            for t in &frontier {
+                for a in self.hs.tree().offspring(t) {
+                    next.push(t.extend(a));
+                }
+            }
+            frontier = next;
+        }
+        self.levels[self.r].extend(frontier.iter().cloned());
+        for t in frontier {
+            self.fine.insert(t);
+        }
+    }
+
+    /// The nodes inserted so far, in insertion order.
+    pub fn nodes(&self) -> &[Tuple] {
+        &self.levels[0]
+    }
+
+    /// `Vⁿᵣ` of the current subset: `r` projection steps over the
+    /// incrementally maintained finest-level partition.
+    ///
+    /// # Errors
+    /// Propagates [`RefineError`] from the projection steps
+    /// (structurally unreachable here: each level is exactly the set
+    /// of one-element extensions of the previous one).
+    pub fn partition(&self) -> Result<Partition, RefineError> {
+        let _span = recdb_obs::span("refine.incr.reproject.ns");
+        let mut part = self.fine.blocks().clone();
+        for k in (0..self.r).rev() {
+            part = project_partition(self.hs, &self.levels[k], &part)?;
+        }
+        Ok(part)
+    }
+}
+
 /// A memoized solver for `≡ᵣ` on tree nodes via Prop 3.4 (quantifiers
 /// range over offspring) — the direct recursion the `↓`-based pipeline
 /// is cross-checked against.
@@ -557,6 +744,94 @@ mod tests {
         let hs = unary_cells(vec![CellSize::Infinite, CellSize::Infinite]);
         let (r0, _) = find_r0_stage(&hs, 2, 2)?;
         assert_eq!(r0, Some(0), "unary facts are all local");
+        Ok(())
+    }
+
+    fn norm(mut p: Partition) -> Partition {
+        for b in &mut p {
+            b.sort();
+        }
+        p.sort();
+        p
+    }
+
+    #[test]
+    fn incremental_partition_matches_bucketed() {
+        for hs in [
+            infinite_clique(),
+            paper_example_graph(),
+            unary_cells(vec![CellSize::Infinite, CellSize::Infinite]),
+            rado_graph(),
+        ] {
+            for n in 1..=2 {
+                let tuples = hs.t_n(n);
+                let incr = IncrementalPartition::from_tuples(hs.database(), &tuples);
+                assert_eq!(incr.len(), tuples.len());
+                assert_eq!(
+                    norm(incr.blocks().clone()),
+                    norm(partition_by_local_iso(hs.database(), &tuples)),
+                    "incremental vs bucketed on {:?} at n={n}",
+                    hs.database()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_partition_insert_reports_block() {
+        let hs = paper_example_graph();
+        let tuples = hs.t_n(1);
+        let mut incr = IncrementalPartition::new(hs.database());
+        assert!(incr.is_empty());
+        for t in &tuples {
+            let b = incr.insert(t.clone());
+            assert_eq!(incr.blocks()[b].last(), Some(t));
+        }
+    }
+
+    #[test]
+    fn vnr_cache_matches_from_scratch_under_insertion() -> Result<(), String> {
+        // Grow the node subset one tuple at a time; after every
+        // insertion the cache must agree with a from-scratch run over
+        // the same subset, and the full subset must reproduce v_n_r.
+        let hs = paper_example_graph();
+        for (n, r) in [(1, 1), (1, 2), (2, 1)] {
+            let nodes = hs.t_n(n);
+            let mut cache = VnrCache::new(&hs, r);
+            for (i, u) in nodes.iter().enumerate() {
+                cache.insert(u.clone());
+                let incr = cache
+                    .partition()
+                    .map_err(|e| format!("cache (n={n}, r={r}, i={i}): {e}"))?;
+                let scratch = v_n_r_over(&hs, &nodes[..=i], r)
+                    .map_err(|e| format!("oracle (n={n}, r={r}, i={i}): {e}"))?;
+                assert_eq!(
+                    norm(incr),
+                    norm(scratch),
+                    "incremental vs from-scratch at n={n}, r={r} after {} nodes",
+                    i + 1
+                );
+            }
+            assert_eq!(cache.nodes(), &nodes[..]);
+            let full = v_n_r(&hs, n, r).map_err(|e| format!("v_n_r (n={n}, r={r}): {e}"))?;
+            let incr = cache
+                .partition()
+                .map_err(|e| format!("cache full (n={n}, r={r}): {e}"))?;
+            assert_eq!(norm(incr), norm(full), "full subset at n={n}, r={r}");
+        }
+        Ok(())
+    }
+
+    #[test]
+    fn v_n_r_over_full_level_equals_v_n_r() -> Result<(), String> {
+        for hs in [infinite_clique(), paper_example_graph()] {
+            for (n, r) in [(1, 0), (1, 1), (2, 1)] {
+                let over = v_n_r_over(&hs, &hs.t_n(n), r)
+                    .map_err(|e| format!("v_n_r_over (n={n}, r={r}): {e}"))?;
+                let full = v_n_r(&hs, n, r).map_err(|e| format!("v_n_r (n={n}, r={r}): {e}"))?;
+                assert_eq!(norm(over), norm(full), "n={n}, r={r}");
+            }
+        }
         Ok(())
     }
 

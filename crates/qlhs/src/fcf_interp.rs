@@ -64,6 +64,14 @@ impl FcfVal {
 pub struct FcfInterp<'a> {
     db: &'a FcfDatabase,
     df: Vec<Elem>,
+    seminaive: bool,
+}
+
+impl crate::seminaive::DeltaBackend for &FcfInterp<'_> {
+    type V = FcfVal;
+    fn eval(&mut self, t: &Term, env: &[FcfVal], fuel: &mut Fuel) -> Result<FcfVal, RunError> {
+        self.eval_term(t, env, fuel)
+    }
 }
 
 impl<'a> FcfInterp<'a> {
@@ -72,7 +80,16 @@ impl<'a> FcfInterp<'a> {
         FcfInterp {
             db,
             df: db.df().into_iter().collect(),
+            seminaive: true,
         }
+    }
+
+    /// Toggles the semi-naive loop engine (on by default; see
+    /// [`FinInterp::set_seminaive`](crate::FinInterp::set_seminaive)).
+    /// Loops whose variables hold co-finite values always fall back —
+    /// delta logs represent finite growing relations only.
+    pub fn set_seminaive(&mut self, on: bool) {
+        self.seminaive = on;
     }
 
     /// Evaluates a term.
@@ -247,15 +264,37 @@ impl<'a> FcfInterp<'a> {
                 }
             }
             Prog::WhileEmpty(v, body) => {
-                while env.get(*v).is_none_or(FcfVal::is_empty_relation) {
-                    fuel.tick()?;
-                    self.exec(body, env, fuel)?;
+                let done = self.seminaive
+                    && crate::seminaive::try_loop(
+                        &mut &*self,
+                        crate::seminaive::LoopKind::Empty,
+                        *v,
+                        body,
+                        env,
+                        fuel,
+                    );
+                if !done {
+                    while env.get(*v).is_none_or(FcfVal::is_empty_relation) {
+                        fuel.tick()?;
+                        self.exec(body, env, fuel)?;
+                    }
                 }
             }
             Prog::WhileFinite(v, body) => {
-                while env.get(*v).is_none_or(|x| x.finite) {
-                    fuel.tick()?;
-                    self.exec(body, env, fuel)?;
+                let done = self.seminaive
+                    && crate::seminaive::try_loop(
+                        &mut &*self,
+                        crate::seminaive::LoopKind::Finite,
+                        *v,
+                        body,
+                        env,
+                        fuel,
+                    );
+                if !done {
+                    while env.get(*v).is_none_or(|x| x.finite) {
+                        fuel.tick()?;
+                        self.exec(body, env, fuel)?;
+                    }
                 }
             }
             Prog::WhileSingleton(..) => {

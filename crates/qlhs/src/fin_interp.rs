@@ -17,12 +17,31 @@ use std::collections::BTreeSet;
 /// A finitary QL interpreter over one finite structure.
 pub struct FinInterp<'a> {
     st: &'a FiniteStructure,
+    seminaive: bool,
+}
+
+impl crate::seminaive::DeltaBackend for &FinInterp<'_> {
+    type V = Val;
+    fn eval(&mut self, t: &Term, env: &[Val], fuel: &mut Fuel) -> Result<Val, RunError> {
+        self.eval_term(t, env, fuel)
+    }
 }
 
 impl<'a> FinInterp<'a> {
     /// Binds the interpreter to a finite structure.
     pub fn new(st: &'a FiniteStructure) -> Self {
-        FinInterp { st }
+        FinInterp {
+            st,
+            seminaive: true,
+        }
+    }
+
+    /// Toggles the semi-naive loop engine (on by default). Turning it
+    /// off forces every `while` through the from-scratch path — the
+    /// differential oracle the `SEMI-NAIVE-DIFF` conformance check
+    /// compares against.
+    pub fn set_seminaive(&mut self, on: bool) {
+        self.seminaive = on;
     }
 
     fn universe(&self) -> &[Elem] {
@@ -180,9 +199,20 @@ impl<'a> FinInterp<'a> {
                 }
             }
             Prog::WhileEmpty(v, body) => {
-                while env.get(*v).is_none_or(Val::is_empty) {
-                    fuel.tick()?;
-                    self.exec(body, env, fuel)?;
+                let done = self.seminaive
+                    && crate::seminaive::try_loop(
+                        &mut &*self,
+                        crate::seminaive::LoopKind::Empty,
+                        *v,
+                        body,
+                        env,
+                        fuel,
+                    );
+                if !done {
+                    while env.get(*v).is_none_or(Val::is_empty) {
+                        fuel.tick()?;
+                        self.exec(body, env, fuel)?;
+                    }
                 }
             }
             Prog::WhileSingleton(..) => {

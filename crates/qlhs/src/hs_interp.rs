@@ -23,6 +23,14 @@ pub struct HsInterp<'a> {
     interner: TupleInterner,
     /// Cache of canonical representatives, keyed by interned id.
     canon: HashMap<TupleId, Tuple>,
+    seminaive: bool,
+}
+
+impl crate::seminaive::DeltaBackend for HsInterp<'_> {
+    type V = Val;
+    fn eval(&mut self, t: &Term, env: &[Val], fuel: &mut Fuel) -> Result<Val, RunError> {
+        self.eval_term(t, env, fuel)
+    }
 }
 
 impl<'a> HsInterp<'a> {
@@ -33,7 +41,17 @@ impl<'a> HsInterp<'a> {
             levels: HashMap::new(),
             interner: TupleInterner::new(),
             canon: HashMap::new(),
+            seminaive: true,
         }
+    }
+
+    /// Toggles the semi-naive loop engine (on by default; see
+    /// [`FinInterp::set_seminaive`](crate::FinInterp::set_seminaive)).
+    /// Either way the canonicalization cache (`canon`) persists across
+    /// iterations and across loops, so `↓`/`~` memo state stays warm
+    /// under delta evaluation instead of being recomputed.
+    pub fn set_seminaive(&mut self, on: bool) {
+        self.seminaive = on;
     }
 
     fn level(&mut self, n: usize) -> &[Tuple] {
@@ -204,15 +222,37 @@ impl<'a> HsInterp<'a> {
                 }
             }
             Prog::WhileEmpty(v, body) => {
-                while env.get(*v).is_none_or(Val::is_empty) {
-                    fuel.tick()?;
-                    self.exec(body, env, fuel)?;
+                let done = self.seminaive
+                    && crate::seminaive::try_loop(
+                        self,
+                        crate::seminaive::LoopKind::Empty,
+                        *v,
+                        body,
+                        env,
+                        fuel,
+                    );
+                if !done {
+                    while env.get(*v).is_none_or(Val::is_empty) {
+                        fuel.tick()?;
+                        self.exec(body, env, fuel)?;
+                    }
                 }
             }
             Prog::WhileSingleton(v, body) => {
-                while env.get(*v).is_some_and(Val::is_singleton) {
-                    fuel.tick()?;
-                    self.exec(body, env, fuel)?;
+                let done = self.seminaive
+                    && crate::seminaive::try_loop(
+                        self,
+                        crate::seminaive::LoopKind::Singleton,
+                        *v,
+                        body,
+                        env,
+                        fuel,
+                    );
+                if !done {
+                    while env.get(*v).is_some_and(Val::is_singleton) {
+                        fuel.tick()?;
+                        self.exec(body, env, fuel)?;
+                    }
                 }
             }
             Prog::WhileFinite(_, _) => {

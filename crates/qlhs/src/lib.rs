@@ -27,6 +27,7 @@ pub mod hs_interp;
 pub mod optimize;
 pub mod parser;
 pub mod permute;
+pub mod seminaive;
 pub mod value;
 
 pub use ast::{NodePath, Prog, Term, VarId};
@@ -45,4 +46,5 @@ pub use optimize::{
 };
 pub use parser::{parse_program, parse_program_with_spans, ProgParseError, Span, SpanTable};
 pub use permute::Permutation;
+pub use seminaive::{classify_loop, IneligibleLoop, LoopPlan};
 pub use value::{RunError, Val};

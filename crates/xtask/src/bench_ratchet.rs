@@ -1,0 +1,273 @@
+//! The performance ratchet: pinned speedup ratios for the optimized
+//! hot paths.
+//!
+//! `BENCH_refine.json` carries absolute medians, which are useless as
+//! CI gates (runner hardware varies wildly). What *is* stable across
+//! machines is the **ratio** between two implementations of the same
+//! work measured in the same process — bucketed vs pairwise
+//! partitioning, semi-naive vs from-scratch loop evaluation,
+//! incremental insertion vs full repartition. This task pins those
+//! ratios in `BENCH_RATCHET.json`: each entry says "the fast path must
+//! stay at least `min_speedup`× faster than the slow path at this
+//! size". Baselines are locked at `measured / 2` by
+//! `--update-baseline`, so noise cannot trip the gate but losing more
+//! than half the win fails CI.
+
+use std::path::Path;
+
+const BASELINE: &str = "BENCH_RATCHET.json";
+const INPUT: &str = "BENCH_refine.json";
+
+/// Headroom factor applied when locking a baseline: the gate trips
+/// only when a change loses more than half the measured speedup.
+const TOLERANCE: f64 = 2.0;
+
+/// One pinned ratio: `slow`'s median over `fast`'s median within
+/// `group` at `size`.
+struct Spec {
+    id: &'static str,
+    group: &'static str,
+    size: usize,
+    slow: &'static str,
+    fast: &'static str,
+}
+
+/// The ratios under ratchet. The first is the PR-5 partition win; the
+/// other two pin the delta engine and the incremental Vⁿᵣ cache.
+const SPECS: [Spec; 3] = [
+    Spec {
+        id: "partition.bucketed.4096",
+        group: "E7/partition",
+        size: 4096,
+        slow: "pairwise",
+        fast: "bucketed",
+    },
+    Spec {
+        id: "fixpoint.seminaive.256",
+        group: "E7/fixpoint",
+        size: 256,
+        slow: "scratch",
+        fast: "seminaive",
+    },
+    Spec {
+        id: "incr_vnr.insert.4096",
+        group: "E7/incr_vnr",
+        size: 4096,
+        slow: "recompute",
+        fast: "insert",
+    },
+];
+
+/// Extracts a `"key": value` field from a one-point-per-line JSON row
+/// (both artifacts are machine-written, so line-shape parsing is
+/// exact, mirroring the lint ratchet's reader).
+fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let tag = format!("\"{key}\": ");
+    let start = line.find(&tag)? + tag.len();
+    let rest = &line[start..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    Some(rest[..end].trim().trim_matches('"'))
+}
+
+/// `(group, bench, size) → median_ns` from `BENCH_refine.json`.
+fn parse_points(text: &str) -> Vec<(String, String, usize, u128)> {
+    let mut points = Vec::new();
+    for line in text.lines() {
+        let (Some(group), Some(bench), Some(size), Some(ns)) = (
+            field(line, "group"),
+            field(line, "bench"),
+            field(line, "size"),
+            field(line, "median_ns"),
+        ) else {
+            continue;
+        };
+        if let (Ok(size), Ok(ns)) = (size.parse(), ns.parse()) {
+            points.push((group.to_string(), bench.to_string(), size, ns));
+        }
+    }
+    points
+}
+
+/// `id → min_speedup` rows of `BENCH_RATCHET.json`.
+fn parse_baseline(text: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let (Some(id), Some(min)) = (field(line, "id"), field(line, "min_speedup")) else {
+            continue;
+        };
+        if let Ok(min) = min.parse() {
+            out.push((id.to_string(), min));
+        }
+    }
+    out
+}
+
+fn median_of(points: &[(String, String, usize, u128)], spec: &Spec, bench: &str) -> Option<u128> {
+    points
+        .iter()
+        .find(|(g, b, s, _)| g == spec.group && b == bench && *s == spec.size)
+        .map(|&(_, _, _, ns)| ns)
+}
+
+/// Measured speedups for every spec, from the bench artifact.
+fn measure(root: &Path) -> Result<Vec<(&'static Spec, f64)>, String> {
+    let input = root.join(INPUT);
+    let text = std::fs::read_to_string(&input).map_err(|e| {
+        format!("bench-ratchet: cannot read {INPUT}: {e} — run scripts/bench_refine.sh first")
+    })?;
+    let points = parse_points(&text);
+    let mut out = Vec::new();
+    for spec in &SPECS {
+        let slow = median_of(&points, spec, spec.slow).ok_or_else(|| {
+            format!(
+                "bench-ratchet: {INPUT} has no {}/{} point at size {}",
+                spec.group, spec.slow, spec.size
+            )
+        })?;
+        let fast = median_of(&points, spec, spec.fast).ok_or_else(|| {
+            format!(
+                "bench-ratchet: {INPUT} has no {}/{} point at size {}",
+                spec.group, spec.fast, spec.size
+            )
+        })?;
+        if fast == 0 {
+            return Err(format!("bench-ratchet: zero median for {}", spec.id));
+        }
+        out.push((spec, slow as f64 / fast as f64));
+    }
+    Ok(out)
+}
+
+fn render_baseline(measured: &[(&Spec, f64)]) -> String {
+    let mut s = String::from("{\n  \"schema\": \"BENCH_RATCHET/v1\",\n");
+    s.push_str(&format!(
+        "  \"policy\": \"min_speedup = measured / {TOLERANCE} at lock time; \
+         ratios are machine-stable, absolute ns are not\",\n"
+    ));
+    s.push_str("  \"ratchets\": [\n");
+    let rows: Vec<String> = measured
+        .iter()
+        .map(|(spec, speedup)| {
+            let min = (speedup / TOLERANCE).max(1.0);
+            format!(
+                "    {{\"id\": \"{}\", \"group\": \"{}\", \"size\": {}, \"slow\": \"{}\", \
+                 \"fast\": \"{}\", \"locked_at\": {:.1}, \"min_speedup\": {:.1}}}",
+                spec.id, spec.group, spec.size, spec.slow, spec.fast, speedup, min
+            )
+        })
+        .collect();
+    s.push_str(&rows.join(",\n"));
+    s.push_str("\n  ]\n}\n");
+    s
+}
+
+/// Runs the perf ratchet; returns `true` when every pinned ratio
+/// holds.
+pub fn run(root: &Path, update: bool) -> bool {
+    let measured = match measure(root) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("{e}");
+            return false;
+        }
+    };
+    let baseline_path = root.join(BASELINE);
+    if update || !baseline_path.exists() {
+        if let Err(e) = std::fs::write(&baseline_path, render_baseline(&measured)) {
+            eprintln!("bench-ratchet: cannot write {BASELINE}: {e}");
+            return false;
+        }
+        for (spec, speedup) in &measured {
+            println!(
+                "bench-ratchet: locked {} at {:.1}x (min {:.1}x)",
+                spec.id,
+                speedup,
+                (speedup / TOLERANCE).max(1.0)
+            );
+        }
+        return true;
+    }
+    let baseline = parse_baseline(&std::fs::read_to_string(&baseline_path).unwrap_or_default());
+    let mut ok = true;
+    for (spec, speedup) in &measured {
+        let Some(&(_, min)) = baseline.iter().find(|(id, _)| id == spec.id) else {
+            eprintln!(
+                "bench-ratchet: {} missing from {BASELINE} — run with --update-baseline",
+                spec.id
+            );
+            ok = false;
+            continue;
+        };
+        if *speedup < min {
+            eprintln!(
+                "bench-ratchet: {} regressed — {:.1}x measured, baseline requires ≥{:.1}x",
+                spec.id, speedup, min
+            );
+            ok = false;
+        } else {
+            println!(
+                "bench-ratchet: {} OK — {:.1}x (≥{:.1}x required)",
+                spec.id, speedup, min
+            );
+        }
+    }
+    ok
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_shape_parsers_roundtrip() {
+        let point = r#"    {"group": "E7/fixpoint", "bench": "seminaive", "size": 256, "median_ns": 9358883},"#;
+        let parsed = parse_points(point);
+        assert_eq!(
+            parsed,
+            vec![("E7/fixpoint".into(), "seminaive".into(), 256, 9358883)]
+        );
+        let measured: Vec<(&Spec, f64)> = SPECS.iter().map(|s| (s, 10.0)).collect();
+        let rendered = render_baseline(&measured);
+        let baseline = parse_baseline(&rendered);
+        assert_eq!(baseline.len(), SPECS.len());
+        for (_, min) in baseline {
+            assert!((min - 5.0).abs() < 1e-9, "min_speedup = measured/2");
+        }
+    }
+
+    #[test]
+    fn speedup_below_minimum_is_detected() {
+        let dir = std::env::temp_dir().join("bench_ratchet_test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let mut points = String::new();
+        for spec in &SPECS {
+            points.push_str(&format!(
+                "{{\"group\": \"{}\", \"bench\": \"{}\", \"size\": {}, \"median_ns\": 100}}\n",
+                spec.group, spec.slow, spec.size
+            ));
+            points.push_str(&format!(
+                "{{\"group\": \"{}\", \"bench\": \"{}\", \"size\": {}, \"median_ns\": 50}}\n",
+                spec.group, spec.fast, spec.size
+            ));
+        }
+        std::fs::write(dir.join(INPUT), points).expect("write input");
+        // First run locks 2.0x/2 = 1.0x minimums.
+        assert!(run(&dir, true));
+        assert!(run(&dir, false), "2.0x clears the 1.0x bar");
+        // Degrade the fast path below the bar.
+        let mut points = String::new();
+        for spec in &SPECS {
+            points.push_str(&format!(
+                "{{\"group\": \"{}\", \"bench\": \"{}\", \"size\": {}, \"median_ns\": 100}}\n",
+                spec.group, spec.slow, spec.size
+            ));
+            points.push_str(&format!(
+                "{{\"group\": \"{}\", \"bench\": \"{}\", \"size\": {}, \"median_ns\": 200}}\n",
+                spec.group, spec.fast, spec.size
+            ));
+        }
+        std::fs::write(dir.join(INPUT), points).expect("write input");
+        assert!(!run(&dir, false), "0.5x must fail the 1.0x bar");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

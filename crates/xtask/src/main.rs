@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! cargo run -p xtask -- lint [--update-baseline]
+//! cargo run -p xtask -- bench-ratchet [--update-baseline]
 //! cargo run -p xtask -- analyze-corpus [--report PATH]
 //! ```
 //!
@@ -10,12 +11,17 @@
 //!   `LINT_RATCHET.json` baseline and fails on growth) plus a
 //!   cross-check of the DESIGN.md §6 metric-name table against the
 //!   `recdb_obs::{count,observe,span}` call sites in the sources.
+//! * `bench-ratchet` — the perf ratchet: reads the speedup *ratios*
+//!   (bucketed/pairwise, semi-naive/from-scratch, incremental
+//!   insert/recompute) out of `BENCH_refine.json` and fails if any
+//!   falls below the tolerance-banded floor in `BENCH_RATCHET.json`.
 //! * `analyze-corpus` — runs the static analyzer over
 //!   `examples/programs/*.ql` (each file carries `// analyze:`
 //!   directives naming its dialect, schema, and expected verdict) and,
 //!   report-only, over single-line `parse_program("…")` literals found
 //!   in `examples/` and `tests/`.
 
+mod bench_ratchet;
 mod corpus;
 mod metrics_doc;
 mod ratchet;
@@ -37,6 +43,8 @@ fn usage() -> &'static str {
     "usage: cargo run -p xtask -- <task>\n\
      tasks:\n\
        lint [--update-baseline]      panic ratchet + metric-table cross-check\n\
+       bench-ratchet [--update-baseline]  pinned speedup ratios from\n\
+                                          BENCH_refine.json vs BENCH_RATCHET.json\n\
        analyze-corpus [--report PATH]  analyzer over examples/programs and\n\
                                        embedded program literals"
 }
@@ -50,6 +58,10 @@ fn main() -> ExitCode {
             let ratchet_ok = ratchet::run(&root, update);
             let metrics_ok = metrics_doc::run(&root);
             ratchet_ok && metrics_ok
+        }
+        Some("bench-ratchet") => {
+            let update = args.iter().any(|a| a == "--update-baseline");
+            bench_ratchet::run(&root, update)
         }
         Some("analyze-corpus") => {
             let report = args

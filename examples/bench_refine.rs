@@ -5,8 +5,12 @@
 //! O(t²) pairwise oracle) on the same workload as the criterion
 //! `E7/partition` group — rank-4 random tuples over the `divides`
 //! database, a workload that realizes hundreds of distinct atomic
-//! types — plus the full `v_n_r` pipeline on the paper's example
-//! graph. Emits the `BENCH_refine.json` schema on stdout:
+//! types, scaled to 4096 tuples — plus the full `v_n_r` pipeline on
+//! the paper's example graph, the semi-naive delta engine against
+//! from-scratch loop evaluation (`E7/fixpoint`), and incremental
+//! partition maintenance against full recomputation under single-tuple
+//! insertion (`E7/incr_vnr`). Emits the `BENCH_refine.json` schema on
+//! stdout:
 //!
 //! ```text
 //! cargo run --release --example bench_refine > BENCH_refine.json
@@ -18,10 +22,12 @@
 //! probed, fingerprint collisions, fan-out imbalance, …) next to the
 //! timing points — the "why is it slow" companion to the medians.
 
-use recdb_core::{Database, DatabaseBuilder, Elem, FnRelation, Tuple};
+use recdb_core::{Database, DatabaseBuilder, Elem, FiniteStructure, FnRelation, Fuel, Tuple};
 use recdb_hsdb::{
     paper_example_graph, partition_by_local_iso, partition_by_local_iso_pairwise, v_n_r,
+    IncrementalPartition,
 };
+use recdb_qlhs::{FinInterp, Prog, Term};
 use std::time::Instant;
 
 /// Splitmix-style deterministic generator: the harness must not pull
@@ -68,6 +74,30 @@ struct Point {
     median_ns: u128,
 }
 
+/// An undirected path `0 — 1 — … — n-1` (schema `E : 2`).
+fn path_graph(n: u64) -> FiniteStructure {
+    FiniteStructure::undirected_graph(0..n, (0..n - 1).map(|i| (i, i + 1)))
+}
+
+/// `Y2 := C0; Y3 := C0 ∩ C_last; while |Y3|=0 { Y2 ∪= succ(Y2); Y3 ∪= Y2 ∩ C_last }`
+/// — single-source reachability, with every assignment inside the
+/// provable semi-naive fragment.
+fn reach_prog(last: u64) -> Prog {
+    let union = |v: usize, s: Term| Prog::assign(v, Term::Var(v).union(s));
+    let succ = Term::Var(1).up().and(Term::Rel(0)).down();
+    Prog::seq([
+        Prog::assign(1, Term::Const(0)),
+        Prog::assign(2, Term::Const(0).and(Term::Const(last))),
+        Prog::WhileEmpty(
+            2,
+            Box::new(Prog::seq([
+                union(1, succ),
+                union(2, Term::Var(1).and(Term::Const(last))),
+            ])),
+        ),
+    ])
+}
+
 fn parse_metrics_out() -> Option<String> {
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -90,7 +120,7 @@ fn main() {
         .build();
     let mut points = Vec::new();
 
-    for size in [64usize, 256, 1024] {
+    for size in [64usize, 256, 1024, 4096] {
         let tuples = random_tuples(size, 4, 16, 42);
         points.push(Point {
             group: "E7/partition",
@@ -98,13 +128,76 @@ fn main() {
             size,
             median_ns: median_ns(5, || partition_by_local_iso(&divides, &tuples).len()),
         });
+        // The O(t²) oracle gets fewer samples at the top size: one run
+        // is ~0.5 s there and the median is stable anyway.
+        let iters = if size >= 4096 { 3 } else { 5 };
         points.push(Point {
             group: "E7/partition",
             bench: "pairwise".into(),
             size,
-            median_ns: median_ns(5, || {
+            median_ns: median_ns(iters, || {
                 partition_by_local_iso_pairwise(&divides, &tuples).len()
             }),
+        });
+    }
+
+    // Semi-naive vs from-scratch loop evaluation: single-source
+    // reachability on an undirected path — the canonical workload
+    // where from-scratch is O(n³) (re-deriving the whole frontier
+    // history each round) and the delta engine is O(n²).
+    for size in [64u64, 128, 256] {
+        let st = path_graph(size);
+        let p = reach_prog(size - 1);
+        let run = |seminaive: bool| {
+            let mut i = FinInterp::new(&st);
+            i.set_seminaive(seminaive);
+            i.run(&p, &mut Fuel::new(1 << 40))
+                .expect("reachability terminates")
+                .tuples
+                .len()
+        };
+        points.push(Point {
+            group: "E7/fixpoint",
+            bench: "seminaive".into(),
+            size: size as usize,
+            median_ns: median_ns(5, || run(true)),
+        });
+        points.push(Point {
+            group: "E7/fixpoint",
+            bench: "scratch".into(),
+            size: size as usize,
+            median_ns: median_ns(3, || run(false)),
+        });
+    }
+
+    // Incremental vs from-scratch partition maintenance under
+    // single-tuple insertion: the delta-maintained core of the Vⁿᵣ
+    // cache. The incremental point is the per-insert median over a
+    // batch of 16 (one insert is too fast for the timer); recompute is
+    // one full repartition of the same grown set.
+    const INSERT_BATCH: usize = 16;
+    for size in [1024usize, 4096] {
+        let tuples = random_tuples(size, 4, 16, 42);
+        let batch = random_tuples(INSERT_BATCH, 4, 16, 0xfeed);
+        let mut cache = IncrementalPartition::from_tuples(&divides, &tuples);
+        points.push(Point {
+            group: "E7/incr_vnr",
+            bench: "insert".into(),
+            size,
+            median_ns: median_ns(5, || {
+                for t in &batch {
+                    cache.insert(t.clone());
+                }
+                cache.len()
+            }) / INSERT_BATCH as u128,
+        });
+        let mut grown = tuples.clone();
+        grown.extend(batch.iter().cloned());
+        points.push(Point {
+            group: "E7/incr_vnr",
+            bench: "recompute".into(),
+            size,
+            median_ns: median_ns(5, || partition_by_local_iso(&divides, &grown).len()),
         });
     }
 
@@ -149,19 +242,46 @@ fn main() {
 
     // Human-readable speedup summary on stderr so redirecting stdout
     // to BENCH_refine.json still shows the headline.
-    for size in [64usize, 256, 1024] {
-        let ns = |bench: &str| {
-            points
-                .iter()
-                .find(|p| p.group == "E7/partition" && p.bench == bench && p.size == size)
-                .map(|p| p.median_ns)
-                .unwrap_or(0)
-        };
-        let (b, p) = (ns("bucketed"), ns("pairwise"));
+    let ns = |group: &str, bench: &str, size: usize| {
+        points
+            .iter()
+            .find(|p| p.group == group && p.bench == bench && p.size == size)
+            .map(|p| p.median_ns)
+            .unwrap_or(0)
+    };
+    for size in [64usize, 256, 1024, 4096] {
+        let (b, p) = (
+            ns("E7/partition", "bucketed", size),
+            ns("E7/partition", "pairwise", size),
+        );
         if b > 0 {
             eprintln!(
                 "partition t={size:>5}: pairwise {p} ns / bucketed {b} ns = {:.1}x",
                 p as f64 / b as f64
+            );
+        }
+    }
+    for size in [64usize, 128, 256] {
+        let (d, s) = (
+            ns("E7/fixpoint", "seminaive", size),
+            ns("E7/fixpoint", "scratch", size),
+        );
+        if d > 0 {
+            eprintln!(
+                "fixpoint n={size:>5}: scratch {s} ns / seminaive {d} ns = {:.1}x",
+                s as f64 / d as f64
+            );
+        }
+    }
+    for size in [1024usize, 4096] {
+        let (i, r) = (
+            ns("E7/incr_vnr", "insert", size),
+            ns("E7/incr_vnr", "recompute", size),
+        );
+        if i > 0 {
+            eprintln!(
+                "incr_vnr t={size:>5}: recompute {r} ns / insert {i} ns = {:.1}x",
+                r as f64 / i as f64
             );
         }
     }

@@ -34,7 +34,7 @@ PAR_METRICS=target/METRICS.parallel.json
 cargo run --release -p recdb-conformance --bin conformance -- \
     --seed "$SEED" --out "$OUT" --metrics-out "$METRICS"
 
-# The registry must stay complete: all 27 checks present, none skipped
+# The registry must stay complete: all 29 checks present, none skipped
 # (in particular the permutation differentials — a skipped
 # GENERIC-PERM would silently stop validating the genericity pass).
 python3 - "$OUT" <<'PY'
@@ -42,8 +42,8 @@ import json, sys
 
 report = json.load(open(sys.argv[1]))
 checks = report["checks"]
-if len(checks) < 27:
-    sys.exit(f"ledger regressed: {len(checks)} checks reported, expected >= 27")
+if len(checks) < 29:
+    sys.exit(f"ledger regressed: {len(checks)} checks reported, expected >= 29")
 skipped = [c["id"] for c in checks if c["status"] == "SKIPPED"]
 if skipped:
     sys.exit(f"ledger checks skipped: {', '.join(skipped)}")

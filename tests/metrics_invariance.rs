@@ -1,8 +1,10 @@
 //! Metrics-invariance property suite (ISSUE 3, satellite 1): the
 //! observability layer is a pure side channel. Every instrumented
-//! entry point — `v_n_r`, `find_r0`, `partition_by_local_iso`, and the
-//! QLhs `HsInterp` — must return bit-identical results with a recorder
-//! installed, with none installed, and after uninstalling one again.
+//! entry point — `v_n_r`, `find_r0`, `partition_by_local_iso`, the
+//! QLhs `HsInterp`, the semi-naive delta engine, and the incremental
+//! refinement caches — must return bit-identical results with a
+//! recorder installed, with none installed, and after uninstalling one
+//! again.
 //!
 //! Compiling the suite with `--features parallel` routes the same
 //! assertions through the threaded partition pipeline, so the ledger
@@ -17,13 +19,13 @@
 //! serialize on a local lock.
 
 use recdb_conformance::gen::{random_graph_db, random_tuples};
-use recdb_core::{fnv1a, Fuel, SplitMix64};
+use recdb_core::{fnv1a, FiniteStructure, Fuel, SplitMix64};
 use recdb_hsdb::{
     find_r0, infinite_clique, paper_example_graph, partition_by_local_iso, rado_graph, unary_cells,
-    v_n_r, CellSize, HsDatabase,
+    v_n_r, CellSize, HsDatabase, IncrementalPartition, VnrCache,
 };
 use recdb_obs::InMemoryRecorder;
-use recdb_qlhs::{HsInterp, Prog, Term, Val};
+use recdb_qlhs::{FinInterp, HsInterp, Prog, Term, Val};
 use std::sync::{Mutex, MutexGuard};
 
 /// Fixed ledger seed (`recdb_conformance::DEFAULT_SEED`).
@@ -143,6 +145,67 @@ fn hs_interp_invariant_on_seeded_terms() {
             });
         }
     }
+}
+
+/// The semi-naive delta engine is a pure evaluation strategy: a
+/// reachability fixpoint through `FinInterp` returns the identical
+/// `Val` recorder on/off, with the delta engine both enabled (the
+/// `fixpoint.delta.*` histograms fire) and disabled (the from-scratch
+/// path), and the two engines agree with each other.
+#[test]
+fn seminaive_fixpoint_invariant_under_recorder() {
+    let _g = serial();
+    const LAST: u64 = 23;
+    let st = FiniteStructure::undirected_graph(0..=LAST, (0..LAST).map(|i| (i, i + 1)));
+    let union = |v: usize, s: Term| Prog::assign(v, Term::Var(v).union(s));
+    let succ = Term::Var(1).up().and(Term::Rel(0)).down();
+    let prog = Prog::seq([
+        Prog::assign(1, Term::Const(0)),
+        Prog::assign(2, Term::Const(0).and(Term::Const(LAST))),
+        Prog::WhileEmpty(
+            2,
+            Box::new(Prog::seq([
+                union(1, succ),
+                union(2, Term::Var(1).and(Term::Const(LAST))),
+            ])),
+        ),
+    ]);
+    let run = |seminaive: bool| {
+        invariant_under_recorder(&format!("fin_interp(seminaive={seminaive})"), || {
+            let mut i = FinInterp::new(&st);
+            i.set_seminaive(seminaive);
+            i.run(&prog, &mut Fuel::new(10_000_000))
+                .expect("path reachability terminates")
+        })
+    };
+    assert_eq!(run(true), run(false), "delta engine diverged from scratch");
+}
+
+/// `IncrementalPartition` and `VnrCache` produce identical partitions
+/// recorder on/off — the `refine.incr.*` counters and the reproject
+/// span must not leak into the maintained state.
+#[test]
+fn incremental_refinement_invariant_under_recorder() {
+    let _g = serial();
+    let mut rng = rng_for("incremental_refinement_invariant_under_recorder");
+    let db = random_graph_db(&mut rng, "incr-inv");
+    let tuples = random_tuples(&mut rng, 24, 2, 10);
+    invariant_under_recorder("incremental_partition", || {
+        let mut part = IncrementalPartition::new(&db);
+        for t in &tuples {
+            part.insert(t.clone());
+        }
+        part.blocks().clone()
+    });
+    let hs = paper_example_graph();
+    let nodes = hs.t_n(1);
+    invariant_under_recorder("vnr_cache(paper_example, r=1)", || {
+        let mut cache = VnrCache::new(&hs, 1);
+        for u in &nodes {
+            cache.insert(u.clone());
+        }
+        cache.partition().expect("tree covers depth 1")
+    });
 }
 
 /// Random rank-preserving term over {E, R1, ¬, swap, ∧} — mirrors the
