@@ -16,6 +16,7 @@ pub mod s4;
 pub mod s5;
 pub mod s6;
 pub mod seminaive;
+pub mod serve;
 
 use crate::ledger::CheckDef;
 
@@ -31,6 +32,7 @@ pub fn ledger() -> Vec<CheckDef> {
     defs.extend(analyze::defs());
     defs.extend(generic::defs());
     defs.extend(seminaive::defs());
+    defs.extend(serve::defs());
     defs
 }
 

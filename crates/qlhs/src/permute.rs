@@ -76,7 +76,12 @@ impl Permutation {
         Permutation::from_forward(forward)
     }
 
-    fn from_forward(forward: Vec<u64>) -> Self {
+    /// Builds a permutation from an explicit forward table over
+    /// `0..forward.len()`. The table must be a bijection (every image
+    /// below the window appearing exactly once) — callers construct it
+    /// by completing a partial assignment, as the canonicalizer in
+    /// `recdb-serve` does.
+    pub fn from_forward(forward: Vec<u64>) -> Self {
         let mut inverse = vec![0u64; forward.len()];
         for (i, &f) in forward.iter().enumerate() {
             inverse[f as usize] = i as u64;

@@ -1,7 +1,7 @@
 //! Scratch review test: co-finite guard variable misread by the
 //! semi-naive engine's count()-based guard.
 
-use recdb_core::{Fuel, Tuple};
+use recdb_core::{Elem, Fuel, Tuple};
 use recdb_hsdb::{FcfDatabase, FcfRel};
 use recdb_qlhs::{FcfInterp, Prog, Term};
 
@@ -12,7 +12,7 @@ fn cofinite_guard_matches_from_scratch() {
         "scratch",
         vec![FcfRel::Finite(recdb_core::FiniteRelation::new(
             1,
-            [Tuple::from(vec![0]), Tuple::from(vec![1])],
+            [Tuple::from(vec![Elem(0)]), Tuple::from(vec![Elem(1)])],
         ))],
     );
     // Y0 := ¬Y2 (co-finite, empty complement → relation NOT empty);

@@ -1,0 +1,421 @@
+//! The `loadgen` binary: a deterministic, seeded load generator for
+//! the query service.
+//!
+//! By default it self-hosts a [`Server`] in-process, drives `--requests`
+//! seeded requests from `--concurrency` client threads (each request a
+//! fresh `Connection: close` round-trip, as a real multi-tenant swarm
+//! would look), checks every response against its request class's
+//! expected status, counts admission-soundness violations (which must
+//! be zero), and emits latency percentiles into `BENCH_SERVE.json` in
+//! the line format `xtask bench-ratchet` consumes.
+//!
+//! ```text
+//! loadgen [--requests 10000] [--concurrency 128] [--seed 0x5ecdeb0a]
+//!         [--workers 8] [--addr HOST:PORT] [--out BENCH_SERVE.json]
+//!         [--metrics-out PATH] [--verify-hits] [--quiet]
+//! ```
+
+use recdb_core::SplitMix64;
+use recdb_qlhs::Permutation;
+use recdb_serve::client::post_once;
+use recdb_serve::{ServeConfig, Server};
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One seeded request class: a body generator plus the status the
+/// admission pipeline must produce for it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Class {
+    /// Cacheable exact query over a randomly relabeled copy of one
+    /// fixed graph — every request is in the same ≅-orbit, so all but
+    /// the first hit the cross-tenant cache.
+    ExactOrbit,
+    /// Cacheable exact query over a fresh random graph (mostly misses).
+    ExactFresh,
+    /// Fuel-mode program that completes quickly.
+    FuelOk,
+    /// Provably divergent — rejected at admission.
+    RejectDiverge,
+    /// Dialect-unsafe — rejected at admission.
+    RejectUnsafe,
+    /// Exact query against a catalog family (QLhs backend).
+    Family,
+    /// Exact query against an fcf database (QLf+ backend).
+    Fcf,
+    /// Fuel-mode program that exhausts its budget — preempted.
+    FuelExhaust,
+    /// Fuel-mode program given a large budget — the heavy class the
+    /// latency ratchet compares against admission-only requests.
+    Heavy,
+}
+
+const CLASSES: [(Class, u32); 9] = [
+    (Class::ExactOrbit, 25),
+    (Class::ExactFresh, 15),
+    (Class::FuelOk, 15),
+    (Class::RejectDiverge, 10),
+    (Class::RejectUnsafe, 5),
+    (Class::Family, 10),
+    (Class::Fcf, 5),
+    (Class::FuelExhaust, 10),
+    (Class::Heavy, 5),
+];
+
+impl Class {
+    fn pick(rng: &mut SplitMix64) -> Class {
+        let total: u32 = CLASSES.iter().map(|(_, w)| w).sum();
+        let mut roll = rng.gen_usize(total as usize) as u32;
+        for &(c, w) in &CLASSES {
+            if roll < w {
+                return c;
+            }
+            roll -= w;
+        }
+        Class::ExactOrbit
+    }
+
+    fn expected_status(self) -> u16 {
+        match self {
+            Class::RejectDiverge | Class::RejectUnsafe => 422,
+            // Heavy burns a large fuel budget to completion of the
+            // budget, not the program — preempted by design.
+            Class::FuelExhaust | Class::Heavy => 408,
+            _ => 200,
+        }
+    }
+
+    fn bench_tag(self) -> &'static str {
+        match self {
+            Class::ExactOrbit => "exact_orbit",
+            Class::ExactFresh => "exact_fresh",
+            Class::FuelOk => "fuel_ok",
+            Class::RejectDiverge | Class::RejectUnsafe => "admit_reject",
+            Class::Family => "family",
+            Class::Fcf => "fcf",
+            Class::FuelExhaust => "fuel_exhaust",
+            Class::Heavy => "heavy",
+        }
+    }
+
+    fn body(self, rng: &mut SplitMix64) -> String {
+        match self {
+            Class::ExactOrbit => {
+                // One fixed 5-path, randomly relabeled: same ≅-orbit.
+                let p = Permutation::random(rng, 5);
+                let edges: Vec<String> = (0..4u64)
+                    .map(|i| {
+                        format!(
+                            "[{},{}]",
+                            p.apply(recdb_core::Elem(i)).value(),
+                            p.apply(recdb_core::Elem(i + 1)).value()
+                        )
+                    })
+                    .collect();
+                finite_query("Y1 := R1;", &edges.join(","), None)
+            }
+            Class::ExactFresh => {
+                let mut edges = Vec::new();
+                for a in 0..5u64 {
+                    for b in 0..5u64 {
+                        if a != b && rng.gen_bool() && rng.gen_bool() {
+                            edges.push(format!("[{a},{b}]"));
+                        }
+                    }
+                }
+                finite_query("Y1 := R1;", &edges.join(","), None)
+            }
+            Class::FuelOk => finite_query(
+                "Y2 := R1; while empty(Y3) { Y3 := Y2; }",
+                "[0,1],[1,2],[2,3]",
+                Some(10_000),
+            ),
+            // `while empty(Y3) { Y3 := R2; }` with R2 *empty at
+            // runtime*: statically Unknown (relation contents are not
+            // visible to the analyzer), dynamically divergent — the
+            // fuel budget is the only thing that stops it.
+            Class::FuelExhaust => {
+                finite_two_rel_query("while empty(Y3) { Y3 := R2; }", "[0,1],[1,2]", Some(300))
+            }
+            Class::Heavy => finite_two_rel_query(
+                "while empty(Y3) { Y3 := R2; }",
+                "[0,1],[1,2],[2,3],[3,4]",
+                Some(60_000),
+            ),
+            Class::RejectDiverge => finite_query("while empty(Y2) { Y3 := E; }", "[0,1]", None),
+            Class::RejectUnsafe => finite_query("while single(Y1) { Y1 := E; }", "[0,1]", None),
+            Class::Family => {
+                r#"{"program":"Y1 := R1;","db":{"kind":"family","name":"clique"}}"#.to_string()
+            }
+            Class::Fcf => {
+                let k = rng.gen_usize(5);
+                format!(
+                    r#"{{"program":"Y1 := R1;","db":{{"kind":"fcf","relations":[{{"cofinite":{{"arity":1,"exceptions":[[{k}]]}}}}]}}}}"#
+                )
+            }
+        }
+    }
+}
+
+fn finite_query(program: &str, edges: &str, fuel: Option<u64>) -> String {
+    finite_body(
+        program,
+        &format!(r#"[{{"arity":2,"tuples":[{edges}]}}]"#),
+        fuel,
+    )
+}
+
+/// Like [`finite_query`], plus an *empty* second relation `R2` — the
+/// statically-opaque guard feed the fuel classes rely on.
+fn finite_two_rel_query(program: &str, edges: &str, fuel: Option<u64>) -> String {
+    finite_body(
+        program,
+        &format!(r#"[{{"arity":2,"tuples":[{edges}]}},{{"arity":2,"tuples":[]}}]"#),
+        fuel,
+    )
+}
+
+fn finite_body(program: &str, relations: &str, fuel: Option<u64>) -> String {
+    let fuel_part = match fuel {
+        Some(f) => format!(",\"fuel\":{f}"),
+        None => String::new(),
+    };
+    format!(
+        r#"{{"program":"{program}","db":{{"kind":"finite","universe":[0,1,2,3,4],"relations":{relations}}}{fuel_part}}}"#
+    )
+}
+
+struct Args {
+    requests: usize,
+    concurrency: usize,
+    seed: u64,
+    workers: usize,
+    addr: Option<SocketAddr>,
+    out: String,
+    metrics_out: Option<String>,
+    verify_hits: bool,
+    quiet: bool,
+}
+
+fn parse_args() -> Args {
+    let mut a = Args {
+        requests: 10_000,
+        concurrency: 128,
+        seed: 0x5ecd_eb0a,
+        workers: 8,
+        addr: None,
+        out: "BENCH_SERVE.json".to_string(),
+        metrics_out: None,
+        verify_hits: false,
+        quiet: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut take = |what: &str| -> String {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{what} needs a value");
+                std::process::exit(2);
+            })
+        };
+        match flag.as_str() {
+            "--requests" => a.requests = parse(&take("--requests"), "--requests"),
+            "--concurrency" => a.concurrency = parse(&take("--concurrency"), "--concurrency"),
+            "--seed" => {
+                let raw = take("--seed");
+                let raw = raw.trim();
+                a.seed = match raw.strip_prefix("0x") {
+                    Some(hex) => u64::from_str_radix(hex, 16).unwrap_or_else(|_| {
+                        eprintln!("--seed: cannot parse {raw:?}");
+                        std::process::exit(2);
+                    }),
+                    None => parse(raw, "--seed"),
+                };
+            }
+            "--workers" => a.workers = parse(&take("--workers"), "--workers"),
+            "--addr" => a.addr = Some(parse(&take("--addr"), "--addr")),
+            "--out" => a.out = take("--out"),
+            "--metrics-out" => a.metrics_out = Some(take("--metrics-out")),
+            "--verify-hits" => a.verify_hits = true,
+            "--quiet" => a.quiet = true,
+            "--help" | "-h" => {
+                println!(
+                    "loadgen — deterministic seeded load generator\n\
+                     options: --requests N --concurrency N --seed S --workers N\n\
+                     \x20        --addr HOST:PORT --out PATH --metrics-out PATH --verify-hits --quiet"
+                );
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown option {other:?} (try --help)");
+                std::process::exit(2);
+            }
+        }
+    }
+    a
+}
+
+fn parse<T: std::str::FromStr>(s: &str, what: &str) -> T {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("{what}: cannot parse {s:?}");
+        std::process::exit(2);
+    })
+}
+
+fn percentile(sorted: &[u64], p: usize) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = (sorted.len() * p / 100).min(sorted.len() - 1);
+    sorted[idx]
+}
+
+fn main() {
+    let args = parse_args();
+    let recorder = args.metrics_out.as_ref().map(|_| {
+        let r = recdb_obs::InMemoryRecorder::shared();
+        recdb_obs::install(r.clone());
+        r
+    });
+    let server = match args.addr {
+        Some(_) => None,
+        None => {
+            let cfg = ServeConfig {
+                workers: args.workers,
+                verify_hits: args.verify_hits,
+                ..ServeConfig::default()
+            };
+            match Server::start(cfg) {
+                Ok(s) => Some(s),
+                Err(e) => {
+                    eprintln!("self-host bind failed: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+    };
+    let addr = match (&server, args.addr) {
+        (_, Some(a)) => a,
+        (Some(s), None) => s.addr(),
+        (None, None) => unreachable!(),
+    };
+
+    let violations = Arc::new(AtomicU64::new(0));
+    let mismatches = Arc::new(AtomicU64::new(0));
+    let io_failures = Arc::new(AtomicU64::new(0));
+    let started = Instant::now();
+    let mut handles = Vec::new();
+    let threads = args.concurrency.max(1);
+    for tid in 0..threads {
+        let n = args.requests / threads + usize::from(tid < args.requests % threads);
+        let violations = Arc::clone(&violations);
+        let mismatches = Arc::clone(&mismatches);
+        let io_failures = Arc::clone(&io_failures);
+        let seed = args.seed ^ (tid as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        handles.push(std::thread::spawn(move || {
+            let mut rng = SplitMix64::seed_from_u64(seed);
+            // (class tag, latency ns) per completed request.
+            let mut samples: Vec<(&'static str, u64)> = Vec::with_capacity(n);
+            for _ in 0..n {
+                let class = Class::pick(&mut rng);
+                let body = class.body(&mut rng);
+                let t0 = Instant::now();
+                match post_once(addr, "/v1/query", &body) {
+                    Ok(resp) => {
+                        let ns = t0.elapsed().as_nanos() as u64;
+                        if resp.body.contains("\"violation\"") {
+                            violations.fetch_add(1, Ordering::Relaxed);
+                        }
+                        if resp.status != class.expected_status() {
+                            mismatches.fetch_add(1, Ordering::Relaxed);
+                            eprintln!(
+                                "class {class:?}: expected {}, got {} — {}",
+                                class.expected_status(),
+                                resp.status,
+                                resp.body
+                            );
+                        }
+                        samples.push((class.bench_tag(), ns));
+                    }
+                    Err(_) => {
+                        io_failures.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+            samples
+        }));
+    }
+    let mut samples: Vec<(&'static str, u64)> = Vec::with_capacity(args.requests);
+    for h in handles {
+        if let Ok(s) = h.join() {
+            samples.extend(s);
+        }
+    }
+    let wall = started.elapsed();
+    if let Some(server) = server {
+        server.shutdown();
+    }
+
+    let mut all: Vec<u64> = samples.iter().map(|&(_, ns)| ns).collect();
+    all.sort_unstable();
+    let p50 = percentile(&all, 50);
+    let p99 = percentile(&all, 99);
+
+    // BENCH_SERVE.json: one bench-ratchet-style row per line.
+    let size = args.requests;
+    let mut rows = vec![
+        bench_row("serve/latency", "overall_p50", size, p50),
+        bench_row("serve/latency", "overall_p99", size, p99),
+    ];
+    let mut tags: Vec<&'static str> = samples.iter().map(|&(t, _)| t).collect();
+    tags.sort_unstable();
+    tags.dedup();
+    for tag in tags {
+        let mut v: Vec<u64> = samples
+            .iter()
+            .filter(|&&(t, _)| t == tag)
+            .map(|&(_, ns)| ns)
+            .collect();
+        v.sort_unstable();
+        rows.push(bench_row("serve/latency", tag, size, percentile(&v, 50)));
+    }
+    let doc = format!("[\n{}\n]\n", rows.join(",\n"));
+    if let Err(e) = std::fs::write(&args.out, &doc) {
+        eprintln!("cannot write {}: {e}", args.out);
+        std::process::exit(1);
+    }
+
+    if let (Some(path), Some(r)) = (&args.metrics_out, &recorder) {
+        if let Err(e) = r.snapshot().write_json(path) {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    let v = violations.load(Ordering::Relaxed);
+    let m = mismatches.load(Ordering::Relaxed);
+    let io = io_failures.load(Ordering::Relaxed);
+    if !args.quiet {
+        println!(
+            "{} requests in {:.2}s ({:.0} req/s), p50 {}µs, p99 {}µs",
+            samples.len(),
+            wall.as_secs_f64(),
+            samples.len() as f64 / wall.as_secs_f64(),
+            p50 / 1_000,
+            p99 / 1_000,
+        );
+        println!("admission-soundness violations: {v}, status mismatches: {m}, io failures: {io}");
+        println!("wrote {}", args.out);
+    }
+    if v > 0 || m > 0 || io > samples.len() as u64 / 100 {
+        std::process::exit(1);
+    }
+}
+
+fn bench_row(group: &str, bench: &str, size: usize, median_ns: u64) -> String {
+    // Key-colon-space shape matches BENCH_refine.json so `xtask
+    // bench-ratchet` can consume both artifacts with one line parser.
+    format!(
+        r#"  {{"group": "{group}", "bench": "{bench}", "size": {size}, "median_ns": {median_ns}}}"#
+    )
+}

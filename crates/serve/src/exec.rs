@@ -1,0 +1,399 @@
+//! The counted executor: the statement layer the server actually runs
+//! admitted programs under.
+//!
+//! Term semantics are delegated to the real interpreters' `eval_term`
+//! (`FinInterp`/`HsInterp`/`FcfInterp`) — the server never re-implements
+//! value semantics. What the statement layer adds over the plain `run`
+//! entry points is *scheduling*:
+//!
+//! * **budget enforcement** — a proved-`Terminates` admission carries
+//!   per-loop bounds and a whole-program iteration budget; exceeding
+//!   either at runtime is an **admission soundness violation** (the
+//!   static proof was wrong), counted and surfaced as a 500, never
+//!   silently absorbed;
+//! * **cooperative preemption** — a shared flag checked at every loop
+//!   head, so a draining server can stop fuel-mode programs at the
+//!   next iteration boundary instead of waiting out their fuel.
+//!
+//! This mirrors the conformance crate's counting executor (the
+//! `TERMINATE-BOUND` differential) — same guard predicates, same fuel
+//! ticks — but lives here because the dependency points the other way:
+//! the conformance ledger drives *this* server.
+
+use recdb_core::Fuel;
+use recdb_qlhs::{Dialect, FcfInterp, FcfVal, FinInterp, HsInterp, Prog, RunError, Term, Val};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// One backend's value operations, as the statement layer needs them.
+/// Implemented by all three interpreters; term evaluation is theirs.
+pub trait GuardEval {
+    /// The value type the backend computes with.
+    type V: Clone;
+    /// Term evaluation — the real interpreter's `eval_term`.
+    fn eval(&mut self, t: &Term, env: &[Self::V], fuel: &mut Fuel) -> Result<Self::V, RunError>;
+    /// The value an unassigned variable holds.
+    fn unset() -> Self::V;
+    /// The `while empty(Y)` guard.
+    fn empty_guard(v: Option<&Self::V>) -> bool;
+    /// The `while single(Y)` guard (dialect violation where not admitted).
+    fn single_guard(v: Option<&Self::V>) -> Result<bool, RunError>;
+    /// The `while finite(Y)` guard (dialect violation where not admitted).
+    fn finite_guard(v: Option<&Self::V>) -> Result<bool, RunError>;
+}
+
+impl GuardEval for FinInterp<'_> {
+    type V = Val;
+    fn eval(&mut self, t: &Term, env: &[Val], fuel: &mut Fuel) -> Result<Val, RunError> {
+        FinInterp::eval_term(self, t, env, fuel)
+    }
+    fn unset() -> Val {
+        Val::empty(0)
+    }
+    fn empty_guard(v: Option<&Val>) -> bool {
+        v.is_none_or(Val::is_empty)
+    }
+    fn single_guard(_: Option<&Val>) -> Result<bool, RunError> {
+        Err(RunError::DialectViolation(
+            "while |Y|=1 is a QLhs primitive; in finitary QL it is only definable",
+        ))
+    }
+    fn finite_guard(_: Option<&Val>) -> Result<bool, RunError> {
+        Err(RunError::DialectViolation(
+            "while |Y|<∞ is a QLf+ construct",
+        ))
+    }
+}
+
+impl GuardEval for HsInterp<'_> {
+    type V = Val;
+    fn eval(&mut self, t: &Term, env: &[Val], fuel: &mut Fuel) -> Result<Val, RunError> {
+        HsInterp::eval_term(self, t, env, fuel)
+    }
+    fn unset() -> Val {
+        Val::empty(0)
+    }
+    fn empty_guard(v: Option<&Val>) -> bool {
+        v.is_none_or(Val::is_empty)
+    }
+    fn single_guard(v: Option<&Val>) -> Result<bool, RunError> {
+        Ok(v.is_some_and(Val::is_singleton))
+    }
+    fn finite_guard(_: Option<&Val>) -> Result<bool, RunError> {
+        Err(RunError::DialectViolation(
+            "while |Y|<∞ is a QLf+ construct, not part of QLhs",
+        ))
+    }
+}
+
+impl GuardEval for FcfInterp<'_> {
+    type V = FcfVal;
+    fn eval(&mut self, t: &Term, env: &[FcfVal], fuel: &mut Fuel) -> Result<FcfVal, RunError> {
+        FcfInterp::eval_term(self, t, env, fuel)
+    }
+    fn unset() -> FcfVal {
+        FcfVal::empty(0)
+    }
+    fn empty_guard(v: Option<&FcfVal>) -> bool {
+        v.is_none_or(FcfVal::is_empty_relation)
+    }
+    fn single_guard(_: Option<&FcfVal>) -> Result<bool, RunError> {
+        Err(RunError::DialectViolation(
+            "while |Y|=1 is a QLhs primitive, not part of QLf+",
+        ))
+    }
+    fn finite_guard(v: Option<&FcfVal>) -> Result<bool, RunError> {
+        Ok(v.is_none_or(|x| x.finite))
+    }
+}
+
+/// The scheduling envelope an admitted program runs under.
+#[derive(Clone, Debug)]
+pub struct Budget<'a> {
+    /// Proved per-entry bounds by loop path (empty in fuel mode).
+    pub bounds: &'a BTreeMap<Vec<u32>, u64>,
+    /// Whole-program iteration cap. In exact mode this is the proved
+    /// `Terminates {iterations}` figure; in fuel mode `u64::MAX` (fuel
+    /// is the limiter).
+    pub total_cap: u64,
+    /// The fuel budget for term evaluation and statement ticks.
+    pub fuel: u64,
+}
+
+/// How an execution ended.
+#[derive(Debug)]
+pub enum ExecEnd<V> {
+    /// Completed; the payload is `Y1`.
+    Done(V),
+    /// The interpreter returned a runtime error (fuel exhaustion is
+    /// reported separately).
+    Errored(RunError),
+    /// Fuel ran out — the fuel-mode analogue of preemption.
+    OutOfFuel,
+    /// The cooperative-preemption flag was raised at a loop head.
+    Preempted,
+    /// A proved per-loop bound was exceeded — admission soundness
+    /// violation.
+    BoundExceeded {
+        /// The loop's tree path.
+        path: Vec<u32>,
+        /// The bound it was proved to respect.
+        bound: u64,
+    },
+    /// The proved whole-program budget was exceeded — admission
+    /// soundness violation.
+    TotalExceeded {
+        /// The proved whole-program budget.
+        cap: u64,
+    },
+}
+
+impl<V> ExecEnd<V> {
+    /// Is this end an admission-soundness violation (a static proof
+    /// contradicted at runtime)?
+    pub fn is_soundness_violation(&self) -> bool {
+        matches!(
+            self,
+            ExecEnd::BoundExceeded { .. } | ExecEnd::TotalExceeded { .. }
+        )
+    }
+}
+
+/// An execution outcome plus its iteration accounting.
+#[derive(Debug)]
+pub struct ExecResult<V> {
+    /// How the run ended.
+    pub end: ExecEnd<V>,
+    /// Total loop iterations executed.
+    pub iterations: u64,
+}
+
+enum Stop {
+    Run(RunError),
+    Fuel,
+    Preempt,
+    Bound { path: Vec<u32>, bound: u64 },
+    Total,
+}
+
+struct Counter<'b> {
+    bounds: &'b BTreeMap<Vec<u32>, u64>,
+    total: u64,
+    cap: u64,
+}
+
+fn tick(fuel: &mut Fuel) -> Result<(), Stop> {
+    fuel.tick().map_err(|_| Stop::Fuel)
+}
+
+fn cexec<B: GuardEval>(
+    b: &mut B,
+    p: &Prog,
+    env: &mut Vec<B::V>,
+    fuel: &mut Fuel,
+    path: &mut Vec<u32>,
+    c: &mut Counter<'_>,
+    preempt: &AtomicBool,
+) -> Result<(), Stop> {
+    tick(fuel)?;
+    match p {
+        Prog::Assign(v, t) => {
+            let val = b.eval(t, env, fuel).map_err(|e| match e {
+                RunError::Fuel(_) => Stop::Fuel,
+                other => Stop::Run(other),
+            })?;
+            if *v >= env.len() {
+                env.resize(*v + 1, B::unset());
+            }
+            env[*v] = val;
+        }
+        Prog::Seq(ps) => {
+            for (i, q) in ps.iter().enumerate() {
+                path.push(i as u32);
+                let r = cexec(b, q, env, fuel, path, c, preempt);
+                path.pop();
+                r?;
+            }
+        }
+        Prog::WhileEmpty(v, body) | Prog::WhileSingleton(v, body) | Prog::WhileFinite(v, body) => {
+            let mut here = 0u64;
+            loop {
+                let go = match p {
+                    Prog::WhileEmpty(..) => B::empty_guard(env.get(*v)),
+                    Prog::WhileSingleton(..) => B::single_guard(env.get(*v)).map_err(Stop::Run)?,
+                    _ => B::finite_guard(env.get(*v)).map_err(Stop::Run)?,
+                };
+                if !go {
+                    break;
+                }
+                if preempt.load(Ordering::Relaxed) {
+                    return Err(Stop::Preempt);
+                }
+                here += 1;
+                c.total += 1;
+                if let Some(&bound) = c.bounds.get(path.as_slice()) {
+                    if here > bound {
+                        return Err(Stop::Bound {
+                            path: path.clone(),
+                            bound,
+                        });
+                    }
+                }
+                if c.total > c.cap {
+                    return Err(Stop::Total);
+                }
+                tick(fuel)?;
+                path.push(0);
+                let r = cexec(b, body, env, fuel, path, c, preempt);
+                path.pop();
+                r?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Runs `p` under `budget`, with term semantics from `b`. The dialect
+/// check runs first, exactly as the interpreters' own `run` methods do.
+pub fn run_scheduled<B: GuardEval>(
+    b: &mut B,
+    dialect: Dialect,
+    p: &Prog,
+    budget: &Budget<'_>,
+    preempt: &AtomicBool,
+) -> ExecResult<B::V> {
+    let mut c = Counter {
+        bounds: budget.bounds,
+        total: 0,
+        cap: budget.total_cap,
+    };
+    let mut fuel = Fuel::new(budget.fuel);
+    let end = if let Err(v) = dialect.check(p) {
+        ExecEnd::Errored(RunError::DialectViolation(v.message()))
+    } else {
+        let nvars = p.max_var().map_or(1, |m| m + 1);
+        let mut env = vec![B::unset(); nvars.max(1)];
+        let mut path = Vec::new();
+        match cexec(b, p, &mut env, &mut fuel, &mut path, &mut c, preempt) {
+            Ok(()) => match env.into_iter().next() {
+                Some(y1) => ExecEnd::Done(y1),
+                None => ExecEnd::Done(B::unset()),
+            },
+            Err(Stop::Run(e)) => ExecEnd::Errored(e),
+            Err(Stop::Fuel) => ExecEnd::OutOfFuel,
+            Err(Stop::Preempt) => ExecEnd::Preempted,
+            Err(Stop::Bound { path, bound }) => ExecEnd::BoundExceeded { path, bound },
+            Err(Stop::Total) => ExecEnd::TotalExceeded { cap: c.cap },
+        }
+    };
+    ExecResult {
+        end,
+        iterations: c.total,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recdb_core::FiniteStructure;
+    use recdb_qlhs::parse_program;
+
+    fn graph() -> FiniteStructure {
+        FiniteStructure::graph(0..3, [(0, 1), (1, 2)])
+    }
+
+    fn run(src: &str, budget: &Budget<'_>) -> ExecResult<Val> {
+        let p = parse_program(src).unwrap();
+        let st = graph();
+        let mut interp = FinInterp::new(&st);
+        run_scheduled(
+            &mut interp,
+            Dialect::Ql,
+            &p,
+            budget,
+            &AtomicBool::new(false),
+        )
+    }
+
+    fn fueled(fuel: u64) -> Budget<'static> {
+        static EMPTY: BTreeMap<Vec<u32>, u64> = BTreeMap::new();
+        Budget {
+            bounds: &EMPTY,
+            total_cap: u64::MAX,
+            fuel,
+        }
+    }
+
+    #[test]
+    fn completion_returns_y1() {
+        let r = run("Y1 := E;", &fueled(10_000));
+        match r.end {
+            ExecEnd::Done(v) => assert_eq!(v.len(), 3),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn divergent_loops_run_out_of_fuel() {
+        let r = run("while empty(Y2) { Y3 := E; }", &fueled(500));
+        assert!(matches!(r.end, ExecEnd::OutOfFuel), "{:?}", r.end);
+        assert!(r.iterations > 0);
+    }
+
+    #[test]
+    fn preemption_stops_at_a_loop_head() {
+        let p = parse_program("while empty(Y2) { Y3 := E; }").unwrap();
+        let st = graph();
+        let mut interp = FinInterp::new(&st);
+        let flag = AtomicBool::new(true);
+        let r = run_scheduled(&mut interp, Dialect::Ql, &p, &fueled(100_000), &flag);
+        assert!(matches!(r.end, ExecEnd::Preempted), "{:?}", r.end);
+    }
+
+    #[test]
+    fn exceeded_bounds_are_soundness_violations() {
+        let bounds: BTreeMap<Vec<u32>, u64> = [(vec![0], 2u64)].into_iter().collect();
+        let budget = Budget {
+            bounds: &bounds,
+            total_cap: 100,
+            fuel: 100_000,
+        };
+        let r = run("while empty(Y2) { Y3 := E; }", &budget);
+        assert!(r.end.is_soundness_violation(), "{:?}", r.end);
+        match r.end {
+            ExecEnd::BoundExceeded { path, bound } => {
+                assert_eq!(path, vec![0]);
+                assert_eq!(bound, 2);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn total_budget_is_enforced() {
+        let bounds = BTreeMap::new();
+        let budget = Budget {
+            bounds: &bounds,
+            total_cap: 5,
+            fuel: 100_000,
+        };
+        let r = run("while empty(Y2) { Y3 := E; }", &budget);
+        assert!(
+            matches!(r.end, ExecEnd::TotalExceeded { cap: 5 }),
+            "{:?}",
+            r.end
+        );
+    }
+
+    #[test]
+    fn runtime_errors_pass_through() {
+        let r = run("Y1 := R9;", &fueled(10_000));
+        // R9 in the surface syntax is input index 8 (relations are
+        // 1-based on the wire, 0-based internally).
+        assert!(
+            matches!(r.end, ExecEnd::Errored(RunError::NoSuchRelation(8))),
+            "{:?}",
+            r.end
+        );
+    }
+}

@@ -1,0 +1,410 @@
+//! Deterministic protocol suite: every admission verdict path, the
+//! cache paths, malformed input, oversized bodies, and mid-request
+//! connection drops — ephemeral ports, fixed seeds, no sleeps.
+
+use recdb_core::SplitMix64;
+use recdb_qlhs::Permutation;
+use recdb_serve::client::Conn;
+use recdb_serve::{ServeConfig, Server};
+
+fn server() -> Server {
+    Server::start(ServeConfig {
+        verify_hits: true,
+        read_timeout_ms: 200,
+        ..ServeConfig::default()
+    })
+    .expect("bind ephemeral port")
+}
+
+fn conn(s: &Server) -> Conn {
+    Conn::connect(s.addr()).expect("connect")
+}
+
+fn finite_query(program: &str, edges: &str, extra: &str) -> String {
+    format!(
+        r#"{{"program":"{program}","db":{{"kind":"finite","universe":[0,1,2,3,4],"relations":[{{"arity":2,"tuples":[{edges}]}}]}}{extra}}}"#
+    )
+}
+
+#[test]
+fn health_and_unknown_routes() {
+    let s = server();
+    let mut c = conn(&s);
+    let r = c.get("/v1/health").unwrap();
+    assert_eq!((r.status, r.body.as_str()), (200, "{\"status\":\"ok\"}"));
+    assert_eq!(c.get("/v1/nope").unwrap().status, 404);
+    assert_eq!(c.post("/v1/health", "{}").unwrap().status, 405);
+}
+
+#[test]
+fn exact_admission_runs_under_proved_budget() {
+    let s = server();
+    let mut c = conn(&s);
+    let r = c
+        .post("/v1/query", &finite_query("Y1 := R1;", "[0,1],[1,2]", ""))
+        .unwrap();
+    assert_eq!(r.status, 200, "{}", r.body);
+    assert!(r.body.contains("\"mode\":\"exact\""), "{}", r.body);
+    assert!(
+        r.body
+            .contains("\"result\":{\"rank\":2,\"tuples\":[[0,1],[1,2]]}"),
+        "{}",
+        r.body
+    );
+}
+
+#[test]
+fn unknown_termination_runs_under_fuel() {
+    let s = server();
+    let mut c = conn(&s);
+    let r = c
+        .post(
+            "/v1/query",
+            &finite_query(
+                "Y2 := R1; while empty(Y3) { Y3 := Y2; }",
+                "[0,1]",
+                ",\"fuel\":10000",
+            ),
+        )
+        .unwrap();
+    assert_eq!(r.status, 200, "{}", r.body);
+    assert!(r.body.contains("\"mode\":\"fuel\""), "{}", r.body);
+    assert!(
+        r.body.contains("\"cache\":\"off\""),
+        "unproved ⇒ uncached: {}",
+        r.body
+    );
+}
+
+#[test]
+fn fuel_exhaustion_preempts_with_408() {
+    let s = server();
+    let mut c = conn(&s);
+    // R2 is empty at runtime but statically opaque: fuel-mode, never
+    // exits, stopped by the 300-tick budget.
+    let body = r#"{"program":"while empty(Y3) { Y3 := R2; }","db":{"kind":"finite","universe":[0,1],"relations":[{"arity":2,"tuples":[[0,1]]},{"arity":2,"tuples":[]}]},"fuel":300}"#;
+    let r = c.post("/v1/query", body).unwrap();
+    assert_eq!(r.status, 408, "{}", r.body);
+    assert!(
+        r.body.contains("\"reason\":\"fuel-exhausted\""),
+        "{}",
+        r.body
+    );
+    assert!(r.body.contains("\"fuel\":300"), "{}", r.body);
+}
+
+#[test]
+fn provable_divergence_rejects_with_span_diagnostics() {
+    let s = server();
+    let mut c = conn(&s);
+    let r = c
+        .post(
+            "/v1/query",
+            &finite_query("while empty(Y2) { Y3 := E; }", "[0,1]", ""),
+        )
+        .unwrap();
+    assert_eq!(r.status, 422, "{}", r.body);
+    assert!(r.body.contains("\"reasons\":[\"diverges\"]"), "{}", r.body);
+    assert!(r.body.contains("\"line\":1"), "span-resolved: {}", r.body);
+}
+
+#[test]
+fn dialect_unsafety_rejects() {
+    let s = server();
+    let mut c = conn(&s);
+    let r = c
+        .post(
+            "/v1/query",
+            &finite_query("while single(Y1) { Y1 := E; }", "[0,1]", ""),
+        )
+        .unwrap();
+    assert_eq!(r.status, 422, "{}", r.body);
+    assert!(r.body.contains("\"unsafe\""), "{}", r.body);
+}
+
+#[test]
+fn parse_errors_reject_with_line_col() {
+    let s = server();
+    let mut c = conn(&s);
+    let r = c
+        .post("/v1/query", &finite_query("Y1 := ;", "[0,1]", ""))
+        .unwrap();
+    assert_eq!(r.status, 422, "{}", r.body);
+    assert!(r.body.contains("\"parse-error\""), "{}", r.body);
+    assert!(r.body.contains("\"line\":1"), "{}", r.body);
+}
+
+#[test]
+fn cache_misses_then_hits_across_the_orbit() {
+    let s = server();
+    let mut c = conn(&s);
+    let miss = c
+        .post(
+            "/v1/query",
+            &finite_query("Y1 := R1;", "[0,1],[1,2],[2,3]", ""),
+        )
+        .unwrap();
+    assert_eq!(miss.status, 200, "{}", miss.body);
+    assert!(miss.body.contains("\"cache\":\"miss\""), "{}", miss.body);
+    assert_eq!(s.cache_len(), 1);
+
+    // The same slice again: a verified hit (verify_hits is on).
+    let hit = c
+        .post(
+            "/v1/query",
+            &finite_query("Y1 := R1;", "[0,1],[1,2],[2,3]", ""),
+        )
+        .unwrap();
+    assert!(hit.body.contains("\"cache\":\"hit\""), "{}", hit.body);
+    // Identical slice ⇒ identical result bytes.
+    let result = |b: &str| b.split("\"result\":").nth(1).map(str::to_string);
+    assert_eq!(result(&miss.body), result(&hit.body));
+
+    // A relabeled copy (π = seeded random permutation) is the same
+    // ≅-orbit: still a hit, with the answer transported back through
+    // π⁻¹ — and differentially verified against fresh evaluation.
+    let mut rng = SplitMix64::seed_from_u64(42);
+    let p = Permutation::random(&mut rng, 5);
+    let edges: Vec<String> = [(0u64, 1u64), (1, 2), (2, 3)]
+        .iter()
+        .map(|&(a, b)| {
+            format!(
+                "[{},{}]",
+                p.apply(recdb_core::Elem(a)).value(),
+                p.apply(recdb_core::Elem(b)).value()
+            )
+        })
+        .collect();
+    let relabeled = c
+        .post(
+            "/v1/query",
+            &finite_query("Y1 := R1;", &edges.join(","), ""),
+        )
+        .unwrap();
+    assert_eq!(relabeled.status, 200, "{}", relabeled.body);
+    assert!(
+        relabeled.body.contains("\"cache\":\"hit\""),
+        "same orbit must hit: {}",
+        relabeled.body
+    );
+    assert_eq!(s.cache_len(), 1, "one orbit, one entry");
+
+    // Opting out bypasses the cache entirely.
+    let off = c
+        .post(
+            "/v1/query",
+            &finite_query("Y1 := R1;", "[0,1],[1,2],[2,3]", ",\"no_cache\":true"),
+        )
+        .unwrap();
+    assert!(off.body.contains("\"cache\":\"off\""), "{}", off.body);
+}
+
+#[test]
+fn oversized_orbits_bypass_the_cache() {
+    let s = server();
+    let mut c = conn(&s);
+    // 10 universe elements, no fixed constants: > MAX_CANON_FREE.
+    let body = r#"{"program":"Y1 := R1;","db":{"kind":"finite","universe":[0,1,2,3,4,5,6,7,8,9],"relations":[{"arity":2,"tuples":[[0,1]]}]}}"#;
+    let r = c.post("/v1/query", body).unwrap();
+    assert_eq!(r.status, 200, "{}", r.body);
+    assert!(r.body.contains("\"cache\":\"bypass\""), "{}", r.body);
+    assert_eq!(s.cache_len(), 0);
+}
+
+#[test]
+fn family_and_fcf_slices_are_descriptor_cached() {
+    let s = server();
+    let mut c = conn(&s);
+    let fam = r#"{"program":"Y1 := R1;","db":{"kind":"family","name":"clique"}}"#;
+    let first = c.post("/v1/query", fam).unwrap();
+    assert_eq!(first.status, 200, "{}", first.body);
+    assert!(first.body.contains("\"cache\":\"miss\""), "{}", first.body);
+    let second = c.post("/v1/query", fam).unwrap();
+    assert!(second.body.contains("\"cache\":\"hit\""), "{}", second.body);
+
+    let fcf = r#"{"program":"Y1 := R1;","db":{"kind":"fcf","relations":[{"cofinite":{"arity":1,"exceptions":[[2]]}}]}}"#;
+    let f1 = c.post("/v1/query", fcf).unwrap();
+    assert_eq!(f1.status, 200, "{}", f1.body);
+    assert!(f1.body.contains("\"finite\":false"), "{}", f1.body);
+    let f2 = c.post("/v1/query", fcf).unwrap();
+    assert!(f2.body.contains("\"cache\":\"hit\""), "{}", f2.body);
+}
+
+#[test]
+fn runtime_errors_are_422() {
+    let s = server();
+    let mut c = conn(&s);
+    // `up` on a co-finite value is a QLf+ runtime error the static
+    // passes cannot rule out — it passes admission, then errors.
+    let body = r#"{"program":"Y1 := up(R1);","db":{"kind":"fcf","relations":[{"cofinite":{"arity":1,"exceptions":[[2]]}}]}}"#;
+    let r = c.post("/v1/query", body).unwrap();
+    assert_eq!(r.status, 422, "{}", r.body);
+    assert!(r.body.contains("\"status\":\"error\""), "{}", r.body);
+}
+
+#[test]
+fn out_of_schema_relations_are_statically_unsafe() {
+    let s = server();
+    let mut c = conn(&s);
+    let r = c
+        .post("/v1/query", &finite_query("Y1 := R9;", "[0,1]", ""))
+        .unwrap();
+    assert_eq!(r.status, 422, "{}", r.body);
+    assert!(r.body.contains("\"status\":\"rejected\""), "{}", r.body);
+    assert!(r.body.contains("E0002"), "{}", r.body);
+}
+
+#[test]
+fn malformed_json_and_shapes_are_400() {
+    let s = server();
+    for bad in [
+        "not json at all",
+        "{\"program\":42}",
+        "{\"program\":\"Y1 := E;\"}", // missing db
+        r#"{"program":"Y1 := E;","db":{"kind":"blob"}}"#,
+        r#"{"program":"Y1 := E;","db":{"kind":"finite","universe":[0],"relations":[{"arity":2,"tuples":[[0,7]]}]}}"#,
+        r#"{"program":"Y1 := E;","dialect":"qlhs","db":{"kind":"finite","universe":[0],"relations":[]}}"#,
+    ] {
+        let mut c = conn(&s);
+        let r = c.post("/v1/query", bad).unwrap();
+        assert_eq!(r.status, 400, "{bad} → {}", r.body);
+    }
+}
+
+#[test]
+fn malformed_http_is_400_and_closes() {
+    let s = server();
+    let mut c = conn(&s);
+    c.send_raw(b"GET /v1/health HTTP/2\r\n\r\n").unwrap();
+    let r = c.read_response().unwrap();
+    assert_eq!(r.status, 400);
+    // The server closed the connection; a fresh one still works.
+    let mut c2 = conn(&s);
+    assert_eq!(c2.get("/v1/health").unwrap().status, 200);
+}
+
+#[test]
+fn oversized_bodies_are_413() {
+    let s = Server::start(ServeConfig {
+        max_body: 256,
+        read_timeout_ms: 200,
+        ..ServeConfig::default()
+    })
+    .expect("bind");
+    let mut c = conn(&s);
+    c.send_raw(b"POST /v1/query HTTP/1.1\r\ncontent-length: 5000\r\n\r\n")
+        .unwrap();
+    let r = c.read_response().unwrap();
+    assert_eq!(r.status, 413);
+    assert!(r.body.contains("256-byte limit"), "{}", r.body);
+}
+
+#[test]
+fn mid_request_drops_leave_the_server_healthy() {
+    let s = server();
+    {
+        let mut c = conn(&s);
+        // Declares a body, sends half a head, hangs up.
+        c.send_raw(b"POST /v1/query HTTP/1.1\r\ncontent-le")
+            .unwrap();
+    } // dropped here
+    {
+        let mut c = conn(&s);
+        // Declares a 100-byte body, sends 3 bytes, hangs up.
+        c.send_raw(b"POST /v1/query HTTP/1.1\r\ncontent-length: 100\r\n\r\nabc")
+            .unwrap();
+    }
+    let mut c = conn(&s);
+    assert_eq!(c.get("/v1/health").unwrap().status, 200);
+}
+
+#[test]
+fn keep_alive_and_connection_close_are_honored() {
+    let s = server();
+    let mut c = conn(&s);
+    for _ in 0..5 {
+        assert_eq!(c.get("/v1/health").unwrap().status, 200);
+    }
+    let r = c.request("GET", "/v1/health", "", true).unwrap();
+    assert_eq!(r.status, 200);
+    // Server closed after the `Connection: close` exchange.
+    assert!(c.get("/v1/health").is_err());
+}
+
+#[test]
+fn formula_endpoint_evaluates_lminus() {
+    let s = server();
+    let mut c = conn(&s);
+    let body = r#"{"formula":"{(x0,x1) | R1(x0,x1)}","db":{"kind":"finite","universe":[0,1,2],"relations":[{"arity":2,"tuples":[[0,1]]}]},"tuples":[[0,1],[1,0]]}"#;
+    let r = c.post("/v1/formula", body).unwrap();
+    assert_eq!(r.status, 200, "{}", r.body);
+    assert!(
+        r.body.contains("\"outcomes\":[\"true\",\"false\"]"),
+        "{}",
+        r.body
+    );
+}
+
+#[test]
+fn quantified_formulas_are_rejected_for_lminus() {
+    let s = server();
+    let mut c = conn(&s);
+    let body = r#"{"formula":"{(x0) | exists x1. R1(x0,x1)}","db":{"kind":"finite","universe":[0,1],"relations":[{"arity":2,"tuples":[[0,1]]}]},"tuples":[[0]]}"#;
+    let r = c.post("/v1/formula", body).unwrap();
+    assert_eq!(r.status, 422, "{}", r.body);
+}
+
+#[test]
+fn concurrent_mixed_load_is_fully_consistent() {
+    let s = Server::start(ServeConfig {
+        workers: 4,
+        verify_hits: true,
+        read_timeout_ms: 200,
+        ..ServeConfig::default()
+    })
+    .expect("bind");
+    let addr = s.addr();
+    let mut handles = Vec::new();
+    for t in 0..8u64 {
+        handles.push(std::thread::spawn(move || {
+            let mut rng = SplitMix64::seed_from_u64(0x5ecd_eb0a ^ t);
+            for _ in 0..25 {
+                let p = Permutation::random(&mut rng, 5);
+                let edges: Vec<String> = (0..4u64)
+                    .map(|i| {
+                        format!(
+                            "[{},{}]",
+                            p.apply(recdb_core::Elem(i)).value(),
+                            p.apply(recdb_core::Elem(i + 1)).value()
+                        )
+                    })
+                    .collect();
+                let body = finite_query("Y1 := R1;", &edges.join(","), "");
+                let r = recdb_serve::post_once(addr, "/v1/query", &body).expect("round trip");
+                assert_eq!(r.status, 200, "{}", r.body);
+                assert!(!r.body.contains("\"violation\""), "{}", r.body);
+            }
+        }));
+    }
+    for h in handles {
+        h.join().expect("worker thread");
+    }
+    // Every request was a relabeling of the same path: one orbit,
+    // one cache entry, no matter the interleaving.
+    assert_eq!(s.cache_len(), 1);
+    s.shutdown();
+}
+
+#[test]
+fn shutdown_joins_with_an_idle_keepalive_connection_open() {
+    let s = Server::start(ServeConfig {
+        read_timeout_ms: 50,
+        ..ServeConfig::default()
+    })
+    .expect("bind");
+    let mut c = conn(&s);
+    assert_eq!(c.get("/v1/health").unwrap().status, 200);
+    // `c` stays open and idle; shutdown must still join promptly
+    // (the worker's read timeout is the bound).
+    s.shutdown();
+}

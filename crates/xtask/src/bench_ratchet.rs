@@ -1,31 +1,44 @@
 //! The performance ratchet: pinned speedup ratios for the optimized
 //! hot paths.
 //!
-//! `BENCH_refine.json` carries absolute medians, which are useless as
-//! CI gates (runner hardware varies wildly). What *is* stable across
-//! machines is the **ratio** between two implementations of the same
-//! work measured in the same process — bucketed vs pairwise
-//! partitioning, semi-naive vs from-scratch loop evaluation,
-//! incremental insertion vs full repartition. This task pins those
-//! ratios in `BENCH_RATCHET.json`: each entry says "the fast path must
-//! stay at least `min_speedup`× faster than the slow path at this
-//! size". Baselines are locked at `measured / 2` by
+//! `BENCH_refine.json` and `BENCH_SERVE.json` carry absolute medians,
+//! which are useless as CI gates (runner hardware varies wildly). What
+//! *is* stable across machines is the **ratio** between two
+//! implementations of the same work measured in the same process —
+//! bucketed vs pairwise partitioning, semi-naive vs from-scratch loop
+//! evaluation, incremental insertion vs full repartition, statically
+//! rejected vs heavyweight-fueled request service. This task pins
+//! those ratios in `BENCH_RATCHET.json`: each entry says "the fast
+//! path must stay at least `min_speedup`× faster than the slow path at
+//! this size". Baselines are locked at `measured / 2` by
 //! `--update-baseline`, so noise cannot trip the gate but losing more
 //! than half the win fails CI.
 
+use std::collections::BTreeMap;
 use std::path::Path;
 
 const BASELINE: &str = "BENCH_RATCHET.json";
 const INPUT: &str = "BENCH_refine.json";
+const SERVE_INPUT: &str = "BENCH_SERVE.json";
+
+/// How to (re)produce a given input artifact, for error messages.
+fn produce_hint(input: &str) -> &'static str {
+    if input == SERVE_INPUT {
+        "run `cargo run --release -p recdb-serve --bin loadgen` first"
+    } else {
+        "run scripts/bench_refine.sh first"
+    }
+}
 
 /// Headroom factor applied when locking a baseline: the gate trips
 /// only when a change loses more than half the measured speedup.
 const TOLERANCE: f64 = 2.0;
 
 /// One pinned ratio: `slow`'s median over `fast`'s median within
-/// `group` at `size`.
+/// `group` at `size`, read from the artifact named by `input`.
 struct Spec {
     id: &'static str,
+    input: &'static str,
     group: &'static str,
     size: usize,
     slow: &'static str,
@@ -33,10 +46,14 @@ struct Spec {
 }
 
 /// The ratios under ratchet. The first is the PR-5 partition win; the
-/// other two pin the delta engine and the incremental Vⁿᵣ cache.
-const SPECS: [Spec; 3] = [
+/// next two pin the delta engine and the incremental Vⁿᵣ cache; the
+/// last pins the serving layer's admission win — a statically rejected
+/// request (analyzer says diverges/unsafe, no evaluation) must stay
+/// well ahead of the heavy fueled workload at the same load level.
+const SPECS: [Spec; 4] = [
     Spec {
         id: "partition.bucketed.4096",
+        input: INPUT,
         group: "E7/partition",
         size: 4096,
         slow: "pairwise",
@@ -44,6 +61,7 @@ const SPECS: [Spec; 3] = [
     },
     Spec {
         id: "fixpoint.seminaive.256",
+        input: INPUT,
         group: "E7/fixpoint",
         size: 256,
         slow: "scratch",
@@ -51,10 +69,19 @@ const SPECS: [Spec; 3] = [
     },
     Spec {
         id: "incr_vnr.insert.4096",
+        input: INPUT,
         group: "E7/incr_vnr",
         size: 4096,
         slow: "recompute",
         fast: "insert",
+    },
+    Spec {
+        id: "serve.admission.10000",
+        input: SERVE_INPUT,
+        group: "serve/latency",
+        size: 10000,
+        slow: "heavy",
+        fast: "admit_reject",
     },
 ];
 
@@ -109,25 +136,35 @@ fn median_of(points: &[(String, String, usize, u128)], spec: &Spec, bench: &str)
         .map(|&(_, _, _, ns)| ns)
 }
 
-/// Measured speedups for every spec, from the bench artifact.
+/// Measured speedups for every spec, from the bench artifacts (each
+/// input file is read once, however many specs draw from it).
 fn measure(root: &Path) -> Result<Vec<(&'static Spec, f64)>, String> {
-    let input = root.join(INPUT);
-    let text = std::fs::read_to_string(&input).map_err(|e| {
-        format!("bench-ratchet: cannot read {INPUT}: {e} — run scripts/bench_refine.sh first")
-    })?;
-    let points = parse_points(&text);
+    let mut by_input: BTreeMap<&'static str, Vec<(String, String, usize, u128)>> = BTreeMap::new();
+    for spec in &SPECS {
+        if !by_input.contains_key(spec.input) {
+            let text = std::fs::read_to_string(root.join(spec.input)).map_err(|e| {
+                format!(
+                    "bench-ratchet: cannot read {}: {e} — {}",
+                    spec.input,
+                    produce_hint(spec.input)
+                )
+            })?;
+            by_input.insert(spec.input, parse_points(&text));
+        }
+    }
     let mut out = Vec::new();
     for spec in &SPECS {
-        let slow = median_of(&points, spec, spec.slow).ok_or_else(|| {
+        let points = &by_input[spec.input];
+        let slow = median_of(points, spec, spec.slow).ok_or_else(|| {
             format!(
-                "bench-ratchet: {INPUT} has no {}/{} point at size {}",
-                spec.group, spec.slow, spec.size
+                "bench-ratchet: {} has no {}/{} point at size {}",
+                spec.input, spec.group, spec.slow, spec.size
             )
         })?;
-        let fast = median_of(&points, spec, spec.fast).ok_or_else(|| {
+        let fast = median_of(points, spec, spec.fast).ok_or_else(|| {
             format!(
-                "bench-ratchet: {INPUT} has no {}/{} point at size {}",
-                spec.group, spec.fast, spec.size
+                "bench-ratchet: {} has no {}/{} point at size {}",
+                spec.input, spec.group, spec.fast, spec.size
             )
         })?;
         if fast == 0 {
@@ -235,38 +272,36 @@ mod tests {
         }
     }
 
+    /// Writes every spec's slow/fast points into its own input
+    /// artifact (`BENCH_refine.json` and `BENCH_SERVE.json` both).
+    fn write_points(dir: &Path, fast_ns: u64) {
+        let mut files: BTreeMap<&'static str, String> = BTreeMap::new();
+        for spec in &SPECS {
+            let buf = files.entry(spec.input).or_default();
+            buf.push_str(&format!(
+                "{{\"group\": \"{}\", \"bench\": \"{}\", \"size\": {}, \"median_ns\": 100}}\n",
+                spec.group, spec.slow, spec.size
+            ));
+            buf.push_str(&format!(
+                "{{\"group\": \"{}\", \"bench\": \"{}\", \"size\": {}, \"median_ns\": {fast_ns}}}\n",
+                spec.group, spec.fast, spec.size
+            ));
+        }
+        for (name, points) in files {
+            std::fs::write(dir.join(name), points).expect("write input");
+        }
+    }
+
     #[test]
     fn speedup_below_minimum_is_detected() {
         let dir = std::env::temp_dir().join("bench_ratchet_test");
         std::fs::create_dir_all(&dir).expect("temp dir");
-        let mut points = String::new();
-        for spec in &SPECS {
-            points.push_str(&format!(
-                "{{\"group\": \"{}\", \"bench\": \"{}\", \"size\": {}, \"median_ns\": 100}}\n",
-                spec.group, spec.slow, spec.size
-            ));
-            points.push_str(&format!(
-                "{{\"group\": \"{}\", \"bench\": \"{}\", \"size\": {}, \"median_ns\": 50}}\n",
-                spec.group, spec.fast, spec.size
-            ));
-        }
-        std::fs::write(dir.join(INPUT), points).expect("write input");
+        write_points(&dir, 50);
         // First run locks 2.0x/2 = 1.0x minimums.
         assert!(run(&dir, true));
         assert!(run(&dir, false), "2.0x clears the 1.0x bar");
-        // Degrade the fast path below the bar.
-        let mut points = String::new();
-        for spec in &SPECS {
-            points.push_str(&format!(
-                "{{\"group\": \"{}\", \"bench\": \"{}\", \"size\": {}, \"median_ns\": 100}}\n",
-                spec.group, spec.slow, spec.size
-            ));
-            points.push_str(&format!(
-                "{{\"group\": \"{}\", \"bench\": \"{}\", \"size\": {}, \"median_ns\": 200}}\n",
-                spec.group, spec.fast, spec.size
-            ));
-        }
-        std::fs::write(dir.join(INPUT), points).expect("write input");
+        // Degrade the fast paths below the bar.
+        write_points(&dir, 200);
         assert!(!run(&dir, false), "0.5x must fail the 1.0x bar");
         std::fs::remove_dir_all(&dir).ok();
     }

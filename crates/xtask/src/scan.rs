@@ -1,6 +1,8 @@
 //! Shared source scanning: file walking and a light, line-oriented
 //! Rust lexer that is just smart enough to strip comments, blank out
-//! string contents, and skip `#[cfg(test)]` blocks.
+//! string contents (normal, raw, and multi-line — raw-string `"` and
+//! char-literal `'"'` must not confuse the tracker), and skip
+//! `#[cfg(test)]` blocks.
 //!
 //! This is deliberately not a parser. The repo's style keeps test
 //! modules as `#[cfg(test)] mod tests { … }` at the end of each file,
@@ -31,58 +33,153 @@ fn collect(dir: &Path, out: &mut Vec<PathBuf>) {
     }
 }
 
-/// One source line, comments removed. `keep_strings` controls whether
-/// string-literal contents survive (the metric scan needs them; the
-/// panic scan must not count a `"panic!"` inside a message).
-fn clean_line(line: &str, keep_strings: bool) -> String {
-    let mut out = String::with_capacity(line.len());
-    let mut chars = line.chars().peekable();
-    let mut in_string = false;
-    while let Some(c) = chars.next() {
-        if in_string {
-            match c {
-                '\\' => {
-                    // Escapes never terminate the literal.
-                    if keep_strings {
-                        out.push(c);
-                        if let Some(&n) = chars.peek() {
-                            out.push(n);
-                        }
-                    }
-                    chars.next();
-                }
-                '"' => {
-                    in_string = false;
-                    out.push('"');
-                }
-                _ => {
-                    if keep_strings {
-                        out.push(c);
-                    }
-                }
-            }
-        } else {
-            match c {
-                '"' => {
-                    in_string = true;
-                    out.push('"');
-                }
-                '/' if chars.peek() == Some(&'/') => break,
-                _ => out.push(c),
-            }
+/// Lexical state carried *across* lines: both normal and raw string
+/// literals may span lines, and a raw string's interior `"` characters
+/// must not toggle the normal-string tracker (otherwise the brace
+/// counts inside a multi-line `r#"…"#` literal corrupt the
+/// `#[cfg(test)]` skip).
+enum LexState {
+    Code,
+    /// Inside a normal `"…"` (or `b"…"`) literal.
+    Str,
+    /// Inside a raw `r##"…"##` literal with this many hashes.
+    Raw(usize),
+}
+
+/// A line-by-line cleaner: comments removed, string contents optionally
+/// blanked, char literals consumed (so `'"'` cannot open a phantom
+/// string). `keep_strings` controls whether string-literal contents
+/// survive (the metric scan needs them; the panic scan must not count
+/// a `"panic!"` inside a message).
+struct Cleaner {
+    keep_strings: bool,
+    state: LexState,
+}
+
+impl Cleaner {
+    fn new(keep_strings: bool) -> Self {
+        Cleaner {
+            keep_strings,
+            state: LexState::Code,
         }
     }
-    out
+
+    fn clean_line(&mut self, line: &str) -> String {
+        let chars: Vec<char> = line.chars().collect();
+        let mut out = String::with_capacity(line.len());
+        let mut i = 0;
+        while i < chars.len() {
+            match self.state {
+                LexState::Str => match chars[i] {
+                    '\\' => {
+                        // Escapes never terminate the literal.
+                        if self.keep_strings {
+                            out.push('\\');
+                            if let Some(&n) = chars.get(i + 1) {
+                                out.push(n);
+                            }
+                        }
+                        i += 2;
+                    }
+                    '"' => {
+                        self.state = LexState::Code;
+                        out.push('"');
+                        i += 1;
+                    }
+                    c => {
+                        if self.keep_strings {
+                            out.push(c);
+                        }
+                        i += 1;
+                    }
+                },
+                LexState::Raw(hashes) => {
+                    let closes = chars[i] == '"'
+                        && chars[i + 1..].iter().take_while(|&&c| c == '#').count() >= hashes;
+                    if closes {
+                        self.state = LexState::Code;
+                        out.push('"');
+                        i += 1 + hashes;
+                    } else {
+                        if self.keep_strings {
+                            out.push(chars[i]);
+                        }
+                        i += 1;
+                    }
+                }
+                LexState::Code => {
+                    let c = chars[i];
+                    // Raw-string opener `r#*"` / `br#*"`, at an
+                    // identifier boundary only (so `for "x"` or a
+                    // variable ending in `r` cannot trigger it).
+                    let at_boundary = i == 0
+                        || !(chars[i - 1].is_alphanumeric()
+                            || chars[i - 1] == '_'
+                            || chars[i - 1] == '\'');
+                    if (c == 'r' || (c == 'b' && chars.get(i + 1) == Some(&'r'))) && at_boundary {
+                        let j = if c == 'b' { i + 2 } else { i + 1 };
+                        let hashes = chars[j..].iter().take_while(|&&h| h == '#').count();
+                        if chars.get(j + hashes) == Some(&'"') {
+                            self.state = LexState::Raw(hashes);
+                            out.push('"');
+                            i = j + hashes + 1;
+                            continue;
+                        }
+                    }
+                    match c {
+                        '"' => {
+                            self.state = LexState::Str;
+                            out.push('"');
+                            i += 1;
+                        }
+                        '/' if chars.get(i + 1) == Some(&'/') => break,
+                        '\'' => {
+                            // Char literal vs lifetime tick. A
+                            // backslash or a quote at i+2 means char
+                            // literal — consume it whole; otherwise
+                            // keep the tick (lifetime) and move on.
+                            if chars.get(i + 1) == Some(&'\\') {
+                                let mut j = i + 3; // ', \, escape head
+                                if chars.get(i + 2) == Some(&'u') && chars.get(i + 3) == Some(&'{')
+                                {
+                                    j = i + 4;
+                                    while j < chars.len() && chars[j] != '}' {
+                                        j += 1;
+                                    }
+                                    j += 1;
+                                }
+                                if chars.get(j) == Some(&'\'') {
+                                    i = j + 1;
+                                    continue;
+                                }
+                            } else if chars.get(i + 2) == Some(&'\'') {
+                                i += 3;
+                                continue;
+                            }
+                            out.push('\'');
+                            i += 1;
+                        }
+                        _ => {
+                            out.push(c);
+                            i += 1;
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
 }
 
 /// The non-test portion of a file: comments stripped, `#[cfg(test)]`
 /// items (brace-balanced) removed.
 pub fn non_test_source(raw: &str, keep_strings: bool) -> String {
     let mut out = String::with_capacity(raw.len());
+    let mut cleaner = Cleaner::new(keep_strings);
     let mut skip_depth: Option<i64> = None;
     let mut pending_skip = false;
     for line in raw.lines() {
-        let cleaned = clean_line(line, keep_strings);
+        let cleaned = cleaner.clean_line(line);
         if let Some(depth) = &mut skip_depth {
             *depth += brace_delta(&cleaned);
             if *depth <= 0 {
@@ -146,4 +243,50 @@ pub fn literals_after(source: &str, marker: &str) -> Vec<String> {
         }
     }
     out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn multiline_raw_strings_do_not_break_the_test_skip() {
+        // The braces and quotes inside the raw literal must not end
+        // the `#[cfg(test)]` skip early — this is exactly the shape
+        // of a JSON fixture in a wire-protocol test module.
+        let src = r##"
+fn keep() { used(); }
+
+#[cfg(test)]
+mod tests {
+    const FIXTURE: &str = r#"{"a": {"b": [1, 2]},
+        "c": "}}}"}"#;
+    #[test]
+    fn t() {
+        parse(FIXTURE).unwrap();
+    }
+}
+"##;
+        let cleaned = non_test_source(src, false);
+        assert!(cleaned.contains("keep"));
+        assert_eq!(count_occurrences(&cleaned, ".unwrap()"), 0);
+    }
+
+    #[test]
+    fn char_literal_quotes_do_not_open_strings() {
+        let src = "fn f() { eat(b'\"')?; x.unwrap(); }\n";
+        let cleaned = non_test_source(src, false);
+        assert_eq!(count_occurrences(&cleaned, ".unwrap()"), 1);
+        // The `"` inside the char literal must not swallow the rest
+        // of the line into a phantom string.
+        assert!(cleaned.contains(".unwrap()"));
+    }
+
+    #[test]
+    fn lifetimes_survive_and_strings_blank() {
+        let src = "fn f<'a>(s: &'a str) { log(\"panic! is fine\"); }\n";
+        let cleaned = non_test_source(src, false);
+        assert!(cleaned.contains("<'a>"));
+        assert_eq!(count_occurrences(&cleaned, "panic!"), 0);
+    }
 }

@@ -34,16 +34,20 @@ PAR_METRICS=target/METRICS.parallel.json
 cargo run --release -p recdb-conformance --bin conformance -- \
     --seed "$SEED" --out "$OUT" --metrics-out "$METRICS"
 
-# The registry must stay complete: all 29 checks present, none skipped
-# (in particular the permutation differentials — a skipped
+# The registry must stay complete: every registered check present, none
+# skipped (in particular the permutation differentials — a skipped
 # GENERIC-PERM would silently stop validating the genericity pass).
-python3 - "$OUT" <<'PY'
+# The expected count is derived from the registry itself, so adding a
+# check can never leave this gate stale.
+EXPECTED=$(cargo run --release -q -p recdb-conformance --bin conformance -- --list | wc -l)
+python3 - "$OUT" "$EXPECTED" <<'PY'
 import json, sys
 
 report = json.load(open(sys.argv[1]))
+expected = int(sys.argv[2])
 checks = report["checks"]
-if len(checks) < 29:
-    sys.exit(f"ledger regressed: {len(checks)} checks reported, expected >= 29")
+if len(checks) != expected:
+    sys.exit(f"ledger regressed: {len(checks)} checks reported, registry lists {expected}")
 skipped = [c["id"] for c in checks if c["status"] == "SKIPPED"]
 if skipped:
     sys.exit(f"ledger checks skipped: {', '.join(skipped)}")

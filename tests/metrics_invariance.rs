@@ -208,6 +208,138 @@ fn incremental_refinement_invariant_under_recorder() {
     });
 }
 
+// --- serving layer (ISSUE 7, satellite 3) ---
+
+/// A fixed, fully deterministic request burst against a live server,
+/// dispatched *sequentially* (concurrency would make the cache
+/// hit/miss labels schedule-dependent). The mix touches every
+/// admission verdict, the cache hit/miss/bypass paths, a fuel
+/// preemption, a runtime error, the formula endpoint, a malformed
+/// request, a protocol-shape error, and a mid-request connection drop
+/// — every `serve.*` metric except the two that only fire on bugs
+/// (`serve.panics`, `serve.soundness_violations`).
+fn serve_burst(addr: std::net::SocketAddr) -> Vec<(u16, String)> {
+    use recdb_serve::{post_once, Conn};
+    let finite = |prog: &str, edges: &str, extra: &str| {
+        format!(
+            r#"{{"program":"{prog}","db":{{"kind":"finite","universe":[0,1,2,3,4],"relations":[{{"arity":2,"tuples":[{edges}]}}]}}{extra}}}"#
+        )
+    };
+    let queries = [
+        // Exact admission: miss, identical hit, orbit-relabeled hit.
+        finite("Y1 := R1;", "[0,1],[1,2]", ""),
+        finite("Y1 := R1;", "[0,1],[1,2]", ""),
+        finite("Y1 := R1;", "[4,1],[1,2]", ""),
+        // Canonicalization bypass: > 6 free elements.
+        r#"{"program":"Y1 := R1;","db":{"kind":"finite","universe":[0,1,2,3,4,5,6,7,8,9],"relations":[{"arity":2,"tuples":[[0,1]]}]}}"#.to_string(),
+        // Fuel mode, completing.
+        finite(
+            "Y2 := R1; while empty(Y3) { Y3 := Y2; }",
+            "[0,1]",
+            ",\"fuel\":10000",
+        ),
+        // Fuel mode, exhausting (R2 empty at runtime, opaque statically).
+        r#"{"program":"while empty(Y3) { Y3 := R2; }","db":{"kind":"finite","universe":[0,1],"relations":[{"arity":2,"tuples":[[0,1]]},{"arity":2,"tuples":[]}]},"fuel":300}"#.to_string(),
+        // Rejections: proved divergence, dialect unsafety.
+        finite("while empty(Y2) { Y3 := E; }", "[0,1]", ""),
+        finite("while single(Y1) { Y1 := E; }", "[0,1]", ""),
+        // Protocol-shape error (valid HTTP, invalid JSON).
+        "{not json".to_string(),
+        // Runtime error: `up` on a co-finite value passes admission.
+        r#"{"program":"Y1 := up(R1);","db":{"kind":"fcf","relations":[{"cofinite":{"arity":1,"exceptions":[[2]]}}]}}"#.to_string(),
+    ];
+    let mut out = Vec::new();
+    for body in &queries {
+        let r = post_once(addr, "/v1/query", body).expect("query round trip");
+        out.push((r.status, r.body));
+    }
+    let r = post_once(
+        addr,
+        "/v1/formula",
+        r#"{"formula":"{(x,y) | R1(x,y)}","db":{"kind":"finite","universe":[0,1,2],"relations":[{"arity":2,"tuples":[[0,1]]}]},"tuples":[[0,1],[1,0]]}"#,
+    )
+    .expect("formula round trip");
+    out.push((r.status, r.body));
+    // Malformed HTTP (unsupported version) — 400, connection closed.
+    let mut c = Conn::connect(addr).expect("connect");
+    c.send_raw(b"GET /v1/health HTTP/9\r\n\r\n").expect("send");
+    let r = c.read_response().expect("read 400");
+    out.push((r.status, r.body));
+    // Mid-request drop: half a head, then hang up.
+    {
+        let mut c = Conn::connect(addr).expect("connect");
+        c.send_raw(b"POST /v1/query HTTP/1.1\r\ncontent-le")
+            .expect("send partial");
+    }
+    // A trailing request — accepts are FIFO, so once this response is
+    // back, the dropped connection has passed the accept loop and is
+    // queued for a worker; shutdown's join then guarantees its
+    // `serve.conn_drops` tick lands before any snapshot.
+    let mut c = Conn::connect(addr).expect("connect");
+    let r = c.request("GET", "/v1/health", "", true).expect("health");
+    out.push((r.status, r.body));
+    out
+}
+
+fn serve_server(workers: usize) -> recdb_serve::Server {
+    recdb_serve::Server::start(recdb_serve::ServeConfig {
+        workers,
+        verify_hits: true,
+        read_timeout_ms: 200,
+        ..recdb_serve::ServeConfig::default()
+    })
+    .expect("bind ephemeral port")
+}
+
+/// The serving layer's responses are bit-identical with a recorder
+/// installed, with none, and after uninstalling one — the request
+/// spans and admission counters are a pure side channel.
+#[test]
+fn serve_burst_invariant_under_recorder() {
+    let _g = serial();
+    invariant_under_recorder("serve_burst", || {
+        let s = serve_server(2);
+        let out = serve_burst(s.addr());
+        s.shutdown();
+        out
+    });
+}
+
+/// A serial worker and a sharded worker pool emit the same metric
+/// *key set* over the fixed burst (values legitimately differ across
+/// schedules; which metrics exist must not).
+#[test]
+fn serve_metric_key_sets_match_across_worker_shards() {
+    let _g = serial();
+    let run = |workers: usize| {
+        let rec = InMemoryRecorder::shared();
+        recdb_obs::install(rec.clone());
+        let s = serve_server(workers);
+        serve_burst(s.addr());
+        s.shutdown(); // joins workers: every metric is recorded by now
+        recdb_obs::uninstall();
+        assert!(
+            rec.counter_value("serve.cache.hits") > 0,
+            "burst must exercise the hit path ({workers} workers)"
+        );
+        assert!(
+            rec.counter_value("serve.cache.misses") > 0,
+            "burst must exercise the miss path ({workers} workers)"
+        );
+        assert_eq!(
+            rec.counter_value("serve.soundness_violations"),
+            0,
+            "burst must stay violation-free ({workers} workers)"
+        );
+        rec.snapshot().keys()
+    };
+    assert_eq!(
+        run(1),
+        run(4),
+        "metric key sets diverged across worker configurations"
+    );
+}
+
 /// Random rank-preserving term over {E, R1, ¬, swap, ∧} — mirrors the
 /// qlhs property-test generator.
 fn rank2_term(rng: &mut SplitMix64, depth: usize) -> Term {
