@@ -10,6 +10,7 @@ pub mod analyze;
 pub mod diff;
 pub mod generic;
 pub mod meta;
+pub mod ra;
 pub mod s2;
 pub mod s3;
 pub mod s4;
@@ -33,6 +34,7 @@ pub fn ledger() -> Vec<CheckDef> {
     defs.extend(generic::defs());
     defs.extend(seminaive::defs());
     defs.extend(serve::defs());
+    defs.extend(ra::defs());
     defs
 }
 

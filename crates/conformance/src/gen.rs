@@ -10,6 +10,7 @@ use recdb_core::{
 };
 use recdb_hsdb::{FcfDatabase, FcfRel};
 use recdb_qlhs::{Prog, Term};
+use recdb_ra::{rel, RaExpr, RaProgram, RaSchema};
 
 /// Element window the random structures draw from (`0..WINDOW`).
 pub const WINDOW: u64 = 8;
@@ -231,6 +232,241 @@ pub fn random_tuples(rng: &mut SplitMix64, count: usize, rank: usize, window: u6
         .collect()
 }
 
+// ------------------------------------------------------------------
+// Relational-algebra programs (`recdb-ra`, ROADMAP item 3).
+// ------------------------------------------------------------------
+
+/// Attribute pool for [`random_ra_schema`]; deliberately small so
+/// independently generated operands actually share attribute names
+/// (natural joins that join, unions that align).
+const RA_ATTRS: [&str; 5] = ["a", "b", "c", "d", "e"];
+
+/// Shape knobs for [`random_ra_program`].
+#[derive(Clone, Copy, Debug)]
+pub struct RaShape {
+    /// Maximum expression depth per view/query body.
+    pub depth: usize,
+    /// Number of named views (`V0`, `V1`, …); each is visible as a
+    /// leaf to every later body including the query.
+    pub views: usize,
+    /// Select-against-constant values are drawn from `0..consts`
+    /// (keep ≥ 1, and ≤ the universe size so constants denote).
+    pub consts: u64,
+    /// Also wrap subexpressions in *bare* complements (outside a
+    /// guarding `diff`), so the stream mixes validator-accepted and
+    /// `RA05`-rejected programs. Draws **no** RNG when off:
+    /// guarded-only streams are unchanged.
+    pub free_complement: bool,
+}
+
+/// A random named-attribute schema: 2–3 relations of arity 1–3 over
+/// [`RA_ATTRS`], each declared in *random* column order so that
+/// base-relation lowering has to permute leaves into the compiler's
+/// sorted-attribute coordinate convention.
+pub fn random_ra_schema(rng: &mut SplitMix64) -> RaSchema {
+    let names = ["R", "S", "T"];
+    let n = 2 + rng.gen_usize(2);
+    let mut rels = Vec::new();
+    for name in names.iter().take(n) {
+        let arity = 1 + rng.gen_usize(3);
+        let mut pool: Vec<&str> = RA_ATTRS.to_vec();
+        rng.shuffle(&mut pool);
+        rels.push((name.to_string(), pool[..arity].to_vec()));
+    }
+    // Names and per-relation attributes are distinct by construction,
+    // so the sanitizing constructor changes nothing here.
+    RaSchema::sanitized(rels)
+}
+
+/// Leaves visible at a point in the program (base relations plus the
+/// views generated so far, each with its **sorted** attribute list)
+/// and a counter for fresh attribute names.
+struct RaCtx {
+    leaves: Vec<(String, Vec<String>)>,
+    fresh: usize,
+}
+
+impl RaCtx {
+    /// A program-unique attribute name outside [`RA_ATTRS`].
+    fn fresh_attr(&mut self) -> String {
+        self.fresh += 1;
+        format!("z{}", self.fresh)
+    }
+}
+
+/// Renames/projects `e` (attributes `from`, sorted) so its attribute
+/// set becomes exactly `to` (sorted, `|to| ≤ |from|`): positionally
+/// rename onto `to`, spill the surplus onto fresh names, then project
+/// the spill away. Used to align union/difference operands.
+fn ra_adapt(e: RaExpr, from: &[String], to: &[String], ctx: &mut RaCtx) -> RaExpr {
+    if from == to {
+        return e;
+    }
+    let mut pairs = Vec::new();
+    for (i, a) in from.iter().enumerate() {
+        if i < to.len() {
+            if a != &to[i] {
+                pairs.push((a.clone(), to[i].clone()));
+            }
+        } else {
+            pairs.push((a.clone(), ctx.fresh_attr()));
+        }
+    }
+    let e = if pairs.is_empty() { e } else { e.rename(pairs) };
+    if from.len() > to.len() {
+        e.project(to.to_vec())
+    } else {
+        e
+    }
+}
+
+/// A random well-typed expression, returned with its sorted attribute
+/// list. Well-typedness is by construction: selects and projections
+/// pick from the child's attributes, union/difference operands are
+/// [`ra_adapt`]ed onto a common attribute set, and complements are
+/// guarded (`e − ¬f`) unless [`RaShape::free_complement`] is on.
+fn random_ra_expr(
+    rng: &mut SplitMix64,
+    depth: usize,
+    shape: &RaShape,
+    ctx: &mut RaCtx,
+) -> (RaExpr, Vec<String>) {
+    let (mut e, attrs) = if depth == 0 {
+        let (name, attrs) = ctx.leaves[rng.gen_usize(ctx.leaves.len())].clone();
+        (rel(name), attrs)
+    } else {
+        match rng.gen_usize(7) {
+            // σ: equality between two attributes or against a constant.
+            0 => {
+                let (c, attrs) = random_ra_expr(rng, depth - 1, shape, ctx);
+                if attrs.is_empty() {
+                    (c, attrs)
+                } else if rng.gen_bool() {
+                    let x = attrs[rng.gen_usize(attrs.len())].clone();
+                    let y = attrs[rng.gen_usize(attrs.len())].clone();
+                    (c.select_eq(x, y), attrs)
+                } else {
+                    let x = attrs[rng.gen_usize(attrs.len())].clone();
+                    let v = rng.gen_range(0, shape.consts.max(1));
+                    (c.select_const(x, v), attrs)
+                }
+            }
+            // π: keep a random (possibly empty — rank 0) subset.
+            1 => {
+                let (c, attrs) = random_ra_expr(rng, depth - 1, shape, ctx);
+                let kept: Vec<String> = attrs.iter().filter(|_| rng.gen_bool()).cloned().collect();
+                (c.project(kept.clone()), kept)
+            }
+            // ρ: rename ≈ a third of the attributes, preferring pool
+            // names that can re-join downstream over fresh ones.
+            2 => {
+                let (c, attrs) = random_ra_expr(rng, depth - 1, shape, ctx);
+                let mut occupied: Vec<String> = attrs.clone();
+                let mut pairs = Vec::new();
+                let mut result = Vec::new();
+                for a in &attrs {
+                    if rng.gen_usize(3) == 0 {
+                        let free: Vec<&&str> = RA_ATTRS
+                            .iter()
+                            .filter(|p| !occupied.iter().any(|o| o == **p))
+                            .collect();
+                        let to = if !free.is_empty() && rng.gen_bool() {
+                            free[rng.gen_usize(free.len())].to_string()
+                        } else {
+                            ctx.fresh_attr()
+                        };
+                        occupied.push(to.clone());
+                        pairs.push((a.clone(), to.clone()));
+                        result.push(to);
+                    } else {
+                        result.push(a.clone());
+                    }
+                }
+                if pairs.is_empty() {
+                    (c, attrs)
+                } else {
+                    result.sort();
+                    (c.rename(pairs), result)
+                }
+            }
+            // ⋈: natural join; attributes are the sorted union.
+            3 => {
+                let (l, la) = random_ra_expr(rng, depth - 1, shape, ctx);
+                let (r, ra) = random_ra_expr(rng, depth - 1, shape, ctx);
+                let mut attrs: Vec<String> = la.iter().chain(ra.iter()).cloned().collect();
+                attrs.sort();
+                attrs.dedup();
+                (l.join(r), attrs)
+            }
+            // ∪ / −: adapt the wider operand onto the narrower one.
+            op @ (4 | 5) => {
+                let (l, la) = random_ra_expr(rng, depth - 1, shape, ctx);
+                let (r, ra) = random_ra_expr(rng, depth - 1, shape, ctx);
+                let (l, r, attrs) = if la.len() >= ra.len() {
+                    (ra_adapt(l, &la, &ra, ctx), r, ra)
+                } else {
+                    let r = ra_adapt(r, &ra, &la, ctx);
+                    (l, r, la)
+                };
+                if op == 4 {
+                    (l.union(r), attrs)
+                } else {
+                    (l.diff(r), attrs)
+                }
+            }
+            // e − ¬f: the guarded complement the validator admits.
+            _ => {
+                let (l, la) = random_ra_expr(rng, depth - 1, shape, ctx);
+                let (r, ra) = random_ra_expr(rng, depth - 1, shape, ctx);
+                let (l, r, attrs) = if la.len() >= ra.len() {
+                    (ra_adapt(l, &la, &ra, ctx), r, ra)
+                } else {
+                    let r = ra_adapt(r, &ra, &la, ctx);
+                    (l, r, la)
+                };
+                (l.diff(r.not()), attrs)
+            }
+        }
+    };
+    if shape.free_complement && rng.gen_usize(4) == 0 {
+        e = e.not();
+    }
+    (e, attrs)
+}
+
+/// A random well-typed RA program over `schema`: [`RaShape::views`]
+/// named views, then a query, each a [`random_ra_expr`]. With
+/// `free_complement` off every generated program passes the safety
+/// validator (all complements are difference-guarded); with it on the
+/// stream mixes accepted and `RA05`-rejected programs.
+pub fn random_ra_program(rng: &mut SplitMix64, schema: &RaSchema, shape: &RaShape) -> RaProgram {
+    let mut ctx = RaCtx {
+        leaves: schema
+            .rels()
+            .iter()
+            .map(|(n, a)| {
+                let mut sorted = a.clone();
+                sorted.sort();
+                (n.clone(), sorted)
+            })
+            .collect(),
+        fresh: 0,
+    };
+    let mut views = Vec::new();
+    for i in 0..shape.views {
+        let (body, attrs) = random_ra_expr(rng, shape.depth, shape, &mut ctx);
+        let name = format!("V{i}");
+        ctx.leaves.push((name.clone(), attrs));
+        views.push((name, body));
+    }
+    let (query, _) = random_ra_expr(rng, shape.depth, shape, &mut ctx);
+    let mut p = RaProgram::new(query);
+    for (name, body) in views {
+        p = p.with_view(name, body);
+    }
+    p
+}
+
 pub use recdb_qlhs::Permutation;
 
 #[cfg(test)]
@@ -265,6 +501,51 @@ mod tests {
             random_tuples(&mut a, 4, 2, WINDOW),
             random_tuples(&mut b, 4, 2, WINDOW)
         );
+    }
+
+    #[test]
+    fn ra_generator_yields_well_typed_guarded_programs() {
+        let mut rng = SplitMix64::seed_from_u64(11);
+        let shape = RaShape {
+            depth: 3,
+            views: 2,
+            consts: 4,
+            free_complement: false,
+        };
+        for _ in 0..50 {
+            let schema = random_ra_schema(&mut rng);
+            let p = random_ra_program(&mut rng, &schema, &shape);
+            recdb_ra::typecheck(&p, &schema).expect("well-typed by construction");
+            recdb_ra::validate(&p, &schema).expect("guarded streams are validator-accepted");
+        }
+    }
+
+    #[test]
+    fn ra_free_complement_mixes_accept_and_reject() {
+        // Alternate guarded and free rounds, the way `RA-SAFETY`
+        // consumes the generator: guarded rounds are accepted by
+        // construction, free rounds are overwhelmingly rejected.
+        let mut rng = SplitMix64::seed_from_u64(12);
+        let (mut accepted, mut rejected) = (0, 0);
+        for round in 0..60u32 {
+            let shape = RaShape {
+                depth: 3,
+                views: 1,
+                consts: 4,
+                free_complement: round.is_multiple_of(2),
+            };
+            let schema = random_ra_schema(&mut rng);
+            let p = random_ra_program(&mut rng, &schema, &shape);
+            recdb_ra::typecheck(&p, &schema).expect("still well-typed");
+            match recdb_ra::validate(&p, &schema) {
+                Ok(()) => accepted += 1,
+                Err(e) => {
+                    assert_eq!(e.code, "RA05");
+                    rejected += 1;
+                }
+            }
+        }
+        assert!(accepted >= 20 && rejected >= 10, "{accepted}/{rejected}");
     }
 
     #[test]

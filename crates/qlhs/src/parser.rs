@@ -81,7 +81,10 @@ impl SpanTable {
         self.spans.is_empty()
     }
 
-    fn insert(&mut self, path: NodePath, span: Span) {
+    /// Records a span for a node path. Public so sibling frontends
+    /// (the RA parser in `recdb-ra`) can reuse the same table type and
+    /// diagnostics plumbing instead of growing a parallel one.
+    pub fn insert(&mut self, path: NodePath, span: Span) {
         self.spans.insert(path, span);
     }
 }

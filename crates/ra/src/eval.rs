@@ -1,0 +1,358 @@
+//! Direct finite-model RA evaluator.
+//!
+//! This is the *specification* semantics the compiler is measured
+//! against: set-theoretic RA over an explicit finite domain, with no
+//! QL machinery involved. The conformance ledger's `RA-DIFF` check
+//! runs this evaluator against the compiled program under both
+//! `FinInterp` and `HsInterp` and demands byte-equality; `RA-SAFETY`
+//! runs it at two different domains and checks commutation with
+//! domain extension (DESIGN.md §10).
+//!
+//! The domain is a parameter — *not* read from the structure — so the
+//! same instance can be evaluated under an extended domain. Complement
+//! is complement within `domain^k`.
+
+use crate::ast::{Pred, RaExpr, RaProgram};
+use crate::diag::RaError;
+use crate::schema::{sort_perm, RaSchema};
+use recdb_core::{Elem, FiniteStructure, Tuple};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// An RA value: tuples over a sorted attribute list. Coordinate `i`
+/// is attribute `attrs[i]`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RaValue {
+    /// Sorted attribute names.
+    pub attrs: Vec<String>,
+    /// The tuples, each of rank `attrs.len()`.
+    pub tuples: BTreeSet<Tuple>,
+}
+
+impl RaValue {
+    /// The empty value over the given attributes.
+    pub fn empty(attrs: Vec<String>) -> Self {
+        RaValue {
+            attrs,
+            tuples: BTreeSet::new(),
+        }
+    }
+}
+
+/// Evaluates a typechecked program over `st`'s relations with the
+/// given active domain. The caller should have run
+/// [`typecheck`](crate::schema::typecheck) first; on ill-typed input
+/// evaluation reports the first typing defect it trips over instead.
+///
+/// # Errors
+/// `RA01`/`RA02`/`RA04` on unknown names, unknown attributes, or
+/// union/difference attribute mismatches (ill-typed input only —
+/// typechecked programs always evaluate).
+pub fn eval_program(
+    p: &RaProgram,
+    schema: &RaSchema,
+    st: &FiniteStructure,
+    domain: &[Elem],
+) -> Result<RaValue, RaError> {
+    recdb_obs::count("ra.eval.programs", 1);
+    let mut views: BTreeMap<String, RaValue> = BTreeMap::new();
+    for (name, body) in &p.views {
+        let v = eval_expr(body, schema, &views, st, domain)?;
+        views.insert(name.clone(), v);
+    }
+    eval_expr(&p.query, schema, &views, st, domain)
+}
+
+fn eval_expr(
+    e: &RaExpr,
+    schema: &RaSchema,
+    views: &BTreeMap<String, RaValue>,
+    st: &FiniteStructure,
+    domain: &[Elem],
+) -> Result<RaValue, RaError> {
+    Ok(match e {
+        RaExpr::Name(n) => {
+            if let Some(v) = views.get(n) {
+                return Ok(v.clone());
+            }
+            let i = schema.index_of(n).ok_or_else(|| {
+                RaError::new(
+                    "RA01",
+                    vec![],
+                    format!("unknown name {n:?} (typecheck first)"),
+                )
+            })?;
+            // Reorder declared columns into sorted-attribute order.
+            let decl = schema.attrs(i);
+            let positions = sort_perm(decl);
+            let attrs: Vec<String> = positions.iter().map(|&p| decl[p].clone()).collect();
+            let tuples = st
+                .relation(i)
+                .iter()
+                .map(|t| t.project(&positions))
+                .collect();
+            RaValue { attrs, tuples }
+        }
+        RaExpr::Select(pred, inner) => {
+            let v = eval_expr(inner, schema, views, st, domain)?;
+            let keep: Box<dyn Fn(&Tuple) -> bool> = match pred {
+                Pred::AttrEqAttr(a, b) => {
+                    let i = attr_pos(&v.attrs, a)?;
+                    let j = attr_pos(&v.attrs, b)?;
+                    Box::new(move |t: &Tuple| t.elems()[i] == t.elems()[j])
+                }
+                Pred::AttrEqConst(a, c) => {
+                    let i = attr_pos(&v.attrs, a)?;
+                    let c = Elem(*c);
+                    Box::new(move |t: &Tuple| t.elems()[i] == c)
+                }
+            };
+            RaValue {
+                attrs: v.attrs.clone(),
+                tuples: v.tuples.into_iter().filter(|t| keep(t)).collect(),
+            }
+        }
+        RaExpr::Project(keep, inner) => {
+            let v = eval_expr(inner, schema, views, st, domain)?;
+            let mut attrs: Vec<String> = keep.clone();
+            attrs.sort();
+            let positions: Vec<usize> = attrs
+                .iter()
+                .map(|a| attr_pos(&v.attrs, a))
+                .collect::<Result<_, _>>()?;
+            RaValue {
+                tuples: v.tuples.iter().map(|t| t.project(&positions)).collect(),
+                attrs,
+            }
+        }
+        RaExpr::Rename(pairs, inner) => {
+            let v = eval_expr(inner, schema, views, st, domain)?;
+            let renamed: Vec<String> = v
+                .attrs
+                .iter()
+                .map(|a| {
+                    pairs
+                        .iter()
+                        .find(|(from, _)| from == a)
+                        .map(|(_, to)| to.clone())
+                        .unwrap_or_else(|| a.clone())
+                })
+                .collect();
+            let positions = sort_perm(&renamed);
+            let attrs: Vec<String> = positions.iter().map(|&p| renamed[p].clone()).collect();
+            RaValue {
+                tuples: v.tuples.iter().map(|t| t.project(&positions)).collect(),
+                attrs,
+            }
+        }
+        RaExpr::Join(a, b) => {
+            let va = eval_expr(a, schema, views, st, domain)?;
+            let vb = eval_expr(b, schema, views, st, domain)?;
+            let mut attrs: Vec<String> = va.attrs.clone();
+            for x in &vb.attrs {
+                if !attrs.contains(x) {
+                    attrs.push(x.clone());
+                }
+            }
+            attrs.sort();
+            let pa: Vec<Option<usize>> = attrs
+                .iter()
+                .map(|x| va.attrs.iter().position(|y| y == x))
+                .collect();
+            let pb: Vec<Option<usize>> = attrs
+                .iter()
+                .map(|x| vb.attrs.iter().position(|y| y == x))
+                .collect();
+            let mut tuples = BTreeSet::new();
+            for ta in &va.tuples {
+                'next: for tb in &vb.tuples {
+                    let mut out = Vec::with_capacity(attrs.len());
+                    for (ia, ib) in pa.iter().zip(&pb) {
+                        let x = match (ia, ib) {
+                            (Some(i), Some(j)) => {
+                                if ta.elems()[*i] != tb.elems()[*j] {
+                                    continue 'next;
+                                }
+                                ta.elems()[*i]
+                            }
+                            (Some(i), None) => ta.elems()[*i],
+                            (None, Some(j)) => tb.elems()[*j],
+                            (None, None) => unreachable!("attr from neither side"),
+                        };
+                        out.push(x.value());
+                    }
+                    tuples.insert(Tuple::from_values(out));
+                }
+            }
+            RaValue { attrs, tuples }
+        }
+        RaExpr::Union(a, b) => {
+            let va = eval_expr(a, schema, views, st, domain)?;
+            let vb = eval_expr(b, schema, views, st, domain)?;
+            same_attrs(&va, &vb, "union")?;
+            RaValue {
+                attrs: va.attrs,
+                tuples: va.tuples.union(&vb.tuples).cloned().collect(),
+            }
+        }
+        RaExpr::Diff(a, b) => {
+            let va = eval_expr(a, schema, views, st, domain)?;
+            let vb = eval_expr(b, schema, views, st, domain)?;
+            same_attrs(&va, &vb, "diff")?;
+            RaValue {
+                attrs: va.attrs,
+                tuples: va.tuples.difference(&vb.tuples).cloned().collect(),
+            }
+        }
+        RaExpr::Not(inner) => {
+            let v = eval_expr(inner, schema, views, st, domain)?;
+            let k = v.attrs.len();
+            let mut tuples = BTreeSet::new();
+            let mut idx = vec![0usize; k];
+            loop {
+                let t = Tuple::from_values(idx.iter().map(|&i| domain[i].value()));
+                if !v.tuples.contains(&t) {
+                    tuples.insert(t);
+                }
+                // Odometer over domain^k; rank 0 yields exactly ().
+                let mut pos = k;
+                loop {
+                    if pos == 0 {
+                        return Ok(RaValue {
+                            attrs: v.attrs,
+                            tuples,
+                        });
+                    }
+                    pos -= 1;
+                    idx[pos] += 1;
+                    if idx[pos] < domain.len() {
+                        break;
+                    }
+                    idx[pos] = 0;
+                }
+            }
+        }
+    })
+}
+
+fn attr_pos(attrs: &[String], a: &str) -> Result<usize, RaError> {
+    attrs.iter().position(|x| x == a).ok_or_else(|| {
+        RaError::new(
+            "RA02",
+            vec![],
+            format!("unknown attribute #{a} (typecheck first)"),
+        )
+    })
+}
+
+fn same_attrs(a: &RaValue, b: &RaValue, what: &str) -> Result<(), RaError> {
+    if a.attrs == b.attrs {
+        Ok(())
+    } else {
+        Err(RaError::new(
+            "RA04",
+            vec![],
+            format!("{what} attribute mismatch (typecheck first)"),
+        ))
+    }
+}
+
+/// Convenience: typecheck-free attribute computation for callers that
+/// already hold a `Typed`. Re-exported for the conformance checks.
+pub fn program_attrs(
+    p: &RaProgram,
+    schema: &RaSchema,
+) -> Result<Vec<String>, crate::diag::RaError> {
+    crate::schema::typecheck(p, schema).map(|t| t.query_attrs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::rel;
+    use crate::schema::typecheck;
+    use recdb_core::Schema;
+
+    fn setup() -> (RaSchema, FiniteStructure) {
+        let schema = RaSchema::parse("R(a, b); S(b, c)").unwrap();
+        let st = FiniteStructure::new(
+            Schema::new([2, 2]),
+            (0..4).map(Elem),
+            vec![
+                [(0, 1), (1, 2), (0, 0)]
+                    .iter()
+                    .map(|&(x, y)| Tuple::from_values([x, y]))
+                    .collect(),
+                [(1, 3), (2, 3)]
+                    .iter()
+                    .map(|&(x, y)| Tuple::from_values([x, y]))
+                    .collect(),
+            ],
+        );
+        (schema, st)
+    }
+
+    fn run(p: &RaProgram) -> RaValue {
+        let (schema, st) = setup();
+        typecheck(p, &schema).unwrap();
+        let dom: Vec<Elem> = st.universe().to_vec();
+        eval_program(p, &schema, &st, &dom).unwrap()
+    }
+
+    #[test]
+    fn join_is_natural() {
+        let v = run(&RaProgram::new(rel("R").join(rel("S"))));
+        assert_eq!(v.attrs, ["a", "b", "c"]);
+        // R(0,1)·S(1,3) → (a=0,b=1,c=3); R(1,2)·S(2,3) → (1,2,3).
+        let expect: BTreeSet<Tuple> = [[0, 1, 3], [1, 2, 3]]
+            .iter()
+            .map(|t| Tuple::from_values(t.iter().copied()))
+            .collect();
+        assert_eq!(v.tuples, expect);
+    }
+
+    #[test]
+    fn select_and_project() {
+        let v = run(&RaProgram::new(rel("R").select_eq("a", "b").project(["a"])));
+        assert_eq!(v.attrs, ["a"]);
+        assert_eq!(v.tuples, BTreeSet::from([Tuple::from_values([0])]));
+    }
+
+    #[test]
+    fn guarded_negation_join() {
+        // Pairs of R whose (b)-column is NOT a source in S… via a
+        // guarded complement: R join not(project #b (S)).
+        let q = rel("R").join(rel("S").project(["b"]).not());
+        let v = run(&RaProgram::new(q));
+        assert_eq!(v.attrs, ["a", "b"]);
+        // S's b-column is {1, 2}; R tuples with b ∉ {1,2}: (0,0).
+        assert_eq!(v.tuples, BTreeSet::from([Tuple::from_values([0, 0])]));
+    }
+
+    #[test]
+    fn rename_reorders_columns() {
+        // rename b→z on R(a,b): attrs {a,z}, coordinates stay (a, old-b).
+        let v = run(&RaProgram::new(rel("R").rename([("b", "z")])));
+        assert_eq!(v.attrs, ["a", "z"]);
+        assert!(v.tuples.contains(&Tuple::from_values([0, 1])));
+        // rename a→z on R(a,b): attrs {b,z}, coordinates (old-b, old-a).
+        let v = run(&RaProgram::new(rel("R").rename([("a", "z")])));
+        assert_eq!(v.attrs, ["b", "z"]);
+        assert!(v.tuples.contains(&Tuple::from_values([1, 0])));
+    }
+
+    #[test]
+    fn views_chain() {
+        let p =
+            RaProgram::new(rel("V").select_const("a", 0)).with_view("V", rel("R").join(rel("S")));
+        let v = run(&p);
+        assert_eq!(v.attrs, ["a", "b", "c"]);
+        assert_eq!(v.tuples, BTreeSet::from([Tuple::from_values([0, 1, 3])]));
+    }
+
+    #[test]
+    fn empty_projection_is_boolean() {
+        let v = run(&RaProgram::new(rel("R").project::<[&str; 0], &str>([])));
+        assert_eq!(v.attrs, Vec::<String>::new());
+        assert_eq!(v.tuples, BTreeSet::from([Tuple::empty()]));
+    }
+}

@@ -1,0 +1,287 @@
+//! Range-restriction safety for RA expressions.
+//!
+//! A query is *adom-safe* when its result does not change if the
+//! ambient domain grows beyond the active domain — the property that
+//! makes the finite-slice semantics and the paper's domain-closed
+//! semantics agree, and the reason codd-style engines reject `Full`
+//! expressions outright. We compute two predicates by induction
+//! (DESIGN.md §10):
+//!
+//! * `bounded(e)` — the *value* of `e` is domain-independent;
+//! * `pointwise(e)` — *membership* of any active-domain tuple in `e`
+//!   is domain-independent (`bounded ⇒ pointwise`).
+//!
+//! | shape          | bounded                                     | pointwise  |
+//! |----------------|---------------------------------------------|------------|
+//! | name           | yes                                         | yes        |
+//! | `select`       | bounded(e)                                  | pointwise(e) |
+//! | `project`      | bounded(e)                                  | bounded(e) |
+//! | `rename`       | bounded(e)                                  | pointwise(e) |
+//! | `join(e, f)`   | both bounded; or one bounded ⊇-guarding a pointwise other | both pointwise |
+//! | `union`        | both bounded                                | both pointwise |
+//! | `diff(e, f)`   | bounded(e) ∧ pointwise(f)                   | both pointwise |
+//! | `not`          | no                                          | pointwise(e) |
+//!
+//! An expression is accepted iff its root is `bounded`. Acceptance is
+//! *sound* — every accepted expression commutes with domain extension
+//! (`RA-SAFETY` re-proves this differentially every conformance run) —
+//! but rejection is conservative: `diff(not(R), not(R))` denotes `∅`
+//! yet is rejected. Every complement must sit in a guarded position
+//! (joined under or subtracted from a bounded expression over at
+//! least the same attributes) or the validator points at it.
+
+use crate::ast::{RaExpr, RaProgram};
+use crate::diag::RaError;
+use crate::schema::{attrs_of, RaSchema};
+use std::collections::BTreeMap;
+
+/// The two safety predicates of one subexpression.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Flags {
+    /// Value is domain-independent.
+    pub bounded: bool,
+    /// Membership of adom tuples is domain-independent.
+    pub pointwise: bool,
+}
+
+impl Flags {
+    fn top() -> Flags {
+        Flags {
+            bounded: true,
+            pointwise: true,
+        }
+    }
+}
+
+/// Validates a whole program: every view and the query must be
+/// `bounded`. (A non-bounded view could never be materialized, so the
+/// per-view requirement loses no generality.)
+///
+/// # Errors
+/// `RA05` anchored at the unguarded complement (or at the offending
+/// binding's root when no complement is to blame); typing errors on
+/// ill-typed input (run [`typecheck`](crate::schema::typecheck) first
+/// for those to surface with better paths).
+pub fn validate(p: &RaProgram, schema: &RaSchema) -> Result<(), RaError> {
+    let mut view_flags: BTreeMap<String, Flags> = BTreeMap::new();
+    let mut view_attrs: BTreeMap<String, Vec<String>> = BTreeMap::new();
+    for (i, (name, body)) in p.views.iter().enumerate() {
+        let path = vec![i as u32];
+        let flags = check_bound(name, body, schema, &view_attrs, &view_flags, &path)?;
+        view_flags.insert(name.clone(), flags);
+        let attrs = attrs_of(body, schema, &view_attrs, &path)?;
+        view_attrs.insert(name.clone(), attrs);
+    }
+    check_bound(
+        "the query",
+        &p.query,
+        schema,
+        &view_attrs,
+        &view_flags,
+        &[p.views.len() as u32],
+    )
+    .map(|_| ())
+}
+
+/// Checks one top-level binding: computes flags and demands `bounded`.
+fn check_bound(
+    what: &str,
+    e: &RaExpr,
+    schema: &RaSchema,
+    view_attrs: &BTreeMap<String, Vec<String>>,
+    view_flags: &BTreeMap<String, Flags>,
+    path: &[u32],
+) -> Result<Flags, RaError> {
+    let flags = flags_of(e, schema, view_attrs, view_flags, path);
+    if flags.bounded {
+        Ok(flags)
+    } else {
+        recdb_obs::count("ra.safety.rejected", 1);
+        let at = first_complement(e, path).unwrap_or_else(|| path.to_vec());
+        Err(RaError::new(
+            "RA05",
+            at,
+            format!(
+                "unsafe expression: {what} is not range-restricted \
+                 (complement outside any bounded guard)"
+            ),
+        ))
+    }
+}
+
+/// The safety flags of one expression (no acceptance demand).
+pub fn flags_of(
+    e: &RaExpr,
+    schema: &RaSchema,
+    view_attrs: &BTreeMap<String, Vec<String>>,
+    view_flags: &BTreeMap<String, Flags>,
+    path: &[u32],
+) -> Flags {
+    let child = |i: u32| -> Vec<u32> {
+        let mut p = path.to_vec();
+        p.push(i);
+        p
+    };
+    let norm = |mut f: Flags| -> Flags {
+        f.pointwise |= f.bounded;
+        f
+    };
+    match e {
+        RaExpr::Name(n) => view_flags.get(n).copied().unwrap_or_else(Flags::top),
+        RaExpr::Select(_, inner) | RaExpr::Rename(_, inner) => {
+            flags_of(inner, schema, view_attrs, view_flags, &child(0))
+        }
+        RaExpr::Project(_, inner) => {
+            let f = flags_of(inner, schema, view_attrs, view_flags, &child(0));
+            // Membership in a projection asks for a witness extension —
+            // an existential over the domain — so pointwise demands a
+            // bounded body.
+            norm(Flags {
+                bounded: f.bounded,
+                pointwise: f.bounded,
+            })
+        }
+        RaExpr::Join(a, b) => {
+            let fa = flags_of(a, schema, view_attrs, view_flags, &child(0));
+            let fb = flags_of(b, schema, view_attrs, view_flags, &child(1));
+            // On ill-typed input the attribute sets degrade to empty
+            // and the guard check is moot — `typecheck` (or the
+            // `attrs_of` plumbing in `validate`) reports the real
+            // defect; this helper stays total.
+            let attrs =
+                |x: &RaExpr, i: u32| attrs_of(x, schema, view_attrs, &child(i)).unwrap_or_default();
+            // One bounded side guards a pointwise other iff it covers
+            // every attribute of the other (the join then only probes
+            // membership of adom tuples).
+            let guards = |bounded_side: &RaExpr, bi: u32, point_side: &RaExpr, pi: u32| -> bool {
+                let ba = attrs(bounded_side, bi);
+                attrs(point_side, pi).iter().all(|x| ba.contains(x))
+            };
+            let bounded = (fa.bounded && fb.bounded)
+                || (fa.bounded && fb.pointwise && guards(a, 0, b, 1))
+                || (fb.bounded && fa.pointwise && guards(b, 1, a, 0));
+            norm(Flags {
+                bounded,
+                pointwise: fa.pointwise && fb.pointwise,
+            })
+        }
+        RaExpr::Union(a, b) => {
+            let fa = flags_of(a, schema, view_attrs, view_flags, &child(0));
+            let fb = flags_of(b, schema, view_attrs, view_flags, &child(1));
+            norm(Flags {
+                bounded: fa.bounded && fb.bounded,
+                pointwise: fa.pointwise && fb.pointwise,
+            })
+        }
+        RaExpr::Diff(a, b) => {
+            let fa = flags_of(a, schema, view_attrs, view_flags, &child(0));
+            let fb = flags_of(b, schema, view_attrs, view_flags, &child(1));
+            norm(Flags {
+                bounded: fa.bounded && fb.pointwise,
+                pointwise: fa.pointwise && fb.pointwise,
+            })
+        }
+        RaExpr::Not(inner) => {
+            let f = flags_of(inner, schema, view_attrs, view_flags, &child(0));
+            norm(Flags {
+                bounded: false,
+                pointwise: f.pointwise,
+            })
+        }
+    }
+}
+
+/// Preorder-first `Not` node (complement is the sole source of
+/// unboundedness, so it is the natural blame anchor).
+fn first_complement(e: &RaExpr, path: &[u32]) -> Option<Vec<u32>> {
+    if matches!(e, RaExpr::Not(_)) {
+        return Some(path.to_vec());
+    }
+    for (i, c) in e.children().into_iter().enumerate() {
+        let mut p = path.to_vec();
+        p.push(i as u32);
+        if let Some(found) = first_complement(c, &p) {
+            return Some(found);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::rel;
+
+    fn schema() -> RaSchema {
+        RaSchema::parse("R(a, b); S(b, c)").unwrap()
+    }
+
+    fn ok(p: &RaProgram) -> bool {
+        validate(p, &schema()).is_ok()
+    }
+
+    #[test]
+    fn bare_complement_rejected() {
+        let p = RaProgram::new(rel("R").not());
+        let err = validate(&p, &schema()).unwrap_err();
+        assert_eq!(err.code, "RA05");
+        assert_eq!(err.path, vec![0], "anchored at the complement node");
+    }
+
+    #[test]
+    fn guarded_negation_accepted() {
+        // R ⋈ ¬π_b(S): the bounded side covers the complement's attrs.
+        assert!(ok(&RaProgram::new(
+            rel("R").join(rel("S").project(["b"]).not())
+        )));
+        // Difference guard: R ∖ ¬R.
+        assert!(ok(&RaProgram::new(rel("R").diff(rel("R").not()))));
+    }
+
+    #[test]
+    fn unguarded_join_complement_rejected() {
+        // ¬π_b(S) ⋈ ¬π_b(S): no bounded guard anywhere.
+        let e = rel("S")
+            .project(["b"])
+            .not()
+            .join(rel("S").project(["b"]).not());
+        let err = validate(&RaProgram::new(e), &schema()).unwrap_err();
+        assert_eq!(err.code, "RA05");
+        assert_eq!(err.path, vec![0, 0], "blames the first complement");
+    }
+
+    #[test]
+    fn join_guard_needs_attr_cover() {
+        // R(a,b) ⋈ ¬S(b,c): the complement brings attribute c that R
+        // does not cover — membership quantifies over fresh domain
+        // elements, so this must be rejected.
+        assert!(!ok(&RaProgram::new(rel("R").join(rel("S").not()))));
+    }
+
+    #[test]
+    fn projection_of_complement_is_not_pointwise() {
+        // R ⋈ π_b(¬S): projecting an unbounded set existentially
+        // quantifies the domain; rejected even though attrs fit.
+        let e = rel("R").join(rel("S").not().project(["b"]));
+        assert!(!ok(&RaProgram::new(e)));
+    }
+
+    #[test]
+    fn diff_under_complement_chain() {
+        // π_a(R) ∖ π_a(σ_{a=b} R) stays bounded.
+        let e = rel("R")
+            .project(["a"])
+            .diff(rel("R").select_eq("a", "b").project(["a"]));
+        assert!(ok(&RaProgram::new(e)));
+        // Conservative rejection: ¬R ∖ ¬R denotes ∅ but is refused.
+        assert!(!ok(&RaProgram::new(rel("R").not().diff(rel("R").not()))));
+    }
+
+    #[test]
+    fn views_carry_their_flags() {
+        // A view that is itself a guarded complement is fine to reuse.
+        let p = RaProgram::new(rel("V").join(rel("R")))
+            .with_view("V", rel("R").diff(rel("R").select_eq("a", "b")));
+        assert!(ok(&p));
+    }
+}

@@ -1,0 +1,412 @@
+//! Named-attribute schemas and the typechecker.
+//!
+//! An [`RaSchema`] declares base relations with *named* attributes —
+//! `R(a, b); S(b, c)` — on top of the positional [`Schema`] the QL
+//! stack uses. The typechecker assigns every expression its attribute
+//! set; throughout the crate an expression's attributes are kept in
+//! **sorted order**, and coordinate `i` of any value is the `i`-th
+//! sorted attribute (DESIGN.md §10). That convention is what lets the
+//! direct evaluator, the compiled `FinInterp` run, and the compiled
+//! `HsInterp` run agree byte-for-byte.
+
+use crate::ast::{Pred, RaExpr, RaProgram};
+use crate::diag::RaError;
+use recdb_core::Schema;
+use recdb_qlhs::ast::NodePath;
+use std::collections::BTreeMap;
+
+/// Base relations with named attributes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RaSchema {
+    rels: Vec<(String, Vec<String>)>,
+}
+
+impl RaSchema {
+    /// Builds a schema, validating name uniqueness.
+    ///
+    /// # Errors
+    /// Duplicate relation names, duplicate attributes within one
+    /// relation, empty attribute lists, or empty names.
+    pub fn new<I, S, A>(rels: I) -> Result<Self, String>
+    where
+        I: IntoIterator<Item = (S, Vec<A>)>,
+        S: Into<String>,
+        A: Into<String>,
+    {
+        let rels: Vec<(String, Vec<String>)> = rels
+            .into_iter()
+            .map(|(n, attrs)| (n.into(), attrs.into_iter().map(Into::into).collect()))
+            .collect();
+        let mut seen = std::collections::BTreeSet::new();
+        for (name, attrs) in &rels {
+            if name.is_empty() {
+                return Err("empty relation name".into());
+            }
+            if !seen.insert(name.clone()) {
+                return Err(format!("duplicate relation {name:?}"));
+            }
+            if attrs.is_empty() {
+                return Err(format!("relation {name:?} has no attributes"));
+            }
+            let mut attr_seen = std::collections::BTreeSet::new();
+            for a in attrs {
+                if a.is_empty() {
+                    return Err(format!("relation {name:?} has an empty attribute name"));
+                }
+                if !attr_seen.insert(a.clone()) {
+                    return Err(format!("relation {name:?} repeats attribute {a:?}"));
+                }
+            }
+        }
+        Ok(RaSchema { rels })
+    }
+
+    /// Like [`RaSchema::new`], but *repairs* instead of rejecting:
+    /// later duplicates of a relation name are dropped, duplicate or
+    /// empty attribute names within a relation are dropped, and
+    /// relations left with no attributes (or no name) are skipped.
+    /// Meant for generators whose inputs are distinct by construction
+    /// and that want a total API.
+    pub fn sanitized<I, S, A>(rels: I) -> Self
+    where
+        I: IntoIterator<Item = (S, Vec<A>)>,
+        S: Into<String>,
+        A: Into<String>,
+    {
+        let mut seen = std::collections::BTreeSet::new();
+        let mut out: Vec<(String, Vec<String>)> = Vec::new();
+        for (name, attrs) in rels {
+            let name: String = name.into();
+            if name.is_empty() || !seen.insert(name.clone()) {
+                continue;
+            }
+            let mut attr_seen = std::collections::BTreeSet::new();
+            let attrs: Vec<String> = attrs
+                .into_iter()
+                .map(Into::into)
+                .filter(|a| !a.is_empty() && attr_seen.insert(a.clone()))
+                .collect();
+            if attrs.is_empty() {
+                continue;
+            }
+            out.push((name, attrs));
+        }
+        RaSchema { rels: out }
+    }
+
+    /// Parses the compact form `R(a, b); S(b, c)`.
+    pub fn parse(src: &str) -> Result<Self, String> {
+        let mut rels = Vec::new();
+        for part in src.split(';') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let open = part
+                .find('(')
+                .ok_or_else(|| format!("expected '(' in {part:?}"))?;
+            let close = part
+                .rfind(')')
+                .ok_or_else(|| format!("expected ')' in {part:?}"))?;
+            if close < open {
+                return Err(format!("mismatched parens in {part:?}"));
+            }
+            let name = part[..open].trim().to_string();
+            let attrs: Vec<String> = part[open + 1..close]
+                .split(',')
+                .map(|a| a.trim().to_string())
+                .filter(|a| !a.is_empty())
+                .collect();
+            rels.push((name, attrs));
+        }
+        RaSchema::new(rels)
+    }
+
+    /// The declared relations, in declaration order.
+    pub fn rels(&self) -> &[(String, Vec<String>)] {
+        &self.rels
+    }
+
+    /// Index of a relation by name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.rels.iter().position(|(n, _)| n == name)
+    }
+
+    /// Attributes of relation `i`, in declaration order.
+    pub fn attrs(&self, i: usize) -> &[String] {
+        &self.rels[i].1
+    }
+
+    /// The positional [`Schema`] the QL stack sees: relation `i` has
+    /// arity `|attrs(i)|` and keeps its declared name.
+    pub fn core_schema(&self) -> Schema {
+        let names: Vec<&str> = self.rels.iter().map(|(n, _)| n.as_str()).collect();
+        let arities: Vec<usize> = self.rels.iter().map(|(_, a)| a.len()).collect();
+        Schema::with_names(&names, &arities)
+    }
+}
+
+impl std::fmt::Display for RaSchema {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for (i, (name, attrs)) in self.rels.iter().enumerate() {
+            if i > 0 {
+                write!(f, "; ")?;
+            }
+            write!(f, "{name}({})", attrs.join(", "))?;
+        }
+        Ok(())
+    }
+}
+
+/// The permutation that sorts `names`: entry `i` is the index in
+/// `names` of the `i`-th name in sorted order. Always a permutation of
+/// `0..names.len()`, whatever the input (stable on duplicates).
+pub(crate) fn sort_perm(names: &[String]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..names.len()).collect();
+    order.sort_by(|&i, &j| names[i].cmp(&names[j]));
+    order
+}
+
+/// A typechecked program: per-node attribute sets are recomputable,
+/// and the top-level bindings are recorded here.
+#[derive(Clone, Debug)]
+pub struct Typed {
+    /// Sorted attribute list of each view, by name.
+    pub views: BTreeMap<String, Vec<String>>,
+    /// Sorted attribute list of the query.
+    pub query_attrs: Vec<String>,
+}
+
+/// Typechecks a whole program.
+///
+/// # Errors
+/// `RA01`–`RA04` with the offending node's path.
+pub fn typecheck(p: &RaProgram, schema: &RaSchema) -> Result<Typed, RaError> {
+    let mut views: BTreeMap<String, Vec<String>> = BTreeMap::new();
+    for (i, (name, body)) in p.views.iter().enumerate() {
+        let path = vec![i as u32];
+        if schema.index_of(name).is_some() || views.contains_key(name) {
+            return Err(RaError::new(
+                "RA03",
+                path,
+                format!("view {name:?} collides with an existing name"),
+            ));
+        }
+        let attrs = attrs_of(body, schema, &views, &path)?;
+        views.insert(name.clone(), attrs);
+    }
+    let query_attrs = attrs_of(&p.query, schema, &views, &[p.views.len() as u32])?;
+    Ok(Typed { views, query_attrs })
+}
+
+/// The sorted attribute list of one expression. `path` addresses the
+/// expression node itself; children extend it by their child index.
+pub fn attrs_of(
+    e: &RaExpr,
+    schema: &RaSchema,
+    views: &BTreeMap<String, Vec<String>>,
+    path: &[u32],
+) -> Result<Vec<String>, RaError> {
+    let child = |i: u32| -> NodePath {
+        let mut p = path.to_vec();
+        p.push(i);
+        p
+    };
+    match e {
+        RaExpr::Name(n) => {
+            if let Some(attrs) = views.get(n) {
+                return Ok(attrs.clone());
+            }
+            match schema.index_of(n) {
+                Some(i) => {
+                    let mut attrs = schema.attrs(i).to_vec();
+                    attrs.sort();
+                    Ok(attrs)
+                }
+                None => Err(RaError::new(
+                    "RA01",
+                    path.to_vec(),
+                    format!("unknown relation or view {n:?}"),
+                )),
+            }
+        }
+        RaExpr::Select(pred, inner) => {
+            let attrs = attrs_of(inner, schema, views, &child(0))?;
+            let check = |a: &String| -> Result<(), RaError> {
+                if attrs.binary_search(a).is_ok() {
+                    Ok(())
+                } else {
+                    Err(RaError::new(
+                        "RA02",
+                        path.to_vec(),
+                        format!("selection mentions unknown attribute #{a}"),
+                    ))
+                }
+            };
+            match pred {
+                Pred::AttrEqAttr(a, b) => {
+                    check(a)?;
+                    check(b)?;
+                }
+                Pred::AttrEqConst(a, _) => check(a)?,
+            }
+            Ok(attrs)
+        }
+        RaExpr::Project(keep, inner) => {
+            let attrs = attrs_of(inner, schema, views, &child(0))?;
+            let mut out = Vec::new();
+            for a in keep {
+                if attrs.binary_search(a).is_err() {
+                    return Err(RaError::new(
+                        "RA02",
+                        path.to_vec(),
+                        format!("projection mentions unknown attribute #{a}"),
+                    ));
+                }
+                if out.contains(a) {
+                    return Err(RaError::new(
+                        "RA03",
+                        path.to_vec(),
+                        format!("projection repeats attribute #{a}"),
+                    ));
+                }
+                out.push(a.clone());
+            }
+            out.sort();
+            Ok(out)
+        }
+        RaExpr::Rename(pairs, inner) => {
+            let attrs = attrs_of(inner, schema, views, &child(0))?;
+            let mut from_seen = std::collections::BTreeSet::new();
+            let mut out = attrs.clone();
+            for (from, to) in pairs {
+                let Ok(i) = attrs.binary_search(from) else {
+                    return Err(RaError::new(
+                        "RA02",
+                        path.to_vec(),
+                        format!("rename mentions unknown attribute #{from}"),
+                    ));
+                };
+                if !from_seen.insert(from.clone()) {
+                    return Err(RaError::new(
+                        "RA03",
+                        path.to_vec(),
+                        format!("rename repeats source attribute #{from}"),
+                    ));
+                }
+                out[i] = to.clone();
+            }
+            let mut sorted = out.clone();
+            sorted.sort();
+            if sorted.windows(2).any(|w| w[0] == w[1]) {
+                let dup = sorted
+                    .windows(2)
+                    .find(|w| w[0] == w[1])
+                    .map(|w| w[0].clone())
+                    .unwrap_or_default();
+                return Err(RaError::new(
+                    "RA03",
+                    path.to_vec(),
+                    format!("rename produces duplicate attribute #{dup}"),
+                ));
+            }
+            Ok(sorted)
+        }
+        RaExpr::Join(a, b) => {
+            let la = attrs_of(a, schema, views, &child(0))?;
+            let lb = attrs_of(b, schema, views, &child(1))?;
+            let mut out = la;
+            for x in lb {
+                if !out.contains(&x) {
+                    out.push(x);
+                }
+            }
+            out.sort();
+            Ok(out)
+        }
+        RaExpr::Union(a, b) | RaExpr::Diff(a, b) => {
+            let la = attrs_of(a, schema, views, &child(0))?;
+            let lb = attrs_of(b, schema, views, &child(1))?;
+            if la != lb {
+                let op = if matches!(e, RaExpr::Union(..)) {
+                    "union"
+                } else {
+                    "diff"
+                };
+                return Err(RaError::new(
+                    "RA04",
+                    path.to_vec(),
+                    format!(
+                        "{op} operands have different attributes: {{{}}} vs {{{}}}",
+                        la.join(", "),
+                        lb.join(", ")
+                    ),
+                ));
+            }
+            Ok(la)
+        }
+        RaExpr::Not(inner) => attrs_of(inner, schema, views, &child(0)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::rel;
+
+    fn schema() -> RaSchema {
+        RaSchema::parse("R(a, b); S(b, c)").unwrap()
+    }
+
+    #[test]
+    fn schema_parse_roundtrip() {
+        let s = schema();
+        assert_eq!(s.to_string(), "R(a, b); S(b, c)");
+        assert_eq!(s.core_schema().arities(), &[2, 2]);
+        assert_eq!(s.core_schema().name(1), "S");
+    }
+
+    #[test]
+    fn schema_rejects_duplicates() {
+        assert!(RaSchema::parse("R(a, a)").is_err());
+        assert!(RaSchema::parse("R(a); R(b)").is_err());
+        assert!(RaSchema::parse("R()").is_err());
+    }
+
+    #[test]
+    fn join_unions_attrs_sorted() {
+        let p = RaProgram::new(rel("R").join(rel("S")));
+        let t = typecheck(&p, &schema()).unwrap();
+        assert_eq!(t.query_attrs, ["a", "b", "c"]);
+    }
+
+    #[test]
+    fn union_requires_equal_attrs() {
+        let p = RaProgram::new(rel("R").union(rel("S")));
+        let err = typecheck(&p, &schema()).unwrap_err();
+        assert_eq!(err.code, "RA04");
+        assert_eq!(err.path, vec![0]);
+    }
+
+    #[test]
+    fn unknown_names_point_at_the_leaf() {
+        let p = RaProgram::new(rel("R").join(rel("Q")));
+        let err = typecheck(&p, &schema()).unwrap_err();
+        assert_eq!(err.code, "RA01");
+        assert_eq!(err.path, vec![0, 1]);
+    }
+
+    #[test]
+    fn views_shadow_nothing() {
+        let p = RaProgram::new(rel("V")).with_view("R", rel("S"));
+        let err = typecheck(&p, &schema()).unwrap_err();
+        assert_eq!(err.code, "RA03");
+    }
+
+    #[test]
+    fn rename_collision_is_detected() {
+        let p = RaProgram::new(rel("R").rename([("a", "b")]));
+        let err = typecheck(&p, &schema()).unwrap_err();
+        assert_eq!(err.code, "RA03");
+    }
+}

@@ -1,0 +1,91 @@
+//! Span-table regression tests for the RA parser: comments butting up
+//! against end-of-input, `NodePath` addressing through nested views,
+//! and duplicate-attribute diagnostics landing on the right node.
+
+use recdb_ra::{parse_ra, parse_ra_with_spans, typecheck, RaSchema};
+
+#[test]
+fn trailing_comment_without_final_newline_parses() {
+    // The comment is the last thing in the file and there is no
+    // terminating '\n' for the lexer to stop on.
+    let p = parse_ra("R join S // tail comment").unwrap();
+    assert_eq!(p.query.to_string(), "(R join S)");
+
+    // Same, with the comment alone on the final line.
+    let p = parse_ra("R join S;\n// closing remark").unwrap();
+    assert_eq!(p.query.to_string(), "(R join S)");
+
+    // A view statement followed by an unterminated comment still
+    // needs a query: that is a parse error, not a panic.
+    assert!(parse_ra("V := R; // only a view").is_err());
+}
+
+#[test]
+fn spans_survive_an_eof_comment() {
+    let src = "project #a (R) // tail comment";
+    let (_, spans) = parse_ra_with_spans(src).unwrap();
+    let s0 = spans.get(&[0]).unwrap();
+    // The span covers the expression only, not the comment.
+    assert_eq!(&src[s0.start..s0.end], "project #a (R)");
+}
+
+#[test]
+fn nested_views_are_addressable_by_path() {
+    let src = "V := R join S;\nW := select #a = #b (V);\nW diff project #a, #b, #c (V)\n";
+    let (p, spans) = parse_ra_with_spans(src).unwrap();
+    assert_eq!(p.views.len(), 2);
+
+    // View statements at [0] and [1]: the root entry covers the whole
+    // `Name := expr;` statement.
+    let v = spans.get(&[0]).unwrap();
+    assert_eq!(&src[v.start..v.end], "V := R join S;");
+    assert_eq!(v.line_col(src), (1, 1));
+    let w = spans.get(&[1]).unwrap();
+    assert_eq!(&src[w.start..w.end], "W := select #a = #b (V);");
+    assert_eq!(w.line_col(src), (2, 1));
+
+    // Inside view 1: the select's child (the name V) at [1, 0].
+    let leaf = spans.get(&[1, 0]).unwrap();
+    assert_eq!(&src[leaf.start..leaf.end], "V");
+    assert_eq!(leaf.line_col(src), (2, 22));
+
+    // The query at [2]; its diff children at [2, 0] and [2, 1]; the
+    // projection's body at [2, 1, 0].
+    let q = spans.get(&[2]).unwrap();
+    assert_eq!(&src[q.start..q.end], "W diff project #a, #b, #c (V)");
+    let rhs = spans.get(&[2, 1]).unwrap();
+    assert_eq!(&src[rhs.start..rhs.end], "project #a, #b, #c (V)");
+    let body = spans.get(&[2, 1, 0]).unwrap();
+    assert_eq!(&src[body.start..body.end], "V");
+    assert_eq!(body.line_col(src), (3, 28));
+
+    // Paths below a recorded node fall back to the innermost
+    // recorded ancestor.
+    assert_eq!(spans.enclosing(&[2, 1, 0, 5]), Some(body));
+}
+
+#[test]
+fn duplicate_attribute_diagnostics_land_on_their_node() {
+    let schema = RaSchema::parse("R(a, b); S(b, c)").unwrap();
+
+    // A projection that repeats an attribute: RA03 at the projection
+    // node, resolvable to line:col through the span table.
+    let src = "V := R join S;\nproject #a, #a (V)\n";
+    let (p, spans) = parse_ra_with_spans(src).unwrap();
+    let err = typecheck(&p, &schema).unwrap_err();
+    assert_eq!(err.code, "RA03");
+    let span = spans.enclosing(&err.path).unwrap();
+    assert_eq!(&src[span.start..span.end], "project #a, #a (V)");
+    assert_eq!(span.line_col(src), (2, 1));
+
+    // A rename collision deep in a view: the diagnostic lands on the
+    // rename node inside the view body, not on the whole statement.
+    let src = "V := S join rename #a -> #b (R);\nV\n";
+    let (p, spans) = parse_ra_with_spans(src).unwrap();
+    let err = typecheck(&p, &schema).unwrap_err();
+    assert_eq!(err.code, "RA03");
+    assert_eq!(err.path, vec![0, 1]);
+    let span = spans.enclosing(&err.path).unwrap();
+    assert_eq!(&src[span.start..span.end], "rename #a -> #b (R)");
+    assert_eq!(span.line_col(src), (1, 13));
+}

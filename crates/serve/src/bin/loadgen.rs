@@ -49,9 +49,16 @@ enum Class {
     /// Fuel-mode program given a large budget — the heavy class the
     /// latency ratchet compares against admission-only requests.
     Heavy,
+    /// Relational-algebra query on `/v1/ra`: compiled server-side to
+    /// a cacheable straight-line program (constant selection ⇒ all
+    /// requests share one `Generic {fixed}` orbit).
+    RaExact,
+    /// Unsafe relational algebra (bare complement) — rejected by the
+    /// RA validator with `RA05` before compilation.
+    RaReject,
 }
 
-const CLASSES: [(Class, u32); 9] = [
+const CLASSES: [(Class, u32); 11] = [
     (Class::ExactOrbit, 25),
     (Class::ExactFresh, 15),
     (Class::FuelOk, 15),
@@ -61,6 +68,8 @@ const CLASSES: [(Class, u32); 9] = [
     (Class::Fcf, 5),
     (Class::FuelExhaust, 10),
     (Class::Heavy, 5),
+    (Class::RaExact, 7),
+    (Class::RaReject, 3),
 ];
 
 impl Class {
@@ -76,9 +85,17 @@ impl Class {
         Class::ExactOrbit
     }
 
+    /// The endpoint this class posts to.
+    fn path(self) -> &'static str {
+        match self {
+            Class::RaExact | Class::RaReject => "/v1/ra",
+            _ => "/v1/query",
+        }
+    }
+
     fn expected_status(self) -> u16 {
         match self {
-            Class::RejectDiverge | Class::RejectUnsafe => 422,
+            Class::RejectDiverge | Class::RejectUnsafe | Class::RaReject => 422,
             // Heavy burns a large fuel budget to completion of the
             // budget, not the program — preempted by design.
             Class::FuelExhaust | Class::Heavy => 408,
@@ -96,6 +113,8 @@ impl Class {
             Class::Fcf => "fcf",
             Class::FuelExhaust => "fuel_exhaust",
             Class::Heavy => "heavy",
+            Class::RaExact => "ra_exact",
+            Class::RaReject => "ra_reject",
         }
     }
 
@@ -154,8 +173,30 @@ impl Class {
                     r#"{{"program":"Y1 := R1;","db":{{"kind":"fcf","relations":[{{"cofinite":{{"arity":1,"exceptions":[[{k}]]}}}}]}}}}"#
                 )
             }
+            Class::RaExact => {
+                // One fixed 4-path, randomly relabeled by a
+                // permutation fixing the selected constant 0: every
+                // request stays in the `Generic {fixed:{0}}` orbit.
+                let p = Permutation::random(rng, 4);
+                let shift = |v: u64| p.apply(recdb_core::Elem(v)).value() + 1;
+                let edges: Vec<String> = (0..3u64)
+                    .map(|i| format!("[{},{}]", shift(i), shift(i + 1)))
+                    .collect();
+                ra_body(
+                    "select #x = 0 (E union rename #x -> #y, #y -> #x (E))",
+                    &edges.join(","),
+                )
+            }
+            Class::RaReject => ra_body("E union not (E)", "[0,1]"),
         }
     }
+}
+
+/// An `/v1/ra` body over the graph schema `E(x, y)`.
+fn ra_body(query: &str, edges: &str) -> String {
+    format!(
+        r#"{{"query":"{query}","schema":"E(x, y)","db":{{"kind":"finite","universe":[0,1,2,3,4],"relations":[{{"arity":2,"tuples":[{edges}]}}]}}}}"#
+    )
 }
 
 fn finite_query(program: &str, edges: &str, fuel: Option<u64>) -> String {
@@ -320,7 +361,7 @@ fn main() {
                 let class = Class::pick(&mut rng);
                 let body = class.body(&mut rng);
                 let t0 = Instant::now();
-                match post_once(addr, "/v1/query", &body) {
+                match post_once(addr, class.path(), &body) {
                     Ok(resp) => {
                         let ns = t0.elapsed().as_nanos() as u64;
                         if resp.body.contains("\"violation\"") {

@@ -437,6 +437,64 @@ fn push_tuple_json(s: &mut String, t: &Tuple) {
     s.push(']');
 }
 
+/// One `/v1/ra` request: a relational-algebra query, compiled to a
+/// straight-line QLhs program server-side and then executed exactly
+/// like a `/v1/query` program (same admission, same cache).
+#[derive(Clone, Debug)]
+pub struct RaRequest {
+    /// Opaque tenant label (metrics/log dimension only).
+    pub tenant: String,
+    /// The RA program, in `recdb-ra` concrete syntax.
+    pub query: String,
+    /// The named-attribute schema, compact form `R(a, b); S(b, c)`.
+    pub schema: String,
+    /// The finite slice to run against. RA's active-domain semantics
+    /// needs a materialized universe, so only `kind:"finite"`.
+    pub db: FiniteStructure,
+    /// Requested fuel budget (clamped to the server's maximum).
+    pub fuel: Option<u64>,
+    /// Opt out of the result cache for this request.
+    pub no_cache: bool,
+}
+
+impl RaRequest {
+    /// Decodes and validates a request body.
+    pub fn decode(body: &Json) -> Result<Self, BadRequest> {
+        let query = str_field(body, "query")?;
+        let schema = str_field(body, "schema")?;
+        let dbj = field(body, "db")?;
+        let db = match decode_db(dbj)? {
+            DbSpec::Finite(st) => st,
+            _ => return Err(bad("/v1/ra runs over finite slices only")),
+        };
+        let fuel = match body.get("fuel") {
+            None => None,
+            Some(f) => Some(
+                f.as_u64()
+                    .ok_or_else(|| bad("field \"fuel\" must be an integer"))?,
+            ),
+        };
+        let no_cache = match body.get("no_cache") {
+            None => false,
+            Some(b) => b
+                .as_bool()
+                .ok_or_else(|| bad("field \"no_cache\" must be a boolean"))?,
+        };
+        Ok(RaRequest {
+            tenant: body
+                .get("tenant")
+                .and_then(Json::as_str)
+                .unwrap_or("anonymous")
+                .to_string(),
+            query,
+            schema,
+            db,
+            fuel,
+            no_cache,
+        })
+    }
+}
+
 /// One `/v1/formula` request: an L⁻ query against a finite slice, plus
 /// the tuples whose membership is asked.
 #[derive(Clone, Debug)]

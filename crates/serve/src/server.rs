@@ -14,7 +14,9 @@ use crate::cache::{canonicalize_finite, CachedResult, ResultCache};
 use crate::exec::{run_scheduled, Budget, ExecEnd, GuardEval};
 use crate::http::{read_request, write_response, HttpError, ReadOutcome, Request};
 use crate::json::{esc, parse, Json};
-use crate::proto::{build_hs, fcf_result_json, result_json, DbSpec, FormulaRequest, QueryRequest};
+use crate::proto::{
+    build_hs, fcf_result_json, result_json, DbSpec, FormulaRequest, QueryRequest, RaRequest,
+};
 use recdb_analyze::{analyze_formula, Diagnostic};
 use recdb_core::{Elem, QueryOutcome};
 use recdb_hsdb::HsDatabase;
@@ -259,8 +261,12 @@ fn route(req: &Request, shared: &Shared, ws: &mut WorkerState) -> (u16, String) 
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/v1/health") => (200, "{\"status\":\"ok\"}".to_string()),
         ("POST", "/v1/query") => handle_query(&req.body, shared, ws),
+        ("POST", "/v1/ra") => handle_ra(&req.body, shared, ws),
         ("POST", "/v1/formula") => handle_formula(&req.body),
-        ("GET", "/v1/query") | ("GET", "/v1/formula") | ("POST", "/v1/health") => (
+        ("GET", "/v1/query")
+        | ("GET", "/v1/ra")
+        | ("GET", "/v1/formula")
+        | ("POST", "/v1/health") => (
             405,
             "{\"error\":\"method not allowed\",\"status\":\"error\"}".to_string(),
         ),
@@ -324,6 +330,12 @@ fn handle_query(body: &[u8], shared: &Shared, ws: &mut WorkerState) -> (u16, Str
         Ok(r) => r,
         Err(e) => return bad_request(&e.0),
     };
+    execute_query(&req, shared, ws)
+}
+
+/// Admission, cache participation, and execution for one decoded
+/// query — shared by `/v1/query` and (after RA compilation) `/v1/ra`.
+fn execute_query(req: &QueryRequest, shared: &Shared, ws: &mut WorkerState) -> (u16, String) {
     let dialect = req.db.dialect();
     let schema = match req.db.schema() {
         Ok(s) => s,
@@ -411,6 +423,114 @@ fn handle_query(body: &[u8], shared: &Shared, ws: &mut WorkerState) -> (u16, Str
             interp.set_seminaive(true);
             serve_fcf(&mut interp, dialect, &adm, shared, &mode)
         }
+    }
+}
+
+/// A 422 rejection in the `/v1/query` shape, with the RA diagnostic
+/// resolved to a line/col through the RA parser's span table.
+fn ra_rejection(
+    e: &recdb_ra::RaError,
+    source: &str,
+    spans: &recdb_qlhs::SpanTable,
+) -> (u16, String) {
+    recdb_obs::count("serve.ra.rejections", 1);
+    let mut d = format!(
+        "{{\"code\":\"{}\",\"severity\":\"error\",\"message\":\"{}\"",
+        e.code,
+        esc(&e.message)
+    );
+    if let Some(span) = spans.enclosing(&e.path) {
+        let (line, col) = span.line_col(source);
+        d.push_str(&format!(",\"line\":{line},\"col\":{col}"));
+    }
+    d.push('}');
+    let reason = if e.code == "RA05" {
+        "ra-unsafe"
+    } else {
+        "ra-type"
+    };
+    (
+        422,
+        format!("{{\"diagnostics\":[{d}],\"reasons\":[\"{reason}\"],\"status\":\"rejected\"}}"),
+    )
+}
+
+fn handle_ra(body: &[u8], shared: &Shared, ws: &mut WorkerState) -> (u16, String) {
+    let json = match decode_body(body) {
+        Ok(j) => j,
+        Err(resp) => return resp,
+    };
+    let req = match RaRequest::decode(&json) {
+        Ok(r) => r,
+        Err(e) => return bad_request(&e.0),
+    };
+    let schema = match recdb_ra::RaSchema::parse(&req.schema) {
+        Ok(s) => s,
+        Err(e) => return bad_request(&format!("bad schema: {e}")),
+    };
+    // The slice must have the schema's shape before anything runs.
+    let want: Vec<usize> = (0..schema.rels().len())
+        .map(|i| schema.attrs(i).len())
+        .collect();
+    let got: Vec<usize> = (0..req.db.schema().len())
+        .map(|i| req.db.schema().arity(i))
+        .collect();
+    if want != got {
+        return bad_request(&format!(
+            "schema/slice arity mismatch: schema {want:?}, slice {got:?}"
+        ));
+    }
+    let (prog, spans) = match recdb_ra::parse_ra_with_spans(&req.query) {
+        Ok(ok) => ok,
+        Err(e) => {
+            recdb_obs::count("serve.ra.rejections", 1);
+            let (line, col) = recdb_qlhs::Span {
+                start: e.at,
+                end: e.at + 1,
+            }
+            .line_col(&req.query);
+            return (
+                422,
+                format!(
+                    "{{\"diagnostics\":[{{\"code\":\"PARSE\",\"severity\":\"error\",\
+                     \"message\":\"{}\",\"line\":{line},\"col\":{col}}}],\
+                     \"reasons\":[\"parse-error\"],\"status\":\"rejected\"}}",
+                    esc(&e.msg)
+                ),
+            );
+        }
+    };
+    let compiled = match recdb_ra::typecheck(&prog, &schema)
+        .and_then(|_| recdb_ra::validate(&prog, &schema))
+        .and_then(|()| recdb_ra::compile_program(&prog, &schema))
+    {
+        Ok(c) => c,
+        Err(e) => return ra_rejection(&e, &req.query, &spans),
+    };
+    recdb_obs::count("serve.ra.queries", 1);
+    // From here the request is an ordinary straight-line QLhs query:
+    // render the compiled program and reuse the `/v1/query` path
+    // (admission, cache, execution) unchanged.
+    let qreq = QueryRequest {
+        tenant: req.tenant.clone(),
+        program: compiled.prog.to_string(),
+        db: DbSpec::Finite(req.db),
+        fuel: req.fuel,
+        no_cache: req.no_cache,
+    };
+    let (status, body) = execute_query(&qreq, shared, ws);
+    if status == 200 {
+        let attrs: Vec<String> = compiled
+            .attrs
+            .iter()
+            .map(|a| format!("\"{}\"", esc(a)))
+            .collect();
+        (
+            200,
+            format!("{{\"attrs\":[{}],{}", attrs.join(","), &body[1..]),
+        )
+    } else {
+        (status, body)
     }
 }
 

@@ -354,6 +354,105 @@ fn quantified_formulas_are_rejected_for_lminus() {
     assert_eq!(r.status, 422, "{}", r.body);
 }
 
+/// An `/v1/ra` body over the graph schema `E(x, y)`.
+fn ra_query(query: &str, edges: &str, extra: &str) -> String {
+    format!(
+        r#"{{"query":"{query}","schema":"E(x, y)","db":{{"kind":"finite","universe":[0,1,2,3,4],"relations":[{{"arity":2,"tuples":[{edges}]}}]}}{extra}}}"#
+    )
+}
+
+#[test]
+fn ra_endpoint_compiles_and_runs_end_to_end() {
+    let s = server();
+    let mut c = conn(&s);
+    // π_y(E ⋈ ρ_{x→y,y→z}(E)): targets of length-2 paths.
+    let r = c
+        .post(
+            "/v1/ra",
+            &ra_query(
+                "project #z (E join rename #x -> #y, #y -> #z (E))",
+                "[0,1],[1,2],[2,3]",
+                "",
+            ),
+        )
+        .unwrap();
+    assert_eq!(r.status, 200, "{}", r.body);
+    assert!(r.body.starts_with("{\"attrs\":[\"z\"],"), "{}", r.body);
+    assert!(r.body.contains("\"mode\":\"exact\""), "{}", r.body);
+    assert!(
+        r.body
+            .contains("\"result\":{\"rank\":1,\"tuples\":[[2],[3]]}"),
+        "{}",
+        r.body
+    );
+    assert_eq!(c.post("/v1/ra", "{}").unwrap().status, 400);
+    assert_eq!(c.get("/v1/ra").unwrap().status, 405);
+}
+
+#[test]
+fn ra_validator_rejection_is_422_with_span() {
+    let s = server();
+    let mut c = conn(&s);
+    // A bare complement: rejected at validation, never compiled.
+    let r = c
+        .post("/v1/ra", &ra_query("E union not (E)", "[0,1]", ""))
+        .unwrap();
+    assert_eq!(r.status, 422, "{}", r.body);
+    assert!(r.body.contains("\"code\":\"RA05\""), "{}", r.body);
+    assert!(r.body.contains("\"reasons\":[\"ra-unsafe\"]"), "{}", r.body);
+    assert!(
+        r.body.contains("\"line\":1,\"col\":9"),
+        "span resolves to the complement: {}",
+        r.body
+    );
+
+    // A type error: unknown attribute, rejected with its code.
+    let r = c
+        .post("/v1/ra", &ra_query("project #nope (E)", "[0,1]", ""))
+        .unwrap();
+    assert_eq!(r.status, 422, "{}", r.body);
+    assert!(r.body.contains("\"code\":\"RA02\""), "{}", r.body);
+    assert!(r.body.contains("\"reasons\":[\"ra-type\"]"), "{}", r.body);
+
+    // An RA parse error carries line/col too.
+    let r = c
+        .post("/v1/ra", &ra_query("project # (E)", "[0,1]", ""))
+        .unwrap();
+    assert_eq!(r.status, 422, "{}", r.body);
+    assert!(r.body.contains("\"code\":\"PARSE\""), "{}", r.body);
+}
+
+#[test]
+fn ra_compiled_queries_share_the_query_cache() {
+    let s = server();
+    let mut c = conn(&s);
+    // A constant selection compiles to a `Generic {fixed:{2}}`
+    // straight-line program: cacheable, keyed on the fixed orbit.
+    let q = || ra_query("select #x = 2 (E)", "[0,1],[2,3]", "");
+    let miss = c.post("/v1/ra", &q()).unwrap();
+    assert_eq!(miss.status, 200, "{}", miss.body);
+    assert!(miss.body.contains("\"cache\":\"miss\""), "{}", miss.body);
+    assert_eq!(s.cache_len(), 1);
+    let hit = c.post("/v1/ra", &q()).unwrap();
+    assert!(hit.body.contains("\"cache\":\"hit\""), "{}", hit.body);
+    assert!(
+        hit.body
+            .contains("\"result\":{\"rank\":2,\"tuples\":[[2,3]]}"),
+        "{}",
+        hit.body
+    );
+    assert_eq!(s.cache_len(), 1, "same compiled program, same key");
+
+    // Opting out bypasses the cache.
+    let off = c
+        .post(
+            "/v1/ra",
+            &ra_query("select #x = 2 (E)", "[0,1],[2,3]", ",\"no_cache\":true"),
+        )
+        .unwrap();
+    assert!(off.body.contains("\"cache\":\"off\""), "{}", off.body);
+}
+
 #[test]
 fn concurrent_mixed_load_is_fully_consistent() {
     let s = Server::start(ServeConfig {

@@ -25,11 +25,28 @@
 //! `examples/` and `tests/` are analyzed too, report-only: they follow
 //! whatever schema their test fabricates, so only the JSON report —
 //! the CI artifact — records their diagnostics.
+//!
+//! `examples/programs/*.ra` is the relational-algebra half of the
+//! corpus (DESIGN.md §10). Each file carries the CLI's
+//! `// ra: schema=…` directive plus a `// VERDICT:` pin on the whole
+//! check/compile pipeline:
+//!
+//! ```text
+//! // ra: schema=E(x, y)
+//! // VERDICT: accept
+//! project #z (E join rename #x -> #y, #y -> #z (E))
+//! ```
+//!
+//! `accept` means the program typechecks, passes range-restriction
+//! validation, compiles, and the lowered QLhs program clears
+//! `analyze_full` admission as `Safe`; `reject=RAxx` means the
+//! pipeline stops with exactly that diagnostic code.
 
 use crate::scan;
 use recdb_analyze::{analyze_full, analyze_prog, GenericityVerdict, Severity, Verdict};
 use recdb_core::Schema;
 use recdb_qlhs::{classify, parse_program, parse_program_with_spans, Dialect};
+use recdb_ra::{compile_program, parse_ra_with_spans, typecheck, validate, RaSchema};
 use std::fmt::Write as _;
 use std::path::Path;
 
@@ -92,6 +109,64 @@ fn parse_directives(src: &str) -> Result<Directives, String> {
         }
     }
     Ok(d)
+}
+
+/// The `// VERDICT:` pin of an `.ra` corpus file: `accept`, or
+/// `reject=RAxx` naming the diagnostic the pipeline must stop with.
+fn parse_ra_verdict(src: &str) -> Result<Option<String>, String> {
+    for line in src.lines() {
+        if let Some(rest) = line.trim().strip_prefix("// VERDICT:") {
+            let v = rest.trim();
+            let is_reject = v
+                .strip_prefix("reject=")
+                .is_some_and(|c| c.starts_with("RA"));
+            if v != "accept" && !is_reject {
+                return Err(format!("unknown ra verdict `{v}`"));
+            }
+            return Ok(Some(v.to_string()));
+        }
+    }
+    Ok(None)
+}
+
+/// Pulls `// ra: schema=…` out of the source — the same directive the
+/// `ra` CLI honors.
+fn ra_directive_schema(src: &str) -> Option<String> {
+    src.lines().find_map(|l| {
+        l.trim()
+            .strip_prefix("// ra:")
+            .and_then(|rest| rest.trim().strip_prefix("schema="))
+            .map(|s| s.trim().to_string())
+    })
+}
+
+/// What the frontend actually says about `src`: `accept` or
+/// `reject=RAxx` at the first failing stage, mirroring the `ra` CLI
+/// pipeline. An accepted program must also compile and its lowering
+/// must clear `analyze_full` admission — the claim `/v1/ra` and the
+/// `RA-DIFF` ledger check rest on — so drift there is a hard error,
+/// not a verdict.
+fn ra_outcome(src: &str, schema: &RaSchema) -> Result<String, String> {
+    let prog = match parse_ra_with_spans(src) {
+        Ok((p, _spans)) => p,
+        Err(e) => return Err(format!("parse error at byte {}: {}", e.at, e.msg)),
+    };
+    if let Err(e) = typecheck(&prog, schema) {
+        return Ok(format!("reject={}", e.code));
+    }
+    if let Err(e) = validate(&prog, schema) {
+        return Ok(format!("reject={}", e.code));
+    }
+    let compiled = compile_program(&prog, schema)
+        .map_err(|e| format!("validated program failed to compile: {e}"))?;
+    let full = analyze_full(&compiled.prog, &schema.core_schema(), Dialect::Qlhs);
+    if full.safety.verdict != Verdict::Safe {
+        return Err(format!(
+            "lowering analyzes {}, not Safe",
+            full.safety.verdict
+        ));
+    }
+    Ok("accept".to_string())
 }
 
 fn json_escape(s: &str) -> String {
@@ -251,6 +326,74 @@ pub fn run(root: &Path, report_path: Option<&Path>) -> bool {
         ));
     }
 
+    // The relational-algebra half: `.ra` files under the same
+    // directory, pinned by `// VERDICT:` directives.
+    let mut ra_files: Vec<_> = std::fs::read_dir(&programs_dir)
+        .map(|es| {
+            es.flatten()
+                .map(|e| e.path())
+                .filter(|p| p.extension().is_some_and(|x| x == "ra"))
+                .collect()
+        })
+        .unwrap_or_default();
+    ra_files.sort();
+    if ra_files.is_empty() {
+        eprintln!("corpus: no .ra files under {}", programs_dir.display());
+        ok = false;
+    }
+    let mut ra_rows = Vec::new();
+    for path in &ra_files {
+        let name = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let src = std::fs::read_to_string(path).unwrap_or_default();
+        let expect = match parse_ra_verdict(&src) {
+            Ok(Some(v)) => v,
+            Ok(None) => {
+                eprintln!("corpus: {name}: missing `// VERDICT:` directive");
+                ok = false;
+                continue;
+            }
+            Err(e) => {
+                eprintln!("corpus: {name}: {e}");
+                ok = false;
+                continue;
+            }
+        };
+        let Some(schema_src) = ra_directive_schema(&src) else {
+            eprintln!("corpus: {name}: missing `// ra: schema=…` directive");
+            ok = false;
+            continue;
+        };
+        let schema = match RaSchema::parse(&schema_src) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("corpus: {name}: bad schema: {e}");
+                ok = false;
+                continue;
+            }
+        };
+        let got = match ra_outcome(&src, &schema) {
+            Ok(g) => g,
+            Err(e) => {
+                eprintln!("corpus: {name}: {e}");
+                ok = false;
+                continue;
+            }
+        };
+        if got != expect {
+            eprintln!("corpus: {name}: expected `{expect}`, frontend says `{got}`");
+            ok = false;
+        }
+        ra_rows.push(format!(
+            "    {{\"file\": \"{}\", \"verdict\": \"{}\"}}",
+            json_escape(&name),
+            json_escape(&got)
+        ));
+    }
+
     // Report-only: program literals embedded in examples and tests.
     for dir in ["examples", "tests"] {
         for file in scan::rust_files(&root.join(dir)) {
@@ -283,8 +426,9 @@ pub fn run(root: &Path, report_path: Option<&Path>) -> bool {
 
     if let Some(path) = report_path {
         let report = format!(
-            "{{\n  \"schema\": \"ANALYZE_CORPUS/v1\",\n  \"files\": [\n{}\n  ],\n  \"literals\": [\n{}\n  ]\n}}\n",
+            "{{\n  \"schema\": \"ANALYZE_CORPUS/v2\",\n  \"files\": [\n{}\n  ],\n  \"ra\": [\n{}\n  ],\n  \"literals\": [\n{}\n  ]\n}}\n",
             file_rows.join(",\n"),
+            ra_rows.join(",\n"),
             literal_rows.join(",\n")
         );
         if let Err(e) = std::fs::write(path, report) {
@@ -296,8 +440,10 @@ pub fn run(root: &Path, report_path: Option<&Path>) -> bool {
     }
     if ok {
         println!(
-            "corpus: OK — {} corpus file(s), {} embedded literal(s) analyzed",
+            "corpus: OK — {} corpus file(s) ({} .ql + {} .ra), {} embedded literal(s) analyzed",
+            ql_files.len() + ra_files.len(),
             ql_files.len(),
+            ra_files.len(),
             literal_rows.len()
         );
     }

@@ -253,6 +253,15 @@ fn serve_burst(addr: std::net::SocketAddr) -> Vec<(u16, String)> {
         let r = post_once(addr, "/v1/query", body).expect("query round trip");
         out.push((r.status, r.body));
     }
+    // The RA endpoint: one accepted compile-and-run, one RA05
+    // rejection — `serve.ra.queries` and `serve.ra.rejections` fire.
+    for q in ["project #y (E)", "E union not (E)"] {
+        let body = format!(
+            r#"{{"query":"{q}","schema":"E(x, y)","db":{{"kind":"finite","universe":[0,1,2],"relations":[{{"arity":2,"tuples":[[0,1]]}}]}},"no_cache":true}}"#
+        );
+        let r = post_once(addr, "/v1/ra", &body).expect("ra round trip");
+        out.push((r.status, r.body));
+    }
     let r = post_once(
         addr,
         "/v1/formula",
@@ -338,6 +347,67 @@ fn serve_metric_key_sets_match_across_worker_shards() {
         run(4),
         "metric key sets diverged across worker configurations"
     );
+}
+
+// --- relational-algebra frontend (ISSUE 8, satellite 4) ---
+
+/// RA compile + evaluate burst: the `ra.compile.*`, `ra.eval.*`, and
+/// `ra.safety.*` instruments are a pure side channel. A fixed seeded
+/// mix of validator-accepted and RA05-rejected programs is compiled,
+/// directly evaluated, and (when accepted) run through `FinInterp` —
+/// all outcomes bit-identical recorder on/off.
+#[test]
+fn ra_compile_eval_burst_invariant_under_recorder() {
+    let _g = serial();
+    use recdb_conformance::gen::{random_ra_program, random_ra_schema, random_tuples, RaShape};
+    use recdb_core::Elem;
+    use std::collections::BTreeSet;
+    let mut rng = rng_for("ra_compile_eval_burst_invariant_under_recorder");
+    let shape = RaShape {
+        depth: 3,
+        views: 2,
+        consts: 3,
+        free_complement: true,
+    };
+    // Pre-draw the burst so all three recorder configurations replay
+    // the identical programs and slices.
+    let mut cases = Vec::new();
+    for _ in 0..10 {
+        let schema = random_ra_schema(&mut rng);
+        let universe: Vec<Elem> = (0..4).map(Elem).collect();
+        let rels: Vec<BTreeSet<recdb_core::Tuple>> = (0..schema.rels().len())
+            .map(|i| {
+                random_tuples(&mut rng, 6, schema.attrs(i).len(), 4)
+                    .into_iter()
+                    .collect()
+            })
+            .collect();
+        let st = FiniteStructure::new(schema.core_schema(), universe, rels);
+        let p = random_ra_program(&mut rng, &schema, &shape);
+        cases.push((schema, st, p));
+    }
+    invariant_under_recorder("ra_burst", || {
+        cases
+            .iter()
+            .map(|(schema, st, p)| {
+                let direct = recdb_ra::eval_program(p, schema, st, st.universe())
+                    .expect("generator programs are well-typed");
+                let compiled = recdb_ra::compile_program(p, schema);
+                let run = compiled.as_ref().ok().map(|c| {
+                    FinInterp::new(st)
+                        .run(&c.prog, &mut Fuel::new(1_000_000))
+                        .expect("straight-line programs are total")
+                });
+                (
+                    direct.tuples,
+                    compiled
+                        .map(|c| (c.prog.to_string(), c.attrs))
+                        .map_err(|e| e.to_string()),
+                    run,
+                )
+            })
+            .collect::<Vec<_>>()
+    });
 }
 
 /// Random rank-preserving term over {E, R1, ¬, swap, ∧} — mirrors the
