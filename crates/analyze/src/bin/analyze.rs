@@ -11,6 +11,9 @@
 //!   --schema A1,A2,...       relation arities (default: 2)
 //!   --generic                also run the genericity and termination
 //!                            passes and print their verdicts
+//!   --cost                   also print the cost pass's cardinality
+//!                            and work bounds (per statement and
+//!                            whole-program)
 //!   --format text|json       output format (default: text). JSON is
 //!                            machine-readable ANALYZE-CLI/v1 with
 //!                            diagnostics in stable (path, code) order
@@ -23,7 +26,7 @@
 //! usage/parse failures.
 
 use recdb_analyze::{
-    analyze_formula, analyze_full, Diagnostic, GenericityVerdict, LoopBound, Severity,
+    analyze_formula, analyze_full, CostVerdict, Diagnostic, GenericityVerdict, LoopBound, Severity,
     TerminationVerdict, Verdict,
 };
 use recdb_core::Schema;
@@ -46,12 +49,13 @@ struct Opts {
     formula: bool,
     lminus: bool,
     generic: bool,
+    cost: bool,
     format: Format,
     metrics_out: Option<String>,
 }
 
 fn usage() -> String {
-    "usage: analyze [--formula] [--lminus] [--generic] [--dialect ql|qlhs|qlf+] \
+    "usage: analyze [--formula] [--lminus] [--generic] [--cost] [--dialect ql|qlhs|qlf+] \
      [--schema A1,A2,...] [--format text|json] [--metrics-out PATH] FILE|-"
         .to_string()
 }
@@ -64,6 +68,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         formula: false,
         lminus: false,
         generic: false,
+        cost: false,
         format: Format::Text,
         metrics_out: None,
     };
@@ -74,6 +79,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             "--formula" => opts.formula = true,
             "--lminus" => opts.lminus = true,
             "--generic" => opts.generic = true,
+            "--cost" => opts.cost = true,
             "--format" => {
                 let v = it
                     .next()
@@ -176,6 +182,7 @@ fn diag_json(d: &Diagnostic, src: &str, spans: &recdb_qlhs::SpanTable) -> String
 /// Renders the whole program analysis as one ANALYZE-CLI/v1 JSON
 /// document. Diagnostics are sorted by (path, code, message) so the
 /// output is stable across runs and refactors of emission order.
+#[allow(clippy::too_many_arguments)] // one row per CLI rendering input
 fn report_json(
     name: &str,
     dialect: Dialect,
@@ -184,6 +191,7 @@ fn report_json(
     src: &str,
     spans: &recdb_qlhs::SpanTable,
     generic: bool,
+    cost: bool,
 ) -> String {
     let mut sorted: Vec<&Diagnostic> = diags.to_vec();
     sorted.sort_by(|a, b| (&a.path, a.code, &a.message).cmp(&(&b.path, b.code, &b.message)));
@@ -250,6 +258,38 @@ fn report_json(
             })
             .collect();
         out.push_str(&format!(", \"loops\": [{}]", loop_rows.join(", ")));
+        out.push_str("},\n");
+    }
+    if cost {
+        let c = &analysis.cost;
+        out.push_str("  \"cost\": {");
+        match &c.verdict {
+            CostVerdict::Bounded { cardinality, work } => out.push_str(&format!(
+                "\"verdict\": \"bounded\", \"cardinality\": \"{}\", \"work\": \"{}\"",
+                json_escape(&cardinality.to_string()),
+                json_escape(&work.to_string())
+            )),
+            CostVerdict::Unbounded => out.push_str("\"verdict\": \"unbounded\""),
+        }
+        let stmt_rows: Vec<String> = c
+            .stmts
+            .iter()
+            .map(|s| {
+                let path = s
+                    .path
+                    .iter()
+                    .map(|i| i.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                format!(
+                    "{{\"path\": [{path}], \"executions\": {}, \"cardinality\": \"{}\", \"work\": \"{}\"}}",
+                    s.executions,
+                    json_escape(&s.cardinality.to_string()),
+                    json_escape(&s.work.to_string())
+                )
+            })
+            .collect();
+        out.push_str(&format!(", \"stmts\": [{}]", stmt_rows.join(", ")));
         out.push_str("},\n");
     }
     if diag_rows.is_empty() {
@@ -321,10 +361,22 @@ fn run(opts: &Opts) -> Result<bool, String> {
         diags.extend(full.termination.diagnostics.iter());
         diags.extend(full.genericity.diagnostics.iter());
     }
+    if opts.cost {
+        diags.extend(full.cost.diagnostics.iter());
+    }
     if opts.format == Format::Json {
         print!(
             "{}",
-            report_json(name, dialect, &full, &diags, &src, &spans, opts.generic)
+            report_json(
+                name,
+                dialect,
+                &full,
+                &diags,
+                &src,
+                &spans,
+                opts.generic,
+                opts.cost
+            )
         );
     } else {
         for d in &diags {
@@ -348,6 +400,15 @@ fn run(opts: &Opts) -> Result<bool, String> {
         if opts.generic {
             println!("{name}: genericity: {}", full.genericity.verdict);
             println!("{name}: termination: {}", full.termination.verdict);
+        }
+        if opts.cost {
+            println!("{name}: cost: {}", full.cost.verdict);
+            for s in &full.cost.stmts {
+                println!(
+                    "{name}:   stmt {:?}: ≤{} execution(s), |value| ≤ {}, work ≤ {}",
+                    s.path, s.executions, s.cardinality, s.work
+                );
+            }
         }
     }
     let errors = diags

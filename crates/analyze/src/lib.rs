@@ -31,6 +31,7 @@
 
 #![warn(missing_docs)]
 
+pub mod cost;
 pub mod delta;
 pub mod diag;
 pub mod generic;
@@ -40,6 +41,7 @@ pub mod rank;
 pub mod simplify;
 pub mod terminate;
 
+pub use cost::{analyze_cost, Bound, CostAnalysis, CostEnv, CostVerdict, Poly, StmtCost};
 pub use delta::{analyze_delta, DeltaAnalysis, LoopDelta};
 pub use diag::{Code, Diagnostic, Severity};
 pub use generic::{analyze_genericity, GenericAnalysis, GenericityVerdict};
@@ -64,6 +66,8 @@ pub struct FullAnalysis {
     pub genericity: GenericAnalysis,
     /// Per-loop semi-naive eligibility ([`analyze_delta`]).
     pub delta: DeltaAnalysis,
+    /// Cardinality and work upper bounds ([`analyze_cost`]).
+    pub cost: CostAnalysis,
 }
 
 /// Runs all three program analyses on `p`.
@@ -76,10 +80,12 @@ pub fn analyze_full(
     let termination = analyze_termination(p, schema, dialect, &safety);
     let genericity = analyze_genericity(p, schema, dialect, &safety, &termination);
     let delta = analyze_delta(p);
+    let cost = analyze_cost(p, schema, dialect, &safety, &termination);
     FullAnalysis {
         safety,
         termination,
         genericity,
         delta,
+        cost,
     }
 }

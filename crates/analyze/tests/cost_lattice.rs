@@ -1,0 +1,170 @@
+//! Algebraic laws of the §11 cost lattice (ISSUE 9, satellite 3): the
+//! polynomial bounds form a join-semilattice with monotone `add`/`mul`
+//! composition, `⊤` is absorbing, and evaluation is a semiring
+//! homomorphism into saturating `u64`. The whole-program half checks
+//! bound *composition*: sequencing adds work, nesting multiplies it by
+//! the proved iteration count.
+
+use recdb_analyze::{analyze_full, Bound, CostEnv, CostVerdict, Poly};
+use recdb_core::{fnv1a, Schema, SplitMix64};
+use recdb_qlhs::{parse_program, Dialect};
+
+/// Fixed ledger seed (`recdb_conformance::DEFAULT_SEED`).
+const SEED: u64 = 0x5ecd_eb0a;
+
+/// A small pool of structurally distinct polynomials to quantify the
+/// laws over: constants, the base symbol, relation symbols, and seeded
+/// sums/products of those.
+fn pool(rng: &mut SplitMix64) -> Vec<Poly> {
+    let atoms = [
+        Poly::zero(),
+        Poly::constant(1),
+        Poly::constant(7),
+        Poly::base(),
+        Poly::rel(0),
+        Poly::rel(1),
+    ];
+    let mut out = atoms.to_vec();
+    for _ in 0..10 {
+        let a = &atoms[rng.gen_usize(atoms.len())];
+        let b = &atoms[rng.gen_usize(atoms.len())];
+        out.push(if rng.gen_bool() { a.add(b) } else { a.mul(b) });
+    }
+    out
+}
+
+fn envs() -> Vec<CostEnv> {
+    vec![
+        CostEnv::new(0, vec![0, 0]),
+        CostEnv::new(1, vec![1, 1]),
+        CostEnv::new(4, vec![2, 9]),
+        CostEnv::new(17, vec![0, 5]),
+    ]
+}
+
+/// `join` is a least upper bound pointwise on every valuation:
+/// commutative, idempotent, dominating both arguments.
+#[test]
+fn join_is_an_upper_bound() {
+    let mut rng = SplitMix64::seed_from_u64(fnv1a("join_is_an_upper_bound") ^ SEED);
+    let ps = pool(&mut rng);
+    for a in &ps {
+        for b in &ps {
+            let j = a.join(b);
+            assert_eq!(j, b.join(a), "join must be commutative: {a} vs {b}");
+            assert_eq!(a.join(a), *a, "join must be idempotent: {a}");
+            for env in &envs() {
+                assert!(
+                    j.eval(env) >= a.eval(env) && j.eval(env) >= b.eval(env),
+                    "join({a}, {b}) = {j} fell below an argument at {env:?}"
+                );
+            }
+        }
+    }
+}
+
+/// `add` and `mul` are monotone in each argument through `join` — the
+/// property the transfer functions rely on when widening loop bodies.
+#[test]
+fn composition_is_monotone() {
+    let mut rng = SplitMix64::seed_from_u64(fnv1a("composition_is_monotone") ^ SEED);
+    let ps = pool(&mut rng);
+    for a in &ps {
+        for b in &ps {
+            let upper = a.join(b);
+            for c in &ps {
+                for env in &envs() {
+                    assert!(
+                        upper.add(c).eval(env) >= a.add(c).eval(env),
+                        "add not monotone: ({a} ⊔ {b}) + {c} < {a} + {c}"
+                    );
+                    assert!(
+                        upper.mul(c).eval(env) >= a.mul(c).eval(env),
+                        "mul not monotone: ({a} ⊔ {b}) · {c} < {a} · {c}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Evaluation is a homomorphism: `eval(a + b) = eval(a) + eval(b)` and
+/// `eval(a · b) = eval(a) · eval(b)` (saturating), on every valuation.
+#[test]
+fn eval_commutes_with_composition() {
+    let mut rng = SplitMix64::seed_from_u64(fnv1a("eval_commutes_with_composition") ^ SEED);
+    let ps = pool(&mut rng);
+    for a in &ps {
+        for b in &ps {
+            for env in &envs() {
+                assert_eq!(
+                    a.add(b).eval(env),
+                    a.eval(env).saturating_add(b.eval(env)),
+                    "add/eval mismatch on {a} + {b}"
+                );
+                assert_eq!(
+                    a.mul(b).eval(env),
+                    a.eval(env).saturating_mul(b.eval(env)),
+                    "mul/eval mismatch on {a} · {b}"
+                );
+            }
+        }
+    }
+}
+
+/// `⊤` absorbs through every `Bound` operation and never evaluates.
+#[test]
+fn top_is_absorbing() {
+    let p = Bound::Poly(Poly::base().mul(&Poly::rel(0)));
+    for op in [Bound::add, Bound::mul, Bound::join] {
+        assert_eq!(op(&Bound::Top, &p), Bound::Top);
+        assert_eq!(op(&p, &Bound::Top), Bound::Top);
+    }
+    assert_eq!(Bound::Top.eval(&CostEnv::new(3, vec![2])), None);
+    assert_eq!(Bound::Top.poly(), None);
+    // Degenerate non-⊤ sanity: zero is the additive identity.
+    assert_eq!(Bound::zero().add(&p), p);
+}
+
+fn work_of(src: &str) -> Poly {
+    let prog = parse_program(src).expect("test program parses");
+    let full = analyze_full(&prog, &Schema::new(vec![2]), Dialect::Ql);
+    match &full.cost.verdict {
+        CostVerdict::Bounded { work, .. } => work.clone(),
+        CostVerdict::Unbounded => panic!("expected a bounded program: {src}"),
+    }
+}
+
+/// Sequencing two statements adds their work bounds; a loop the
+/// terminates-prover bounds at `k` iterations multiplies its body's
+/// work by `k` — checked on every valuation rather than on a pinned
+/// rendering, so the law survives normalization changes.
+#[test]
+fn bounds_compose_across_sequence_and_loop() {
+    let one = work_of("Y1 := E;");
+    let seq = work_of("Y1 := E; Y2 := E;");
+    // The loop body runs once per proved iteration: `E` is provably
+    // nonempty, so the guard flips on the first pass and the prover
+    // pins the trip count at one.
+    let looped = work_of("while empty(Y2) { Y2 := E; } Y1 := Y2;");
+    for env in &envs() {
+        assert_eq!(
+            seq.eval(env),
+            one.eval(env).saturating_mul(2),
+            "sequencing must add statement work"
+        );
+        assert!(
+            looped.eval(env) >= one.eval(env),
+            "a proved loop must cost at least its body"
+        );
+    }
+    // And the nested composition: an inner bounded loop inside an
+    // outer bounded loop multiplies, never adds.
+    let nested = work_of("while empty(Y2) { while empty(Y3) { Y3 := E; } Y2 := E; } Y1 := Y2;");
+    for env in &envs() {
+        assert!(
+            nested.eval(env) >= looped.eval(env),
+            "nesting cannot be cheaper than the inner loop alone"
+        );
+    }
+}

@@ -7,6 +7,7 @@
 //! static-analyzer differentials.
 
 pub mod analyze;
+pub mod cost;
 pub mod diff;
 pub mod generic;
 pub mod meta;
@@ -35,6 +36,7 @@ pub fn ledger() -> Vec<CheckDef> {
     defs.extend(seminaive::defs());
     defs.extend(serve::defs());
     defs.extend(ra::defs());
+    defs.extend(cost::defs());
     defs
 }
 

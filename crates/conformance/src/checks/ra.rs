@@ -28,7 +28,11 @@ use std::sync::Arc;
 
 /// A random finite structure matching `schema`: universe `0..size`,
 /// each relation filled with random tuples at moderate density.
-fn random_ra_structure(ctx: &mut CheckCtx, schema: &RaSchema, size: u64) -> FiniteStructure {
+pub(super) fn random_ra_structure(
+    ctx: &mut CheckCtx,
+    schema: &RaSchema,
+    size: u64,
+) -> FiniteStructure {
     let universe: Vec<Elem> = (0..size).map(Elem).collect();
     let mut rels = Vec::new();
     for i in 0..schema.rels().len() {
@@ -62,7 +66,7 @@ fn zoo_slice(db: &HsDatabase, schema: &RaSchema, size: u64) -> FiniteStructure {
 /// characteristic tree's nodes are exactly the tuples over the
 /// universe and `≅_B` is equality, so every class is a singleton and
 /// [`HsInterp`] must agree with [`FinInterp`] tuple-for-tuple.
-fn discrete_hs(st: &FiniteStructure) -> HsDatabase {
+pub(super) fn discrete_hs(st: &FiniteStructure) -> HsDatabase {
     let universe: Vec<Elem> = st.universe().to_vec();
     let tree = FnTree::new(move |_| universe.clone());
     let equiv = FnEquiv::new(|u: &Tuple, v: &Tuple| u == v);
@@ -71,7 +75,11 @@ fn discrete_hs(st: &FiniteStructure) -> HsDatabase {
 
 /// The round's schema + structure, cycling random multi-arity
 /// structures with finite slices of two zoo databases.
-fn round_inputs(ctx: &mut CheckCtx, round: usize, graph: &RaSchema) -> (RaSchema, FiniteStructure) {
+pub(super) fn round_inputs(
+    ctx: &mut CheckCtx,
+    round: usize,
+    graph: &RaSchema,
+) -> (RaSchema, FiniteStructure) {
     match round % 4 {
         0 | 1 => {
             ctx.family("random-ra");

@@ -135,6 +135,7 @@ fn direct_run<B: GuardEval<V = Val>>(b: &mut B, dialect: Dialect, a: &Admission)
         bounds: &bounds,
         total_cap: cap,
         fuel,
+        work_cap: None,
     };
     run_scheduled(b, dialect, &a.prog, &budget, &AtomicBool::new(false)).end
 }

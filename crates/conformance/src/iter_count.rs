@@ -48,6 +48,14 @@ pub struct CountedRun {
     pub per_entry_max: BTreeMap<Vec<u32>, u64>,
     /// Total loop iterations across the whole run.
     pub total: u64,
+    /// Per-assignment maximum materialized size (tuples for a finite
+    /// value, stored representation size for an fcf value), keyed by
+    /// the statement's tree path — the dynamic mirror of the cost
+    /// analyzer's per-statement cardinality bounds (DESIGN.md §11).
+    pub stmt_tuples: BTreeMap<Vec<u32>, u64>,
+    /// Total materialized tuples across every assignment execution —
+    /// the dynamic mirror of the whole-program work bound.
+    pub work: u64,
     /// How the run ended.
     pub end: CountedEnd,
 }
@@ -60,6 +68,9 @@ trait CountEval {
     fn empty_guard(v: Option<&Self::V>) -> bool;
     fn single_guard(v: Option<&Self::V>) -> Result<bool, RunError>;
     fn finite_guard(v: Option<&Self::V>) -> Result<bool, RunError>;
+    /// The materialized size of a value — what the cost analyzer's
+    /// cardinality polynomials bound.
+    fn size(v: &Self::V) -> u64;
 }
 
 impl CountEval for FinInterp<'_> {
@@ -83,6 +94,9 @@ impl CountEval for FinInterp<'_> {
             "while |Y|<∞ is a QLf+ construct",
         ))
     }
+    fn size(v: &Val) -> u64 {
+        v.len() as u64
+    }
 }
 
 impl CountEval for HsInterp<'_> {
@@ -103,6 +117,9 @@ impl CountEval for HsInterp<'_> {
         Err(RunError::DialectViolation(
             "while |Y|<∞ is a QLf+ construct, not part of QLhs",
         ))
+    }
+    fn size(v: &Val) -> u64 {
+        v.len() as u64
     }
 }
 
@@ -125,6 +142,9 @@ impl CountEval for FcfInterp<'_> {
     fn finite_guard(v: Option<&FcfVal>) -> Result<bool, RunError> {
         Ok(v.is_none_or(|x| x.finite))
     }
+    fn size(v: &FcfVal) -> u64 {
+        v.tuples.len() as u64
+    }
 }
 
 enum Stop {
@@ -139,6 +159,8 @@ struct Counter<'b> {
     per_entry_max: BTreeMap<Vec<u32>, u64>,
     total: u64,
     cap: u64,
+    stmt_tuples: BTreeMap<Vec<u32>, u64>,
+    work: u64,
 }
 
 impl Counter<'_> {
@@ -160,6 +182,10 @@ fn cexec<B: CountEval>(
     match p {
         Prog::Assign(v, t) => {
             let val = b.eval(t, env, fuel).map_err(Stop::Run)?;
+            let size = B::size(&val);
+            let m = c.stmt_tuples.entry(path.clone()).or_insert(0);
+            *m = (*m).max(size);
+            c.work = c.work.saturating_add(size);
             if *v >= env.len() {
                 env.resize(*v + 1, B::unset());
             }
@@ -227,6 +253,8 @@ fn counted<B: CountEval>(
         per_entry_max: BTreeMap::new(),
         total: 0,
         cap,
+        stmt_tuples: BTreeMap::new(),
+        work: 0,
     };
     let end = if let Err(v) = dialect.check(p) {
         CountedEnd::Errored(RunError::DialectViolation(v.message()))
@@ -244,6 +272,8 @@ fn counted<B: CountEval>(
     CountedRun {
         per_entry_max: c.per_entry_max,
         total: c.total,
+        stmt_tuples: c.stmt_tuples,
+        work: c.work,
         end,
     }
 }
@@ -360,6 +390,42 @@ mod tests {
         assert_eq!(r.per_entry_max.get(&vec![0]), Some(&2), "{r:?}");
         assert_eq!(r.per_entry_max.get(&vec![0, 0, 0]), Some(&1), "{r:?}");
         assert_eq!(r.total, 4, "{r:?}");
+    }
+
+    #[test]
+    fn grandparent_example_counts_materialized_tuples() {
+        // The DESIGN.md §10 worked example
+        // (`examples/programs/ra_grandparent.ra`), compiled to QLhs
+        // and replayed on the 4-chain with per-statement counts: two
+        // edge scans, the joined pairs, and the projected endpoints.
+        let schema = recdb_ra::RaSchema::parse("E(x, y)").unwrap();
+        let p = recdb_ra::parse_ra("project #z (E join rename #x -> #y, #y -> #z (E))").unwrap();
+        let compiled = recdb_ra::compile_program(&p, &schema).unwrap();
+        let st = FiniteStructure::graph(0..4, [(0, 1), (1, 2), (2, 3)]);
+        let r = counted_run_fin(&st, &compiled.prog, 1_000_000, 100, &BTreeMap::new());
+        assert!(matches!(r.end, CountedEnd::Completed), "{:?}", r.end);
+        // The query compiles to a single binding, so the statement
+        // layer materializes exactly once: the two grandparent pairs
+        // of the chain (0→2, 1→3), projected to their far endpoints.
+        assert_eq!(
+            r.stmt_tuples,
+            [(vec![0], 2u64)].into_iter().collect::<BTreeMap<_, _>>()
+        );
+        assert_eq!(r.work, 2);
+    }
+
+    #[test]
+    fn work_sums_every_assignment_execution() {
+        // Three statements over the 3-element universe: the diagonal
+        // `E` (3 tuples), `Y1 & E` (3), and the loop's one flip
+        // re-materializing `E` (3).
+        let p = parse_program("Y1 := E; Y2 := Y1 & E; while empty(Y3) { Y3 := E; }").unwrap();
+        let r = counted_run_fin(&graph(), &p, 100_000, 100, &BTreeMap::new());
+        assert!(matches!(r.end, CountedEnd::Completed), "{:?}", r.end);
+        assert_eq!(r.stmt_tuples.get(&vec![0]), Some(&3));
+        assert_eq!(r.stmt_tuples.get(&vec![1]), Some(&3));
+        assert_eq!(r.stmt_tuples.get(&vec![2, 0, 0]), Some(&3));
+        assert_eq!(r.work, 9);
     }
 
     #[test]

@@ -79,9 +79,12 @@ impl Domain {
     /// element of D not appearing in u" step of every back-and-forth
     /// construction in the paper (Prop 3.2, 3.3, 3.5).
     pub fn first_not_in(&self, used: &[Elem]) -> Elem {
-        self.iter()
-            .find(|e| !used.contains(e))
-            .expect("domain is infinite by contract")
+        match self.iter().find(|e| !used.contains(e)) {
+            Some(e) => e,
+            // Unreachable under the contract: `iter()` enumerates an
+            // infinite domain, and a finite `used` cannot cover it.
+            None => Elem(u64::MAX),
+        }
     }
 }
 

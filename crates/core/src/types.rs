@@ -271,13 +271,15 @@ pub fn count_classes(schema: &Schema, n: usize) -> u128 {
         let mut per_partition = 1u128;
         for &a in schema.arities() {
             let bits = if a == 0 { 1 } else { (m as u128).pow(a as u32) };
-            per_partition = per_partition
-                .checked_mul(
-                    1u128
-                        .checked_shl(bits as u32)
-                        .expect("class count overflows u128"),
-                )
-                .expect("class count overflows u128");
+            // Counts past `u128::MAX` saturate: callers only compare
+            // against small enumerations or cutoff thresholds, and
+            // both read correctly through saturation.
+            let factor = if bits >= 128 {
+                u128::MAX
+            } else {
+                1u128 << bits
+            };
+            per_partition = per_partition.saturating_mul(factor);
         }
         total += stirling2(n, m) * per_partition;
     }

@@ -454,15 +454,15 @@ impl GmBuilder {
 
     /// Finalizes with the given store size.
     ///
-    /// # Panics
-    /// Panics if any reserved state lacks an action.
+    /// A reserved state left without an action halts: if a run ever
+    /// reaches one, the machine's halt validation reports it as a
+    /// [`GmError::InvalidHalt`] instead of crashing the process.
     pub fn build(self, store_size: usize) -> GmProgram {
         GmProgram {
             actions: self
                 .actions
                 .into_iter()
-                .enumerate()
-                .map(|(i, a)| a.unwrap_or_else(|| panic!("state {i} has no action")))
+                .map(|a| a.unwrap_or(GmAction::Halt))
                 .collect(),
             store_size,
         }

@@ -7,6 +7,10 @@
 //! OPTIONS
 //!   --schema "R(a,b); S(b,c)"   named-attribute schema; overrides any
 //!                               `// ra: schema=…` directive in FILE
+//!   --optimize                  run the cost-guided rewriter first;
+//!                               prints the rules applied, the nominal
+//!                               cost bounds, and (for compile) lowers
+//!                               the optimized plan
 //! ```
 //!
 //! The schema may also ride in the program text as a directive line:
@@ -21,7 +25,9 @@
 //! diagnostics, 2 on usage/parse failures.
 
 use recdb_qlhs::SpanTable;
-use recdb_ra::{compile_program, parse_ra_with_spans, typecheck, validate, RaSchema};
+use recdb_ra::{
+    compile_program, optimize_program, parse_ra_with_spans, typecheck, validate, RaSchema,
+};
 use std::io::Read;
 use std::process::ExitCode;
 
@@ -29,10 +35,11 @@ struct Opts {
     cmd: String,
     file: String,
     schema: Option<String>,
+    optimize: bool,
 }
 
 fn usage() -> String {
-    "usage: ra check|compile [--schema \"R(a,b); S(b,c)\"] FILE|-".to_string()
+    "usage: ra check|compile [--optimize] [--schema \"R(a,b); S(b,c)\"] FILE|-".to_string()
 }
 
 fn parse_opts(args: &[String]) -> Result<Opts, String> {
@@ -43,8 +50,10 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
     }
     let mut schema = None;
     let mut file = None;
+    let mut optimize = false;
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--optimize" => optimize = true,
             "--schema" => {
                 schema = Some(
                     it.next()
@@ -60,6 +69,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         cmd,
         file: file.ok_or_else(usage)?,
         schema,
+        optimize,
     })
 }
 
@@ -154,6 +164,33 @@ fn main() -> ExitCode {
         prog.views.len(),
         typed.query_attrs.join(", ")
     );
+    let prog = if opts.optimize {
+        match optimize_program(&prog, &schema) {
+            Ok(r) => {
+                if r.changed {
+                    println!(
+                        "// optimized: [{}], cost bound {} -> {} (nominal)",
+                        r.applied.join(", "),
+                        r.cost_original,
+                        r.cost_chosen
+                    );
+                    println!("// plan: {}", r.program);
+                } else {
+                    println!(
+                        "// optimized: no improving rewrite (cost bound {}, nominal)",
+                        r.cost_original
+                    );
+                }
+                r.program
+            }
+            Err(e) => {
+                render(&src, &spans, &e, &opts.file);
+                return ExitCode::from(1);
+            }
+        }
+    } else {
+        prog
+    };
     if opts.cmd == "compile" {
         match compile_program(&prog, &schema) {
             Ok(c) => {

@@ -30,6 +30,7 @@ pub mod compile;
 pub mod diag;
 pub mod eval;
 pub mod parser;
+pub mod rewrite;
 pub mod safety;
 pub mod schema;
 
@@ -38,5 +39,6 @@ pub use compile::{compile_program, CompiledRa};
 pub use diag::RaError;
 pub use eval::{eval_program, RaValue};
 pub use parser::{parse_ra, parse_ra_with_spans, RaParseError};
+pub use rewrite::{optimize_program, RewriteReport};
 pub use safety::validate;
 pub use schema::{typecheck, RaSchema};

@@ -433,6 +433,16 @@ fn main() {
         }
     }
 
+    // Cost-admission soundness gate: when self-hosting with a
+    // recorder, the server's static work bounds must never have been
+    // overrun by actual execution (DESIGN.md §11).
+    let overruns = recorder
+        .as_ref()
+        .map_or(0, |r| r.counter_value("serve.cost.overrun"));
+    if overruns > 0 {
+        eprintln!("serve.cost.overrun = {overruns}: static work bound exceeded at runtime");
+    }
+
     let v = violations.load(Ordering::Relaxed);
     let m = mismatches.load(Ordering::Relaxed);
     let io = io_failures.load(Ordering::Relaxed);
@@ -448,7 +458,7 @@ fn main() {
         println!("admission-soundness violations: {v}, status mismatches: {m}, io failures: {io}");
         println!("wrote {}", args.out);
     }
-    if v > 0 || m > 0 || io > samples.len() as u64 / 100 {
+    if v > 0 || m > 0 || overruns > 0 || io > samples.len() as u64 / 100 {
         std::process::exit(1);
     }
 }

@@ -40,6 +40,10 @@ pub trait GuardEval {
     fn single_guard(v: Option<&Self::V>) -> Result<bool, RunError>;
     /// The `while finite(Y)` guard (dialect violation where not admitted).
     fn finite_guard(v: Option<&Self::V>) -> Result<bool, RunError>;
+    /// Stored size of a value — the tuples the backend materializes
+    /// for it (finite part *or* stored complement for QLf⁺). This is
+    /// the unit the cost pass bounds.
+    fn size(v: &Self::V) -> u64;
 }
 
 impl GuardEval for FinInterp<'_> {
@@ -63,6 +67,9 @@ impl GuardEval for FinInterp<'_> {
             "while |Y|<∞ is a QLf+ construct",
         ))
     }
+    fn size(v: &Val) -> u64 {
+        v.len() as u64
+    }
 }
 
 impl GuardEval for HsInterp<'_> {
@@ -83,6 +90,9 @@ impl GuardEval for HsInterp<'_> {
         Err(RunError::DialectViolation(
             "while |Y|<∞ is a QLf+ construct, not part of QLhs",
         ))
+    }
+    fn size(v: &Val) -> u64 {
+        v.len() as u64
     }
 }
 
@@ -105,6 +115,9 @@ impl GuardEval for FcfInterp<'_> {
     fn finite_guard(v: Option<&FcfVal>) -> Result<bool, RunError> {
         Ok(v.is_none_or(|x| x.finite))
     }
+    fn size(v: &FcfVal) -> u64 {
+        v.tuples.len() as u64
+    }
 }
 
 /// The scheduling envelope an admitted program runs under.
@@ -118,6 +131,11 @@ pub struct Budget<'a> {
     pub total_cap: u64,
     /// The fuel budget for term evaluation and statement ticks.
     pub fuel: u64,
+    /// Statically predicted total work (materialized tuples across
+    /// all assignments), when the cost pass derived one at this
+    /// database's instantiation. Exceeding it is a cost-soundness
+    /// violation.
+    pub work_cap: Option<u64>,
 }
 
 /// How an execution ended.
@@ -146,6 +164,12 @@ pub enum ExecEnd<V> {
         /// The proved whole-program budget.
         cap: u64,
     },
+    /// The statically predicted work bound was exceeded — a
+    /// cost-soundness violation (counted as `serve.cost.overrun`).
+    WorkExceeded {
+        /// The predicted work bound.
+        cap: u64,
+    },
 }
 
 impl<V> ExecEnd<V> {
@@ -154,7 +178,9 @@ impl<V> ExecEnd<V> {
     pub fn is_soundness_violation(&self) -> bool {
         matches!(
             self,
-            ExecEnd::BoundExceeded { .. } | ExecEnd::TotalExceeded { .. }
+            ExecEnd::BoundExceeded { .. }
+                | ExecEnd::TotalExceeded { .. }
+                | ExecEnd::WorkExceeded { .. }
         )
     }
 }
@@ -166,6 +192,8 @@ pub struct ExecResult<V> {
     pub end: ExecEnd<V>,
     /// Total loop iterations executed.
     pub iterations: u64,
+    /// Total tuples materialized by assignments (the observed work).
+    pub work: u64,
 }
 
 enum Stop {
@@ -174,12 +202,15 @@ enum Stop {
     Preempt,
     Bound { path: Vec<u32>, bound: u64 },
     Total,
+    Work,
 }
 
 struct Counter<'b> {
     bounds: &'b BTreeMap<Vec<u32>, u64>,
     total: u64,
     cap: u64,
+    work: u64,
+    work_cap: Option<u64>,
 }
 
 fn tick(fuel: &mut Fuel) -> Result<(), Stop> {
@@ -202,6 +233,10 @@ fn cexec<B: GuardEval>(
                 RunError::Fuel(_) => Stop::Fuel,
                 other => Stop::Run(other),
             })?;
+            c.work = c.work.saturating_add(B::size(&val));
+            if c.work_cap.is_some_and(|cap| c.work > cap) {
+                return Err(Stop::Work);
+            }
             if *v >= env.len() {
                 env.resize(*v + 1, B::unset());
             }
@@ -266,6 +301,8 @@ pub fn run_scheduled<B: GuardEval>(
         bounds: budget.bounds,
         total: 0,
         cap: budget.total_cap,
+        work: 0,
+        work_cap: budget.work_cap,
     };
     let mut fuel = Fuel::new(budget.fuel);
     let end = if let Err(v) = dialect.check(p) {
@@ -284,11 +321,15 @@ pub fn run_scheduled<B: GuardEval>(
             Err(Stop::Preempt) => ExecEnd::Preempted,
             Err(Stop::Bound { path, bound }) => ExecEnd::BoundExceeded { path, bound },
             Err(Stop::Total) => ExecEnd::TotalExceeded { cap: c.cap },
+            Err(Stop::Work) => ExecEnd::WorkExceeded {
+                cap: c.work_cap.unwrap_or(0),
+            },
         }
     };
     ExecResult {
         end,
         iterations: c.total,
+        work: c.work,
     }
 }
 
@@ -321,6 +362,7 @@ mod tests {
             bounds: &EMPTY,
             total_cap: u64::MAX,
             fuel,
+            work_cap: None,
         }
     }
 
@@ -357,6 +399,7 @@ mod tests {
             bounds: &bounds,
             total_cap: 100,
             fuel: 100_000,
+            work_cap: None,
         };
         let r = run("while empty(Y2) { Y3 := E; }", &budget);
         assert!(r.end.is_soundness_violation(), "{:?}", r.end);
@@ -376,6 +419,7 @@ mod tests {
             bounds: &bounds,
             total_cap: 5,
             fuel: 100_000,
+            work_cap: None,
         };
         let r = run("while empty(Y2) { Y3 := E; }", &budget);
         assert!(
@@ -383,6 +427,29 @@ mod tests {
             "{:?}",
             r.end
         );
+    }
+
+    #[test]
+    fn work_is_counted_and_capped() {
+        let r = run("Y1 := E; Y2 := E;", &fueled(10_000));
+        assert!(matches!(r.end, ExecEnd::Done(_)), "{:?}", r.end);
+        // E on the 3-node graph stores 3 tuples; two assignments.
+        assert_eq!(r.work, 6);
+
+        let bounds = BTreeMap::new();
+        let budget = Budget {
+            bounds: &bounds,
+            total_cap: u64::MAX,
+            fuel: 10_000,
+            work_cap: Some(5),
+        };
+        let r = run("Y1 := E; Y2 := E;", &budget);
+        assert!(
+            matches!(r.end, ExecEnd::WorkExceeded { cap: 5 }),
+            "{:?}",
+            r.end
+        );
+        assert!(r.end.is_soundness_violation());
     }
 
     #[test]

@@ -17,7 +17,7 @@ use crate::json::{esc, parse, Json};
 use crate::proto::{
     build_hs, fcf_result_json, result_json, DbSpec, FormulaRequest, QueryRequest, RaRequest,
 };
-use recdb_analyze::{analyze_formula, Diagnostic};
+use recdb_analyze::{analyze_formula, CostEnv, Diagnostic};
 use recdb_core::{Elem, QueryOutcome};
 use recdb_hsdb::HsDatabase;
 use recdb_logic::{finite_as_db, LMinusQuery};
@@ -394,16 +394,18 @@ fn execute_query(req: &QueryRequest, shared: &Shared, ws: &mut WorkerState) -> (
         },
     };
 
+    let work_cap = predicted_work(&adm, &req.db);
+
     let _t = recdb_obs::span("serve.stage.execute.ns");
     match &req.db {
         DbSpec::Finite(st) => {
             let mut interp = FinInterp::new(st);
             interp.set_seminaive(true);
-            serve_rel(&mut interp, dialect, &adm, shared, &mode)
+            serve_rel(&mut interp, dialect, &adm, shared, &mode, work_cap)
         }
         DbSpec::Family(_) | DbSpec::Cells(_) => match worker_hs_interp(ws, &req.db) {
             Some(descr) => match ws.hs.get_mut(&descr) {
-                Some(interp) => serve_rel(interp, dialect, &adm, shared, &mode),
+                Some(interp) => serve_rel(interp, dialect, &adm, shared, &mode, work_cap),
                 None => internal("worker shard lookup failed"),
             },
             None => {
@@ -412,7 +414,7 @@ fn execute_query(req: &QueryRequest, shared: &Shared, ws: &mut WorkerState) -> (
                     Some(hs) => {
                         let mut interp = HsInterp::new(&hs);
                         interp.set_seminaive(true);
-                        serve_rel(&mut interp, dialect, &adm, shared, &mode)
+                        serve_rel(&mut interp, dialect, &adm, shared, &mode, work_cap)
                     }
                     None => internal("family resolution failed after admission"),
                 }
@@ -421,7 +423,7 @@ fn execute_query(req: &QueryRequest, shared: &Shared, ws: &mut WorkerState) -> (
         DbSpec::Fcf(db) => {
             let mut interp = FcfInterp::new(db);
             interp.set_seminaive(true);
-            serve_fcf(&mut interp, dialect, &adm, shared, &mode)
+            serve_fcf(&mut interp, dialect, &adm, shared, &mode, work_cap)
         }
     }
 }
@@ -500,10 +502,19 @@ fn handle_ra(body: &[u8], shared: &Shared, ws: &mut WorkerState) -> (u16, String
             );
         }
     };
+    // Typecheck + safety first, then the cost-guided rewriter: the
+    // plan that actually runs is the cost-minimal equivalent one
+    // (`RA-REWRITE-DIFF` proves the equivalence over the seeded
+    // corpus).
     let compiled = match recdb_ra::typecheck(&prog, &schema)
         .and_then(|_| recdb_ra::validate(&prog, &schema))
-        .and_then(|()| recdb_ra::compile_program(&prog, &schema))
-    {
+        .and_then(|()| recdb_ra::optimize_program(&prog, &schema))
+        .and_then(|opt| {
+            if opt.changed {
+                recdb_obs::count("serve.ra.optimized", 1);
+            }
+            recdb_ra::compile_program(&opt.program, &schema)
+        }) {
         Ok(c) => c,
         Err(e) => return ra_rejection(&e, &req.query, &spans),
     };
@@ -557,20 +568,55 @@ fn cache_key(dialect: Dialect, adm: &Admission, db_key: &str) -> String {
     )
 }
 
-fn budget_for<'a>(plan: &'a Plan, fuel_max: u64) -> Budget<'a> {
+fn budget_for<'a>(plan: &'a Plan, fuel_max: u64, work_cap: Option<u64>) -> Budget<'a> {
     static NO_BOUNDS: BTreeMap<Vec<u32>, u64> = BTreeMap::new();
     match plan {
         Plan::Exact { iterations, bounds } => Budget {
             bounds,
             total_cap: *iterations,
             fuel: fuel_max,
+            work_cap,
         },
         Plan::Fueled { fuel } => Budget {
             bounds: &NO_BOUNDS,
             total_cap: u64::MAX,
             fuel: *fuel,
+            work_cap,
         },
     }
+}
+
+/// Instantiates the admission's symbolic work bound at the request's
+/// actual database, yielding a hard per-request work cap (DESIGN.md
+/// §11): `n` maps to the backend's base-set size and `rᵢ` to relation
+/// `i`'s stored size.
+///
+/// Only backends with a sound finite base size participate — finite
+/// structures (`n` = |universe|) and fcf slices (`n` = |Df|: the
+/// interpreter materializes `E` as the diagonal over Df and `↑` as a
+/// product with Df, so Df's size is exactly what the polynomial's `n`
+/// counts). Family/cells slices have no finite `n` and run unmetered.
+fn predicted_work(adm: &Admission, db: &DbSpec) -> Option<u64> {
+    let work = adm.analysis.cost.work()?;
+    let env = match db {
+        DbSpec::Finite(st) => CostEnv::new(
+            st.universe().len() as u64,
+            (0..st.schema().len())
+                .map(|i| st.relation(i).len() as u64)
+                .collect(),
+        ),
+        DbSpec::Fcf(fcf) => CostEnv::new(
+            fcf.df().len() as u64,
+            fcf.relations()
+                .iter()
+                .map(|r| r.finite_part().len() as u64)
+                .collect(),
+        ),
+        DbSpec::Family(_) | DbSpec::Cells(_) => return None,
+    };
+    let w = work.eval(&env);
+    recdb_obs::observe("serve.cost.predicted_work", w);
+    Some(w)
 }
 
 /// Transports a relation value through `π` (forward) or `π⁻¹`.
@@ -594,6 +640,7 @@ fn serve_rel<B: GuardEval<V = Val>>(
     adm: &Admission,
     shared: &Shared,
     mode: &CacheMode<'_>,
+    work_cap: Option<u64>,
 ) -> (u16, String) {
     if let CacheMode::Keyed { key, transport } = mode {
         if let Some(entry) = shared.cache.get(key) {
@@ -605,7 +652,7 @@ fn serve_rel<B: GuardEval<V = Val>>(
                 };
                 let rendered = result_json(&answer);
                 if shared.cfg.verify_hits {
-                    let budget = budget_for(&adm.plan, shared.cfg.fuel_max);
+                    let budget = budget_for(&adm.plan, shared.cfg.fuel_max, work_cap);
                     let fresh = run_scheduled(b, dialect, &adm.prog, &budget, &shared.preempt);
                     match fresh.end {
                         ExecEnd::Done(v) if result_json(&v) == rendered => {
@@ -628,7 +675,7 @@ fn serve_rel<B: GuardEval<V = Val>>(
         }
         recdb_obs::count("serve.cache.misses", 1);
     }
-    let budget = budget_for(&adm.plan, shared.cfg.fuel_max);
+    let budget = budget_for(&adm.plan, shared.cfg.fuel_max, work_cap);
     let r = run_scheduled(b, dialect, &adm.prog, &budget, &shared.preempt);
     match r.end {
         ExecEnd::Done(v) => {
@@ -662,6 +709,7 @@ fn serve_fcf(
     adm: &Admission,
     shared: &Shared,
     mode: &CacheMode<'_>,
+    work_cap: Option<u64>,
 ) -> (u16, String) {
     if let CacheMode::Keyed { key, .. } = mode {
         if let Some(entry) = shared.cache.get(key) {
@@ -669,7 +717,7 @@ fn serve_fcf(
                 recdb_obs::count("serve.cache.hits", 1);
                 let rendered = fcf_result_json(qk);
                 if shared.cfg.verify_hits {
-                    let budget = budget_for(&adm.plan, shared.cfg.fuel_max);
+                    let budget = budget_for(&adm.plan, shared.cfg.fuel_max, work_cap);
                     let fresh = run_scheduled(b, dialect, &adm.prog, &budget, &shared.preempt);
                     match fresh.end {
                         ExecEnd::Done(v) if fcf_result_json(&v) == rendered => {
@@ -692,7 +740,7 @@ fn serve_fcf(
         }
         recdb_obs::count("serve.cache.misses", 1);
     }
-    let budget = budget_for(&adm.plan, shared.cfg.fuel_max);
+    let budget = budget_for(&adm.plan, shared.cfg.fuel_max, work_cap);
     let r = run_scheduled(b, dialect, &adm.prog, &budget, &shared.preempt);
     match r.end {
         ExecEnd::Done(v) => {
@@ -768,6 +816,17 @@ fn error_response<V>(end: &ExecEnd<V>, iterations: u64, plan: &Plan) -> (u16, St
                 format!(
                     "{{\"cap\":{cap},\"error\":\"proved whole-program budget exceeded\",\
                      \"status\":\"error\",\"violation\":\"total-exceeded\"}}"
+                ),
+            )
+        }
+        ExecEnd::WorkExceeded { cap } => {
+            recdb_obs::count("serve.soundness_violations", 1);
+            recdb_obs::count("serve.cost.overrun", 1);
+            (
+                500,
+                format!(
+                    "{{\"cap\":{cap},\"error\":\"predicted work bound exceeded\",\
+                     \"status\":\"error\",\"violation\":\"work-exceeded\"}}"
                 ),
             )
         }

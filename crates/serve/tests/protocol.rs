@@ -54,6 +54,26 @@ fn exact_admission_runs_under_proved_budget() {
 }
 
 #[test]
+fn cost_bounded_programs_run_within_their_work_caps() {
+    let s = server();
+    let mut c = conn(&s);
+    // Cost-bounded programs are admitted with a hard work cap
+    // (the §11 polynomial instantiated at this slice); a sound bound
+    // never trips on the actual run, so these must all be 200s.
+    for prog in [
+        "Y1 := E & R1;",
+        "Y1 := up(down(R1)); Y2 := Y1 & R1;",
+        "Y1 := !R1 & R1;",
+    ] {
+        let r = c
+            .post("/v1/query", &finite_query(prog, "[0,1],[1,2],[2,3]", ""))
+            .unwrap();
+        assert_eq!(r.status, 200, "{prog}: {}", r.body);
+        assert!(!r.body.contains("work-exceeded"), "{prog}: {}", r.body);
+    }
+}
+
+#[test]
 fn unknown_termination_runs_under_fuel() {
     let s = server();
     let mut c = conn(&s);
@@ -451,6 +471,32 @@ fn ra_compiled_queries_share_the_query_cache() {
         )
         .unwrap();
     assert!(off.body.contains("\"cache\":\"off\""), "{}", off.body);
+}
+
+/// A query the §11 optimizer provably rewrites (projection cascade +
+/// selection pushdown through a union) still answers exactly — the
+/// `/v1/ra` path runs every query through `optimize_program` before
+/// compilation, and the chosen plan must be transparent.
+#[test]
+fn ra_endpoint_optimizes_plans_transparently() {
+    let s = server();
+    let mut c = conn(&s);
+    let r = c
+        .post(
+            "/v1/ra",
+            &ra_query(
+                "project #x (project #x, #y (select #x = 0 (E union E)))",
+                "[0,1],[1,2],[0,3]",
+                "",
+            ),
+        )
+        .unwrap();
+    assert_eq!(r.status, 200, "{}", r.body);
+    assert!(
+        r.body.contains("\"result\":{\"rank\":1,\"tuples\":[[0]]}"),
+        "{}",
+        r.body
+    );
 }
 
 #[test]

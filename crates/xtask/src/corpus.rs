@@ -56,6 +56,9 @@ struct Directives {
     expect: Option<Verdict>,
     /// Expected genericity verdict kind (`// VERDICT:` directive).
     genericity: Option<&'static str>,
+    /// Expected cost verdict rendering (`// COST:` directive) — the
+    /// exact `Display` of [`recdb_analyze::CostVerdict`].
+    cost: Option<String>,
 }
 
 fn parse_directives(src: &str) -> Result<Directives, String> {
@@ -64,8 +67,13 @@ fn parse_directives(src: &str) -> Result<Directives, String> {
         schema: Schema::new(vec![2]),
         expect: None,
         genericity: None,
+        cost: None,
     };
     for line in src.lines() {
+        if let Some(rest) = line.trim().strip_prefix("// COST:") {
+            d.cost = Some(rest.trim().to_string());
+            continue;
+        }
         if let Some(rest) = line.trim().strip_prefix("// VERDICT:") {
             d.genericity = Some(match rest.trim() {
                 "generic" => "generic",
@@ -227,6 +235,7 @@ pub fn run(root: &Path, report_path: Option<&Path>) -> bool {
     let mut ok = true;
     let mut file_rows = Vec::new();
     let mut literal_rows = Vec::new();
+    let mut cost_pins = 0usize;
 
     let programs_dir = root.join("examples/programs");
     let mut ql_files: Vec<_> = std::fs::read_dir(&programs_dir)
@@ -299,6 +308,29 @@ pub fn run(root: &Path, report_path: Option<&Path>) -> bool {
                 ok = false;
             }
         }
+        let cost_verdict = full.cost.verdict.to_string();
+        if let Some(expect) = &directives.cost {
+            cost_pins += 1;
+            if &cost_verdict != expect {
+                eprintln!(
+                    "corpus: {name}: expected cost verdict `{expect}`, analyzer says \
+                     `{cost_verdict}`"
+                );
+                ok = false;
+            }
+            // An unbounded pin must come with its W0601 obstruction
+            // diagnostic — the pin covers the user-facing finding too.
+            if expect.starts_with("unbounded")
+                && !full
+                    .cost
+                    .diagnostics
+                    .iter()
+                    .any(|d| d.code == recdb_analyze::Code::CostUnbounded)
+            {
+                eprintln!("corpus: {name}: unbounded cost pin without a W0601 diagnostic");
+                ok = false;
+            }
+        }
         let diags: Vec<String> = analysis
             .diagnostics
             .iter()
@@ -316,14 +348,24 @@ pub fn run(root: &Path, report_path: Option<&Path>) -> bool {
             .collect();
         file_rows.push(format!(
             "    {{\"file\": \"{}\", \"dialect\": \"{}\", \"verdict\": \"{}\", \
-             \"genericity\": \"{}\", \"termination\": \"{}\", \"diagnostics\": [{}]}}",
+             \"genericity\": \"{}\", \"termination\": \"{}\", \"cost\": \"{}\", \
+             \"diagnostics\": [{}]}}",
             json_escape(&name),
             dialect,
             analysis.verdict,
             json_escape(&full.genericity.verdict.to_string()),
             json_escape(&full.termination.verdict.to_string()),
+            json_escape(&cost_verdict),
             diags.join(", ")
         ));
+    }
+
+    // The cost pass is part of the corpus contract: enough files must
+    // pin their cost verdicts (obstruction case included) that a
+    // rendering or transfer-function drift cannot slip through.
+    if cost_pins < 6 {
+        eprintln!("corpus: only {cost_pins} `// COST:` pins — at least 6 required");
+        ok = false;
     }
 
     // The relational-algebra half: `.ra` files under the same
@@ -426,7 +468,7 @@ pub fn run(root: &Path, report_path: Option<&Path>) -> bool {
 
     if let Some(path) = report_path {
         let report = format!(
-            "{{\n  \"schema\": \"ANALYZE_CORPUS/v2\",\n  \"files\": [\n{}\n  ],\n  \"ra\": [\n{}\n  ],\n  \"literals\": [\n{}\n  ]\n}}\n",
+            "{{\n  \"schema\": \"ANALYZE_CORPUS/v3\",\n  \"files\": [\n{}\n  ],\n  \"ra\": [\n{}\n  ],\n  \"literals\": [\n{}\n  ]\n}}\n",
             file_rows.join(",\n"),
             ra_rows.join(",\n"),
             literal_rows.join(",\n")

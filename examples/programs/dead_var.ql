@@ -1,5 +1,6 @@
 // Y3 is assigned but never read (and Y1, the output, is exempt from
 // the lint): W0102, but still a safe program.
 // analyze: dialect=ql schema=2 expect=safe
+// COST: bounded (|Y1| ≤ r1, work ≤ n·r1 + r1)
 Y1 := R1;
 Y3 := up(R1);

@@ -3,6 +3,7 @@
 // (complement preserves it), so the analyzer keeps an exact rank
 // through the fixpoint and proves safety.
 // analyze: dialect=qlf+ schema=1,2 expect=safe
+// COST: unbounded (⊤)
 Y2 := R1;
 while finite(Y2) {
     Y2 := !Y2;

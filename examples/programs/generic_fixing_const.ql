@@ -3,4 +3,5 @@
 // (C-genericity, Def 2.5).
 // analyze: dialect=ql schema=2 expect=safe
 // VERDICT: generic
+// COST: bounded (|Y1| ≤ n, work ≤ n)
 Y1 := !C2;

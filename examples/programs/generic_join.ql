@@ -3,5 +3,6 @@
 // (Def 2.5 with an empty fixed set).
 // analyze: dialect=ql schema=2 expect=safe
 // VERDICT: generic
+// COST: bounded (|Y1| ≤ n·r1, work ≤ 2·n·r1)
 Y2 := up(R1);
 Y1 := swap(Y2) & Y2;

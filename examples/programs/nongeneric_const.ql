@@ -3,4 +3,5 @@
 // and reports a witness transposition (W0301).
 // analyze: dialect=ql schema=2 expect=safe
 // VERDICT: nongeneric
+// COST: bounded (|Y1| ≤ 1, work ≤ 1)
 Y1 := C3;

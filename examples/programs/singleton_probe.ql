@@ -3,6 +3,7 @@
 // ⊤ — but nothing downstream needs a rank proof, so the program is
 // still provably safe.
 // analyze: dialect=qlhs schema=2 expect=safe
+// COST: bounded (|Y1| ≤ n^2 + n, work ≤ 2·n^2 + 2·n)
 Y2 := E;
 while single(Y2) {
     Y2 := up(Y2);

@@ -1,0 +1,10 @@
+// A safe program the cost pass cannot bound: the loop converges (R1
+// is idempotent under re-assignment) but no symbolic iteration count
+// is proved, so the fixpoint widens the loop body to ⊤ and the
+// analyzer reports the W0601 obstruction at the widened statement.
+// analyze: dialect=ql schema=2 expect=safe
+// COST: unbounded (⊤)
+while empty(Y2) {
+  Y2 := R1;
+}
+Y1 := Y2;

@@ -349,6 +349,74 @@ fn serve_metric_key_sets_match_across_worker_shards() {
     );
 }
 
+// --- cost analysis & RA rewriter (ISSUE 9, satellite 3) ---
+
+/// `analyze_full`'s cost pass and the RA optimizer emit
+/// `analyze.cost.*` / `ra.rewrite.*` counters but must return
+/// bit-identical verdicts, statement bounds, diagnostics, and chosen
+/// plans recorder on/off.
+#[test]
+fn cost_analysis_and_rewriter_invariant_under_recorder() {
+    let _g = serial();
+    use recdb_conformance::gen::{random_prog, random_ra_program, ProgShape, RaShape};
+    use recdb_qlhs::Dialect;
+    let mut rng = rng_for("cost_analysis_and_rewriter_invariant_under_recorder");
+    let schema = recdb_core::Schema::new(vec![2, 2]);
+    let shape = ProgShape {
+        rels: 2,
+        vars: 3,
+        allow_singleton: false,
+        allow_finite: false,
+        consts: 3,
+        union_bias: true,
+    };
+    let progs: Vec<_> = (0..10)
+        .map(|_| random_prog(&mut rng, 2, 3, &shape))
+        .collect();
+    invariant_under_recorder("cost_analysis", || {
+        progs
+            .iter()
+            .map(|p| {
+                let full = recdb_analyze::analyze_full(p, &schema, Dialect::Ql);
+                (
+                    full.cost.verdict.to_string(),
+                    full.cost
+                        .stmts
+                        .iter()
+                        .map(|s| (s.path.clone(), s.executions, format!("{:?}", s.work)))
+                        .collect::<Vec<_>>(),
+                    full.cost.diagnostics.len(),
+                )
+            })
+            .collect::<Vec<_>>()
+    });
+    let ra_schema = recdb_ra::RaSchema::sanitized([("E", vec!["x", "y"])]);
+    let ra_shape = RaShape {
+        depth: 3,
+        views: 2,
+        consts: 3,
+        free_complement: false,
+    };
+    let ra_progs: Vec<_> = (0..10)
+        .map(|_| random_ra_program(&mut rng, &ra_schema, &ra_shape))
+        .collect();
+    invariant_under_recorder("ra_rewriter", || {
+        ra_progs
+            .iter()
+            .map(|p| {
+                let r =
+                    recdb_ra::optimize_program(p, &ra_schema).expect("generator programs optimize");
+                (
+                    r.program.to_string(),
+                    r.changed,
+                    r.cost_chosen,
+                    r.cost_original,
+                )
+            })
+            .collect::<Vec<_>>()
+    });
+}
+
 // --- relational-algebra frontend (ISSUE 8, satellite 4) ---
 
 /// RA compile + evaluate burst: the `ra.compile.*`, `ra.eval.*`, and
