@@ -161,6 +161,20 @@ impl Poly {
         total
     }
 
+    /// True when `self ≥ other` at every non-negative valuation,
+    /// checked monomial-wise: each coefficient of `other` must be ≤
+    /// the matching coefficient of `self`. Sound but not complete
+    /// (`n² ≥ n` for `n ≥ 1` is not detected) — a `false` here means
+    /// "could not prove", never "proved smaller". Used by the bytecode
+    /// verifier to check its instruction-level cost sum against the
+    /// admission claim.
+    pub fn dominates(&self, other: &Poly) -> bool {
+        other
+            .terms
+            .iter()
+            .all(|(m, c)| self.terms.get(m).copied().unwrap_or(0) >= *c)
+    }
+
     /// Largest total degree across monomials.
     pub fn degree(&self) -> u32 {
         self.terms
@@ -229,6 +243,14 @@ impl Bound {
         } else {
             Bound::Poly(p)
         }
+    }
+
+    /// Wraps a polynomial, degrading to ⊤ past the same complexity
+    /// caps the internal transfer functions apply — external mirrors
+    /// of the cost pass (the bytecode verifier) must build bounds
+    /// through this to stay bit-equal with [`analyze_cost`].
+    pub fn of(p: Poly) -> Bound {
+        Bound::capped(p)
     }
 
     /// Saturating sum; ⊤ is absorbing.
@@ -787,6 +809,20 @@ mod tests {
         let safety = analyze_prog(p, schema, dialect);
         let termination = analyze_termination(p, schema, dialect, &safety);
         analyze_cost(p, schema, dialect, &safety, &termination)
+    }
+
+    #[test]
+    fn dominates_is_coefficient_wise() {
+        let n = Poly::base();
+        let n2 = n.mul(&n);
+        let sum = n2.add(&n);
+        assert!(sum.dominates(&n));
+        assert!(sum.dominates(&n2));
+        assert!(sum.dominates(&Poly::zero()));
+        assert!(!n.dominates(&n2), "cross-monomial dominance is not proved");
+        assert!(!n2.dominates(&n), "sound: n² vs n stays unproved");
+        assert!(n.add(&n).dominates(&n), "2n ≥ n");
+        assert!(!Poly::rel(0).dominates(&Poly::rel(1)));
     }
 
     #[test]

@@ -32,6 +32,7 @@
 #![warn(missing_docs)]
 
 pub mod cost;
+pub mod dataflow;
 pub mod delta;
 pub mod diag;
 pub mod generic;
@@ -42,6 +43,7 @@ pub mod simplify;
 pub mod terminate;
 
 pub use cost::{analyze_cost, Bound, CostAnalysis, CostEnv, CostVerdict, Poly, StmtCost};
+pub use dataflow::{analyze_dataflow, DataflowAnalysis, RegPool};
 pub use delta::{analyze_delta, DeltaAnalysis, LoopDelta};
 pub use diag::{Code, Diagnostic, Severity};
 pub use generic::{analyze_genericity, GenericAnalysis, GenericityVerdict};

@@ -42,8 +42,10 @@ pub fn fo_member(hs: &HsDatabase, phi: &Formula, u: &Tuple) -> bool {
     let v = hs.canonical_rep(u);
     let pool = quantifier_pool(hs, n + k);
     let mut asg = Assignment::from_tuple(&v);
-    eval_with_pool(hs.database(), phi, &mut asg, &pool)
-        .expect("free variables are bound by the tuple")
+    // Every free variable of `φ` is bound by the tuple assignment, so
+    // evaluation cannot hit an unbound variable; a formula with more
+    // free variables than `u` has columns denotes no membership.
+    eval_with_pool(hs.database(), phi, &mut asg, &pool).unwrap_or(false)
 }
 
 /// The depth-`r` Hintikka formula of the tree node `t`: a formula

@@ -46,8 +46,12 @@ pub fn express_unary_relation(
             disjuncts.push(formula_for_class(ty, db.schema()));
         }
     }
+    // Class formulas are quantifier-free, schema-valid, and use only
+    // the head variables, so construction cannot fail; if it ever did,
+    // `undefined` is the honest answer (the relation could not be
+    // expressed), not a crash.
     LMinusQuery::new(db.schema().clone(), rank, Formula::or(disjuncts))
-        .expect("class formulas are quantifier-free and well-formed")
+        .unwrap_or_else(|_| LMinusQuery::undefined(db.schema().clone()))
 }
 
 fn collect_reps(

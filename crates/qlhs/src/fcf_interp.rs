@@ -92,143 +92,183 @@ impl<'a> FcfInterp<'a> {
         self.seminaive = on;
     }
 
-    /// Evaluates a term.
+    /// `E = {(a,a) | a ∈ Df}` — always finite.
+    pub fn op_e(&self) -> FcfVal {
+        FcfVal {
+            rank: 2,
+            finite: true,
+            tuples: self.df.iter().map(|&a| Tuple::from(vec![a, a])).collect(),
+        }
+    }
+
+    /// Stored relation `Rᵢ` in its §4 representation, bounds-checked.
+    pub fn op_rel(&self, i: usize) -> Result<FcfVal, RunError> {
+        let Some(rel) = self.db.relations().get(i) else {
+            return Err(RunError::NoSuchRelation(i));
+        };
+        Ok(FcfVal {
+            rank: rel.arity(),
+            finite: matches!(rel, recdb_hsdb::FcfRel::Finite(_)),
+            tuples: rel.finite_part().clone(),
+        })
+    }
+
+    /// The finite rank-1 singleton `{(a)}`.
+    pub fn op_const(&self, c: u64) -> FcfVal {
+        FcfVal {
+            rank: 1,
+            finite: true,
+            tuples: [Tuple::from_values([c])].into_iter().collect(),
+        }
+    }
+
+    /// Intersection by the four finite∕co-finite cases; ranks must
+    /// agree.
+    pub fn op_and(x: &FcfVal, y: &FcfVal) -> Result<FcfVal, RunError> {
+        if x.rank != y.rank {
+            return Err(RunError::RankMismatch {
+                left: x.rank,
+                right: y.rank,
+            });
+        }
+        Ok(match (x.finite, y.finite) {
+            (true, true) => FcfVal {
+                rank: x.rank,
+                finite: true,
+                tuples: x.tuples.intersection(&y.tuples).cloned().collect(),
+            },
+            // Finite ∩ co-finite: remove the complement's tuples from
+            // the finite side (the paper's e ∖ (¬f) computation).
+            (true, false) => FcfVal {
+                rank: x.rank,
+                finite: true,
+                tuples: x.tuples.difference(&y.tuples).cloned().collect(),
+            },
+            (false, true) => FcfVal {
+                rank: x.rank,
+                finite: true,
+                tuples: y.tuples.difference(&x.tuples).cloned().collect(),
+            },
+            // Co-finite ∩ co-finite: complement is the union.
+            (false, false) => FcfVal {
+                rank: x.rank,
+                finite: false,
+                tuples: x.tuples.union(&y.tuples).cloned().collect(),
+            },
+        })
+    }
+
+    /// `¬x` flips the indicator (tick-free).
+    pub fn op_not(x: &FcfVal) -> FcfVal {
+        let mut x = x.clone();
+        x.finite = !x.finite;
+        x
+    }
+
+    /// `x↑ = x × Df`, defined only for finite `x`; ticks once per
+    /// output tuple.
+    pub fn op_up(&self, x: &FcfVal, fuel: &mut Fuel) -> Result<FcfVal, RunError> {
+        if !x.finite {
+            return Err(RunError::UpOnInfinite);
+        }
+        let mut out = BTreeSet::new();
+        for u in &x.tuples {
+            for &d in &self.df {
+                fuel.tick()?;
+                out.insert(u.extend(d));
+            }
+        }
+        Ok(FcfVal {
+            rank: x.rank + 1,
+            finite: true,
+            tuples: out,
+        })
+    }
+
+    /// `x↓` with the Prop 4.2 co-finite cases.
+    pub fn op_down(x: &FcfVal) -> Result<FcfVal, RunError> {
+        if x.rank == 0 {
+            return Ok(FcfVal::empty(0));
+        }
+        if x.finite {
+            Ok(FcfVal {
+                rank: x.rank - 1,
+                finite: true,
+                tuples: x
+                    .tuples
+                    .iter()
+                    .map(|u| {
+                        u.drop_first()
+                            .ok_or(RunError::Internal("↓ on a tuple shorter than its rank"))
+                    })
+                    .collect::<Result<_, _>>()?,
+            })
+        } else if x.rank == 1 {
+            // Prop 4.2: co-finite R ⊆ D¹ projects to D⁰ = {()}.
+            Ok(FcfVal {
+                rank: 0,
+                finite: true,
+                tuples: [Tuple::empty()].into_iter().collect(),
+            })
+        } else {
+            // Prop 4.2: R↓ = Dⁿ⁻¹, co-finite with empty complement.
+            Ok(FcfVal::full(x.rank - 1))
+        }
+    }
+
+    /// `x~` swaps the finite part, preserving the indicator (swapping
+    /// commutes with complementation).
+    pub fn op_swap(x: &FcfVal) -> Result<FcfVal, RunError> {
+        if x.rank < 2 {
+            return Ok(x.clone());
+        }
+        Ok(FcfVal {
+            rank: x.rank,
+            finite: x.finite,
+            tuples: x
+                .tuples
+                .iter()
+                .map(|u| {
+                    u.swap_last_two()
+                        .ok_or(RunError::Internal("swap on a tuple shorter than its rank"))
+                })
+                .collect::<Result<_, _>>()?,
+        })
+    }
+
+    /// Evaluates a term. One fuel tick per term node at entry; the
+    /// per-op primitives above carry the data-dependent ticks and are
+    /// shared with the bytecode VM.
     pub fn eval_term(&self, t: &Term, env: &[FcfVal], fuel: &mut Fuel) -> Result<FcfVal, RunError> {
         fuel.tick()?;
         Ok(match t {
-            Term::E => FcfVal {
-                rank: 2,
-                finite: true,
-                tuples: self.df.iter().map(|&a| Tuple::from(vec![a, a])).collect(),
-            },
-            Term::Rel(i) => {
-                let Some(rel) = self.db.relations().get(*i) else {
-                    return Err(RunError::NoSuchRelation(*i));
-                };
-                FcfVal {
-                    rank: rel.arity(),
-                    finite: matches!(rel, recdb_hsdb::FcfRel::Finite(_)),
-                    tuples: rel.finite_part().clone(),
-                }
-            }
+            Term::E => self.op_e(),
+            Term::Rel(i) => self.op_rel(*i)?,
             Term::Var(v) => env.get(*v).cloned().unwrap_or_else(|| FcfVal::empty(0)),
             // A constant is the finite rank-1 singleton `{(a)}`,
             // whether or not `a ∈ Df` (constants name domain elements,
             // and the domain is all of ℕ).
-            Term::Const(c) => FcfVal {
-                rank: 1,
-                finite: true,
-                tuples: [Tuple::from_values([*c])].into_iter().collect(),
-            },
+            Term::Const(c) => self.op_const(*c),
             Term::And(a, b) => {
                 let x = self.eval_term(a, env, fuel)?;
                 let y = self.eval_term(b, env, fuel)?;
-                if x.rank != y.rank {
-                    return Err(RunError::RankMismatch {
-                        left: x.rank,
-                        right: y.rank,
-                    });
-                }
-                match (x.finite, y.finite) {
-                    (true, true) => FcfVal {
-                        rank: x.rank,
-                        finite: true,
-                        tuples: x.tuples.intersection(&y.tuples).cloned().collect(),
-                    },
-                    // Finite ∩ co-finite: remove the complement's
-                    // tuples from the finite side (the paper's
-                    // e ∖ (¬f) computation).
-                    (true, false) => FcfVal {
-                        rank: x.rank,
-                        finite: true,
-                        tuples: x.tuples.difference(&y.tuples).cloned().collect(),
-                    },
-                    (false, true) => FcfVal {
-                        rank: x.rank,
-                        finite: true,
-                        tuples: y.tuples.difference(&x.tuples).cloned().collect(),
-                    },
-                    // Co-finite ∩ co-finite: complement is the union.
-                    (false, false) => FcfVal {
-                        rank: x.rank,
-                        finite: false,
-                        tuples: x.tuples.union(&y.tuples).cloned().collect(),
-                    },
-                }
+                Self::op_and(&x, &y)?
             }
             Term::Not(e) => {
-                let mut x = self.eval_term(e, env, fuel)?;
-                x.finite = !x.finite;
-                x
+                let x = self.eval_term(e, env, fuel)?;
+                Self::op_not(&x)
             }
             Term::Up(e) => {
                 let x = self.eval_term(e, env, fuel)?;
-                if !x.finite {
-                    return Err(RunError::UpOnInfinite);
-                }
-                let mut out = BTreeSet::new();
-                for u in &x.tuples {
-                    for &d in &self.df {
-                        fuel.tick()?;
-                        out.insert(u.extend(d));
-                    }
-                }
-                FcfVal {
-                    rank: x.rank + 1,
-                    finite: true,
-                    tuples: out,
-                }
+                self.op_up(&x, fuel)?
             }
             Term::Down(e) => {
                 let x = self.eval_term(e, env, fuel)?;
-                if x.rank == 0 {
-                    return Ok(FcfVal::empty(0));
-                }
-                if x.finite {
-                    FcfVal {
-                        rank: x.rank - 1,
-                        finite: true,
-                        tuples: x
-                            .tuples
-                            .iter()
-                            .map(|u| {
-                                u.drop_first()
-                                    .ok_or(RunError::Internal("↓ on a tuple shorter than its rank"))
-                            })
-                            .collect::<Result<_, _>>()?,
-                    }
-                } else if x.rank == 1 {
-                    // Prop 4.2: co-finite R ⊆ D¹ projects to D⁰ = {()}.
-                    FcfVal {
-                        rank: 0,
-                        finite: true,
-                        tuples: [Tuple::empty()].into_iter().collect(),
-                    }
-                } else {
-                    // Prop 4.2: R↓ = Dⁿ⁻¹, co-finite with empty
-                    // complement.
-                    FcfVal::full(x.rank - 1)
-                }
+                Self::op_down(&x)?
             }
             Term::Swap(e) => {
                 let x = self.eval_term(e, env, fuel)?;
-                if x.rank < 2 {
-                    return Ok(x);
-                }
-                // Swapping commutes with complementation, so swap the
-                // finite part either way.
-                FcfVal {
-                    rank: x.rank,
-                    finite: x.finite,
-                    tuples: x
-                        .tuples
-                        .iter()
-                        .map(|u| {
-                            u.swap_last_two()
-                                .ok_or(RunError::Internal("swap on a tuple shorter than its rank"))
-                        })
-                        .collect::<Result<_, _>>()?,
-                }
+                Self::op_swap(&x)?
             }
         })
     }

@@ -48,6 +48,112 @@ impl<'a> FinInterp<'a> {
         self.st.universe()
     }
 
+    /// The diagonal `E = {(a,a) | a ∈ D}`.
+    pub fn op_e(&self) -> Val {
+        Val {
+            rank: 2,
+            tuples: self
+                .universe()
+                .iter()
+                .map(|&a| Tuple::from(vec![a, a]))
+                .collect(),
+        }
+    }
+
+    /// Stored relation `Rᵢ` (0-based), bounds-checked against the
+    /// schema.
+    pub fn op_rel(&self, i: usize) -> Result<Val, RunError> {
+        if i >= self.st.schema().len() {
+            return Err(RunError::NoSuchRelation(i));
+        }
+        Ok(Val {
+            rank: self.st.schema().arity(i),
+            tuples: self.st.relation(i).clone(),
+        })
+    }
+
+    /// The constant singleton `Cₐ = {(a)}`.
+    pub fn op_const(&self, c: u64) -> Val {
+        Val {
+            rank: 1,
+            tuples: [Tuple::from_values([c])].into_iter().collect(),
+        }
+    }
+
+    /// Intersection `x ∩ y`; ranks must agree.
+    pub fn op_and(x: &Val, y: &Val) -> Result<Val, RunError> {
+        if x.rank != y.rank {
+            return Err(RunError::RankMismatch {
+                left: x.rank,
+                right: y.rank,
+            });
+        }
+        Ok(Val {
+            rank: x.rank,
+            tuples: x.tuples.intersection(&y.tuples).cloned().collect(),
+        })
+    }
+
+    /// Complement `¬x = Dⁿ ∖ x`; ticks once per enumerated tuple.
+    pub fn op_not(&self, x: &Val, fuel: &mut Fuel) -> Result<Val, RunError> {
+        let all = self.full(x.rank, fuel)?;
+        Ok(Val {
+            rank: x.rank,
+            tuples: all.difference(&x.tuples).cloned().collect(),
+        })
+    }
+
+    /// Cylindrification `x↑ = x × D`; ticks once per output tuple.
+    pub fn op_up(&self, x: &Val, fuel: &mut Fuel) -> Result<Val, RunError> {
+        let mut out = BTreeSet::new();
+        for u in &x.tuples {
+            for &a in self.universe() {
+                fuel.tick()?;
+                out.insert(u.extend(a));
+            }
+        }
+        Ok(Val {
+            rank: x.rank + 1,
+            tuples: out,
+        })
+    }
+
+    /// Projection `x↓` drops the first coordinate.
+    pub fn op_down(x: &Val) -> Result<Val, RunError> {
+        if x.rank == 0 {
+            return Ok(Val::empty(0));
+        }
+        Ok(Val {
+            rank: x.rank - 1,
+            tuples: x
+                .tuples
+                .iter()
+                .map(|u| {
+                    u.drop_first()
+                        .ok_or(RunError::Internal("↓ on a tuple shorter than its rank"))
+                })
+                .collect::<Result<_, _>>()?,
+        })
+    }
+
+    /// `x~` swaps the two rightmost coordinates (identity below rank 2).
+    pub fn op_swap(x: &Val) -> Result<Val, RunError> {
+        if x.rank < 2 {
+            return Ok(x.clone());
+        }
+        Ok(Val {
+            rank: x.rank,
+            tuples: x
+                .tuples
+                .iter()
+                .map(|u| {
+                    u.swap_last_two()
+                        .ok_or(RunError::Internal("swap on a tuple shorter than its rank"))
+                })
+                .collect::<Result<_, _>>()?,
+        })
+    }
+
     /// All tuples of rank `n` over the universe — the complement base.
     fn full(&self, n: usize, fuel: &mut Fuel) -> Result<BTreeSet<Tuple>, RunError> {
         let mut out: BTreeSet<Tuple> = [Tuple::empty()].into_iter().collect();
@@ -64,105 +170,41 @@ impl<'a> FinInterp<'a> {
         Ok(out)
     }
 
-    /// Evaluates a term.
+    /// Evaluates a term. One fuel tick per term node at entry; the
+    /// per-op primitives above carry the data-dependent ticks — the
+    /// bytecode VM calls the same primitives, so the two executors
+    /// share semantics by construction.
     pub fn eval_term(&self, t: &Term, env: &[Val], fuel: &mut Fuel) -> Result<Val, RunError> {
         fuel.tick()?;
         Ok(match t {
-            Term::E => Val {
-                rank: 2,
-                tuples: self
-                    .universe()
-                    .iter()
-                    .map(|&a| Tuple::from(vec![a, a]))
-                    .collect(),
-            },
-            Term::Rel(i) => {
-                if *i >= self.st.schema().len() {
-                    return Err(RunError::NoSuchRelation(*i));
-                }
-                Val {
-                    rank: self.st.schema().arity(*i),
-                    tuples: self.st.relation(*i).clone(),
-                }
-            }
+            Term::E => self.op_e(),
+            Term::Rel(i) => self.op_rel(*i)?,
             Term::Var(v) => env.get(*v).cloned().unwrap_or_else(|| Val::empty(0)),
             // `Cₐ = {(a)}` whether or not `a` lies in this structure's
             // universe — constants name elements of the ambient domain,
             // and structures are finite windows onto it. (`¬Cₐ` still
             // complements within the universe.)
-            Term::Const(c) => Val {
-                rank: 1,
-                tuples: [Tuple::from_values([*c])].into_iter().collect(),
-            },
+            Term::Const(c) => self.op_const(*c),
             Term::And(a, b) => {
                 let x = self.eval_term(a, env, fuel)?;
                 let y = self.eval_term(b, env, fuel)?;
-                if x.rank != y.rank {
-                    return Err(RunError::RankMismatch {
-                        left: x.rank,
-                        right: y.rank,
-                    });
-                }
-                Val {
-                    rank: x.rank,
-                    tuples: x.tuples.intersection(&y.tuples).cloned().collect(),
-                }
+                Self::op_and(&x, &y)?
             }
             Term::Not(e) => {
                 let x = self.eval_term(e, env, fuel)?;
-                let all = self.full(x.rank, fuel)?;
-                Val {
-                    rank: x.rank,
-                    tuples: all.difference(&x.tuples).cloned().collect(),
-                }
+                self.op_not(&x, fuel)?
             }
             Term::Up(e) => {
                 let x = self.eval_term(e, env, fuel)?;
-                let mut out = BTreeSet::new();
-                for u in &x.tuples {
-                    for &a in self.universe() {
-                        fuel.tick()?;
-                        out.insert(u.extend(a));
-                    }
-                }
-                Val {
-                    rank: x.rank + 1,
-                    tuples: out,
-                }
+                self.op_up(&x, fuel)?
             }
             Term::Down(e) => {
                 let x = self.eval_term(e, env, fuel)?;
-                if x.rank == 0 {
-                    return Ok(Val::empty(0));
-                }
-                Val {
-                    rank: x.rank - 1,
-                    tuples: x
-                        .tuples
-                        .iter()
-                        .map(|u| {
-                            u.drop_first()
-                                .ok_or(RunError::Internal("↓ on a tuple shorter than its rank"))
-                        })
-                        .collect::<Result<_, _>>()?,
-                }
+                Self::op_down(&x)?
             }
             Term::Swap(e) => {
                 let x = self.eval_term(e, env, fuel)?;
-                if x.rank < 2 {
-                    return Ok(x);
-                }
-                Val {
-                    rank: x.rank,
-                    tuples: x
-                        .tuples
-                        .iter()
-                        .map(|u| {
-                            u.swap_last_two()
-                                .ok_or(RunError::Internal("swap on a tuple shorter than its rank"))
-                        })
-                        .collect::<Result<_, _>>()?,
-                }
+                Self::op_swap(&x)?
             }
         })
     }

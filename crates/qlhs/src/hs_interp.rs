@@ -74,117 +74,156 @@ impl<'a> HsInterp<'a> {
         c
     }
 
-    /// Evaluates a term in an environment.
+    /// The diagonal classes of `T²`.
+    pub fn op_e(&mut self) -> Val {
+        let diag: BTreeSet<Tuple> = self
+            .level(2)
+            .to_vec()
+            .into_iter()
+            .filter(|t| t[0] == t[1])
+            .collect();
+        Val {
+            rank: 2,
+            tuples: diag,
+        }
+    }
+
+    /// Stored relation `Rᵢ`'s representatives, bounds-checked.
+    pub fn op_rel(&self, i: usize) -> Result<Val, RunError> {
+        if i >= self.hs.schema().len() {
+            return Err(RunError::NoSuchRelation(i));
+        }
+        Ok(Val {
+            rank: self.hs.schema().arity(i),
+            tuples: self.hs.reps(i).clone(),
+        })
+    }
+
+    /// `Cₐ` as the whole `≅_B`-class of `a` — the canonical rep of
+    /// `(a)` in `T¹` (values are unions of classes, never elements).
+    pub fn op_const(&mut self, c: u64) -> Val {
+        let rep = self.canonical(&Tuple::from_values([c]));
+        Val {
+            rank: 1,
+            tuples: [rep].into_iter().collect(),
+        }
+    }
+
+    /// Intersection `x ∩ y`; ranks must agree.
+    pub fn op_and(x: &Val, y: &Val) -> Result<Val, RunError> {
+        if x.rank != y.rank {
+            return Err(RunError::RankMismatch {
+                left: x.rank,
+                right: y.rank,
+            });
+        }
+        Ok(Val {
+            rank: x.rank,
+            tuples: x.tuples.intersection(&y.tuples).cloned().collect(),
+        })
+    }
+
+    /// Complement within the `Tⁿ` level (tick-free: the level cache
+    /// makes it a set difference).
+    pub fn op_not(&mut self, x: &Val) -> Val {
+        let all: BTreeSet<Tuple> = self.level(x.rank).iter().cloned().collect();
+        Val {
+            rank: x.rank,
+            tuples: all.difference(&x.tuples).cloned().collect(),
+        }
+    }
+
+    /// `x↑` collects tree offspring; ticks once per child.
+    pub fn op_up(&mut self, x: &Val, fuel: &mut Fuel) -> Result<Val, RunError> {
+        let mut out = BTreeSet::new();
+        for u in &x.tuples {
+            for a in self.hs.tree().offspring(u) {
+                fuel.tick()?;
+                out.insert(u.extend(a));
+            }
+        }
+        Ok(Val {
+            rank: x.rank + 1,
+            tuples: out,
+        })
+    }
+
+    /// `x↓` via the `≅_B` oracle; ticks once per tuple.
+    pub fn op_down(&mut self, x: &Val, fuel: &mut Fuel) -> Result<Val, RunError> {
+        if x.rank == 0 {
+            // Convention: ↓ below rank 0 is the empty rank-0 relation
+            // (this is what makes "test e↓ for emptiness" a zero-test
+            // for rank-counters).
+            return Ok(Val::empty(0));
+        }
+        let mut out = BTreeSet::new();
+        for u in &x.tuples {
+            fuel.tick()?;
+            let dropped = u
+                .drop_first()
+                .ok_or(RunError::Internal("↓ on a tuple shorter than its rank"))?;
+            out.insert(self.canonical(&dropped));
+        }
+        Ok(Val {
+            rank: x.rank - 1,
+            tuples: out,
+        })
+    }
+
+    /// `x~` via the `≅_B` oracle; ticks once per tuple (identity below
+    /// rank 2).
+    pub fn op_swap(&mut self, x: &Val, fuel: &mut Fuel) -> Result<Val, RunError> {
+        if x.rank < 2 {
+            return Ok(x.clone()); // nothing to exchange
+        }
+        let mut out = BTreeSet::new();
+        for u in &x.tuples {
+            fuel.tick()?;
+            let swapped = u
+                .swap_last_two()
+                .ok_or(RunError::Internal("swap on a tuple shorter than its rank"))?;
+            out.insert(self.canonical(&swapped));
+        }
+        Ok(Val {
+            rank: x.rank,
+            tuples: out,
+        })
+    }
+
+    /// Evaluates a term in an environment. One fuel tick per term node
+    /// at entry; the per-op primitives above carry the data-dependent
+    /// ticks and are shared with the bytecode VM.
     pub fn eval_term(&mut self, t: &Term, env: &[Val], fuel: &mut Fuel) -> Result<Val, RunError> {
         fuel.tick()?;
         Ok(match t {
-            Term::E => {
-                let diag: BTreeSet<Tuple> = self
-                    .level(2)
-                    .to_vec()
-                    .into_iter()
-                    .filter(|t| t[0] == t[1])
-                    .collect();
-                Val {
-                    rank: 2,
-                    tuples: diag,
-                }
-            }
-            Term::Rel(i) => {
-                if *i >= self.hs.schema().len() {
-                    return Err(RunError::NoSuchRelation(*i));
-                }
-                Val {
-                    rank: self.hs.schema().arity(*i),
-                    tuples: self.hs.reps(*i).clone(),
-                }
-            }
+            Term::E => self.op_e(),
+            Term::Rel(i) => self.op_rel(*i)?,
             Term::Var(v) => env.get(*v).cloned().unwrap_or_else(|| Val::empty(0)),
             // Over a `C_B` representation a constant cannot name a
             // single element — values are unions of `≅_B`-classes — so
             // `Cₐ` denotes the whole class of `a`, i.e. the canonical
             // representative of `(a)` in `T¹`.
-            Term::Const(c) => {
-                let rep = self.canonical(&Tuple::from_values([*c]));
-                Val {
-                    rank: 1,
-                    tuples: [rep].into_iter().collect(),
-                }
-            }
+            Term::Const(c) => self.op_const(*c),
             Term::And(a, b) => {
                 let x = self.eval_term(a, env, fuel)?;
                 let y = self.eval_term(b, env, fuel)?;
-                if x.rank != y.rank {
-                    return Err(RunError::RankMismatch {
-                        left: x.rank,
-                        right: y.rank,
-                    });
-                }
-                Val {
-                    rank: x.rank,
-                    tuples: x.tuples.intersection(&y.tuples).cloned().collect(),
-                }
+                Self::op_and(&x, &y)?
             }
             Term::Not(e) => {
                 let x = self.eval_term(e, env, fuel)?;
-                let all: BTreeSet<Tuple> = self.level(x.rank).iter().cloned().collect();
-                Val {
-                    rank: x.rank,
-                    tuples: all.difference(&x.tuples).cloned().collect(),
-                }
+                self.op_not(&x)
             }
             Term::Up(e) => {
                 let x = self.eval_term(e, env, fuel)?;
-                let mut out = BTreeSet::new();
-                for u in &x.tuples {
-                    for a in self.hs.tree().offspring(u) {
-                        fuel.tick()?;
-                        out.insert(u.extend(a));
-                    }
-                }
-                Val {
-                    rank: x.rank + 1,
-                    tuples: out,
-                }
+                self.op_up(&x, fuel)?
             }
             Term::Down(e) => {
                 let x = self.eval_term(e, env, fuel)?;
-                if x.rank == 0 {
-                    // Convention: ↓ below rank 0 is the empty rank-0
-                    // relation (this is what makes "test e↓ for
-                    // emptiness" a zero-test for rank-counters).
-                    return Ok(Val::empty(0));
-                }
-                let mut out = BTreeSet::new();
-                for u in &x.tuples {
-                    fuel.tick()?;
-                    let dropped = u
-                        .drop_first()
-                        .ok_or(RunError::Internal("↓ on a tuple shorter than its rank"))?;
-                    out.insert(self.canonical(&dropped));
-                }
-                Val {
-                    rank: x.rank - 1,
-                    tuples: out,
-                }
+                self.op_down(&x, fuel)?
             }
             Term::Swap(e) => {
                 let x = self.eval_term(e, env, fuel)?;
-                if x.rank < 2 {
-                    return Ok(x); // nothing to exchange
-                }
-                let mut out = BTreeSet::new();
-                for u in &x.tuples {
-                    fuel.tick()?;
-                    let swapped = u
-                        .swap_last_two()
-                        .ok_or(RunError::Internal("swap on a tuple shorter than its rank"))?;
-                    out.insert(self.canonical(&swapped));
-                }
-                Val {
-                    rank: x.rank,
-                    tuples: out,
-                }
+                self.op_swap(&x, fuel)?
             }
         })
     }

@@ -22,6 +22,7 @@ use recdb_core::{Elem, QueryOutcome};
 use recdb_hsdb::HsDatabase;
 use recdb_logic::{finite_as_db, LMinusQuery};
 use recdb_qlhs::{Dialect, FcfInterp, FcfVal, FinInterp, HsInterp, Permutation, Val};
+use recdb_vm::{compile, exec_scheduled, verify, LowerOpts, VmBackend, VmBudget, VmEnd, VmProg};
 use std::collections::{BTreeMap, HashMap};
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -56,6 +57,11 @@ pub struct ServeConfig {
     /// Socket read timeout in milliseconds (bounds how long an idle
     /// keep-alive connection can pin a worker; `0` disables).
     pub read_timeout_ms: u64,
+    /// Execute verifier-accepted programs on the register VM
+    /// (`recdb-vm`). Any compile obstruction or verifier rejection
+    /// falls back to the tree-walkers with byte-identical behavior, so
+    /// this flag only trades speed, never answers.
+    pub vm: bool,
 }
 
 impl Default for ServeConfig {
@@ -70,6 +76,7 @@ impl Default for ServeConfig {
             cache: true,
             verify_hits: false,
             read_timeout_ms: 1_000,
+            vm: true,
         }
     }
 }
@@ -396,16 +403,50 @@ fn execute_query(req: &QueryRequest, shared: &Shared, ws: &mut WorkerState) -> (
 
     let work_cap = predicted_work(&adm, &req.db);
 
+    // Compile + verify for the register VM. The compiler is untrusted;
+    // only verifier-accepted bytecode runs, and any obstruction or
+    // rejection falls back to the tree-walkers (the `VM-DIFF` ledger
+    // check proves the two paths byte-identical, so the fallback is
+    // unobservable from outside).
+    let vm_prog = if shared.cfg.vm {
+        let _t = recdb_obs::span("serve.stage.vm.ns");
+        compile(
+            &adm.prog,
+            &schema,
+            dialect,
+            &adm.analysis.termination,
+            &LowerOpts::default(),
+        )
+        .ok()
+        .filter(|vm| {
+            verify(
+                vm,
+                &adm.prog,
+                &schema,
+                dialect,
+                &adm.analysis.termination,
+                Some(&adm.analysis.cost.verdict),
+            )
+            .is_ok()
+        })
+    } else {
+        None
+    };
+    if shared.cfg.vm && vm_prog.is_none() {
+        recdb_obs::count("serve.vm.fallbacks", 1);
+    }
+    let vm_prog = vm_prog.as_ref();
+
     let _t = recdb_obs::span("serve.stage.execute.ns");
     match &req.db {
         DbSpec::Finite(st) => {
             let mut interp = FinInterp::new(st);
             interp.set_seminaive(true);
-            serve_rel(&mut interp, dialect, &adm, shared, &mode, work_cap)
+            serve_rel(&mut interp, dialect, &adm, vm_prog, shared, &mode, work_cap)
         }
         DbSpec::Family(_) | DbSpec::Cells(_) => match worker_hs_interp(ws, &req.db) {
             Some(descr) => match ws.hs.get_mut(&descr) {
-                Some(interp) => serve_rel(interp, dialect, &adm, shared, &mode, work_cap),
+                Some(interp) => serve_rel(interp, dialect, &adm, vm_prog, shared, &mode, work_cap),
                 None => internal("worker shard lookup failed"),
             },
             None => {
@@ -414,7 +455,7 @@ fn execute_query(req: &QueryRequest, shared: &Shared, ws: &mut WorkerState) -> (
                     Some(hs) => {
                         let mut interp = HsInterp::new(&hs);
                         interp.set_seminaive(true);
-                        serve_rel(&mut interp, dialect, &adm, shared, &mode, work_cap)
+                        serve_rel(&mut interp, dialect, &adm, vm_prog, shared, &mode, work_cap)
                     }
                     None => internal("family resolution failed after admission"),
                 }
@@ -423,7 +464,7 @@ fn execute_query(req: &QueryRequest, shared: &Shared, ws: &mut WorkerState) -> (
         DbSpec::Fcf(db) => {
             let mut interp = FcfInterp::new(db);
             interp.set_seminaive(true);
-            serve_fcf(&mut interp, dialect, &adm, shared, &mode, work_cap)
+            serve_fcf(&mut interp, dialect, &adm, vm_prog, shared, &mode, work_cap)
         }
     }
 }
@@ -619,6 +660,49 @@ fn predicted_work(adm: &Admission, db: &DbSpec) -> Option<u64> {
     Some(w)
 }
 
+/// Runs an admitted program: on the register VM when a
+/// verifier-accepted compilation is in hand, on the tree-walking
+/// counted executor otherwise. The two paths are event-for-event
+/// equivalent (same guards, same fuel ticks, same scheduling ends), so
+/// callers never observe which one ran.
+fn run_admitted<B>(
+    b: &mut B,
+    dialect: Dialect,
+    adm: &Admission,
+    vm: Option<&VmProg>,
+    budget: &Budget<'_>,
+    preempt: &AtomicBool,
+) -> crate::exec::ExecResult<<B as GuardEval>::V>
+where
+    B: GuardEval + VmBackend<V = <B as GuardEval>::V>,
+{
+    let Some(prog) = vm else {
+        return run_scheduled(b, dialect, &adm.prog, budget, preempt);
+    };
+    recdb_obs::count("serve.vm.runs", 1);
+    let vb = VmBudget {
+        bounds: budget.bounds,
+        total_cap: budget.total_cap,
+        fuel: budget.fuel,
+        work_cap: budget.work_cap,
+    };
+    let r = exec_scheduled(b, prog, &vb, preempt);
+    let end = match r.end {
+        VmEnd::Done(v) => ExecEnd::Done(v),
+        VmEnd::Errored(e) => ExecEnd::Errored(e),
+        VmEnd::OutOfFuel => ExecEnd::OutOfFuel,
+        VmEnd::Preempted => ExecEnd::Preempted,
+        VmEnd::BoundExceeded { path, bound } => ExecEnd::BoundExceeded { path, bound },
+        VmEnd::TotalExceeded { cap } => ExecEnd::TotalExceeded { cap },
+        VmEnd::WorkExceeded { cap } => ExecEnd::WorkExceeded { cap },
+    };
+    crate::exec::ExecResult {
+        end,
+        iterations: r.iterations,
+        work: r.work,
+    }
+}
+
 /// Transports a relation value through `π` (forward) or `π⁻¹`.
 fn transport_val(v: &Val, p: &Permutation, forward: bool) -> Val {
     Val {
@@ -634,10 +718,11 @@ fn transport_val(v: &Val, p: &Permutation, forward: bool) -> Val {
 /// The shared post-execution path for relation-valued backends
 /// (`FinInterp`/`HsInterp`): cache lookup, execution, cache fill, and
 /// response rendering.
-fn serve_rel<B: GuardEval<V = Val>>(
+fn serve_rel<B: GuardEval<V = Val> + VmBackend<V = Val>>(
     b: &mut B,
     dialect: Dialect,
     adm: &Admission,
+    vm: Option<&VmProg>,
     shared: &Shared,
     mode: &CacheMode<'_>,
     work_cap: Option<u64>,
@@ -653,7 +738,7 @@ fn serve_rel<B: GuardEval<V = Val>>(
                 let rendered = result_json(&answer);
                 if shared.cfg.verify_hits {
                     let budget = budget_for(&adm.plan, shared.cfg.fuel_max, work_cap);
-                    let fresh = run_scheduled(b, dialect, &adm.prog, &budget, &shared.preempt);
+                    let fresh = run_admitted(b, dialect, adm, vm, &budget, &shared.preempt);
                     match fresh.end {
                         ExecEnd::Done(v) if result_json(&v) == rendered => {
                             recdb_obs::count("serve.cache.verified", 1);
@@ -676,7 +761,7 @@ fn serve_rel<B: GuardEval<V = Val>>(
         recdb_obs::count("serve.cache.misses", 1);
     }
     let budget = budget_for(&adm.plan, shared.cfg.fuel_max, work_cap);
-    let r = run_scheduled(b, dialect, &adm.prog, &budget, &shared.preempt);
+    let r = run_admitted(b, dialect, adm, vm, &budget, &shared.preempt);
     match r.end {
         ExecEnd::Done(v) => {
             recdb_obs::observe("serve.iterations", r.iterations);
@@ -707,6 +792,7 @@ fn serve_fcf(
     b: &mut FcfInterp<'_>,
     dialect: Dialect,
     adm: &Admission,
+    vm: Option<&VmProg>,
     shared: &Shared,
     mode: &CacheMode<'_>,
     work_cap: Option<u64>,
@@ -718,7 +804,7 @@ fn serve_fcf(
                 let rendered = fcf_result_json(qk);
                 if shared.cfg.verify_hits {
                     let budget = budget_for(&adm.plan, shared.cfg.fuel_max, work_cap);
-                    let fresh = run_scheduled(b, dialect, &adm.prog, &budget, &shared.preempt);
+                    let fresh = run_admitted(b, dialect, adm, vm, &budget, &shared.preempt);
                     match fresh.end {
                         ExecEnd::Done(v) if fcf_result_json(&v) == rendered => {
                             recdb_obs::count("serve.cache.verified", 1);
@@ -741,7 +827,7 @@ fn serve_fcf(
         recdb_obs::count("serve.cache.misses", 1);
     }
     let budget = budget_for(&adm.plan, shared.cfg.fuel_max, work_cap);
-    let r = run_scheduled(b, dialect, &adm.prog, &budget, &shared.preempt);
+    let r = run_admitted(b, dialect, adm, vm, &budget, &shared.preempt);
     match r.end {
         ExecEnd::Done(v) => {
             recdb_obs::observe("serve.iterations", r.iterations);

@@ -137,7 +137,16 @@ impl CounterProgram {
                     jyes,
                     jno,
                 } => {
-                    let db = db.expect("oracle instruction requires a database");
+                    // An `Oracle` with no database jams the machine:
+                    // the run ends as if the program counter left the
+                    // program, keeping `run` total.
+                    let Some(db) = db else {
+                        return Ok(RunOutcome {
+                            result: RunResult::FellOff,
+                            steps,
+                            registers: regs,
+                        });
+                    };
                     let tuple: Vec<Elem> = args
                         .iter()
                         .map(|&r| Elem(regs.get(r).copied().unwrap_or(0)))
@@ -242,25 +251,30 @@ impl Asm {
 
     /// Resolves labels and produces the program.
     ///
-    /// # Panics
-    /// Panics on undefined labels.
+    /// An undefined label resolves to an address one past the end of
+    /// the program, so any run that reaches it falls off
+    /// ([`RunResult::FellOff`]) rather than aborting assembly — the
+    /// jump is still a total instruction, just one whose target
+    /// rejects.
     pub fn assemble(mut self) -> CounterProgram {
+        let off_end = self.code.len();
         let find = |labels: &[(String, usize)], name: &str| -> usize {
             labels
                 .iter()
                 .find(|(n, _)| n == name)
-                .unwrap_or_else(|| panic!("undefined label {name:?}"))
-                .1
+                .map_or(off_end, |(_, a)| *a)
         };
         for (at, name) in std::mem::take(&mut self.fixups) {
             match &mut self.code[at] {
                 Instr::Jz(_, a) | Instr::Jmp(a) => *a = find(&self.labels, &name),
                 Instr::Oracle { jyes, jno, .. } => {
-                    let (y, n) = name.split_once('\u{0}').expect("oracle fixup format");
+                    let (y, n) = name.split_once('\u{0}').unwrap_or((name.as_str(), ""));
                     *jyes = find(&self.labels, y);
                     *jno = find(&self.labels, n);
                 }
-                other => panic!("fixup on non-jump {other:?}"),
+                // Fixups are only recorded by the jump-emitting
+                // builder methods; anything else is ignored.
+                _ => {}
             }
         }
         CounterProgram { code: self.code }
@@ -350,9 +364,22 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "undefined label")]
-    fn undefined_label_panics() {
-        let _ = Asm::new().jmp("nowhere").assemble();
+    fn undefined_label_falls_off() {
+        let p = Asm::new().jmp("nowhere").assemble();
+        let mut fuel = Fuel::new(10);
+        let out = p.run_pure(&[], &mut fuel).unwrap();
+        assert_eq!(out.result, RunResult::FellOff);
+    }
+
+    #[test]
+    fn oracle_without_database_jams() {
+        let p = Asm::new()
+            .label("x")
+            .oracle(0, vec![0], "x", "x")
+            .assemble();
+        let mut fuel = Fuel::new(10);
+        let out = p.run_pure(&[], &mut fuel).unwrap();
+        assert_eq!(out.result, RunResult::FellOff);
     }
 
     #[test]

@@ -47,10 +47,12 @@ struct Spec {
 
 /// The ratios under ratchet. The first is the PR-5 partition win; the
 /// next two pin the delta engine and the incremental Vⁿᵣ cache; the
-/// last pins the serving layer's admission win — a statically rejected
-/// request (analyzer says diverges/unsafe, no evaluation) must stay
-/// well ahead of the heavy fueled workload at the same load level.
-const SPECS: [Spec; 4] = [
+/// fourth pins the serving layer's admission win — a statically
+/// rejected request (analyzer says diverges/unsafe, no evaluation)
+/// must stay well ahead of the heavy fueled workload at the same load
+/// level; the last pins the register VM's execution win over the AST
+/// walker on the same verified program.
+const SPECS: [Spec; 5] = [
     Spec {
         id: "partition.bucketed.4096",
         input: INPUT,
@@ -82,6 +84,14 @@ const SPECS: [Spec; 4] = [
         size: 10000,
         slow: "heavy",
         fast: "admit_reject",
+    },
+    Spec {
+        id: "vm.exec.1024",
+        input: INPUT,
+        group: "E7/vm",
+        size: 1024,
+        slow: "ast",
+        fast: "vm",
     },
 ];
 

@@ -41,12 +41,29 @@
 //! validation, compiles, and the lowered QLhs program clears
 //! `analyze_full` admission as `Safe`; `reject=RAxx` means the
 //! pipeline stops with exactly that diagnostic code.
+//!
+//! A `// VM:` directive pins the bytecode pipeline's verdict on a
+//! `.ql` file: `accept` means the program lowers to register bytecode
+//! AND the independent verifier re-proves it; `reject=<code>` pins the
+//! compile obstruction (`dialect`, `error`, or `unprovable`):
+//!
+//! ```text
+//! // analyze: dialect=ql schema=2 expect=safe
+//! // VM: reject=unprovable
+//! ```
+//!
+//! The verifier rejecting the compiler's own output is always a hard
+//! error — a trust-chain bug, never a pinnable verdict. Committed
+//! `*.qlvm` fixtures are hand-corrupted bytecode dumps paired with the
+//! `.ql` file of the same stem: each must still parse (the corruption
+//! is semantic, not syntactic) and the verifier must reject it.
 
 use crate::scan;
 use recdb_analyze::{analyze_full, analyze_prog, GenericityVerdict, Severity, Verdict};
 use recdb_core::Schema;
 use recdb_qlhs::{classify, parse_program, parse_program_with_spans, Dialect};
 use recdb_ra::{compile_program, parse_ra_with_spans, typecheck, validate, RaSchema};
+use recdb_vm::{compile, verify, LowerOpts, VmProg};
 use std::fmt::Write as _;
 use std::path::Path;
 
@@ -59,6 +76,9 @@ struct Directives {
     /// Expected cost verdict rendering (`// COST:` directive) — the
     /// exact `Display` of [`recdb_analyze::CostVerdict`].
     cost: Option<String>,
+    /// Expected bytecode-pipeline verdict (`// VM:` directive):
+    /// `accept` or `reject=<obstruction code>`.
+    vm: Option<String>,
 }
 
 fn parse_directives(src: &str) -> Result<Directives, String> {
@@ -68,10 +88,23 @@ fn parse_directives(src: &str) -> Result<Directives, String> {
         expect: None,
         genericity: None,
         cost: None,
+        vm: None,
     };
     for line in src.lines() {
         if let Some(rest) = line.trim().strip_prefix("// COST:") {
             d.cost = Some(rest.trim().to_string());
+            continue;
+        }
+        if let Some(rest) = line.trim().strip_prefix("// VM:") {
+            let v = rest.trim();
+            let is_reject = matches!(
+                v.strip_prefix("reject="),
+                Some("dialect" | "error" | "unprovable")
+            );
+            if v != "accept" && !is_reject {
+                return Err(format!("unknown vm verdict `{v}`"));
+            }
+            d.vm = Some(v.to_string());
             continue;
         }
         if let Some(rest) = line.trim().strip_prefix("// VERDICT:") {
@@ -177,6 +210,39 @@ fn ra_outcome(src: &str, schema: &RaSchema) -> Result<String, String> {
     Ok("accept".to_string())
 }
 
+/// What the bytecode pipeline says about an analyzed program:
+/// `accept` when lowering and independent verification both clear,
+/// `reject=<code>` naming the compile obstruction. The verifier
+/// rejecting the compiler's own output is a hard error (a trust-chain
+/// soundness bug), never a verdict.
+fn vm_outcome(
+    prog: &recdb_qlhs::Prog,
+    schema: &Schema,
+    dialect: Dialect,
+    full: &recdb_analyze::FullAnalysis,
+) -> Result<String, String> {
+    match compile(
+        prog,
+        schema,
+        dialect,
+        &full.termination,
+        &LowerOpts::default(),
+    ) {
+        Err(o) => Ok(format!("reject={}", o.kind.code())),
+        Ok(vm) => match verify(
+            &vm,
+            prog,
+            schema,
+            dialect,
+            &full.termination,
+            Some(&full.cost.verdict),
+        ) {
+            Ok(_) => Ok("accept".to_string()),
+            Err(r) => Err(format!("verifier rejected the compiler's own output: {r}")),
+        },
+    }
+}
+
 fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
@@ -236,6 +302,8 @@ pub fn run(root: &Path, report_path: Option<&Path>) -> bool {
     let mut file_rows = Vec::new();
     let mut literal_rows = Vec::new();
     let mut cost_pins = 0usize;
+    let mut vm_pins = 0usize;
+    let mut corrupt_rows = Vec::new();
 
     let programs_dir = root.join("examples/programs");
     let mut ql_files: Vec<_> = std::fs::read_dir(&programs_dir)
@@ -331,6 +399,66 @@ pub fn run(root: &Path, report_path: Option<&Path>) -> bool {
                 ok = false;
             }
         }
+        let vm_verdict = match vm_outcome(&prog, &directives.schema, dialect, &full) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("corpus: {name}: {e}");
+                ok = false;
+                "error".to_string()
+            }
+        };
+        if let Some(expect) = &directives.vm {
+            vm_pins += 1;
+            if &vm_verdict != expect {
+                eprintln!(
+                    "corpus: {name}: expected vm verdict `{expect}`, bytecode pipeline says \
+                     `{vm_verdict}`"
+                );
+                ok = false;
+            }
+        }
+        // A committed `<stem>.qlvm` fixture is a hand-corrupted dump of
+        // this program's bytecode: it must parse (the corruption is
+        // semantic) and the independent verifier must reject it.
+        let fixture = path.with_extension("qlvm");
+        if fixture.exists() {
+            let fixture_name = fixture
+                .strip_prefix(root)
+                .unwrap_or(&fixture)
+                .to_string_lossy()
+                .replace('\\', "/");
+            let text = std::fs::read_to_string(&fixture).unwrap_or_default();
+            match VmProg::parse_dump(&text) {
+                Err(e) => {
+                    eprintln!("corpus: {fixture_name}: corrupt fixture must still parse: {e}");
+                    ok = false;
+                }
+                Ok(bad) => match verify(
+                    &bad,
+                    &prog,
+                    &directives.schema,
+                    dialect,
+                    &full.termination,
+                    Some(&full.cost.verdict),
+                ) {
+                    Ok(_) => {
+                        eprintln!(
+                            "corpus: {fixture_name}: verifier ACCEPTED the corrupted bytecode — \
+                             soundness hole"
+                        );
+                        ok = false;
+                    }
+                    Err(r) => {
+                        corrupt_rows.push(format!(
+                            "    {{\"file\": \"{}\", \"rejected_at\": {}, \"reason\": \"{}\"}}",
+                            json_escape(&fixture_name),
+                            r.at,
+                            json_escape(&r.reason)
+                        ));
+                    }
+                },
+            }
+        }
         let diags: Vec<String> = analysis
             .diagnostics
             .iter()
@@ -349,13 +477,14 @@ pub fn run(root: &Path, report_path: Option<&Path>) -> bool {
         file_rows.push(format!(
             "    {{\"file\": \"{}\", \"dialect\": \"{}\", \"verdict\": \"{}\", \
              \"genericity\": \"{}\", \"termination\": \"{}\", \"cost\": \"{}\", \
-             \"diagnostics\": [{}]}}",
+             \"vm\": \"{}\", \"diagnostics\": [{}]}}",
             json_escape(&name),
             dialect,
             analysis.verdict,
             json_escape(&full.genericity.verdict.to_string()),
             json_escape(&full.termination.verdict.to_string()),
             json_escape(&cost_verdict),
+            json_escape(&vm_verdict),
             diags.join(", ")
         ));
     }
@@ -365,6 +494,18 @@ pub fn run(root: &Path, report_path: Option<&Path>) -> bool {
     // rendering or transfer-function drift cannot slip through.
     if cost_pins < 6 {
         eprintln!("corpus: only {cost_pins} `// COST:` pins — at least 6 required");
+        ok = false;
+    }
+
+    // Same contract for the bytecode pipeline: enough `// VM:` pins
+    // (acceptances and each obstruction code) plus at least one
+    // hand-corrupted dump the verifier must throw out.
+    if vm_pins < 4 {
+        eprintln!("corpus: only {vm_pins} `// VM:` pins — at least 4 required");
+        ok = false;
+    }
+    if corrupt_rows.is_empty() {
+        eprintln!("corpus: no `.qlvm` corrupted-bytecode fixture under examples/programs");
         ok = false;
     }
 
@@ -468,9 +609,10 @@ pub fn run(root: &Path, report_path: Option<&Path>) -> bool {
 
     if let Some(path) = report_path {
         let report = format!(
-            "{{\n  \"schema\": \"ANALYZE_CORPUS/v3\",\n  \"files\": [\n{}\n  ],\n  \"ra\": [\n{}\n  ],\n  \"literals\": [\n{}\n  ]\n}}\n",
+            "{{\n  \"schema\": \"ANALYZE_CORPUS/v4\",\n  \"files\": [\n{}\n  ],\n  \"ra\": [\n{}\n  ],\n  \"corrupt\": [\n{}\n  ],\n  \"literals\": [\n{}\n  ]\n}}\n",
             file_rows.join(",\n"),
             ra_rows.join(",\n"),
+            corrupt_rows.join(",\n"),
             literal_rows.join(",\n")
         );
         if let Err(e) = std::fs::write(path, report) {

@@ -22,12 +22,14 @@
 //! probed, fingerprint collisions, fan-out imbalance, …) next to the
 //! timing points — the "why is it slow" companion to the medians.
 
+use recdb_analyze::analyze_full;
 use recdb_core::{Database, DatabaseBuilder, Elem, FiniteStructure, FnRelation, Fuel, Tuple};
 use recdb_hsdb::{
     paper_example_graph, partition_by_local_iso, partition_by_local_iso_pairwise, v_n_r,
     IncrementalPartition,
 };
-use recdb_qlhs::{FinInterp, Prog, Term};
+use recdb_qlhs::{Dialect, FinInterp, Prog, Term};
+use recdb_vm::{compile, exec_plain, verify, LowerOpts};
 use std::time::Instant;
 
 /// Splitmix-style deterministic generator: the harness must not pull
@@ -96,6 +98,30 @@ fn reach_prog(last: u64) -> Prog {
             ])),
         ),
     ])
+}
+
+/// A straight-line §2 pipeline whose scratch variable `Y2` is written
+/// every stage but never read: the bytecode compiler's liveness pass
+/// proves those stores dead and tick-free and elides them, while the
+/// tree-walker evaluates every assignment. All operators stay in the
+/// tick-free Ql fragment so elision is fuel-sound.
+fn straightline_prog(stages: usize) -> Prog {
+    let mut stmts = vec![Prog::assign(1, Term::Rel(0))];
+    for _ in 0..stages {
+        stmts.push(Prog::assign(
+            2,
+            Term::Var(1)
+                .swap()
+                .and(Term::Rel(0))
+                .and(Term::Var(1).and(Term::E).swap()),
+        ));
+        stmts.push(Prog::assign(
+            1,
+            Term::Var(1).and(Term::Rel(0).swap()).swap(),
+        ));
+    }
+    stmts.push(Prog::assign(0, Term::Var(1)));
+    Prog::seq(stmts)
 }
 
 fn parse_metrics_out() -> Option<String> {
@@ -167,6 +193,51 @@ fn main() {
             bench: "scratch".into(),
             size: size as usize,
             median_ns: median_ns(3, || run(false)),
+        });
+    }
+
+    // Verified bytecode vs tree-walking the same admitted program
+    // (`E7/vm`): compilation and verification happen once per
+    // admission in the serving layer, so the timed region is execution
+    // only — flat register dispatch with dead scratch stores elided
+    // against the AST walker that pays for every assignment.
+    for size in [64u64, 256, 1024] {
+        let st = path_graph(size);
+        let p = straightline_prog(8);
+        let full = analyze_full(&p, st.schema(), Dialect::Ql);
+        let vm = compile(
+            &p,
+            st.schema(),
+            Dialect::Ql,
+            &full.termination,
+            &LowerOpts::default(),
+        )
+        .expect("straight-line pipeline lowers");
+        verify(&vm, &p, st.schema(), Dialect::Ql, &full.termination, None)
+            .expect("bytecode verifies");
+        points.push(Point {
+            group: "E7/vm",
+            bench: "vm".into(),
+            size: size as usize,
+            median_ns: median_ns(5, || {
+                let mut i = FinInterp::new(&st);
+                exec_plain(&mut i, &vm, &mut Fuel::new(1 << 40))
+                    .expect("bytecode run terminates")
+                    .tuples
+                    .len()
+            }),
+        });
+        points.push(Point {
+            group: "E7/vm",
+            bench: "ast".into(),
+            size: size as usize,
+            median_ns: median_ns(5, || {
+                FinInterp::new(&st)
+                    .run(&p, &mut Fuel::new(1 << 40))
+                    .expect("tree walk terminates")
+                    .tuples
+                    .len()
+            }),
         });
     }
 
@@ -282,6 +353,15 @@ fn main() {
             eprintln!(
                 "incr_vnr t={size:>5}: recompute {r} ns / insert {i} ns = {:.1}x",
                 r as f64 / i as f64
+            );
+        }
+    }
+    for size in [64usize, 256, 1024] {
+        let (v, a) = (ns("E7/vm", "vm", size), ns("E7/vm", "ast", size));
+        if v > 0 {
+            eprintln!(
+                "vm       n={size:>5}: ast {a} ns / vm {v} ns = {:.1}x",
+                a as f64 / v as f64
             );
         }
     }

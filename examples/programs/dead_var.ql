@@ -2,5 +2,6 @@
 // the lint): W0102, but still a safe program.
 // analyze: dialect=ql schema=2 expect=safe
 // COST: bounded (|Y1| ≤ r1, work ≤ n·r1 + r1)
+// VM: accept
 Y1 := R1;
 Y3 := up(R1);

@@ -4,6 +4,7 @@
 // through the fixpoint and proves safety.
 // analyze: dialect=qlf+ schema=1,2 expect=safe
 // COST: unbounded (⊤)
+// VM: accept
 Y2 := R1;
 while finite(Y2) {
     Y2 := !Y2;

@@ -4,4 +4,5 @@
 // analyze: dialect=ql schema=2 expect=safe
 // VERDICT: generic
 // COST: bounded (|Y1| ≤ n, work ≤ n)
+// VM: accept
 Y1 := !C2;

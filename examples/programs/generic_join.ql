@@ -4,5 +4,6 @@
 // analyze: dialect=ql schema=2 expect=safe
 // VERDICT: generic
 // COST: bounded (|Y1| ≤ n·r1, work ≤ 2·n·r1)
+// VM: accept
 Y2 := up(R1);
 Y1 := swap(Y2) & Y2;

@@ -3,6 +3,7 @@
 // relation to judge — genericity stays Unknown (W0302).
 // analyze: dialect=ql schema=2 expect=unsafe
 // VERDICT: unknown
+// VM: reject=dialect
 Y1 := C1;
 while single(Y1) {
     Y1 := up(Y1);

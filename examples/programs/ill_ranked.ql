@@ -3,4 +3,5 @@
 // verdict is `unsafe`, and the interpreters agree with a
 // RankMismatch error.
 // analyze: dialect=ql schema=2 expect=unsafe
+// VM: reject=error
 Y1 := E & down(E);

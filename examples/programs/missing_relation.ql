@@ -1,4 +1,5 @@
 // The schema has a single relation, so `R2` does not exist: a
 // definite error on the must-execute spine.
 // analyze: dialect=ql schema=2 expect=unsafe
+// VM: reject=error
 Y1 := R2;

@@ -4,4 +4,5 @@
 // analyze: dialect=ql schema=2 expect=safe
 // VERDICT: nongeneric
 // COST: bounded (|Y1| ≤ 1, work ≤ 1)
+// VM: accept
 Y1 := C3;

@@ -4,6 +4,7 @@
 // still provably safe.
 // analyze: dialect=qlhs schema=2 expect=safe
 // COST: bounded (|Y1| ≤ n^2 + n, work ≤ 2·n^2 + 2·n)
+// VM: reject=unprovable
 Y2 := E;
 while single(Y2) {
     Y2 := up(Y2);

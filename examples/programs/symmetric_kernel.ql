@@ -3,5 +3,6 @@
 // operand ranks, so the analyzer proves no run can fail.
 // analyze: dialect=ql schema=2 expect=safe
 // COST: bounded (|Y1| ≤ r1, work ≤ 2·r1)
+// VM: accept
 Y2 := swap(R1);
 Y1 := R1 & Y2;

@@ -4,6 +4,7 @@
 // analyzer reports the W0601 obstruction at the widened statement.
 // analyze: dialect=ql schema=2 expect=safe
 // COST: unbounded (⊤)
+// VM: reject=unprovable
 while empty(Y2) {
   Y2 := R1;
 }

@@ -2,6 +2,7 @@
 // so its rank at the join is ⊤ and the final `&` cannot be proven
 // rank-correct — nor proven wrong. Verdict: unknown (W0107).
 // analyze: dialect=ql schema=2 expect=unknown
+// VM: reject=unprovable
 while empty(Y1) {
     Y2 := up(Y2);
     Y1 := E;

@@ -478,6 +478,93 @@ fn ra_compile_eval_burst_invariant_under_recorder() {
     });
 }
 
+// --- bytecode VM (ISSUE 10, satellite 4) ---
+
+/// The register VM behind the serve hot loop is a pure execution
+/// strategy: the fixed deterministic burst returns byte-identical
+/// responses with the VM enabled (the `serve.vm.*` and `vm.*`
+/// instruments fire) and disabled (tree-walker fallback), each
+/// measured recorder on/off, and the two backends agree with each
+/// other.
+#[test]
+fn vm_burst_invariant_under_recorder_and_backend() {
+    let _g = serial();
+    let run = |vm: bool| {
+        invariant_under_recorder(&format!("vm_burst(vm={vm})"), || {
+            let s = recdb_serve::Server::start(recdb_serve::ServeConfig {
+                workers: 2,
+                verify_hits: true,
+                read_timeout_ms: 200,
+                vm,
+                ..recdb_serve::ServeConfig::default()
+            })
+            .expect("bind ephemeral port");
+            let out = serve_burst(s.addr());
+            s.shutdown();
+            out
+        })
+    };
+    assert_eq!(
+        run(true),
+        run(false),
+        "register VM diverged from the tree-walkers"
+    );
+}
+
+/// Bytecode compilation, verification, and execution emit `vm.*`
+/// counters but must return bit-identical obstructions, bytecode, and
+/// values recorder on/off.
+#[test]
+fn vm_compile_exec_invariant_under_recorder() {
+    let _g = serial();
+    use recdb_conformance::gen::{random_finite_graph, random_prog, ProgShape};
+    use recdb_qlhs::Dialect;
+    use recdb_vm::{compile, exec_plain, verify, LowerOpts};
+    let mut rng = rng_for("vm_compile_exec_invariant_under_recorder");
+    let shape = ProgShape {
+        rels: 1,
+        vars: 3,
+        allow_singleton: false,
+        allow_finite: false,
+        consts: 3,
+        union_bias: true,
+    };
+    let st = random_finite_graph(&mut rng, 4);
+    let progs: Vec<_> = (0..12)
+        .map(|_| random_prog(&mut rng, 2, 3, &shape))
+        .collect();
+    invariant_under_recorder("vm_compile_exec", || {
+        progs
+            .iter()
+            .map(|p| {
+                let full = recdb_analyze::analyze_full(p, st.schema(), Dialect::Ql);
+                let vm = match compile(
+                    p,
+                    st.schema(),
+                    Dialect::Ql,
+                    &full.termination,
+                    &LowerOpts::default(),
+                ) {
+                    Err(o) => return Err(format!("{o}")),
+                    Ok(vm) => vm,
+                };
+                verify(
+                    &vm,
+                    p,
+                    st.schema(),
+                    Dialect::Ql,
+                    &full.termination,
+                    Some(&full.cost.verdict),
+                )
+                .expect("verifier accepts the compiler's output");
+                let mut b = FinInterp::new(&st);
+                let val = exec_plain(&mut b, &vm, &mut Fuel::new(2_000)).map_err(|e| e.to_string());
+                Ok((vm.dump(), val))
+            })
+            .collect::<Vec<_>>()
+    });
+}
+
 /// Random rank-preserving term over {E, R1, ¬, swap, ∧} — mirrors the
 /// qlhs property-test generator.
 fn rank2_term(rng: &mut SplitMix64, depth: usize) -> Term {
